@@ -1,0 +1,81 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* expression simplification on/off — the cost of the redundant-comparison
+  clean-up and the effect of shipping unsimplified WHERE clauses;
+* planner access paths — what the benchmark queries cost when indexes or the
+  index-OR join are disabled (the paper's PostgreSQL had all of them);
+* rewriting on/off — the headline claim: executing a query as the plain loop
+  the programmer wrote versus the rewritten SQL.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis.simplify import simplify
+from repro.core.expr import nodes
+from repro.pyfrontend.disassembler import lower_function
+from repro.sqlengine.planner import PlannerOptions
+from repro.tpcw import queries_queryll, queries_sql
+from repro.tpcw.database import build_database
+from repro.tpcw.population import PopulationScale
+
+
+def _redundant_comparison_chain(depth: int) -> nodes.Expression:
+    expression: nodes.Expression = nodes.BinOp(
+        "==", nodes.GetField(nodes.Var("entry"), "Name"), nodes.Constant("LA")
+    )
+    for _ in range(depth):
+        expression = nodes.BinOp("!=", expression, nodes.Constant(0))
+    return expression
+
+
+@pytest.mark.benchmark(group="ablation-simplify")
+def test_simplify_redundant_comparisons(benchmark) -> None:
+    expression = _redundant_comparison_chain(depth=12)
+    result = benchmark(lambda: simplify(expression))
+    assert result == nodes.BinOp(
+        "==", nodes.GetField(nodes.Var("entry"), "Name"), nodes.Constant("LA")
+    )
+
+
+@pytest.mark.benchmark(group="ablation-lowering")
+def test_python_bytecode_lowering(benchmark) -> None:
+    benchmark(lambda: lower_function(queries_queryll.get_customer_loop.original))
+
+
+@pytest.fixture(scope="module")
+def small_scale() -> PopulationScale:
+    return PopulationScale(num_items=200, num_ebs=1, customers_per_eb=400)
+
+
+@pytest.mark.benchmark(group="ablation-planner")
+def test_handwritten_get_related_with_or_index_join(benchmark, small_scale) -> None:
+    database = build_database(small_scale)
+    connection = database.connection()
+    benchmark(lambda: queries_sql.do_get_related(connection, 17))
+
+
+@pytest.mark.benchmark(group="ablation-planner")
+def test_handwritten_get_related_without_indexes(benchmark, small_scale) -> None:
+    database = build_database(
+        small_scale, planner_options=PlannerOptions(use_indexes=False)
+    )
+    connection = database.connection()
+    benchmark(lambda: queries_sql.do_get_related(connection, 17))
+
+
+@pytest.mark.benchmark(group="ablation-rewrite")
+def test_get_name_rewritten(benchmark, small_scale) -> None:
+    database = build_database(small_scale)
+    em = database.entity_manager()
+    benchmark(lambda: queries_queryll.get_name(em, 123))
+
+
+@pytest.mark.benchmark(group="ablation-rewrite")
+def test_get_name_unrewritten_full_scan(benchmark, small_scale) -> None:
+    """The same loop executed as written (no rewriting): a full table scan
+    through the ORM per call — the cost the paper's rewriter removes."""
+    database = build_database(small_scale)
+    em = database.entity_manager()
+    benchmark(lambda: queries_queryll.get_name_loop.original(em, 123).to_list())

@@ -1,0 +1,63 @@
+"""Reproduction of Table 4: TPC-W query throughput, Queryll vs hand-written.
+
+Each pytest-benchmark case measures one cell of the paper's Table 4 (one
+query, one implementation).  The paper's absolute numbers came from
+PostgreSQL on 2006 hardware; what is expected to hold here is the *relative*
+picture per query — see EXPERIMENTS.md for the measured comparison.
+
+Set ``REPRO_TPCW_PROFILE=paper`` for the full-scale configuration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.mark.benchmark(group="Table4-getName")
+def test_get_name_queryll(benchmark, tpcw_benchmark) -> None:
+    benchmark(tpcw_benchmark.run_get_name_queryll)
+
+
+@pytest.mark.benchmark(group="Table4-getName")
+def test_get_name_handwritten(benchmark, tpcw_benchmark) -> None:
+    benchmark(tpcw_benchmark.run_get_name_handwritten)
+
+
+@pytest.mark.benchmark(group="Table4-getName")
+def test_get_name_handwritten_with_extra_processing(benchmark, tpcw_benchmark) -> None:
+    benchmark(tpcw_benchmark.run_get_name_extra)
+
+
+@pytest.mark.benchmark(group="Table4-getCustomer")
+def test_get_customer_queryll(benchmark, tpcw_benchmark) -> None:
+    benchmark(tpcw_benchmark.run_get_customer_queryll)
+
+
+@pytest.mark.benchmark(group="Table4-getCustomer")
+def test_get_customer_handwritten(benchmark, tpcw_benchmark) -> None:
+    benchmark(tpcw_benchmark.run_get_customer_handwritten)
+
+
+@pytest.mark.benchmark(group="Table4-doSubjectSearch")
+def test_do_subject_search_queryll(benchmark, tpcw_benchmark) -> None:
+    benchmark(tpcw_benchmark.run_do_subject_search_queryll)
+
+
+@pytest.mark.benchmark(group="Table4-doSubjectSearch")
+def test_do_subject_search_handwritten(benchmark, tpcw_benchmark) -> None:
+    benchmark(tpcw_benchmark.run_do_subject_search_handwritten)
+
+
+@pytest.mark.benchmark(group="Table4-doSubjectSearch")
+def test_do_subject_search_handwritten_modified_query(benchmark, tpcw_benchmark) -> None:
+    benchmark(tpcw_benchmark.run_do_subject_search_modified)
+
+
+@pytest.mark.benchmark(group="Table4-doGetRelated")
+def test_do_get_related_queryll(benchmark, tpcw_benchmark) -> None:
+    benchmark(tpcw_benchmark.run_do_get_related_queryll)
+
+
+@pytest.mark.benchmark(group="Table4-doGetRelated")
+def test_do_get_related_handwritten(benchmark, tpcw_benchmark) -> None:
+    benchmark(tpcw_benchmark.run_do_get_related_handwritten)

@@ -1,0 +1,60 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark corresponds to a table or figure of the paper (see the
+experiment index in DESIGN.md).  The TPC-W database defaults to the "quick"
+profile so the whole suite runs in seconds; set ``REPRO_TPCW_PROFILE=paper``
+to use the paper's full parameters (10 000 items, 100 EBs, 2000 executions).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+
+from conftest import make_bank_db, make_bank_mapping  # noqa: E402
+
+from repro.minijava import compile_source  # noqa: E402
+from repro.tpcw import BenchmarkConfig, TpcwBenchmark  # noqa: E402
+
+OFFICE_QUERY_SOURCE = """
+class OfficeQueries {
+    @Query
+    QuerySet<Office> westCoast(EntityManager em, QuerySet<Office> westcoast) {
+        for (Office of : em.allOffice()) {
+            if (of.getName().equals("Seattle"))
+                westcoast.add(of);
+            else if (of.getName().equals("LA"))
+                westcoast.add(of);
+        }
+        return westcoast;
+    }
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def bank_mapping():
+    """The Client/Account/Office mapping of the paper's figures."""
+    return make_bank_mapping()
+
+
+@pytest.fixture(scope="session")
+def bank_db():
+    """A small populated bank database."""
+    return make_bank_db()
+
+
+@pytest.fixture(scope="session")
+def office_classfile():
+    """The paper's Fig. 10 query compiled to mini-JVM bytecode."""
+    return compile_source(OFFICE_QUERY_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def tpcw_benchmark():
+    """A TPC-W database + harness built once for the whole benchmark run."""
+    return TpcwBenchmark(BenchmarkConfig.from_environment())

@@ -1,0 +1,152 @@
+"""The paper's bank example (Figs. 2-8): selection, projection, join,
+ordering and limit, written as plain Python loops and rewritten to SQL.
+
+Run with:  python examples/bank_accounts.py
+"""
+
+from __future__ import annotations
+
+from repro.orm import (
+    DoubleSorter,
+    EntityMapping,
+    FieldMapping,
+    OrmMapping,
+    Pair,
+    QueryllDatabase,
+    QuerySet,
+    RelationshipMapping,
+)
+from repro.pyfrontend import query
+from repro.sqlengine.catalog import SqlType
+
+
+def bank_mapping() -> OrmMapping:
+    """Fig. 2/3: the Client and Account tables and their relationship."""
+    return OrmMapping(
+        [
+            EntityMapping(
+                "Client",
+                "Client",
+                fields=[
+                    FieldMapping("clientId", "ClientID", SqlType.INTEGER, primary_key=True),
+                    FieldMapping("name", "Name", SqlType.TEXT),
+                    FieldMapping("address", "Address", SqlType.TEXT),
+                    FieldMapping("country", "Country", SqlType.TEXT),
+                    FieldMapping("postalCode", "PostalCode", SqlType.TEXT),
+                ],
+                relationships=[
+                    RelationshipMapping("accounts", "Account", "ClientID", "ClientID", "to_many"),
+                ],
+            ),
+            EntityMapping(
+                "Account",
+                "Account",
+                fields=[
+                    FieldMapping("accountId", "AccountID", SqlType.INTEGER, primary_key=True),
+                    FieldMapping("clientId", "ClientID", SqlType.INTEGER),
+                    FieldMapping("balance", "Balance", SqlType.DOUBLE),
+                    FieldMapping("minBalance", "MinBalance", SqlType.DOUBLE),
+                ],
+                relationships=[
+                    RelationshipMapping("holder", "Client", "ClientID", "ClientID", "to_one"),
+                ],
+            ),
+        ]
+    )
+
+
+# Fig. 5: a simple selection — clients from Canada.
+@query
+def canadian_clients(em, country):
+    canadian = QuerySet()
+    for c in em.all("Client"):
+        if c.country == country:
+            canadian.add(c.name)
+    return canadian
+
+
+# Fig. 6: projection with Pair — overdrawn accounts and their penalty.
+@query
+def overdrawn_accounts(em):
+    overdrawn = QuerySet()
+    for a in em.all("Account"):
+        if a.balance < a.minBalance:
+            penalty = (a.minBalance - a.balance) * 0.001
+            overdrawn.add(Pair(a, penalty))
+    return overdrawn
+
+
+# Fig. 7: a join through relationship navigation — Swiss clients' accounts.
+@query
+def swiss_accounts(em):
+    swiss = QuerySet()
+    for a in em.all("Account"):
+        if a.holder.country == "Switzerland":
+            swiss.add(Pair(a.holder, a))
+    return swiss
+
+
+class BalanceSorter(DoubleSorter):
+    """Fig. 8: the sorter describing which field to order by."""
+
+    def value(self, val):
+        return val.getBalance()
+
+
+def main() -> None:
+    db = QueryllDatabase(bank_mapping())
+    db.database.insert_rows(
+        "Client",
+        [
+            (1000, "Alice", "1 Main Street", "Canada", "K1A"),
+            (1001, "Bob", "2 Rue du Lac", "Switzerland", "1015"),
+            (1002, "Carol", "3 Elm Avenue", "Canada", "V5K"),
+        ],
+    )
+    db.database.insert_rows(
+        "Account",
+        [
+            (1, 1000, 500.0, 100.0),
+            (2, 1000, 50.0, 100.0),
+            (3, 1001, 900.0, 0.0),
+            (4, 1001, -25.0, 50.0),
+            (5, 1002, 10.0, 20.0),
+        ],
+    )
+
+    em = db.begin_transaction()
+
+    # Fig. 4: entities can be navigated like ordinary objects.
+    client = em.find("Client", 1000)
+    print(f"Client 1000 lives at {client.getAddress()}")
+    print(f"Client 1000 has {client.getAccounts().size()} accounts")
+    print()
+
+    print("Fig. 5 — Canadian clients")
+    print("  SQL:", canadian_clients.generated_sql(em))
+    print("  ->", sorted(canadian_clients(em, "Canada").to_list()))
+    print()
+
+    print("Fig. 6 — overdrawn accounts and penalties (projection via Pair)")
+    print("  SQL:", overdrawn_accounts.generated_sql(em))
+    for pair in overdrawn_accounts(em):
+        print(f"  account {pair.first.accountId}: penalty {pair.second:.4f}")
+    print()
+
+    print("Fig. 7 — Swiss clients joined to their accounts")
+    print("  SQL:", swiss_accounts.generated_sql(em))
+    for pair in swiss_accounts(em):
+        print(f"  {pair.first.name} owns account {pair.second.accountId}")
+    print()
+
+    print("Fig. 8 — top accounts by balance (ordering + limit fold into SQL)")
+    top_accounts = em.all("Account")
+    top_accounts = top_accounts.sortedByDoubleDescending(BalanceSorter())
+    top_accounts = top_accounts.firstN(2)
+    print("  SQL:", top_accounts.describe_sql())
+    for account in top_accounts:
+        print(f"  account {account.accountId}: balance {account.balance}")
+
+
+if __name__ == "__main__":
+    main()

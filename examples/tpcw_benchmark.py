@@ -1,0 +1,52 @@
+"""Run the paper's TPC-W microbenchmark and print Tables 4 and 5.
+
+By default a scaled-down database is used so the script finishes quickly;
+select the full paper protocol (10 000 items, 100 EBs, 100 warm-up + 2000
+measured executions) with::
+
+    REPRO_TPCW_PROFILE=paper python examples/tpcw_benchmark.py
+
+Run with:  python examples/tpcw_benchmark.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.tpcw import BenchmarkConfig, TpcwBenchmark
+
+
+def main() -> None:
+    config = BenchmarkConfig.from_environment()
+    print(
+        f"building TPC-W database: items={config.scale.num_items}, "
+        f"customers={config.scale.num_customers} ..."
+    )
+    started = time.perf_counter()
+    benchmark = TpcwBenchmark(config)
+    print(f"  populated in {time.perf_counter() - started:.1f}s "
+          f"({benchmark.database.summary})")
+    print()
+
+    print(benchmark.format_table5())
+    print()
+
+    print(
+        f"measuring: {config.warmup_executions} warm-up + "
+        f"{config.measured_executions} measured executions per run, "
+        f"{config.runs} runs"
+    )
+    results = benchmark.run_table4()
+    print()
+    print(benchmark.format_table4(results))
+    print()
+    for result in results:
+        print(
+            f"{result.query:16s} Queryll/hand-written ratio: {result.ratio:5.2f}x "
+            f"(paper: getName 1.64x, getCustomer 1.49x, doSubjectSearch 0.96x, "
+            f"doGetRelated 2.49x)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim so that legacy editable installs (``pip install -e .``)
+work in offline environments without the ``wheel`` package."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""Queryll reproduction: Java-style database queries through bytecode rewriting.
+
+This package reproduces the system described in *Queryll: Java Database
+Queries through Bytecode Rewriting* (Iu & Zwaenepoel, MIDDLEWARE 2006).
+
+Layout
+------
+``repro.core``
+    The paper's contribution: three-address IR, control-flow analysis, loop
+    and path extraction, backward symbolic substitution, query-tree
+    construction and SQL generation, plus the bytecode rewriter driver.
+``repro.jvm``
+    A stack-based mini-JVM substrate (classfiles, assembler, verifier,
+    interpreter) standing in for Java bytecode + the JVM.
+``repro.minijava``
+    A small Java-like source language and compiler producing mini-JVM
+    bytecode (the "Java compiler" box of the paper's Fig. 9).
+``repro.pyfrontend``
+    A second frontend that rewrites *real CPython bytecode* of plain Python
+    for-loops via the same pipeline (``@query`` decorator).
+``repro.sqlengine`` / ``repro.dbapi``
+    An in-memory SQL engine and a JDBC-like driver standing in for
+    PostgreSQL + JDBC.
+``repro.orm``
+    The light-weight object-relational mapping layer (EntityManager,
+    QuerySet, Pair, sorters).
+``repro.tpcw``
+    The TPC-W-derived microbenchmark used in the paper's evaluation.
+``repro.bench``
+    Timing and reporting helpers used by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    BytecodeError,
+    CompileError,
+    OrmError,
+    ReproError,
+    RewriteError,
+    SqlError,
+    UnsupportedQueryError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BytecodeError",
+    "CompileError",
+    "OrmError",
+    "ReproError",
+    "RewriteError",
+    "SqlError",
+    "UnsupportedQueryError",
+    "__version__",
+]

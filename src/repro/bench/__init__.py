@@ -1,0 +1,8 @@
+"""Benchmark support: timing protocol and text reporting."""
+
+from __future__ import annotations
+
+from repro.bench.timing import Measurement, measure
+from repro.bench.reporting import format_table
+
+__all__ = ["Measurement", "format_table", "measure"]

@@ -1,0 +1,43 @@
+"""Plain-text table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Render a simple aligned text table."""
+    columns = len(headers)
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in text_rows:
+        for position in range(columns):
+            if position < len(row):
+                widths[position] = max(widths[position], len(row[position]))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [
+            str(cells[position]).ljust(widths[position]) if position < len(cells) else " " * widths[position]
+            for position in range(columns)
+        ]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "+-" + "-+-".join("-" * width for width in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(render_row([str(header) for header in headers]))
+    lines.append(separator)
+    for row in text_rows:
+        lines.append(render_row(row))
+    lines.append(separator)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)

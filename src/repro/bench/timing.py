@@ -1,0 +1,69 @@
+"""Timing protocol used by the benchmark harness.
+
+The paper's protocol: warm the cache with 100 executions, then time 2000
+executions; repeat the whole configuration several times and average the
+last runs (discarding the first ones to remove JIT effects).  The
+:func:`measure` helper implements the same structure with configurable
+counts, returning mean and standard deviation like the paper's Table 4.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass
+class Measurement:
+    """Result of measuring one benchmark configuration."""
+
+    name: str
+    mean_ms: float
+    stdev_ms: float
+    runs: list[float]
+    executions_per_run: int
+
+    @property
+    def per_execution_us(self) -> float:
+        """Average microseconds per query execution."""
+        if not self.executions_per_run:
+            return 0.0
+        return self.mean_ms * 1000.0 / self.executions_per_run
+
+
+def measure(
+    name: str,
+    operation: Callable[[], None],
+    executions_per_run: int,
+    warmup_executions: int = 0,
+    runs: int = 3,
+    discard_runs: int = 1,
+) -> Measurement:
+    """Measure ``operation`` following the paper's protocol.
+
+    ``operation`` is called ``warmup_executions`` times, then timed in
+    ``runs`` batches of ``executions_per_run`` calls; the first
+    ``discard_runs`` batches are discarded from the statistics.
+    """
+    for _ in range(warmup_executions):
+        operation()
+
+    durations_ms: list[float] = []
+    for _ in range(max(1, runs)):
+        start = time.perf_counter()
+        for _ in range(executions_per_run):
+            operation()
+        durations_ms.append((time.perf_counter() - start) * 1000.0)
+
+    kept = durations_ms[discard_runs:] if len(durations_ms) > discard_runs else durations_ms
+    mean = statistics.fmean(kept)
+    stdev = statistics.stdev(kept) if len(kept) > 1 else 0.0
+    return Measurement(
+        name=name,
+        mean_ms=mean,
+        stdev_ms=stdev,
+        runs=durations_ms,
+        executions_per_run=executions_per_run,
+    )

@@ -1,0 +1,21 @@
+"""Query identification: for-each detection, paths, substitution, simplification."""
+
+from __future__ import annotations
+
+from repro.core.analysis.foreach import ForEachQuery, find_foreach_queries
+from repro.core.analysis.paths import LoopPath, enumerate_paths
+from repro.core.analysis.sideeffects import check_side_effects
+from repro.core.analysis.simplify import negate, simplify
+from repro.core.analysis.substitution import PathAnalysis, analyze_path
+
+__all__ = [
+    "ForEachQuery",
+    "LoopPath",
+    "PathAnalysis",
+    "analyze_path",
+    "check_side_effects",
+    "enumerate_paths",
+    "find_foreach_queries",
+    "negate",
+    "simplify",
+]

@@ -1,0 +1,257 @@
+"""Recognition of the for-each-over-a-collection pattern inside loops.
+
+A for-each loop over a Java Collection compiles to code that creates an
+Iterator, then repeatedly calls ``hasNext()`` / ``next()`` (instructions 2, 4,
+15 and 16 in the paper's Fig. 11).  Both of our frontends (mini-JVM bytecode
+and CPython bytecode) are lowered into exactly this shape, so a single
+recogniser serves both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.cfg.graph import ControlFlowGraph, build_cfg
+from repro.core.cfg.loops import Loop, find_loops
+from repro.core.expr import nodes
+from repro.core.tac.instructions import Assign, ExprStatement, IfGoto
+from repro.core.tac.method import TacMethod
+from repro.errors import UnsupportedQueryError
+
+#: Method names treated as "add an element to the destination collection".
+ADD_METHODS = frozenset({"add", "addAll"})
+
+
+@dataclass
+class ForEachQuery:
+    """A loop identified as a candidate query.
+
+    Attributes mirror the paper's terminology: the *source collection* is the
+    collection being iterated, the *destination collection* the one elements
+    are added to.
+    """
+
+    loop: Loop
+    iterator_var: str
+    element_var: Optional[str]
+    source_expression: nodes.Expression
+    dest_var: str
+    add_instruction_indexes: list[int] = field(default_factory=list)
+    header_instruction: int = 0
+
+
+def find_foreach_queries(method: TacMethod) -> list[ForEachQuery]:
+    """Find every loop in ``method`` that matches the for-each query pattern.
+
+    Loops that contain inner loops, use several iterators, or add to several
+    destination collections are skipped (the rewriter leaves them alone, as
+    the paper's tool would).
+    """
+    cfg = build_cfg(method)
+    loops = find_loops(cfg)
+    queries: list[ForEachQuery] = []
+    for loop in loops:
+        if _is_nested(loop, loops):
+            continue
+        try:
+            query = _match_foreach(method, cfg, loop)
+        except UnsupportedQueryError:
+            continue
+        if query is not None:
+            queries.append(query)
+    return queries
+
+
+def match_loop(method: TacMethod, cfg: ControlFlowGraph, loop: Loop) -> ForEachQuery:
+    """Match a specific loop, raising :class:`UnsupportedQueryError` with a
+    reason when the pattern does not apply."""
+    query = _match_foreach(method, cfg, loop)
+    if query is None:
+        raise UnsupportedQueryError("loop does not match the for-each pattern")
+    return query
+
+
+# -- internals ----------------------------------------------------------------
+
+
+def _is_nested(loop: Loop, loops: list[Loop]) -> bool:
+    for other in loops:
+        if other is loop:
+            continue
+        if loop.blocks < other.blocks:
+            return True
+    return False
+
+
+def _match_foreach(
+    method: TacMethod, cfg: ControlFlowGraph, loop: Loop
+) -> Optional[ForEachQuery]:
+    instructions = method.instructions
+
+    iterator_vars: set[str] = set()
+    element_var: Optional[str] = None
+    has_next_indexes: list[int] = []
+    next_indexes: list[int] = []
+    add_indexes: list[int] = []
+    dest_vars: set[str] = set()
+
+    for index in sorted(loop.instructions):
+        instruction = instructions[index]
+        if isinstance(instruction, Assign) and isinstance(
+            _unwrap_casts(instruction.value), nodes.Call
+        ):
+            call = _unwrap_casts(instruction.value)
+            assert isinstance(call, nodes.Call)
+            if call.method == "hasNext" and isinstance(call.receiver, nodes.Var):
+                iterator_vars.add(call.receiver.name)
+                has_next_indexes.append(index)
+            elif call.method == "next" and isinstance(call.receiver, nodes.Var):
+                iterator_vars.add(call.receiver.name)
+                next_indexes.append(index)
+                element_var = instruction.target
+        elif isinstance(instruction, ExprStatement) and isinstance(
+            instruction.value, nodes.Call
+        ):
+            call = instruction.value
+            if call.method in ADD_METHODS and isinstance(call.receiver, nodes.Var):
+                add_indexes.append(index)
+                dest_vars.add(call.receiver.name)
+
+    if not has_next_indexes or not next_indexes:
+        return None
+    if len(iterator_vars) != 1:
+        raise UnsupportedQueryError(
+            "loop iterates more than one collection (nested iteration "
+            "is not supported)"
+        )
+    if not add_indexes:
+        raise UnsupportedQueryError(
+            "loop never adds elements to a destination collection"
+        )
+    if len(dest_vars) != 1:
+        raise UnsupportedQueryError(
+            "loop adds elements to more than one destination collection"
+        )
+
+    iterator_var = next(iter(iterator_vars))
+    dest_var = next(iter(dest_vars))
+
+    if iterator_var in _assigned_in(method, loop):
+        raise UnsupportedQueryError("the iterator variable is reassigned in the loop")
+    if dest_var in _assigned_in(method, loop):
+        raise UnsupportedQueryError("the destination collection is reassigned in the loop")
+
+    source_expression = _resolve_source_collection(method, loop, iterator_var)
+    dest_definition = _sole_definition_before(method, loop, dest_var)
+    if dest_definition is None and dest_var not in method.parameters:
+        raise UnsupportedQueryError(
+            "the destination collection is not defined before the loop"
+        )
+
+    header_instruction = cfg.block(loop.header).start
+    return ForEachQuery(
+        loop=loop,
+        iterator_var=iterator_var,
+        element_var=element_var,
+        source_expression=source_expression,
+        dest_var=dest_var,
+        add_instruction_indexes=add_indexes,
+        header_instruction=header_instruction,
+    )
+
+
+def _unwrap_casts(expression: nodes.Expression) -> nodes.Expression:
+    """Strip Cast wrappers (``(Office) it.next()`` is still an iterator call)."""
+    while isinstance(expression, nodes.Cast):
+        expression = expression.operand
+    return expression
+
+
+def _assigned_in(method: TacMethod, loop: Loop) -> set[str]:
+    names: set[str] = set()
+    for index in loop.instructions:
+        instruction = method.instructions[index]
+        if isinstance(instruction, Assign):
+            names.add(instruction.target)
+    return names
+
+
+def _sole_definition_before(
+    method: TacMethod, loop: Loop, name: str
+) -> Optional[Assign]:
+    definitions = [
+        index
+        for index in method.definitions_of(name)
+        if index not in loop.instructions
+    ]
+    if len(definitions) != 1:
+        return None
+    return method.instructions[definitions[0]]  # type: ignore[return-value]
+
+
+def _resolve_source_collection(
+    method: TacMethod, loop: Loop, iterator_var: str
+) -> nodes.Expression:
+    """Trace the iterator back to the collection expression it came from.
+
+    The iterator must be created by ``it = <collection>.iterator()`` outside
+    the loop; the collection expression is then resolved by chasing unique
+    definitions of intermediate temporaries (``$r12 = em.allOffice()``).
+    """
+    definitions = [
+        index
+        for index in method.definitions_of(iterator_var)
+        if index not in loop.instructions
+    ]
+    if len(definitions) != 1:
+        raise UnsupportedQueryError(
+            "cannot determine where the loop's iterator comes from"
+        )
+    definition = method.instructions[definitions[0]]
+    assert isinstance(definition, Assign)
+    value = definition.value
+    if isinstance(value, nodes.Var):
+        # Jimple-style code may copy the iterator through a temporary
+        # ($it = $r2 where $r2 = coll.iterator()); chase the definition.
+        value = resolve_outside_expression(method, loop, value)
+    if not (isinstance(value, nodes.Call) and value.method == "iterator"):
+        raise UnsupportedQueryError("the loop's iterator is not created from a collection")
+    collection = value.receiver
+    if collection is None:
+        raise UnsupportedQueryError("iterator() has no receiver")
+    return resolve_outside_expression(method, loop, collection)
+
+
+def resolve_outside_expression(
+    method: TacMethod, loop: Loop, expression: nodes.Expression
+) -> nodes.Expression:
+    """Chase unique pre-loop definitions of temporaries in ``expression``.
+
+    Parameters and locals with several definitions are left as variables (the
+    query generator treats them as outside variables).
+    """
+    for _ in range(64):  # defensive bound against definition cycles
+        replaced = False
+        replacements: dict[str, nodes.Expression] = {}
+        for name in sorted(nodes.expression_variables(expression)):
+            if name in method.parameters:
+                continue
+            definitions = [
+                index
+                for index in method.definitions_of(name)
+                if index not in loop.instructions
+            ]
+            if len(definitions) != 1 or method.definitions_of(name) != definitions:
+                continue
+            definition = method.instructions[definitions[0]]
+            assert isinstance(definition, Assign)
+            value = definition.value
+            if isinstance(value, nodes.Var) and value.name == name:
+                continue
+            replacements[name] = value
+            replaced = True
+        if not replaced:
+            return expression
+        expression = nodes.substitute(expression, replacements)
+    return expression

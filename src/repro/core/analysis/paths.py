@@ -1,0 +1,113 @@
+"""Path enumeration through query loops.
+
+The paper (Section 4, Table 1): *"Queryll breaks loops down into straight
+paths to do its analysis.  It does this by examining every control flow path
+through a loop that results in a new element being added to the destination
+collection."*
+
+A path starts at the loop header (the ``hasNext()`` test), follows
+instruction-level control flow inside the loop, and ends at an ``add``/
+``addAll`` call on the destination collection.  For every conditional branch
+along the way the path records whether the branch was taken, which is what
+the backward substitution step turns into the path condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.analysis.foreach import ForEachQuery
+from repro.core.cfg.graph import ControlFlowGraph
+from repro.core.tac.instructions import ExprStatement, Goto, IfGoto
+from repro.core.tac.method import TacMethod
+from repro.errors import UnsupportedQueryError
+
+#: Safety bound: a loop body with more than this many paths to the
+#: destination collection is rejected rather than analysed (exponential
+#: blow-up protection; real query loops have a handful of paths).
+MAX_PATHS = 256
+
+
+@dataclass
+class LoopPath:
+    """One straight-line path through the loop body ending at an add.
+
+    ``instruction_indexes`` lists the instructions in execution order.
+    ``branch_decisions`` maps positions within the path (not instruction
+    indexes) of ``IfGoto`` instructions to True (branch taken) or False
+    (fall-through).
+    """
+
+    instruction_indexes: list[int]
+    branch_decisions: dict[int, bool] = field(default_factory=dict)
+    add_instruction: int = -1
+
+    def __len__(self) -> int:
+        return len(self.instruction_indexes)
+
+
+def enumerate_paths(
+    method: TacMethod, cfg: ControlFlowGraph, query: ForEachQuery
+) -> list[LoopPath]:
+    """Enumerate every path from the loop header to an add statement."""
+    instructions = method.instructions
+    loop = query.loop
+    start = query.header_instruction
+
+    paths: list[LoopPath] = []
+    # Depth-first enumeration.  State: (current index, path so far, decisions).
+    stack: list[tuple[int, list[int], dict[int, bool]]] = [(start, [], {})]
+    while stack:
+        index, prefix, decisions = stack.pop()
+        if index not in loop.instructions:
+            # The walk left the loop without adding anything: not a path of
+            # interest (e.g. the filter rejected the element).
+            continue
+        if prefix and index == start:
+            # Completed an iteration without adding anything; ignore.
+            continue
+        if index in prefix:
+            raise UnsupportedQueryError(
+                "the loop body contains an inner cycle; cannot enumerate paths"
+            )
+        path = prefix + [index]
+        instruction = instructions[index]
+
+        if isinstance(instruction, ExprStatement) and index in query.add_instruction_indexes:
+            if len(paths) >= MAX_PATHS:
+                raise UnsupportedQueryError(
+                    f"loop has more than {MAX_PATHS} paths to the destination collection"
+                )
+            paths.append(
+                LoopPath(
+                    instruction_indexes=path,
+                    branch_decisions=dict(decisions),
+                    add_instruction=index,
+                )
+            )
+            # The element has been added; later instructions on this
+            # iteration cannot add it again for this path, so stop here.
+            continue
+
+        if isinstance(instruction, IfGoto):
+            position = len(path) - 1
+            taken = dict(decisions)
+            taken[position] = True
+            not_taken = dict(decisions)
+            not_taken[position] = False
+            stack.append((instruction.target, path, taken))
+            if index + 1 < len(instructions):
+                stack.append((index + 1, path, not_taken))
+            continue
+        if isinstance(instruction, Goto):
+            stack.append((instruction.target, path, decisions))
+            continue
+        if index + 1 < len(instructions):
+            stack.append((index + 1, path, decisions))
+
+    # Sort paths by the order of their add instruction, then by length, so the
+    # generated SQL's OR clauses come out in a stable, source-like order.
+    paths.sort(key=lambda path: (path.add_instruction, len(path)))
+    if not paths:
+        raise UnsupportedQueryError("no control-flow path reaches the destination add")
+    return paths

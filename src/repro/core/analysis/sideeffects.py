@@ -1,0 +1,161 @@
+"""Side-effect checking of loop bodies.
+
+The paper requires that a query loop "can have no side-effects beyond adding
+elements to the new QuerySet" (and advancing the iterator).  This module
+checks that property conservatively: every instruction in the loop must be a
+branch, an assignment of a *pure* expression to a local that is not live
+after the loop, an iterator operation, or an add to the destination
+collection.
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis.foreach import ADD_METHODS, ForEachQuery
+from repro.core.expr import nodes
+from repro.core.tac.instructions import (
+    Assign,
+    ExprStatement,
+    Goto,
+    IfGoto,
+    Nop,
+    Return,
+)
+from repro.core.tac.method import TacMethod, instruction_expressions
+from repro.errors import UnsupportedQueryError
+
+#: Methods assumed to be pure (no observable side effects).  Getter-style
+#: methods (``getX``, ``isX``) are additionally allowed by prefix.
+PURE_METHODS = frozenset(
+    {
+        "equals",
+        "hasNext",
+        "next",
+        "iterator",
+        "compareTo",
+        "length",
+        "size",
+        "contains",
+        "startsWith",
+        "endsWith",
+        "toLowerCase",
+        "toUpperCase",
+        "intValue",
+        "doubleValue",
+        "booleanValue",
+        "pairCollection",
+        "PairCollection",
+        "getFirst",
+        "getSecond",
+        "all",  # EntityManager.all(Entity) in the Python frontend
+    }
+)
+
+#: Classes that may be constructed inside a query loop (value objects only).
+PURE_CONSTRUCTORS = frozenset({"Pair", "Double", "Integer", "Boolean", "String", "tuple"})
+
+
+def check_side_effects(method: TacMethod, query: ForEachQuery) -> None:
+    """Raise :class:`UnsupportedQueryError` if the loop has side effects."""
+    loop = query.loop
+    locals_assigned: set[str] = set()
+
+    for index in sorted(loop.instructions):
+        instruction = method.instructions[index]
+        if isinstance(instruction, (Goto, IfGoto, Nop)):
+            continue
+        if isinstance(instruction, Return):
+            raise UnsupportedQueryError("query loops must not return (premature exit)")
+        if isinstance(instruction, Assign):
+            _check_pure_expression(instruction.value, query)
+            locals_assigned.add(instruction.target)
+            continue
+        if isinstance(instruction, ExprStatement):
+            value = instruction.value
+            if (
+                isinstance(value, nodes.Call)
+                and value.method in ADD_METHODS
+                and isinstance(value.receiver, nodes.Var)
+                and value.receiver.name == query.dest_var
+            ):
+                for argument in value.args:
+                    _check_pure_expression(argument, query)
+                continue
+            raise UnsupportedQueryError(
+                f"loop contains a statement with side effects: {value!r}"
+            )
+        raise UnsupportedQueryError(f"unsupported instruction in loop: {instruction!r}")
+
+    _check_loop_locals_not_live_after(method, query, locals_assigned)
+
+
+def _check_pure_expression(expression: nodes.Expression, query: ForEachQuery) -> None:
+    if isinstance(expression, (nodes.Constant, nodes.Var, nodes.SourceEntity)):
+        return
+    if isinstance(expression, (nodes.BinOp,)):
+        _check_pure_expression(expression.left, query)
+        _check_pure_expression(expression.right, query)
+        return
+    if isinstance(expression, (nodes.UnaryOp, nodes.Cast)):
+        _check_pure_expression(expression.operand, query)
+        return
+    if isinstance(expression, nodes.GetField):
+        _check_pure_expression(expression.receiver, query)
+        return
+    if isinstance(expression, nodes.New):
+        if expression.class_name not in PURE_CONSTRUCTORS:
+            raise UnsupportedQueryError(
+                f"constructing {expression.class_name!r} inside a query loop "
+                "is a side effect"
+            )
+        for argument in expression.args:
+            _check_pure_expression(argument, query)
+        return
+    if isinstance(expression, nodes.Call):
+        if not _is_pure_method(expression.method):
+            raise UnsupportedQueryError(
+                f"call to {expression.method!r} inside a query loop may have "
+                "side effects"
+            )
+        if expression.receiver is not None:
+            _check_pure_expression(expression.receiver, query)
+        for argument in expression.args:
+            _check_pure_expression(argument, query)
+        return
+    raise UnsupportedQueryError(f"unsupported expression in loop: {expression!r}")
+
+
+def _is_pure_method(name: str) -> bool:
+    # Static calls may be qualified with a class name (Pair.PairCollection).
+    name = name.split(".")[-1]
+    if name in PURE_METHODS:
+        return True
+    if name.startswith("get") and len(name) > 3:
+        return True
+    if name.startswith("is") and len(name) > 2:
+        return True
+    if name.startswith("all") and len(name) > 3:
+        return True
+    return False
+
+
+def _check_loop_locals_not_live_after(
+    method: TacMethod, query: ForEachQuery, locals_assigned: set[str]
+) -> None:
+    """Locals written inside the loop must not be read after it; otherwise
+    removing the loop would change the program."""
+    loop = query.loop
+    after_indexes = [
+        index
+        for index in range(len(method.instructions))
+        if index not in loop.instructions and index >= query.loop.exit_instruction
+    ]
+    read_after: set[str] = set()
+    for index in after_indexes:
+        for expression in instruction_expressions(method.instructions[index]):
+            read_after.update(nodes.expression_variables(expression))
+    leaked = (locals_assigned & read_after) - {query.dest_var}
+    if leaked:
+        raise UnsupportedQueryError(
+            "locals assigned in the query loop are used after it: "
+            + ", ".join(sorted(leaked))
+        )

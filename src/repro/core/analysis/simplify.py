@@ -1,0 +1,252 @@
+"""Expression simplification.
+
+Java bytecode can only branch on integer conditions, so a source-level
+``name.equals("LA")`` turns into "compare, producing an int, then compare the
+int with 0" — the redundant comparisons visible in the paper's Table 2.
+*"These extra comparisons can confuse some SQL implementations, so Queryll
+always performs a simplification step on the final expression to remove
+them."*
+
+The rules implemented here:
+
+* ``x.equals(y)``                      -> ``x == y``
+* ``(bool-expr) != 0`` / ``== 1``      -> ``bool-expr``
+* ``(bool-expr) == 0`` / ``!= 1``      -> ``NOT bool-expr`` (pushed inward)
+* ``NOT (a == b)``                     -> ``a != b`` (and the other comparisons)
+* ``NOT NOT e``                        -> ``e``
+* constant folding of boolean/arithmetic operations on constants
+* identity rules for AND/OR with true/false
+"""
+
+from __future__ import annotations
+
+from repro.core.expr import nodes
+
+_COMPARISON_NEGATION = {
+    "==": "!=",
+    "!=": "==",
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+}
+
+_COMPARISON_OPS = frozenset(_COMPARISON_NEGATION)
+_BOOLEAN_OPS = frozenset({"&&", "||"}) | _COMPARISON_OPS
+
+#: Upper bound on simplification passes; each pass shrinks or preserves the
+#: tree so this is simply a defensive cap.
+_MAX_PASSES = 50
+
+
+def simplify(expression: nodes.Expression) -> nodes.Expression:
+    """Simplify ``expression`` to a fixpoint."""
+    for _ in range(_MAX_PASSES):
+        simplified = _simplify_once(expression)
+        if simplified == expression:
+            return simplified
+        expression = simplified
+    return expression
+
+
+def negate(expression: nodes.Expression) -> nodes.Expression:
+    """Logical negation, pushed through comparisons where possible."""
+    return simplify(nodes.UnaryOp("!", expression))
+
+
+def is_boolean_expression(expression: nodes.Expression) -> bool:
+    """Heuristic: does this expression produce a boolean (0/1) value?"""
+    if isinstance(expression, nodes.Constant):
+        return isinstance(expression.value, bool)
+    if isinstance(expression, nodes.BinOp):
+        return expression.op in _BOOLEAN_OPS
+    if isinstance(expression, nodes.UnaryOp):
+        return expression.op == "!"
+    if isinstance(expression, nodes.Call):
+        name = expression.method
+        return name in {"equals", "contains", "startsWith", "endsWith", "hasNext"} or (
+            name.startswith("is") and len(name) > 2
+        )
+    return False
+
+
+# -- internals ------------------------------------------------------------------
+
+
+def _simplify_once(expression: nodes.Expression) -> nodes.Expression:
+    if isinstance(expression, (nodes.Constant, nodes.Var, nodes.SourceEntity)):
+        return expression
+    if isinstance(expression, nodes.Cast):
+        return nodes.Cast(expression.type_name, _simplify_once(expression.operand))
+    if isinstance(expression, nodes.GetField):
+        return nodes.GetField(_simplify_once(expression.receiver), expression.field)
+    if isinstance(expression, nodes.New):
+        return nodes.New(
+            expression.class_name,
+            tuple(_simplify_once(arg) for arg in expression.args),
+        )
+    if isinstance(expression, nodes.Call):
+        receiver = (
+            _simplify_once(expression.receiver)
+            if expression.receiver is not None
+            else None
+        )
+        args = tuple(_simplify_once(arg) for arg in expression.args)
+        # x.equals(y)  ->  x == y
+        if expression.method == "equals" and receiver is not None and len(args) == 1:
+            return nodes.BinOp("==", receiver, args[0])
+        return nodes.Call(receiver, expression.method, args)
+    if isinstance(expression, nodes.UnaryOp):
+        return _simplify_unary(expression)
+    if isinstance(expression, nodes.BinOp):
+        return _simplify_binop(expression)
+    raise TypeError(f"unknown expression node {expression!r}")
+
+
+def _simplify_unary(expression: nodes.UnaryOp) -> nodes.Expression:
+    operand = _simplify_once(expression.operand)
+    if expression.op == "neg":
+        if isinstance(operand, nodes.Constant) and isinstance(
+            operand.value, (int, float)
+        ) and not isinstance(operand.value, bool):
+            return nodes.Constant(-operand.value)
+        return nodes.UnaryOp("neg", operand)
+    # Logical not.
+    if isinstance(operand, nodes.Constant):
+        return nodes.Constant(not _as_bool(operand.value))
+    if (
+        isinstance(operand, nodes.UnaryOp)
+        and operand.op == "!"
+        and is_boolean_expression(operand.operand)
+    ):
+        # Double negation can only be dropped for boolean-valued operands:
+        # !!x normalises an arbitrary int to 0/1, which x itself would not.
+        return operand.operand
+    if isinstance(operand, nodes.BinOp) and operand.op in _COMPARISON_NEGATION:
+        return nodes.BinOp(
+            _COMPARISON_NEGATION[operand.op], operand.left, operand.right
+        )
+    return nodes.UnaryOp("!", operand)
+
+
+def _simplify_binop(expression: nodes.BinOp) -> nodes.Expression:
+    left = _simplify_once(expression.left)
+    right = _simplify_once(expression.right)
+    op = expression.op
+
+    # Constant folding for fully constant operands.
+    if isinstance(left, nodes.Constant) and isinstance(right, nodes.Constant):
+        folded = _fold_constants(op, left.value, right.value)
+        if folded is not None:
+            return folded
+
+    if op in ("&&", "||"):
+        return _simplify_logical(op, left, right)
+
+    if op in ("==", "!="):
+        # Remove the redundant integer comparison introduced by bytecode
+        # branches: (bool-expr) != 0 -> bool-expr, (bool-expr) == 0 -> NOT ...
+        for boolean_side, constant_side in ((left, right), (right, left)):
+            if not isinstance(constant_side, nodes.Constant):
+                continue
+            if not is_boolean_expression(boolean_side):
+                continue
+            constant = constant_side.value
+            if constant in (0, False):
+                if op == "!=":
+                    return boolean_side
+                return _simplify_unary(nodes.UnaryOp("!", boolean_side))
+            if constant in (1, True):
+                if op == "==":
+                    return boolean_side
+                return _simplify_unary(nodes.UnaryOp("!", boolean_side))
+    return nodes.BinOp(op, left, right)
+
+
+def _simplify_logical(
+    op: str, left: nodes.Expression, right: nodes.Expression
+) -> nodes.Expression:
+    """Identities for AND/OR with constant operands.
+
+    Short-circuiting to a constant (``x && false`` -> ``false``) is always
+    sound, but dropping the constant (``true && x`` -> ``x``) is only sound
+    when ``x`` is itself boolean-valued: ``&&`` normalises its result to a
+    boolean, which a bare integer operand would not.
+    """
+    if isinstance(left, nodes.Constant):
+        left_value = _as_bool(left.value)
+        if op == "&&":
+            if not left_value:
+                return nodes.Constant(False)
+            if is_boolean_expression(right):
+                return right
+        else:
+            if left_value:
+                return nodes.Constant(True)
+            if is_boolean_expression(right):
+                return right
+    if isinstance(right, nodes.Constant):
+        right_value = _as_bool(right.value)
+        if op == "&&":
+            if not right_value:
+                return nodes.Constant(False)
+            if is_boolean_expression(left):
+                return left
+        else:
+            if right_value:
+                return nodes.Constant(True)
+            if is_boolean_expression(left):
+                return left
+    return nodes.BinOp(op, left, right)
+
+
+def _fold_constants(
+    op: str, left: object, right: object
+) -> nodes.Expression | None:
+    try:
+        if op == "&&":
+            return nodes.Constant(_as_bool(left) and _as_bool(right))
+        if op == "||":
+            return nodes.Constant(_as_bool(left) or _as_bool(right))
+        if op == "==":
+            return nodes.Constant(left == right)
+        if op == "!=":
+            return nodes.Constant(left != right)
+        if op == "<":
+            return nodes.Constant(left < right)  # type: ignore[operator]
+        if op == "<=":
+            return nodes.Constant(left <= right)  # type: ignore[operator]
+        if op == ">":
+            return nodes.Constant(left > right)  # type: ignore[operator]
+        if op == ">=":
+            return nodes.Constant(left >= right)  # type: ignore[operator]
+        if op == "+":
+            return nodes.Constant(left + right)  # type: ignore[operator]
+        if op == "-":
+            return nodes.Constant(left - right)  # type: ignore[operator]
+        if op == "*":
+            return nodes.Constant(left * right)  # type: ignore[operator]
+        if op == "/":
+            if right == 0:
+                return None
+            if isinstance(left, int) and isinstance(right, int):
+                quotient = abs(left) // abs(right)
+                return nodes.Constant(
+                    quotient if (left >= 0) == (right >= 0) else -quotient
+                )
+            return nodes.Constant(left / right)  # type: ignore[operator]
+        if op == "%":
+            if right == 0:
+                return None
+            return nodes.Constant(left % right)  # type: ignore[operator]
+    except TypeError:
+        return None
+    return None
+
+
+def _as_bool(value: object) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    return bool(value)

@@ -1,0 +1,240 @@
+"""Backward symbolic substitution over loop paths (the paper's Table 2).
+
+For each path the analysis determines "what the values of local variables
+need to be for the path to be followed": every conditional branch contributes
+a constraint (the branch condition or its negation), the constraints are
+ANDed together, and then the instructions of the path are walked backward,
+substituting right-hand sides for assigned variables, until the expression is
+phrased purely in terms of constants, outside variables and entries from the
+source collection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.analysis.foreach import ForEachQuery
+from repro.core.analysis.paths import LoopPath
+from repro.core.analysis.simplify import simplify
+from repro.core.expr import nodes
+from repro.core.expr.printer import to_text
+from repro.core.tac.instructions import Assign, ExprStatement, IfGoto
+from repro.core.tac.method import TacMethod
+from repro.errors import UnsupportedQueryError
+
+
+@dataclass
+class PathAnalysis:
+    """The result of analysing one path.
+
+    ``condition`` describes when the path executes; ``value`` is the
+    expression added to the destination collection; ``add_method`` is either
+    ``add`` or ``addAll``.  ``trace`` records the intermediate expressions of
+    the backward walk (Table 2 of the paper) for documentation benchmarks.
+    """
+
+    condition: nodes.Expression
+    value: nodes.Expression
+    add_method: str
+    trace: list[str] = field(default_factory=list)
+
+
+@dataclass
+class _Tracked:
+    """An expression being rewritten, tagged with the path position at which
+    it was introduced (substitution only applies to instructions that come
+    before that position)."""
+
+    position: int
+    expression: nodes.Expression
+    role: str  # "constraint" or "value"
+
+
+def analyze_path(
+    method: TacMethod,
+    query: ForEachQuery,
+    path: LoopPath,
+    record_trace: bool = False,
+) -> PathAnalysis:
+    """Run backward substitution over ``path`` and simplify the results."""
+    instructions = method.instructions
+    indexes = path.instruction_indexes
+
+    tracked: list[_Tracked] = []
+
+    # 1. Constraints from every conditional branch along the path.
+    for position, index in enumerate(indexes):
+        instruction = instructions[index]
+        if isinstance(instruction, IfGoto) and position in path.branch_decisions:
+            condition = instruction.condition
+            if not path.branch_decisions[position]:
+                condition = nodes.UnaryOp("!", condition)
+            tracked.append(
+                _Tracked(position=position, expression=condition, role="constraint")
+            )
+
+    # 2. The value being added to the destination collection.
+    add_instruction = instructions[indexes[-1]]
+    if not isinstance(add_instruction, ExprStatement) or not isinstance(
+        add_instruction.value, nodes.Call
+    ):
+        raise UnsupportedQueryError("path does not end in an add to the destination")
+    add_call = add_instruction.value
+    if len(add_call.args) != 1:
+        raise UnsupportedQueryError("add()/addAll() must take exactly one argument")
+    tracked.append(
+        _Tracked(position=len(indexes) - 1, expression=add_call.args[0], role="value")
+    )
+
+    trace: list[str] = []
+    if record_trace:
+        trace.append("Initial: " + _render_state(tracked))
+
+    # 3. Backward walk, substituting assignments into younger expressions.
+    for position in range(len(indexes) - 1, -1, -1):
+        instruction = instructions[indexes[position]]
+        if not isinstance(instruction, Assign):
+            continue
+        replacements = {instruction.target: instruction.value}
+        changed = False
+        for item in tracked:
+            if item.position > position:
+                new_expression = nodes.substitute(item.expression, replacements)
+                if new_expression is not item.expression:
+                    item.expression = new_expression
+                    changed = True
+        if record_trace and changed:
+            trace.append(
+                f"{indexes[position]:3d}: {instruction.target} = "
+                f"{to_text(instruction.value)}  =>  {_render_state(tracked)}"
+            )
+
+    # 4. Replace iterator.next() with the source-collection entry and drop
+    #    hasNext() constraints (they express iteration, not selection).
+    source_entity = nodes.SourceEntity(query.source_expression)
+    condition_parts: list[nodes.Expression] = []
+    value_expression: nodes.Expression | None = None
+    for item in tracked:
+        expression = _replace_iterator_next(
+            item.expression, query.iterator_var, source_entity
+        )
+        if item.role == "constraint":
+            if _mentions_has_next(expression):
+                continue
+            condition_parts.append(expression)
+        else:
+            value_expression = expression
+
+    assert value_expression is not None
+    condition: nodes.Expression = nodes.Constant(True)
+    for part in condition_parts:
+        condition = (
+            part
+            if isinstance(condition, nodes.Constant) and condition.value is True
+            else nodes.BinOp("&&", condition, part)
+        )
+
+    simplified_condition = simplify(condition)
+    simplified_value = simplify(value_expression)
+    if record_trace:
+        trace.append("Simplification: " + to_text(simplified_condition))
+
+    _check_resolved(method, query, simplified_condition)
+    _check_resolved(method, query, simplified_value)
+
+    return PathAnalysis(
+        condition=simplified_condition,
+        value=simplified_value,
+        add_method=add_call.method,
+        trace=trace,
+    )
+
+
+# -- helpers -------------------------------------------------------------------
+
+
+def _render_state(tracked: list[_Tracked]) -> str:
+    constraints = [to_text(item.expression) for item in tracked if item.role == "constraint"]
+    return " AND ".join(constraints) if constraints else "true"
+
+
+def _replace_iterator_next(
+    expression: nodes.Expression, iterator_var: str, replacement: nodes.Expression
+) -> nodes.Expression:
+    """Rewrite ``it.next()`` into the source-entity marker, recursively."""
+    if isinstance(expression, nodes.Call):
+        if (
+            expression.method == "next"
+            and isinstance(expression.receiver, nodes.Var)
+            and expression.receiver.name == iterator_var
+        ):
+            return replacement
+        receiver = (
+            _replace_iterator_next(expression.receiver, iterator_var, replacement)
+            if expression.receiver is not None
+            else None
+        )
+        args = tuple(
+            _replace_iterator_next(arg, iterator_var, replacement)
+            for arg in expression.args
+        )
+        return nodes.Call(receiver, expression.method, args)
+    if isinstance(expression, nodes.BinOp):
+        return nodes.BinOp(
+            expression.op,
+            _replace_iterator_next(expression.left, iterator_var, replacement),
+            _replace_iterator_next(expression.right, iterator_var, replacement),
+        )
+    if isinstance(expression, nodes.UnaryOp):
+        return nodes.UnaryOp(
+            expression.op,
+            _replace_iterator_next(expression.operand, iterator_var, replacement),
+        )
+    if isinstance(expression, nodes.Cast):
+        return nodes.Cast(
+            expression.type_name,
+            _replace_iterator_next(expression.operand, iterator_var, replacement),
+        )
+    if isinstance(expression, nodes.GetField):
+        return nodes.GetField(
+            _replace_iterator_next(expression.receiver, iterator_var, replacement),
+            expression.field,
+        )
+    if isinstance(expression, nodes.New):
+        return nodes.New(
+            expression.class_name,
+            tuple(
+                _replace_iterator_next(arg, iterator_var, replacement)
+                for arg in expression.args
+            ),
+        )
+    return expression
+
+
+def _mentions_has_next(expression: nodes.Expression) -> bool:
+    if isinstance(expression, nodes.Call) and expression.method == "hasNext":
+        return True
+    for child in nodes.children(expression):
+        if _mentions_has_next(child):
+            return True
+    return False
+
+
+def _check_resolved(
+    method: TacMethod, query: ForEachQuery, expression: nodes.Expression
+) -> None:
+    """After substitution the expression may only reference outside variables
+    (method parameters or locals defined before the loop); anything else means
+    the path analysis failed to eliminate an intermediate."""
+    loop_defined = {
+        method.instructions[index].target  # type: ignore[union-attr]
+        for index in query.loop.instructions
+        if isinstance(method.instructions[index], Assign)
+    }
+    remaining = nodes.expression_variables(expression) & loop_defined
+    remaining -= {query.iterator_var}
+    if remaining:
+        raise UnsupportedQueryError(
+            "path analysis could not eliminate loop-local variables: "
+            + ", ".join(sorted(remaining))
+        )

@@ -1,0 +1,18 @@
+"""Control-flow analysis: basic blocks, dominators and loop detection."""
+
+from __future__ import annotations
+
+from repro.core.cfg.graph import BasicBlock, ControlFlowGraph, build_cfg
+from repro.core.cfg.dominators import compute_dominators, immediate_dominators
+from repro.core.cfg.loops import Loop, find_loops, strongly_connected_components
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "Loop",
+    "build_cfg",
+    "compute_dominators",
+    "find_loops",
+    "immediate_dominators",
+    "strongly_connected_components",
+]

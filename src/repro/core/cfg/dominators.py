@@ -1,0 +1,91 @@
+"""Dominator computation over a control-flow graph.
+
+The loop detector uses dominators to confirm that a strongly connected
+component has a single entry point (its header dominates every block in the
+component).  The implementation is the standard iterative data-flow
+algorithm, which is more than fast enough for query-sized methods.
+"""
+
+from __future__ import annotations
+
+from repro.core.cfg.graph import ControlFlowGraph
+
+
+def compute_dominators(cfg: ControlFlowGraph) -> dict[int, set[int]]:
+    """Map each block id to the set of block ids dominating it.
+
+    Unreachable blocks are reported as dominated by every block (the standard
+    lattice top), which keeps them out of any detected loop.
+    """
+    all_blocks = {block.block_id for block in cfg.blocks}
+    if not all_blocks:
+        return {}
+    dominators: dict[int, set[int]] = {
+        block_id: set(all_blocks) for block_id in all_blocks
+    }
+    dominators[cfg.entry] = {cfg.entry}
+
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg.blocks:
+            block_id = block.block_id
+            if block_id == cfg.entry:
+                continue
+            predecessors = cfg.predecessors(block_id)
+            if predecessors:
+                new_set = set(all_blocks)
+                for predecessor in predecessors:
+                    new_set &= dominators[predecessor]
+            else:
+                new_set = set(all_blocks)
+            new_set = new_set | {block_id}
+            if new_set != dominators[block_id]:
+                dominators[block_id] = new_set
+                changed = True
+    return dominators
+
+
+def immediate_dominators(cfg: ControlFlowGraph) -> dict[int, int | None]:
+    """Map each block to its immediate dominator (None for the entry and for
+    unreachable blocks)."""
+    dominators = compute_dominators(cfg)
+    reachable = _reachable_blocks(cfg)
+    result: dict[int, int | None] = {}
+    for block in cfg.blocks:
+        block_id = block.block_id
+        if block_id == cfg.entry or block_id not in reachable:
+            result[block_id] = None
+            continue
+        strict = dominators[block_id] - {block_id}
+        # The immediate dominator is the strict dominator dominated by every
+        # other strict dominator.
+        idom: int | None = None
+        for candidate in strict:
+            if all(
+                candidate == other or candidate in dominators[other]
+                for other in strict
+            ):
+                idom = candidate
+                break
+        result[block_id] = idom
+    return result
+
+
+def dominates(
+    dominators: dict[int, set[int]], dominator: int, dominated: int
+) -> bool:
+    """True if ``dominator`` dominates ``dominated``."""
+    return dominator in dominators.get(dominated, set())
+
+
+def _reachable_blocks(cfg: ControlFlowGraph) -> set[int]:
+    seen: set[int] = set()
+    stack = [cfg.entry] if cfg.blocks else []
+    while stack:
+        block_id = stack.pop()
+        if block_id in seen:
+            continue
+        seen.add(block_id)
+        stack.extend(cfg.successors(block_id))
+    return seen

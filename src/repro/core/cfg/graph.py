@@ -1,0 +1,136 @@
+"""Basic blocks and control-flow graph construction over three-address code.
+
+Compiled bytecode expresses all control flow with GOTOs; the paper's analysis
+"analyzes the control flow graph as a whole and restructures it to make use
+of loops".  The first step is building that graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.tac.instructions import (
+    Goto,
+    IfGoto,
+    Instruction,
+    Return,
+    branch_targets,
+    falls_through,
+)
+from repro.core.tac.method import TacMethod
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line sequence of instructions.
+
+    ``start`` is inclusive, ``end`` exclusive (instruction indexes in the
+    owning method).  Successors/predecessors are block ids.
+    """
+
+    block_id: int
+    start: int
+    end: int
+    successors: list[int] = field(default_factory=list)
+    predecessors: list[int] = field(default_factory=list)
+
+    @property
+    def instruction_range(self) -> range:
+        """Indexes of the instructions belonging to this block."""
+        return range(self.start, self.end)
+
+    def __contains__(self, instruction_index: int) -> bool:
+        return self.start <= instruction_index < self.end
+
+
+@dataclass
+class ControlFlowGraph:
+    """The CFG of one method: blocks plus entry block id."""
+
+    method: TacMethod
+    blocks: list[BasicBlock]
+    entry: int
+
+    def block_of_instruction(self, instruction_index: int) -> BasicBlock:
+        """The block containing an instruction index."""
+        for block in self.blocks:
+            if instruction_index in block:
+                return block
+        raise KeyError(f"no block contains instruction {instruction_index}")
+
+    def block(self, block_id: int) -> BasicBlock:
+        """Block by id."""
+        return self.blocks[block_id]
+
+    def successors(self, block_id: int) -> list[int]:
+        """Successor block ids."""
+        return self.blocks[block_id].successors
+
+    def predecessors(self, block_id: int) -> list[int]:
+        """Predecessor block ids."""
+        return self.blocks[block_id].predecessors
+
+    def instruction_successors(self, instruction_index: int) -> list[int]:
+        """Instruction-level successor indexes (used for path enumeration)."""
+        instructions = self.method.instructions
+        instruction = instructions[instruction_index]
+        successors: list[int] = []
+        if falls_through(instruction) and instruction_index + 1 < len(instructions):
+            successors.append(instruction_index + 1)
+        successors.extend(branch_targets(instruction))
+        return successors
+
+    def to_dot(self) -> str:
+        """Graphviz rendering (debugging aid)."""
+        lines = ["digraph cfg {"]
+        for block in self.blocks:
+            label = f"B{block.block_id} [{block.start},{block.end})"
+            lines.append(f'  b{block.block_id} [label="{label}"];')
+            for successor in block.successors:
+                lines.append(f"  b{block.block_id} -> b{successor};")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def build_cfg(method: TacMethod) -> ControlFlowGraph:
+    """Split a method into basic blocks and connect them."""
+    instructions = method.instructions
+    if not instructions:
+        return ControlFlowGraph(method=method, blocks=[], entry=0)
+
+    leaders = {0}
+    for index, instruction in enumerate(instructions):
+        targets = branch_targets(instruction)
+        for target in targets:
+            leaders.add(target)
+        if isinstance(instruction, (IfGoto, Goto, Return)) and index + 1 < len(
+            instructions
+        ):
+            leaders.add(index + 1)
+
+    ordered_leaders = sorted(leaders)
+    blocks: list[BasicBlock] = []
+    for position, start in enumerate(ordered_leaders):
+        end = (
+            ordered_leaders[position + 1]
+            if position + 1 < len(ordered_leaders)
+            else len(instructions)
+        )
+        blocks.append(BasicBlock(block_id=position, start=start, end=end))
+
+    start_to_block = {block.start: block.block_id for block in blocks}
+
+    for block in blocks:
+        last = instructions[block.end - 1]
+        successor_starts: list[int] = []
+        if falls_through(last) and block.end < len(instructions):
+            successor_starts.append(block.end)
+        successor_starts.extend(branch_targets(last))
+        for start in successor_starts:
+            successor_id = start_to_block[start]
+            if successor_id not in block.successors:
+                block.successors.append(successor_id)
+            if block.block_id not in blocks[successor_id].predecessors:
+                blocks[successor_id].predecessors.append(block.block_id)
+
+    return ControlFlowGraph(method=method, blocks=blocks, entry=0)

@@ -1,0 +1,166 @@
+"""Loop detection.
+
+Following the paper (Section 4): *"Loops are defined as being strongly
+connected components in the control flow graph that have a single entry
+point.  Queryll further restricts its definition of loops to require that all
+exits from the strongly connected component exit to the same instruction."*
+
+The strongly connected components are found with Tarjan's algorithm
+(implemented here rather than taken from a library so the whole analysis is
+self-contained); loops additionally record their single entry block (header)
+and the single exit instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cfg.graph import ControlFlowGraph
+
+
+@dataclass
+class Loop:
+    """A detected loop.
+
+    ``header`` is the single entry block; ``blocks`` the block ids in the
+    strongly connected component; ``exit_instruction`` the single instruction
+    index that every exit edge targets; ``instructions`` all instruction
+    indexes belonging to the loop.
+    """
+
+    header: int
+    blocks: set[int]
+    exit_instruction: int
+    instructions: set[int] = field(default_factory=set)
+
+    def contains_instruction(self, index: int) -> bool:
+        """True if the instruction index belongs to the loop body."""
+        return index in self.instructions
+
+
+def strongly_connected_components(
+    nodes: list[int], successors: dict[int, list[int]]
+) -> list[set[int]]:
+    """Tarjan's strongly-connected-components algorithm (iterative).
+
+    Returns components in reverse topological order; singleton components are
+    included (callers filter out those without self-edges when hunting for
+    loops).
+    """
+    index_counter = 0
+    indexes: dict[int, int] = {}
+    lowlinks: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    components: list[set[int]] = []
+
+    for root in nodes:
+        if root in indexes:
+            continue
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            node, child_position = work[-1]
+            if child_position == 0:
+                indexes[node] = index_counter
+                lowlinks[node] = index_counter
+                index_counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = successors.get(node, [])
+            while child_position < len(children):
+                child = children[child_position]
+                child_position += 1
+                if child not in indexes:
+                    work[-1] = (node, child_position)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlinks[node] = min(lowlinks[node], indexes[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+            if lowlinks[node] == indexes[node]:
+                component: set[int] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def find_loops(cfg: ControlFlowGraph) -> list[Loop]:
+    """Find every loop satisfying the paper's definition.
+
+    A strongly connected component qualifies when:
+
+    * it contains at least one edge that stays inside the component (so a
+      lone block only counts if it branches to itself),
+    * exactly one block in the component has predecessors outside it (the
+      single entry point / header), and
+    * every edge leaving the component targets the same instruction (the
+      single exit instruction).
+    """
+    nodes = [block.block_id for block in cfg.blocks]
+    successors = {block.block_id: list(block.successors) for block in cfg.blocks}
+    components = strongly_connected_components(nodes, successors)
+
+    loops: list[Loop] = []
+    for component in components:
+        if not _has_internal_edge(component, successors):
+            continue
+        headers = _entry_blocks(cfg, component)
+        if len(headers) != 1:
+            continue
+        exit_instructions = _exit_instructions(cfg, component)
+        if len(exit_instructions) != 1:
+            continue
+        header = next(iter(headers))
+        instructions: set[int] = set()
+        for block_id in component:
+            instructions.update(cfg.block(block_id).instruction_range)
+        loops.append(
+            Loop(
+                header=header,
+                blocks=set(component),
+                exit_instruction=next(iter(exit_instructions)),
+                instructions=instructions,
+            )
+        )
+    # Order loops by position of their header so callers see source order.
+    loops.sort(key=lambda loop: cfg.block(loop.header).start)
+    return loops
+
+
+def _has_internal_edge(component: set[int], successors: dict[int, list[int]]) -> bool:
+    if len(component) > 1:
+        return True
+    only = next(iter(component))
+    return only in successors.get(only, [])
+
+
+def _entry_blocks(cfg: ControlFlowGraph, component: set[int]) -> set[int]:
+    entries: set[int] = set()
+    for block_id in component:
+        for predecessor in cfg.predecessors(block_id):
+            if predecessor not in component:
+                entries.add(block_id)
+    if not entries and cfg.entry in component:
+        entries.add(cfg.entry)
+    return entries
+
+
+def _exit_instructions(cfg: ControlFlowGraph, component: set[int]) -> set[int]:
+    exits: set[int] = set()
+    for block_id in component:
+        for successor in cfg.successors(block_id):
+            if successor not in component:
+                exits.add(cfg.block(successor).start)
+    return exits

@@ -1,0 +1,37 @@
+"""Symbolic expression trees used by the Queryll analysis."""
+
+from __future__ import annotations
+
+from repro.core.expr.nodes import (
+    BinOp,
+    Call,
+    Cast,
+    Constant,
+    Expression,
+    GetField,
+    New,
+    SourceEntity,
+    UnaryOp,
+    Var,
+    expression_variables,
+    substitute,
+)
+from repro.core.expr.evaluator import evaluate
+from repro.core.expr.printer import to_text
+
+__all__ = [
+    "BinOp",
+    "Call",
+    "Cast",
+    "Constant",
+    "Expression",
+    "GetField",
+    "New",
+    "SourceEntity",
+    "UnaryOp",
+    "Var",
+    "evaluate",
+    "expression_variables",
+    "substitute",
+    "to_text",
+]

@@ -1,0 +1,118 @@
+"""Concrete evaluation of symbolic expressions.
+
+Used by tests (especially property-based ones) to check that transformations
+such as :mod:`repro.core.analysis.simplify` preserve meaning: an expression
+and its simplified form must evaluate identically under every environment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.core.expr import nodes
+from repro.errors import ReproError
+
+
+class EvaluationError(ReproError):
+    """The expression could not be evaluated under the given environment."""
+
+
+#: Type of an optional hook used to evaluate Call/GetField/New nodes.
+CallHandler = Callable[[nodes.Expression, Mapping[str, object]], object]
+
+
+def evaluate(
+    expression: nodes.Expression,
+    env: Mapping[str, object],
+    call_handler: CallHandler | None = None,
+) -> object:
+    """Evaluate ``expression`` with variable values drawn from ``env``.
+
+    ``call_handler`` is invoked for :class:`~repro.core.expr.nodes.Call`,
+    :class:`~repro.core.expr.nodes.GetField`, :class:`~repro.core.expr.nodes.New`
+    and :class:`~repro.core.expr.nodes.SourceEntity` nodes; without one, those
+    nodes raise :class:`EvaluationError`.
+    """
+    if isinstance(expression, nodes.Constant):
+        return expression.value
+    if isinstance(expression, nodes.Var):
+        if expression.name not in env:
+            raise EvaluationError(f"unbound variable {expression.name!r}")
+        return env[expression.name]
+    if isinstance(expression, nodes.Cast):
+        return evaluate(expression.operand, env, call_handler)
+    if isinstance(expression, nodes.UnaryOp):
+        value = evaluate(expression.operand, env, call_handler)
+        if expression.op == "!":
+            return not _truthy(value)
+        if expression.op == "neg":
+            return -value  # type: ignore[operator]
+        raise EvaluationError(f"unknown unary operator {expression.op!r}")
+    if isinstance(expression, nodes.BinOp):
+        return _evaluate_binop(expression, env, call_handler)
+    if call_handler is not None and isinstance(
+        expression, (nodes.Call, nodes.GetField, nodes.New, nodes.SourceEntity)
+    ):
+        return call_handler(expression, env)
+    raise EvaluationError(f"cannot evaluate {expression!r}")
+
+
+def _evaluate_binop(
+    expression: nodes.BinOp,
+    env: Mapping[str, object],
+    call_handler: CallHandler | None,
+) -> object:
+    op = expression.op
+    if op == "&&":
+        return _truthy(evaluate(expression.left, env, call_handler)) and _truthy(
+            evaluate(expression.right, env, call_handler)
+        )
+    if op == "||":
+        return _truthy(evaluate(expression.left, env, call_handler)) or _truthy(
+            evaluate(expression.right, env, call_handler)
+        )
+    left = evaluate(expression.left, env, call_handler)
+    right = evaluate(expression.right, env, call_handler)
+    if op == "+":
+        return left + right  # type: ignore[operator]
+    if op == "-":
+        return left - right  # type: ignore[operator]
+    if op == "*":
+        return left * right  # type: ignore[operator]
+    if op == "/":
+        if right == 0:
+            raise EvaluationError("division by zero")
+        if isinstance(left, int) and isinstance(right, int):
+            # Java-style integer division truncates toward zero.
+            quotient = abs(left) // abs(right)
+            return quotient if (left >= 0) == (right >= 0) else -quotient
+        return left / right  # type: ignore[operator]
+    if op == "%":
+        if right == 0:
+            raise EvaluationError("modulo by zero")
+        return left % right  # type: ignore[operator]
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    try:
+        if op == "<":
+            return left < right  # type: ignore[operator]
+        if op == "<=":
+            return left <= right  # type: ignore[operator]
+        if op == ">":
+            return left > right  # type: ignore[operator]
+        if op == ">=":
+            return left >= right  # type: ignore[operator]
+    except TypeError as exc:
+        raise EvaluationError(str(exc)) from exc
+    raise EvaluationError(f"unknown binary operator {op!r}")
+
+
+def _truthy(value: object) -> bool:
+    """Java-style truthiness: integers are booleans (0 = false)."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    return bool(value)

@@ -1,0 +1,213 @@
+"""Symbolic expression nodes.
+
+These trees serve two purposes in the pipeline:
+
+* they are the right-hand sides of three-address instructions (restricted to
+  depth one: operands are :class:`Var` or :class:`Constant`), and
+* they are the result of backward symbolic substitution over a path, where
+  arbitrary nesting appears (Table 2 of the paper).
+
+All nodes are immutable; :func:`substitute` builds new trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Union
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A literal constant (int, float, str, bool or None)."""
+
+    value: Union[int, float, str, bool, None]
+
+
+@dataclass(frozen=True)
+class Var:
+    """A reference to a local variable or method parameter by name."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """Binary operation.
+
+    ``op`` is one of ``+ - * / % == != < <= > >= && ||``.
+    """
+
+    op: str
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """Unary operation: ``!`` (logical not) or ``neg`` (arithmetic negate)."""
+
+    op: str
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class Cast:
+    """A checked cast ``(TypeName) expr`` — Java bytecode inserts these when
+    reading elements out of untyped collections (instruction 5 in Fig. 11)."""
+
+    type_name: str
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class Call:
+    """A method call ``receiver.method(args...)``.
+
+    ``receiver`` is None for static calls.  The analysis stays agnostic about
+    what calls mean; the query-tree builder interprets getters, ``equals``,
+    relationship navigation and collection operations.
+    """
+
+    receiver: Optional["Expression"]
+    method: str
+    args: tuple["Expression", ...] = ()
+
+
+@dataclass(frozen=True)
+class GetField:
+    """Direct field access ``receiver.field`` (the Python frontend produces
+    these for attribute reads; the Java-style frontend produces getter
+    :class:`Call` nodes instead)."""
+
+    receiver: "Expression"
+    field: str
+
+
+@dataclass(frozen=True)
+class New:
+    """Object construction ``new ClassName(args...)`` — used for ``Pair``."""
+
+    class_name: str
+    args: tuple["Expression", ...] = ()
+
+
+@dataclass(frozen=True)
+class SourceEntity:
+    """The paper's ``(Office)entry``: an element drawn from a source
+    collection.  ``collection`` is the expression that produced the
+    collection being iterated (e.g. ``em.allOffice()``), and ``ordinal``
+    distinguishes multiple iterated collections in nested loops."""
+
+    collection: "Expression"
+    ordinal: int = 0
+
+
+Expression = Union[
+    Constant, Var, BinOp, UnaryOp, Cast, Call, GetField, New, SourceEntity
+]
+
+
+def substitute(
+    expression: Expression, replacements: Mapping[str, Expression]
+) -> Expression:
+    """Replace every :class:`Var` whose name appears in ``replacements``.
+
+    This is the core operation of the paper's backward substitution step: a
+    three-address instruction ``x = <rvalue>`` is applied to the running path
+    expression by substituting ``<rvalue>`` for ``x``.
+    """
+    if isinstance(expression, Var):
+        return replacements.get(expression.name, expression)
+    if isinstance(expression, Constant):
+        return expression
+    if isinstance(expression, BinOp):
+        left = substitute(expression.left, replacements)
+        right = substitute(expression.right, replacements)
+        if left is expression.left and right is expression.right:
+            return expression
+        return BinOp(expression.op, left, right)
+    if isinstance(expression, UnaryOp):
+        operand = substitute(expression.operand, replacements)
+        if operand is expression.operand:
+            return expression
+        return UnaryOp(expression.op, operand)
+    if isinstance(expression, Cast):
+        operand = substitute(expression.operand, replacements)
+        if operand is expression.operand:
+            return expression
+        return Cast(expression.type_name, operand)
+    if isinstance(expression, Call):
+        receiver = (
+            substitute(expression.receiver, replacements)
+            if expression.receiver is not None
+            else None
+        )
+        args = tuple(substitute(arg, replacements) for arg in expression.args)
+        if receiver is expression.receiver and all(
+            new is old for new, old in zip(args, expression.args)
+        ):
+            return expression
+        return Call(receiver, expression.method, args)
+    if isinstance(expression, GetField):
+        receiver = substitute(expression.receiver, replacements)
+        if receiver is expression.receiver:
+            return expression
+        return GetField(receiver, expression.field)
+    if isinstance(expression, New):
+        args = tuple(substitute(arg, replacements) for arg in expression.args)
+        return New(expression.class_name, args)
+    if isinstance(expression, SourceEntity):
+        collection = substitute(expression.collection, replacements)
+        if collection is expression.collection:
+            return expression
+        return SourceEntity(collection, expression.ordinal)
+    raise TypeError(f"unknown expression node {expression!r}")
+
+
+def expression_variables(expression: Expression) -> set[str]:
+    """Names of every :class:`Var` appearing in the expression."""
+    names: set[str] = set()
+
+    def walk(node: Expression) -> None:
+        if isinstance(node, Var):
+            names.add(node.name)
+        elif isinstance(node, BinOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, (UnaryOp, Cast)):
+            walk(node.operand)
+        elif isinstance(node, Call):
+            if node.receiver is not None:
+                walk(node.receiver)
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, GetField):
+            walk(node.receiver)
+        elif isinstance(node, New):
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, SourceEntity):
+            walk(node.collection)
+
+    walk(expression)
+    return names
+
+
+def children(expression: Expression) -> tuple[Expression, ...]:
+    """Immediate sub-expressions of a node (empty for leaves)."""
+    if isinstance(expression, (Constant, Var)):
+        return ()
+    if isinstance(expression, BinOp):
+        return (expression.left, expression.right)
+    if isinstance(expression, (UnaryOp, Cast)):
+        return (expression.operand,)
+    if isinstance(expression, Call):
+        receiver = (expression.receiver,) if expression.receiver is not None else ()
+        return receiver + expression.args
+    if isinstance(expression, GetField):
+        return (expression.receiver,)
+    if isinstance(expression, New):
+        return expression.args
+    if isinstance(expression, SourceEntity):
+        return (expression.collection,)
+    raise TypeError(f"unknown expression node {expression!r}")

@@ -1,0 +1,69 @@
+"""Textual rendering of symbolic expressions.
+
+The output format deliberately follows the paper's Table 2 style, e.g.::
+
+    (((Office)entry).Name = "Seattle") = 0 AND (((Office)entry).Name = "LA") != 0
+
+so that the Table 2 reproduction benchmark can print recognisable traces.
+"""
+
+from __future__ import annotations
+
+from repro.core.expr import nodes
+
+_OP_TEXT = {
+    "==": "=",
+    "!=": "!=",
+    "&&": "AND",
+    "||": "OR",
+}
+
+
+def to_text(expression: nodes.Expression) -> str:
+    """Render an expression as human-readable text."""
+    if isinstance(expression, nodes.Constant):
+        value = expression.value
+        if isinstance(value, str):
+            return f'"{value}"'
+        if value is None:
+            return "null"
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        return repr(value)
+    if isinstance(expression, nodes.Var):
+        return expression.name
+    if isinstance(expression, nodes.Cast):
+        return f"(({expression.type_name}){to_text(expression.operand)})"
+    if isinstance(expression, nodes.UnaryOp):
+        if expression.op == "!":
+            return f"NOT ({to_text(expression.operand)})"
+        return f"-({to_text(expression.operand)})"
+    if isinstance(expression, nodes.BinOp):
+        op = _OP_TEXT.get(expression.op, expression.op)
+        left = to_text(expression.left)
+        right = to_text(expression.right)
+        if expression.op in ("&&", "||"):
+            return f"{left} {op} {right}"
+        return f"({left} {op} {right})"
+    if isinstance(expression, nodes.Call):
+        args = ", ".join(to_text(arg) for arg in expression.args)
+        if expression.receiver is None:
+            return f"{expression.method}({args})"
+        # Render getter calls in the paper's field style: x.getName() -> x.Name
+        if (
+            expression.method.startswith("get")
+            and len(expression.method) > 3
+            and not expression.args
+        ):
+            return f"{to_text(expression.receiver)}.{expression.method[3:]}"
+        if expression.method == "equals" and len(expression.args) == 1:
+            return f"({to_text(expression.receiver)} = {args})"
+        return f"{to_text(expression.receiver)}.{expression.method}({args})"
+    if isinstance(expression, nodes.GetField):
+        return f"{to_text(expression.receiver)}.{expression.field}"
+    if isinstance(expression, nodes.New):
+        args = ", ".join(to_text(arg) for arg in expression.args)
+        return f"new {expression.class_name}({args})"
+    if isinstance(expression, nodes.SourceEntity):
+        return "entry" if expression.ordinal == 0 else f"entry{expression.ordinal}"
+    raise TypeError(f"unknown expression node {expression!r}")

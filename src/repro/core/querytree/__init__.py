@@ -1,0 +1,35 @@
+"""Relational query trees built from analysed query loops."""
+
+from __future__ import annotations
+
+from repro.core.querytree.nodes import (
+    ColumnOutput,
+    EntityBinding,
+    EntityOutput,
+    Output,
+    PairOutput,
+    QueryTree,
+    SqlBinary,
+    SqlColumn,
+    SqlExpr,
+    SqlLiteral,
+    SqlNot,
+    SqlParam,
+)
+from repro.core.querytree.builder import QueryTreeBuilder
+
+__all__ = [
+    "ColumnOutput",
+    "EntityBinding",
+    "EntityOutput",
+    "Output",
+    "PairOutput",
+    "QueryTree",
+    "QueryTreeBuilder",
+    "SqlBinary",
+    "SqlColumn",
+    "SqlExpr",
+    "SqlLiteral",
+    "SqlNot",
+    "SqlParam",
+]

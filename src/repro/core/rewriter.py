@@ -1,0 +1,231 @@
+"""TAC-level rewriting: replace analysed query loops with runtime calls.
+
+The paper's rewriter acts "like a type of code optimization in which whole
+algorithms are replaced with more efficient substitutes": the for-each loop
+disappears and in its place the method calls the Queryll runtime with the
+generated SQL.  This module performs that replacement on the three-address
+form of a method; frontends then re-emit bytecode from the result
+(:mod:`repro.jvm.tac_to_bytecode`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.expr import nodes
+from repro.core.pipeline import RewrittenQuery
+from repro.core.sqlgen.generator import GeneratedSql
+from repro.core.tac.instructions import (
+    Assign,
+    ExprStatement,
+    Goto,
+    IfGoto,
+    Instruction,
+    Nop,
+)
+from repro.core.tac.method import TacMethod, instruction_expressions
+from repro.errors import RewriteError
+
+#: Name of the runtime entry point invoked by rewritten bytecode.
+RUNTIME_METHOD = "queryllExecuteQuery"
+
+
+class QueryRegistry:
+    """Registry of generated queries referenced by rewritten bytecode.
+
+    Rewritten bytecode embeds the SQL text (for inspection) and a registry
+    key; at run time the key is used to retrieve the full
+    :class:`~repro.core.sqlgen.generator.GeneratedSql` (SQL + parameter
+    sources + result-shape plan).
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[int, GeneratedSql] = {}
+        self._ids = itertools.count(1)
+
+    def register(self, generated: GeneratedSql) -> int:
+        """Register a generated query and return its key."""
+        key = next(self._ids)
+        self._entries[key] = generated
+        return key
+
+    def lookup(self, key: int) -> GeneratedSql:
+        """Retrieve a generated query by key."""
+        if key not in self._entries:
+            raise RewriteError(f"no generated query registered under key {key}")
+        return self._entries[key]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Registry used by default when none is supplied explicitly.
+DEFAULT_REGISTRY = QueryRegistry()
+
+
+@dataclass
+class SpliceResult:
+    """Result of rewriting a method's TAC."""
+
+    method: TacMethod
+    replaced: list[RewrittenQuery] = field(default_factory=list)
+    skipped: list[tuple[RewrittenQuery, str]] = field(default_factory=list)
+
+
+def splice_rewritten_queries(
+    method: TacMethod,
+    rewritten: list[RewrittenQuery],
+    registry: Optional[QueryRegistry] = None,
+) -> SpliceResult:
+    """Replace each query loop of ``method`` with a Queryll runtime call.
+
+    The original method is not modified; a new :class:`TacMethod` is
+    returned.  Queries whose loop is not contiguous or whose source
+    collection cannot be re-evaluated safely are skipped (left as the
+    original, still-correct loop).
+    """
+    registry = registry if registry is not None else DEFAULT_REGISTRY
+    instructions: list[Instruction] = [
+        _copy_instruction(instruction) for instruction in method.instructions
+    ]
+    result = SpliceResult(
+        method=TacMethod(
+            name=method.name,
+            parameters=list(method.parameters),
+            instructions=instructions,
+            source_name=method.source_name,
+        )
+    )
+
+    # Rewrite later loops first so earlier indexes stay valid.
+    ordered = sorted(
+        rewritten, key=lambda query: min(query.query.loop.instructions), reverse=True
+    )
+    for query in ordered:
+        loop_instructions = sorted(query.query.loop.instructions)
+        start, end = loop_instructions[0], loop_instructions[-1]
+        if loop_instructions != list(range(start, end + 1)):
+            result.skipped.append((query, "loop instructions are not contiguous"))
+            continue
+        replacement = _build_replacement(query, registry)
+        if replacement is None:
+            result.skipped.append(
+                (query, "the source collection expression cannot be re-evaluated")
+            )
+            continue
+        _splice(instructions, start, end, replacement)
+        result.replaced.append(query)
+
+    _eliminate_dead_assignments(result.method)
+    result.method.validate()
+    return result
+
+
+# -- internals ------------------------------------------------------------------------------
+
+
+def _copy_instruction(instruction: Instruction) -> Instruction:
+    if isinstance(instruction, Assign):
+        return Assign(instruction.target, instruction.value)
+    if isinstance(instruction, ExprStatement):
+        return ExprStatement(instruction.value)
+    if isinstance(instruction, IfGoto):
+        return IfGoto(instruction.condition, instruction.target)
+    if isinstance(instruction, Goto):
+        return Goto(instruction.target)
+    return instruction
+
+
+def _build_replacement(
+    query: RewrittenQuery, registry: QueryRegistry
+) -> Optional[list[Instruction]]:
+    source = query.query.source_expression
+    if not isinstance(source, nodes.Call) or not isinstance(source.receiver, nodes.Var):
+        return None
+    entity_manager_var = source.receiver
+    key = registry.register(query.generated)
+    parameters = nodes.New(
+        "tuple", tuple(nodes.Var(name) for name in query.generated.parameter_sources)
+    )
+    call = nodes.Call(
+        None,
+        RUNTIME_METHOD,
+        (
+            entity_manager_var,
+            nodes.Constant(key),
+            nodes.Constant(query.generated.sql),
+            parameters,
+            nodes.Var(query.query.dest_var),
+        ),
+    )
+    return [ExprStatement(call)]
+
+
+def _splice(
+    instructions: list[Instruction],
+    start: int,
+    end: int,
+    replacement: list[Instruction],
+) -> None:
+    removed = end - start + 1
+    delta = len(replacement) - removed
+    instructions[start : end + 1] = replacement
+    for instruction in instructions:
+        if isinstance(instruction, (Goto, IfGoto)):
+            if instruction.target > end:
+                instruction.target += delta
+            elif start <= instruction.target <= end:
+                instruction.target = start
+
+
+def _eliminate_dead_assignments(method: TacMethod) -> None:
+    """Replace assignments to never-read locals with NOPs.
+
+    After the loop disappears, the iterator and source-collection temporaries
+    become dead; keeping the ``iterator()`` call would force the lazy source
+    QuerySet to materialise (a full table scan), defeating the rewrite.
+    Only side-effect-free right-hand sides are eliminated.
+    """
+    changed = True
+    while changed:
+        changed = False
+        used: set[str] = set()
+        for instruction in method.instructions:
+            for expression in instruction_expressions(instruction):
+                used.update(nodes.expression_variables(expression))
+        for index, instruction in enumerate(method.instructions):
+            if not isinstance(instruction, Assign):
+                continue
+            if instruction.target in used or instruction.target in method.parameters:
+                continue
+            if _is_removable(instruction.value):
+                method.instructions[index] = Nop()
+                changed = True
+
+
+def _is_removable(expression: nodes.Expression) -> bool:
+    if isinstance(expression, (nodes.Constant, nodes.Var)):
+        return True
+    if isinstance(expression, (nodes.Cast, nodes.UnaryOp)):
+        return _is_removable(expression.operand)
+    if isinstance(expression, nodes.GetField):
+        return _is_removable(expression.receiver)
+    if isinstance(expression, nodes.BinOp):
+        return _is_removable(expression.left) and _is_removable(expression.right)
+    if isinstance(expression, nodes.New):
+        return all(_is_removable(argument) for argument in expression.args)
+    if isinstance(expression, nodes.Call):
+        method_name = expression.method
+        pure = (
+            method_name in {"iterator", "all", "size", "equals", "getFirst", "getSecond"}
+            or method_name.startswith("all")
+            or method_name.startswith("get")
+            or method_name.startswith("is")
+        )
+        if not pure:
+            return False
+        receiver_ok = expression.receiver is None or _is_removable(expression.receiver)
+        return receiver_ok and all(_is_removable(argument) for argument in expression.args)
+    return False

@@ -1,0 +1,23 @@
+"""SQL generation from query trees."""
+
+from __future__ import annotations
+
+from repro.core.sqlgen.generator import (
+    ColumnOutputPlan,
+    EntityOutputPlan,
+    GeneratedSql,
+    OutputPlan,
+    PairOutputPlan,
+    SqlGenerator,
+    TupleOutputPlan,
+)
+
+__all__ = [
+    "ColumnOutputPlan",
+    "EntityOutputPlan",
+    "GeneratedSql",
+    "OutputPlan",
+    "PairOutputPlan",
+    "SqlGenerator",
+    "TupleOutputPlan",
+]

@@ -1,0 +1,28 @@
+"""Three-address code: the Jimple analogue used by the Queryll analysis."""
+
+from __future__ import annotations
+
+from repro.core.tac.instructions import (
+    Assign,
+    ExprStatement,
+    Goto,
+    IfGoto,
+    Instruction,
+    Nop,
+    Return,
+)
+from repro.core.tac.method import TacMethod
+from repro.core.tac.printer import format_instruction, format_method
+
+__all__ = [
+    "Assign",
+    "ExprStatement",
+    "Goto",
+    "IfGoto",
+    "Instruction",
+    "Nop",
+    "Return",
+    "TacMethod",
+    "format_instruction",
+    "format_method",
+]

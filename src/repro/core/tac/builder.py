@@ -1,0 +1,108 @@
+"""Convenience builder for three-address code with symbolic labels.
+
+Hand-writing TAC with absolute instruction indexes is error-prone; the
+builder lets tests (and the rewriter, when it splices replacement code) use
+symbolic labels that are resolved to indexes when the method is finished.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.expr.nodes import Expression
+from repro.core.tac.instructions import (
+    Assign,
+    ExprStatement,
+    Goto,
+    IfGoto,
+    Instruction,
+    Nop,
+    Return,
+)
+from repro.core.tac.method import TacMethod
+
+
+@dataclass
+class TacBuilder:
+    """Builds a :class:`~repro.core.tac.method.TacMethod` incrementally."""
+
+    name: str
+    parameters: list[str]
+    source_name: str = ""
+    _instructions: list[Instruction] = field(default_factory=list)
+    _labels: dict[str, int] = field(default_factory=dict)
+    _pending: list[tuple[int, str]] = field(default_factory=list)
+    _temp_counter: int = 0
+
+    # -- emission -----------------------------------------------------------------
+
+    def assign(self, target: str, value: Expression) -> int:
+        """Emit ``target = value``."""
+        return self._emit(Assign(target, value))
+
+    def assign_temp(self, value: Expression, prefix: str = "$t") -> str:
+        """Emit an assignment to a fresh temporary and return its name."""
+        name = self.new_temp(prefix)
+        self.assign(name, value)
+        return name
+
+    def statement(self, value: Expression) -> int:
+        """Emit a bare expression statement."""
+        return self._emit(ExprStatement(value))
+
+    def goto(self, label: str) -> int:
+        """Emit an unconditional jump to ``label``."""
+        index = self._emit(Goto(-1))
+        self._pending.append((index, label))
+        return index
+
+    def if_goto(self, condition: Expression, label: str) -> int:
+        """Emit a conditional jump to ``label``."""
+        index = self._emit(IfGoto(condition, -1))
+        self._pending.append((index, label))
+        return index
+
+    def return_(self, value: Expression | None = None) -> int:
+        """Emit a return."""
+        return self._emit(Return(value))
+
+    def nop(self) -> int:
+        """Emit a no-op."""
+        return self._emit(Nop())
+
+    def label(self, name: str) -> None:
+        """Place ``name`` at the next emitted instruction."""
+        if name in self._labels:
+            raise ValueError(f"label {name!r} already placed")
+        self._labels[name] = len(self._instructions)
+
+    def new_temp(self, prefix: str = "$t") -> str:
+        """Return a fresh temporary name."""
+        self._temp_counter += 1
+        return f"{prefix}{self._temp_counter}"
+
+    # -- finish --------------------------------------------------------------------
+
+    def build(self) -> TacMethod:
+        """Resolve labels and return the finished method."""
+        method = TacMethod(
+            name=self.name,
+            parameters=list(self.parameters),
+            instructions=list(self._instructions),
+            source_name=self.source_name or self.name,
+        )
+        for index, label in self._pending:
+            if label not in self._labels:
+                raise ValueError(f"label {label!r} was never placed")
+            target = self._labels[label]
+            instruction = method.instructions[index]
+            if isinstance(instruction, (Goto, IfGoto)):
+                instruction.target = target
+        method.validate()
+        return method
+
+    # -- internals -------------------------------------------------------------------
+
+    def _emit(self, instruction: Instruction) -> int:
+        self._instructions.append(instruction)
+        return len(self._instructions) - 1

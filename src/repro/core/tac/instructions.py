@@ -1,0 +1,74 @@
+"""Instruction set of the three-address intermediate representation.
+
+Like Jimple, every instruction is either an assignment of a (depth-one)
+expression to a local, a bare expression statement (a call whose result is
+discarded), a conditional or unconditional GOTO, or a return.  Branch targets
+are instruction indexes within the owning :class:`~repro.core.tac.method.TacMethod`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.expr.nodes import Expression
+
+
+@dataclass
+class Assign:
+    """``target = expression``."""
+
+    target: str
+    value: Expression
+
+
+@dataclass
+class ExprStatement:
+    """An expression evaluated for its side effects (e.g. ``dest.add(x)``)."""
+
+    value: Expression
+
+
+@dataclass
+class IfGoto:
+    """``if condition goto target`` — the branch is taken when the condition
+    is true (non-zero, matching Java's integer-based conditions)."""
+
+    condition: Expression
+    target: int
+
+
+@dataclass
+class Goto:
+    """Unconditional jump to an instruction index."""
+
+    target: int
+
+
+@dataclass
+class Return:
+    """Return from the method, optionally with a value."""
+
+    value: Optional[Expression] = None
+
+
+@dataclass
+class Nop:
+    """A no-op placeholder (used when instructions are removed in place)."""
+
+
+Instruction = Union[Assign, ExprStatement, IfGoto, Goto, Return, Nop]
+
+
+def branch_targets(instruction: Instruction) -> tuple[int, ...]:
+    """Explicit jump targets of an instruction (empty for fall-through-only)."""
+    if isinstance(instruction, IfGoto):
+        return (instruction.target,)
+    if isinstance(instruction, Goto):
+        return (instruction.target,)
+    return ()
+
+
+def falls_through(instruction: Instruction) -> bool:
+    """True if control can continue to the next instruction."""
+    return not isinstance(instruction, (Goto, Return))

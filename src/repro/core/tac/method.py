@@ -1,0 +1,139 @@
+"""A method body in three-address form."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.expr.nodes import Expression, expression_variables
+from repro.core.tac.instructions import (
+    Assign,
+    ExprStatement,
+    IfGoto,
+    Goto,
+    Instruction,
+    Return,
+    branch_targets,
+)
+
+
+@dataclass
+class TacMethod:
+    """A method lowered to three-address code.
+
+    ``parameters`` are local names bound at entry (``this`` first for
+    instance methods); every other local is defined by assignment.
+    ``source_name`` records where the method came from (a mini-JVM method
+    signature or a Python function qualname) for error messages.
+    """
+
+    name: str
+    parameters: list[str]
+    instructions: list[Instruction] = field(default_factory=list)
+    source_name: str = ""
+
+    # -- construction helpers -------------------------------------------------
+
+    def append(self, instruction: Instruction) -> int:
+        """Append an instruction and return its index."""
+        self.instructions.append(instruction)
+        return len(self.instructions) - 1
+
+    def extend(self, instructions: Iterable[Instruction]) -> None:
+        """Append several instructions."""
+        for instruction in instructions:
+            self.append(instruction)
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def jump_targets(self) -> set[int]:
+        """Every instruction index that is the target of some branch."""
+        targets: set[int] = set()
+        for instruction in self.instructions:
+            targets.update(branch_targets(instruction))
+        return targets
+
+    def defined_locals(self) -> set[str]:
+        """Locals assigned anywhere in the method (excluding parameters)."""
+        names: set[str] = set()
+        for instruction in self.instructions:
+            if isinstance(instruction, Assign):
+                names.add(instruction.target)
+        return names - set(self.parameters)
+
+    def used_locals(self) -> set[str]:
+        """Locals read anywhere in the method."""
+        names: set[str] = set()
+        for instruction in self.instructions:
+            for expression in instruction_expressions(instruction):
+                names.update(expression_variables(expression))
+        return names
+
+    def definitions_of(self, name: str) -> list[int]:
+        """Indexes of instructions assigning to ``name``."""
+        return [
+            index
+            for index, instruction in enumerate(self.instructions)
+            if isinstance(instruction, Assign) and instruction.target == name
+        ]
+
+    def validate(self) -> None:
+        """Check structural invariants: branch targets must be in range."""
+        for index, instruction in enumerate(self.instructions):
+            for target in branch_targets(instruction):
+                if not 0 <= target < len(self.instructions):
+                    raise ValueError(
+                        f"{self.name}: instruction {index} jumps to "
+                        f"out-of-range target {target}"
+                    )
+
+
+def instruction_expressions(instruction: Instruction) -> list[Expression]:
+    """Expressions read by an instruction (not including assignment targets)."""
+    if isinstance(instruction, Assign):
+        return [instruction.value]
+    if isinstance(instruction, ExprStatement):
+        return [instruction.value]
+    if isinstance(instruction, IfGoto):
+        return [instruction.condition]
+    if isinstance(instruction, Return) and instruction.value is not None:
+        return [instruction.value]
+    return []
+
+
+def renumber_after_splice(
+    instructions: list[Instruction],
+    start: int,
+    removed: int,
+    inserted: int,
+) -> None:
+    """Fix up branch targets after replacing ``removed`` instructions at
+    ``start`` with ``inserted`` new ones (in place).
+
+    Targets inside the removed region are assumed to have been rewritten by
+    the caller; targets beyond it are shifted by ``inserted - removed``.
+    """
+    delta = inserted - removed
+    if delta == 0:
+        return
+    boundary = start + removed
+    for instruction in instructions:
+        if isinstance(instruction, (IfGoto, Goto)):
+            if instruction.target >= boundary:
+                instruction.target += delta
+
+
+def find_single_return(method: TacMethod) -> Optional[int]:
+    """Index of the method's single Return instruction, or None if there are
+    zero or several returns."""
+    returns = [
+        index
+        for index, instruction in enumerate(method.instructions)
+        if isinstance(instruction, Return)
+    ]
+    if len(returns) == 1:
+        return returns[0]
+    return None

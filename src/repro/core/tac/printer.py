@@ -1,0 +1,50 @@
+"""Pretty-printer for three-address code.
+
+The output format mimics the paper's Fig. 11 Jimple listing: numbered
+instructions, ``goto``/``if`` with explicit targets, and calls rendered with
+their receivers.
+"""
+
+from __future__ import annotations
+
+from repro.core.expr.printer import to_text
+from repro.core.tac.instructions import (
+    Assign,
+    ExprStatement,
+    Goto,
+    IfGoto,
+    Instruction,
+    Nop,
+    Return,
+)
+from repro.core.tac.method import TacMethod
+
+
+def format_instruction(instruction: Instruction) -> str:
+    """Render one instruction (without its index)."""
+    if isinstance(instruction, Assign):
+        return f"{instruction.target} = {to_text(instruction.value)}"
+    if isinstance(instruction, ExprStatement):
+        return to_text(instruction.value)
+    if isinstance(instruction, IfGoto):
+        return f"if {to_text(instruction.condition)} goto {instruction.target}"
+    if isinstance(instruction, Goto):
+        return f"goto {instruction.target}"
+    if isinstance(instruction, Return):
+        if instruction.value is None:
+            return "return"
+        return f"return {to_text(instruction.value)}"
+    if isinstance(instruction, Nop):
+        return "nop"
+    raise TypeError(f"unknown instruction {instruction!r}")
+
+
+def format_method(method: TacMethod) -> str:
+    """Render a whole method as numbered three-address code."""
+    header = f"method {method.name}({', '.join(method.parameters)}):"
+    lines = [header]
+    targets = method.jump_targets()
+    for index, instruction in enumerate(method.instructions):
+        marker = "label" if index in targets else "     "
+        lines.append(f"{marker} {index:3d}: {format_instruction(instruction)}")
+    return "\n".join(lines)

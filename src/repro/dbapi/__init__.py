@@ -1,0 +1,17 @@
+"""JDBC-like driver API over the in-memory SQL engine.
+
+The paper's hand-written baseline queries use JDBC: ``Connection``,
+``PreparedStatement`` and ``ResultSet`` objects, with results read out column
+by column (by index or by name).  This package mirrors that API closely so
+the TPC-W baseline code can be a near-transliteration of the Rice
+implementation, including the inefficiencies the paper discusses (reading
+columns by name, separate commit round-trips, intermediate data structures).
+"""
+
+from __future__ import annotations
+
+from repro.dbapi.connection import Connection, connect
+from repro.dbapi.resultset import ResultSet
+from repro.dbapi.statement import PreparedStatement
+
+__all__ = ["Connection", "PreparedStatement", "ResultSet", "connect"]

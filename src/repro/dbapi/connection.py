@@ -1,0 +1,94 @@
+"""JDBC-style Connection over the in-memory SQL engine.
+
+A connection wraps a :class:`repro.sqlengine.Database`.  Auto-commit can be
+switched off, in which case an explicit ``commit()`` issues a COMMIT
+statement to the engine — this matters for the benchmark because the paper
+points out that Queryll's generated code "sends a commit command to the
+database separately from its query", an extra round trip that the
+hand-written baseline avoids.  Round trips are counted so tests and
+benchmarks can observe the difference.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sqlengine.engine import Database, ResultSet as EngineResultSet
+from repro.sqlengine.errors import SqlExecutionError
+from repro.dbapi.statement import PreparedStatement, Statement
+
+
+class Connection:
+    """A client connection to a :class:`~repro.sqlengine.engine.Database`."""
+
+    def __init__(self, database: Database, auto_commit: bool = True) -> None:
+        self._database = database
+        self._auto_commit = auto_commit
+        self._closed = False
+        #: Number of statements sent through this connection, including
+        #: COMMIT/ROLLBACK round trips.  Used by the overhead benchmarks.
+        self.round_trips = 0
+
+    # -- factory ----------------------------------------------------------------
+
+    @property
+    def database(self) -> Database:
+        """The underlying engine (useful for tests)."""
+        return self._database
+
+    def prepare_statement(self, sql: str) -> PreparedStatement:
+        """Create a :class:`PreparedStatement` for ``sql``."""
+        self._check_open()
+        return PreparedStatement(self, sql)
+
+    def create_statement(self) -> Statement:
+        """Create a plain statement."""
+        self._check_open()
+        return Statement(self)
+
+    # -- transaction control ----------------------------------------------------
+
+    @property
+    def auto_commit(self) -> bool:
+        """Whether each statement commits immediately."""
+        return self._auto_commit
+
+    def set_auto_commit(self, value: bool) -> None:
+        """Enable or disable auto-commit."""
+        self._check_open()
+        self._auto_commit = value
+
+    def commit(self) -> None:
+        """Issue an explicit COMMIT round trip."""
+        self._check_open()
+        self._execute("COMMIT", ())
+
+    def rollback(self) -> None:
+        """Issue an explicit ROLLBACK round trip."""
+        self._check_open()
+        self._execute("ROLLBACK", ())
+
+    def close(self) -> None:
+        """Close the connection."""
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    # -- internals ---------------------------------------------------------------
+
+    def _execute(self, sql: str, params: Sequence[object]) -> EngineResultSet:
+        self._check_open()
+        self.round_trips += 1
+        return self._database.execute(sql, params)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SqlExecutionError("connection is closed")
+
+
+def connect(database: Database, auto_commit: bool = True) -> Connection:
+    """Open a connection to an in-memory database."""
+    return Connection(database, auto_commit=auto_commit)

@@ -1,0 +1,116 @@
+"""JDBC-style ResultSet: cursor-based access to query results."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.sqlengine.engine import ResultSet as EngineResultSet
+
+
+class ResultSet:
+    """A forward-only cursor over query results, in the JDBC style.
+
+    Usage mirrors JDBC::
+
+        rs = statement.execute_query()
+        while rs.next():
+            name = rs.get_string("c_fname")
+            ident = rs.get_int(1)          # 1-based column index
+
+    Column access by name is case-insensitive; column access by index is
+    1-based, both as in JDBC.
+    """
+
+    def __init__(self, columns: Sequence[str], rows: Sequence[tuple[object, ...]]) -> None:
+        self._columns = [column.lower() for column in columns]
+        self._rows = list(rows)
+        self._cursor = -1
+
+    @classmethod
+    def from_engine(cls, result: EngineResultSet) -> "ResultSet":
+        """Wrap an engine-level result set."""
+        return cls(result.columns, result.rows)
+
+    # -- cursor movement -----------------------------------------------------
+
+    def next(self) -> bool:
+        """Advance to the next row; return False when exhausted."""
+        if self._cursor + 1 >= len(self._rows):
+            self._cursor = len(self._rows)
+            return False
+        self._cursor += 1
+        return True
+
+    def before_first(self) -> None:
+        """Reset the cursor to before the first row."""
+        self._cursor = -1
+
+    @property
+    def row_count(self) -> int:
+        """Total number of rows in the result."""
+        return len(self._rows)
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names (lower case), in select-list order."""
+        return list(self._columns)
+
+    # -- column access -------------------------------------------------------
+
+    def get_object(self, column: int | str) -> object:
+        """Raw value of a column of the current row."""
+        row = self._current_row()
+        return row[self._resolve(column)]
+
+    def get_string(self, column: int | str) -> Optional[str]:
+        """String value of a column (None stays None)."""
+        value = self.get_object(column)
+        return None if value is None else str(value)
+
+    def get_int(self, column: int | str) -> int:
+        """Integer value of a column (NULL becomes 0, as in JDBC)."""
+        value = self.get_object(column)
+        return 0 if value is None else int(value)  # type: ignore[arg-type]
+
+    def get_double(self, column: int | str) -> float:
+        """Float value of a column (NULL becomes 0.0, as in JDBC)."""
+        value = self.get_object(column)
+        return 0.0 if value is None else float(value)  # type: ignore[arg-type]
+
+    def get_boolean(self, column: int | str) -> bool:
+        """Boolean value of a column (NULL becomes False)."""
+        value = self.get_object(column)
+        return bool(value)
+
+    def was_null(self, column: int | str) -> bool:
+        """True if the given column of the current row is NULL."""
+        return self.get_object(column) is None
+
+    # -- convenience ---------------------------------------------------------
+
+    def fetch_all(self) -> list[tuple[object, ...]]:
+        """All rows as tuples (does not move the cursor)."""
+        return list(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # -- internals -----------------------------------------------------------
+
+    def _current_row(self) -> tuple[object, ...]:
+        if self._cursor < 0:
+            raise RuntimeError("ResultSet cursor is before the first row; call next()")
+        if self._cursor >= len(self._rows):
+            raise RuntimeError("ResultSet cursor is after the last row")
+        return self._rows[self._cursor]
+
+    def _resolve(self, column: int | str) -> int:
+        if isinstance(column, int):
+            if column < 1 or column > len(self._columns):
+                raise IndexError(f"column index {column} out of range (1-based)")
+            return column - 1
+        lowered = column.lower()
+        try:
+            return self._columns.index(lowered)
+        except ValueError as exc:
+            raise KeyError(f"no column named {column!r}") from exc

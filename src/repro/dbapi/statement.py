@@ -1,0 +1,110 @@
+"""JDBC-style PreparedStatement."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sqlengine.errors import SqlExecutionError
+from repro.dbapi.resultset import ResultSet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dbapi.connection import Connection
+
+
+class PreparedStatement:
+    """A SQL statement with ``?`` placeholders, executed many times.
+
+    Parameters are set 1-based (``set_int(1, ...)``) as in JDBC.  The
+    statement text is parsed and planned once by the underlying engine; only
+    parameter values change between executions.
+    """
+
+    def __init__(self, connection: "Connection", sql: str) -> None:
+        self._connection = connection
+        self._sql = sql
+        self._parameters: dict[int, object] = {}
+        self._closed = False
+
+    @property
+    def sql(self) -> str:
+        """The statement text."""
+        return self._sql
+
+    # -- parameter setters ----------------------------------------------------
+
+    def set_object(self, index: int, value: object) -> None:
+        """Set the parameter at 1-based ``index``."""
+        if index < 1:
+            raise SqlExecutionError("parameter indexes are 1-based")
+        self._parameters[index] = value
+
+    def set_int(self, index: int, value: int) -> None:
+        """Set an integer parameter."""
+        self.set_object(index, int(value))
+
+    def set_double(self, index: int, value: float) -> None:
+        """Set a floating-point parameter."""
+        self.set_object(index, float(value))
+
+    def set_string(self, index: int, value: str) -> None:
+        """Set a string parameter."""
+        self.set_object(index, value)
+
+    def set_null(self, index: int) -> None:
+        """Set a NULL parameter."""
+        self.set_object(index, None)
+
+    def clear_parameters(self) -> None:
+        """Forget all previously set parameters."""
+        self._parameters.clear()
+
+    # -- execution -------------------------------------------------------------
+
+    def execute_query(self) -> ResultSet:
+        """Run the statement and return a :class:`ResultSet`."""
+        self._check_open()
+        result = self._connection._execute(self._sql, self._ordered_parameters())
+        return ResultSet.from_engine(result)
+
+    def execute_update(self) -> int:
+        """Run a DML statement and return the affected-row count."""
+        self._check_open()
+        result = self._connection._execute(self._sql, self._ordered_parameters())
+        return len(result.rows) if result.rows else 0
+
+    def close(self) -> None:
+        """Close the statement (further executions raise)."""
+        self._closed = True
+
+    # -- internals --------------------------------------------------------------
+
+    def _ordered_parameters(self) -> tuple[object, ...]:
+        if not self._parameters:
+            return ()
+        highest = max(self._parameters)
+        values: list[object] = []
+        for index in range(1, highest + 1):
+            if index not in self._parameters:
+                raise SqlExecutionError(f"parameter {index} was never set")
+            values.append(self._parameters[index])
+        return tuple(values)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SqlExecutionError("statement is closed")
+        self._connection._check_open()
+
+
+class Statement(PreparedStatement):
+    """A plain (non-prepared) statement: SQL text is supplied per call."""
+
+    def __init__(self, connection: "Connection") -> None:
+        super().__init__(connection, sql="")
+
+    def execute(self, sql: str) -> Optional[ResultSet]:
+        """Execute arbitrary SQL; returns a ResultSet for SELECTs."""
+        self._check_open()
+        result = self._connection._execute(sql, ())
+        if result.columns:
+            return ResultSet.from_engine(result)
+        return None

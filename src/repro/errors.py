@@ -1,0 +1,45 @@
+"""Top-level exception hierarchy shared by every repro subsystem.
+
+Each subsystem defines more specific exceptions deriving from these so that
+callers can either catch a precise error (``SqlParseError``) or a whole family
+(``ReproError``).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro packages."""
+
+
+class RewriteError(ReproError):
+    """The Queryll rewriter could not translate a query method to SQL.
+
+    Per the paper, this is not fatal: the unmodified bytecode still executes
+    correctly (just inefficiently), so callers normally log the failure and
+    fall back to interpreted execution.
+    """
+
+
+class UnsupportedQueryError(RewriteError):
+    """The query uses a construct outside the translatable subset.
+
+    Examples from the paper: aggregation, GROUP BY, nested queries, LIKE,
+    premature loop exits, or side effects inside the loop body.
+    """
+
+
+class BytecodeError(ReproError):
+    """Malformed or unverifiable bytecode was given to the mini-JVM."""
+
+
+class SqlError(ReproError):
+    """Base class for errors raised by the in-memory SQL engine."""
+
+
+class OrmError(ReproError):
+    """Base class for errors raised by the ORM layer."""
+
+
+class CompileError(ReproError):
+    """Base class for errors raised by the MiniJava compiler."""

@@ -1,0 +1,46 @@
+"""A stack-based mini-JVM: the bytecode substrate of the reproduction.
+
+The paper's rewriter consumes *Java bytecode*: a stack machine with untyped
+locals, integer-only conditional branches and GOTO-based control flow.  This
+package provides an equivalent substrate:
+
+* :mod:`repro.jvm.instructions` — the instruction set (a compact subset of
+  the JVM's, with symbolic operands),
+* :mod:`repro.jvm.classfile` — classfiles, methods, annotations and a binary
+  serialisation format,
+* :mod:`repro.jvm.assembler` — a label-based method assembler,
+* :mod:`repro.jvm.verifier` — structural/stack checks,
+* :mod:`repro.jvm.interpreter` — a small VM that executes methods against
+  Python runtime objects (QuerySets, entities, EntityManagers),
+* :mod:`repro.jvm.stack_to_tac` — the Soot/Jimple analogue: operand-stack
+  elimination into three-address code,
+* :mod:`repro.jvm.tac_to_bytecode` — re-emission of (rewritten) TAC as
+  bytecode,
+* :mod:`repro.jvm.rewriter` — the Queryll bytecode rewriter for classfiles.
+"""
+
+from __future__ import annotations
+
+from repro.jvm.assembler import MethodAssembler
+from repro.jvm.classfile import ClassFile, MethodInfo
+from repro.jvm.instructions import Instruction, Opcode
+from repro.jvm.interpreter import Interpreter, JvmRuntime
+from repro.jvm.rewriter import BytecodeRewriter, RewriteResult
+from repro.jvm.stack_to_tac import method_to_tac
+from repro.jvm.tac_to_bytecode import tac_to_instructions
+from repro.jvm.verifier import verify_method
+
+__all__ = [
+    "BytecodeRewriter",
+    "ClassFile",
+    "Instruction",
+    "Interpreter",
+    "JvmRuntime",
+    "MethodAssembler",
+    "MethodInfo",
+    "Opcode",
+    "RewriteResult",
+    "method_to_tac",
+    "tac_to_instructions",
+    "verify_method",
+]

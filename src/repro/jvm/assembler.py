@@ -1,0 +1,116 @@
+"""Label-based assembler for mini-JVM methods.
+
+Compilers (and tests) emit instructions through :class:`MethodAssembler`
+using symbolic labels; ``finish()`` resolves labels to instruction indexes
+and returns a :class:`~repro.jvm.classfile.MethodInfo`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BytecodeError
+from repro.jvm.classfile import MethodInfo
+from repro.jvm.instructions import BRANCH_OPCODES, Instruction, Opcode
+
+
+@dataclass
+class MethodAssembler:
+    """Incrementally assembles one method."""
+
+    name: str
+    parameters: list[str]
+    annotations: set[str] = field(default_factory=set)
+    return_type: str = "Object"
+    _instructions: list[Instruction] = field(default_factory=list)
+    _labels: dict[str, int] = field(default_factory=dict)
+    _fixups: list[tuple[int, str]] = field(default_factory=list)
+
+    # -- emission -------------------------------------------------------------------
+
+    def emit(self, opcode: Opcode, operand: object = None) -> int:
+        """Emit one instruction and return its index."""
+        if opcode in BRANCH_OPCODES and isinstance(operand, str):
+            index = len(self._instructions)
+            self._instructions.append(Instruction(opcode, -1))
+            self._fixups.append((index, operand))
+            return index
+        self._instructions.append(Instruction(opcode, operand))
+        return len(self._instructions) - 1
+
+    def label(self, name: str) -> None:
+        """Place a label at the next instruction."""
+        if name in self._labels:
+            raise BytecodeError(f"label {name!r} already placed")
+        self._labels[name] = len(self._instructions)
+
+    # Convenience emitters -------------------------------------------------------------
+
+    def ldc(self, value: object) -> int:
+        """Push a constant."""
+        return self.emit(Opcode.LDC, value)
+
+    def load(self, name: str) -> int:
+        """Push a local variable."""
+        return self.emit(Opcode.LOAD, name)
+
+    def store(self, name: str) -> int:
+        """Pop into a local variable."""
+        return self.emit(Opcode.STORE, name)
+
+    def invokevirtual(self, method: str, argc: int) -> int:
+        """Call an instance method."""
+        return self.emit(Opcode.INVOKEVIRTUAL, (method, argc))
+
+    def invokeinterface(self, method: str, argc: int) -> int:
+        """Call an interface method (identical to invokevirtual here)."""
+        return self.emit(Opcode.INVOKEINTERFACE, (method, argc))
+
+    def invokestatic(self, method: str, argc: int) -> int:
+        """Call a static runtime method."""
+        return self.emit(Opcode.INVOKESTATIC, (method, argc))
+
+    def newobj(self, class_name: str, argc: int = 0) -> int:
+        """Construct an object."""
+        return self.emit(Opcode.NEWOBJ, (class_name, argc))
+
+    def checkcast(self, type_name: str) -> int:
+        """Checked cast of TOS."""
+        return self.emit(Opcode.CHECKCAST, type_name)
+
+    def goto(self, label: str) -> int:
+        """Unconditional jump."""
+        return self.emit(Opcode.GOTO, label)
+
+    def ifeq(self, label: str) -> int:
+        """Branch if TOS == 0."""
+        return self.emit(Opcode.IFEQ, label)
+
+    def ifne(self, label: str) -> int:
+        """Branch if TOS != 0."""
+        return self.emit(Opcode.IFNE, label)
+
+    def areturn(self) -> int:
+        """Return TOS."""
+        return self.emit(Opcode.ARETURN)
+
+    def return_void(self) -> int:
+        """Return void."""
+        return self.emit(Opcode.RETURN)
+
+    # -- finish ----------------------------------------------------------------------
+
+    def finish(self) -> MethodInfo:
+        """Resolve labels and build the MethodInfo."""
+        for index, label in self._fixups:
+            if label not in self._labels:
+                raise BytecodeError(f"label {label!r} was never placed")
+            self._instructions[index].operand = self._labels[label]
+        method = MethodInfo(
+            name=self.name,
+            parameters=list(self.parameters),
+            instructions=list(self._instructions),
+            annotations=set(self.annotations),
+            return_type=self.return_type,
+        )
+        return method

@@ -1,0 +1,222 @@
+"""Classfile model and binary serialisation for the mini-JVM.
+
+A :class:`ClassFile` holds methods (with annotations such as ``@Query``);
+methods hold assembled instructions.  The binary format is a small
+length-prefixed encoding — enough to demonstrate that the rewriter operates
+on *compiled artifacts* that can be written to disk, shipped, reloaded and
+executed, like real Java classfiles.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass, field
+from typing import BinaryIO, Iterable, Optional
+
+from repro.errors import BytecodeError
+from repro.jvm.instructions import Instruction, Opcode
+
+_MAGIC = b"QLLC"
+_VERSION = 1
+
+# Constant tags used when serialising operands.
+_TAG_NONE = 0
+_TAG_INT = 1
+_TAG_FLOAT = 2
+_TAG_STR = 3
+_TAG_BOOL = 4
+_TAG_NULL = 5
+_TAG_PAIR = 6  # (string, int) pairs used by call operands
+
+
+@dataclass
+class MethodInfo:
+    """One method of a classfile."""
+
+    name: str
+    parameters: list[str]
+    instructions: list[Instruction] = field(default_factory=list)
+    annotations: set[str] = field(default_factory=set)
+    return_type: str = "Object"
+
+    @property
+    def is_query(self) -> bool:
+        """True if the method carries the ``@Query`` annotation."""
+        return "Query" in self.annotations
+
+    def copy(self) -> "MethodInfo":
+        """Deep-enough copy (instructions are copied, operands shared)."""
+        return MethodInfo(
+            name=self.name,
+            parameters=list(self.parameters),
+            instructions=[
+                Instruction(instruction.opcode, instruction.operand)
+                for instruction in self.instructions
+            ],
+            annotations=set(self.annotations),
+            return_type=self.return_type,
+        )
+
+
+@dataclass
+class ClassFile:
+    """A compiled class: a name plus its methods."""
+
+    name: str
+    methods: dict[str, MethodInfo] = field(default_factory=dict)
+
+    def add_method(self, method: MethodInfo) -> None:
+        """Add a method (names must be unique)."""
+        if method.name in self.methods:
+            raise BytecodeError(f"method {method.name!r} already defined")
+        self.methods[method.name] = method
+
+    def method(self, name: str) -> MethodInfo:
+        """Look up a method by name."""
+        if name not in self.methods:
+            raise BytecodeError(f"class {self.name!r} has no method {name!r}")
+        return self.methods[name]
+
+    def query_methods(self) -> list[MethodInfo]:
+        """Methods annotated with ``@Query`` (the rewriter's targets)."""
+        return [method for method in self.methods.values() if method.is_query]
+
+    def copy(self) -> "ClassFile":
+        """Copy the classfile (used by the rewriter to preserve the input)."""
+        return ClassFile(
+            name=self.name,
+            methods={name: method.copy() for name, method in self.methods.items()},
+        )
+
+    # -- binary serialisation -----------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the mini classfile format."""
+        buffer = io.BytesIO()
+        buffer.write(_MAGIC)
+        buffer.write(struct.pack(">H", _VERSION))
+        _write_str(buffer, self.name)
+        buffer.write(struct.pack(">H", len(self.methods)))
+        for method in self.methods.values():
+            _write_method(buffer, method)
+        return buffer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ClassFile":
+        """Deserialise from :meth:`to_bytes` output."""
+        buffer = io.BytesIO(data)
+        magic = buffer.read(4)
+        if magic != _MAGIC:
+            raise BytecodeError("not a mini-JVM classfile (bad magic)")
+        (version,) = struct.unpack(">H", buffer.read(2))
+        if version != _VERSION:
+            raise BytecodeError(f"unsupported classfile version {version}")
+        name = _read_str(buffer)
+        (method_count,) = struct.unpack(">H", buffer.read(2))
+        classfile = cls(name=name)
+        for _ in range(method_count):
+            classfile.add_method(_read_method(buffer))
+        return classfile
+
+
+# -- serialisation helpers -----------------------------------------------------------------
+
+
+def _write_str(buffer: BinaryIO, text: str) -> None:
+    encoded = text.encode("utf-8")
+    buffer.write(struct.pack(">I", len(encoded)))
+    buffer.write(encoded)
+
+
+def _read_str(buffer: BinaryIO) -> str:
+    (length,) = struct.unpack(">I", buffer.read(4))
+    return buffer.read(length).decode("utf-8")
+
+
+def _write_operand(buffer: BinaryIO, operand: object) -> None:
+    if operand is None:
+        buffer.write(struct.pack(">B", _TAG_NONE))
+    elif isinstance(operand, bool):
+        buffer.write(struct.pack(">B?", _TAG_BOOL, operand))
+    elif isinstance(operand, int):
+        buffer.write(struct.pack(">Bq", _TAG_INT, operand))
+    elif isinstance(operand, float):
+        buffer.write(struct.pack(">Bd", _TAG_FLOAT, operand))
+    elif isinstance(operand, str):
+        buffer.write(struct.pack(">B", _TAG_STR))
+        _write_str(buffer, operand)
+    elif isinstance(operand, tuple) and len(operand) == 2:
+        buffer.write(struct.pack(">B", _TAG_PAIR))
+        _write_str(buffer, str(operand[0]))
+        buffer.write(struct.pack(">q", int(operand[1])))
+    elif operand is Ellipsis:
+        buffer.write(struct.pack(">B", _TAG_NULL))
+    else:
+        raise BytecodeError(f"cannot serialise operand {operand!r}")
+
+
+def _read_operand(buffer: BinaryIO) -> object:
+    (tag,) = struct.unpack(">B", buffer.read(1))
+    if tag == _TAG_NONE:
+        return None
+    if tag == _TAG_BOOL:
+        (value,) = struct.unpack(">?", buffer.read(1))
+        return value
+    if tag == _TAG_INT:
+        (value,) = struct.unpack(">q", buffer.read(8))
+        return value
+    if tag == _TAG_FLOAT:
+        (value,) = struct.unpack(">d", buffer.read(8))
+        return value
+    if tag == _TAG_STR:
+        return _read_str(buffer)
+    if tag == _TAG_PAIR:
+        name = _read_str(buffer)
+        (count,) = struct.unpack(">q", buffer.read(8))
+        return (name, count)
+    if tag == _TAG_NULL:
+        return Ellipsis
+    raise BytecodeError(f"unknown operand tag {tag}")
+
+
+def _write_method(buffer: BinaryIO, method: MethodInfo) -> None:
+    _write_str(buffer, method.name)
+    _write_str(buffer, method.return_type)
+    buffer.write(struct.pack(">H", len(method.parameters)))
+    for parameter in method.parameters:
+        _write_str(buffer, parameter)
+    buffer.write(struct.pack(">H", len(method.annotations)))
+    for annotation in sorted(method.annotations):
+        _write_str(buffer, annotation)
+    buffer.write(struct.pack(">I", len(method.instructions)))
+    for instruction in method.instructions:
+        buffer.write(struct.pack(">H", instruction.opcode.value))
+        _write_operand(buffer, instruction.operand)
+
+
+def _read_method(buffer: BinaryIO) -> MethodInfo:
+    name = _read_str(buffer)
+    return_type = _read_str(buffer)
+    (parameter_count,) = struct.unpack(">H", buffer.read(2))
+    parameters = [_read_str(buffer) for _ in range(parameter_count)]
+    (annotation_count,) = struct.unpack(">H", buffer.read(2))
+    annotations = {_read_str(buffer) for _ in range(annotation_count)}
+    (instruction_count,) = struct.unpack(">I", buffer.read(4))
+    instructions = []
+    for _ in range(instruction_count):
+        (opcode_value,) = struct.unpack(">H", buffer.read(2))
+        operand = _read_operand(buffer)
+        instructions.append(Instruction(Opcode(opcode_value), operand))
+    return MethodInfo(
+        name=name,
+        parameters=parameters,
+        instructions=instructions,
+        annotations=annotations,
+        return_type=return_type,
+    )
+
+
+def load_classfiles(blobs: Iterable[bytes]) -> list[ClassFile]:
+    """Deserialise several classfiles."""
+    return [ClassFile.from_bytes(blob) for blob in blobs]

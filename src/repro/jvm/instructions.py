@@ -1,0 +1,179 @@
+"""Instruction set of the mini-JVM.
+
+The set is a compact subset of real JVM bytecode with the properties the
+Queryll analysis cares about: an operand stack, named (untyped) locals,
+method invocation, checked casts, integer-producing comparisons and
+integer-only conditional branches.  Operands are symbolic (strings/numbers)
+rather than constant-pool indexes; the classfile serialiser handles encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Optional
+
+
+class Opcode(Enum):
+    """Mini-JVM opcodes."""
+
+    # Constants and locals.
+    LDC = auto()            # push constant                     operand: value
+    ACONST_NULL = auto()    # push null
+    LOAD = auto()           # push local                        operand: name
+    STORE = auto()          # pop into local                    operand: name
+    # Stack manipulation.
+    DUP = auto()
+    POP = auto()
+    SWAP = auto()
+    # Object operations.
+    NEWOBJ = auto()         # new + constructor                 operand: (class, argc)
+    NEWARRAY = auto()       # pop n values, push a tuple        operand: count
+    CHECKCAST = auto()      # checked cast                      operand: type name
+    GETFIELD = auto()       # pop object, push field            operand: field name
+    INVOKEVIRTUAL = auto()  # pop args + receiver, push result  operand: (method, argc)
+    INVOKEINTERFACE = auto()
+    INVOKESTATIC = auto()   # pop args, push result             operand: (method, argc)
+    # Arithmetic (operate on numbers; DIV of two ints truncates like Java).
+    ADD = auto()
+    SUB = auto()
+    MUL = auto()
+    DIV = auto()
+    REM = auto()
+    NEG = auto()
+    # Comparisons producing an int 0/1 (the paper's "redundant" comparisons
+    # arise because these feed integer-only branches).
+    CMPEQ = auto()
+    CMPNE = auto()
+    CMPLT = auto()
+    CMPLE = auto()
+    CMPGT = auto()
+    CMPGE = auto()
+    # Bitwise/logical on ints (used by the rewriter for AND/OR of 0/1 values).
+    IAND = auto()
+    IOR = auto()
+    # Control flow (operand: jump target = instruction index after assembly).
+    GOTO = auto()
+    IFEQ = auto()           # pop int, branch if == 0
+    IFNE = auto()           # pop int, branch if != 0
+    IF_ICMPEQ = auto()      # pop two ints, branch if equal
+    IF_ICMPNE = auto()
+    IF_ICMPLT = auto()
+    IF_ICMPLE = auto()
+    IF_ICMPGT = auto()
+    IF_ICMPGE = auto()
+    # Returns.
+    RETURN = auto()         # return void
+    ARETURN = auto()        # return TOS
+    NOP = auto()
+
+
+#: Opcodes whose operand is a jump target (an instruction index).
+BRANCH_OPCODES = frozenset(
+    {
+        Opcode.GOTO,
+        Opcode.IFEQ,
+        Opcode.IFNE,
+        Opcode.IF_ICMPEQ,
+        Opcode.IF_ICMPNE,
+        Opcode.IF_ICMPLT,
+        Opcode.IF_ICMPLE,
+        Opcode.IF_ICMPGT,
+        Opcode.IF_ICMPGE,
+    }
+)
+
+#: Conditional branches (fall through when not taken).
+CONDITIONAL_BRANCHES = BRANCH_OPCODES - {Opcode.GOTO}
+
+#: Opcodes that end a basic block without falling through.
+TERMINATORS = frozenset({Opcode.GOTO, Opcode.RETURN, Opcode.ARETURN})
+
+#: Stack effect (pushes - pops) for opcodes with a fixed effect.  Calls and
+#: NEWOBJ/NEWARRAY depend on their operand and are handled separately.
+_FIXED_STACK_EFFECT = {
+    Opcode.LDC: 1,
+    Opcode.ACONST_NULL: 1,
+    Opcode.LOAD: 1,
+    Opcode.STORE: -1,
+    Opcode.DUP: 1,
+    Opcode.POP: -1,
+    Opcode.SWAP: 0,
+    Opcode.CHECKCAST: 0,
+    Opcode.GETFIELD: 0,
+    Opcode.ADD: -1,
+    Opcode.SUB: -1,
+    Opcode.MUL: -1,
+    Opcode.DIV: -1,
+    Opcode.REM: -1,
+    Opcode.NEG: 0,
+    Opcode.CMPEQ: -1,
+    Opcode.CMPNE: -1,
+    Opcode.CMPLT: -1,
+    Opcode.CMPLE: -1,
+    Opcode.CMPGT: -1,
+    Opcode.CMPGE: -1,
+    Opcode.IAND: -1,
+    Opcode.IOR: -1,
+    Opcode.GOTO: 0,
+    Opcode.IFEQ: -1,
+    Opcode.IFNE: -1,
+    Opcode.IF_ICMPEQ: -2,
+    Opcode.IF_ICMPNE: -2,
+    Opcode.IF_ICMPLT: -2,
+    Opcode.IF_ICMPLE: -2,
+    Opcode.IF_ICMPGT: -2,
+    Opcode.IF_ICMPGE: -2,
+    Opcode.RETURN: 0,
+    Opcode.ARETURN: -1,
+    Opcode.NOP: 0,
+}
+
+
+@dataclass
+class Instruction:
+    """One mini-JVM instruction: an opcode plus its symbolic operand."""
+
+    opcode: Opcode
+    operand: object = None
+
+    def stack_effect(self) -> int:
+        """Net change in operand-stack depth."""
+        opcode = self.opcode
+        if opcode in (Opcode.INVOKEVIRTUAL, Opcode.INVOKEINTERFACE):
+            _, argc = self.operand  # type: ignore[misc]
+            return -int(argc)  # pops argc + receiver, pushes result
+        if opcode is Opcode.INVOKESTATIC:
+            _, argc = self.operand  # type: ignore[misc]
+            return 1 - int(argc)
+        if opcode is Opcode.NEWOBJ:
+            _, argc = self.operand  # type: ignore[misc]
+            return 1 - int(argc)
+        if opcode is Opcode.NEWARRAY:
+            return 1 - int(self.operand)  # type: ignore[arg-type]
+        return _FIXED_STACK_EFFECT[opcode]
+
+    def branch_target(self) -> Optional[int]:
+        """Jump target for branch instructions (after assembly), else None."""
+        if self.opcode in BRANCH_OPCODES:
+            return int(self.operand)  # type: ignore[arg-type]
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.operand is None:
+            return self.opcode.name
+        return f"{self.opcode.name} {self.operand!r}"
+
+
+def format_instructions(instructions: list[Instruction]) -> str:
+    """Human-readable bytecode listing."""
+    targets = {
+        instruction.branch_target()
+        for instruction in instructions
+        if instruction.branch_target() is not None
+    }
+    lines = []
+    for index, instruction in enumerate(instructions):
+        marker = "label" if index in targets else "     "
+        lines.append(f"{marker} {index:3d}: {instruction!r}")
+    return "\n".join(lines)

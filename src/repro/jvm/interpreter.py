@@ -1,0 +1,295 @@
+"""Interpreter for mini-JVM bytecode.
+
+The interpreter is what makes un-rewritten queries *semantically correct but
+slow*: a query method compiled from MiniJava runs on this VM, iterating the
+whole source QuerySet through the ORM.  After rewriting, the same VM runs the
+replacement bytecode, which issues a single SQL query through the Queryll
+runtime.
+
+Method calls dispatch onto Python runtime objects (QuerySets, entities,
+EntityManagers, Pairs, strings, numbers); a small bridge provides Java-isms
+such as ``equals`` and the ``Iterator`` protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+from repro.errors import BytecodeError
+from repro.jvm.classfile import ClassFile, MethodInfo
+from repro.jvm.instructions import Instruction, Opcode
+from repro.orm.pair import Pair
+from repro.orm.queryset import QuerySet
+
+#: Safety limit on interpreted steps per method call.
+MAX_STEPS = 50_000_000
+
+
+class JavaIterator:
+    """Java-style iterator over a Python iterable (hasNext / next)."""
+
+    def __init__(self, iterator: Iterator[Any]) -> None:
+        self._iterator = iterator
+        self._buffered: list[Any] = []
+
+    def hasNext(self) -> int:  # noqa: N802 - Java naming
+        """1 if another element is available, else 0."""
+        if self._buffered:
+            return 1
+        try:
+            self._buffered.append(next(self._iterator))
+            return 1
+        except StopIteration:
+            return 0
+
+    def next(self) -> Any:
+        """The next element."""
+        if not self._buffered:
+            self._buffered.append(next(self._iterator))
+        return self._buffered.pop()
+
+
+@dataclass
+class JvmRuntime:
+    """Runtime environment: constructable classes and static methods."""
+
+    classes: dict[str, Callable[..., Any]] = field(default_factory=dict)
+    static_methods: dict[str, Callable[..., Any]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.classes.setdefault("QuerySet", QuerySet)
+        self.classes.setdefault("Pair", Pair)
+        self.classes.setdefault("Double", float)
+        self.classes.setdefault("Integer", int)
+        self._register_default_statics()
+
+    def _register_default_statics(self) -> None:
+        self.static_methods.setdefault("Pair.PairCollection", Pair.pair_collection)
+        self.static_methods.setdefault("Pair.pairCollection", Pair.pair_collection)
+
+    def register_class(self, name: str, constructor: Callable[..., Any]) -> None:
+        """Register a constructable class."""
+        self.classes[name] = constructor
+
+    def register_static(self, name: str, function: Callable[..., Any]) -> None:
+        """Register a static method (INVOKESTATIC target)."""
+        self.static_methods[name] = function
+
+    def construct(self, class_name: str, args: tuple[Any, ...]) -> Any:
+        """Instantiate a registered class."""
+        if class_name not in self.classes:
+            raise BytecodeError(f"unknown class {class_name!r}")
+        return self.classes[class_name](*args)
+
+    def call_static(self, name: str, args: tuple[Any, ...]) -> Any:
+        """Invoke a registered static method."""
+        if name not in self.static_methods:
+            raise BytecodeError(f"unknown static method {name!r}")
+        return self.static_methods[name](*args)
+
+
+class Interpreter:
+    """Executes mini-JVM methods."""
+
+    def __init__(self, runtime: Optional[JvmRuntime] = None) -> None:
+        self._runtime = runtime or JvmRuntime()
+        #: Number of bytecode instructions executed (benchmark instrumentation).
+        self.instructions_executed = 0
+
+    @property
+    def runtime(self) -> JvmRuntime:
+        """The runtime environment."""
+        return self._runtime
+
+    # -- execution -----------------------------------------------------------------------
+
+    def run(self, method: MethodInfo, arguments: dict[str, Any]) -> Any:
+        """Execute ``method`` with named arguments; returns its result."""
+        missing = [name for name in method.parameters if name not in arguments]
+        if missing:
+            raise BytecodeError(
+                f"method {method.name!r} is missing arguments: {', '.join(missing)}"
+            )
+        locals_map: dict[str, Any] = dict(arguments)
+        stack: list[Any] = []
+        instructions = method.instructions
+        pc = 0
+        steps = 0
+
+        while True:
+            if pc >= len(instructions):
+                raise BytecodeError(f"{method.name}: fell off the end of the bytecode")
+            steps += 1
+            if steps > MAX_STEPS:
+                raise BytecodeError(f"{method.name}: exceeded {MAX_STEPS} steps")
+            instruction = instructions[pc]
+            opcode = instruction.opcode
+            self.instructions_executed += 1
+
+            if opcode is Opcode.LDC:
+                stack.append(instruction.operand)
+            elif opcode is Opcode.ACONST_NULL:
+                stack.append(None)
+            elif opcode is Opcode.LOAD:
+                name = str(instruction.operand)
+                if name not in locals_map:
+                    raise BytecodeError(f"{method.name}: unassigned local {name!r}")
+                stack.append(locals_map[name])
+            elif opcode is Opcode.STORE:
+                locals_map[str(instruction.operand)] = stack.pop()
+            elif opcode is Opcode.DUP:
+                stack.append(stack[-1])
+            elif opcode is Opcode.POP:
+                stack.pop()
+            elif opcode is Opcode.SWAP:
+                stack[-1], stack[-2] = stack[-2], stack[-1]
+            elif opcode is Opcode.NEWOBJ:
+                class_name, argc = instruction.operand  # type: ignore[misc]
+                args = _pop_args(stack, int(argc))
+                stack.append(self._runtime.construct(str(class_name), args))
+            elif opcode is Opcode.NEWARRAY:
+                count = int(instruction.operand)  # type: ignore[arg-type]
+                stack.append(_pop_args(stack, count))
+            elif opcode is Opcode.CHECKCAST:
+                pass  # our VM is dynamically typed; casts always succeed
+            elif opcode is Opcode.GETFIELD:
+                receiver = stack.pop()
+                stack.append(getattr(receiver, str(instruction.operand)))
+            elif opcode in (Opcode.INVOKEVIRTUAL, Opcode.INVOKEINTERFACE):
+                method_name, argc = instruction.operand  # type: ignore[misc]
+                args = _pop_args(stack, int(argc))
+                receiver = stack.pop()
+                stack.append(self._invoke(receiver, str(method_name), args))
+            elif opcode is Opcode.INVOKESTATIC:
+                method_name, argc = instruction.operand  # type: ignore[misc]
+                args = _pop_args(stack, int(argc))
+                stack.append(self._runtime.call_static(str(method_name), args))
+            elif opcode in _ARITHMETIC:
+                right = stack.pop()
+                left = stack.pop()
+                stack.append(_ARITHMETIC[opcode](left, right))
+            elif opcode is Opcode.NEG:
+                stack.append(-stack.pop())
+            elif opcode in _COMPARISONS:
+                right = stack.pop()
+                left = stack.pop()
+                stack.append(1 if _COMPARISONS[opcode](left, right) else 0)
+            elif opcode is Opcode.IAND:
+                right = stack.pop()
+                left = stack.pop()
+                stack.append(1 if _as_int(left) and _as_int(right) else 0)
+            elif opcode is Opcode.IOR:
+                right = stack.pop()
+                left = stack.pop()
+                stack.append(1 if _as_int(left) or _as_int(right) else 0)
+            elif opcode is Opcode.GOTO:
+                pc = int(instruction.operand)  # type: ignore[arg-type]
+                continue
+            elif opcode is Opcode.IFEQ:
+                if _as_int(stack.pop()) == 0:
+                    pc = int(instruction.operand)  # type: ignore[arg-type]
+                    continue
+            elif opcode is Opcode.IFNE:
+                if _as_int(stack.pop()) != 0:
+                    pc = int(instruction.operand)  # type: ignore[arg-type]
+                    continue
+            elif opcode in _INT_BRANCHES:
+                right = stack.pop()
+                left = stack.pop()
+                if _INT_BRANCHES[opcode](left, right):
+                    pc = int(instruction.operand)  # type: ignore[arg-type]
+                    continue
+            elif opcode is Opcode.ARETURN:
+                return stack.pop()
+            elif opcode is Opcode.RETURN:
+                return None
+            elif opcode is Opcode.NOP:
+                pass
+            else:  # pragma: no cover - defensive
+                raise BytecodeError(f"unhandled opcode {opcode}")
+            pc += 1
+
+    def run_class_method(
+        self, classfile: ClassFile, method_name: str, arguments: dict[str, Any]
+    ) -> Any:
+        """Execute a method of a classfile by name."""
+        return self.run(classfile.method(method_name), arguments)
+
+    # -- dispatch ---------------------------------------------------------------------------
+
+    def _invoke(self, receiver: Any, method_name: str, args: tuple[Any, ...]) -> Any:
+        if receiver is None:
+            raise BytecodeError(f"NullPointerException calling {method_name!r}")
+        if method_name == "equals" and len(args) == 1:
+            return 1 if receiver == args[0] else 0
+        if method_name == "iterator" and not hasattr(receiver, "hasNext"):
+            return JavaIterator(iter(receiver))
+        if method_name == "compareTo" and len(args) == 1:
+            return (receiver > args[0]) - (receiver < args[0])
+        attribute = getattr(receiver, method_name, None)
+        if attribute is None:
+            raise BytecodeError(
+                f"{type(receiver).__name__} has no method {method_name!r}"
+            )
+        if callable(attribute):
+            result = attribute(*args)
+        else:
+            if args:
+                raise BytecodeError(f"{method_name!r} is a field, not a method")
+            result = attribute
+        if isinstance(result, bool):
+            return 1 if result else 0
+        return result
+
+
+_ARITHMETIC = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.DIV: lambda a, b: _java_div(a, b),
+    Opcode.REM: lambda a, b: a % b,
+}
+
+_COMPARISONS = {
+    Opcode.CMPEQ: lambda a, b: a == b,
+    Opcode.CMPNE: lambda a, b: a != b,
+    Opcode.CMPLT: lambda a, b: a < b,
+    Opcode.CMPLE: lambda a, b: a <= b,
+    Opcode.CMPGT: lambda a, b: a > b,
+    Opcode.CMPGE: lambda a, b: a >= b,
+}
+
+_INT_BRANCHES = {
+    Opcode.IF_ICMPEQ: lambda a, b: a == b,
+    Opcode.IF_ICMPNE: lambda a, b: a != b,
+    Opcode.IF_ICMPLT: lambda a, b: a < b,
+    Opcode.IF_ICMPLE: lambda a, b: a <= b,
+    Opcode.IF_ICMPGT: lambda a, b: a > b,
+    Opcode.IF_ICMPGE: lambda a, b: a >= b,
+}
+
+
+def _pop_args(stack: list[Any], count: int) -> tuple[Any, ...]:
+    if count == 0:
+        return ()
+    args = tuple(stack[-count:])
+    del stack[-count:]
+    return args
+
+
+def _as_int(value: Any) -> int:
+    if isinstance(value, bool):
+        return 1 if value else 0
+    if isinstance(value, (int, float)):
+        return int(value)
+    raise BytecodeError(f"expected an integer condition, got {value!r}")
+
+
+def _java_div(left: Any, right: Any) -> Any:
+    if isinstance(left, int) and isinstance(right, int):
+        if right == 0:
+            raise BytecodeError("ArithmeticException: division by zero")
+        quotient = abs(left) // abs(right)
+        return quotient if (left >= 0) == (right >= 0) else -quotient
+    return left / right

@@ -1,0 +1,45 @@
+"""Queryll runtime library for the mini-JVM.
+
+Rewritten bytecode calls the static method ``queryllExecuteQuery(em, key,
+sql, params, dest)``; this module registers that method (and the standard
+constructable classes) on a :class:`~repro.jvm.interpreter.JvmRuntime`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.rewriter import DEFAULT_REGISTRY, QueryRegistry
+from repro.core.runtime import execute_generated_query
+from repro.errors import BytecodeError
+from repro.jvm.interpreter import JvmRuntime
+from repro.orm.entity_manager import EntityManager
+from repro.orm.queryset import QuerySet
+
+
+def standard_runtime(registry: Optional[QueryRegistry] = None) -> JvmRuntime:
+    """A JvmRuntime with the Queryll runtime entry point registered."""
+    registry = registry if registry is not None else DEFAULT_REGISTRY
+    runtime = JvmRuntime()
+
+    def queryll_execute_query(
+        entity_manager: object,
+        key: object,
+        sql: object,
+        params: object,
+        destination: object,
+    ) -> object:
+        if not isinstance(entity_manager, EntityManager):
+            raise BytecodeError(
+                "queryllExecuteQuery expects an EntityManager as its first argument"
+            )
+        if not isinstance(destination, QuerySet):
+            raise BytecodeError(
+                "queryllExecuteQuery expects a QuerySet destination"
+            )
+        generated = registry.lookup(int(key))  # type: ignore[arg-type]
+        values = dict(zip(generated.parameter_sources, tuple(params)))  # type: ignore[arg-type]
+        return execute_generated_query(entity_manager, generated, values, destination)
+
+    runtime.register_static("queryllExecuteQuery", queryll_execute_query)
+    return runtime

@@ -1,0 +1,241 @@
+"""Operand-stack elimination: mini-JVM bytecode to three-address code.
+
+This is the reproduction's Soot/Jimple step (the paper feeds ``@Query``
+methods "into Sable's Soot framework for conversion into Jimple code" because
+"three-address code is useful because it eliminates Java's execution
+stack").  The conversion abstractly interprets the operand stack, building
+symbolic expressions, and emits one TAC instruction per store, discarded
+call, branch or return.
+"""
+
+from __future__ import annotations
+
+from repro.core.expr import nodes
+from repro.core.tac.instructions import (
+    Assign,
+    ExprStatement,
+    Goto,
+    IfGoto,
+    Return,
+)
+from repro.core.tac.method import TacMethod
+from repro.errors import BytecodeError
+from repro.jvm.classfile import MethodInfo
+from repro.jvm.instructions import Instruction, Opcode
+
+_COMPARISON_OPS = {
+    Opcode.CMPEQ: "==",
+    Opcode.CMPNE: "!=",
+    Opcode.CMPLT: "<",
+    Opcode.CMPLE: "<=",
+    Opcode.CMPGT: ">",
+    Opcode.CMPGE: ">=",
+}
+
+_ARITHMETIC_OPS = {
+    Opcode.ADD: "+",
+    Opcode.SUB: "-",
+    Opcode.MUL: "*",
+    Opcode.DIV: "/",
+    Opcode.REM: "%",
+}
+
+_BRANCH_COMPARISONS = {
+    Opcode.IF_ICMPEQ: "==",
+    Opcode.IF_ICMPNE: "!=",
+    Opcode.IF_ICMPLT: "<",
+    Opcode.IF_ICMPLE: "<=",
+    Opcode.IF_ICMPGT: ">",
+    Opcode.IF_ICMPGE: ">=",
+}
+
+
+class StackToTac:
+    """Converts one method's bytecode to TAC."""
+
+    def __init__(self, method: MethodInfo) -> None:
+        self._method = method
+        self._tac: list = []
+        self._stack: list[nodes.Expression] = []
+        self._tac_index_at: dict[int, int] = {}
+        self._pending_stacks: dict[int, list[nodes.Expression]] = {}
+        self._temp_counter = 0
+
+    def convert(self) -> TacMethod:
+        """Run the conversion."""
+        instructions = self._method.instructions
+        jump_targets = {
+            instruction.branch_target()
+            for instruction in instructions
+            if instruction.branch_target() is not None
+        }
+        previous_falls_through = True
+        for index, instruction in enumerate(instructions):
+            self._tac_index_at[index] = len(self._tac)
+            if index in jump_targets and not previous_falls_through:
+                self._stack = list(self._pending_stacks.get(index, []))
+            previous_falls_through = self._convert_one(instruction)
+
+        method = TacMethod(
+            name=self._method.name,
+            parameters=list(self._method.parameters),
+            instructions=self._tac,
+            source_name=self._method.name,
+        )
+        end = len(self._tac)
+        for instruction in method.instructions:
+            if isinstance(instruction, (Goto, IfGoto)):
+                instruction.target = self._tac_index_at.get(instruction.target, end)
+        method.validate()
+        return method
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _push(self, expression: nodes.Expression) -> None:
+        self._stack.append(expression)
+
+    def _pop(self) -> nodes.Expression:
+        if not self._stack:
+            raise BytecodeError(
+                f"{self._method.name}: operand stack underflow during Jimple conversion"
+            )
+        return self._stack.pop()
+
+    def _pop_many(self, count: int) -> list[nodes.Expression]:
+        values = [self._pop() for _ in range(count)]
+        values.reverse()
+        return values
+
+    def _emit(self, instruction) -> None:
+        self._tac.append(instruction)
+
+    def _new_temp(self) -> str:
+        self._temp_counter += 1
+        return f"$r{self._temp_counter}"
+
+    def _remember_stack(self, target: int) -> None:
+        if target not in self._pending_stacks:
+            self._pending_stacks[target] = list(self._stack)
+
+    def _push_call(self, call: nodes.Call) -> None:
+        """Materialise a call result into a fresh temporary (Jimple style:
+        ``$z3 = virtualinvoke $r15.equals("Seattle")``) and push the temp."""
+        temp = self._new_temp()
+        self._emit(Assign(temp, call))
+        self._push(nodes.Var(temp))
+
+    # -- conversion ---------------------------------------------------------------------
+
+    def _convert_one(self, instruction: Instruction) -> bool:
+        """Convert one bytecode instruction; returns fall-through."""
+        opcode = instruction.opcode
+
+        if opcode is Opcode.LDC:
+            self._push(nodes.Constant(instruction.operand))  # type: ignore[arg-type]
+        elif opcode is Opcode.ACONST_NULL:
+            self._push(nodes.Constant(None))
+        elif opcode is Opcode.LOAD:
+            self._push(nodes.Var(str(instruction.operand)))
+        elif opcode is Opcode.STORE:
+            self._emit(Assign(str(instruction.operand), self._pop()))
+        elif opcode is Opcode.DUP:
+            top = self._pop()
+            # Materialise into a temporary so both uses share one evaluation.
+            if not isinstance(top, (nodes.Var, nodes.Constant)):
+                temp = self._new_temp()
+                self._emit(Assign(temp, top))
+                top = nodes.Var(temp)
+            self._push(top)
+            self._push(top)
+        elif opcode is Opcode.POP:
+            value = self._pop()
+            if isinstance(value, (nodes.Call, nodes.New)):
+                self._emit(ExprStatement(value))
+            elif isinstance(value, nodes.Var) and self._tac:
+                # A call whose result is immediately discarded becomes a bare
+                # invoke statement (as in Jimple), not a dead assignment.
+                last = self._tac[-1]
+                if (
+                    isinstance(last, Assign)
+                    and last.target == value.name
+                    and isinstance(last.value, (nodes.Call, nodes.New))
+                ):
+                    self._tac[-1] = ExprStatement(last.value)
+        elif opcode is Opcode.SWAP:
+            first = self._pop()
+            second = self._pop()
+            self._push(first)
+            self._push(second)
+        elif opcode is Opcode.NEWOBJ:
+            class_name, argc = instruction.operand  # type: ignore[misc]
+            args = self._pop_many(int(argc))
+            self._push(nodes.New(str(class_name), tuple(args)))
+        elif opcode is Opcode.NEWARRAY:
+            args = self._pop_many(int(instruction.operand))  # type: ignore[arg-type]
+            self._push(nodes.New("tuple", tuple(args)))
+        elif opcode is Opcode.CHECKCAST:
+            self._push(nodes.Cast(str(instruction.operand), self._pop()))
+        elif opcode is Opcode.GETFIELD:
+            self._push(nodes.GetField(self._pop(), str(instruction.operand)))
+        elif opcode in (Opcode.INVOKEVIRTUAL, Opcode.INVOKEINTERFACE):
+            method_name, argc = instruction.operand  # type: ignore[misc]
+            args = self._pop_many(int(argc))
+            receiver = self._pop()
+            self._push_call(nodes.Call(receiver, str(method_name), tuple(args)))
+        elif opcode is Opcode.INVOKESTATIC:
+            method_name, argc = instruction.operand  # type: ignore[misc]
+            args = self._pop_many(int(argc))
+            self._push_call(nodes.Call(None, str(method_name), tuple(args)))
+        elif opcode in _ARITHMETIC_OPS:
+            right = self._pop()
+            left = self._pop()
+            self._push(nodes.BinOp(_ARITHMETIC_OPS[opcode], left, right))
+        elif opcode is Opcode.NEG:
+            self._push(nodes.UnaryOp("neg", self._pop()))
+        elif opcode in _COMPARISON_OPS:
+            right = self._pop()
+            left = self._pop()
+            self._push(nodes.BinOp(_COMPARISON_OPS[opcode], left, right))
+        elif opcode is Opcode.IAND:
+            right = self._pop()
+            left = self._pop()
+            self._push(nodes.BinOp("&&", left, right))
+        elif opcode is Opcode.IOR:
+            right = self._pop()
+            left = self._pop()
+            self._push(nodes.BinOp("||", left, right))
+        elif opcode is Opcode.GOTO:
+            target = int(instruction.operand)  # type: ignore[arg-type]
+            self._remember_stack(target)
+            self._emit(Goto(target))
+            return False
+        elif opcode in (Opcode.IFEQ, Opcode.IFNE):
+            value = self._pop()
+            comparison = "==" if opcode is Opcode.IFEQ else "!="
+            condition = nodes.BinOp(comparison, value, nodes.Constant(0))
+            target = int(instruction.operand)  # type: ignore[arg-type]
+            self._remember_stack(target)
+            self._emit(IfGoto(condition, target))
+        elif opcode in _BRANCH_COMPARISONS:
+            right = self._pop()
+            left = self._pop()
+            condition = nodes.BinOp(_BRANCH_COMPARISONS[opcode], left, right)
+            target = int(instruction.operand)  # type: ignore[arg-type]
+            self._remember_stack(target)
+            self._emit(IfGoto(condition, target))
+        elif opcode is Opcode.ARETURN:
+            self._emit(Return(self._pop()))
+            return False
+        elif opcode is Opcode.RETURN:
+            self._emit(Return(None))
+            return False
+        elif opcode is Opcode.NOP:
+            pass
+        else:  # pragma: no cover - defensive
+            raise BytecodeError(f"unhandled opcode {opcode} during conversion")
+        return True
+
+
+def method_to_tac(method: MethodInfo) -> TacMethod:
+    """Convert a mini-JVM method to three-address code."""
+    return StackToTac(method).convert()

@@ -1,0 +1,181 @@
+"""Re-emission of three-address code as mini-JVM bytecode.
+
+After the rewriter has replaced a query loop in the TAC form of a method, the
+whole method is lowered back to bytecode so it can be stored in a classfile
+and executed on the interpreter — completing the paper's round trip
+(bytecode in, bytecode with SQL queries out).
+"""
+
+from __future__ import annotations
+
+from repro.core.expr import nodes
+from repro.core.tac.instructions import (
+    Assign,
+    ExprStatement,
+    Goto,
+    IfGoto,
+    Nop,
+    Return,
+)
+from repro.core.tac.method import TacMethod
+from repro.errors import BytecodeError
+from repro.jvm.classfile import MethodInfo
+from repro.jvm.instructions import Instruction, Opcode
+
+_ARITHMETIC = {"+": Opcode.ADD, "-": Opcode.SUB, "*": Opcode.MUL, "/": Opcode.DIV, "%": Opcode.REM}
+_COMPARISONS = {
+    "==": Opcode.CMPEQ,
+    "!=": Opcode.CMPNE,
+    "<": Opcode.CMPLT,
+    "<=": Opcode.CMPLE,
+    ">": Opcode.CMPGT,
+    ">=": Opcode.CMPGE,
+}
+
+
+class TacToBytecode:
+    """Lowers one TAC method to bytecode instructions."""
+
+    def __init__(self, method: TacMethod) -> None:
+        self._method = method
+        self._instructions: list[Instruction] = []
+        self._bytecode_index_of_tac: dict[int, int] = {}
+        self._fixups: list[tuple[int, int]] = []  # (bytecode index, tac target)
+
+    def convert(self) -> list[Instruction]:
+        """Lower every TAC instruction, resolving branch targets."""
+        for tac_index, instruction in enumerate(self._method.instructions):
+            self._bytecode_index_of_tac[tac_index] = len(self._instructions)
+            self._lower(instruction)
+        # A method must not fall off the end.
+        if not self._instructions or self._instructions[-1].opcode not in (
+            Opcode.RETURN,
+            Opcode.ARETURN,
+            Opcode.GOTO,
+        ):
+            self._instructions.append(Instruction(Opcode.RETURN))
+        for bytecode_index, tac_target in self._fixups:
+            target = self._bytecode_index_of_tac.get(tac_target)
+            if target is None:
+                target = len(self._instructions) - 1
+            self._instructions[bytecode_index].operand = target
+        return self._instructions
+
+    # -- lowering --------------------------------------------------------------------------
+
+    def _lower(self, instruction) -> None:
+        if isinstance(instruction, Assign):
+            self._eval(instruction.value)
+            self._emit(Opcode.STORE, instruction.target)
+        elif isinstance(instruction, ExprStatement):
+            self._eval(instruction.value)
+            self._emit(Opcode.POP)
+        elif isinstance(instruction, IfGoto):
+            self._eval_condition(instruction.condition)
+            index = self._emit(Opcode.IFNE, -1)
+            self._fixups.append((index, instruction.target))
+        elif isinstance(instruction, Goto):
+            index = self._emit(Opcode.GOTO, -1)
+            self._fixups.append((index, instruction.target))
+        elif isinstance(instruction, Return):
+            if instruction.value is None:
+                self._emit(Opcode.RETURN)
+            else:
+                self._eval(instruction.value)
+                self._emit(Opcode.ARETURN)
+        elif isinstance(instruction, Nop):
+            self._emit(Opcode.NOP)
+        else:  # pragma: no cover - defensive
+            raise BytecodeError(f"cannot lower TAC instruction {instruction!r}")
+
+    def _emit(self, opcode: Opcode, operand: object = None) -> int:
+        self._instructions.append(Instruction(opcode, operand))
+        return len(self._instructions) - 1
+
+    def _eval_condition(self, expression: nodes.Expression) -> None:
+        """Evaluate a condition so an integer (0/1) ends up on the stack."""
+        self._eval(expression)
+
+    def _eval(self, expression: nodes.Expression) -> None:
+        if isinstance(expression, nodes.Constant):
+            if expression.value is None:
+                self._emit(Opcode.ACONST_NULL)
+            elif isinstance(expression.value, bool):
+                self._emit(Opcode.LDC, 1 if expression.value else 0)
+            else:
+                self._emit(Opcode.LDC, expression.value)
+        elif isinstance(expression, nodes.Var):
+            self._emit(Opcode.LOAD, expression.name)
+        elif isinstance(expression, nodes.Cast):
+            self._eval(expression.operand)
+            self._emit(Opcode.CHECKCAST, expression.type_name)
+        elif isinstance(expression, nodes.GetField):
+            self._eval(expression.receiver)
+            self._emit(Opcode.GETFIELD, expression.field)
+        elif isinstance(expression, nodes.UnaryOp):
+            if expression.op == "neg":
+                self._eval(expression.operand)
+                self._emit(Opcode.NEG)
+            elif expression.op == "!":
+                self._eval(expression.operand)
+                self._emit(Opcode.LDC, 0)
+                self._emit(Opcode.CMPEQ)
+            else:
+                raise BytecodeError(f"unknown unary operator {expression.op!r}")
+        elif isinstance(expression, nodes.BinOp):
+            self._eval(expression.left)
+            self._eval(expression.right)
+            op = expression.op
+            if op in _ARITHMETIC:
+                self._emit(_ARITHMETIC[op])
+            elif op in _COMPARISONS:
+                self._emit(_COMPARISONS[op])
+            elif op == "&&":
+                self._emit(Opcode.IAND)
+            elif op == "||":
+                self._emit(Opcode.IOR)
+            else:
+                raise BytecodeError(f"unknown binary operator {op!r}")
+        elif isinstance(expression, nodes.Call):
+            if expression.receiver is None:
+                for argument in expression.args:
+                    self._eval(argument)
+                self._emit(Opcode.INVOKESTATIC, (expression.method, len(expression.args)))
+            else:
+                self._eval(expression.receiver)
+                for argument in expression.args:
+                    self._eval(argument)
+                self._emit(
+                    Opcode.INVOKEVIRTUAL, (expression.method, len(expression.args))
+                )
+        elif isinstance(expression, nodes.New):
+            for argument in expression.args:
+                self._eval(argument)
+            if expression.class_name == "tuple":
+                self._emit(Opcode.NEWARRAY, len(expression.args))
+            else:
+                self._emit(Opcode.NEWOBJ, (expression.class_name, len(expression.args)))
+        elif isinstance(expression, nodes.SourceEntity):
+            raise BytecodeError(
+                "a SourceEntity marker cannot be lowered back to bytecode"
+            )
+        else:  # pragma: no cover - defensive
+            raise BytecodeError(f"cannot lower expression {expression!r}")
+
+
+def tac_to_instructions(method: TacMethod) -> list[Instruction]:
+    """Lower a TAC method body to bytecode instructions."""
+    return TacToBytecode(method).convert()
+
+
+def tac_to_method(
+    method: TacMethod, annotations: set[str] | None = None, return_type: str = "Object"
+) -> MethodInfo:
+    """Lower a TAC method to a complete :class:`MethodInfo`."""
+    return MethodInfo(
+        name=method.name,
+        parameters=list(method.parameters),
+        instructions=tac_to_instructions(method),
+        annotations=set(annotations or ()),
+        return_type=return_type,
+    )

@@ -1,0 +1,150 @@
+"""Bytecode verifier for the mini-JVM.
+
+Checks the structural properties the interpreter and the rewriter rely on:
+branch targets in range, consistent operand-stack depth at every instruction
+(via abstract interpretation over depths), no stack underflow, and locals
+read only after being written (or being parameters).
+"""
+
+from __future__ import annotations
+
+from repro.errors import BytecodeError
+from repro.jvm.classfile import MethodInfo
+from repro.jvm.instructions import (
+    BRANCH_OPCODES,
+    CONDITIONAL_BRANCHES,
+    Instruction,
+    Opcode,
+    TERMINATORS,
+)
+
+
+def verify_method(method: MethodInfo) -> None:
+    """Verify one method, raising :class:`BytecodeError` on problems."""
+    instructions = method.instructions
+    if not instructions:
+        raise BytecodeError(f"method {method.name!r} has no instructions")
+
+    _check_branch_targets(method)
+    _check_stack_depths(method)
+    _check_locals(method)
+
+    last = instructions[-1]
+    if last.opcode not in TERMINATORS and last.opcode not in BRANCH_OPCODES:
+        raise BytecodeError(
+            f"method {method.name!r} can fall off the end of its bytecode"
+        )
+
+
+def _check_branch_targets(method: MethodInfo) -> None:
+    count = len(method.instructions)
+    for index, instruction in enumerate(method.instructions):
+        target = instruction.branch_target()
+        if target is not None and not 0 <= target < count:
+            raise BytecodeError(
+                f"{method.name}: instruction {index} branches to invalid "
+                f"target {target}"
+            )
+
+
+def _check_stack_depths(method: MethodInfo) -> None:
+    instructions = method.instructions
+    depths: dict[int, int] = {0: 0}
+    worklist = [0]
+    while worklist:
+        index = worklist.pop()
+        depth = depths[index]
+        instruction = instructions[index]
+        new_depth = depth + instruction.stack_effect()
+        if new_depth < 0 or depth + _pops(instruction) > depth + max(0, _pops(instruction)):
+            pass
+        if depth - _pops(instruction) < 0:
+            raise BytecodeError(
+                f"{method.name}: stack underflow at instruction {index} "
+                f"({instruction!r}, depth {depth})"
+            )
+        successors: list[int] = []
+        target = instruction.branch_target()
+        if target is not None:
+            successors.append(target)
+        if instruction.opcode not in TERMINATORS:
+            if index + 1 < len(instructions):
+                successors.append(index + 1)
+        elif instruction.opcode is Opcode.GOTO:
+            pass
+        for successor in successors:
+            if successor in depths:
+                if depths[successor] != new_depth:
+                    raise BytecodeError(
+                        f"{method.name}: inconsistent stack depth at "
+                        f"instruction {successor} "
+                        f"({depths[successor]} vs {new_depth})"
+                    )
+            else:
+                depths[successor] = new_depth
+                worklist.append(successor)
+
+
+def _pops(instruction: Instruction) -> int:
+    """Number of values an instruction pops."""
+    opcode = instruction.opcode
+    if opcode in (Opcode.INVOKEVIRTUAL, Opcode.INVOKEINTERFACE):
+        _, argc = instruction.operand  # type: ignore[misc]
+        return int(argc) + 1
+    if opcode is Opcode.INVOKESTATIC:
+        _, argc = instruction.operand  # type: ignore[misc]
+        return int(argc)
+    if opcode is Opcode.NEWOBJ:
+        _, argc = instruction.operand  # type: ignore[misc]
+        return int(argc)
+    if opcode is Opcode.NEWARRAY:
+        return int(instruction.operand)  # type: ignore[arg-type]
+    pops = {
+        Opcode.LDC: 0, Opcode.ACONST_NULL: 0, Opcode.LOAD: 0, Opcode.STORE: 1,
+        Opcode.DUP: 1, Opcode.POP: 1, Opcode.SWAP: 2, Opcode.CHECKCAST: 1,
+        Opcode.GETFIELD: 1, Opcode.ADD: 2, Opcode.SUB: 2, Opcode.MUL: 2,
+        Opcode.DIV: 2, Opcode.REM: 2, Opcode.NEG: 1, Opcode.CMPEQ: 2,
+        Opcode.CMPNE: 2, Opcode.CMPLT: 2, Opcode.CMPLE: 2, Opcode.CMPGT: 2,
+        Opcode.CMPGE: 2, Opcode.IAND: 2, Opcode.IOR: 2, Opcode.GOTO: 0,
+        Opcode.IFEQ: 1, Opcode.IFNE: 1, Opcode.IF_ICMPEQ: 2, Opcode.IF_ICMPNE: 2,
+        Opcode.IF_ICMPLT: 2, Opcode.IF_ICMPLE: 2, Opcode.IF_ICMPGT: 2,
+        Opcode.IF_ICMPGE: 2, Opcode.RETURN: 0, Opcode.ARETURN: 1, Opcode.NOP: 0,
+    }
+    return pops[opcode]
+
+
+def _check_locals(method: MethodInfo) -> None:
+    """Every LOAD must be reachable only after a STORE of that local or the
+    local being a parameter.  A conservative forward data-flow over the set
+    of definitely-assigned locals."""
+    instructions = method.instructions
+    assigned_at: dict[int, frozenset[str]] = {0: frozenset(method.parameters)}
+    worklist = [0]
+    while worklist:
+        index = worklist.pop()
+        assigned = assigned_at[index]
+        instruction = instructions[index]
+        if instruction.opcode is Opcode.LOAD and instruction.operand not in assigned:
+            raise BytecodeError(
+                f"{method.name}: local {instruction.operand!r} may be read "
+                f"before assignment at instruction {index}"
+            )
+        new_assigned = assigned
+        if instruction.opcode is Opcode.STORE:
+            new_assigned = assigned | {str(instruction.operand)}
+        successors: list[int] = []
+        target = instruction.branch_target()
+        if target is not None:
+            successors.append(target)
+        if instruction.opcode not in TERMINATORS and index + 1 < len(instructions):
+            successors.append(index + 1)
+        for successor in successors:
+            previous = assigned_at.get(successor)
+            if previous is None:
+                assigned_at[successor] = new_assigned
+                worklist.append(successor)
+            else:
+                merged = previous & new_assigned
+                if merged != previous:
+                    assigned_at[successor] = merged
+                    worklist.append(successor)

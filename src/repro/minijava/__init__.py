@@ -1,0 +1,17 @@
+"""MiniJava: a small Java-like language compiled to mini-JVM bytecode.
+
+This plays the role of "Java compiler" in the paper's Fig. 9 pipeline: the
+query examples of the paper (Figs. 5-8 and 10) can be written in a syntax
+that is essentially Java, compiled to stack bytecode, and then fed to the
+Queryll bytecode rewriter.  The language supports exactly what query methods
+need: classes with annotated methods, local variables, for-each loops,
+if/else, method calls, object construction and the usual operators.
+"""
+
+from __future__ import annotations
+
+from repro.minijava.compiler import MiniJavaCompiler, compile_source
+from repro.minijava.lexer import MiniJavaLexer
+from repro.minijava.parser import MiniJavaParser
+
+__all__ = ["MiniJavaCompiler", "MiniJavaLexer", "MiniJavaParser", "compile_source"]

@@ -1,0 +1,174 @@
+"""AST node definitions for MiniJava."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+# -- expressions ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    """Integer, double, string, boolean or null literal."""
+
+    value: Union[int, float, str, bool, None]
+
+
+@dataclass(frozen=True)
+class Name:
+    """A reference to a local variable or parameter."""
+
+    identifier: str
+
+
+@dataclass(frozen=True)
+class MethodCall:
+    """``receiver.method(args...)``."""
+
+    receiver: "Expression"
+    method: str
+    arguments: tuple["Expression", ...] = ()
+
+
+@dataclass(frozen=True)
+class StaticCall:
+    """``ClassName.method(args...)`` (e.g. ``Pair.PairCollection(...)``)."""
+
+    class_name: str
+    method: str
+    arguments: tuple["Expression", ...] = ()
+
+
+@dataclass(frozen=True)
+class FieldAccess:
+    """``receiver.field`` (without a call)."""
+
+    receiver: "Expression"
+    field: str
+
+
+@dataclass(frozen=True)
+class NewObject:
+    """``new ClassName<...>(args...)``."""
+
+    class_name: str
+    arguments: tuple["Expression", ...] = ()
+
+
+@dataclass(frozen=True)
+class Binary:
+    """Binary operator expression."""
+
+    op: str
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class Unary:
+    """Unary operator expression (``!`` or ``-``)."""
+
+    op: str
+    operand: "Expression"
+
+
+Expression = Union[
+    Literal, Name, MethodCall, StaticCall, FieldAccess, NewObject, Binary, Unary
+]
+
+
+# -- statements ------------------------------------------------------------------------
+
+
+@dataclass
+class Block:
+    """``{ statements }``."""
+
+    statements: list["Statement"] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl:
+    """``Type name = initializer;``."""
+
+    type_name: str
+    name: str
+    initializer: Optional[Expression] = None
+
+
+@dataclass
+class Assignment:
+    """``name = expression;``."""
+
+    name: str
+    expression: Expression
+
+
+@dataclass
+class ExpressionStatement:
+    """``expression;`` evaluated for its side effects."""
+
+    expression: Expression
+
+
+@dataclass
+class IfStatement:
+    """``if (condition) then else otherwise``."""
+
+    condition: Expression
+    then_branch: "Statement"
+    else_branch: Optional["Statement"] = None
+
+
+@dataclass
+class ForEach:
+    """``for (Type name : collection) body``."""
+
+    element_type: str
+    name: str
+    collection: Expression
+    body: "Statement"
+
+
+@dataclass
+class ReturnStatement:
+    """``return expression;`` or ``return;``."""
+
+    expression: Optional[Expression] = None
+
+
+Statement = Union[
+    Block, VarDecl, Assignment, ExpressionStatement, IfStatement, ForEach, ReturnStatement
+]
+
+
+# -- declarations ---------------------------------------------------------------------------
+
+
+@dataclass
+class Parameter:
+    """One formal parameter."""
+
+    type_name: str
+    name: str
+
+
+@dataclass
+class MethodDecl:
+    """One method of a class."""
+
+    name: str
+    return_type: str
+    parameters: list[Parameter]
+    body: Block
+    annotations: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ClassDecl:
+    """A class: a name plus its methods."""
+
+    name: str
+    methods: list[MethodDecl] = field(default_factory=list)

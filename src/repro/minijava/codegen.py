@@ -1,0 +1,192 @@
+"""Bytecode generation for MiniJava.
+
+The code generator deliberately mimics javac's patterns so the Queryll
+rewriter sees realistic input: for-each loops compile to the
+``iterator()/hasNext()/next()`` shape of the paper's Fig. 11 (including the
+``goto`` to the condition at the bottom), and boolean conditions are
+evaluated to an int followed by an ``IFEQ`` — the source of the redundant
+comparisons the simplifier later removes.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import CompileError
+from repro.jvm.assembler import MethodAssembler
+from repro.jvm.classfile import MethodInfo
+from repro.jvm.instructions import Opcode
+from repro.minijava import ast_nodes as ast
+
+_ARITHMETIC = {"+": Opcode.ADD, "-": Opcode.SUB, "*": Opcode.MUL, "/": Opcode.DIV, "%": Opcode.REM}
+_COMPARISONS = {
+    "==": Opcode.CMPEQ,
+    "!=": Opcode.CMPNE,
+    "<": Opcode.CMPLT,
+    "<=": Opcode.CMPLE,
+    ">": Opcode.CMPGT,
+    ">=": Opcode.CMPGE,
+}
+
+
+class MethodCodeGenerator:
+    """Generates bytecode for one method."""
+
+    def __init__(self, method: ast.MethodDecl) -> None:
+        self._method = method
+        self._assembler = MethodAssembler(
+            name=method.name,
+            parameters=[parameter.name for parameter in method.parameters],
+            annotations=set(method.annotations),
+            return_type=method.return_type,
+        )
+        self._label_counter = itertools.count(1)
+        self._declared: set[str] = {parameter.name for parameter in method.parameters}
+
+    def generate(self) -> MethodInfo:
+        """Generate bytecode for the whole method body."""
+        self._gen_block(self._method.body)
+        # Guarantee the method cannot fall off the end.
+        self._assembler.return_void()
+        return self._assembler.finish()
+
+    # -- statements -----------------------------------------------------------------------
+
+    def _gen_statement(self, statement: ast.Statement) -> None:
+        if isinstance(statement, ast.Block):
+            self._gen_block(statement)
+        elif isinstance(statement, ast.VarDecl):
+            self._declared.add(statement.name)
+            if statement.initializer is not None:
+                self._gen_expression(statement.initializer)
+                self._assembler.store(statement.name)
+            else:
+                self._assembler.emit(Opcode.ACONST_NULL)
+                self._assembler.store(statement.name)
+        elif isinstance(statement, ast.Assignment):
+            if statement.name not in self._declared:
+                raise CompileError(
+                    f"assignment to undeclared variable {statement.name!r} "
+                    f"in method {self._method.name!r}"
+                )
+            self._gen_expression(statement.expression)
+            self._assembler.store(statement.name)
+        elif isinstance(statement, ast.ExpressionStatement):
+            self._gen_expression(statement.expression)
+            self._assembler.emit(Opcode.POP)
+        elif isinstance(statement, ast.IfStatement):
+            self._gen_if(statement)
+        elif isinstance(statement, ast.ForEach):
+            self._gen_foreach(statement)
+        elif isinstance(statement, ast.ReturnStatement):
+            if statement.expression is None:
+                self._assembler.return_void()
+            else:
+                self._gen_expression(statement.expression)
+                self._assembler.areturn()
+        else:  # pragma: no cover - defensive
+            raise CompileError(f"cannot generate code for {statement!r}")
+
+    def _gen_block(self, block: ast.Block) -> None:
+        for statement in block.statements:
+            self._gen_statement(statement)
+
+    def _gen_if(self, statement: ast.IfStatement) -> None:
+        else_label = self._new_label("else")
+        end_label = self._new_label("endif")
+        self._gen_expression(statement.condition)
+        self._assembler.ifeq(else_label if statement.else_branch else end_label)
+        self._gen_statement(statement.then_branch)
+        if statement.else_branch is not None:
+            self._assembler.goto(end_label)
+            self._assembler.label(else_label)
+            self._gen_statement(statement.else_branch)
+        self._assembler.label(end_label)
+
+    def _gen_foreach(self, statement: ast.ForEach) -> None:
+        iterator_local = f"$iter_{statement.name}"
+        body_label = self._new_label("loop_body")
+        condition_label = self._new_label("loop_cond")
+
+        self._gen_expression(statement.collection)
+        self._assembler.invokevirtual("iterator", 0)
+        self._assembler.store(iterator_local)
+        self._assembler.goto(condition_label)
+
+        self._assembler.label(body_label)
+        self._assembler.load(iterator_local)
+        self._assembler.invokeinterface("next", 0)
+        self._assembler.checkcast(statement.element_type)
+        self._declared.add(statement.name)
+        self._assembler.store(statement.name)
+        self._gen_statement(statement.body)
+
+        self._assembler.label(condition_label)
+        self._assembler.load(iterator_local)
+        self._assembler.invokeinterface("hasNext", 0)
+        self._assembler.ifne(body_label)
+
+    # -- expressions -------------------------------------------------------------------------
+
+    def _gen_expression(self, expression: ast.Expression) -> None:
+        assembler = self._assembler
+        if isinstance(expression, ast.Literal):
+            if expression.value is None:
+                assembler.emit(Opcode.ACONST_NULL)
+            elif isinstance(expression.value, bool):
+                assembler.ldc(1 if expression.value else 0)
+            else:
+                assembler.ldc(expression.value)
+        elif isinstance(expression, ast.Name):
+            if expression.identifier not in self._declared:
+                raise CompileError(
+                    f"use of undeclared variable {expression.identifier!r} "
+                    f"in method {self._method.name!r}"
+                )
+            assembler.load(expression.identifier)
+        elif isinstance(expression, ast.MethodCall):
+            self._gen_expression(expression.receiver)
+            for argument in expression.arguments:
+                self._gen_expression(argument)
+            assembler.invokevirtual(expression.method, len(expression.arguments))
+        elif isinstance(expression, ast.StaticCall):
+            for argument in expression.arguments:
+                self._gen_expression(argument)
+            assembler.invokestatic(
+                f"{expression.class_name}.{expression.method}", len(expression.arguments)
+            )
+        elif isinstance(expression, ast.FieldAccess):
+            self._gen_expression(expression.receiver)
+            assembler.emit(Opcode.GETFIELD, expression.field)
+        elif isinstance(expression, ast.NewObject):
+            for argument in expression.arguments:
+                self._gen_expression(argument)
+            assembler.newobj(expression.class_name, len(expression.arguments))
+        elif isinstance(expression, ast.Unary):
+            self._gen_expression(expression.operand)
+            if expression.op == "-":
+                assembler.emit(Opcode.NEG)
+            else:
+                assembler.ldc(0)
+                assembler.emit(Opcode.CMPEQ)
+        elif isinstance(expression, ast.Binary):
+            self._gen_expression(expression.left)
+            self._gen_expression(expression.right)
+            op = expression.op
+            if op in _ARITHMETIC:
+                assembler.emit(_ARITHMETIC[op])
+            elif op in _COMPARISONS:
+                assembler.emit(_COMPARISONS[op])
+            elif op == "&&":
+                assembler.emit(Opcode.IAND)
+            elif op == "||":
+                assembler.emit(Opcode.IOR)
+            else:  # pragma: no cover - defensive
+                raise CompileError(f"unknown operator {op!r}")
+        else:  # pragma: no cover - defensive
+            raise CompileError(f"cannot generate code for {expression!r}")
+
+    # -- helpers ---------------------------------------------------------------------------------
+
+    def _new_label(self, prefix: str) -> str:
+        return f"{prefix}_{next(self._label_counter)}"

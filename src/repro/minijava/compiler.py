@@ -1,0 +1,37 @@
+"""Compiler facade: MiniJava source to mini-JVM classfiles."""
+
+from __future__ import annotations
+
+from repro.jvm.classfile import ClassFile
+from repro.jvm.verifier import verify_method
+from repro.minijava.codegen import MethodCodeGenerator
+from repro.minijava.parser import MiniJavaParser
+from repro.minijava.semantic import check_class
+
+
+class MiniJavaCompiler:
+    """Compiles MiniJava source text into classfiles."""
+
+    def __init__(self, verify: bool = True) -> None:
+        self._verify = verify
+
+    def compile(self, source: str) -> ClassFile:
+        """Compile one class declaration."""
+        declaration = MiniJavaParser(source).parse_class()
+        check_class(declaration)
+        classfile = ClassFile(name=declaration.name)
+        for method in declaration.methods:
+            method_info = MethodCodeGenerator(method).generate()
+            if self._verify:
+                verify_method(method_info)
+            classfile.add_method(method_info)
+        return classfile
+
+    def compile_to_bytes(self, source: str) -> bytes:
+        """Compile and serialise a class."""
+        return self.compile(source).to_bytes()
+
+
+def compile_source(source: str) -> ClassFile:
+    """Convenience wrapper around :class:`MiniJavaCompiler`."""
+    return MiniJavaCompiler().compile(source)

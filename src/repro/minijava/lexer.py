@@ -1,0 +1,151 @@
+"""Tokenizer for MiniJava."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import CompileError
+
+KEYWORDS = frozenset(
+    {
+        "class", "new", "for", "if", "else", "return", "true", "false", "null",
+        "while", "void",
+    }
+)
+
+_TWO_CHAR = {"==", "!=", "<=", ">=", "&&", "||"}
+_SINGLE = set("{}()[]<>.,;:+-*/%!=@&|")
+
+
+class TokenKind(Enum):
+    """Lexical categories."""
+
+    IDENT = auto()
+    KEYWORD = auto()
+    INT = auto()
+    DOUBLE = auto()
+    STRING = auto()
+    SYMBOL = auto()
+    EOF = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    """One MiniJava token with its line number (for error messages)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+
+    def is_symbol(self, *symbols: str) -> bool:
+        """True if this token is one of the given symbols."""
+        return self.kind is TokenKind.SYMBOL and self.text in symbols
+
+    def is_keyword(self, *keywords: str) -> bool:
+        """True if this token is one of the given keywords."""
+        return self.kind is TokenKind.KEYWORD and self.text in keywords
+
+
+class MiniJavaLexer:
+    """Tokenizes MiniJava source text."""
+
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._position = 0
+        self._line = 1
+
+    def tokenize(self) -> list[Token]:
+        """Produce the full token list, ending with EOF."""
+        tokens: list[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self._position >= len(self._source):
+                tokens.append(Token(TokenKind.EOF, "", self._line))
+                return tokens
+            tokens.append(self._next_token())
+
+    # -- internals ----------------------------------------------------------------
+
+    def _skip_whitespace_and_comments(self) -> None:
+        source = self._source
+        while self._position < len(source):
+            ch = source[self._position]
+            if ch == "\n":
+                self._line += 1
+                self._position += 1
+            elif ch.isspace():
+                self._position += 1
+            elif source.startswith("//", self._position):
+                end = source.find("\n", self._position)
+                self._position = len(source) if end == -1 else end
+            elif source.startswith("/*", self._position):
+                end = source.find("*/", self._position + 2)
+                if end == -1:
+                    raise CompileError(f"line {self._line}: unterminated comment")
+                self._line += source.count("\n", self._position, end)
+                self._position = end + 2
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        source = self._source
+        start = self._position
+        ch = source[start]
+        line = self._line
+
+        if ch == '"':
+            return self._lex_string(line)
+        if ch.isdigit():
+            return self._lex_number(line)
+        if ch.isalpha() or ch == "_":
+            position = start
+            while position < len(source) and (source[position].isalnum() or source[position] == "_"):
+                position += 1
+            self._position = position
+            text = source[start:position]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            return Token(kind, text, line)
+        two = source[start : start + 2]
+        if two in _TWO_CHAR:
+            self._position += 2
+            return Token(TokenKind.SYMBOL, two, line)
+        if ch in _SINGLE:
+            self._position += 1
+            return Token(TokenKind.SYMBOL, ch, line)
+        raise CompileError(f"line {line}: unexpected character {ch!r}")
+
+    def _lex_string(self, line: int) -> Token:
+        source = self._source
+        position = self._position + 1
+        chars: list[str] = []
+        while position < len(source):
+            ch = source[position]
+            if ch == '"':
+                self._position = position + 1
+                return Token(TokenKind.STRING, "".join(chars), line)
+            if ch == "\\" and position + 1 < len(source):
+                escape = source[position + 1]
+                chars.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(escape, escape))
+                position += 2
+                continue
+            chars.append(ch)
+            position += 1
+        raise CompileError(f"line {line}: unterminated string literal")
+
+    def _lex_number(self, line: int) -> Token:
+        source = self._source
+        position = self._position
+        seen_dot = False
+        while position < len(source):
+            ch = source[position]
+            if ch.isdigit():
+                position += 1
+            elif ch == "." and not seen_dot and position + 1 < len(source) and source[position + 1].isdigit():
+                seen_dot = True
+                position += 1
+            else:
+                break
+        text = source[self._position : position]
+        self._position = position
+        return Token(TokenKind.DOUBLE if seen_dot else TokenKind.INT, text, line)

@@ -1,0 +1,340 @@
+"""Recursive-descent parser for MiniJava."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import CompileError
+from repro.minijava import ast_nodes as ast
+from repro.minijava.lexer import MiniJavaLexer, Token, TokenKind
+
+
+class MiniJavaParser:
+    """Parses MiniJava source into an AST."""
+
+    def __init__(self, source: str) -> None:
+        self._tokens = MiniJavaLexer(source).tokenize()
+        self._index = 0
+
+    # -- public API ----------------------------------------------------------------------
+
+    def parse_class(self) -> ast.ClassDecl:
+        """Parse a single class declaration."""
+        self._expect_keyword("class")
+        name = self._expect_ident()
+        self._expect_symbol("{")
+        methods: list[ast.MethodDecl] = []
+        while not self._peek().is_symbol("}"):
+            methods.append(self._parse_method())
+        self._expect_symbol("}")
+        if self._peek().kind is not TokenKind.EOF:
+            raise self._error("unexpected tokens after the class body")
+        return ast.ClassDecl(name=name, methods=methods)
+
+    # -- declarations ----------------------------------------------------------------------
+
+    def _parse_method(self) -> ast.MethodDecl:
+        annotations: list[str] = []
+        while self._peek().is_symbol("@"):
+            self._advance()
+            annotations.append(self._expect_ident())
+        return_type = self._parse_type()
+        name = self._expect_ident()
+        self._expect_symbol("(")
+        parameters: list[ast.Parameter] = []
+        if not self._peek().is_symbol(")"):
+            parameters.append(self._parse_parameter())
+            while self._peek().is_symbol(","):
+                self._advance()
+                parameters.append(self._parse_parameter())
+        self._expect_symbol(")")
+        body = self._parse_block()
+        return ast.MethodDecl(
+            name=name,
+            return_type=return_type,
+            parameters=parameters,
+            body=body,
+            annotations=annotations,
+        )
+
+    def _parse_parameter(self) -> ast.Parameter:
+        type_name = self._parse_type()
+        name = self._expect_ident()
+        return ast.Parameter(type_name=type_name, name=name)
+
+    def _parse_type(self) -> str:
+        if self._peek().is_keyword("void"):
+            self._advance()
+            return "void"
+        name = self._expect_ident()
+        if self._peek().is_symbol("<"):
+            depth = 0
+            while True:
+                token = self._advance()
+                if token.is_symbol("<"):
+                    depth += 1
+                elif token.is_symbol(">"):
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif token.kind is TokenKind.EOF:
+                    raise self._error("unterminated generic type")
+        return name
+
+    # -- statements ------------------------------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        self._expect_symbol("{")
+        statements: list[ast.Statement] = []
+        while not self._peek().is_symbol("}"):
+            statements.append(self._parse_statement())
+        self._expect_symbol("}")
+        return ast.Block(statements=statements)
+
+    def _parse_statement(self) -> ast.Statement:
+        token = self._peek()
+        if token.is_symbol("{"):
+            return self._parse_block()
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("for"):
+            return self._parse_foreach()
+        if token.is_keyword("return"):
+            self._advance()
+            if self._peek().is_symbol(";"):
+                self._advance()
+                return ast.ReturnStatement(None)
+            expression = self._parse_expression()
+            self._expect_symbol(";")
+            return ast.ReturnStatement(expression)
+        if self._looks_like_declaration():
+            return self._parse_var_decl()
+        # Assignment or expression statement.
+        if (
+            token.kind is TokenKind.IDENT
+            and self._peek(1).is_symbol("=")
+            and not self._peek(2).is_symbol("=")
+        ):
+            name = self._expect_ident()
+            self._expect_symbol("=")
+            expression = self._parse_expression()
+            self._expect_symbol(";")
+            return ast.Assignment(name=name, expression=expression)
+        expression = self._parse_expression()
+        self._expect_symbol(";")
+        return ast.ExpressionStatement(expression)
+
+    def _looks_like_declaration(self) -> bool:
+        """A declaration starts with ``Type name`` where Type is an
+        identifier optionally followed by a generic argument list."""
+        if self._peek().kind is not TokenKind.IDENT:
+            return False
+        offset = 1
+        if self._peek(offset).is_symbol("<"):
+            depth = 0
+            while True:
+                token = self._peek(offset)
+                if token.is_symbol("<"):
+                    depth += 1
+                elif token.is_symbol(">"):
+                    depth -= 1
+                    if depth == 0:
+                        offset += 1
+                        break
+                elif token.kind is TokenKind.EOF:
+                    return False
+                offset += 1
+        return self._peek(offset).kind is TokenKind.IDENT
+
+    def _parse_var_decl(self) -> ast.VarDecl:
+        type_name = self._parse_type()
+        name = self._expect_ident()
+        initializer: Optional[ast.Expression] = None
+        if self._peek().is_symbol("="):
+            self._advance()
+            initializer = self._parse_expression()
+        self._expect_symbol(";")
+        return ast.VarDecl(type_name=type_name, name=name, initializer=initializer)
+
+    def _parse_if(self) -> ast.IfStatement:
+        self._expect_keyword("if")
+        self._expect_symbol("(")
+        condition = self._parse_expression()
+        self._expect_symbol(")")
+        then_branch = self._parse_statement()
+        else_branch: Optional[ast.Statement] = None
+        if self._peek().is_keyword("else"):
+            self._advance()
+            else_branch = self._parse_statement()
+        return ast.IfStatement(condition, then_branch, else_branch)
+
+    def _parse_foreach(self) -> ast.ForEach:
+        self._expect_keyword("for")
+        self._expect_symbol("(")
+        element_type = self._parse_type()
+        name = self._expect_ident()
+        self._expect_symbol(":")
+        collection = self._parse_expression()
+        self._expect_symbol(")")
+        body = self._parse_statement()
+        return ast.ForEach(
+            element_type=element_type, name=name, collection=collection, body=body
+        )
+
+    # -- expressions ------------------------------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expression:
+        left = self._parse_and()
+        while self._peek().is_symbol("||"):
+            self._advance()
+            left = ast.Binary("||", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expression:
+        left = self._parse_equality()
+        while self._peek().is_symbol("&&"):
+            self._advance()
+            left = ast.Binary("&&", left, self._parse_equality())
+        return left
+
+    def _parse_equality(self) -> ast.Expression:
+        left = self._parse_relational()
+        while self._peek().is_symbol("==", "!="):
+            op = self._advance().text
+            left = ast.Binary(op, left, self._parse_relational())
+        return left
+
+    def _parse_relational(self) -> ast.Expression:
+        left = self._parse_additive()
+        while self._peek().is_symbol("<", "<=", ">", ">="):
+            op = self._advance().text
+            left = ast.Binary(op, left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> ast.Expression:
+        left = self._parse_multiplicative()
+        while self._peek().is_symbol("+", "-"):
+            op = self._advance().text
+            left = ast.Binary(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expression:
+        left = self._parse_unary()
+        while self._peek().is_symbol("*", "/", "%"):
+            op = self._advance().text
+            left = ast.Binary(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> ast.Expression:
+        token = self._peek()
+        if token.is_symbol("!"):
+            self._advance()
+            return ast.Unary("!", self._parse_unary())
+        if token.is_symbol("-"):
+            self._advance()
+            return ast.Unary("-", self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expression:
+        expression = self._parse_primary()
+        while self._peek().is_symbol("."):
+            self._advance()
+            member = self._expect_ident()
+            if self._peek().is_symbol("("):
+                arguments = self._parse_arguments()
+                if isinstance(expression, ast.Name) and expression.identifier[0].isupper():
+                    expression = ast.StaticCall(
+                        class_name=expression.identifier,
+                        method=member,
+                        arguments=arguments,
+                    )
+                else:
+                    expression = ast.MethodCall(
+                        receiver=expression, method=member, arguments=arguments
+                    )
+            else:
+                expression = ast.FieldAccess(receiver=expression, field=member)
+        return expression
+
+    def _parse_primary(self) -> ast.Expression:
+        token = self._peek()
+        if token.kind is TokenKind.INT:
+            self._advance()
+            return ast.Literal(int(token.text))
+        if token.kind is TokenKind.DOUBLE:
+            self._advance()
+            return ast.Literal(float(token.text))
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            return ast.Literal(token.text)
+        if token.is_keyword("true"):
+            self._advance()
+            return ast.Literal(True)
+        if token.is_keyword("false"):
+            self._advance()
+            return ast.Literal(False)
+        if token.is_keyword("null"):
+            self._advance()
+            return ast.Literal(None)
+        if token.is_keyword("new"):
+            self._advance()
+            class_name = self._parse_type()
+            arguments = self._parse_arguments()
+            return ast.NewObject(class_name=class_name, arguments=arguments)
+        if token.is_symbol("("):
+            self._advance()
+            expression = self._parse_expression()
+            self._expect_symbol(")")
+            return expression
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            return ast.Name(token.text)
+        raise self._error(f"unexpected token {token.text!r}")
+
+    def _parse_arguments(self) -> tuple[ast.Expression, ...]:
+        self._expect_symbol("(")
+        arguments: list[ast.Expression] = []
+        if not self._peek().is_symbol(")"):
+            arguments.append(self._parse_expression())
+            while self._peek().is_symbol(","):
+                self._advance()
+                arguments.append(self._parse_expression())
+        self._expect_symbol(")")
+        return tuple(arguments)
+
+    # -- token helpers ---------------------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def _expect_symbol(self, symbol: str) -> None:
+        token = self._peek()
+        if not token.is_symbol(symbol):
+            raise self._error(f"expected {symbol!r}, got {token.text!r}")
+        self._advance()
+
+    def _expect_keyword(self, keyword: str) -> None:
+        token = self._peek()
+        if not token.is_keyword(keyword):
+            raise self._error(f"expected {keyword!r}, got {token.text!r}")
+        self._advance()
+
+    def _expect_ident(self) -> str:
+        token = self._peek()
+        if token.kind is not TokenKind.IDENT:
+            raise self._error(f"expected an identifier, got {token.text!r}")
+        self._advance()
+        return token.text
+
+    def _error(self, message: str) -> CompileError:
+        return CompileError(f"line {self._peek().line}: {message}")

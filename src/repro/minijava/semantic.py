@@ -1,0 +1,136 @@
+"""Light semantic checks for MiniJava.
+
+The paper leans on Java's static type system to catch query mistakes at
+compile time; Python cannot reproduce that fully, but this pass catches the
+structural errors that would otherwise only surface at run time: duplicate
+method or parameter names, duplicate local declarations in the same scope,
+use of undeclared variables, and ``return``-less non-void methods.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompileError
+from repro.minijava import ast_nodes as ast
+
+
+def check_class(declaration: ast.ClassDecl) -> None:
+    """Check a whole class declaration."""
+    seen_methods: set[str] = set()
+    for method in declaration.methods:
+        if method.name in seen_methods:
+            raise CompileError(f"duplicate method {method.name!r}")
+        seen_methods.add(method.name)
+        check_method(method)
+
+
+def check_method(method: ast.MethodDecl) -> None:
+    """Check one method declaration."""
+    names = [parameter.name for parameter in method.parameters]
+    if len(names) != len(set(names)):
+        raise CompileError(f"method {method.name!r} has duplicate parameter names")
+    scope = set(names)
+    _check_statement(method, method.body, scope)
+    if method.return_type != "void" and not _always_returns(method.body):
+        raise CompileError(
+            f"method {method.name!r} declares return type {method.return_type!r} "
+            "but may finish without returning a value"
+        )
+
+
+# -- statements --------------------------------------------------------------------------
+
+
+def _check_statement(method: ast.MethodDecl, statement: ast.Statement, scope: set[str]) -> None:
+    if isinstance(statement, ast.Block):
+        inner = set(scope)
+        for child in statement.statements:
+            _check_statement(method, child, inner)
+        return
+    if isinstance(statement, ast.VarDecl):
+        if statement.name in scope:
+            raise CompileError(
+                f"variable {statement.name!r} is already declared in method "
+                f"{method.name!r}"
+            )
+        if statement.initializer is not None:
+            _check_expression(method, statement.initializer, scope)
+        scope.add(statement.name)
+        return
+    if isinstance(statement, ast.Assignment):
+        if statement.name not in scope:
+            raise CompileError(
+                f"assignment to undeclared variable {statement.name!r} "
+                f"in method {method.name!r}"
+            )
+        _check_expression(method, statement.expression, scope)
+        return
+    if isinstance(statement, ast.ExpressionStatement):
+        _check_expression(method, statement.expression, scope)
+        return
+    if isinstance(statement, ast.IfStatement):
+        _check_expression(method, statement.condition, scope)
+        _check_statement(method, statement.then_branch, set(scope))
+        if statement.else_branch is not None:
+            _check_statement(method, statement.else_branch, set(scope))
+        return
+    if isinstance(statement, ast.ForEach):
+        _check_expression(method, statement.collection, scope)
+        inner = set(scope)
+        inner.add(statement.name)
+        _check_statement(method, statement.body, inner)
+        return
+    if isinstance(statement, ast.ReturnStatement):
+        if statement.expression is not None:
+            _check_expression(method, statement.expression, scope)
+        return
+    raise CompileError(f"unknown statement {statement!r}")
+
+
+def _check_expression(method: ast.MethodDecl, expression: ast.Expression, scope: set[str]) -> None:
+    if isinstance(expression, ast.Literal):
+        return
+    if isinstance(expression, ast.Name):
+        if expression.identifier not in scope and not expression.identifier[0].isupper():
+            raise CompileError(
+                f"use of undeclared variable {expression.identifier!r} "
+                f"in method {method.name!r}"
+            )
+        return
+    if isinstance(expression, ast.MethodCall):
+        _check_expression(method, expression.receiver, scope)
+        for argument in expression.arguments:
+            _check_expression(method, argument, scope)
+        return
+    if isinstance(expression, ast.StaticCall):
+        for argument in expression.arguments:
+            _check_expression(method, argument, scope)
+        return
+    if isinstance(expression, ast.FieldAccess):
+        _check_expression(method, expression.receiver, scope)
+        return
+    if isinstance(expression, ast.NewObject):
+        for argument in expression.arguments:
+            _check_expression(method, argument, scope)
+        return
+    if isinstance(expression, ast.Binary):
+        _check_expression(method, expression.left, scope)
+        _check_expression(method, expression.right, scope)
+        return
+    if isinstance(expression, ast.Unary):
+        _check_expression(method, expression.operand, scope)
+        return
+    raise CompileError(f"unknown expression {expression!r}")
+
+
+def _always_returns(statement: ast.Statement) -> bool:
+    if isinstance(statement, ast.ReturnStatement):
+        return True
+    if isinstance(statement, ast.Block):
+        return any(_always_returns(child) for child in statement.statements)
+    if isinstance(statement, ast.IfStatement):
+        return (
+            statement.else_branch is not None
+            and _always_returns(statement.then_branch)
+            and _always_returns(statement.else_branch)
+        )
+    return False

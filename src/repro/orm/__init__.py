@@ -1,0 +1,42 @@
+"""Queryll's light-weight object-relational mapping layer.
+
+The paper: *"Queryll uses a custom light-weight ORM tool to map tables to
+classes...  programmers must describe how table rows should map to objects,
+how table fields should be mapped into object fields, and the various
+relationships between tables."*  This package provides that tool: mapping
+descriptions, generated entity classes, the ``EntityManager``, lazily
+evaluated ``QuerySet`` collections, ``Pair`` objects and sorters.
+"""
+
+from __future__ import annotations
+
+from repro.orm.mapping import (
+    EntityMapping,
+    FieldMapping,
+    OrmMapping,
+    RelationshipMapping,
+)
+from repro.orm.entity import Entity
+from repro.orm.entity_manager import EntityManager
+from repro.orm.generator import OrmTool
+from repro.orm.pair import Pair
+from repro.orm.queryset import QuerySet
+from repro.orm.session import QueryllDatabase
+from repro.orm.sorters import DoubleSorter, FieldSorter, IntSorter, StringSorter
+
+__all__ = [
+    "DoubleSorter",
+    "Entity",
+    "EntityManager",
+    "EntityMapping",
+    "FieldMapping",
+    "FieldSorter",
+    "IntSorter",
+    "OrmMapping",
+    "OrmTool",
+    "Pair",
+    "QueryllDatabase",
+    "QuerySet",
+    "RelationshipMapping",
+    "StringSorter",
+]

@@ -1,0 +1,461 @@
+"""EntityManager: identity map, lazy loading, navigation and write-back.
+
+The paper: *"Queryll also creates a special class named EntityManager that is
+responsible for ensuring that the database data and their in-memory object
+representations remain consistent."*
+
+The EntityManager is also the place where the Queryll runtime executes
+generated SQL: rewritten queries call :meth:`EntityManager.execute_sql_query`
+with the SQL text, parameter values and a row-mapper describing how to turn
+result rows back into entities / Pairs / scalars.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.errors import OrmError
+from repro.orm.entity import Entity
+from repro.orm.mapping import EntityMapping, OrmMapping, RelationshipMapping
+from repro.orm.queryset import LazyQuery, QuerySet
+from repro.sqlengine.engine import Database
+
+#: A row mapper turns one result row (with its column names) into a result
+#: item, given the EntityManager for entity materialisation.
+RowMapper = Callable[["EntityManager", Sequence[str], tuple[object, ...]], object]
+
+
+#: Maps an accessor chain (e.g. ``("getFirst", "getTitle")``) to a SQL column
+#: reference usable in an ORDER BY clause, or None if it cannot be expressed.
+OrderResolver = Callable[[tuple[str, ...]], Optional[str]]
+
+
+class SqlBackedQuery(LazyQuery):
+    """A pending SQL query (SELECT text + parameters + row mapper)."""
+
+    def __init__(
+        self,
+        entity_manager: "EntityManager",
+        sql: str,
+        params: tuple[object, ...],
+        row_mapper: RowMapper,
+        order_by_sql: list[tuple[str, bool]] | None = None,
+        limit: Optional[int] = None,
+        entity_name: Optional[str] = None,
+        order_resolver: Optional[OrderResolver] = None,
+        binding_alias: str = "A",
+    ) -> None:
+        self._em = entity_manager
+        self._sql = sql
+        self._params = params
+        self._row_mapper = row_mapper
+        self._order_by = list(order_by_sql or [])
+        self._limit = limit
+        self._entity_name = entity_name
+        self._order_resolver = order_resolver
+        self._binding_alias = binding_alias
+
+    # -- LazyQuery interface ------------------------------------------------------
+
+    def load(self) -> list[object]:
+        result = self._em.execute_sql(self.final_sql(), self._params)
+        columns = result.columns
+        return [self._row_mapper(self._em, columns, row) for row in result.rows]
+
+    def ordered_by(
+        self, accessors: tuple[str, ...], descending: bool
+    ) -> Optional["SqlBackedQuery"]:
+        column = self._order_column(accessors)
+        if column is None:
+            return None
+        return self._copy_with(order_by=self._order_by + [(column, descending)])
+
+    def limited(self, count: int) -> Optional["SqlBackedQuery"]:
+        new_limit = count if self._limit is None else min(self._limit, count)
+        return self._copy_with(limit=new_limit)
+
+    def describe_sql(self) -> Optional[str]:
+        return self.final_sql()
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def final_sql(self) -> str:
+        """The SQL including any folded-in ORDER BY / LIMIT clauses."""
+        sql = self._sql
+        if self._order_by:
+            clauses = ", ".join(
+                f"({column}){' DESC' if descending else ''}"
+                for column, descending in self._order_by
+            )
+            sql = f"{sql} ORDER BY {clauses}"
+        if self._limit is not None:
+            sql = f"{sql} LIMIT {self._limit}"
+        return sql
+
+    def _copy_with(
+        self,
+        order_by: list[tuple[str, bool]] | None = None,
+        limit: Optional[int] = None,
+    ) -> "SqlBackedQuery":
+        return SqlBackedQuery(
+            self._em,
+            self._sql,
+            self._params,
+            self._row_mapper,
+            order_by if order_by is not None else self._order_by,
+            limit if limit is not None else self._limit,
+            self._entity_name,
+            self._order_resolver,
+            self._binding_alias,
+        )
+
+    def _order_column(self, accessors: tuple[str, ...]) -> Optional[str]:
+        """Map an accessor chain to a SQL column reference."""
+        if self._order_resolver is not None:
+            return self._order_resolver(accessors)
+        if self._entity_name is None or len(accessors) != 1:
+            return None
+        mapping = self._em.mapping.entity(self._entity_name)
+        field = mapping.field_by_accessor(accessors[0])
+        if field is None:
+            return None
+        return f"{self._binding_alias}.{field.column}"
+
+
+class EntityManager:
+    """Per-transaction manager of entity objects.
+
+    One EntityManager corresponds to one unit of work: it caches entity
+    instances (identity map), tracks modified entities, and writes changes
+    back to the database when the transaction commits.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        mapping: OrmMapping,
+        entity_classes: dict[str, type[Entity]],
+    ) -> None:
+        self._database = database
+        self._mapping = mapping
+        self._entity_classes = dict(entity_classes)
+        self._identity_map: dict[tuple[str, object], Entity] = {}
+        self._dirty: list[Entity] = []
+        self._closed = False
+        #: Number of SQL statements issued through this EntityManager.
+        self.queries_executed = 0
+
+    # -- properties -----------------------------------------------------------------
+
+    @property
+    def database(self) -> Database:
+        """The underlying SQL database."""
+        return self._database
+
+    @property
+    def mapping(self) -> OrmMapping:
+        """The ORM mapping."""
+        return self._mapping
+
+    def entity_class(self, entity_name: str) -> type[Entity]:
+        """The generated class for an entity name."""
+        if entity_name not in self._entity_classes:
+            raise OrmError(f"no entity class registered for {entity_name!r}")
+        return self._entity_classes[entity_name]
+
+    # -- query entry points ------------------------------------------------------------
+
+    def all(self, entity: str | type[Entity]) -> QuerySet:
+        """A lazy QuerySet of every instance of ``entity``.
+
+        This is the starting point of every Queryll query: the paper's
+        ``em.allClient()`` / ``em.allOffice()`` methods.
+        """
+        entity_name = self._entity_name(entity)
+        mapping = self._mapping.entity(entity_name)
+        sql = f"SELECT A.* FROM {mapping.table} AS A"
+        query = SqlBackedQuery(
+            self,
+            sql,
+            (),
+            make_entity_row_mapper(entity_name),
+            entity_name=entity_name,
+        )
+        return QuerySet.lazy(query)
+
+    def find(self, entity: str | type[Entity], primary_key: object) -> Optional[Entity]:
+        """Look up a single entity by primary key (identity-map aware)."""
+        entity_name = self._entity_name(entity)
+        cached = self._identity_map.get((entity_name, primary_key))
+        if cached is not None:
+            return cached
+        mapping = self._mapping.entity(entity_name)
+        sql = (
+            f"SELECT A.* FROM {mapping.table} AS A "
+            f"WHERE A.{mapping.primary_key.column} = ?"
+        )
+        result = self.execute_sql(sql, (primary_key,))
+        if not result.rows:
+            return None
+        return self.materialise_entity(entity_name, result.columns, result.rows[0])
+
+    def __getattr__(self, name: str):
+        # Java-style em.allClient(), em.allAccount() ... accessors.
+        if name.startswith("all") and len(name) > 3:
+            entity_name = name[3:]
+            if self._mapping.has_entity(entity_name):
+                return lambda: self.all(entity_name)
+        if name.startswith("find") and len(name) > 4:
+            entity_name = name[4:]
+            if self._mapping.has_entity(entity_name):
+                return lambda primary_key: self.find(entity_name, primary_key)
+        raise AttributeError(f"EntityManager has no attribute {name!r}")
+
+    # -- SQL execution ---------------------------------------------------------------------
+
+    def execute_sql(self, sql: str, params: Sequence[object] = ()):
+        """Execute SQL against the database (counts statements)."""
+        self._check_open()
+        self.queries_executed += 1
+        return self._database.execute(sql, tuple(params))
+
+    def execute_sql_query(
+        self,
+        sql: str,
+        params: Sequence[object],
+        row_mapper: RowMapper,
+        destination: QuerySet | None = None,
+    ) -> QuerySet:
+        """Run generated SQL and fill ``destination`` with mapped results.
+
+        This is the runtime entry point used by rewritten query methods.
+        """
+        result = self.execute_sql(sql, params)
+        items = [row_mapper(self, result.columns, row) for row in result.rows]
+        if destination is None:
+            destination = QuerySet()
+        destination.add_all(items)
+        return destination
+
+    # -- entity materialisation ---------------------------------------------------------------
+
+    def materialise_entity(
+        self,
+        entity_name: str,
+        columns: Sequence[str],
+        row: tuple[object, ...],
+        column_prefix: str = "",
+    ) -> Entity:
+        """Turn a result row into an entity instance (identity-map aware).
+
+        ``column_prefix`` selects a subset of columns when the row spans
+        several joined tables (e.g. ``col0_``, ``col1_`` prefixes).
+        """
+        mapping = self._mapping.entity(entity_name)
+        values: dict[str, object] = {}
+        for column, value in zip(columns, row):
+            name = column.lower()
+            if column_prefix:
+                if not name.startswith(column_prefix):
+                    continue
+                name = name[len(column_prefix):]
+            if mapping.field_by_column(name) is not None:
+                values[name] = value
+        key_column = mapping.primary_key.column.lower()
+        primary_key = values.get(key_column)
+        identity_key = (entity_name, primary_key)
+        if primary_key is not None and identity_key in self._identity_map:
+            return self._identity_map[identity_key]
+        entity_class = self.entity_class(entity_name)
+        instance = entity_class._from_row(self, values)
+        if primary_key is not None:
+            self._identity_map[identity_key] = instance
+        return instance
+
+    # -- relationship navigation -------------------------------------------------------------------
+
+    def _navigate(self, entity: Entity, relationship_name: str):
+        mapping = type(entity)._mapping
+        relationship = mapping.relationship_by_accessor(relationship_name)
+        if relationship is None:
+            raise OrmError(
+                f"{mapping.entity_name} has no relationship {relationship_name!r}"
+            )
+        if relationship.kind == "to_one":
+            return self._navigate_to_one(entity, relationship)
+        return self._navigate_to_many(entity, mapping, relationship)
+
+    def _navigate_to_one(
+        self, entity: Entity, relationship: RelationshipMapping
+    ) -> Optional[Entity]:
+        foreign_key = entity.row_values().get(relationship.local_column.lower())
+        if foreign_key is None:
+            return None
+        target_mapping = self._mapping.entity(relationship.target_entity)
+        if relationship.remote_column.lower() == target_mapping.primary_key.column.lower():
+            return self.find(relationship.target_entity, foreign_key)
+        sql = (
+            f"SELECT A.* FROM {target_mapping.table} AS A "
+            f"WHERE A.{relationship.remote_column} = ?"
+        )
+        result = self.execute_sql(sql, (foreign_key,))
+        if not result.rows:
+            return None
+        return self.materialise_entity(
+            relationship.target_entity, result.columns, result.rows[0]
+        )
+
+    def _navigate_to_many(
+        self,
+        entity: Entity,
+        mapping: EntityMapping,
+        relationship: RelationshipMapping,
+    ) -> QuerySet:
+        local_value = entity.row_values().get(relationship.local_column.lower())
+        target_mapping = self._mapping.entity(relationship.target_entity)
+        sql = (
+            f"SELECT A.* FROM {target_mapping.table} AS A "
+            f"WHERE A.{relationship.remote_column} = ?"
+        )
+        query = SqlBackedQuery(
+            self,
+            sql,
+            (local_value,),
+            make_entity_row_mapper(relationship.target_entity),
+            entity_name=relationship.target_entity,
+        )
+        return QuerySet.lazy(query)
+
+    # -- persistence ---------------------------------------------------------------------------------
+
+    def persist(self, entity: Entity) -> None:
+        """Insert a new entity into the database."""
+        self._check_open()
+        entity._bind(self)
+        mapping = type(entity)._mapping
+        values = entity.row_values()
+        columns = [field.column for field in mapping.fields]
+        placeholders = ", ".join("?" for _ in columns)
+        sql = (
+            f"INSERT INTO {mapping.table} ({', '.join(columns)}) "
+            f"VALUES ({placeholders})"
+        )
+        params = tuple(values.get(column.lower()) for column in columns)
+        self.execute_sql(sql, params)
+        entity._clear_dirty()
+        key = entity.primary_key_value
+        if key is not None:
+            self._identity_map[(mapping.entity_name, key)] = entity
+
+    def remove(self, entity: Entity) -> None:
+        """Delete an entity from the database."""
+        self._check_open()
+        mapping = type(entity)._mapping
+        key = entity.primary_key_value
+        if key is None:
+            raise OrmError("cannot remove an entity without a primary key")
+        sql = f"DELETE FROM {mapping.table} WHERE {mapping.primary_key.column} = ?"
+        self.execute_sql(sql, (key,))
+        self._identity_map.pop((mapping.entity_name, key), None)
+
+    def _mark_dirty(self, entity: Entity) -> None:
+        if entity not in self._dirty:
+            self._dirty.append(entity)
+
+    @property
+    def dirty_entities(self) -> list[Entity]:
+        """Entities with unsaved modifications."""
+        return list(self._dirty)
+
+    def commit(self) -> int:
+        """Write every dirty entity back to its table row.
+
+        Returns the number of UPDATE statements issued.  This is the
+        standard ORM write-back the paper describes ("the ORM tool will
+        write the objects' data back to individual table rows before a
+        transaction completes").
+        """
+        self._check_open()
+        updates = 0
+        for entity in self._dirty:
+            mapping = type(entity)._mapping
+            dirty_fields = sorted(entity.dirty_fields)
+            if not dirty_fields:
+                continue
+            key = entity.primary_key_value
+            if key is None:
+                raise OrmError("cannot update an entity without a primary key")
+            assignments = []
+            params: list[object] = []
+            for field_name in dirty_fields:
+                field = mapping.field_by_name(field_name)
+                assert field is not None
+                assignments.append(f"{field.column} = ?")
+                params.append(entity.row_values().get(field.column.lower()))
+            params.append(key)
+            sql = (
+                f"UPDATE {mapping.table} SET {', '.join(assignments)} "
+                f"WHERE {mapping.primary_key.column} = ?"
+            )
+            self.execute_sql(sql, tuple(params))
+            entity._clear_dirty()
+            updates += 1
+        self._dirty.clear()
+        self.execute_sql("COMMIT")
+        return updates
+
+    def rollback(self) -> None:
+        """Discard pending modifications and cached entities."""
+        self._check_open()
+        self._dirty.clear()
+        self._identity_map.clear()
+        self.execute_sql("ROLLBACK")
+
+    def close(self) -> None:
+        """Close the EntityManager; further use raises."""
+        self._closed = True
+
+    # -- internals ----------------------------------------------------------------------------------------
+
+    def _entity_name(self, entity: str | type[Entity]) -> str:
+        if isinstance(entity, str):
+            name = entity
+        elif isinstance(entity, type) and issubclass(entity, Entity):
+            name = entity._mapping.entity_name
+        else:
+            raise OrmError(f"expected an entity name or class, got {entity!r}")
+        if not self._mapping.has_entity(name):
+            raise OrmError(f"unknown entity {name!r}")
+        return name
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise OrmError("this EntityManager has been closed")
+
+
+def make_entity_row_mapper(entity_name: str, column_prefix: str = "") -> RowMapper:
+    """Row mapper materialising rows of a single entity."""
+
+    def mapper(
+        entity_manager: EntityManager,
+        columns: Sequence[str],
+        row: tuple[object, ...],
+    ) -> object:
+        return entity_manager.materialise_entity(
+            entity_name, columns, row, column_prefix
+        )
+
+    return mapper
+
+
+def make_scalar_row_mapper(column_index: int = 0) -> RowMapper:
+    """Row mapper returning a single column value per row."""
+
+    def mapper(
+        entity_manager: EntityManager,
+        columns: Sequence[str],
+        row: tuple[object, ...],
+    ) -> object:
+        return row[column_index]
+
+    return mapper

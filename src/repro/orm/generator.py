@@ -1,0 +1,93 @@
+"""The ORM tool: generates entity classes and database schemas from mappings.
+
+This is the first of the paper's two programs (Fig. 9): given an ORM
+description it produces the "Generated Entity Classes" and can create the
+corresponding tables (plus foreign-key indexes) in a database.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OrmError
+from repro.orm.entity import Entity
+from repro.orm.mapping import OrmMapping
+from repro.sqlengine.engine import Database
+
+
+class OrmTool:
+    """Generates entity classes and schemas from an :class:`OrmMapping`."""
+
+    def __init__(self, mapping: OrmMapping) -> None:
+        mapping.validate()
+        self._mapping = mapping
+
+    @property
+    def mapping(self) -> OrmMapping:
+        """The validated mapping."""
+        return self._mapping
+
+    # -- class generation ----------------------------------------------------------
+
+    def generate_entity_classes(self) -> dict[str, type[Entity]]:
+        """Create one :class:`~repro.orm.entity.Entity` subclass per mapped
+        entity.
+
+        The generated classes carry their mapping as ``_mapping`` and get a
+        docstring listing fields and relationships; all field/getter/
+        relationship behaviour lives in the Entity base class.
+        """
+        classes: dict[str, type[Entity]] = {}
+        for entity_name in self._mapping.entity_names():
+            entity_mapping = self._mapping.entity(entity_name)
+            field_list = ", ".join(field.name for field in entity_mapping.fields)
+            relationship_list = ", ".join(
+                f"{relationship.name} -> {relationship.target_entity}"
+                for relationship in entity_mapping.relationships
+            )
+            doc = (
+                f"Generated entity for table {entity_mapping.table!r}.\n\n"
+                f"Fields: {field_list or '(none)'}\n"
+                f"Relationships: {relationship_list or '(none)'}"
+            )
+            entity_class = type(
+                entity_name,
+                (Entity,),
+                {"_mapping": entity_mapping, "__doc__": doc},
+            )
+            classes[entity_name] = entity_class
+        return classes
+
+    # -- schema generation -----------------------------------------------------------
+
+    def create_schema(self, database: Database, create_indexes: bool = True) -> None:
+        """Create the tables (and useful indexes) implied by the mapping."""
+        for entity_name in self._mapping.entity_names():
+            entity_mapping = self._mapping.entity(entity_name)
+            schema = entity_mapping.to_table_schema()
+            if database.catalog.has_table(schema.name):
+                raise OrmError(f"table {schema.name!r} already exists")
+            database.create_table(schema)
+        if create_indexes:
+            self._create_foreign_key_indexes(database)
+
+    def _create_foreign_key_indexes(self, database: Database) -> None:
+        created: set[tuple[str, str]] = set()
+        for entity_name in self._mapping.entity_names():
+            entity_mapping = self._mapping.entity(entity_name)
+            for relationship in entity_mapping.relationships:
+                if relationship.kind == "to_one":
+                    table = entity_mapping.table
+                    column = relationship.local_column
+                else:
+                    target = self._mapping.entity(relationship.target_entity)
+                    table = target.table
+                    column = relationship.remote_column
+                key = (table.lower(), column.lower())
+                if key in created:
+                    continue
+                schema = database.catalog.table(table)
+                if column.lower() in (
+                    name.lower() for name in schema.primary_key_columns
+                ):
+                    continue
+                database.create_index(table, [column])
+                created.add(key)

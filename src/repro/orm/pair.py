@@ -1,0 +1,74 @@
+"""The ``Pair`` value object used for projection.
+
+The paper: *"To support projection operations, Queryll supplies a Pair object
+that can hold two arbitrary values...  the Pair object can be used to
+construct simple data structures during a query."*
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterable, Iterator, TypeVar
+
+First = TypeVar("First")
+Second = TypeVar("Second")
+
+
+class Pair(Generic[First, Second]):
+    """An immutable pair of two values.
+
+    Pairs compare by value and are hashable when their components are, so
+    they behave well inside QuerySets.  Both Java-style accessors
+    (``getFirst``/``getSecond``) and Pythonic attributes (``first``/
+    ``second``) are provided, to keep the paper's examples recognisable.
+    """
+
+    __slots__ = ("_first", "_second")
+
+    def __init__(self, first: First, second: Second) -> None:
+        self._first = first
+        self._second = second
+
+    @property
+    def first(self) -> First:
+        """The first component (the LISP ``car``)."""
+        return self._first
+
+    @property
+    def second(self) -> Second:
+        """The second component (the LISP ``cdr``)."""
+        return self._second
+
+    def getFirst(self) -> First:  # noqa: N802 - Java-style accessor
+        """Java-style accessor for the first component."""
+        return self._first
+
+    def getSecond(self) -> Second:  # noqa: N802 - Java-style accessor
+        """Java-style accessor for the second component."""
+        return self._second
+
+    @staticmethod
+    def pair_collection(first: First, seconds: Iterable[Second]) -> list["Pair[First, Second]"]:
+        """Pair a single value with every element of a collection.
+
+        This is the paper's ``Pair.PairCollection(c, c.getAccounts())``
+        helper: it expresses the "one row joined with multiple rows" case.
+        """
+        return [Pair(first, second) for second in seconds]
+
+    # Java-style static alias used in the paper's figures.
+    PairCollection = pair_collection
+
+    def __iter__(self) -> Iterator[object]:
+        yield self._first
+        yield self._second
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pair):
+            return NotImplemented
+        return self._first == other._first and self._second == other._second
+
+    def __hash__(self) -> int:
+        return hash((Pair, self._first, self._second))
+
+    def __repr__(self) -> str:
+        return f"Pair({self._first!r}, {self._second!r})"

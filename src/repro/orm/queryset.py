@@ -1,0 +1,242 @@
+"""QuerySet: the lazily initialised collection at the heart of Queryll.
+
+The paper: *"A QuerySet is a lazily initialized container of database
+entities.  It holds a SQL query, and when any attempt is made to access any
+of the elements of a QuerySet, the QuerySet will execute the query on a
+database, fill itself with the results of the query, and from then on behave
+like a normal Java Collection."*
+
+A QuerySet is therefore in one of two states:
+
+* **lazy** — it holds a :class:`LazyQuery` describing how to fetch its
+  contents (a SQL query against an EntityManager); ordering and limit
+  operations compose into the pending query when possible;
+* **materialised** — it holds a plain list of items and behaves like an
+  ordinary collection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterable, Iterator, Optional, TypeVar
+
+from repro.orm.sorters import CallableSorter, Sorter
+
+Item = TypeVar("Item")
+
+
+class LazyQuery:
+    """Interface for the pending query held by a lazy QuerySet."""
+
+    def load(self) -> list[object]:
+        """Execute the query and return its results."""
+        raise NotImplementedError
+
+    def ordered_by(
+        self, accessors: tuple[str, ...], descending: bool
+    ) -> Optional["LazyQuery"]:
+        """Return a new query with an ORDER BY folded in, or None if the
+        ordering cannot be expressed in SQL.
+
+        ``accessors`` is the chain of attribute/getter names the sort key
+        reads (e.g. ``("getFirst", "getTitle")`` for a Pair of entities).
+        """
+        return None
+
+    def limited(self, count: int) -> Optional["LazyQuery"]:
+        """Return a new query with a LIMIT folded in, or None."""
+        return None
+
+    def describe_sql(self) -> Optional[str]:
+        """The SQL that would be executed (for tests and documentation)."""
+        return None
+
+
+class QuerySet(Generic[Item]):
+    """A collection of query results, lazily fetched from the database."""
+
+    def __init__(self, items: Iterable[Item] | None = None) -> None:
+        self._items: Optional[list[Item]] = list(items) if items is not None else []
+        self._lazy: Optional[LazyQuery] = None
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def lazy(cls, query: LazyQuery) -> "QuerySet[Item]":
+        """Create a QuerySet that will run ``query`` when first accessed."""
+        queryset: QuerySet[Item] = cls()
+        queryset._items = None
+        queryset._lazy = query
+        return queryset
+
+    # -- state --------------------------------------------------------------------
+
+    @property
+    def is_lazy(self) -> bool:
+        """True while the underlying query has not been executed yet."""
+        return self._items is None
+
+    @property
+    def pending_query(self) -> Optional[LazyQuery]:
+        """The pending query of a lazy QuerySet (None once materialised)."""
+        return self._lazy if self.is_lazy else None
+
+    def describe_sql(self) -> Optional[str]:
+        """SQL text of the pending query, if any."""
+        return self._lazy.describe_sql() if self._lazy is not None else None
+
+    def _materialise(self) -> list[Item]:
+        if self._items is None:
+            assert self._lazy is not None
+            self._items = list(self._lazy.load())  # type: ignore[arg-type]
+        return self._items
+
+    # -- collection protocol --------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self._materialise())
+
+    def iterator(self) -> Iterator[Item]:
+        """Java-style iterator() alias."""
+        return iter(self)
+
+    def __len__(self) -> int:
+        return len(self._materialise())
+
+    def size(self) -> int:
+        """Java-style size() alias."""
+        return len(self)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._materialise()
+
+    def __getitem__(self, index: int) -> Item:
+        return self._materialise()[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, QuerySet):
+            return self._materialise() == other._materialise()
+        if isinstance(other, list):
+            return self._materialise() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        if self.is_lazy:
+            return "QuerySet(<lazy>)"
+        return f"QuerySet({self._items!r})"
+
+    # -- mutation --------------------------------------------------------------------
+
+    def add(self, item: Item) -> bool:
+        """Add one element (Java ``Collection.add`` returns a boolean)."""
+        self._materialise().append(item)
+        return True
+
+    def add_all(self, items: Iterable[Item]) -> bool:
+        """Add every element of ``items``."""
+        materialised = self._materialise()
+        before = len(materialised)
+        materialised.extend(items)
+        return len(materialised) != before
+
+    # Java-style alias used in the paper's figures.
+    addAll = add_all  # noqa: N815
+
+    def clear(self) -> None:
+        """Remove every element (and discard any pending query)."""
+        self._items = []
+        self._lazy = None
+
+    # -- ordering and limit ------------------------------------------------------------
+
+    def sorted_by(
+        self,
+        sorter: Sorter[Item] | Callable[[Item], object] | str,
+        descending: bool = False,
+    ) -> "QuerySet[Item]":
+        """Return a new QuerySet sorted by the given key.
+
+        ``sorter`` may be a :class:`~repro.orm.sorters.Sorter`, a plain
+        callable, or a field/getter name (dotted chains allowed).  When this
+        QuerySet is still lazy and the sort key is a field reachable through
+        accessors, the ORDER BY is folded into the pending SQL query;
+        otherwise the sort happens in memory.
+        """
+        accessors: Optional[tuple[str, ...]]
+        if isinstance(sorter, str):
+            accessors = tuple(sorter.split("."))
+            sorter_obj: Sorter[Item] = _AccessorSorter(sorter)
+        elif isinstance(sorter, Sorter):
+            accessors = sorter.recorded_accessors()
+            sorter_obj = sorter
+        else:
+            sorter_obj = CallableSorter(sorter)
+            accessors = sorter_obj.recorded_accessors()
+
+        if self.is_lazy and accessors and self._lazy is not None:
+            folded = self._lazy.ordered_by(accessors, descending)
+            if folded is not None:
+                return QuerySet.lazy(folded)
+
+        items = sorted(
+            self._materialise(),
+            key=lambda item: _null_safe_key(sorter_obj.value(item)),
+            reverse=descending,
+        )
+        return QuerySet(items)
+
+    def sorted_by_double_descending(self, sorter: Sorter[Item]) -> "QuerySet[Item]":
+        """The paper's ``sortedByDoubleDescending`` operation."""
+        return self.sorted_by(sorter, descending=True)
+
+    def sorted_by_double_ascending(self, sorter: Sorter[Item]) -> "QuerySet[Item]":
+        """Ascending variant."""
+        return self.sorted_by(sorter, descending=False)
+
+    # Java-style aliases from the paper's Fig. 8.
+    sortedByDoubleDescending = sorted_by_double_descending  # noqa: N815
+    sortedByDoubleAscending = sorted_by_double_ascending  # noqa: N815
+
+    def first_n(self, count: int) -> "QuerySet[Item]":
+        """The paper's ``firstN`` limit operation."""
+        if count < 0:
+            raise ValueError("firstN requires a non-negative count")
+        if self.is_lazy and self._lazy is not None:
+            folded = self._lazy.limited(count)
+            if folded is not None:
+                return QuerySet.lazy(folded)
+        return QuerySet(self._materialise()[:count])
+
+    firstN = first_n  # noqa: N815
+
+    # -- conversions -----------------------------------------------------------------
+
+    def to_list(self) -> list[Item]:
+        """Materialise and return a copy of the contents."""
+        return list(self._materialise())
+
+
+class _AccessorSorter(Sorter[Item]):
+    """Sorter reading a named attribute or getter (dotted chains allowed)."""
+
+    def __init__(self, accessor: str) -> None:
+        self._accessors = tuple(accessor.split("."))
+
+    def value(self, element: Item) -> object:
+        value: object = element
+        for accessor in self._accessors:
+            value = getattr(value, accessor)
+            if callable(value):
+                value = value()
+        return value
+
+    def recorded_accessors(self) -> Optional[tuple[str, ...]]:
+        return self._accessors
+
+
+def _null_safe_key(value: object) -> tuple[int, object]:
+    """Sort key that tolerates None values (they sort first)."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (1, value)
+    return (2, str(value))

@@ -1,0 +1,89 @@
+"""Database session facade: the paper's ``db.beginTransaction()`` API.
+
+``QueryllDatabase`` bundles a SQL database, an ORM mapping and the generated
+entity classes, and hands out :class:`~repro.orm.entity_manager.EntityManager`
+instances per transaction — mirroring the usage in the paper's Fig. 4::
+
+    EntityManager em = db.beginTransaction();
+    ...
+    db.endTransaction(em, true);
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.orm.entity import Entity
+from repro.orm.entity_manager import EntityManager
+from repro.orm.generator import OrmTool
+from repro.orm.mapping import OrmMapping
+from repro.sqlengine.engine import Database
+from repro.sqlengine.planner import PlannerOptions
+
+
+class QueryllDatabase:
+    """An application-facing database handle with ORM support."""
+
+    def __init__(
+        self,
+        mapping: OrmMapping,
+        database: Optional[Database] = None,
+        create_schema: bool = True,
+        planner_options: Optional[PlannerOptions] = None,
+    ) -> None:
+        self._database = database or Database(planner_options=planner_options)
+        self._tool = OrmTool(mapping)
+        if create_schema:
+            self._tool.create_schema(self._database)
+        self._entity_classes = self._tool.generate_entity_classes()
+
+    # -- accessors -------------------------------------------------------------------
+
+    @property
+    def database(self) -> Database:
+        """The underlying SQL engine."""
+        return self._database
+
+    @property
+    def mapping(self) -> OrmMapping:
+        """The ORM mapping."""
+        return self._tool.mapping
+
+    @property
+    def entity_classes(self) -> dict[str, type[Entity]]:
+        """Generated entity classes keyed by entity name."""
+        return dict(self._entity_classes)
+
+    def entity_class(self, name: str) -> type[Entity]:
+        """One generated entity class by name."""
+        return self._entity_classes[name]
+
+    # -- transactions -----------------------------------------------------------------
+
+    def begin_transaction(self) -> EntityManager:
+        """Start a unit of work and return its EntityManager."""
+        return EntityManager(self._database, self.mapping, self._entity_classes)
+
+    def end_transaction(self, entity_manager: EntityManager, commit: bool = True) -> None:
+        """Finish a unit of work, committing or rolling back."""
+        if commit:
+            entity_manager.commit()
+        else:
+            entity_manager.rollback()
+        entity_manager.close()
+
+    # Java-style aliases matching the paper's figures.
+    beginTransaction = begin_transaction  # noqa: N815
+    endTransaction = end_transaction  # noqa: N815
+
+    @contextmanager
+    def transaction(self) -> Iterator[EntityManager]:
+        """Context-manager form of begin/end transaction."""
+        entity_manager = self.begin_transaction()
+        try:
+            yield entity_manager
+        except Exception:
+            self.end_transaction(entity_manager, commit=False)
+            raise
+        self.end_transaction(entity_manager, commit=True)

@@ -1,0 +1,142 @@
+"""Sorter objects for the ordering operation (the paper's Fig. 8).
+
+The paper's ordering syntax asks programmers to provide a sorter object whose
+``value(element)`` method returns the sort key, similar to Java's
+``Comparator``.  To fold the ordering into the generated SQL the system must
+know which entity field the sorter reads; we discover that by calling the
+sorter once with a *recording probe* that notes the chain of accessors used
+(e.g. ``pair.getFirst().getTitle()`` records ``("getFirst", "getTitle")``).
+When the sorter does something the probe cannot capture (arbitrary
+computation, several fields), the QuerySet falls back to an in-memory sort —
+matching the paper's description of ordering support as "preliminary".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Optional, TypeVar
+
+Element = TypeVar("Element")
+
+
+class _RecordingProbe:
+    """Stand-in element that records the chain of attributes accessed on it.
+
+    Accessing an attribute returns another probe (so chains like
+    ``p.first.title`` work); calling a probe returns it unchanged (so
+    Java-style getter chains like ``p.getFirst().getTitle()`` work too).
+    Arithmetic on a probe raises, which the caller treats as "cannot
+    analyse".
+    """
+
+    def __init__(self, chain: tuple[str, ...] = (), log: list | None = None) -> None:
+        object.__setattr__(self, "_chain", chain)
+        object.__setattr__(self, "_log", log if log is not None else [])
+
+    def __getattr__(self, name: str) -> "_RecordingProbe":
+        if name.startswith("_"):
+            raise AttributeError(name)
+        chain = self._chain + (name,)
+        probe = _RecordingProbe(chain, self._log)
+        self._log.append(probe)
+        return probe
+
+    def __call__(self) -> "_RecordingProbe":
+        return self
+
+    @property
+    def chain(self) -> tuple[str, ...]:
+        return self._chain
+
+
+def _longest_chain(log: list) -> Optional[tuple[str, ...]]:
+    """The single maximal accessor chain, or None if several were recorded."""
+    if not log:
+        return None
+    chains = [probe.chain for probe in log]
+    longest = max(chains, key=len)
+    # Every recorded chain must be a prefix of the longest one, otherwise the
+    # sorter touched more than one field and cannot be folded into SQL.
+    for chain in chains:
+        if chain != longest[: len(chain)]:
+            return None
+    return longest
+
+
+class Sorter(Generic[Element]):
+    """Base class for sorters: subclasses override :meth:`value`."""
+
+    def value(self, element: Element) -> object:
+        """Return the sort key for ``element``."""
+        raise NotImplementedError
+
+    # -- key extraction ----------------------------------------------------------
+
+    def recorded_accessors(self) -> Optional[tuple[str, ...]]:
+        """Try to discover which accessor chain the sorter reads.
+
+        Returns a tuple of accessor names (attributes or getters), or None if
+        the sorter could not be analysed.
+        """
+        log: list = []
+        probe = _RecordingProbe(log=log)
+        try:
+            result = self.value(probe)  # type: ignore[arg-type]
+        except Exception:  # noqa: BLE001 - any failure means "cannot analyse"
+            return None
+        if not isinstance(result, _RecordingProbe):
+            return None
+        chain = _longest_chain(log)
+        if not chain:
+            return None
+        return chain
+
+    def recorded_field(self) -> Optional[str]:
+        """Single-accessor convenience form of :meth:`recorded_accessors`."""
+        chain = self.recorded_accessors()
+        if chain is not None and len(chain) == 1:
+            return chain[0]
+        return None
+
+
+class DoubleSorter(Sorter[Element]):
+    """Sorter returning a floating-point key (paper's ``DoubleSorter``)."""
+
+
+class IntSorter(Sorter[Element]):
+    """Sorter returning an integer key."""
+
+
+class StringSorter(Sorter[Element]):
+    """Sorter returning a string key."""
+
+
+class FieldSorter(Sorter[Element]):
+    """Sorter reading a named field (or dotted chain); trivially analysable."""
+
+    def __init__(self, field: str) -> None:
+        self._field = field
+
+    def value(self, element: Element) -> object:
+        value: object = element
+        for accessor in self._field.split("."):
+            value = getattr(value, accessor)
+            if callable(value):
+                value = value()
+        return value
+
+    def recorded_accessors(self) -> Optional[tuple[str, ...]]:
+        return tuple(self._field.split("."))
+
+
+class CallableSorter(Sorter[Element]):
+    """Adapter turning a plain callable into a sorter.
+
+    The callable is analysed with the same recording probe, so lambdas that
+    read a single field chain still fold into SQL.
+    """
+
+    def __init__(self, func: Callable[[Element], object]) -> None:
+        self._func = func
+
+    def value(self, element: Element) -> object:
+        return self._func(element)

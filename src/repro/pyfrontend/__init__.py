@@ -1,0 +1,18 @@
+"""CPython bytecode frontend: the ``@query`` decorator.
+
+The paper rewrites *Java* bytecode; this frontend demonstrates the same idea
+on the bytecode an unmodified CPython compiler produces.  A function
+decorated with :func:`~repro.pyfrontend.decorator.query` is written as a
+plain Python for-loop over ``em.all(Entity)``; it is executable as-is (it
+would scan the whole table), but on first call the decorator disassembles its
+compiled bytecode, lowers it into the same three-address form the mini-JVM
+frontend produces, runs the Queryll pipeline and — when the analysis
+succeeds — executes the generated SQL instead of the loop.
+"""
+
+from __future__ import annotations
+
+from repro.pyfrontend.decorator import QueryFunction, query
+from repro.pyfrontend.disassembler import lower_function
+
+__all__ = ["QueryFunction", "lower_function", "query"]

@@ -1,0 +1,178 @@
+"""Catalog: table and column metadata for the in-memory SQL engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Optional
+
+from repro.sqlengine.errors import SqlCatalogError, SqlTypeError
+
+
+class SqlType(Enum):
+    """Column types supported by the engine.
+
+    The mapping from SQL type names is intentionally generous (e.g. both
+    ``VARCHAR`` and ``TEXT`` map to :attr:`TEXT`), matching what the TPC-W
+    schema and the ORM need.
+    """
+
+    INTEGER = "INTEGER"
+    DOUBLE = "DOUBLE"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+    DATE = "DATE"
+
+    @classmethod
+    def from_name(cls, name: str) -> "SqlType":
+        """Map a SQL type name (``VARCHAR``, ``INT``, ...) to a SqlType."""
+        upper = name.upper()
+        mapping = {
+            "INTEGER": cls.INTEGER,
+            "INT": cls.INTEGER,
+            "BIGINT": cls.INTEGER,
+            "DOUBLE": cls.DOUBLE,
+            "FLOAT": cls.DOUBLE,
+            "REAL": cls.DOUBLE,
+            "NUMERIC": cls.DOUBLE,
+            "VARCHAR": cls.TEXT,
+            "CHAR": cls.TEXT,
+            "TEXT": cls.TEXT,
+            "BOOLEAN": cls.BOOLEAN,
+            "DATE": cls.DATE,
+            "TIMESTAMP": cls.DATE,
+        }
+        if upper not in mapping:
+            raise SqlCatalogError(f"unknown SQL type {name!r}")
+        return mapping[upper]
+
+    def coerce(self, value: object) -> object:
+        """Coerce ``value`` to this type, raising :class:`SqlTypeError` if
+        the value cannot represent the type."""
+        if value is None:
+            return None
+        try:
+            if self is SqlType.INTEGER:
+                if isinstance(value, bool):
+                    return int(value)
+                if isinstance(value, (int, float)):
+                    return int(value)
+                return int(str(value))
+            if self is SqlType.DOUBLE:
+                return float(value)  # type: ignore[arg-type]
+            if self is SqlType.BOOLEAN:
+                if isinstance(value, str):
+                    return value.strip().lower() in {"true", "t", "1", "yes"}
+                return bool(value)
+            # TEXT and DATE are stored as strings.
+            return value if isinstance(value, str) else str(value)
+        except (TypeError, ValueError) as exc:
+            raise SqlTypeError(f"cannot convert {value!r} to {self.value}") from exc
+
+
+@dataclass(frozen=True)
+class ColumnSchema:
+    """Metadata for a single column."""
+
+    name: str
+    sql_type: SqlType
+    primary_key: bool = False
+    unique: bool = False
+    nullable: bool = True
+    length: Optional[int] = None
+
+
+@dataclass
+class TableSchema:
+    """Metadata for a table: ordered columns plus derived lookups."""
+
+    name: str
+    columns: tuple[ColumnSchema, ...]
+    _by_name: dict[str, int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        by_name: dict[str, int] = {}
+        for position, column in enumerate(self.columns):
+            key = column.name.lower()
+            if key in by_name:
+                raise SqlCatalogError(
+                    f"duplicate column {column.name!r} in table {self.name!r}"
+                )
+            by_name[key] = position
+        self._by_name = by_name
+
+    @property
+    def column_names(self) -> list[str]:
+        """Ordered list of column names."""
+        return [column.name for column in self.columns]
+
+    @property
+    def primary_key_columns(self) -> list[str]:
+        """Names of the primary-key columns (possibly empty)."""
+        return [column.name for column in self.columns if column.primary_key]
+
+    def has_column(self, name: str) -> bool:
+        """True if a column with the given (case-insensitive) name exists."""
+        return name.lower() in self._by_name
+
+    def column_index(self, name: str) -> int:
+        """Position of the column, raising :class:`SqlCatalogError` if absent."""
+        key = name.lower()
+        if key not in self._by_name:
+            raise SqlCatalogError(
+                f"table {self.name!r} has no column {name!r}"
+            )
+        return self._by_name[key]
+
+    def column(self, name: str) -> ColumnSchema:
+        """The :class:`ColumnSchema` for the given column name."""
+        return self.columns[self.column_index(name)]
+
+    def coerce_row(self, values: Iterable[object]) -> tuple[object, ...]:
+        """Coerce a full row of values to the column types."""
+        values = tuple(values)
+        if len(values) != len(self.columns):
+            raise SqlTypeError(
+                f"table {self.name!r} expects {len(self.columns)} values, "
+                f"got {len(values)}"
+            )
+        return tuple(
+            column.sql_type.coerce(value)
+            for column, value in zip(self.columns, values)
+        )
+
+
+class Catalog:
+    """The set of tables known to a :class:`~repro.sqlengine.engine.Database`."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableSchema] = {}
+
+    def create_table(self, schema: TableSchema) -> None:
+        """Register a new table schema."""
+        key = schema.name.lower()
+        if key in self._tables:
+            raise SqlCatalogError(f"table {schema.name!r} already exists")
+        self._tables[key] = schema
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table schema."""
+        key = name.lower()
+        if key not in self._tables:
+            raise SqlCatalogError(f"table {name!r} does not exist")
+        del self._tables[key]
+
+    def has_table(self, name: str) -> bool:
+        """True if a table with the given (case-insensitive) name exists."""
+        return name.lower() in self._tables
+
+    def table(self, name: str) -> TableSchema:
+        """Look up a table schema by name."""
+        key = name.lower()
+        if key not in self._tables:
+            raise SqlCatalogError(f"table {name!r} does not exist")
+        return self._tables[key]
+
+    def table_names(self) -> list[str]:
+        """All registered table names (original casing)."""
+        return [schema.name for schema in self._tables.values()]

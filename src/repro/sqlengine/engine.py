@@ -1,0 +1,226 @@
+"""The ``Database`` facade: parse, plan (with caching) and execute SQL.
+
+This is the component standing in for PostgreSQL in the reproduction.  It is
+deliberately synchronous and single-process — the paper's benchmark runs the
+database and the query code on the same machine — and exposes both a SQL
+interface (``execute``) and a couple of fast bulk-loading helpers used by the
+TPC-W population generator.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.catalog import Catalog, TableSchema
+from repro.sqlengine.executor import Executor, StatementResult
+from repro.sqlengine.parser import parse_statement
+from repro.sqlengine.planner import PlannerOptions, SelectPlan
+from repro.sqlengine.storage import TableData
+
+
+@dataclass
+class ResultSet:
+    """Materialised result of a query: column names plus row tuples.
+
+    Column names are lower case; :meth:`column_index` resolves names
+    case-insensitively, mirroring JDBC's ``ResultSet.getString(name)``.
+    """
+
+    columns: list[str]
+    rows: list[tuple[object, ...]]
+
+    def column_index(self, name: str) -> int:
+        """Index of a column by (case-insensitive) name."""
+        lowered = name.lower()
+        try:
+            return self.columns.index(lowered)
+        except ValueError as exc:
+            raise KeyError(f"no column named {name!r}") from exc
+
+    def value(self, row: int, column: str) -> object:
+        """Value at (row, column-name)."""
+        return self.rows[row][self.column_index(column)]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+@dataclass
+class _CachedStatement:
+    statement: ast.Statement
+    plan: Optional[SelectPlan]
+
+
+class Database:
+    """An in-memory SQL database.
+
+    Thread safety: a single lock serialises statement execution, which is all
+    the benchmark harness needs (it is single-threaded, like the paper's).
+    """
+
+    def __init__(self, planner_options: PlannerOptions | None = None) -> None:
+        self._catalog = Catalog()
+        self._tables: dict[str, TableData] = {}
+        self._planner_options = planner_options or PlannerOptions()
+        self._executor = Executor(self._catalog, self._tables, self._planner_options)
+        self._statement_cache: dict[str, _CachedStatement] = {}
+        self._lock = threading.RLock()
+        #: Number of statements executed; used by tests and benchmarks to
+        #: verify how many round-trips a code path performs.
+        self.statements_executed = 0
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def catalog(self) -> Catalog:
+        """The table catalog."""
+        return self._catalog
+
+    @property
+    def planner_options(self) -> PlannerOptions:
+        """Planner switches (mutable; the plan cache is cleared on change via
+        :meth:`set_planner_options`)."""
+        return self._planner_options
+
+    def set_planner_options(self, options: PlannerOptions) -> None:
+        """Replace the planner options and invalidate cached plans."""
+        with self._lock:
+            self._planner_options = options
+            self._executor = Executor(self._catalog, self._tables, options)
+            self._statement_cache.clear()
+
+    # -- SQL interface -------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[object] = ()) -> ResultSet:
+        """Parse (with caching), plan and execute one SQL statement."""
+        with self._lock:
+            cached = self._get_cached(sql)
+            result = self._executor.execute(cached.statement, params, plan=cached.plan)
+            self.statements_executed += 1
+            return ResultSet(columns=result.columns, rows=result.rows)
+
+    def execute_many(
+        self, sql: str, param_rows: Iterable[Sequence[object]]
+    ) -> int:
+        """Execute the same statement for every parameter row; returns the
+        total affected-row count."""
+        total = 0
+        with self._lock:
+            cached = self._get_cached(sql)
+            for params in param_rows:
+                result = self._executor.execute(
+                    cached.statement, params, plan=cached.plan
+                )
+                self.statements_executed += 1
+                total += result.rowcount
+        return total
+
+    def explain(self, sql: str) -> str:
+        """Return the textual plan for a SELECT statement."""
+        with self._lock:
+            cached = self._get_cached(sql)
+            if cached.plan is None:
+                return type(cached.statement).__name__
+            return cached.plan.explain()
+
+    def executescript(self, script: str) -> None:
+        """Execute several semicolon-separated statements (DDL helper)."""
+        for statement_text in _split_script(script):
+            self.execute(statement_text)
+
+    # -- bulk/native helpers -------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> None:
+        """Register a table directly from a :class:`TableSchema`."""
+        with self._lock:
+            self._catalog.create_table(schema)
+            self._tables[schema.name.lower()] = TableData(schema)
+            self._statement_cache.clear()
+
+    def create_index(
+        self,
+        table: str,
+        columns: Sequence[str],
+        name: str | None = None,
+        unique: bool = False,
+        ordered: bool = False,
+    ) -> None:
+        """Create an index without going through SQL."""
+        with self._lock:
+            data = self.table_data(table)
+            index_name = name or f"idx_{table.lower()}_{'_'.join(columns).lower()}"
+            data.create_index(index_name, tuple(columns), unique=unique, ordered=ordered)
+            self._statement_cache.clear()
+
+    def insert_rows(self, table: str, rows: Iterable[Sequence[object]]) -> int:
+        """Bulk-load rows (used by the TPC-W population generator).
+
+        Rows must list a value for every column in schema order.
+        """
+        with self._lock:
+            schema = self._catalog.table(table)
+            data = self._tables[schema.name.lower()]
+            count = 0
+            for row in rows:
+                data.insert(schema.coerce_row(row))
+                count += 1
+            return count
+
+    def table_data(self, table: str) -> TableData:
+        """Direct access to a table's storage (tests and the ORM use this)."""
+        schema = self._catalog.table(table)
+        return self._tables[schema.name.lower()]
+
+    def row_count(self, table: str) -> int:
+        """Number of live rows in ``table``."""
+        return len(self.table_data(table))
+
+    # -- internals -----------------------------------------------------------
+
+    def _get_cached(self, sql: str) -> _CachedStatement:
+        cached = self._statement_cache.get(sql)
+        if cached is not None:
+            return cached
+        statement = parse_statement(sql)
+        plan: Optional[SelectPlan] = None
+        if isinstance(statement, ast.SelectStatement):
+            plan = self._executor.plan_select(statement)
+        cached = _CachedStatement(statement=statement, plan=plan)
+        if isinstance(
+            statement,
+            (ast.SelectStatement, ast.InsertStatement, ast.UpdateStatement,
+             ast.DeleteStatement, ast.TransactionStatement),
+        ):
+            # Only cache statements that do not change the catalog.
+            self._statement_cache[sql] = cached
+        else:
+            self._statement_cache.clear()
+        return cached
+
+
+def _split_script(script: str) -> list[str]:
+    """Split a script into statements on semicolons outside string literals."""
+    statements: list[str] = []
+    current: list[str] = []
+    in_string = False
+    for ch in script:
+        if ch == "'":
+            in_string = not in_string
+            current.append(ch)
+        elif ch == ";" and not in_string:
+            text = "".join(current).strip()
+            if text:
+                statements.append(text)
+            current = []
+        else:
+            current.append(ch)
+    text = "".join(current).strip()
+    if text:
+        statements.append(text)
+    return statements

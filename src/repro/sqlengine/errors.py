@@ -1,0 +1,25 @@
+"""Exceptions raised by the in-memory SQL engine."""
+
+from __future__ import annotations
+
+from repro.errors import SqlError
+
+
+class SqlParseError(SqlError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class SqlCatalogError(SqlError):
+    """A statement referenced an unknown table or column, or redefined one."""
+
+
+class SqlTypeError(SqlError):
+    """A value did not match the declared column type."""
+
+
+class SqlExecutionError(SqlError):
+    """A statement failed during execution (e.g. bad parameter count)."""

@@ -1,0 +1,200 @@
+"""Statement execution for the in-memory SQL engine.
+
+The executor owns the table data dictionary and knows how to run every
+statement kind produced by the parser.  SELECT statements are delegated to
+the :class:`~repro.sqlengine.planner.Planner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.catalog import Catalog, ColumnSchema, SqlType, TableSchema
+from repro.sqlengine.errors import SqlExecutionError
+from repro.sqlengine.expressions import ExpressionCompiler, column_key, is_truthy
+from repro.sqlengine.operators import materialise
+from repro.sqlengine.planner import Planner, PlannerOptions, SelectPlan
+from repro.sqlengine.storage import TableData
+
+
+@dataclass
+class StatementResult:
+    """Result of executing one statement."""
+
+    columns: list[str] = field(default_factory=list)
+    rows: list[tuple[object, ...]] = field(default_factory=list)
+    rowcount: int = 0
+
+
+class Executor:
+    """Executes parsed statements against catalog + storage."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        tables: dict[str, TableData],
+        planner_options: PlannerOptions | None = None,
+    ) -> None:
+        self._catalog = catalog
+        self._tables = tables
+        self._planner_options = planner_options or PlannerOptions()
+
+    # -- planning ------------------------------------------------------------
+
+    def plan_select(self, statement: ast.SelectStatement) -> SelectPlan:
+        """Plan a SELECT statement (exposed for plan caching and EXPLAIN)."""
+        planner = Planner(self._catalog, self._tables, self._planner_options)
+        return planner.plan_select(statement)
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(
+        self,
+        statement: ast.Statement,
+        params: Sequence[object] = (),
+        plan: Optional[SelectPlan] = None,
+    ) -> StatementResult:
+        """Execute ``statement`` with positional ``params``."""
+        if isinstance(statement, ast.SelectStatement):
+            select_plan = plan if plan is not None else self.plan_select(statement)
+            rows = materialise(select_plan.root, params, select_plan.column_names)
+            return StatementResult(
+                columns=list(select_plan.column_names),
+                rows=rows,
+                rowcount=len(rows),
+            )
+        if isinstance(statement, ast.InsertStatement):
+            return self._execute_insert(statement, params)
+        if isinstance(statement, ast.UpdateStatement):
+            return self._execute_update(statement, params)
+        if isinstance(statement, ast.DeleteStatement):
+            return self._execute_delete(statement, params)
+        if isinstance(statement, ast.CreateTableStatement):
+            return self._execute_create_table(statement)
+        if isinstance(statement, ast.CreateIndexStatement):
+            return self._execute_create_index(statement)
+        if isinstance(statement, ast.DropTableStatement):
+            self._catalog.drop_table(statement.table)
+            self._tables.pop(statement.table.lower(), None)
+            return StatementResult()
+        if isinstance(statement, ast.TransactionStatement):
+            # The in-memory engine applies statements immediately; BEGIN and
+            # COMMIT are accepted for JDBC-style drivers but are no-ops.
+            return StatementResult()
+        raise SqlExecutionError(f"cannot execute statement {statement!r}")
+
+    # -- DML -----------------------------------------------------------------
+
+    def _execute_insert(
+        self, statement: ast.InsertStatement, params: Sequence[object]
+    ) -> StatementResult:
+        schema = self._catalog.table(statement.table)
+        data = self._tables[schema.name.lower()]
+        compiler = ExpressionCompiler()
+        count = 0
+        for value_row in statement.rows:
+            columns = statement.columns or tuple(schema.column_names)
+            if len(columns) != len(value_row):
+                raise SqlExecutionError(
+                    f"INSERT into {schema.name!r}: {len(columns)} columns "
+                    f"but {len(value_row)} values"
+                )
+            values: list[object] = [None] * len(schema.columns)
+            for column, expression in zip(columns, value_row):
+                position = schema.column_index(column)
+                values[position] = compiler.compile(expression)({}, params)
+            data.insert(schema.coerce_row(values))
+            count += 1
+        return StatementResult(rowcount=count)
+
+    def _single_table_env(
+        self, schema: TableSchema, binding: str, row: tuple[object, ...]
+    ) -> dict[str, object]:
+        env: dict[str, object] = {}
+        for column, value in zip(schema.columns, row):
+            env[column_key(binding, column.name)] = value
+            env[column.name.lower()] = value
+        return env
+
+    def _execute_update(
+        self, statement: ast.UpdateStatement, params: Sequence[object]
+    ) -> StatementResult:
+        schema = self._catalog.table(statement.table)
+        data = self._tables[schema.name.lower()]
+        compiler = ExpressionCompiler()
+        predicate = (
+            compiler.compile(statement.where) if statement.where is not None else None
+        )
+        assignments = [
+            (schema.column_index(column), compiler.compile(expression))
+            for column, expression in statement.assignments
+        ]
+        binding = statement.table.lower()
+        updated = 0
+        # Materialise matching row ids first so index updates cannot affect
+        # the scan in progress.
+        matches: list[tuple[int, tuple[object, ...]]] = []
+        for row_id, row in data.scan():
+            env = self._single_table_env(schema, binding, row)
+            if predicate is None or is_truthy(predicate(env, params)):
+                matches.append((row_id, row))
+        for row_id, row in matches:
+            env = self._single_table_env(schema, binding, row)
+            new_row = list(row)
+            for position, evaluate in assignments:
+                new_row[position] = evaluate(env, params)
+            data.update(row_id, schema.coerce_row(new_row))
+            updated += 1
+        return StatementResult(rowcount=updated)
+
+    def _execute_delete(
+        self, statement: ast.DeleteStatement, params: Sequence[object]
+    ) -> StatementResult:
+        schema = self._catalog.table(statement.table)
+        data = self._tables[schema.name.lower()]
+        compiler = ExpressionCompiler()
+        predicate = (
+            compiler.compile(statement.where) if statement.where is not None else None
+        )
+        binding = statement.table.lower()
+        to_delete: list[int] = []
+        for row_id, row in data.scan():
+            env = self._single_table_env(schema, binding, row)
+            if predicate is None or is_truthy(predicate(env, params)):
+                to_delete.append(row_id)
+        for row_id in to_delete:
+            data.delete(row_id)
+        return StatementResult(rowcount=len(to_delete))
+
+    # -- DDL -----------------------------------------------------------------
+
+    def _execute_create_table(
+        self, statement: ast.CreateTableStatement
+    ) -> StatementResult:
+        columns = tuple(
+            ColumnSchema(
+                name=definition.name,
+                sql_type=SqlType.from_name(definition.type_name),
+                primary_key=definition.primary_key,
+                unique=definition.unique,
+                nullable=definition.nullable,
+                length=definition.length,
+            )
+            for definition in statement.columns
+        )
+        schema = TableSchema(name=statement.table, columns=columns)
+        self._catalog.create_table(schema)
+        self._tables[schema.name.lower()] = TableData(schema)
+        return StatementResult()
+
+    def _execute_create_index(
+        self, statement: ast.CreateIndexStatement
+    ) -> StatementResult:
+        schema = self._catalog.table(statement.table)
+        data = self._tables[schema.name.lower()]
+        data.create_index(
+            statement.name, tuple(statement.columns), unique=statement.unique
+        )
+        return StatementResult()

@@ -1,0 +1,183 @@
+"""Tokenizer for the SQL subset understood by the in-memory engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Iterator
+
+from repro.sqlengine.errors import SqlParseError
+
+
+class TokenType(Enum):
+    """Lexical categories produced by :class:`SqlLexer`."""
+
+    KEYWORD = auto()
+    IDENTIFIER = auto()
+    INTEGER = auto()
+    FLOAT = auto()
+    STRING = auto()
+    OPERATOR = auto()
+    PUNCTUATION = auto()
+    PARAMETER = auto()
+    EOF = auto()
+
+
+#: Keywords recognised by the parser.  Everything else that looks like a word
+#: is an identifier.  Matching is case-insensitive; keywords are normalised to
+#: upper case.
+KEYWORDS = frozenset(
+    {
+        "SELECT", "DISTINCT", "FROM", "WHERE", "AND", "OR", "NOT",
+        "ORDER", "BY", "ASC", "DESC", "LIMIT", "OFFSET",
+        "AS", "IS", "NULL", "TRUE", "FALSE",
+        "INSERT", "INTO", "VALUES",
+        "UPDATE", "SET", "DELETE",
+        "CREATE", "TABLE", "INDEX", "ON", "PRIMARY", "KEY", "UNIQUE", "DROP",
+        "INTEGER", "INT", "BIGINT", "DOUBLE", "FLOAT", "REAL", "NUMERIC",
+        "VARCHAR", "CHAR", "TEXT", "BOOLEAN", "DATE", "TIMESTAMP",
+        "JOIN", "INNER", "LEFT", "OUTER", "CROSS",
+        "COUNT", "BETWEEN", "IN", "LIKE", "EXISTS", "GROUP", "HAVING",
+        "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION",
+    }
+)
+
+_OPERATOR_CHARS = set("=<>!+-*/%")
+_TWO_CHAR_OPERATORS = {"<=", ">=", "<>", "!=", "=="}
+_PUNCTUATION = set("(),.;")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its position in the source text."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        """Return ``True`` if this token is one of the given keywords."""
+        return self.type is TokenType.KEYWORD and self.value in names
+
+
+class SqlLexer:
+    """Streaming tokenizer for SQL text.
+
+    The lexer is deliberately permissive about whitespace and newlines and
+    understands ``--`` line comments, single-quoted string literals with
+    doubled-quote escaping, ``?`` positional parameters, numbers and the usual
+    operators.
+    """
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._length = len(text)
+        self._pos = 0
+
+    def tokenize(self) -> list[Token]:
+        """Tokenize the whole input, terminating with an EOF token."""
+        return list(self._iter_tokens())
+
+    def _iter_tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_whitespace_and_comments()
+            if self._pos >= self._length:
+                yield Token(TokenType.EOF, "", self._pos)
+                return
+            yield self._next_token()
+
+    def _skip_whitespace_and_comments(self) -> None:
+        text = self._text
+        while self._pos < self._length:
+            ch = text[self._pos]
+            if ch.isspace():
+                self._pos += 1
+            elif ch == "-" and text[self._pos : self._pos + 2] == "--":
+                end = text.find("\n", self._pos)
+                self._pos = self._length if end == -1 else end + 1
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        text = self._text
+        start = self._pos
+        ch = text[start]
+
+        if ch == "?":
+            self._pos += 1
+            return Token(TokenType.PARAMETER, "?", start)
+        if ch == "'":
+            return self._lex_string(start)
+        if ch.isdigit():
+            return self._lex_number(start)
+        if ch.isalpha() or ch == "_" or ch == '"':
+            return self._lex_word(start)
+        if ch in _OPERATOR_CHARS:
+            two = text[start : start + 2]
+            if two in _TWO_CHAR_OPERATORS:
+                self._pos += 2
+                return Token(TokenType.OPERATOR, two, start)
+            self._pos += 1
+            return Token(TokenType.OPERATOR, ch, start)
+        if ch in _PUNCTUATION:
+            self._pos += 1
+            return Token(TokenType.PUNCTUATION, ch, start)
+        raise SqlParseError(f"unexpected character {ch!r} at position {start}", start)
+
+    def _lex_string(self, start: int) -> Token:
+        text = self._text
+        pos = start + 1
+        chars: list[str] = []
+        while pos < self._length:
+            ch = text[pos]
+            if ch == "'":
+                if pos + 1 < self._length and text[pos + 1] == "'":
+                    chars.append("'")
+                    pos += 2
+                    continue
+                self._pos = pos + 1
+                return Token(TokenType.STRING, "".join(chars), start)
+            chars.append(ch)
+            pos += 1
+        raise SqlParseError("unterminated string literal", start)
+
+    def _lex_number(self, start: int) -> Token:
+        text = self._text
+        pos = start
+        seen_dot = False
+        while pos < self._length:
+            ch = text[pos]
+            if ch.isdigit():
+                pos += 1
+            elif ch == "." and not seen_dot and pos + 1 < self._length and text[pos + 1].isdigit():
+                seen_dot = True
+                pos += 1
+            else:
+                break
+        self._pos = pos
+        value = text[start:pos]
+        token_type = TokenType.FLOAT if seen_dot else TokenType.INTEGER
+        return Token(token_type, value, start)
+
+    def _lex_word(self, start: int) -> Token:
+        text = self._text
+        if text[start] == '"':
+            end = text.find('"', start + 1)
+            if end == -1:
+                raise SqlParseError("unterminated quoted identifier", start)
+            self._pos = end + 1
+            return Token(TokenType.IDENTIFIER, text[start + 1 : end], start)
+        pos = start
+        while pos < self._length and (text[pos].isalnum() or text[pos] == "_"):
+            pos += 1
+        self._pos = pos
+        word = text[start:pos]
+        upper = word.upper()
+        if upper in KEYWORDS:
+            return Token(TokenType.KEYWORD, upper, start)
+        return Token(TokenType.IDENTIFIER, word, start)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Convenience wrapper: tokenize ``text`` and return the token list."""
+    return SqlLexer(text).tokenize()

@@ -1,0 +1,487 @@
+"""Iterator-model plan operators for the in-memory SQL engine.
+
+Every operator yields *row environments*: dictionaries mapping column keys
+(``alias.column`` plus unambiguous bare column names, all lower case) to
+values.  The planner decides which keys each scan publishes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.sqlengine.expressions import Evaluator, Params, RowEnv, is_truthy
+from repro.sqlengine.storage import TableData
+
+Env = dict[str, object]
+
+
+class PlanOperator:
+    """Base class for plan operators (iterator model)."""
+
+    def execute(self, params: Params) -> Iterator[Env]:
+        """Yield row environments for the given statement parameters."""
+        raise NotImplementedError
+
+    def children(self) -> Sequence["PlanOperator"]:
+        """Child operators, used for plan explanation."""
+        return ()
+
+    def describe(self) -> str:
+        """One-line description used by ``EXPLAIN``-style output."""
+        return type(self).__name__
+
+    def explain(self, indent: int = 0) -> str:
+        """Multi-line textual plan (operator tree)."""
+        lines = ["  " * indent + self.describe()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+
+class SeqScan(PlanOperator):
+    """Full scan over a table, publishing the given key set per column."""
+
+    def __init__(
+        self,
+        table: TableData,
+        binding: str,
+        column_keys: Sequence[Sequence[str]],
+    ) -> None:
+        self._table = table
+        self._binding = binding
+        self._column_keys = [list(keys) for keys in column_keys]
+
+    def execute(self, params: Params) -> Iterator[Env]:
+        column_keys = self._column_keys
+        for row in self._table.rows():
+            env: Env = {}
+            for value, keys in zip(row, column_keys):
+                for key in keys:
+                    env[key] = value
+            yield env
+
+    def describe(self) -> str:
+        return f"SeqScan({self._table.schema.name} AS {self._binding})"
+
+
+class IndexLookupScan(PlanOperator):
+    """Equality lookup through an index; keys may reference parameters."""
+
+    def __init__(
+        self,
+        table: TableData,
+        binding: str,
+        column_keys: Sequence[Sequence[str]],
+        index_name: str,
+        key_evaluators: Sequence[Evaluator],
+    ) -> None:
+        self._table = table
+        self._binding = binding
+        self._column_keys = [list(keys) for keys in column_keys]
+        self._index_name = index_name
+        self._key_evaluators = list(key_evaluators)
+
+    def execute(self, params: Params) -> Iterator[Env]:
+        index = self._table.indexes()[self._index_name]
+        empty_env: RowEnv = {}
+        key_values = [evaluate(empty_env, params) for evaluate in self._key_evaluators]
+        key = key_values[0] if len(key_values) == 1 else tuple(key_values)
+        for _, row in self._table.lookup_rows(index, key):
+            env: Env = {}
+            for value, keys in zip(row, self._column_keys):
+                for column_key in keys:
+                    env[column_key] = value
+            yield env
+
+    def describe(self) -> str:
+        return (
+            f"IndexLookup({self._table.schema.name} AS {self._binding} "
+            f"USING {self._index_name})"
+        )
+
+
+class Filter(PlanOperator):
+    """Filter rows by a compiled predicate."""
+
+    def __init__(self, child: PlanOperator, predicate: Evaluator, label: str = "") -> None:
+        self._child = child
+        self._predicate = predicate
+        self._label = label
+
+    def execute(self, params: Params) -> Iterator[Env]:
+        predicate = self._predicate
+        for env in self._child.execute(params):
+            if is_truthy(predicate(env, params)):
+                yield env
+
+    def children(self) -> Sequence[PlanOperator]:
+        return (self._child,)
+
+    def describe(self) -> str:
+        return f"Filter({self._label})" if self._label else "Filter"
+
+
+class NestedLoopJoin(PlanOperator):
+    """Cartesian product of two children with an optional join predicate."""
+
+    def __init__(
+        self,
+        left: PlanOperator,
+        right: PlanOperator,
+        predicate: Evaluator | None = None,
+    ) -> None:
+        self._left = left
+        self._right = right
+        self._predicate = predicate
+
+    def execute(self, params: Params) -> Iterator[Env]:
+        right_rows = list(self._right.execute(params))
+        predicate = self._predicate
+        for left_env in self._left.execute(params):
+            for right_env in right_rows:
+                env = dict(left_env)
+                env.update(right_env)
+                if predicate is None or is_truthy(predicate(env, params)):
+                    yield env
+
+    def children(self) -> Sequence[PlanOperator]:
+        return (self._left, self._right)
+
+    def describe(self) -> str:
+        return "NestedLoopJoin" + ("(filtered)" if self._predicate else "(cross)")
+
+
+class HashJoin(PlanOperator):
+    """Equi-join: build a hash table on the right child, probe with the left."""
+
+    def __init__(
+        self,
+        left: PlanOperator,
+        right: PlanOperator,
+        left_keys: Sequence[Evaluator],
+        right_keys: Sequence[Evaluator],
+    ) -> None:
+        self._left = left
+        self._right = right
+        self._left_keys = list(left_keys)
+        self._right_keys = list(right_keys)
+
+    def execute(self, params: Params) -> Iterator[Env]:
+        table: dict[object, list[Env]] = {}
+        for right_env in self._right.execute(params):
+            key = tuple(evaluate(right_env, params) for evaluate in self._right_keys)
+            if any(value is None for value in key):
+                continue
+            table.setdefault(key, []).append(right_env)
+        for left_env in self._left.execute(params):
+            key = tuple(evaluate(left_env, params) for evaluate in self._left_keys)
+            if any(value is None for value in key):
+                continue
+            for right_env in table.get(key, ()):
+                env = dict(left_env)
+                env.update(right_env)
+                yield env
+
+    def children(self) -> Sequence[PlanOperator]:
+        return (self._left, self._right)
+
+    def describe(self) -> str:
+        return f"HashJoin(keys={len(self._left_keys)})"
+
+
+class Project(PlanOperator):
+    """Compute the output columns of the select list."""
+
+    def __init__(
+        self,
+        child: PlanOperator,
+        columns: Sequence[tuple[str, Evaluator]],
+    ) -> None:
+        self._child = child
+        self._columns = list(columns)
+
+    @property
+    def column_names(self) -> list[str]:
+        return [name for name, _ in self._columns]
+
+    def execute(self, params: Params) -> Iterator[Env]:
+        columns = self._columns
+        for env in self._child.execute(params):
+            yield {name: evaluate(env, params) for name, evaluate in columns}
+
+    def children(self) -> Sequence[PlanOperator]:
+        return (self._child,)
+
+    def describe(self) -> str:
+        return f"Project({', '.join(self.column_names)})"
+
+
+class Sort(PlanOperator):
+    """Sort rows by one or more keys.
+
+    The sort is stable and handles mixed ascending/descending keys by sorting
+    repeatedly from the least-significant key to the most-significant one.
+    NULL values sort first in ascending order (last in descending).
+    """
+
+    def __init__(
+        self,
+        child: PlanOperator,
+        keys: Sequence[tuple[Evaluator, bool]],
+    ) -> None:
+        self._child = child
+        self._keys = list(keys)
+
+    def execute(self, params: Params) -> Iterator[Env]:
+        rows = list(self._child.execute(params))
+        for evaluate, descending in reversed(self._keys):
+            rows.sort(
+                key=lambda env: _sort_key(evaluate(env, params)),
+                reverse=descending,
+            )
+        return iter(rows)
+
+    def children(self) -> Sequence[PlanOperator]:
+        return (self._child,)
+
+    def describe(self) -> str:
+        return f"Sort(keys={len(self._keys)})"
+
+
+class Limit(PlanOperator):
+    """Apply OFFSET/LIMIT to the child's rows."""
+
+    def __init__(
+        self,
+        child: PlanOperator,
+        limit: Evaluator | None,
+        offset: Evaluator | None,
+    ) -> None:
+        self._child = child
+        self._limit = limit
+        self._offset = offset
+
+    def execute(self, params: Params) -> Iterator[Env]:
+        empty_env: RowEnv = {}
+        offset = int(self._offset(empty_env, params)) if self._offset else 0  # type: ignore[arg-type]
+        limit = int(self._limit(empty_env, params)) if self._limit else None  # type: ignore[arg-type]
+        produced = 0
+        skipped = 0
+        for env in self._child.execute(params):
+            if skipped < offset:
+                skipped += 1
+                continue
+            if limit is not None and produced >= limit:
+                return
+            produced += 1
+            yield env
+
+    def children(self) -> Sequence[PlanOperator]:
+        return (self._child,)
+
+    def describe(self) -> str:
+        return "Limit"
+
+
+class Distinct(PlanOperator):
+    """Remove duplicate output rows (by value of every column)."""
+
+    def __init__(self, child: PlanOperator, column_names: Sequence[str]) -> None:
+        self._child = child
+        self._column_names = list(column_names)
+
+    def execute(self, params: Params) -> Iterator[Env]:
+        seen: set[tuple[object, ...]] = set()
+        for env in self._child.execute(params):
+            key = tuple(env.get(name) for name in self._column_names)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield env
+
+    def children(self) -> Sequence[PlanOperator]:
+        return (self._child,)
+
+    def describe(self) -> str:
+        return "Distinct"
+
+
+class Aggregate(PlanOperator):
+    """Minimal aggregate support: ``COUNT(*)`` / ``COUNT(expr)`` without
+    GROUP BY, which is all the engine needs (the paper's queries avoid
+    aggregation, but utilities such as row counting use it)."""
+
+    def __init__(
+        self,
+        child: PlanOperator,
+        columns: Sequence[tuple[str, Evaluator | None]],
+    ) -> None:
+        self._child = child
+        self._columns = list(columns)
+
+    @property
+    def column_names(self) -> list[str]:
+        return [name for name, _ in self._columns]
+
+    def execute(self, params: Params) -> Iterator[Env]:
+        counts = [0] * len(self._columns)
+        for env in self._child.execute(params):
+            for position, (_, evaluate) in enumerate(self._columns):
+                if evaluate is None:
+                    counts[position] += 1
+                else:
+                    value = evaluate(env, params)
+                    if value is not None:
+                        counts[position] += 1
+        yield {
+            name: counts[position]
+            for position, (name, _) in enumerate(self._columns)
+        }
+
+    def children(self) -> Sequence[PlanOperator]:
+        return (self._child,)
+
+    def describe(self) -> str:
+        return "Aggregate(COUNT)"
+
+
+_MISSING = object()
+
+
+def _sort_key(value: object) -> tuple[int, object]:
+    """Make values totally ordered: NULLs first, then by value."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    return (2, str(value))
+
+
+def materialise(
+    operator: PlanOperator, params: Params, column_names: Sequence[str]
+) -> list[tuple[object, ...]]:
+    """Run a plan and return rows as tuples in column order."""
+    rows: list[tuple[object, ...]] = []
+    for env in operator.execute(params):
+        rows.append(tuple(env.get(name) for name in column_names))
+    return rows
+
+
+class IndexNestedLoopJoin(PlanOperator):
+    """Join in which each left row probes an index on the right base table.
+
+    This is the access path a production optimizer picks for point joins
+    (e.g. ``A.C_ADDR_ID = B.ADDR_ID`` where ``ADDR_ID`` is the primary key of
+    ``B``); without it, every query execution would rebuild a hash table over
+    the whole right table.
+    """
+
+    def __init__(
+        self,
+        left: PlanOperator,
+        table: TableData,
+        binding: str,
+        column_keys: Sequence[Sequence[str]],
+        index_name: str,
+        left_key_evaluators: Sequence[Evaluator],
+        residual: Evaluator | None = None,
+    ) -> None:
+        self._left = left
+        self._table = table
+        self._binding = binding
+        self._column_keys = [list(keys) for keys in column_keys]
+        self._index_name = index_name
+        self._left_key_evaluators = list(left_key_evaluators)
+        self._residual = residual
+
+    def execute(self, params: Params) -> Iterator[Env]:
+        index = self._table.indexes()[self._index_name]
+        column_keys = self._column_keys
+        residual = self._residual
+        for left_env in self._left.execute(params):
+            key_values = [
+                evaluate(left_env, params) for evaluate in self._left_key_evaluators
+            ]
+            if any(value is None for value in key_values):
+                continue
+            key = key_values[0] if len(key_values) == 1 else tuple(key_values)
+            for _, row in self._table.lookup_rows(index, key):
+                env = dict(left_env)
+                for value, keys in zip(row, column_keys):
+                    for column_key in keys:
+                        env[column_key] = value
+                if residual is None or is_truthy(residual(env, params)):
+                    yield env
+
+    def children(self) -> Sequence[PlanOperator]:
+        return (self._left,)
+
+    def describe(self) -> str:
+        return (
+            f"IndexNestedLoopJoin({self._table.schema.name} AS {self._binding} "
+            f"USING {self._index_name})"
+        )
+
+
+class IndexOrLookupJoin(PlanOperator):
+    """Join driven by a disjunction of indexed equality predicates.
+
+    This is the access path a production optimizer (e.g. PostgreSQL's bitmap
+    index OR) uses for queries such as TPC-W's doGetRelated::
+
+        ... FROM item I, item J
+        WHERE (I.i_related1 = J.i_id OR ... OR I.i_related5 = J.i_id)
+          AND I.i_id = ?
+
+    For each left row, every disjunct probes an index on the right table;
+    matching rows are combined (each right row at most once per left row) and
+    the original disjunction is re-checked as a residual predicate.
+    """
+
+    def __init__(
+        self,
+        left: PlanOperator,
+        table: TableData,
+        binding: str,
+        column_keys: Sequence[Sequence[str]],
+        probes: Sequence[tuple[str, Evaluator]],
+        residual: Evaluator | None = None,
+    ) -> None:
+        self._left = left
+        self._table = table
+        self._binding = binding
+        self._column_keys = [list(keys) for keys in column_keys]
+        self._probes = list(probes)
+        self._residual = residual
+
+    def execute(self, params: Params) -> Iterator[Env]:
+        column_keys = self._column_keys
+        indexes = self._table.indexes()
+        residual = self._residual
+        for left_env in self._left.execute(params):
+            seen_rows: set[int] = set()
+            for index_name, key_evaluator in self._probes:
+                key = key_evaluator(left_env, params)
+                if key is None:
+                    continue
+                for row_id, row in self._table.lookup_rows(indexes[index_name], key):
+                    if row_id in seen_rows:
+                        continue
+                    seen_rows.add(row_id)
+                    env = dict(left_env)
+                    for value, keys in zip(row, column_keys):
+                        for column_key in keys:
+                            env[column_key] = value
+                    if residual is None or is_truthy(residual(env, params)):
+                        yield env
+
+    def children(self) -> Sequence[PlanOperator]:
+        return (self._left,)
+
+    def describe(self) -> str:
+        return (
+            f"IndexOrLookupJoin({self._table.schema.name} AS {self._binding}, "
+            f"{len(self._probes)} probes)"
+        )

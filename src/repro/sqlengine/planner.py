@@ -1,0 +1,629 @@
+"""Query planner: turns a parsed SELECT statement into an operator tree.
+
+The planner performs the standard basic optimisations a relational engine
+needs for the paper's workload:
+
+* predicate pushdown of single-table conjuncts onto their scans,
+* index selection for equality predicates on indexed columns,
+* equi-join detection with a choice of index nested-loop join (when the join
+  key hits an index on the build side) or hash join,
+* greedy join ordering starting from the most selective access path,
+* sort / limit / distinct handling.
+
+Planner behaviour can be tuned via :class:`PlannerOptions`; the ablation
+benchmarks exercise those switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.catalog import Catalog, TableSchema
+from repro.sqlengine.errors import SqlCatalogError, SqlExecutionError
+from repro.sqlengine.expressions import (
+    Evaluator,
+    ExpressionCompiler,
+    collect_column_refs,
+    split_conjuncts,
+)
+from repro.sqlengine.operators import (
+    Aggregate,
+    Distinct,
+    Filter,
+    HashJoin,
+    IndexLookupScan,
+    IndexNestedLoopJoin,
+    IndexOrLookupJoin,
+    Limit,
+    NestedLoopJoin,
+    PlanOperator,
+    Project,
+    SeqScan,
+    Sort,
+)
+from repro.sqlengine.storage import TableData
+
+
+@dataclass
+class PlannerOptions:
+    """Switches controlling which access paths the planner may use."""
+
+    use_indexes: bool = True
+    use_index_nested_loop_join: bool = True
+    use_hash_join: bool = True
+
+
+@dataclass
+class SelectPlan:
+    """A planned SELECT: the operator tree plus its output column names."""
+
+    root: PlanOperator
+    column_names: list[str]
+
+    def explain(self) -> str:
+        """Human-readable plan tree."""
+        return self.root.explain()
+
+
+@dataclass
+class _Binding:
+    """One FROM-clause entry resolved against the catalog."""
+
+    name: str
+    schema: TableSchema
+    data: TableData
+    conjuncts: list[ast.Expression] = field(default_factory=list)
+
+
+class Planner:
+    """Plans SELECT statements against a catalog and its table data."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        tables: dict[str, TableData],
+        options: PlannerOptions | None = None,
+    ) -> None:
+        self._catalog = catalog
+        self._tables = tables
+        self._options = options or PlannerOptions()
+
+    # -- public API ----------------------------------------------------------
+
+    def plan_select(self, statement: ast.SelectStatement) -> SelectPlan:
+        """Build an executable plan for ``statement``."""
+        bindings = self._resolve_bindings(statement)
+        compiler = ExpressionCompiler(self._make_resolver(bindings))
+
+        join_conjuncts: list[ast.Expression] = []
+        residual_conjuncts: list[ast.Expression] = []
+        for conjunct in split_conjuncts(statement.where):
+            used = self._bindings_used(conjunct, bindings)
+            if len(used) <= 1:
+                if used:
+                    bindings[next(iter(used))].conjuncts.append(conjunct)
+                else:
+                    residual_conjuncts.append(conjunct)
+            elif len(used) == 2 and self._is_equi_join(conjunct, bindings):
+                join_conjuncts.append(conjunct)
+            else:
+                residual_conjuncts.append(conjunct)
+
+        root = self._plan_joins(
+            statement, bindings, join_conjuncts, residual_conjuncts, compiler
+        )
+
+        aggregate_plan = self._maybe_plan_aggregate(statement, root, compiler)
+        if aggregate_plan is not None:
+            return aggregate_plan
+
+        if statement.order_by:
+            keys = [
+                (compiler.compile(item.expression), item.descending)
+                for item in statement.order_by
+            ]
+            root = Sort(root, keys)
+
+        columns = self._output_columns(statement, bindings, compiler)
+        root = Project(root, columns)
+        column_names = [name for name, _ in columns]
+
+        if statement.distinct:
+            root = Distinct(root, column_names)
+
+        if statement.limit is not None or statement.offset is not None:
+            limit = compiler.compile(statement.limit) if statement.limit else None
+            offset = compiler.compile(statement.offset) if statement.offset else None
+            root = Limit(root, limit, offset)
+
+        return SelectPlan(root=root, column_names=column_names)
+
+    # -- binding resolution ---------------------------------------------------
+
+    def _resolve_bindings(
+        self, statement: ast.SelectStatement
+    ) -> dict[str, _Binding]:
+        bindings: dict[str, _Binding] = {}
+        for table_ref in statement.tables:
+            schema = self._catalog.table(table_ref.table)
+            data = self._tables[schema.name.lower()]
+            name = table_ref.binding.lower()
+            if name in bindings:
+                raise SqlCatalogError(f"duplicate table alias {table_ref.binding!r}")
+            bindings[name] = _Binding(name=name, schema=schema, data=data)
+        return bindings
+
+    def _make_resolver(self, bindings: dict[str, _Binding]):
+        def resolve(ref: ast.ColumnRef) -> str:
+            return self._resolve_column(ref, bindings)[0]
+
+        return resolve
+
+    def _resolve_column(
+        self, ref: ast.ColumnRef, bindings: dict[str, _Binding]
+    ) -> tuple[str, str]:
+        """Resolve a column reference to (environment key, binding name)."""
+        if ref.table is not None:
+            name = ref.table.lower()
+            if name not in bindings:
+                raise SqlCatalogError(f"unknown table alias {ref.table!r}")
+            binding = bindings[name]
+            if not binding.schema.has_column(ref.column):
+                raise SqlCatalogError(
+                    f"table {binding.schema.name!r} has no column {ref.column!r}"
+                )
+            return f"{name}.{ref.column.lower()}", name
+        matches = [
+            name
+            for name, binding in bindings.items()
+            if binding.schema.has_column(ref.column)
+        ]
+        if not matches:
+            raise SqlCatalogError(f"unknown column {ref.column!r}")
+        if len(matches) > 1:
+            raise SqlCatalogError(f"ambiguous column {ref.column!r}")
+        return f"{matches[0]}.{ref.column.lower()}", matches[0]
+
+    def _bindings_used(
+        self, expression: ast.Expression, bindings: dict[str, _Binding]
+    ) -> set[str]:
+        used: set[str] = set()
+        for ref in collect_column_refs(expression):
+            _, binding = self._resolve_column(ref, bindings)
+            used.add(binding)
+        return used
+
+    @staticmethod
+    def _is_equi_join(
+        expression: ast.Expression, bindings: dict[str, _Binding]
+    ) -> bool:
+        return (
+            isinstance(expression, ast.BinaryOp)
+            and expression.op == "="
+            and isinstance(expression.left, ast.ColumnRef)
+            and isinstance(expression.right, ast.ColumnRef)
+        )
+
+    # -- scans ---------------------------------------------------------------
+
+    def _column_keys(
+        self, binding: _Binding, bindings: dict[str, _Binding]
+    ) -> list[list[str]]:
+        """For each column of ``binding``, the environment keys it publishes."""
+        counts: dict[str, int] = {}
+        for other in bindings.values():
+            for column in other.schema.column_names:
+                key = column.lower()
+                counts[key] = counts.get(key, 0) + 1
+        keys: list[list[str]] = []
+        for column in binding.schema.column_names:
+            lowered = column.lower()
+            column_keys = [f"{binding.name}.{lowered}"]
+            if counts[lowered] == 1:
+                column_keys.append(lowered)
+            keys.append(column_keys)
+        return keys
+
+    def _plan_scan(
+        self,
+        binding: _Binding,
+        bindings: dict[str, _Binding],
+        compiler: ExpressionCompiler,
+    ) -> PlanOperator:
+        """Plan the access path for a single table, honouring its pushed-down
+        conjuncts (index lookup when possible, otherwise scan + filter)."""
+        column_keys = self._column_keys(binding, bindings)
+        remaining = list(binding.conjuncts)
+        scan: PlanOperator | None = None
+
+        if self._options.use_indexes:
+            scan, remaining = self._try_index_lookup(
+                binding, column_keys, remaining, compiler
+            )
+        if scan is None:
+            scan = SeqScan(binding.data, binding.name, column_keys)
+        for conjunct in remaining:
+            scan = Filter(scan, compiler.compile(conjunct), label=binding.name)
+        return scan
+
+    def _try_index_lookup(
+        self,
+        binding: _Binding,
+        column_keys: list[list[str]],
+        conjuncts: list[ast.Expression],
+        compiler: ExpressionCompiler,
+    ) -> tuple[Optional[PlanOperator], list[ast.Expression]]:
+        """Try to satisfy some equality conjuncts with an index lookup."""
+        equalities: dict[str, tuple[ast.Expression, ast.Expression]] = {}
+        for conjunct in conjuncts:
+            column_and_value = self._extract_column_equality(conjunct, binding)
+            if column_and_value is not None:
+                column, value_expr = column_and_value
+                equalities.setdefault(column.lower(), (conjunct, value_expr))
+        if not equalities:
+            return None, conjuncts
+
+        for index_name, index in binding.data.indexes().items():
+            index_columns = [column.lower() for column in index.columns]
+            if all(column in equalities for column in index_columns):
+                consumed = {equalities[column][0] for column in index_columns}
+                key_evaluators = [
+                    compiler.compile(equalities[column][1])
+                    for column in index_columns
+                ]
+                scan = IndexLookupScan(
+                    binding.data,
+                    binding.name,
+                    column_keys,
+                    index_name,
+                    key_evaluators,
+                )
+                remaining = [c for c in conjuncts if c not in consumed]
+                return scan, remaining
+        return None, conjuncts
+
+    def _extract_column_equality(
+        self, conjunct: ast.Expression, binding: _Binding
+    ) -> Optional[tuple[str, ast.Expression]]:
+        """If ``conjunct`` is ``binding.column = <constant or parameter>``,
+        return (column, value expression)."""
+        if not isinstance(conjunct, ast.BinaryOp) or conjunct.op != "=":
+            return None
+        left, right = conjunct.left, conjunct.right
+        for column_side, value_side in ((left, right), (right, left)):
+            if not isinstance(column_side, ast.ColumnRef):
+                continue
+            if collect_column_refs(value_side):
+                continue
+            if column_side.table is not None and column_side.table.lower() != binding.name:
+                continue
+            if not binding.schema.has_column(column_side.column):
+                continue
+            return column_side.column, value_side
+        return None
+
+    # -- joins ----------------------------------------------------------------
+
+    def _plan_joins(
+        self,
+        statement: ast.SelectStatement,
+        bindings: dict[str, _Binding],
+        join_conjuncts: list[ast.Expression],
+        residual_conjuncts: list[ast.Expression],
+        compiler: ExpressionCompiler,
+    ) -> PlanOperator:
+        order = list(bindings)
+        # Start from the binding with the most selective-looking access path:
+        # one that has an equality conjunct usable with an index.
+        def selectivity_rank(name: str) -> tuple[int, int]:
+            binding = bindings[name]
+            has_index_eq = 0
+            if self._options.use_indexes:
+                scan, remaining = self._try_index_lookup(
+                    binding,
+                    self._column_keys(binding, bindings),
+                    list(binding.conjuncts),
+                    compiler,
+                )
+                has_index_eq = 0 if scan is not None else 1
+            return (has_index_eq, order.index(name))
+
+        start = min(order, key=selectivity_rank)
+        joined = {start}
+        current = self._plan_scan(bindings[start], bindings, compiler)
+        pending_joins = list(join_conjuncts)
+
+        while len(joined) < len(bindings):
+            progressed = False
+            for conjunct in list(pending_joins):
+                assert isinstance(conjunct, ast.BinaryOp)
+                left_ref = conjunct.left
+                right_ref = conjunct.right
+                assert isinstance(left_ref, ast.ColumnRef)
+                assert isinstance(right_ref, ast.ColumnRef)
+                _, left_binding = self._resolve_column(left_ref, bindings)
+                _, right_binding = self._resolve_column(right_ref, bindings)
+                if left_binding in joined and right_binding not in joined:
+                    probe_ref, build_ref, build_binding = left_ref, right_ref, right_binding
+                elif right_binding in joined and left_binding not in joined:
+                    probe_ref, build_ref, build_binding = right_ref, left_ref, left_binding
+                else:
+                    if left_binding in joined and right_binding in joined:
+                        # Both sides already joined: becomes a residual filter.
+                        pending_joins.remove(conjunct)
+                        residual_conjuncts.append(conjunct)
+                        progressed = True
+                    continue
+                pending_joins.remove(conjunct)
+                # Collect every other pending join predicate linking the new
+                # binding to already-joined ones so multi-key joins work.
+                extra_probe_refs = [probe_ref]
+                extra_build_refs = [build_ref]
+                for other in list(pending_joins):
+                    assert isinstance(other, ast.BinaryOp)
+                    other_left, other_right = other.left, other.right
+                    assert isinstance(other_left, ast.ColumnRef)
+                    assert isinstance(other_right, ast.ColumnRef)
+                    _, other_left_binding = self._resolve_column(other_left, bindings)
+                    _, other_right_binding = self._resolve_column(other_right, bindings)
+                    if other_left_binding in joined and other_right_binding == build_binding:
+                        extra_probe_refs.append(other_left)
+                        extra_build_refs.append(other_right)
+                        pending_joins.remove(other)
+                    elif other_right_binding in joined and other_left_binding == build_binding:
+                        extra_probe_refs.append(other_right)
+                        extra_build_refs.append(other_left)
+                        pending_joins.remove(other)
+                current = self._join_binding(
+                    current,
+                    bindings[build_binding],
+                    bindings,
+                    extra_probe_refs,
+                    extra_build_refs,
+                    compiler,
+                )
+                joined.add(build_binding)
+                progressed = True
+                break
+            if not progressed:
+                # No equi-join predicate connects the remaining tables.  Try
+                # a disjunction of indexed equalities (PostgreSQL-style index
+                # OR), otherwise fall back to a cross join.
+                for name in order:
+                    if name in joined:
+                        continue
+                    or_join = self._try_index_or_join(
+                        current, bindings[name], bindings, joined,
+                        residual_conjuncts, compiler,
+                    )
+                    if or_join is not None:
+                        current = or_join
+                    else:
+                        right = self._plan_scan(bindings[name], bindings, compiler)
+                        current = NestedLoopJoin(current, right)
+                    joined.add(name)
+                    break
+
+        for conjunct in residual_conjuncts:
+            current = Filter(current, compiler.compile(conjunct), label="residual")
+        return current
+
+    def _try_index_or_join(
+        self,
+        left: PlanOperator,
+        binding: _Binding,
+        bindings: dict[str, _Binding],
+        joined: set[str],
+        residual_conjuncts: list[ast.Expression],
+        compiler: ExpressionCompiler,
+    ) -> Optional[PlanOperator]:
+        """Join ``binding`` through a disjunction of indexed equalities.
+
+        Looks for a residual conjunct of the form ``a1 = B.c1 OR a2 = B.c2
+        OR ...`` where every ``ai`` only references already-joined bindings
+        (or parameters) and every ``B.ci`` has an index.  The conjunct is
+        consumed and replaced by per-disjunct index probes plus a residual
+        re-check.
+        """
+        if not (self._options.use_indexes and self._options.use_index_nested_loop_join):
+            return None
+        if binding.conjuncts:
+            return None
+        for conjunct in list(residual_conjuncts):
+            disjuncts = _split_disjuncts(conjunct)
+            if len(disjuncts) < 2:
+                continue
+            probes: list[tuple[str, Evaluator]] = []
+            for disjunct in disjuncts:
+                probe = self._or_probe(disjunct, binding, joined, bindings, compiler)
+                if probe is None:
+                    probes = []
+                    break
+                probes.append(probe)
+            if not probes:
+                continue
+            residual_conjuncts.remove(conjunct)
+            residual = compiler.compile(conjunct)
+            column_keys = self._column_keys(binding, bindings)
+            return IndexOrLookupJoin(
+                left,
+                binding.data,
+                binding.name,
+                column_keys,
+                probes,
+                residual,
+            )
+        return None
+
+    def _or_probe(
+        self,
+        disjunct: ast.Expression,
+        binding: _Binding,
+        joined: set[str],
+        bindings: dict[str, _Binding],
+        compiler: ExpressionCompiler,
+    ) -> Optional[tuple[str, Evaluator]]:
+        """If ``disjunct`` is ``<outer expr> = binding.column`` with an index
+        on ``column``, return (index name, key evaluator over the left env)."""
+        if not isinstance(disjunct, ast.BinaryOp) or disjunct.op != "=":
+            return None
+        for column_side, value_side in (
+            (disjunct.left, disjunct.right),
+            (disjunct.right, disjunct.left),
+        ):
+            if not isinstance(column_side, ast.ColumnRef):
+                continue
+            _, column_binding = self._resolve_column(column_side, bindings)
+            if column_binding != binding.name:
+                continue
+            value_bindings = {
+                self._resolve_column(ref, bindings)[1]
+                for ref in collect_column_refs(value_side)
+            }
+            if not value_bindings <= joined:
+                continue
+            index = binding.data.find_equality_index((column_side.column,))
+            if index is None:
+                continue
+            return index.name, compiler.compile(value_side)
+        return None
+
+    def _join_binding(
+        self,
+        left: PlanOperator,
+        build_binding: _Binding,
+        bindings: dict[str, _Binding],
+        probe_refs: list[ast.ColumnRef],
+        build_refs: list[ast.ColumnRef],
+        compiler: ExpressionCompiler,
+    ) -> PlanOperator:
+        """Join ``left`` with ``build_binding`` on the given key columns."""
+        column_keys = self._column_keys(build_binding, bindings)
+        probe_evaluators = [compiler.compile(ref) for ref in probe_refs]
+        build_columns = tuple(ref.column for ref in build_refs)
+
+        if self._options.use_index_nested_loop_join and self._options.use_indexes:
+            index = build_binding.data.find_equality_index(build_columns)
+            if index is not None and not build_binding.conjuncts:
+                # Reorder probe keys to match the index column order.
+                ordered_probe: list[Evaluator] = []
+                for index_column in index.columns:
+                    for probe_evaluator, build_ref in zip(probe_evaluators, build_refs):
+                        if build_ref.column.lower() == index_column.lower():
+                            ordered_probe.append(probe_evaluator)
+                            break
+                if len(ordered_probe) == len(index.columns):
+                    return IndexNestedLoopJoin(
+                        left,
+                        build_binding.data,
+                        build_binding.name,
+                        column_keys,
+                        index.name,
+                        ordered_probe,
+                    )
+
+        right = self._plan_scan(build_binding, bindings, compiler)
+        if self._options.use_hash_join:
+            build_evaluators = [compiler.compile(ref) for ref in build_refs]
+            return HashJoin(left, right, probe_evaluators, build_evaluators)
+        predicate_ast: ast.Expression | None = None
+        for probe_ref, build_ref in zip(probe_refs, build_refs):
+            equality = ast.BinaryOp("=", probe_ref, build_ref)
+            predicate_ast = (
+                equality
+                if predicate_ast is None
+                else ast.BinaryOp("AND", predicate_ast, equality)
+            )
+        predicate = compiler.compile(predicate_ast) if predicate_ast else None
+        return NestedLoopJoin(left, right, predicate)
+
+    # -- output columns -------------------------------------------------------
+
+    def _maybe_plan_aggregate(
+        self,
+        statement: ast.SelectStatement,
+        root: PlanOperator,
+        compiler: ExpressionCompiler,
+    ) -> Optional[SelectPlan]:
+        """Handle the simple aggregate case (COUNT without GROUP BY)."""
+        has_aggregate = any(
+            isinstance(item.expression, ast.FunctionCall)
+            and item.expression.name.upper() == "COUNT"
+            for item in statement.items
+        )
+        if not has_aggregate:
+            return None
+        columns: list[tuple[str, Optional[Evaluator]]] = []
+        for position, item in enumerate(statement.items):
+            expression = item.expression
+            if not isinstance(expression, ast.FunctionCall):
+                raise SqlExecutionError(
+                    "mixing aggregate and non-aggregate select items "
+                    "requires GROUP BY, which is not supported"
+                )
+            name = (item.alias or f"count{position}").lower()
+            evaluator = None
+            if not expression.star and expression.args:
+                evaluator = compiler.compile(expression.args[0])
+            columns.append((name, evaluator))
+        aggregate = Aggregate(root, columns)
+        return SelectPlan(root=aggregate, column_names=[name for name, _ in columns])
+
+    def _output_columns(
+        self,
+        statement: ast.SelectStatement,
+        bindings: dict[str, _Binding],
+        compiler: ExpressionCompiler,
+    ) -> list[tuple[str, Evaluator]]:
+        columns: list[tuple[str, Evaluator]] = []
+        counts: dict[str, int] = {}
+        for binding in bindings.values():
+            for column in binding.schema.column_names:
+                key = column.lower()
+                counts[key] = counts.get(key, 0) + 1
+
+        def add_table_columns(binding: _Binding) -> None:
+            for column in binding.schema.column_names:
+                lowered = column.lower()
+                key = f"{binding.name}.{lowered}"
+                output_name = lowered if counts[lowered] == 1 else key
+                columns.append((output_name, _env_getter(key)))
+
+        generated_index = 0
+        for item in statement.items:
+            if item.star:
+                for binding in bindings.values():
+                    add_table_columns(binding)
+            elif item.table_star is not None:
+                name = item.table_star.lower()
+                if name not in bindings:
+                    raise SqlCatalogError(f"unknown table alias {item.table_star!r}")
+                add_table_columns(bindings[name])
+            else:
+                assert item.expression is not None
+                evaluator = compiler.compile(item.expression)
+                if item.alias:
+                    output_name = item.alias.lower()
+                elif isinstance(item.expression, ast.ColumnRef):
+                    output_name = item.expression.column.lower()
+                else:
+                    output_name = f"col{generated_index}"
+                generated_index += 1
+                columns.append((output_name, evaluator))
+        return columns
+
+
+def _split_disjuncts(expression: ast.Expression) -> list[ast.Expression]:
+    """Split an expression on top-level ORs."""
+    if isinstance(expression, ast.BinaryOp) and expression.op == "OR":
+        return _split_disjuncts(expression.left) + _split_disjuncts(expression.right)
+    return [expression]
+
+
+def _env_getter(key: str) -> Evaluator:
+    def get(env, params):  # type: ignore[no-untyped-def]
+        return env.get(key)
+
+    return get

@@ -1,0 +1,184 @@
+"""Row storage for the in-memory SQL engine.
+
+Each table's rows live in a :class:`TableData` instance: a dense list of row
+tuples plus the indexes built over the table.  Row identifiers are stable
+positions in the list; deleted rows are tombstoned (``None``) so identifiers
+never move, which keeps index maintenance simple.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.sqlengine.catalog import TableSchema
+from repro.sqlengine.errors import SqlExecutionError
+from repro.sqlengine.indexes import HashIndex, Index, OrderedIndex, make_key
+
+Row = tuple[object, ...]
+
+
+class TableData:
+    """Rows and indexes of one table."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: list[Optional[Row]] = []
+        self._live_count = 0
+        self._indexes: dict[str, Index] = {}
+        self._index_columns: dict[str, tuple[str, ...]] = {}
+        pk_columns = tuple(schema.primary_key_columns)
+        if pk_columns:
+            self.create_index(f"pk_{schema.name}", pk_columns, unique=True)
+
+    # -- index management ---------------------------------------------------
+
+    def create_index(
+        self,
+        name: str,
+        columns: tuple[str, ...],
+        unique: bool = False,
+        ordered: bool = False,
+    ) -> Index:
+        """Create (and backfill) an index over the given columns."""
+        if name in self._indexes:
+            raise SqlExecutionError(f"index {name!r} already exists")
+        for column in columns:
+            self.schema.column_index(column)
+        index: Index
+        if ordered:
+            index = OrderedIndex(name, columns, unique=unique)
+        else:
+            index = HashIndex(name, columns, unique=unique)
+        positions = [self.schema.column_index(column) for column in columns]
+        for row_id, row in enumerate(self._rows):
+            if row is not None:
+                index.insert(make_key(row[p] for p in positions), row_id)
+        self._indexes[name] = index
+        self._index_columns[name] = columns
+        return index
+
+    def drop_index(self, name: str) -> None:
+        """Remove an index by name."""
+        self._indexes.pop(name, None)
+        self._index_columns.pop(name, None)
+
+    def indexes(self) -> dict[str, Index]:
+        """All indexes keyed by name."""
+        return dict(self._indexes)
+
+    def find_equality_index(self, columns: tuple[str, ...]) -> Optional[Index]:
+        """Find an index whose key columns exactly match ``columns``.
+
+        Column order is normalised so ``(a, b)`` matches an index on
+        ``(b, a)`` as long as lookups supply values in index order; callers
+        therefore use :meth:`index_column_order` to reorder their keys.
+        """
+        wanted = tuple(column.lower() for column in columns)
+        for index in self._indexes.values():
+            have = tuple(column.lower() for column in index.columns)
+            if tuple(sorted(have)) == tuple(sorted(wanted)):
+                return index
+        return None
+
+    # -- row operations -----------------------------------------------------
+
+    def insert(self, values: Row) -> int:
+        """Insert a (already coerced) row and return its row id."""
+        row_id = len(self._rows)
+        self._rows.append(values)
+        self._live_count += 1
+        for name, index in self._indexes.items():
+            positions = [
+                self.schema.column_index(column)
+                for column in self._index_columns[name]
+            ]
+            try:
+                index.insert(make_key(values[p] for p in positions), row_id)
+            except SqlExecutionError:
+                # Roll the insert back so the table stays consistent.
+                self._rows[row_id] = None
+                self._live_count -= 1
+                self._unindex(values, row_id, skip=name)
+                raise
+        return row_id
+
+    def delete(self, row_id: int) -> None:
+        """Delete the row with the given id (no-op if already deleted)."""
+        row = self._row_or_none(row_id)
+        if row is None:
+            return
+        self._unindex(row, row_id)
+        self._rows[row_id] = None
+        self._live_count -= 1
+
+    def update(self, row_id: int, values: Row) -> None:
+        """Replace the row with the given id."""
+        row = self._row_or_none(row_id)
+        if row is None:
+            raise SqlExecutionError(f"row {row_id} does not exist")
+        self._unindex(row, row_id)
+        self._rows[row_id] = values
+        for name, index in self._indexes.items():
+            positions = [
+                self.schema.column_index(column)
+                for column in self._index_columns[name]
+            ]
+            index.insert(make_key(values[p] for p in positions), row_id)
+
+    def get(self, row_id: int) -> Row:
+        """Return the row with the given id."""
+        row = self._row_or_none(row_id)
+        if row is None:
+            raise SqlExecutionError(f"row {row_id} does not exist")
+        return row
+
+    def scan(self) -> Iterator[tuple[int, Row]]:
+        """Iterate over (row_id, row) for every live row."""
+        for row_id, row in enumerate(self._rows):
+            if row is not None:
+                yield row_id, row
+
+    def rows(self) -> Iterator[Row]:
+        """Iterate over live rows only."""
+        for _, row in self.scan():
+            yield row
+
+    def lookup_rows(self, index: Index, key: object) -> list[tuple[int, Row]]:
+        """Rows matching an index key."""
+        result = []
+        for row_id in index.lookup(key):
+            row = self._row_or_none(row_id)
+            if row is not None:
+                result.append((row_id, row))
+        return result
+
+    def select_row_ids(self, predicate: Callable[[Row], bool]) -> list[int]:
+        """Row ids of live rows satisfying ``predicate``."""
+        return [row_id for row_id, row in self.scan() if predicate(row)]
+
+    def clear(self) -> None:
+        """Remove every row but keep the schema and index definitions."""
+        self._rows.clear()
+        self._live_count = 0
+        for index in self._indexes.values():
+            index.clear()
+
+    def __len__(self) -> int:
+        return self._live_count
+
+    # -- internals ----------------------------------------------------------
+
+    def _row_or_none(self, row_id: int) -> Optional[Row]:
+        if 0 <= row_id < len(self._rows):
+            return self._rows[row_id]
+        return None
+
+    def _unindex(self, row: Row, row_id: int, skip: str | None = None) -> None:
+        for name, index in self._indexes.items():
+            if name == skip:
+                continue
+            positions = [
+                self.schema.column_index(column)
+                for column in self._index_columns[name]
+            ]
+            index.delete(make_key(row[p] for p in positions), row_id)

@@ -1,0 +1,33 @@
+"""TPC-W-derived microbenchmark (the paper's evaluation workload).
+
+The paper takes the Rice University TPC-W implementation, keeps four
+representative read-only queries (getName, getCustomer, doSubjectSearch,
+doGetRelated), populates a PostgreSQL database with ``num_items = 10000`` and
+``num_ebs = 100``, and measures the time to run each query 2000 times with
+random valid parameters after a 100-execution warm-up.
+
+This package provides the same pieces against the in-memory SQL engine: the
+schema and ORM mapping, a deterministic population generator parameterised by
+the same scale knobs, the hand-written SQL versions of the four queries (plus
+the paper's "with extra processing" and "modified query" variants), the
+Queryll-style loop versions, and the measurement harness.
+"""
+
+from __future__ import annotations
+
+from repro.tpcw.schema import TPCW_SUBJECTS, tpcw_mapping
+from repro.tpcw.population import PopulationScale, populate
+from repro.tpcw.database import TpcwDatabase, build_database
+from repro.tpcw.harness import BenchmarkConfig, BenchmarkResult, TpcwBenchmark
+
+__all__ = [
+    "BenchmarkConfig",
+    "BenchmarkResult",
+    "PopulationScale",
+    "TPCW_SUBJECTS",
+    "TpcwBenchmark",
+    "TpcwDatabase",
+    "build_database",
+    "populate",
+    "tpcw_mapping",
+]

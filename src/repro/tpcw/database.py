@@ -1,0 +1,54 @@
+"""Construction of a populated TPC-W database with its ORM wiring."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dbapi.connection import Connection, connect
+from repro.orm.entity_manager import EntityManager
+from repro.orm.session import QueryllDatabase
+from repro.sqlengine.planner import PlannerOptions
+from repro.tpcw.population import PopulationScale, PopulationSummary, populate
+from repro.tpcw.schema import tpcw_mapping
+
+
+@dataclass
+class TpcwDatabase:
+    """A populated TPC-W database plus its ORM session factory."""
+
+    orm: QueryllDatabase
+    scale: PopulationScale
+    summary: PopulationSummary
+
+    @property
+    def database(self):
+        """The underlying SQL engine."""
+        return self.orm.database
+
+    def connection(self) -> Connection:
+        """A JDBC-style connection (used by the hand-written SQL queries)."""
+        return connect(self.orm.database)
+
+    def entity_manager(self) -> EntityManager:
+        """A fresh EntityManager (used by the Queryll-style queries)."""
+        return self.orm.begin_transaction()
+
+
+def build_database(
+    scale: PopulationScale | None = None,
+    planner_options: PlannerOptions | None = None,
+    secondary_indexes: bool = True,
+) -> TpcwDatabase:
+    """Create, populate and index a TPC-W database.
+
+    ``secondary_indexes`` controls whether the indexes the Rice
+    implementation relies on (``customer.c_uname``, ``item.i_subject``) are
+    created; the ablation benchmarks turn them off.
+    """
+    scale = scale or PopulationScale()
+    orm = QueryllDatabase(tpcw_mapping(), planner_options=planner_options)
+    summary = populate(orm.database, scale)
+    if secondary_indexes:
+        orm.database.create_index("customer", ["c_uname"], unique=True)
+        orm.database.create_index("item", ["i_subject"])
+    return TpcwDatabase(orm=orm, scale=scale, summary=summary)

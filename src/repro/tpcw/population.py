@@ -1,0 +1,219 @@
+"""Deterministic TPC-W data population.
+
+The generator follows the TPC-W cardinality rules the paper uses:
+
+* ``num_items`` items (the paper sets 10 000),
+* ``num_ebs`` emulated browsers (the paper sets 100), giving
+  ``2880 * num_ebs`` customers,
+* one address per customer (plus a pool of extras), 92 countries,
+* ``num_items / 4`` authors (at least one),
+* every item references five *other* items through ``i_related1..5``.
+
+Everything is generated from a seeded :class:`random.Random`, so two
+populations with the same scale and seed are identical — which the
+correctness tests rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.sqlengine.engine import Database
+from repro.tpcw.schema import TPCW_SUBJECTS
+
+_COUNTRY_NAMES = [
+    "United States", "United Kingdom", "Canada", "Germany", "France",
+    "Japan", "Netherlands", "Italy", "Switzerland", "Australia",
+] + [f"Country{i}" for i in range(11, 93)]
+
+_FIRST_NAMES = ["ALICE", "BOB", "CAROL", "DAVE", "ERIN", "FRANK", "GRACE", "HEIDI", "IVAN", "JUDY"]
+_LAST_NAMES = ["SMITH", "JONES", "BROWN", "TAYLOR", "WILSON", "DAVIES", "EVANS", "THOMAS", "JOHNSON", "ROBERTS"]
+
+
+@dataclass(frozen=True)
+class PopulationScale:
+    """Scale knobs of the TPC-W population.
+
+    The paper's configuration is ``PopulationScale.paper()``; tests and the
+    default benchmark configuration use a scaled-down database so a full run
+    stays fast on an interpreter-based engine.
+    """
+
+    num_items: int = 1000
+    num_ebs: int = 1
+    customers_per_eb: int = 2880
+    seed: int = 20060401
+
+    @classmethod
+    def paper(cls) -> "PopulationScale":
+        """The configuration used in the paper (10 000 items, 100 EBs)."""
+        return cls(num_items=10_000, num_ebs=100)
+
+    @classmethod
+    def tiny(cls) -> "PopulationScale":
+        """A very small configuration for unit tests."""
+        return cls(num_items=50, num_ebs=1, customers_per_eb=40)
+
+    @property
+    def num_customers(self) -> int:
+        """Number of customers implied by the EB count."""
+        return self.customers_per_eb * self.num_ebs
+
+    @property
+    def num_addresses(self) -> int:
+        """Number of addresses (one per customer plus a 10% pool)."""
+        return self.num_customers + max(1, self.num_customers // 10)
+
+    @property
+    def num_authors(self) -> int:
+        """Number of authors (TPC-W: a quarter of the item count)."""
+        return max(1, self.num_items // 4)
+
+    @property
+    def num_countries(self) -> int:
+        """Number of countries (fixed at 92 by the specification)."""
+        return 92
+
+
+@dataclass
+class PopulationSummary:
+    """Row counts actually inserted (returned by :func:`populate`)."""
+
+    customers: int
+    addresses: int
+    countries: int
+    authors: int
+    items: int
+
+
+def populate(database: Database, scale: PopulationScale) -> PopulationSummary:
+    """Fill the TPC-W tables of ``database`` according to ``scale``."""
+    rng = random.Random(scale.seed)
+
+    countries = [
+        (
+            country_id,
+            _COUNTRY_NAMES[country_id - 1],
+            "USD" if country_id == 1 else f"CUR{country_id}",
+            round(rng.uniform(0.1, 10.0), 4),
+        )
+        for country_id in range(1, scale.num_countries + 1)
+    ]
+    database.insert_rows("country", countries)
+
+    addresses = [
+        (
+            address_id,
+            f"{rng.randint(1, 9999)} MAIN ST",
+            f"APT {rng.randint(1, 500)}",
+            f"CITY{rng.randint(1, 500)}",
+            f"ST{rng.randint(1, 60)}",
+            f"{rng.randint(10000, 99999)}",
+            rng.randint(1, scale.num_countries),
+        )
+        for address_id in range(1, scale.num_addresses + 1)
+    ]
+    database.insert_rows("address", addresses)
+
+    customers = []
+    for customer_id in range(1, scale.num_customers + 1):
+        uname = _customer_uname(customer_id)
+        customers.append(
+            (
+                customer_id,
+                uname,
+                rng.choice(_FIRST_NAMES),
+                rng.choice(_LAST_NAMES),
+                rng.randint(1, scale.num_addresses),
+                f"+1-555-{rng.randint(1000000, 9999999)}",
+                f"{uname}@example.com",
+                f"200{rng.randint(0, 6)}-01-01",
+                round(rng.uniform(0.0, 0.5), 2),
+                round(rng.uniform(-200.0, 1000.0), 2),
+                round(rng.uniform(0.0, 10000.0), 2),
+            )
+        )
+    database.insert_rows("customer", customers)
+
+    authors = [
+        (
+            author_id,
+            rng.choice(_FIRST_NAMES),
+            rng.choice("ABCDEFGHIJ"),
+            rng.choice(_LAST_NAMES),
+            f"Biography of author {author_id}",
+        )
+        for author_id in range(1, scale.num_authors + 1)
+    ]
+    database.insert_rows("author", authors)
+
+    items = []
+    for item_id in range(1, scale.num_items + 1):
+        related = _related_items(rng, item_id, scale.num_items)
+        items.append(
+            (
+                item_id,
+                f"Book title {item_id:06d} {rng.choice(_LAST_NAMES)}",
+                rng.randint(1, scale.num_authors),
+                f"199{rng.randint(0, 9)}-0{rng.randint(1, 9)}-15",
+                f"Publisher {rng.randint(1, 50)}",
+                rng.choice(TPCW_SUBJECTS),
+                f"Description of item {item_id}",
+                related[0],
+                related[1],
+                related[2],
+                related[3],
+                related[4],
+                f"img/thumb_{item_id}.gif",
+                f"img/image_{item_id}.gif",
+                round(rng.uniform(1.0, 100.0), 2),
+                round(rng.uniform(0.5, 80.0), 2),
+                f"200{rng.randint(0, 6)}-06-01",
+                rng.randint(0, 500),
+                f"ISBN{item_id:09d}",
+                rng.randint(20, 2000),
+                rng.choice(["HARDBACK", "PAPERBACK", "AUDIO", "CD", "USED"]),
+                f"{rng.randint(1, 40)}x{rng.randint(1, 30)}x{rng.randint(1, 5)}",
+            )
+        )
+    database.insert_rows("item", items)
+
+    return PopulationSummary(
+        customers=len(customers),
+        addresses=len(addresses),
+        countries=len(countries),
+        authors=len(authors),
+        items=len(items),
+    )
+
+
+def _customer_uname(customer_id: int) -> str:
+    """The deterministic user name for a customer id (as TPC-W derives
+    user names from ids, so benchmarks can pick random valid names)."""
+    return f"user{customer_id:07d}"
+
+
+def _related_items(rng: random.Random, item_id: int, num_items: int) -> list[int]:
+    """Five distinct related item ids, all different from ``item_id``.
+
+    TPC-W items reference five *distinct* other items; keeping them distinct
+    also makes the OR-join and the five-way self-join formulations of
+    doGetRelated return identical row sets.
+    """
+    if num_items <= 1:
+        return [item_id] * 5
+    related: list[int] = []
+    seen = {item_id}
+    while len(related) < 5:
+        candidate = rng.randint(1, num_items)
+        if candidate not in seen:
+            related.append(candidate)
+            seen.add(candidate)
+        elif num_items <= 6:
+            # Tiny databases may not have five distinct other items.
+            related.append(candidate if candidate != item_id else 1 + candidate % num_items)
+    return related
+
+
+customer_uname = _customer_uname

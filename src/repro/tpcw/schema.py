@@ -1,0 +1,121 @@
+"""TPC-W schema and ORM mapping (the subset the benchmark queries touch).
+
+Table and column names follow the TPC-W specification (and the Rice
+implementation the paper uses): ``customer``, ``address``, ``country``,
+``author`` and ``item``, with the item table carrying five ``i_related``
+references to other items.
+"""
+
+from __future__ import annotations
+
+from repro.orm.mapping import EntityMapping, FieldMapping, OrmMapping, RelationshipMapping
+from repro.sqlengine.catalog import SqlType
+
+#: The 24 item subjects defined by the TPC-W specification.
+TPCW_SUBJECTS = [
+    "ARTS", "BIOGRAPHIES", "BUSINESS", "CHILDREN", "COMPUTERS", "COOKING",
+    "HEALTH", "HISTORY", "HOME", "HUMOR", "LITERATURE", "MYSTERY",
+    "NON-FICTION", "PARENTING", "POLITICS", "REFERENCE", "RELIGION",
+    "ROMANCE", "SELF-HELP", "SCIENCE-NATURE", "SCIENCE-FICTION", "SPORTS",
+    "YOUTH", "TRAVEL",
+]
+
+
+def tpcw_mapping() -> OrmMapping:
+    """The ORM mapping for the TPC-W entities used by the benchmark."""
+    customer = EntityMapping(
+        "Customer",
+        "customer",
+        fields=[
+            FieldMapping("customerId", "c_id", SqlType.INTEGER, primary_key=True),
+            FieldMapping("uname", "c_uname", SqlType.TEXT),
+            FieldMapping("firstName", "c_fname", SqlType.TEXT),
+            FieldMapping("lastName", "c_lname", SqlType.TEXT),
+            FieldMapping("addressId", "c_addr_id", SqlType.INTEGER),
+            FieldMapping("phone", "c_phone", SqlType.TEXT),
+            FieldMapping("email", "c_email", SqlType.TEXT),
+            FieldMapping("since", "c_since", SqlType.TEXT),
+            FieldMapping("discount", "c_discount", SqlType.DOUBLE),
+            FieldMapping("balance", "c_balance", SqlType.DOUBLE),
+            FieldMapping("ytdPayment", "c_ytd_pmt", SqlType.DOUBLE),
+        ],
+        relationships=[
+            RelationshipMapping("address", "Address", "c_addr_id", "addr_id", "to_one"),
+        ],
+    )
+    address = EntityMapping(
+        "Address",
+        "address",
+        fields=[
+            FieldMapping("addressId", "addr_id", SqlType.INTEGER, primary_key=True),
+            FieldMapping("street1", "addr_street1", SqlType.TEXT),
+            FieldMapping("street2", "addr_street2", SqlType.TEXT),
+            FieldMapping("city", "addr_city", SqlType.TEXT),
+            FieldMapping("state", "addr_state", SqlType.TEXT),
+            FieldMapping("zip", "addr_zip", SqlType.TEXT),
+            FieldMapping("countryId", "addr_co_id", SqlType.INTEGER),
+        ],
+        relationships=[
+            RelationshipMapping("country", "Country", "addr_co_id", "co_id", "to_one"),
+        ],
+    )
+    country = EntityMapping(
+        "Country",
+        "country",
+        fields=[
+            FieldMapping("countryId", "co_id", SqlType.INTEGER, primary_key=True),
+            FieldMapping("name", "co_name", SqlType.TEXT),
+            FieldMapping("currency", "co_currency", SqlType.TEXT),
+            FieldMapping("exchange", "co_exchange", SqlType.DOUBLE),
+        ],
+    )
+    author = EntityMapping(
+        "Author",
+        "author",
+        fields=[
+            FieldMapping("authorId", "a_id", SqlType.INTEGER, primary_key=True),
+            FieldMapping("firstName", "a_fname", SqlType.TEXT),
+            FieldMapping("middleName", "a_mname", SqlType.TEXT),
+            FieldMapping("lastName", "a_lname", SqlType.TEXT),
+            FieldMapping("bio", "a_bio", SqlType.TEXT),
+        ],
+    )
+    item = EntityMapping(
+        "Item",
+        "item",
+        fields=[
+            FieldMapping("itemId", "i_id", SqlType.INTEGER, primary_key=True),
+            FieldMapping("title", "i_title", SqlType.TEXT),
+            FieldMapping("authorId", "i_a_id", SqlType.INTEGER),
+            FieldMapping("publicationDate", "i_pub_date", SqlType.TEXT),
+            FieldMapping("publisher", "i_publisher", SqlType.TEXT),
+            FieldMapping("subject", "i_subject", SqlType.TEXT),
+            FieldMapping("description", "i_desc", SqlType.TEXT),
+            FieldMapping("related1Id", "i_related1", SqlType.INTEGER),
+            FieldMapping("related2Id", "i_related2", SqlType.INTEGER),
+            FieldMapping("related3Id", "i_related3", SqlType.INTEGER),
+            FieldMapping("related4Id", "i_related4", SqlType.INTEGER),
+            FieldMapping("related5Id", "i_related5", SqlType.INTEGER),
+            FieldMapping("thumbnail", "i_thumbnail", SqlType.TEXT),
+            FieldMapping("image", "i_image", SqlType.TEXT),
+            FieldMapping("suggestedRetailPrice", "i_srp", SqlType.DOUBLE),
+            FieldMapping("cost", "i_cost", SqlType.DOUBLE),
+            FieldMapping("availabilityDate", "i_avail", SqlType.TEXT),
+            FieldMapping("stock", "i_stock", SqlType.INTEGER),
+            FieldMapping("isbn", "i_isbn", SqlType.TEXT),
+            FieldMapping("pageCount", "i_page", SqlType.INTEGER),
+            FieldMapping("backing", "i_backing", SqlType.TEXT),
+            FieldMapping("dimensions", "i_dimensions", SqlType.TEXT),
+        ],
+        relationships=[
+            RelationshipMapping("author", "Author", "i_a_id", "a_id", "to_one"),
+            RelationshipMapping("related1", "Item", "i_related1", "i_id", "to_one"),
+            RelationshipMapping("related2", "Item", "i_related2", "i_id", "to_one"),
+            RelationshipMapping("related3", "Item", "i_related3", "i_id", "to_one"),
+            RelationshipMapping("related4", "Item", "i_related4", "i_id", "to_one"),
+            RelationshipMapping("related5", "Item", "i_related5", "i_id", "to_one"),
+        ],
+    )
+    mapping = OrmMapping([customer, address, country, author, item])
+    mapping.validate()
+    return mapping

@@ -1,0 +1,45 @@
+"""Random-parameter generation for the benchmark queries.
+
+The paper runs every query "using random valid parameters"; this module
+draws those parameters from a seeded generator so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.tpcw.population import PopulationScale, customer_uname
+from repro.tpcw.schema import TPCW_SUBJECTS
+
+
+@dataclass
+class ParameterGenerator:
+    """Draws random valid parameters for each benchmark query."""
+
+    scale: PopulationScale
+    seed: int = 7
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def customer_id(self) -> int:
+        """A random valid customer id (getName)."""
+        return self._rng.randint(1, self.scale.num_customers)
+
+    def customer_username(self) -> str:
+        """A random valid customer user name (getCustomer)."""
+        return customer_uname(self._rng.randint(1, self.scale.num_customers))
+
+    def subject(self) -> str:
+        """A random valid item subject (doSubjectSearch)."""
+        return self._rng.choice(TPCW_SUBJECTS)
+
+    def item_id(self) -> int:
+        """A random valid item id (doGetRelated)."""
+        return self._rng.randint(1, self.scale.num_items)
+
+    def reset(self) -> None:
+        """Restart the sequence (so two variants see identical parameters)."""
+        self._rng = random.Random(self.seed)

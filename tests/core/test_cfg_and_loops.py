@@ -1,0 +1,169 @@
+"""Tests for CFG construction, dominators, SCCs and loop detection."""
+
+from __future__ import annotations
+
+import networkx
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cfg import build_cfg, compute_dominators, find_loops, immediate_dominators
+from repro.core.cfg.loops import strongly_connected_components
+from repro.core.expr import nodes as E
+from repro.core.tac.builder import TacBuilder
+
+
+def straight_line_method():
+    builder = TacBuilder("straight", parameters=["x"])
+    builder.assign("a", E.Constant(1))
+    builder.assign("b", E.BinOp("+", E.Var("a"), E.Var("x")))
+    builder.return_(E.Var("b"))
+    return builder.build()
+
+
+def branching_method():
+    builder = TacBuilder("branching", parameters=["x"])
+    builder.if_goto(E.BinOp(">", E.Var("x"), E.Constant(0)), "positive")
+    builder.assign("r", E.Constant(-1))
+    builder.goto("end")
+    builder.label("positive")
+    builder.assign("r", E.Constant(1))
+    builder.label("end")
+    builder.return_(E.Var("r"))
+    return builder.build()
+
+
+def looping_method():
+    """The Fig. 11 shape: goto cond; body; cond: hasNext; ifne body."""
+    builder = TacBuilder("looping", parameters=["em", "dest"])
+    builder.assign("it", E.Call(E.Call(E.Var("em"), "allOffice"), "iterator"))
+    builder.goto("cond")
+    builder.label("body")
+    builder.assign("e", E.Call(E.Var("it"), "next"))
+    builder.statement(E.Call(E.Var("dest"), "add", (E.Var("e"),)))
+    builder.label("cond")
+    builder.assign("has", E.Call(E.Var("it"), "hasNext"))
+    builder.if_goto(E.BinOp("!=", E.Var("has"), E.Constant(0)), "body")
+    builder.return_(E.Var("dest"))
+    return builder.build()
+
+
+class TestCfg:
+    def test_straight_line_is_one_block(self) -> None:
+        cfg = build_cfg(straight_line_method())
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].successors == []
+
+    def test_branching_creates_diamond(self) -> None:
+        cfg = build_cfg(branching_method())
+        entry = cfg.blocks[cfg.entry]
+        assert len(entry.successors) == 2
+        exit_block = cfg.block_of_instruction(len(branching_method().instructions) - 1)
+        assert sorted(exit_block.predecessors) == sorted(
+            successor for block in cfg.blocks for successor in block.successors
+            if successor == exit_block.block_id
+        ) or len(exit_block.predecessors) == 2
+
+    def test_block_of_instruction(self) -> None:
+        cfg = build_cfg(looping_method())
+        block = cfg.block_of_instruction(0)
+        assert 0 in block
+
+    def test_instruction_successors(self) -> None:
+        method = branching_method()
+        cfg = build_cfg(method)
+        assert cfg.instruction_successors(0) == [1, 3]
+        assert cfg.instruction_successors(2) == [4]
+
+    def test_to_dot_renders(self) -> None:
+        assert "digraph" in build_cfg(looping_method()).to_dot()
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self) -> None:
+        cfg = build_cfg(looping_method())
+        dominators = compute_dominators(cfg)
+        for block in cfg.blocks:
+            assert cfg.entry in dominators[block.block_id]
+
+    def test_branch_sides_do_not_dominate_join(self) -> None:
+        cfg = build_cfg(branching_method())
+        dominators = compute_dominators(cfg)
+        join = cfg.block_of_instruction(len(branching_method().instructions) - 1)
+        sides = [block.block_id for block in cfg.blocks if block.block_id not in (cfg.entry, join.block_id)]
+        for side in sides:
+            assert side not in dominators[join.block_id]
+
+    def test_immediate_dominators_form_a_tree(self) -> None:
+        cfg = build_cfg(looping_method())
+        idom = immediate_dominators(cfg)
+        assert idom[cfg.entry] is None
+        for block_id, dominator in idom.items():
+            if dominator is not None:
+                assert dominator != block_id
+
+
+class TestLoops:
+    def test_straight_line_has_no_loops(self) -> None:
+        assert find_loops(build_cfg(straight_line_method())) == []
+
+    def test_branching_has_no_loops(self) -> None:
+        assert find_loops(build_cfg(branching_method())) == []
+
+    def test_foreach_loop_is_detected(self) -> None:
+        method = looping_method()
+        loops = find_loops(build_cfg(method))
+        assert len(loops) == 1
+        loop = loops[0]
+        # The loop contains the body and condition but not the setup/return.
+        assert 0 not in loop.instructions
+        assert len(method.instructions) - 1 not in loop.instructions
+        assert loop.exit_instruction == len(method.instructions) - 1
+
+    def test_loop_with_two_exits_is_rejected(self) -> None:
+        builder = TacBuilder("two_exits", parameters=["x"])
+        builder.label("head")
+        builder.if_goto(E.BinOp(">", E.Var("x"), E.Constant(10)), "out1")
+        builder.if_goto(E.BinOp("<", E.Var("x"), E.Constant(0)), "out2")
+        builder.goto("head")
+        builder.label("out1")
+        builder.return_(E.Constant(1))
+        builder.label("out2")
+        builder.return_(E.Constant(2))
+        method = builder.build()
+        assert find_loops(build_cfg(method)) == []
+
+    def test_self_loop_single_block(self) -> None:
+        builder = TacBuilder("self_loop", parameters=["x"])
+        builder.label("head")
+        builder.if_goto(E.BinOp(">", E.Var("x"), E.Constant(0)), "head")
+        builder.return_(E.Var("x"))
+        method = builder.build()
+        loops = find_loops(build_cfg(method))
+        assert len(loops) == 1
+
+
+class TestStronglyConnectedComponents:
+    def test_simple_cycle(self) -> None:
+        components = strongly_connected_components(
+            [0, 1, 2, 3], {0: [1], 1: [2], 2: [1, 3], 3: []}
+        )
+        assert {1, 2} in components
+
+    @given(
+        edges=st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=40
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_networkx(self, edges: list[tuple[int, int]]) -> None:
+        """Our Tarjan implementation partitions nodes exactly like networkx."""
+        nodes_list = list(range(10))
+        successors: dict[int, list[int]] = {node: [] for node in nodes_list}
+        graph = networkx.DiGraph()
+        graph.add_nodes_from(nodes_list)
+        for source, target in edges:
+            if target not in successors[source]:
+                successors[source].append(target)
+            graph.add_edge(source, target)
+        ours = {frozenset(component) for component in strongly_connected_components(nodes_list, successors)}
+        reference = {frozenset(component) for component in networkx.strongly_connected_components(graph)}
+        assert ours == reference

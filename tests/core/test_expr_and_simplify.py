@@ -1,0 +1,232 @@
+"""Tests for symbolic expressions, substitution and the simplifier."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analysis.simplify import is_boolean_expression, negate, simplify
+from repro.core.expr import nodes
+from repro.core.expr.evaluator import EvaluationError, evaluate
+from repro.core.expr.printer import to_text
+
+
+class TestSubstitution:
+    def test_substitute_replaces_variables(self) -> None:
+        expression = nodes.BinOp("+", nodes.Var("x"), nodes.Var("y"))
+        result = nodes.substitute(expression, {"x": nodes.Constant(1)})
+        assert result == nodes.BinOp("+", nodes.Constant(1), nodes.Var("y"))
+
+    def test_substitute_is_recursive(self) -> None:
+        expression = nodes.Call(nodes.Var("a"), "getName", (nodes.Var("b"),))
+        result = nodes.substitute(
+            expression, {"a": nodes.Var("c"), "b": nodes.Constant(2)}
+        )
+        assert result == nodes.Call(nodes.Var("c"), "getName", (nodes.Constant(2),))
+
+    def test_substitute_returns_same_object_when_unchanged(self) -> None:
+        expression = nodes.BinOp("+", nodes.Constant(1), nodes.Constant(2))
+        assert nodes.substitute(expression, {"zzz": nodes.Constant(0)}) is expression
+
+    def test_expression_variables(self) -> None:
+        expression = nodes.BinOp(
+            "&&",
+            nodes.Call(nodes.Var("c"), "getName"),
+            nodes.UnaryOp("!", nodes.Var("flag")),
+        )
+        assert nodes.expression_variables(expression) == {"c", "flag"}
+
+    def test_children_covers_every_node_kind(self) -> None:
+        samples: list[nodes.Expression] = [
+            nodes.Constant(1),
+            nodes.Var("x"),
+            nodes.BinOp("+", nodes.Constant(1), nodes.Var("x")),
+            nodes.UnaryOp("!", nodes.Var("x")),
+            nodes.Cast("Client", nodes.Var("x")),
+            nodes.Call(nodes.Var("x"), "getName", (nodes.Constant(1),)),
+            nodes.GetField(nodes.Var("x"), "name"),
+            nodes.New("Pair", (nodes.Constant(1), nodes.Constant(2))),
+            nodes.SourceEntity(nodes.Var("coll")),
+        ]
+        for sample in samples:
+            children = nodes.children(sample)
+            assert isinstance(children, tuple)
+
+
+class TestEvaluator:
+    def test_arithmetic_and_comparison(self) -> None:
+        expression = nodes.BinOp(
+            "<",
+            nodes.BinOp("*", nodes.Var("a"), nodes.Constant(2)),
+            nodes.Constant(10),
+        )
+        assert evaluate(expression, {"a": 3}) is True
+        assert evaluate(expression, {"a": 7}) is False
+
+    def test_java_integer_division_truncates_toward_zero(self) -> None:
+        expression = nodes.BinOp("/", nodes.Var("a"), nodes.Constant(2))
+        assert evaluate(expression, {"a": -3}) == -1
+        assert evaluate(expression, {"a": 3}) == 1
+
+    def test_unbound_variable_raises(self) -> None:
+        with pytest.raises(EvaluationError):
+            evaluate(nodes.Var("missing"), {})
+
+    def test_logical_operators_are_java_truthy(self) -> None:
+        expression = nodes.BinOp("&&", nodes.Var("a"), nodes.Var("b"))
+        assert evaluate(expression, {"a": 1, "b": 0}) is False
+        assert evaluate(expression, {"a": 2, "b": 3}) is True
+
+    def test_call_requires_handler(self) -> None:
+        with pytest.raises(EvaluationError):
+            evaluate(nodes.Call(nodes.Var("x"), "getName"), {"x": object()})
+        handled = evaluate(
+            nodes.Call(nodes.Var("x"), "getName"),
+            {"x": "ignored"},
+            call_handler=lambda node, env: "handled",
+        )
+        assert handled == "handled"
+
+
+class TestPrinter:
+    def test_getter_rendered_as_field(self) -> None:
+        expression = nodes.Call(
+            nodes.Cast("Office", nodes.SourceEntity(nodes.Var("c"))), "getName"
+        )
+        assert to_text(expression) == "((Office)entry).Name"
+
+    def test_equals_rendered_as_comparison(self) -> None:
+        expression = nodes.Call(nodes.Var("name"), "equals", (nodes.Constant("LA"),))
+        assert to_text(expression) == '(name = "LA")'
+
+    def test_logical_and_constants(self) -> None:
+        expression = nodes.BinOp("&&", nodes.Constant(True), nodes.Constant(None))
+        assert to_text(expression) == "true AND null"
+
+
+class TestSimplify:
+    def test_equals_call_becomes_comparison(self) -> None:
+        expression = nodes.Call(nodes.Var("name"), "equals", (nodes.Constant("LA"),))
+        assert simplify(expression) == nodes.BinOp(
+            "==", nodes.Var("name"), nodes.Constant("LA")
+        )
+
+    def test_redundant_comparison_with_zero_removed(self) -> None:
+        comparison = nodes.BinOp("==", nodes.Var("x"), nodes.Constant("LA"))
+        assert simplify(nodes.BinOp("!=", comparison, nodes.Constant(0))) == comparison
+        assert simplify(nodes.BinOp("==", comparison, nodes.Constant(0))) == nodes.BinOp(
+            "!=", nodes.Var("x"), nodes.Constant("LA")
+        )
+
+    def test_paper_table2_simplification(self) -> None:
+        """((entry.Name = "Seattle") = 0) AND ((entry.Name = "LA") != 0)
+        simplifies to (entry.Name != "Seattle") AND (entry.Name = "LA")."""
+        entry_name = nodes.GetField(nodes.Var("entry"), "Name")
+        seattle = nodes.BinOp("==", entry_name, nodes.Constant("Seattle"))
+        la = nodes.BinOp("==", entry_name, nodes.Constant("LA"))
+        expression = nodes.BinOp(
+            "&&",
+            nodes.BinOp("==", seattle, nodes.Constant(0)),
+            nodes.BinOp("!=", la, nodes.Constant(0)),
+        )
+        simplified = simplify(expression)
+        assert simplified == nodes.BinOp(
+            "&&",
+            nodes.BinOp("!=", entry_name, nodes.Constant("Seattle")),
+            la,
+        )
+
+    def test_not_pushed_through_comparisons(self) -> None:
+        expression = nodes.UnaryOp(
+            "!", nodes.BinOp("<", nodes.Var("a"), nodes.Var("b"))
+        )
+        assert simplify(expression) == nodes.BinOp(">=", nodes.Var("a"), nodes.Var("b"))
+
+    def test_double_negation_removed_for_boolean_operands(self) -> None:
+        comparison = nodes.BinOp("<", nodes.Var("a"), nodes.Var("b"))
+        expression = nodes.UnaryOp("!", nodes.UnaryOp("!", comparison))
+        assert simplify(expression) == comparison
+
+    def test_double_negation_kept_for_integer_operands(self) -> None:
+        # !!x normalises an int to a boolean, so it must not collapse to x.
+        expression = nodes.UnaryOp("!", nodes.UnaryOp("!", nodes.Var("a")))
+        assert simplify(expression) == expression
+
+    def test_constant_folding(self) -> None:
+        expression = nodes.BinOp(
+            "*", nodes.Constant(6), nodes.BinOp("+", nodes.Constant(2), nodes.Constant(5))
+        )
+        assert simplify(expression) == nodes.Constant(42)
+
+    def test_logical_identities(self) -> None:
+        x = nodes.BinOp("==", nodes.Var("x"), nodes.Constant(1))
+        assert simplify(nodes.BinOp("&&", nodes.Constant(True), x)) == x
+        assert simplify(nodes.BinOp("&&", x, nodes.Constant(False))) == nodes.Constant(False)
+        assert simplify(nodes.BinOp("||", nodes.Constant(False), x)) == x
+        assert simplify(nodes.BinOp("||", x, nodes.Constant(True))) == nodes.Constant(True)
+
+    def test_negate_helper(self) -> None:
+        x = nodes.BinOp("==", nodes.Var("x"), nodes.Constant(1))
+        assert negate(x) == nodes.BinOp("!=", nodes.Var("x"), nodes.Constant(1))
+
+    def test_is_boolean_expression(self) -> None:
+        assert is_boolean_expression(nodes.BinOp("<", nodes.Var("a"), nodes.Var("b")))
+        assert is_boolean_expression(nodes.Call(nodes.Var("a"), "equals", (nodes.Var("b"),)))
+        assert not is_boolean_expression(nodes.Var("a"))
+        assert not is_boolean_expression(nodes.Constant(3))
+
+
+# -- property-based: simplification preserves meaning ---------------------------------------
+
+_variables = st.sampled_from(["a", "b", "c"])
+_leaf = st.one_of(
+    st.integers(min_value=-5, max_value=5).map(nodes.Constant),
+    st.booleans().map(nodes.Constant),
+    _variables.map(nodes.Var),
+)
+_boolean_expr = st.recursive(
+    _leaf,
+    lambda children: st.one_of(
+        st.builds(
+            nodes.BinOp,
+            st.sampled_from(["==", "!=", "<", "<=", ">", ">=", "&&", "||", "+", "-", "*"]),
+            children,
+            children,
+        ),
+        st.builds(nodes.UnaryOp, st.just("!"), children),
+    ),
+    max_leaves=10,
+)
+_env = st.fixed_dictionaries(
+    {"a": st.integers(-5, 5), "b": st.integers(-5, 5), "c": st.integers(-5, 5)}
+)
+
+
+class TestSimplifyProperties:
+    @given(expression=_boolean_expr, env=_env)
+    @settings(max_examples=150, deadline=None)
+    def test_simplification_preserves_truth_value(self, expression, env) -> None:
+        """simplify() never changes what an expression evaluates to.
+
+        This is the key invariant behind the paper's "simplification step":
+        removing the redundant comparisons must not alter which rows the
+        WHERE clause selects.
+        """
+        try:
+            original = evaluate(expression, env)
+        except EvaluationError:
+            return  # e.g. comparing bool to int in unordered ways
+        simplified = simplify(expression)
+        try:
+            after = evaluate(simplified, env)
+        except EvaluationError:
+            return
+        assert _truthy(original) == _truthy(after)
+
+
+def _truthy(value: object) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    return bool(value)

@@ -1,0 +1,231 @@
+"""Tests of the whole analysis pipeline on the paper's running example
+(Fig. 10/11, Table 1, Table 2, Fig. 12) built directly in TAC."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis.foreach import find_foreach_queries
+from repro.core.analysis.paths import enumerate_paths
+from repro.core.cfg import build_cfg
+from repro.core.expr import nodes as E
+from repro.core.expr.printer import to_text
+from repro.core.pipeline import QueryllPipeline, analyze_method
+from repro.core.querytree.nodes import EntityOutput, SqlBinary
+from repro.core.rewriter import QueryRegistry, splice_rewritten_queries
+from repro.core.tac.builder import TacBuilder
+from repro.core.tac.printer import format_method
+from repro.errors import UnsupportedQueryError
+from tests.conftest import make_bank_mapping
+
+
+def office_query_method() -> object:
+    """TAC for the paper's Fig. 10 query (Seattle/LA offices)."""
+    builder = TacBuilder("findWestCoast", parameters=["em", "westcoast"])
+    builder.assign("r12", E.Call(E.Var("em"), "allOffice"))
+    builder.assign("it", E.Call(E.Var("r12"), "iterator"))
+    builder.goto("cond")
+    builder.label("body")
+    builder.assign("r13", E.Call(E.Var("it"), "next"))
+    builder.assign("r14", E.Cast("Office", E.Var("r13")))
+    builder.assign("r15", E.Call(E.Var("r14"), "getName"))
+    builder.assign("z3", E.Call(E.Var("r15"), "equals", (E.Constant("Seattle"),)))
+    builder.if_goto(E.BinOp("==", E.Var("z3"), E.Constant(0)), "else1")
+    builder.statement(E.Call(E.Var("westcoast"), "add", (E.Var("r14"),)))
+    builder.goto("cond")
+    builder.label("else1")
+    builder.assign("r16", E.Call(E.Var("r14"), "getName"))
+    builder.assign("z5", E.Call(E.Var("r16"), "equals", (E.Constant("LA"),)))
+    builder.if_goto(E.BinOp("==", E.Var("z5"), E.Constant(0)), "cond")
+    builder.statement(E.Call(E.Var("westcoast"), "add", (E.Var("r14"),)))
+    builder.label("cond")
+    builder.assign("z7", E.Call(E.Var("it"), "hasNext"))
+    builder.if_goto(E.BinOp("!=", E.Var("z7"), E.Constant(0)), "body")
+    builder.return_(E.Var("westcoast"))
+    return builder.build()
+
+
+@pytest.fixture()
+def mapping():
+    return make_bank_mapping()
+
+
+class TestForEachRecognition:
+    def test_query_loop_is_identified(self) -> None:
+        method = office_query_method()
+        queries = find_foreach_queries(method)
+        assert len(queries) == 1
+        query = queries[0]
+        assert query.iterator_var == "it"
+        assert query.dest_var == "westcoast"
+        assert to_text(query.source_expression) == "em.allOffice()"
+        assert len(query.add_instruction_indexes) == 2
+
+    def test_format_method_lists_labels(self) -> None:
+        listing = format_method(office_query_method())
+        assert "hasNext" in listing and "goto" in listing
+
+
+class TestPathEnumeration:
+    def test_two_paths_as_in_table1(self) -> None:
+        """Table 1: the loop has exactly two paths adding to the destination."""
+        method = office_query_method()
+        query = find_foreach_queries(method)[0]
+        paths = enumerate_paths(method, build_cfg(method), query)
+        assert len(paths) == 2
+        # Path 1 takes the first branch (Seattle); path 2 falls through it.
+        lengths = sorted(len(path) for path in paths)
+        assert lengths[0] < lengths[1]
+
+
+class TestAnalysis:
+    def test_path_conditions_match_paper(self, mapping) -> None:
+        queries = analyze_method(office_query_method(), mapping, record_trace=True)
+        assert len(queries) == 1
+        rewritten = queries[0]
+        conditions = [to_text(analysis.condition) for analysis in rewritten.path_analyses]
+        assert '(((Office)entry).Name = "Seattle")' in conditions
+        assert (
+            '(((Office)entry).Name != "Seattle") AND (((Office)entry).Name = "LA")'
+            in conditions
+        )
+
+    def test_substitution_trace_reports_steps(self, mapping) -> None:
+        """Table 2: the backward walk is traceable step by step."""
+        pipeline = QueryllPipeline(mapping, record_trace=True)
+        report = pipeline.analyze_method(office_query_method())
+        trace = report.queries[0].path_analyses[1].trace
+        assert any("Initial" in line for line in trace)
+        assert any("Simplification" in line for line in trace)
+        assert len(trace) >= 5
+
+    def test_generated_sql_matches_fig12_shape(self, mapping) -> None:
+        """Fig. 12: WHERE is the OR of the two path conditions."""
+        rewritten = analyze_method(office_query_method(), mapping)[0]
+        sql = rewritten.sql
+        assert sql.startswith("SELECT")
+        assert "FROM Office AS A" in sql
+        assert "(A.NAME) = 'Seattle'" in sql
+        assert "(A.NAME) != 'Seattle'" in sql
+        assert "(A.NAME) = 'LA'" in sql
+        assert " OR " in sql
+        assert rewritten.parameter_sources == []
+        assert isinstance(rewritten.tree.output, EntityOutput)
+
+    def test_outer_variable_becomes_parameter(self, mapping) -> None:
+        builder = TacBuilder("byCountry", parameters=["em", "dest", "country"])
+        builder.assign("it", E.Call(E.Call(E.Var("em"), "allClient"), "iterator"))
+        builder.goto("cond")
+        builder.label("body")
+        builder.assign("c", E.Cast("Client", E.Call(E.Var("it"), "next")))
+        builder.assign("z", E.Call(E.Call(E.Var("c"), "getCountry"), "equals", (E.Var("country"),)))
+        builder.if_goto(E.BinOp("==", E.Var("z"), E.Constant(0)), "cond")
+        builder.statement(E.Call(E.Var("dest"), "add", (E.Var("c"),)))
+        builder.label("cond")
+        builder.assign("h", E.Call(E.Var("it"), "hasNext"))
+        builder.if_goto(E.BinOp("!=", E.Var("h"), E.Constant(0)), "body")
+        builder.return_(E.Var("dest"))
+        rewritten = analyze_method(builder.build(), mapping)[0]
+        assert rewritten.parameter_sources == ["country"]
+        assert "?" in rewritten.sql
+
+    def test_constant_local_is_inlined(self, mapping) -> None:
+        """Fig. 5 assigns ``country = "Canada"`` before the loop; the constant
+        is folded into the generated SQL instead of becoming a parameter."""
+        builder = TacBuilder("canadians", parameters=["em", "dest"])
+        builder.assign("country", E.Constant("Canada"))
+        builder.assign("it", E.Call(E.Call(E.Var("em"), "allClient"), "iterator"))
+        builder.goto("cond")
+        builder.label("body")
+        builder.assign("c", E.Cast("Client", E.Call(E.Var("it"), "next")))
+        builder.assign("z", E.Call(E.Call(E.Var("c"), "getCountry"), "equals", (E.Var("country"),)))
+        builder.if_goto(E.BinOp("==", E.Var("z"), E.Constant(0)), "cond")
+        builder.statement(E.Call(E.Var("dest"), "add", (E.Call(E.Var("c"), "getName"),)))
+        builder.label("cond")
+        builder.assign("h", E.Call(E.Var("it"), "hasNext"))
+        builder.if_goto(E.BinOp("!=", E.Var("h"), E.Constant(0)), "body")
+        builder.return_(E.Var("dest"))
+        rewritten = analyze_method(builder.build(), mapping)[0]
+        assert rewritten.parameter_sources == []
+        assert "'Canada'" in rewritten.sql
+
+    def test_side_effecting_loop_is_skipped_not_fatal(self, mapping) -> None:
+        builder = TacBuilder("sideEffect", parameters=["em", "dest", "log"])
+        builder.assign("it", E.Call(E.Call(E.Var("em"), "allClient"), "iterator"))
+        builder.goto("cond")
+        builder.label("body")
+        builder.assign("c", E.Cast("Client", E.Call(E.Var("it"), "next")))
+        builder.statement(E.Call(E.Var("log"), "println", (E.Var("c"),)))
+        builder.statement(E.Call(E.Var("dest"), "add", (E.Var("c"),)))
+        builder.label("cond")
+        builder.assign("h", E.Call(E.Var("it"), "hasNext"))
+        builder.if_goto(E.BinOp("!=", E.Var("h"), E.Constant(0)), "body")
+        builder.return_(E.Var("dest"))
+        pipeline = QueryllPipeline(mapping)
+        report = pipeline.analyze_method(builder.build())
+        assert report.queries == []
+        assert len(report.skipped) == 1
+        assert "side effects" in report.skipped[0][1]
+
+    def test_unknown_entity_method_is_unsupported(self, mapping) -> None:
+        builder = TacBuilder("badAccessor", parameters=["em", "dest"])
+        builder.assign("it", E.Call(E.Call(E.Var("em"), "allClient"), "iterator"))
+        builder.goto("cond")
+        builder.label("body")
+        builder.assign("c", E.Cast("Client", E.Call(E.Var("it"), "next")))
+        builder.assign("z", E.Call(E.Call(E.Var("c"), "getShoeSize"), "equals", (E.Constant(9),)))
+        builder.if_goto(E.BinOp("==", E.Var("z"), E.Constant(0)), "cond")
+        builder.statement(E.Call(E.Var("dest"), "add", (E.Var("c"),)))
+        builder.label("cond")
+        builder.assign("h", E.Call(E.Var("it"), "hasNext"))
+        builder.if_goto(E.BinOp("!=", E.Var("h"), E.Constant(0)), "body")
+        builder.return_(E.Var("dest"))
+        report = QueryllPipeline(mapping).analyze_method(builder.build())
+        assert report.queries == []
+        assert "getShoeSize" in report.skipped[0][1]
+
+
+class TestJoinsInTree:
+    def test_relationship_navigation_creates_join(self, mapping) -> None:
+        builder = TacBuilder("swiss", parameters=["em", "dest"])
+        builder.assign("it", E.Call(E.Call(E.Var("em"), "allAccount"), "iterator"))
+        builder.goto("cond")
+        builder.label("body")
+        builder.assign("a", E.Cast("Account", E.Call(E.Var("it"), "next")))
+        builder.assign("h", E.Call(E.Var("a"), "getHolder"))
+        builder.assign("z", E.Call(E.Call(E.Var("h"), "getCountry"), "equals", (E.Constant("Switzerland"),)))
+        builder.if_goto(E.BinOp("==", E.Var("z"), E.Constant(0)), "cond")
+        builder.statement(
+            E.Call(E.Var("dest"), "add", (E.New("Pair", (E.Var("h"), E.Var("a"))),))
+        )
+        builder.label("cond")
+        builder.assign("hn", E.Call(E.Var("it"), "hasNext"))
+        builder.if_goto(E.BinOp("!=", E.Var("hn"), E.Constant(0)), "body")
+        builder.return_(E.Var("dest"))
+        rewritten = analyze_method(builder.build(), mapping)[0]
+        assert len(rewritten.tree.bindings) == 2
+        assert len(rewritten.tree.join_conditions) == 1
+        join = rewritten.tree.join_conditions[0]
+        assert isinstance(join, SqlBinary) and join.op == "="
+        assert "A.CLIENTID = B.CLIENTID" in rewritten.sql
+
+
+class TestSplice:
+    def test_loop_is_replaced_by_runtime_call(self, mapping) -> None:
+        method = office_query_method()
+        registry = QueryRegistry()
+        queries = analyze_method(method, mapping)
+        result = splice_rewritten_queries(method, queries, registry)
+        assert len(result.replaced) == 1
+        assert len(registry) == 1
+        text = format_method(result.method)
+        assert "queryllExecuteQuery" in text
+        assert "hasNext" not in text  # the loop is gone
+        assert "iterator" not in text  # dead iterator setup removed
+
+    def test_splice_preserves_instruction_count_sanity(self, mapping) -> None:
+        method = office_query_method()
+        queries = analyze_method(method, mapping)
+        result = splice_rewritten_queries(method, queries)
+        assert len(result.method.instructions) < len(method.instructions)
+        result.method.validate()

@@ -1,0 +1,152 @@
+"""Tests for the JDBC-style driver layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbapi import connect
+from repro.sqlengine import Database
+from repro.sqlengine.errors import SqlExecutionError
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database()
+    database.executescript(
+        "CREATE TABLE item (i_id INTEGER PRIMARY KEY, i_title VARCHAR(60), i_cost DOUBLE)"
+    )
+    database.insert_rows(
+        "item", [(1, "Dune", 9.5), (2, "Foundation", 7.25), (3, "Hyperion", None)]
+    )
+    return database
+
+
+class TestPreparedStatement:
+    def test_execute_query_with_parameters(self, db: Database) -> None:
+        connection = connect(db)
+        statement = connection.prepare_statement("SELECT i_title FROM item WHERE i_id = ?")
+        statement.set_int(1, 2)
+        results = statement.execute_query()
+        assert results.next()
+        assert results.get_string(1) == "Foundation"
+        assert not results.next()
+
+    def test_parameters_are_one_based(self, db: Database) -> None:
+        connection = connect(db)
+        statement = connection.prepare_statement("SELECT i_title FROM item WHERE i_id = ?")
+        with pytest.raises(SqlExecutionError):
+            statement.set_int(0, 2)
+
+    def test_unset_parameter_raises(self, db: Database) -> None:
+        connection = connect(db)
+        statement = connection.prepare_statement(
+            "SELECT i_title FROM item WHERE i_id = ? OR i_cost > ?"
+        )
+        statement.set_object(2, 5.0)
+        with pytest.raises(SqlExecutionError):
+            statement.execute_query()
+
+    def test_reuse_with_different_parameters(self, db: Database) -> None:
+        connection = connect(db)
+        statement = connection.prepare_statement("SELECT i_title FROM item WHERE i_id = ?")
+        titles = []
+        for item_id in (1, 2, 3):
+            statement.set_int(1, item_id)
+            results = statement.execute_query()
+            results.next()
+            titles.append(results.get_string("i_title"))
+        assert titles == ["Dune", "Foundation", "Hyperion"]
+
+    def test_execute_update(self, db: Database) -> None:
+        connection = connect(db)
+        statement = connection.prepare_statement("UPDATE item SET i_cost = ? WHERE i_id = ?")
+        statement.set_double(1, 12.0)
+        statement.set_int(2, 1)
+        statement.execute_update()
+        assert db.execute("SELECT i_cost FROM item WHERE i_id = 1").rows == [(12.0,)]
+
+    def test_closed_statement_raises(self, db: Database) -> None:
+        connection = connect(db)
+        statement = connection.prepare_statement("SELECT 1 FROM item")
+        statement.close()
+        with pytest.raises(SqlExecutionError):
+            statement.execute_query()
+
+
+class TestResultSet:
+    def test_column_access_by_index_and_name(self, db: Database) -> None:
+        connection = connect(db)
+        results = connection.prepare_statement(
+            "SELECT i_id, i_title, i_cost FROM item WHERE i_id = 1"
+        ).execute_query()
+        assert results.next()
+        assert results.get_int(1) == 1
+        assert results.get_string("I_TITLE") == "Dune"
+        assert results.get_double("i_cost") == 9.5
+
+    def test_null_handling_mirrors_jdbc(self, db: Database) -> None:
+        connection = connect(db)
+        results = connection.prepare_statement(
+            "SELECT i_cost FROM item WHERE i_id = 3"
+        ).execute_query()
+        results.next()
+        assert results.get_double(1) == 0.0
+        assert results.was_null(1) is True
+
+    def test_cursor_before_first_raises(self, db: Database) -> None:
+        connection = connect(db)
+        results = connection.prepare_statement("SELECT i_id FROM item").execute_query()
+        with pytest.raises(RuntimeError):
+            results.get_int(1)
+
+    def test_row_count_and_before_first(self, db: Database) -> None:
+        connection = connect(db)
+        results = connection.prepare_statement("SELECT i_id FROM item").execute_query()
+        assert results.row_count == 3
+        seen = 0
+        while results.next():
+            seen += 1
+        assert seen == 3
+        results.before_first()
+        assert results.next()
+
+    def test_bad_column_references(self, db: Database) -> None:
+        connection = connect(db)
+        results = connection.prepare_statement("SELECT i_id FROM item").execute_query()
+        results.next()
+        with pytest.raises(IndexError):
+            results.get_int(5)
+        with pytest.raises(KeyError):
+            results.get_string("missing")
+
+
+class TestConnection:
+    def test_round_trips_are_counted(self, db: Database) -> None:
+        connection = connect(db)
+        statement = connection.prepare_statement("SELECT i_id FROM item WHERE i_id = ?")
+        statement.set_int(1, 1)
+        statement.execute_query()
+        statement.execute_query()
+        connection.commit()
+        assert connection.round_trips == 3
+
+    def test_closed_connection_rejects_statements(self, db: Database) -> None:
+        connection = connect(db)
+        connection.close()
+        assert connection.closed
+        with pytest.raises(SqlExecutionError):
+            connection.prepare_statement("SELECT 1 FROM item")
+
+    def test_plain_statement_execute(self, db: Database) -> None:
+        connection = connect(db)
+        statement = connection.create_statement()
+        results = statement.execute("SELECT COUNT(*) AS n FROM item")
+        assert results is not None
+        results.next()
+        assert results.get_int("n") == 3
+
+    def test_auto_commit_flag(self, db: Database) -> None:
+        connection = connect(db, auto_commit=False)
+        assert connection.auto_commit is False
+        connection.set_auto_commit(True)
+        assert connection.auto_commit is True

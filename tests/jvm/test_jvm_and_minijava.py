@@ -1,0 +1,356 @@
+"""Tests for the mini-JVM substrate and the MiniJava compiler: assembly,
+serialisation, verification, interpretation, Jimple conversion, bytecode
+re-emission and the classfile rewriter."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import BytecodeError, CompileError
+from repro.jvm import (
+    BytecodeRewriter,
+    ClassFile,
+    Interpreter,
+    MethodAssembler,
+    Opcode,
+    method_to_tac,
+    tac_to_instructions,
+    verify_method,
+)
+from repro.jvm.classfile import MethodInfo
+from repro.jvm.instructions import Instruction
+from repro.jvm.runtime import standard_runtime
+from repro.jvm.tac_to_bytecode import tac_to_method
+from repro.minijava import compile_source
+from repro.minijava.parser import MiniJavaParser
+from repro.orm import QuerySet
+from tests.conftest import make_bank_db, make_bank_mapping
+
+BANK_QUERIES_SOURCE = """
+class BankQueries {
+    @Query
+    QuerySet<String> canadians(EntityManager em, String country) {
+        QuerySet<String> result = new QuerySet<String>();
+        for (Client c : em.allClient()) {
+            if (c.getCountry().equals(country))
+                result.add(c.getName());
+        }
+        return result;
+    }
+
+    @Query
+    QuerySet<Office> westCoast(EntityManager em, QuerySet<Office> westcoast) {
+        for (Office of : em.allOffice()) {
+            if (of.getName().equals("Seattle"))
+                westcoast.add(of);
+            else if (of.getName().equals("LA"))
+                westcoast.add(of);
+        }
+        return westcoast;
+    }
+
+    @Query
+    QuerySet<Pair<Client, Account>> swissAccounts(EntityManager em) {
+        QuerySet<Pair<Client, Account>> swiss = new QuerySet<Pair<Client, Account>>();
+        for (Account a : em.allAccount()) {
+            if (a.getHolder().getCountry().equals("Switzerland"))
+                swiss.add(new Pair<Client, Account>(a.getHolder(), a));
+        }
+        return swiss;
+    }
+
+    double plainHelper(double x) {
+        return x * 2.0 + 1.0;
+    }
+}
+"""
+
+
+# -- assembler / interpreter ------------------------------------------------------------------
+
+
+def arithmetic_method() -> MethodInfo:
+    assembler = MethodAssembler("addOne", ["x"])
+    assembler.load("x")
+    assembler.ldc(1)
+    assembler.emit(Opcode.ADD)
+    assembler.areturn()
+    return assembler.finish()
+
+
+class TestAssemblerAndInterpreter:
+    def test_arithmetic_method_runs(self) -> None:
+        interpreter = Interpreter()
+        assert interpreter.run(arithmetic_method(), {"x": 41}) == 42
+
+    def test_branching_with_labels(self) -> None:
+        assembler = MethodAssembler("absValue", ["x"])
+        assembler.load("x")
+        assembler.ldc(0)
+        assembler.emit(Opcode.CMPGE)
+        assembler.ifne("positive")
+        assembler.load("x")
+        assembler.emit(Opcode.NEG)
+        assembler.areturn()
+        assembler.label("positive")
+        assembler.load("x")
+        assembler.areturn()
+        method = assembler.finish()
+        verify_method(method)
+        interpreter = Interpreter()
+        assert interpreter.run(method, {"x": -5}) == 5
+        assert interpreter.run(method, {"x": 7}) == 7
+
+    def test_missing_label_raises(self) -> None:
+        assembler = MethodAssembler("bad", [])
+        assembler.goto("nowhere")
+        with pytest.raises(BytecodeError):
+            assembler.finish()
+
+    def test_missing_argument_raises(self) -> None:
+        with pytest.raises(BytecodeError):
+            Interpreter().run(arithmetic_method(), {})
+
+    def test_equals_and_iterator_bridge(self) -> None:
+        assembler = MethodAssembler("countMatching", ["items", "wanted"])
+        assembler.ldc(0)
+        assembler.store("count")
+        assembler.load("items")
+        assembler.invokevirtual("iterator", 0)
+        assembler.store("it")
+        assembler.goto("cond")
+        assembler.label("body")
+        assembler.load("it")
+        assembler.invokeinterface("next", 0)
+        assembler.store("e")
+        assembler.load("e")
+        assembler.load("wanted")
+        assembler.invokevirtual("equals", 1)
+        assembler.ifeq("cond")
+        assembler.load("count")
+        assembler.ldc(1)
+        assembler.emit(Opcode.ADD)
+        assembler.store("count")
+        assembler.label("cond")
+        assembler.load("it")
+        assembler.invokeinterface("hasNext", 0)
+        assembler.ifne("body")
+        assembler.load("count")
+        assembler.areturn()
+        method = assembler.finish()
+        verify_method(method)
+        result = Interpreter().run(method, {"items": ["a", "b", "a"], "wanted": "a"})
+        assert result == 2
+
+
+class TestVerifier:
+    def test_stack_underflow_detected(self) -> None:
+        method = MethodInfo("bad", [], [Instruction(Opcode.POP), Instruction(Opcode.RETURN)])
+        with pytest.raises(BytecodeError):
+            verify_method(method)
+
+    def test_invalid_branch_target_detected(self) -> None:
+        method = MethodInfo("bad", [], [Instruction(Opcode.GOTO, 99)])
+        with pytest.raises(BytecodeError):
+            verify_method(method)
+
+    def test_fall_off_end_detected(self) -> None:
+        method = MethodInfo("bad", [], [Instruction(Opcode.LDC, 1)])
+        with pytest.raises(BytecodeError):
+            verify_method(method)
+
+    def test_read_before_assignment_detected(self) -> None:
+        method = MethodInfo(
+            "bad", [], [Instruction(Opcode.LOAD, "x"), Instruction(Opcode.ARETURN)]
+        )
+        with pytest.raises(BytecodeError):
+            verify_method(method)
+
+
+class TestClassfileSerialisation:
+    def test_round_trip_preserves_everything(self) -> None:
+        classfile = compile_source(BANK_QUERIES_SOURCE)
+        restored = ClassFile.from_bytes(classfile.to_bytes())
+        assert set(restored.methods) == set(classfile.methods)
+        for name, method in classfile.methods.items():
+            other = restored.method(name)
+            assert other.parameters == method.parameters
+            assert other.annotations == method.annotations
+            assert [repr(i) for i in other.instructions] == [
+                repr(i) for i in method.instructions
+            ]
+
+    def test_bad_magic_rejected(self) -> None:
+        with pytest.raises(BytecodeError):
+            ClassFile.from_bytes(b"NOPE....")
+
+    @given(
+        value=st.one_of(
+            st.integers(min_value=-(2**40), max_value=2**40),
+            st.floats(allow_nan=False, allow_infinity=False),
+            st.text(max_size=30),
+            st.booleans(),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ldc_operand_round_trips(self, value) -> None:
+        assembler = MethodAssembler("constant", [])
+        assembler.ldc(value)
+        assembler.areturn()
+        classfile = ClassFile("C")
+        classfile.add_method(assembler.finish())
+        restored = ClassFile.from_bytes(classfile.to_bytes())
+        assert restored.method("constant").instructions[0].operand == value
+
+
+class TestStackToTacRoundTrip:
+    def test_tac_and_back_preserves_behaviour(self) -> None:
+        classfile = compile_source(BANK_QUERIES_SOURCE)
+        method = classfile.method("plainHelper")
+        tac = method_to_tac(method)
+        rebuilt = tac_to_method(tac)
+        verify_method(rebuilt)
+        interpreter = Interpreter()
+        assert interpreter.run(method, {"x": 3.0}) == interpreter.run(rebuilt, {"x": 3.0})
+
+    def test_query_method_tac_contains_iterator_protocol(self) -> None:
+        classfile = compile_source(BANK_QUERIES_SOURCE)
+        tac = method_to_tac(classfile.method("canadians"))
+        text = "\n".join(repr(instruction) for instruction in tac.instructions)
+        assert "hasNext" in text and "next" in text
+
+
+# -- MiniJava ------------------------------------------------------------------------------------
+
+
+class TestMiniJava:
+    def test_parser_builds_expected_ast(self) -> None:
+        declaration = MiniJavaParser(BANK_QUERIES_SOURCE).parse_class()
+        assert declaration.name == "BankQueries"
+        assert [m.name for m in declaration.methods] == [
+            "canadians", "westCoast", "swissAccounts", "plainHelper",
+        ]
+        assert declaration.methods[0].annotations == ["Query"]
+
+    def test_undeclared_variable_rejected(self) -> None:
+        with pytest.raises(CompileError):
+            compile_source(
+                "class C { int broken(int x) { return y; } }"
+            )
+
+    def test_duplicate_declaration_rejected(self) -> None:
+        with pytest.raises(CompileError):
+            compile_source(
+                "class C { int broken(int x) { int x = 1; return x; } }"
+            )
+
+    def test_missing_return_rejected(self) -> None:
+        with pytest.raises(CompileError):
+            compile_source("class C { int broken(int x) { int y = 1; } }")
+
+    def test_syntax_error_reports_line(self) -> None:
+        with pytest.raises(CompileError) as excinfo:
+            compile_source("class C {\n int broken( { return 1; } }")
+        assert "line 2" in str(excinfo.value)
+
+    def test_query_annotation_lands_on_methodinfo(self) -> None:
+        classfile = compile_source(BANK_QUERIES_SOURCE)
+        assert classfile.method("canadians").is_query
+        assert not classfile.method("plainHelper").is_query
+        assert len(classfile.query_methods()) == 3
+
+    def test_compiled_query_runs_unrewritten(self) -> None:
+        bank = make_bank_db()
+        classfile = compile_source(BANK_QUERIES_SOURCE)
+        interpreter = Interpreter(standard_runtime())
+        em = bank.begin_transaction()
+        result = interpreter.run_class_method(
+            classfile, "canadians", {"em": em, "country": "Canada"}
+        )
+        assert sorted(result.to_list()) == ["Alice", "Carol"]
+
+
+# -- the bytecode rewriter -----------------------------------------------------------------------
+
+
+class TestBytecodeRewriter:
+    @pytest.fixture()
+    def rewritten(self):
+        classfile = compile_source(BANK_QUERIES_SOURCE)
+        rewriter = BytecodeRewriter(make_bank_mapping())
+        return classfile, rewriter.rewrite_classfile(classfile)
+
+    def test_all_query_methods_are_rewritten(self, rewritten) -> None:
+        _, result = rewritten
+        assert sorted(result.rewritten_method_names) == [
+            "canadians", "swissAccounts", "westCoast",
+        ]
+
+    def test_generated_sql_matches_paper_fig12(self, rewritten) -> None:
+        _, result = rewritten
+        sql = result.generated_sql("westCoast")[0]
+        assert "FROM Office AS A" in sql
+        assert "'Seattle'" in sql and "'LA'" in sql and " OR " in sql
+
+    def test_rewritten_bytecode_contains_runtime_call_and_no_loop(self, rewritten) -> None:
+        _, result = rewritten
+        instructions = result.classfile.method("canadians").instructions
+        text = " ".join(repr(instruction) for instruction in instructions)
+        assert "queryllExecuteQuery" in text
+        assert "hasNext" not in text
+
+    def test_non_query_methods_untouched(self, rewritten) -> None:
+        original, result = rewritten
+        assert [repr(i) for i in result.classfile.method("plainHelper").instructions] == [
+            repr(i) for i in original.method("plainHelper").instructions
+        ]
+
+    def test_rewritten_and_original_agree_on_results(self, rewritten) -> None:
+        original, result = rewritten
+        bank = make_bank_db()
+        slow = Interpreter(standard_runtime())
+        fast = Interpreter(standard_runtime())
+        for method, arguments in [
+            ("canadians", {"country": "Canada"}),
+            ("canadians", {"country": "Switzerland"}),
+            ("westCoast", {"westcoast": QuerySet()}),
+            ("swissAccounts", {}),
+        ]:
+            slow_result = slow.run_class_method(
+                original, method, {"em": bank.begin_transaction(), "westcoast": QuerySet(), **arguments}
+                if method == "westCoast"
+                else {"em": bank.begin_transaction(), **arguments},
+            )
+            fast_result = fast.run_class_method(
+                result.classfile, method, {"em": bank.begin_transaction(), **arguments},
+            )
+            assert _normalise(slow_result) == _normalise(fast_result)
+
+    def test_rewritten_query_issues_one_sql_statement(self, rewritten) -> None:
+        _, result = rewritten
+        bank = make_bank_db()
+        interpreter = Interpreter(standard_runtime())
+        em = bank.begin_transaction()
+        before = bank.database.statements_executed
+        interpreter.run_class_method(
+            result.classfile, "canadians", {"em": em, "country": "Canada"}
+        )
+        assert bank.database.statements_executed == before + 1
+
+    def test_rewrite_classfile_bytes_round_trip(self) -> None:
+        classfile = compile_source(BANK_QUERIES_SOURCE)
+        rewriter = BytecodeRewriter(make_bank_mapping())
+        data, result = rewriter.rewrite_classfile_bytes(classfile.to_bytes())
+        restored = ClassFile.from_bytes(data)
+        assert "queryllExecuteQuery" in " ".join(
+            repr(i) for i in restored.method("canadians").instructions
+        )
+        assert result.rewritten_method_names
+
+
+def _normalise(queryset: QuerySet) -> list:
+    def key(item):
+        return repr(item)
+
+    return sorted((repr(item) for item in queryset), key=str)

@@ -1,0 +1,209 @@
+"""Tests for QuerySet, Pair and sorters (Figs. 6-8 of the paper)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.orm import DoubleSorter, FieldSorter, Pair, QuerySet
+from repro.orm.queryset import LazyQuery
+from repro.orm.sorters import CallableSorter
+
+
+class TestPair:
+    def test_accessors(self) -> None:
+        pair = Pair("a", 2)
+        assert pair.first == "a" and pair.second == 2
+        assert pair.getFirst() == "a" and pair.getSecond() == 2
+
+    def test_equality_and_hash(self) -> None:
+        assert Pair(1, "x") == Pair(1, "x")
+        assert Pair(1, "x") != Pair(2, "x")
+        assert hash(Pair(1, "x")) == hash(Pair(1, "x"))
+        assert len({Pair(1, 2), Pair(1, 2), Pair(3, 4)}) == 2
+
+    def test_iteration_and_repr(self) -> None:
+        assert list(Pair(1, 2)) == [1, 2]
+        assert "Pair" in repr(Pair(1, 2))
+
+    def test_pair_collection(self) -> None:
+        pairs = Pair.pair_collection("client", [1, 2, 3])
+        assert pairs == [Pair("client", 1), Pair("client", 2), Pair("client", 3)]
+
+    def test_nested_pairs(self) -> None:
+        nested = Pair(Pair(1, 2), Pair(3, 4))
+        assert nested.getFirst().getSecond() == 2
+
+
+class _ListQuery(LazyQuery):
+    """Lazy query over a fixed list, counting loads and supporting folding."""
+
+    def __init__(self, items, ordered=None, limit=None):
+        self.items = list(items)
+        self.loads = 0
+        self._ordered = ordered
+        self._limit = limit
+
+    def load(self):
+        self.loads += 1
+        items = list(self.items)
+        if self._ordered:
+            accessors, descending = self._ordered
+            items.sort(key=lambda item: getattr(item, accessors[0]), reverse=descending)
+        if self._limit is not None:
+            items = items[: self._limit]
+        return items
+
+    def ordered_by(self, accessors, descending):
+        return _ListQuery(self.items, ordered=(accessors, descending), limit=self._limit)
+
+    def limited(self, count):
+        return _ListQuery(self.items, ordered=self._ordered, limit=count)
+
+    def describe_sql(self):
+        return "LIST"
+
+
+class TestQuerySet:
+    def test_behaves_like_a_collection(self) -> None:
+        qs = QuerySet([1, 2, 3])
+        assert len(qs) == 3 and qs.size() == 3
+        assert 2 in qs and 9 not in qs
+        assert list(qs) == [1, 2, 3]
+        assert qs[0] == 1
+        assert qs == [1, 2, 3]
+        assert qs == QuerySet([1, 2, 3])
+
+    def test_add_and_add_all(self) -> None:
+        qs: QuerySet[int] = QuerySet()
+        assert qs.add(1) is True
+        assert qs.addAll([2, 3]) is True
+        assert qs.add_all([]) is False
+        assert qs.to_list() == [1, 2, 3]
+
+    def test_lazy_materialises_once(self) -> None:
+        query = _ListQuery([3, 1, 2])
+        qs = QuerySet.lazy(query)
+        assert qs.is_lazy
+        assert len(qs) == 3
+        assert list(qs) == [3, 1, 2]
+        assert query.loads == 1
+        assert not qs.is_lazy
+
+    def test_describe_sql_delegates(self) -> None:
+        qs = QuerySet.lazy(_ListQuery([1]))
+        assert qs.describe_sql() == "LIST"
+        assert QuerySet([1]).describe_sql() is None
+
+    def test_clear_resets(self) -> None:
+        qs = QuerySet.lazy(_ListQuery([1, 2]))
+        qs.clear()
+        assert len(qs) == 0 and not qs.is_lazy
+
+    def test_sorted_by_string_accessor_in_memory(self) -> None:
+        class Item:
+            def __init__(self, value):
+                self.value = value
+
+        qs = QuerySet([Item(3), Item(1), Item(2)])
+        ordered = qs.sorted_by("value")
+        assert [item.value for item in ordered] == [1, 2, 3]
+        descending = qs.sorted_by("value", descending=True)
+        assert [item.value for item in descending] == [3, 2, 1]
+
+    def test_sorted_by_folds_into_lazy_query(self) -> None:
+        class Item:
+            def __init__(self, value):
+                self.value = value
+
+        query = _ListQuery([Item(3), Item(1), Item(2)])
+        qs = QuerySet.lazy(query)
+        ordered = qs.sorted_by("value")
+        assert ordered.is_lazy
+        assert [item.value for item in ordered] == [1, 2, 3]
+
+    def test_first_n_folds_into_lazy_query(self) -> None:
+        query = _ListQuery([5, 6, 7, 8])
+        limited = QuerySet.lazy(query).first_n(2)
+        assert limited.is_lazy
+        assert limited.to_list() == [5, 6]
+
+    def test_first_n_on_materialised(self) -> None:
+        assert QuerySet([1, 2, 3]).firstN(2).to_list() == [1, 2]
+        with pytest.raises(ValueError):
+            QuerySet([1]).first_n(-1)
+
+    def test_sorted_by_sorter_object_paper_fig8(self) -> None:
+        class Account:
+            def __init__(self, balance):
+                self._balance = balance
+
+            def getBalance(self):
+                return self._balance
+
+        class BalanceSorter(DoubleSorter):
+            def value(self, val):
+                return val.getBalance()
+
+        accounts = QuerySet([Account(10.0), Account(99.0), Account(55.0)])
+        top2 = accounts.sortedByDoubleDescending(BalanceSorter()).firstN(2)
+        assert [a.getBalance() for a in top2] == [99.0, 55.0]
+
+    def test_sort_handles_none_values(self) -> None:
+        class Row:
+            def __init__(self, key):
+                self.key = key
+
+        qs = QuerySet([Row(None), Row(2), Row(1)])
+        assert [r.key for r in qs.sorted_by("key")] == [None, 1, 2]
+
+    @given(st.lists(st.integers(), max_size=30), st.integers(min_value=0, max_value=10))
+    @settings(max_examples=50, deadline=None)
+    def test_first_n_is_prefix_of_sorted(self, values: list[int], count: int) -> None:
+        class Box:
+            def __init__(self, value):
+                self.value = value
+
+        qs = QuerySet([Box(v) for v in values])
+        result = [b.value for b in qs.sorted_by("value").first_n(count)]
+        assert result == sorted(values)[:count]
+
+
+class TestSorters:
+    def test_field_sorter_records_chain(self) -> None:
+        assert FieldSorter("balance").recorded_accessors() == ("balance",)
+        assert FieldSorter("first.title").recorded_accessors() == ("first", "title")
+
+    def test_subclass_sorter_with_getter_is_analysed(self) -> None:
+        class S(DoubleSorter):
+            def value(self, val):
+                return val.getBalance()
+
+        assert S().recorded_accessors() == ("getBalance",)
+        assert S().recorded_field() == "getBalance"
+
+    def test_chained_getters_are_analysed(self) -> None:
+        class S(DoubleSorter):
+            def value(self, val):
+                return val.getFirst().getTitle()
+
+        assert S().recorded_accessors() == ("getFirst", "getTitle")
+
+    def test_computed_sorter_is_not_analysed(self) -> None:
+        class S(DoubleSorter):
+            def value(self, val):
+                return val.getMinBalance() - val.getBalance()
+
+        assert S().recorded_accessors() is None
+
+    def test_callable_sorter(self) -> None:
+        sorter = CallableSorter(lambda item: item.name)
+        assert sorter.recorded_accessors() == ("name",)
+
+    def test_sorter_reading_two_fields_is_rejected(self) -> None:
+        class S(DoubleSorter):
+            def value(self, val):
+                first = val.balance
+                return val.name
+
+        assert S().recorded_accessors() is None

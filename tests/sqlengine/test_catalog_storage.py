@@ -1,0 +1,180 @@
+"""Tests for the catalog, storage and index layers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlengine.catalog import Catalog, ColumnSchema, SqlType, TableSchema
+from repro.sqlengine.errors import SqlCatalogError, SqlExecutionError, SqlTypeError
+from repro.sqlengine.indexes import HashIndex, OrderedIndex, make_key
+from repro.sqlengine.storage import TableData
+
+
+def customer_schema() -> TableSchema:
+    return TableSchema(
+        name="customer",
+        columns=(
+            ColumnSchema("c_id", SqlType.INTEGER, primary_key=True),
+            ColumnSchema("c_uname", SqlType.TEXT),
+            ColumnSchema("c_balance", SqlType.DOUBLE),
+        ),
+    )
+
+
+class TestSqlType:
+    def test_from_name_aliases(self) -> None:
+        assert SqlType.from_name("VARCHAR") is SqlType.TEXT
+        assert SqlType.from_name("int") is SqlType.INTEGER
+        assert SqlType.from_name("REAL") is SqlType.DOUBLE
+
+    def test_unknown_type_raises(self) -> None:
+        with pytest.raises(SqlCatalogError):
+            SqlType.from_name("BLOB9000")
+
+    def test_coerce_integer(self) -> None:
+        assert SqlType.INTEGER.coerce("42") == 42
+        assert SqlType.INTEGER.coerce(3.9) == 3
+        assert SqlType.INTEGER.coerce(None) is None
+
+    def test_coerce_double_and_boolean(self) -> None:
+        assert SqlType.DOUBLE.coerce("2.5") == 2.5
+        assert SqlType.BOOLEAN.coerce("true") is True
+        assert SqlType.BOOLEAN.coerce(0) is False
+
+    def test_coerce_failure_raises(self) -> None:
+        with pytest.raises(SqlTypeError):
+            SqlType.INTEGER.coerce("not a number")
+
+
+class TestTableSchema:
+    def test_column_lookup_is_case_insensitive(self) -> None:
+        schema = customer_schema()
+        assert schema.column_index("C_UNAME") == 1
+        assert schema.column("c_Id").primary_key is True
+
+    def test_unknown_column_raises(self) -> None:
+        with pytest.raises(SqlCatalogError):
+            customer_schema().column_index("nope")
+
+    def test_duplicate_column_rejected(self) -> None:
+        with pytest.raises(SqlCatalogError):
+            TableSchema(
+                name="t",
+                columns=(
+                    ColumnSchema("a", SqlType.INTEGER),
+                    ColumnSchema("A", SqlType.TEXT),
+                ),
+            )
+
+    def test_coerce_row_length_mismatch(self) -> None:
+        with pytest.raises(SqlTypeError):
+            customer_schema().coerce_row((1, "x"))
+
+    def test_primary_key_columns(self) -> None:
+        assert customer_schema().primary_key_columns == ["c_id"]
+
+
+class TestCatalog:
+    def test_create_and_lookup(self) -> None:
+        catalog = Catalog()
+        catalog.create_table(customer_schema())
+        assert catalog.has_table("CUSTOMER")
+        assert catalog.table("customer").name == "customer"
+
+    def test_duplicate_table_raises(self) -> None:
+        catalog = Catalog()
+        catalog.create_table(customer_schema())
+        with pytest.raises(SqlCatalogError):
+            catalog.create_table(customer_schema())
+
+    def test_drop_table(self) -> None:
+        catalog = Catalog()
+        catalog.create_table(customer_schema())
+        catalog.drop_table("customer")
+        assert not catalog.has_table("customer")
+        with pytest.raises(SqlCatalogError):
+            catalog.drop_table("customer")
+
+
+class TestIndexes:
+    def test_hash_index_insert_lookup_delete(self) -> None:
+        index = HashIndex("i", ("a",))
+        index.insert(5, 1)
+        index.insert(5, 2)
+        assert sorted(index.lookup(5)) == [1, 2]
+        index.delete(5, 1)
+        assert index.lookup(5) == [2]
+        assert len(index) == 1
+
+    def test_unique_hash_index_rejects_duplicates(self) -> None:
+        index = HashIndex("i", ("a",), unique=True)
+        index.insert("x", 1)
+        with pytest.raises(SqlExecutionError):
+            index.insert("x", 2)
+
+    def test_ordered_index_range(self) -> None:
+        index = OrderedIndex("i", ("a",))
+        for value, row in [(5, 0), (1, 1), (3, 2), (9, 3)]:
+            index.insert(value, row)
+        assert index.lookup(3) == [2]
+        assert index.range(low=2, high=6) == [2, 0]
+        assert index.ordered_row_ids() == [1, 2, 0, 3]
+        assert index.ordered_row_ids(descending=True) == [3, 0, 2, 1]
+
+    def test_make_key_single_vs_composite(self) -> None:
+        assert make_key([7]) == 7
+        assert make_key([7, "a"]) == (7, "a")
+
+
+class TestTableData:
+    def test_insert_and_scan(self) -> None:
+        data = TableData(customer_schema())
+        data.insert((1, "alice", 10.0))
+        data.insert((2, "bob", -3.0))
+        assert len(data) == 2
+        assert [row[1] for row in data.rows()] == ["alice", "bob"]
+
+    def test_primary_key_index_created_automatically(self) -> None:
+        data = TableData(customer_schema())
+        assert "pk_customer" in data.indexes()
+        data.insert((1, "alice", 10.0))
+        with pytest.raises(SqlExecutionError):
+            data.insert((1, "duplicate", 0.0))
+
+    def test_delete_is_reflected_in_scan_and_index(self) -> None:
+        data = TableData(customer_schema())
+        row_id = data.insert((1, "alice", 10.0))
+        data.insert((2, "bob", 2.0))
+        data.delete(row_id)
+        assert len(data) == 1
+        index = data.indexes()["pk_customer"]
+        assert data.lookup_rows(index, 1) == []
+
+    def test_update_maintains_indexes(self) -> None:
+        data = TableData(customer_schema())
+        row_id = data.insert((1, "alice", 10.0))
+        data.update(row_id, (7, "alice", 10.0))
+        index = data.indexes()["pk_customer"]
+        assert data.lookup_rows(index, 1) == []
+        assert data.lookup_rows(index, 7)[0][1][0] == 7
+
+    def test_secondary_index_backfills_existing_rows(self) -> None:
+        data = TableData(customer_schema())
+        data.insert((1, "alice", 10.0))
+        data.insert((2, "bob", 2.0))
+        index = data.create_index("by_uname", ("c_uname",))
+        assert data.lookup_rows(index, "bob")[0][1][0] == 2
+
+    def test_clear_keeps_schema_and_indexes(self) -> None:
+        data = TableData(customer_schema())
+        data.insert((1, "alice", 10.0))
+        data.clear()
+        assert len(data) == 0
+        assert "pk_customer" in data.indexes()
+        data.insert((1, "alice", 10.0))
+        assert len(data) == 1
+
+    def test_get_missing_row_raises(self) -> None:
+        data = TableData(customer_schema())
+        with pytest.raises(SqlExecutionError):
+            data.get(99)

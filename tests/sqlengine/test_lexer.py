@@ -1,0 +1,87 @@
+"""Tests for the SQL tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlengine.errors import SqlParseError
+from repro.sqlengine.lexer import TokenType, tokenize
+
+
+def kinds(sql: str) -> list[TokenType]:
+    return [token.type for token in tokenize(sql)]
+
+
+def values(sql: str) -> list[str]:
+    return [token.value for token in tokenize(sql)[:-1]]
+
+
+class TestTokenKinds:
+    def test_keywords_are_upper_cased(self) -> None:
+        tokens = tokenize("select * from customer")
+        assert tokens[0].value == "SELECT"
+        assert tokens[0].type is TokenType.KEYWORD
+        assert tokens[2].value == "FROM"
+
+    def test_identifiers_preserve_case(self) -> None:
+        tokens = tokenize("SELECT C_FNAME FROM Customer")
+        assert tokens[1].value == "C_FNAME"
+        assert tokens[1].type is TokenType.IDENTIFIER
+        assert tokens[3].value == "Customer"
+
+    def test_integer_and_float_literals(self) -> None:
+        tokens = tokenize("SELECT 42, 3.5")
+        assert tokens[1].type is TokenType.INTEGER
+        assert tokens[1].value == "42"
+        assert tokens[3].type is TokenType.FLOAT
+        assert tokens[3].value == "3.5"
+
+    def test_string_literal(self) -> None:
+        tokens = tokenize("SELECT 'Canada'")
+        assert tokens[1].type is TokenType.STRING
+        assert tokens[1].value == "Canada"
+
+    def test_string_literal_with_escaped_quote(self) -> None:
+        tokens = tokenize("SELECT 'O''Brien'")
+        assert tokens[1].value == "O'Brien"
+
+    def test_parameter_token(self) -> None:
+        tokens = tokenize("WHERE c_id = ?")
+        assert tokens[-2].type is TokenType.PARAMETER
+
+    def test_operators(self) -> None:
+        text = values("a <= b >= c <> d != e = f < g > h")
+        assert "<=" in text and ">=" in text and "<>" in text and "!=" in text
+
+    def test_punctuation_and_dot(self) -> None:
+        tokens = tokenize("customer.c_id")
+        assert [t.value for t in tokens[:-1]] == ["customer", ".", "c_id"]
+
+    def test_line_comment_is_skipped(self) -> None:
+        tokens = tokenize("SELECT 1 -- comment here\n , 2")
+        literal_values = [t.value for t in tokens if t.type is TokenType.INTEGER]
+        assert literal_values == ["1", "2"]
+
+    def test_quoted_identifier(self) -> None:
+        tokens = tokenize('SELECT "Weird Name" FROM t')
+        assert tokens[1].type is TokenType.IDENTIFIER
+        assert tokens[1].value == "Weird Name"
+
+    def test_eof_is_always_last(self) -> None:
+        assert kinds("")[-1] is TokenType.EOF
+        assert kinds("SELECT 1")[-1] is TokenType.EOF
+
+
+class TestLexerErrors:
+    def test_unterminated_string_raises(self) -> None:
+        with pytest.raises(SqlParseError):
+            tokenize("SELECT 'oops")
+
+    def test_unexpected_character_raises(self) -> None:
+        with pytest.raises(SqlParseError):
+            tokenize("SELECT #")
+
+    def test_error_carries_position(self) -> None:
+        with pytest.raises(SqlParseError) as excinfo:
+            tokenize("SELECT $")
+        assert excinfo.value.position == 7

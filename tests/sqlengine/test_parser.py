@@ -1,0 +1,172 @@
+"""Tests for the SQL parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.errors import SqlParseError
+from repro.sqlengine.parser import count_parameters, parse_statement
+
+
+class TestSelectParsing:
+    def test_simple_select(self) -> None:
+        statement = parse_statement("SELECT c_fname, c_lname FROM customer WHERE c_id = ?")
+        assert isinstance(statement, ast.SelectStatement)
+        assert len(statement.items) == 2
+        assert statement.tables[0].table == "customer"
+        assert isinstance(statement.where, ast.BinaryOp)
+
+    def test_select_star(self) -> None:
+        statement = parse_statement("SELECT * FROM item")
+        assert statement.items[0].star is True
+
+    def test_select_table_star(self) -> None:
+        statement = parse_statement("SELECT A.* FROM item AS A")
+        assert statement.items[0].table_star == "A"
+
+    def test_aliases_with_and_without_as(self) -> None:
+        statement = parse_statement("SELECT i.i_id FROM item i, author AS a")
+        assert statement.tables[0].alias == "i"
+        assert statement.tables[1].alias == "a"
+
+    def test_column_alias(self) -> None:
+        statement = parse_statement("SELECT (A.C_FNAME) AS COL0 FROM customer AS A")
+        assert statement.items[0].alias == "COL0"
+
+    def test_where_precedence_or_of_ands(self) -> None:
+        statement = parse_statement("SELECT * FROM t WHERE a = 1 AND b = 2 OR c = 3")
+        assert isinstance(statement.where, ast.BinaryOp)
+        assert statement.where.op == "OR"
+        assert statement.where.left.op == "AND"  # type: ignore[union-attr]
+
+    def test_not_parses_tighter_than_and(self) -> None:
+        statement = parse_statement("SELECT * FROM t WHERE NOT a = 1 AND b = 2")
+        assert statement.where.op == "AND"  # type: ignore[union-attr]
+        assert isinstance(statement.where.left, ast.UnaryOp)  # type: ignore[union-attr]
+
+    def test_order_by_and_limit(self) -> None:
+        statement = parse_statement(
+            "SELECT i_title FROM item ORDER BY i_title DESC, i_id LIMIT 50"
+        )
+        assert statement.order_by[0].descending is True
+        assert statement.order_by[1].descending is False
+        assert isinstance(statement.limit, ast.Literal)
+
+    def test_mysql_style_limit_offset_count(self) -> None:
+        statement = parse_statement("SELECT i_id FROM item LIMIT 0, 50")
+        assert statement.offset == ast.Literal(0)
+        assert statement.limit == ast.Literal(50)
+
+    def test_limit_offset_keyword(self) -> None:
+        statement = parse_statement("SELECT i_id FROM item LIMIT 10 OFFSET 5")
+        assert statement.limit == ast.Literal(10)
+        assert statement.offset == ast.Literal(5)
+
+    def test_distinct(self) -> None:
+        statement = parse_statement("SELECT DISTINCT i_subject FROM item")
+        assert statement.distinct is True
+
+    def test_parameters_are_numbered_in_order(self) -> None:
+        statement = parse_statement("SELECT * FROM t WHERE a = ? AND b = ?")
+        where = statement.where
+        assert where.left.right == ast.Parameter(0)  # type: ignore[union-attr]
+        assert where.right.right == ast.Parameter(1)  # type: ignore[union-attr]
+
+    def test_count_parameters(self) -> None:
+        assert count_parameters("SELECT * FROM t WHERE a = ? AND b = ? OR c = ?") == 3
+
+    def test_arithmetic_in_select_list(self) -> None:
+        statement = parse_statement("SELECT (minbalance - balance) * 0.001 FROM account")
+        expression = statement.items[0].expression
+        assert isinstance(expression, ast.BinaryOp)
+        assert expression.op == "*"
+
+    def test_in_list(self) -> None:
+        statement = parse_statement("SELECT * FROM t WHERE a IN (1, 2, 3)")
+        assert isinstance(statement.where, ast.InList)
+        assert len(statement.where.items) == 3
+
+    def test_is_null_and_is_not_null(self) -> None:
+        statement = parse_statement("SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL")
+        left = statement.where.left  # type: ignore[union-attr]
+        right = statement.where.right  # type: ignore[union-attr]
+        assert isinstance(left, ast.IsNull) and left.negated is False
+        assert isinstance(right, ast.IsNull) and right.negated is True
+
+    def test_like(self) -> None:
+        statement = parse_statement("SELECT * FROM t WHERE name LIKE 'A%'")
+        assert statement.where.op == "LIKE"  # type: ignore[union-attr]
+
+    def test_count_star(self) -> None:
+        statement = parse_statement("SELECT COUNT(*) FROM item")
+        expression = statement.items[0].expression
+        assert isinstance(expression, ast.FunctionCall)
+        assert expression.star is True
+
+    def test_paper_table5_getname_shape(self) -> None:
+        statement = parse_statement(
+            "SELECT (A.C_FNAME) AS COL0, (A.C_LNAME) AS COL1 "
+            "FROM Customer AS A WHERE ( ( ((A.C_ID) = ?) ) )"
+        )
+        assert [item.alias for item in statement.items] == ["COL0", "COL1"]
+        assert statement.tables[0].binding == "A"
+
+
+class TestOtherStatements:
+    def test_insert(self) -> None:
+        statement = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(statement, ast.InsertStatement)
+        assert statement.columns == ("a", "b")
+        assert len(statement.rows) == 2
+
+    def test_update(self) -> None:
+        statement = parse_statement("UPDATE t SET a = ?, b = 2 WHERE id = ?")
+        assert isinstance(statement, ast.UpdateStatement)
+        assert len(statement.assignments) == 2
+
+    def test_delete(self) -> None:
+        statement = parse_statement("DELETE FROM t WHERE id = 3")
+        assert isinstance(statement, ast.DeleteStatement)
+
+    def test_create_table(self) -> None:
+        statement = parse_statement(
+            "CREATE TABLE item (i_id INTEGER PRIMARY KEY, i_title VARCHAR(60) NOT NULL)"
+        )
+        assert isinstance(statement, ast.CreateTableStatement)
+        assert statement.columns[0].primary_key is True
+        assert statement.columns[1].length == 60
+        assert statement.columns[1].nullable is False
+
+    def test_create_index(self) -> None:
+        statement = parse_statement("CREATE UNIQUE INDEX idx_uname ON customer (c_uname)")
+        assert isinstance(statement, ast.CreateIndexStatement)
+        assert statement.unique is True
+
+    def test_drop_table(self) -> None:
+        statement = parse_statement("DROP TABLE item")
+        assert isinstance(statement, ast.DropTableStatement)
+
+    def test_transaction_statements(self) -> None:
+        for text in ("BEGIN", "COMMIT", "ROLLBACK"):
+            statement = parse_statement(text)
+            assert isinstance(statement, ast.TransactionStatement)
+            assert statement.action == text
+
+
+class TestParserErrors:
+    def test_trailing_garbage_raises(self) -> None:
+        with pytest.raises(SqlParseError):
+            parse_statement("SELECT 1 FROM t garbage garbage garbage")
+
+    def test_missing_from_raises(self) -> None:
+        with pytest.raises(SqlParseError):
+            parse_statement("SELECT 1 WHERE a = 2")
+
+    def test_unbalanced_parentheses_raise(self) -> None:
+        with pytest.raises(SqlParseError):
+            parse_statement("SELECT (1 FROM t")
+
+    def test_empty_statement_raises(self) -> None:
+        with pytest.raises(SqlParseError):
+            parse_statement("")

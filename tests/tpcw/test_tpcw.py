@@ -1,0 +1,181 @@
+"""Tests for the TPC-W workload: schema, population, query equivalence and
+the benchmark harness (Tables 3-5 of the paper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tpcw import BenchmarkConfig, TpcwBenchmark
+from repro.tpcw import queries_queryll, queries_sql
+from repro.tpcw.population import PopulationScale, customer_uname
+from repro.tpcw.schema import TPCW_SUBJECTS, tpcw_mapping
+from repro.tpcw.workload import ParameterGenerator
+
+
+class TestSchemaAndPopulation:
+    def test_mapping_validates(self) -> None:
+        tpcw_mapping().validate()
+
+    def test_population_counts_follow_scale(self, tpcw_db) -> None:
+        scale = tpcw_db.scale
+        assert tpcw_db.summary.items == scale.num_items
+        assert tpcw_db.summary.customers == scale.num_customers
+        assert tpcw_db.summary.countries == 92
+        assert tpcw_db.database.row_count("item") == scale.num_items
+
+    def test_paper_scale_parameters(self) -> None:
+        paper = PopulationScale.paper()
+        assert paper.num_items == 10_000
+        assert paper.num_ebs == 100
+        assert paper.num_customers == 288_000
+
+    def test_population_is_deterministic(self, tpcw_db) -> None:
+        from repro.tpcw.database import build_database
+
+        other = build_database(PopulationScale.tiny())
+        rows_a = tpcw_db.database.execute("SELECT i_title FROM item WHERE i_id = 10").rows
+        rows_b = other.database.execute("SELECT i_title FROM item WHERE i_id = 10").rows
+        assert rows_a == rows_b
+
+    def test_related_items_are_distinct_and_valid(self, tpcw_db) -> None:
+        rows = tpcw_db.database.execute(
+            "SELECT i_id, i_related1, i_related2, i_related3, i_related4, i_related5 FROM item"
+        ).rows
+        for row in rows:
+            item_id, *related = row
+            assert item_id not in related
+            assert len(set(related)) == 5
+            assert all(1 <= value <= tpcw_db.scale.num_items for value in related)
+
+    def test_parameter_generator_draws_valid_values(self, tpcw_db) -> None:
+        generator = ParameterGenerator(tpcw_db.scale)
+        for _ in range(20):
+            assert 1 <= generator.customer_id() <= tpcw_db.scale.num_customers
+            assert generator.subject() in TPCW_SUBJECTS
+            assert 1 <= generator.item_id() <= tpcw_db.scale.num_items
+        assert generator.customer_username().startswith("user")
+
+    def test_parameter_generator_reset_repeats_sequence(self, tpcw_db) -> None:
+        generator = ParameterGenerator(tpcw_db.scale)
+        first = [generator.customer_id() for _ in range(5)]
+        generator.reset()
+        assert [generator.customer_id() for _ in range(5)] == first
+
+
+class TestQueryEquivalence:
+    """The Queryll loop versions must return exactly what the hand-written
+    SQL returns — the paper's premise that rewriting preserves semantics."""
+
+    def test_get_name(self, tpcw_db) -> None:
+        em = tpcw_db.entity_manager()
+        connection = tpcw_db.connection()
+        for customer_id in (1, 7, tpcw_db.scale.num_customers):
+            assert queries_queryll.get_name(em, customer_id) == queries_sql.get_name(
+                connection, customer_id
+            )
+
+    def test_get_name_missing_customer(self, tpcw_db) -> None:
+        with pytest.raises(LookupError):
+            queries_queryll.get_name(tpcw_db.entity_manager(), 10**9)
+        with pytest.raises(LookupError):
+            queries_sql.get_name(tpcw_db.connection(), 10**9)
+
+    def test_get_customer(self, tpcw_db) -> None:
+        em = tpcw_db.entity_manager()
+        connection = tpcw_db.connection()
+        for customer_id in (2, 11, 25):
+            username = customer_uname(customer_id)
+            assert queries_queryll.get_customer(em, username) == queries_sql.get_customer(
+                connection, username
+            )
+
+    def test_get_name_extra_processing_variant_matches(self, tpcw_db) -> None:
+        connection = tpcw_db.connection()
+        assert queries_sql.get_name_with_extra_processing(connection, 3) == queries_sql.get_name(
+            connection, 3
+        )
+
+    def test_do_subject_search(self, tpcw_db) -> None:
+        em = tpcw_db.entity_manager()
+        connection = tpcw_db.connection()
+        for subject in ("ARTS", "HISTORY", "TRAVEL"):
+            queryll_rows = queries_queryll.do_subject_search(em, subject)
+            sql_rows = queries_sql.do_subject_search(connection, subject)
+            assert queryll_rows == sql_rows
+            assert len(sql_rows) <= 50
+            titles = [row[1] for row in sql_rows]
+            assert titles == sorted(titles)
+
+    def test_do_subject_search_modified_variant_matches(self, tpcw_db) -> None:
+        connection = tpcw_db.connection()
+        assert queries_sql.do_subject_search_modified(
+            connection, "ARTS"
+        ) == queries_sql.do_subject_search(connection, "ARTS")
+
+    def test_do_get_related(self, tpcw_db) -> None:
+        em = tpcw_db.entity_manager()
+        connection = tpcw_db.connection()
+        for item_id in (1, 9, 33):
+            queryll_rows = sorted(queries_queryll.do_get_related(em, item_id))
+            sql_rows = sorted(queries_sql.do_get_related(connection, item_id))
+            assert queryll_rows == sql_rows
+            assert len(sql_rows) == 5
+
+    def test_every_query_is_rewritten_not_fallback(self, tpcw_db) -> None:
+        mapping = tpcw_db.orm.mapping
+        for name, function in queries_queryll.QUERY_FUNCTIONS.items():
+            assert function.generated_sql(mapping) is not None, name
+
+
+class TestGeneratedSqlTable5:
+    def test_get_name_sql_shape(self, tpcw_db) -> None:
+        sql = queries_queryll.get_name_loop.generated_sql(tpcw_db.orm.mapping)
+        assert "FROM customer AS A" in sql
+        assert "(A.C_ID) = ?" in sql
+
+    def test_get_customer_sql_has_three_tables(self, tpcw_db) -> None:
+        sql = queries_queryll.get_customer_loop.generated_sql(tpcw_db.orm.mapping)
+        assert "FROM customer AS A, address AS B, country AS C" in sql
+        assert "A.C_ADDR_ID = B.ADDR_ID" in sql
+        assert "B.ADDR_CO_ID = C.CO_ID" in sql
+
+    def test_do_subject_search_sql_joins_author(self, tpcw_db) -> None:
+        sql = queries_queryll.do_subject_search_loop.generated_sql(tpcw_db.orm.mapping)
+        assert "FROM item AS A, author AS B" in sql
+        assert "A.I_A_ID = B.A_ID" in sql
+
+    def test_do_get_related_sql_is_five_way_self_join(self, tpcw_db) -> None:
+        """The paper: Queryll "joins the Item table to itself five times"."""
+        sql = queries_queryll.do_get_related_loop.generated_sql(tpcw_db.orm.mapping)
+        assert sql.count("item AS") == 6
+        for position, letter in enumerate("BCDEF", start=1):
+            assert f"A.I_RELATED{position} = {letter}.I_ID" in sql
+
+
+class TestHarness:
+    def test_quick_benchmark_produces_all_rows(self) -> None:
+        config = BenchmarkConfig(
+            scale=PopulationScale.tiny(),
+            warmup_executions=1,
+            measured_executions=3,
+            runs=1,
+            discard_runs=0,
+        )
+        benchmark = TpcwBenchmark(config)
+        results = benchmark.run_table4()
+        assert [result.query for result in results] == [
+            "getName", "getCustomer", "doSubjectSearch", "doGetRelated",
+        ]
+        for result in results:
+            assert result.queryll.mean_ms > 0
+            assert result.handwritten.mean_ms > 0
+        table = benchmark.format_table4(results)
+        assert "getName" in table and "with modified query" in table
+        table5 = benchmark.format_table5()
+        assert "generated" in table5 and "hand-written" in table5
+
+    def test_config_from_environment_defaults_to_quick(self, monkeypatch) -> None:
+        monkeypatch.delenv("REPRO_TPCW_PROFILE", raising=False)
+        assert BenchmarkConfig.from_environment().measured_executions == 30
+        monkeypatch.setenv("REPRO_TPCW_PROFILE", "paper")
+        assert BenchmarkConfig.from_environment().scale.num_items == 10_000
