@@ -1,0 +1,59 @@
+"""Concurrent TPC-W throughput: interactions/sec vs driver thread count.
+
+This experiment goes beyond the paper's single-threaded latency protocol
+(Tables 4/5): it drives the paper's four interactions from N emulated
+browsers at once and reports throughput per variant.  With the engine's
+readers-writer lock, read-only interactions from different connections run
+concurrently; the write mix exercises the transactional stock-transfer
+path.
+
+Run with ``python -m pytest benchmarks/bench_concurrent_throughput.py -s``
+to see the throughput table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tpcw.workload import ConcurrentDriver
+
+
+@pytest.mark.parametrize("threads", [1, 2, 4, 8])
+@pytest.mark.parametrize("variant", ["queryll", "handwritten"])
+def test_throughput_scaling(tpcw_benchmark, capsys, threads, variant) -> None:
+    driver = ConcurrentDriver(
+        tpcw_benchmark.database,
+        variant=variant,
+        threads=threads,
+        interactions_per_thread=max(
+            1, tpcw_benchmark.config.measured_executions // threads
+        ),
+    )
+    result = driver.run()
+    assert result.interactions == driver.interactions_per_thread * threads
+    with capsys.disabled():
+        print(
+            f"\n{variant:12s} threads={threads}: "
+            f"{result.interactions_per_sec:10.0f} interactions/s "
+            f"({result.interactions} interactions in {result.elapsed_s:.3f}s)"
+        )
+
+
+def test_write_mix_is_consistent(tpcw_benchmark, capsys) -> None:
+    database = tpcw_benchmark.database.database
+    before = sum(row[0] for row in database.execute("SELECT i_stock FROM item").rows)
+    result = ConcurrentDriver(
+        tpcw_benchmark.database,
+        variant="handwritten",
+        threads=4,
+        interactions_per_thread=100,
+        write_fraction=0.2,
+    ).run()
+    after = sum(row[0] for row in database.execute("SELECT i_stock FROM item").rows)
+    assert after == before
+    with capsys.disabled():
+        print(
+            f"\nwrite mix    threads=4: {result.interactions_per_sec:10.0f} "
+            f"interactions/s ({result.writes} writes, "
+            f"{result.rollbacks} rollbacks, stock conserved)"
+        )

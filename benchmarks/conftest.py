@@ -4,21 +4,19 @@ Every benchmark corresponds to a table or figure of the paper (see the
 experiment index in DESIGN.md).  The TPC-W database defaults to the "quick"
 profile so the whole suite runs in seconds; set ``REPRO_TPCW_PROFILE=paper``
 to use the paper's full parameters (10 000 items, 100 EBs, 2000 executions).
+
+The bank example builders are imported from :mod:`repro.testing` (shared
+with the tier-1 tests) instead of reaching into ``tests/conftest.py``, which
+used to self-import circularly and abort collection.
 """
 
 from __future__ import annotations
 
-import sys
-from pathlib import Path
-
 import pytest
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
-
-from conftest import make_bank_db, make_bank_mapping  # noqa: E402
-
-from repro.minijava import compile_source  # noqa: E402
-from repro.tpcw import BenchmarkConfig, TpcwBenchmark  # noqa: E402
+from repro.minijava import compile_source
+from repro.testing import make_bank_db, make_bank_mapping
+from repro.tpcw import BenchmarkConfig, TpcwBenchmark
 
 OFFICE_QUERY_SOURCE = """
 class OfficeQueries {

@@ -1,19 +1,25 @@
 """JDBC-style Connection over the in-memory SQL engine.
 
-A connection wraps a :class:`repro.sqlengine.Database`.  Auto-commit can be
-switched off, in which case an explicit ``commit()`` issues a COMMIT
-statement to the engine — this matters for the benchmark because the paper
-points out that Queryll's generated code "sends a commit command to the
-database separately from its query", an extra round trip that the
-hand-written baseline avoids.  Round trips are counted so tests and
-benchmarks can observe the difference.
+Each connection owns a :class:`repro.sqlengine.engine.Session`, so it has a
+private transaction context.  With auto-commit on (the default) every
+statement runs in an implicit transaction that commits as it completes.
+With auto-commit off, the first statement opens a transaction that stays
+open until ``commit()`` or ``rollback()`` — and those now really commit or
+abort: rolling back restores rows and indexes through the engine's undo
+log.
+
+``commit()`` still issues a COMMIT *statement* to the engine — this matters
+for the benchmark because the paper points out that Queryll's generated
+code "sends a commit command to the database separately from its query", an
+extra round trip that the hand-written baseline avoids.  Round trips are
+counted so tests and benchmarks can observe the difference.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from repro.sqlengine.engine import Database, ResultSet as EngineResultSet
+from repro.sqlengine.engine import Database, ResultSet as EngineResultSet, Session
 from repro.sqlengine.errors import SqlExecutionError
 from repro.dbapi.statement import PreparedStatement, Statement
 
@@ -23,7 +29,7 @@ class Connection:
 
     def __init__(self, database: Database, auto_commit: bool = True) -> None:
         self._database = database
-        self._auto_commit = auto_commit
+        self._session = database.session(autocommit=auto_commit)
         self._closed = False
         #: Number of statements sent through this connection, including
         #: COMMIT/ROLLBACK round trips.  Used by the overhead benchmarks.
@@ -35,6 +41,11 @@ class Connection:
     def database(self) -> Database:
         """The underlying engine (useful for tests)."""
         return self._database
+
+    @property
+    def session(self) -> Session:
+        """This connection's engine session (its transaction context)."""
+        return self._session
 
     def prepare_statement(self, sql: str) -> PreparedStatement:
         """Create a :class:`PreparedStatement` for ``sql``."""
@@ -51,25 +62,39 @@ class Connection:
     @property
     def auto_commit(self) -> bool:
         """Whether each statement commits immediately."""
-        return self._auto_commit
+        return self._session.autocommit
 
     def set_auto_commit(self, value: bool) -> None:
-        """Enable or disable auto-commit."""
+        """Enable or disable auto-commit.
+
+        As in JDBC, switching auto-commit *on* while a transaction is open
+        commits it.
+        """
         self._check_open()
-        self._auto_commit = value
+        if value and self._session.in_transaction:
+            self._session.commit()
+        self._session.autocommit = value
+
+    @property
+    def in_transaction(self) -> bool:
+        """Whether this connection has an open transaction."""
+        return self._session.in_transaction
 
     def commit(self) -> None:
-        """Issue an explicit COMMIT round trip."""
+        """Commit the open transaction with an explicit COMMIT round trip."""
         self._check_open()
         self._execute("COMMIT", ())
 
     def rollback(self) -> None:
-        """Issue an explicit ROLLBACK round trip."""
+        """Abort the open transaction with an explicit ROLLBACK round trip,
+        undoing every uncommitted change."""
         self._check_open()
         self._execute("ROLLBACK", ())
 
     def close(self) -> None:
-        """Close the connection."""
+        """Close the connection, rolling back any open transaction."""
+        if not self._closed:
+            self._session.close()
         self._closed = True
 
     @property
@@ -82,7 +107,7 @@ class Connection:
     def _execute(self, sql: str, params: Sequence[object]) -> EngineResultSet:
         self._check_open()
         self.round_trips += 1
-        return self._database.execute(sql, params)
+        return self._session.execute(sql, params)
 
     def _check_open(self) -> None:
         if self._closed:

@@ -70,7 +70,7 @@ class PreparedStatement:
         """Run a DML statement and return the affected-row count."""
         self._check_open()
         result = self._connection._execute(self._sql, self._ordered_parameters())
-        return len(result.rows) if result.rows else 0
+        return result.rowcount
 
     def close(self) -> None:
         """Close the statement (further executions raise)."""

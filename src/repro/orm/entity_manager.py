@@ -137,6 +137,10 @@ class EntityManager:
         entity_classes: dict[str, type[Entity]],
     ) -> None:
         self._database = database
+        #: The EntityManager's own engine session: queries and single-object
+        #: writes run in auto-commit mode; :meth:`commit` flushes dirty
+        #: entities inside one transaction so a failed flush rolls back.
+        self._session = database.session(autocommit=True)
         self._mapping = mapping
         self._entity_classes = dict(entity_classes)
         self._identity_map: dict[tuple[str, object], Entity] = {}
@@ -214,10 +218,10 @@ class EntityManager:
     # -- SQL execution ---------------------------------------------------------------------
 
     def execute_sql(self, sql: str, params: Sequence[object] = ()):
-        """Execute SQL against the database (counts statements)."""
+        """Execute SQL through this manager's session (counts statements)."""
         self._check_open()
         self.queries_executed += 1
-        return self._database.execute(sql, tuple(params))
+        return self._session.execute(sql, tuple(params))
 
     def execute_sql_query(
         self,
@@ -368,51 +372,74 @@ class EntityManager:
         return list(self._dirty)
 
     def commit(self) -> int:
-        """Write every dirty entity back to its table row.
+        """Write every dirty entity back to its table row, atomically.
 
         Returns the number of UPDATE statements issued.  This is the
         standard ORM write-back the paper describes ("the ORM tool will
         write the objects' data back to individual table rows before a
-        transaction completes").
+        transaction completes").  The write-back runs inside one engine
+        transaction: if any UPDATE fails, every already-applied UPDATE of
+        this flush is rolled back before the error propagates.
         """
         self._check_open()
-        updates = 0
-        for entity in self._dirty:
-            mapping = type(entity)._mapping
-            dirty_fields = sorted(entity.dirty_fields)
-            if not dirty_fields:
-                continue
-            key = entity.primary_key_value
-            if key is None:
-                raise OrmError("cannot update an entity without a primary key")
-            assignments = []
-            params: list[object] = []
-            for field_name in dirty_fields:
-                field = mapping.field_by_name(field_name)
-                assert field is not None
-                assignments.append(f"{field.column} = ?")
-                params.append(entity.row_values().get(field.column.lower()))
-            params.append(key)
-            sql = (
-                f"UPDATE {mapping.table} SET {', '.join(assignments)} "
-                f"WHERE {mapping.primary_key.column} = ?"
-            )
-            self.execute_sql(sql, tuple(params))
+        own_transaction = bool(self._dirty) and not self._session.in_transaction
+        if own_transaction:
+            self._session.begin()
+        flushed: list[Entity] = []
+        try:
+            for entity in self._dirty:
+                mapping = type(entity)._mapping
+                dirty_fields = sorted(entity.dirty_fields)
+                if not dirty_fields:
+                    continue
+                key = entity.primary_key_value
+                if key is None:
+                    raise OrmError("cannot update an entity without a primary key")
+                assignments = []
+                params: list[object] = []
+                for field_name in dirty_fields:
+                    field = mapping.field_by_name(field_name)
+                    assert field is not None
+                    assignments.append(f"{field.column} = ?")
+                    params.append(entity.row_values().get(field.column.lower()))
+                params.append(key)
+                sql = (
+                    f"UPDATE {mapping.table} SET {', '.join(assignments)} "
+                    f"WHERE {mapping.primary_key.column} = ?"
+                )
+                self.execute_sql(sql, tuple(params))
+                flushed.append(entity)
+        except BaseException:
+            # Failed flush: abort the transaction and discard this manager's
+            # stale state.  Entities keep their dirty flags — their UPDATEs
+            # were rolled back, so they are genuinely not persisted.
+            if own_transaction:
+                self._session.rollback()
+            self._dirty.clear()
+            self._identity_map.clear()
+            raise
+        # Dirty flags are cleared only once every UPDATE of the unit of work
+        # succeeded; clearing inside the loop would mark rolled-back
+        # entities as persisted when a later UPDATE fails.
+        for entity in flushed:
             entity._clear_dirty()
-            updates += 1
         self._dirty.clear()
         self.execute_sql("COMMIT")
-        return updates
+        return len(flushed)
 
     def rollback(self) -> None:
-        """Discard pending modifications and cached entities."""
+        """Discard pending modifications and cached entities, aborting any
+        open engine transaction."""
         self._check_open()
         self._dirty.clear()
         self._identity_map.clear()
         self.execute_sql("ROLLBACK")
 
     def close(self) -> None:
-        """Close the EntityManager; further use raises."""
+        """Close the EntityManager; further use raises.  Any transaction
+        left open by a failed flush is rolled back."""
+        if not self._closed:
+            self._session.close()
         self._closed = True
 
     # -- internals ----------------------------------------------------------------------------------------

@@ -215,10 +215,16 @@ class DropTableStatement:
 
 @dataclass(frozen=True)
 class TransactionStatement:
-    """``BEGIN`` / ``COMMIT`` / ``ROLLBACK`` (no-ops for the in-memory engine,
-    but accepted so JDBC-style code can issue them)."""
+    """A transaction-control statement.
+
+    ``action`` is one of ``BEGIN``, ``COMMIT``, ``ROLLBACK``, ``SAVEPOINT``,
+    ``ROLLBACK TO`` or ``RELEASE``; the latter three carry the savepoint
+    name in ``savepoint``.  Sessions interpret these against their own
+    transaction context (see :class:`repro.sqlengine.engine.Session`).
+    """
 
     action: str
+    savepoint: Optional[str] = None
 
 
 Statement = Union[

@@ -1,10 +1,20 @@
 """The ``Database`` facade: parse, plan (with caching) and execute SQL.
 
 This is the component standing in for PostgreSQL in the reproduction.  It is
-deliberately synchronous and single-process — the paper's benchmark runs the
-database and the query code on the same machine — and exposes both a SQL
-interface (``execute``) and a couple of fast bulk-loading helpers used by the
-TPC-W population generator.
+synchronous and single-process — the paper's benchmark runs the database and
+the query code on the same machine — but it is safe for concurrent use from
+several threads: a readers-writer lock lets read-only SELECT statements from
+different sessions run in parallel while writers get exclusive access.
+
+Clients interact through :class:`Session` objects (one per connection, from
+:meth:`Database.session`).  Each session owns its own transaction context:
+statements run in auto-commit mode wrap themselves in an implicit
+transaction, ``BEGIN`` opens an explicit one, and COMMIT/ROLLBACK (plus
+SAVEPOINT / ROLLBACK TO) behave like the real thing — rolling back restores
+rows and indexes exactly via the undo log in
+:mod:`repro.sqlengine.transactions`.  The :class:`Database` methods
+``execute``/``execute_many``/... remain as a convenience facade over a
+default auto-commit session.
 """
 
 from __future__ import annotations
@@ -15,10 +25,12 @@ from typing import Iterable, Optional, Sequence
 
 from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.catalog import Catalog, TableSchema
+from repro.sqlengine.errors import SqlExecutionError
 from repro.sqlengine.executor import Executor, StatementResult
 from repro.sqlengine.parser import parse_statement
 from repro.sqlengine.planner import PlannerOptions, SelectPlan
 from repro.sqlengine.storage import TableData
+from repro.sqlengine.transactions import ReadWriteLock, Transaction
 
 
 @dataclass
@@ -31,6 +43,8 @@ class ResultSet:
 
     columns: list[str]
     rows: list[tuple[object, ...]]
+    #: Affected-row count for DML statements (for SELECTs, the row count).
+    rowcount: int = 0
 
     def column_index(self, name: str) -> int:
         """Index of a column by (case-insensitive) name."""
@@ -57,11 +71,262 @@ class _CachedStatement:
     plan: Optional[SelectPlan]
 
 
+class Session:
+    """One client's view of the database, with its own transaction context.
+
+    A session executes statements against the shared storage but keeps
+    private transaction state: the undo log, savepoints and the auto-commit
+    flag.  Sessions are cheap — the dbapi layer creates one per connection
+    and the ORM one per EntityManager.
+
+    Locking protocol: SELECT statements take the database's read lock for
+    the duration of the statement; the first write of a transaction takes
+    the write lock and *holds it until COMMIT or ROLLBACK*, so other
+    sessions never observe a transaction half-applied.  In auto-commit mode
+    the implicit transaction ends with its statement, so the write lock is
+    held per-statement only.
+
+    A session is not itself thread-safe: use one session per thread.
+    """
+
+    def __init__(self, database: "Database", autocommit: bool = True) -> None:
+        self._database = database
+        self.autocommit = autocommit
+        self._transaction: Optional[Transaction] = None
+        self._holds_write = False
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def database(self) -> "Database":
+        """The shared engine this session talks to."""
+        return self._database
+
+    @property
+    def in_transaction(self) -> bool:
+        """Whether an explicit (or held-open implicit) transaction is open."""
+        return self._transaction is not None
+
+    # -- transaction API (usable directly, without SQL round trips) ----------
+
+    def begin(self) -> None:
+        """Open an explicit transaction."""
+        if self._transaction is not None:
+            raise SqlExecutionError("a transaction is already in progress")
+        self._transaction = Transaction(implicit=False)
+
+    def commit(self) -> None:
+        """Commit the open transaction (no-op when none is open)."""
+        transaction = self._transaction
+        if transaction is None:
+            return
+        transaction.undo.clear()
+        transaction.savepoints.clear()
+        self._transaction = None
+        self._release_write()
+
+    def rollback(self) -> None:
+        """Roll back the open transaction (no-op when none is open)."""
+        transaction = self._transaction
+        if transaction is None:
+            return
+        try:
+            # Any recorded undo work implies this session holds the write
+            # lock, so the journal replays under mutual exclusion.
+            transaction.undo.rollback_to(0)
+        finally:
+            self._transaction = None
+            self._release_write()
+
+    def savepoint(self, name: str) -> None:
+        """Define a savepoint inside the open transaction."""
+        transaction = self._require_transaction("SAVEPOINT")
+        transaction.set_savepoint(name)
+
+    def rollback_to_savepoint(self, name: str) -> None:
+        """Undo everything executed after savepoint ``name`` (which stays
+        defined, as in standard SQL)."""
+        transaction = self._require_transaction("ROLLBACK TO")
+        position = transaction.find_savepoint(name)
+        if position < 0:
+            raise SqlExecutionError(f"no savepoint named {name!r}")
+        transaction.undo.rollback_to(transaction.savepoints[position][1])
+        del transaction.savepoints[position + 1:]
+
+    def release_savepoint(self, name: str) -> None:
+        """Drop savepoint ``name`` (and any defined after it), keeping the
+        changes made since."""
+        transaction = self._require_transaction("RELEASE")
+        position = transaction.find_savepoint(name)
+        if position < 0:
+            raise SqlExecutionError(f"no savepoint named {name!r}")
+        del transaction.savepoints[position:]
+
+    def close(self) -> None:
+        """Roll back any open transaction and release held locks."""
+        self.rollback()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        # No lock can remain held past this point.
+
+    # -- SQL interface -------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[object] = ()) -> ResultSet:
+        """Parse (with caching), plan and execute one SQL statement."""
+        database = self._database
+        cached = database._cached_statement(sql)
+        statement = cached.statement
+        if isinstance(statement, ast.TransactionStatement):
+            database._count_statement()
+            self._apply_transaction_statement(statement)
+            return ResultSet(columns=[], rows=[])
+        if isinstance(statement, ast.SelectStatement):
+            return self._execute_select(sql, params)
+        return self._execute_write(cached, params)
+
+    def execute_many(self, sql: str, param_rows: Iterable[Sequence[object]]) -> int:
+        """Execute the same DML statement for every parameter row inside one
+        transaction; returns the total affected-row count.
+
+        If any row fails, the whole batch is rolled back (when the session
+        had no transaction open) or undone back to the batch start (when
+        one was already open).
+        """
+        database = self._database
+        cached = database._cached_statement(sql)
+        statement = cached.statement
+        total = 0
+        self._acquire_write()
+        transaction = self._transaction
+        opened_here = transaction is None
+        if opened_here:
+            transaction = self._transaction = Transaction(implicit=self.autocommit)
+        mark = transaction.undo.mark()
+        try:
+            for params in param_rows:
+                result = database._executor.execute(
+                    statement, params, undo=transaction.undo
+                )
+                database._count_statement()
+                total += result.rowcount
+        except BaseException:
+            transaction.undo.rollback_to(mark)
+            if opened_here:
+                self._transaction = None
+                self._release_write()
+            raise
+        self._finish_write(transaction)
+        return total
+
+    # -- internals -----------------------------------------------------------
+
+    def _execute_select(self, sql: str, params: Sequence[object]) -> ResultSet:
+        database = self._database
+        database._rwlock.acquire_read()
+        try:
+            # Re-fetch the cache entry under the lock: concurrent DDL may
+            # have invalidated the entry fetched during dispatch, and a
+            # stale plan would read a dropped table's detached storage.
+            # DDL holds the write lock, so from here the entry is stable.
+            cached = database._cached_statement(sql)
+            plan = database._ensure_plan(cached)
+            result = database._executor.execute(
+                cached.statement, params, plan=plan
+            )
+            database._count_statement()
+            return ResultSet(
+                columns=result.columns, rows=result.rows, rowcount=result.rowcount
+            )
+        finally:
+            database._rwlock.release_read()
+
+    def _execute_write(
+        self, cached: _CachedStatement, params: Sequence[object]
+    ) -> ResultSet:
+        database = self._database
+        self._acquire_write()
+        transaction = self._transaction
+        opened_here = transaction is None
+        if opened_here:
+            # Auto-commit wraps the statement in an implicit transaction; a
+            # session with auto-commit off starts a transaction that stays
+            # open until COMMIT/ROLLBACK (JDBC semantics, no BEGIN round
+            # trip).
+            transaction = self._transaction = Transaction(implicit=self.autocommit)
+        mark = transaction.undo.mark()
+        try:
+            result = database._executor.execute(
+                cached.statement, params, undo=transaction.undo
+            )
+            database._count_statement()
+        except BaseException:
+            # Statement-level atomicity: undo this statement's changes but
+            # keep an already-open transaction alive.
+            transaction.undo.rollback_to(mark)
+            if opened_here:
+                self._transaction = None
+                self._release_write()
+            raise
+        self._finish_write(transaction)
+        return ResultSet(
+            columns=result.columns, rows=result.rows, rowcount=result.rowcount
+        )
+
+    def _finish_write(self, transaction: Transaction) -> None:
+        if transaction.implicit:
+            transaction.undo.clear()
+            self._transaction = None
+            self._release_write()
+
+    def _apply_transaction_statement(self, statement: ast.TransactionStatement) -> None:
+        action = statement.action
+        if action == "BEGIN":
+            self.begin()
+        elif action == "COMMIT":
+            self.commit()
+        elif action == "ROLLBACK":
+            self.rollback()
+        elif action == "SAVEPOINT":
+            self.savepoint(statement.savepoint or "")
+        elif action == "ROLLBACK TO":
+            self.rollback_to_savepoint(statement.savepoint or "")
+        elif action == "RELEASE":
+            self.release_savepoint(statement.savepoint or "")
+        else:  # pragma: no cover - parser emits only the actions above
+            raise SqlExecutionError(f"unknown transaction action {action!r}")
+
+    def _require_transaction(self, action: str) -> Transaction:
+        if self._transaction is None:
+            raise SqlExecutionError(f"{action} requires an open transaction")
+        return self._transaction
+
+    def _acquire_write(self) -> None:
+        if not self._holds_write:
+            self._database._rwlock.acquire_write()
+            self._holds_write = True
+
+    def _release_write(self) -> None:
+        if self._holds_write:
+            self._holds_write = False
+            self._database._rwlock.release_write()
+
+
 class Database:
     """An in-memory SQL database.
 
-    Thread safety: a single lock serialises statement execution, which is all
-    the benchmark harness needs (it is single-threaded, like the paper's).
+    Thread safety: a readers-writer lock serialises writers against
+    everything while allowing SELECTs from different sessions to run
+    concurrently.  Use :meth:`session` to get a per-connection
+    :class:`Session` with its own transaction context; the ``execute``
+    family on the Database itself runs through a shared default auto-commit
+    session for convenience.
     """
 
     def __init__(self, planner_options: PlannerOptions | None = None) -> None:
@@ -70,10 +335,16 @@ class Database:
         self._planner_options = planner_options or PlannerOptions()
         self._executor = Executor(self._catalog, self._tables, self._planner_options)
         self._statement_cache: dict[str, _CachedStatement] = {}
-        self._lock = threading.RLock()
+        self._rwlock = ReadWriteLock()
+        self._cache_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
         #: Number of statements executed; used by tests and benchmarks to
         #: verify how many round-trips a code path performs.
         self.statements_executed = 0
+        # One default session per thread: Session objects are not
+        # thread-safe, so the Database.execute facade must not share one
+        # session's transaction/lock state across threads.
+        self._default_sessions = threading.local()
 
     # -- properties ----------------------------------------------------------
 
@@ -90,44 +361,52 @@ class Database:
 
     def set_planner_options(self, options: PlannerOptions) -> None:
         """Replace the planner options and invalidate cached plans."""
-        with self._lock:
+        self._rwlock.acquire_write()
+        try:
             self._planner_options = options
             self._executor = Executor(self._catalog, self._tables, options)
-            self._statement_cache.clear()
+            self._invalidate_cache()
+        finally:
+            self._rwlock.release_write()
 
-    # -- SQL interface -------------------------------------------------------
+    # -- sessions ------------------------------------------------------------
+
+    def session(self, autocommit: bool = True) -> Session:
+        """Open a new session with its own transaction context."""
+        return Session(self, autocommit=autocommit)
+
+    @property
+    def _default_session(self) -> Session:
+        session = getattr(self._default_sessions, "session", None)
+        if session is None:
+            session = self._default_sessions.session = Session(self, autocommit=True)
+        return session
+
+    # -- SQL interface (default-session facade) ------------------------------
 
     def execute(self, sql: str, params: Sequence[object] = ()) -> ResultSet:
-        """Parse (with caching), plan and execute one SQL statement."""
-        with self._lock:
-            cached = self._get_cached(sql)
-            result = self._executor.execute(cached.statement, params, plan=cached.plan)
-            self.statements_executed += 1
-            return ResultSet(columns=result.columns, rows=result.rows)
+        """Parse (with caching), plan and execute one SQL statement on the
+        shared default auto-commit session."""
+        return self._default_session.execute(sql, params)
 
     def execute_many(
         self, sql: str, param_rows: Iterable[Sequence[object]]
     ) -> int:
         """Execute the same statement for every parameter row; returns the
         total affected-row count."""
-        total = 0
-        with self._lock:
-            cached = self._get_cached(sql)
-            for params in param_rows:
-                result = self._executor.execute(
-                    cached.statement, params, plan=cached.plan
-                )
-                self.statements_executed += 1
-                total += result.rowcount
-        return total
+        return self._default_session.execute_many(sql, param_rows)
 
     def explain(self, sql: str) -> str:
         """Return the textual plan for a SELECT statement."""
-        with self._lock:
-            cached = self._get_cached(sql)
-            if cached.plan is None:
+        self._rwlock.acquire_read()
+        try:
+            cached = self._cached_statement(sql)
+            plan = self._ensure_plan(cached)
+            if plan is None:
                 return type(cached.statement).__name__
-            return cached.plan.explain()
+            return plan.explain()
+        finally:
+            self._rwlock.release_read()
 
     def executescript(self, script: str) -> None:
         """Execute several semicolon-separated statements (DDL helper)."""
@@ -138,10 +417,13 @@ class Database:
 
     def create_table(self, schema: TableSchema) -> None:
         """Register a table directly from a :class:`TableSchema`."""
-        with self._lock:
+        self._rwlock.acquire_write()
+        try:
             self._catalog.create_table(schema)
             self._tables[schema.name.lower()] = TableData(schema)
-            self._statement_cache.clear()
+            self._invalidate_cache()
+        finally:
+            self._rwlock.release_write()
 
     def create_index(
         self,
@@ -152,18 +434,23 @@ class Database:
         ordered: bool = False,
     ) -> None:
         """Create an index without going through SQL."""
-        with self._lock:
+        self._rwlock.acquire_write()
+        try:
             data = self.table_data(table)
             index_name = name or f"idx_{table.lower()}_{'_'.join(columns).lower()}"
             data.create_index(index_name, tuple(columns), unique=unique, ordered=ordered)
-            self._statement_cache.clear()
+            self._invalidate_cache()
+        finally:
+            self._rwlock.release_write()
 
     def insert_rows(self, table: str, rows: Iterable[Sequence[object]]) -> int:
         """Bulk-load rows (used by the TPC-W population generator).
 
-        Rows must list a value for every column in schema order.
+        Rows must list a value for every column in schema order.  The load
+        is non-transactional: it bypasses the undo log.
         """
-        with self._lock:
+        self._rwlock.acquire_write()
+        try:
             schema = self._catalog.table(table)
             data = self._tables[schema.name.lower()]
             count = 0
@@ -171,6 +458,8 @@ class Database:
                 data.insert(schema.coerce_row(row))
                 count += 1
             return count
+        finally:
+            self._rwlock.release_write()
 
     def table_data(self, table: str) -> TableData:
         """Direct access to a table's storage (tests and the ORM use this)."""
@@ -183,25 +472,44 @@ class Database:
 
     # -- internals -----------------------------------------------------------
 
-    def _get_cached(self, sql: str) -> _CachedStatement:
-        cached = self._statement_cache.get(sql)
-        if cached is not None:
-            return cached
-        statement = parse_statement(sql)
-        plan: Optional[SelectPlan] = None
-        if isinstance(statement, ast.SelectStatement):
-            plan = self._executor.plan_select(statement)
-        cached = _CachedStatement(statement=statement, plan=plan)
-        if isinstance(
-            statement,
-            (ast.SelectStatement, ast.InsertStatement, ast.UpdateStatement,
-             ast.DeleteStatement, ast.TransactionStatement),
-        ):
-            # Only cache statements that do not change the catalog.
-            self._statement_cache[sql] = cached
-        else:
+    def _count_statement(self) -> None:
+        with self._counter_lock:
+            self.statements_executed += 1
+
+    def _invalidate_cache(self) -> None:
+        with self._cache_lock:
             self._statement_cache.clear()
-        return cached
+
+    def _cached_statement(self, sql: str) -> _CachedStatement:
+        """Parse ``sql`` with caching.  Plans are attached lazily by
+        :meth:`_ensure_plan` under the appropriate lock."""
+        with self._cache_lock:
+            cached = self._statement_cache.get(sql)
+            if cached is not None:
+                return cached
+            statement = parse_statement(sql)
+            cached = _CachedStatement(statement=statement, plan=None)
+            if isinstance(
+                statement,
+                (ast.SelectStatement, ast.InsertStatement, ast.UpdateStatement,
+                 ast.DeleteStatement, ast.TransactionStatement),
+            ):
+                # Only cache statements that do not change the catalog.
+                self._statement_cache[sql] = cached
+            else:
+                self._statement_cache.clear()
+            return cached
+
+    def _ensure_plan(self, cached: _CachedStatement) -> Optional[SelectPlan]:
+        """Plan a cached SELECT on first execution.
+
+        Called while holding the read (or write) lock so planning sees a
+        stable catalog.  Two racing readers may both plan; the plans are
+        equivalent and the attribute write is atomic, so the race is benign.
+        """
+        if cached.plan is None and isinstance(cached.statement, ast.SelectStatement):
+            cached.plan = self._executor.plan_select(cached.statement)
+        return cached.plan
 
 
 def _split_script(script: str) -> list[str]:

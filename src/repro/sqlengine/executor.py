@@ -17,6 +17,7 @@ from repro.sqlengine.expressions import ExpressionCompiler, column_key, is_truth
 from repro.sqlengine.operators import materialise
 from repro.sqlengine.planner import Planner, PlannerOptions, SelectPlan
 from repro.sqlengine.storage import TableData
+from repro.sqlengine.transactions import UndoLog
 
 
 @dataclass
@@ -55,8 +56,14 @@ class Executor:
         statement: ast.Statement,
         params: Sequence[object] = (),
         plan: Optional[SelectPlan] = None,
+        undo: Optional[UndoLog] = None,
     ) -> StatementResult:
-        """Execute ``statement`` with positional ``params``."""
+        """Execute ``statement`` with positional ``params``.
+
+        ``undo``, when given, receives an inverse operation for every row
+        mutated by a DML statement so the owning transaction can roll the
+        statement back.  DDL is not transactional and records nothing.
+        """
         if isinstance(statement, ast.SelectStatement):
             select_plan = plan if plan is not None else self.plan_select(statement)
             rows = materialise(select_plan.root, params, select_plan.column_names)
@@ -66,11 +73,11 @@ class Executor:
                 rowcount=len(rows),
             )
         if isinstance(statement, ast.InsertStatement):
-            return self._execute_insert(statement, params)
+            return self._execute_insert(statement, params, undo)
         if isinstance(statement, ast.UpdateStatement):
-            return self._execute_update(statement, params)
+            return self._execute_update(statement, params, undo)
         if isinstance(statement, ast.DeleteStatement):
-            return self._execute_delete(statement, params)
+            return self._execute_delete(statement, params, undo)
         if isinstance(statement, ast.CreateTableStatement):
             return self._execute_create_table(statement)
         if isinstance(statement, ast.CreateIndexStatement):
@@ -80,15 +87,19 @@ class Executor:
             self._tables.pop(statement.table.lower(), None)
             return StatementResult()
         if isinstance(statement, ast.TransactionStatement):
-            # The in-memory engine applies statements immediately; BEGIN and
-            # COMMIT are accepted for JDBC-style drivers but are no-ops.
+            # Transaction control is interpreted by the Session owning the
+            # statement; a bare Executor has no transaction context, so the
+            # statement is accepted as a no-op here.
             return StatementResult()
         raise SqlExecutionError(f"cannot execute statement {statement!r}")
 
     # -- DML -----------------------------------------------------------------
 
     def _execute_insert(
-        self, statement: ast.InsertStatement, params: Sequence[object]
+        self,
+        statement: ast.InsertStatement,
+        params: Sequence[object],
+        undo: Optional[UndoLog] = None,
     ) -> StatementResult:
         schema = self._catalog.table(statement.table)
         data = self._tables[schema.name.lower()]
@@ -105,7 +116,10 @@ class Executor:
             for column, expression in zip(columns, value_row):
                 position = schema.column_index(column)
                 values[position] = compiler.compile(expression)({}, params)
-            data.insert(schema.coerce_row(values))
+            row = schema.coerce_row(values)
+            row_id = data.insert(row)
+            if undo is not None:
+                undo.record_insert(data, row_id, row)
             count += 1
         return StatementResult(rowcount=count)
 
@@ -119,7 +133,10 @@ class Executor:
         return env
 
     def _execute_update(
-        self, statement: ast.UpdateStatement, params: Sequence[object]
+        self,
+        statement: ast.UpdateStatement,
+        params: Sequence[object],
+        undo: Optional[UndoLog] = None,
     ) -> StatementResult:
         schema = self._catalog.table(statement.table)
         data = self._tables[schema.name.lower()]
@@ -145,12 +162,20 @@ class Executor:
             new_row = list(row)
             for position, evaluate in assignments:
                 new_row[position] = evaluate(env, params)
-            data.update(row_id, schema.coerce_row(new_row))
+            coerced = schema.coerce_row(new_row)
+            if undo is not None:
+                # Recorded before the update so a failure partway through
+                # re-indexing is still restorable.
+                undo.record_update(data, row_id, row, coerced)
+            data.update(row_id, coerced)
             updated += 1
         return StatementResult(rowcount=updated)
 
     def _execute_delete(
-        self, statement: ast.DeleteStatement, params: Sequence[object]
+        self,
+        statement: ast.DeleteStatement,
+        params: Sequence[object],
+        undo: Optional[UndoLog] = None,
     ) -> StatementResult:
         schema = self._catalog.table(statement.table)
         data = self._tables[schema.name.lower()]
@@ -159,12 +184,14 @@ class Executor:
             compiler.compile(statement.where) if statement.where is not None else None
         )
         binding = statement.table.lower()
-        to_delete: list[int] = []
+        to_delete: list[tuple[int, tuple[object, ...]]] = []
         for row_id, row in data.scan():
             env = self._single_table_env(schema, binding, row)
             if predicate is None or is_truthy(predicate(env, params)):
-                to_delete.append(row_id)
-        for row_id in to_delete:
+                to_delete.append((row_id, row))
+        for row_id, row in to_delete:
+            if undo is not None:
+                undo.record_delete(data, row_id, row)
             data.delete(row_id)
         return StatementResult(rowcount=len(to_delete))
 

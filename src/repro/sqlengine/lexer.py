@@ -38,7 +38,8 @@ KEYWORDS = frozenset(
         "VARCHAR", "CHAR", "TEXT", "BOOLEAN", "DATE", "TIMESTAMP",
         "JOIN", "INNER", "LEFT", "OUTER", "CROSS",
         "COUNT", "BETWEEN", "IN", "LIKE", "EXISTS", "GROUP", "HAVING",
-        "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION",
+        "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION", "WORK",
+        "SAVEPOINT", "RELEASE", "TO",
     }
 )
 

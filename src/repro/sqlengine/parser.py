@@ -4,6 +4,9 @@ Grammar (roughly)::
 
     statement      := select | insert | update | delete | create_table
                     | create_index | drop_table | transaction
+    transaction    := (BEGIN | COMMIT | ROLLBACK) [TRANSACTION | WORK]
+                    | ROLLBACK [TRANSACTION | WORK] TO [SAVEPOINT] name
+                    | SAVEPOINT name | RELEASE [SAVEPOINT] name
     select         := SELECT [DISTINCT] select_list FROM table_list
                       [WHERE expr] [ORDER BY order_list]
                       [LIMIT n [OFFSET m] | LIMIT m ',' n]
@@ -76,9 +79,28 @@ class SqlParser:
             return self._parse_drop()
         if token.is_keyword("BEGIN", "COMMIT", "ROLLBACK"):
             self._advance()
-            if self._peek().is_keyword("TRANSACTION"):
+            if self._peek().is_keyword("TRANSACTION", "WORK"):
                 self._advance()
+            if token.value == "ROLLBACK" and self._peek().is_keyword("TO"):
+                self._advance()
+                if self._peek().is_keyword("SAVEPOINT"):
+                    self._advance()
+                return ast.TransactionStatement(
+                    action="ROLLBACK TO", savepoint=self._expect_name()
+                )
             return ast.TransactionStatement(action=token.value)
+        if token.is_keyword("SAVEPOINT"):
+            self._advance()
+            return ast.TransactionStatement(
+                action="SAVEPOINT", savepoint=self._expect_name()
+            )
+        if token.is_keyword("RELEASE"):
+            self._advance()
+            if self._peek().is_keyword("SAVEPOINT"):
+                self._advance()
+            return ast.TransactionStatement(
+                action="RELEASE", savepoint=self._expect_name()
+            )
         raise SqlParseError(f"unexpected token {token.value!r}", token.position)
 
     def _parse_select(self) -> ast.SelectStatement:

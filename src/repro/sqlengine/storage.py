@@ -88,15 +88,14 @@ class TableData:
         self._rows.append(values)
         self._live_count += 1
         for name, index in self._indexes.items():
-            positions = [
-                self.schema.column_index(column)
-                for column in self._index_columns[name]
-            ]
+            positions = self._positions(name)
             try:
                 index.insert(make_key(values[p] for p in positions), row_id)
             except SqlExecutionError:
-                # Roll the insert back so the table stays consistent.
-                self._rows[row_id] = None
+                # Roll the insert back so the table stays consistent.  The
+                # row was just appended, so popping it restores the row list
+                # byte-identically (transaction rollback relies on this).
+                self._rows.pop()
                 self._live_count -= 1
                 self._unindex(values, row_id, skip=name)
                 raise
@@ -119,10 +118,7 @@ class TableData:
         self._unindex(row, row_id)
         self._rows[row_id] = values
         for name, index in self._indexes.items():
-            positions = [
-                self.schema.column_index(column)
-                for column in self._index_columns[name]
-            ]
+            positions = self._positions(name)
             index.insert(make_key(values[p] for p in positions), row_id)
 
     def get(self, row_id: int) -> Row:
@@ -163,6 +159,54 @@ class TableData:
         for index in self._indexes.values():
             index.clear()
 
+    # -- undo operations ----------------------------------------------------
+    #
+    # Inverse row operations replayed by the transaction undo log.  They are
+    # written to restore the table (rows *and* every index) to exactly its
+    # pre-operation state, including repairing indexes an aborted UPDATE left
+    # half-modified.
+
+    def undo_insert(self, row_id: int, row: Row) -> None:
+        """Undo an insert: remove the row and all of its index entries.
+
+        When the row sits at the tail of the row list (the common case, since
+        inserts always append and the undo log replays newest-first) the slot
+        is popped so the storage returns to a byte-identical state; otherwise
+        it is tombstoned.
+        """
+        if self._row_or_none(row_id) is None:
+            return
+        self._unindex(row, row_id)
+        self._live_count -= 1
+        if row_id == len(self._rows) - 1:
+            self._rows.pop()
+        else:
+            self._rows[row_id] = None
+
+    def undo_delete(self, row_id: int, row: Row) -> None:
+        """Undo a delete: restore the row and re-insert its index entries."""
+        if row_id >= len(self._rows):
+            self._rows.extend([None] * (row_id + 1 - len(self._rows)))
+        self._rows[row_id] = row
+        self._live_count += 1
+        for name, index in self._indexes.items():
+            positions = self._positions(name)
+            index.insert(make_key(row[p] for p in positions), row_id)
+
+    def undo_update(self, row_id: int, old_row: Row, new_row: Row) -> None:
+        """Undo an update: restore ``old_row`` and repair every index.
+
+        Index deletes are idempotent, so both the new and the old key are
+        removed defensively before the old key is re-inserted — this restores
+        consistency even if the update failed partway through re-indexing.
+        """
+        for name, index in self._indexes.items():
+            positions = self._positions(name)
+            index.delete(make_key(new_row[p] for p in positions), row_id)
+            index.delete(make_key(old_row[p] for p in positions), row_id)
+            index.insert(make_key(old_row[p] for p in positions), row_id)
+        self._rows[row_id] = old_row
+
     def __len__(self) -> int:
         return self._live_count
 
@@ -173,12 +217,15 @@ class TableData:
             return self._rows[row_id]
         return None
 
+    def _positions(self, index_name: str) -> list[int]:
+        return [
+            self.schema.column_index(column)
+            for column in self._index_columns[index_name]
+        ]
+
     def _unindex(self, row: Row, row_id: int, skip: str | None = None) -> None:
         for name, index in self._indexes.items():
             if name == skip:
                 continue
-            positions = [
-                self.schema.column_index(column)
-                for column in self._index_columns[name]
-            ]
+            positions = self._positions(name)
             index.delete(make_key(row[p] for p in positions), row_id)

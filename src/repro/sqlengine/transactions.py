@@ -1,0 +1,188 @@
+"""Transaction support for the in-memory SQL engine.
+
+Two building blocks live here:
+
+* :class:`UndoLog` — a per-transaction journal of inverse operations.  Every
+  row mutation (INSERT/UPDATE/DELETE) records enough information to restore
+  the row *and* every index entry exactly; rolling back replays the journal
+  in reverse.  Savepoints are simply marks (offsets) into the journal.
+* :class:`ReadWriteLock` — a shared/exclusive lock that lets read-only
+  SELECT statements from different sessions run concurrently while writers
+  get exclusive access.  The lock is reentrant per thread: the thread that
+  holds the write lock may freely acquire it (or the read lock) again, which
+  keeps single-threaded code using several sessions deadlock-free.
+
+Sessions (see :class:`repro.sqlengine.engine.Session`) own one
+:class:`UndoLog` per open transaction and acquire the database's
+:class:`ReadWriteLock` around statement execution: read locks per SELECT,
+and a write lock held from a transaction's first write until COMMIT or
+ROLLBACK so concurrent sessions never observe a transaction half-applied.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sqlengine.storage import Row, TableData
+
+
+class UndoLog:
+    """Journal of inverse row operations for one transaction.
+
+    Entries are appended by the executor as it mutates tables and replayed
+    in reverse by :meth:`rollback_to`.  A *mark* is an offset into the
+    journal: ``rollback_to(mark)`` undoes everything recorded after the mark
+    was taken, which implements both statement-level atomicity (mark taken
+    before each statement) and savepoints (mark taken at SAVEPOINT).
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: list[tuple] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    # -- recording ----------------------------------------------------------
+
+    def record_insert(self, table: "TableData", row_id: int, row: "Row") -> None:
+        """Record that ``row`` was inserted at ``row_id``."""
+        self._entries.append(("insert", table, row_id, row))
+
+    def record_delete(self, table: "TableData", row_id: int, row: "Row") -> None:
+        """Record that ``row`` is about to be deleted from ``row_id``."""
+        self._entries.append(("delete", table, row_id, row))
+
+    def record_update(
+        self, table: "TableData", row_id: int, old_row: "Row", new_row: "Row"
+    ) -> None:
+        """Record that ``row_id`` is about to change from ``old_row`` to
+        ``new_row`` (both are needed to repair indexes on rollback)."""
+        self._entries.append(("update", table, row_id, old_row, new_row))
+
+    # -- marks and rollback -------------------------------------------------
+
+    def mark(self) -> int:
+        """Current journal position (usable with :meth:`rollback_to`)."""
+        return len(self._entries)
+
+    def rollback_to(self, mark: int = 0) -> None:
+        """Undo every operation recorded after ``mark``, newest first."""
+        while len(self._entries) > mark:
+            entry = self._entries.pop()
+            kind = entry[0]
+            if kind == "insert":
+                _, table, row_id, row = entry
+                table.undo_insert(row_id, row)
+            elif kind == "delete":
+                _, table, row_id, row = entry
+                table.undo_delete(row_id, row)
+            else:  # update
+                _, table, row_id, old_row, new_row = entry
+                table.undo_update(row_id, old_row, new_row)
+
+    def clear(self) -> None:
+        """Discard the journal (transaction committed)."""
+        self._entries.clear()
+
+
+class Transaction:
+    """State of one open transaction: its undo journal and savepoints.
+
+    ``implicit`` transactions wrap a single auto-commit statement and end
+    as soon as it does; explicit transactions stay open until COMMIT or
+    ROLLBACK.  Savepoints are (name, journal mark) pairs; a name may be
+    reused, in which case the most recent definition wins.
+    """
+
+    __slots__ = ("undo", "savepoints", "implicit")
+
+    def __init__(self, implicit: bool = False) -> None:
+        self.undo = UndoLog()
+        self.savepoints: list[tuple[str, int]] = []
+        self.implicit = implicit
+
+    def set_savepoint(self, name: str) -> None:
+        """Define (or redefine) a savepoint at the current journal mark."""
+        self.savepoints.append((name.lower(), self.undo.mark()))
+
+    def find_savepoint(self, name: str) -> int:
+        """Index into ``savepoints`` of the most recent definition of
+        ``name``; -1 if the savepoint does not exist."""
+        lowered = name.lower()
+        for position in range(len(self.savepoints) - 1, -1, -1):
+            if self.savepoints[position][0] == lowered:
+                return position
+        return -1
+
+
+class ReadWriteLock:
+    """A shared/exclusive lock, reentrant per thread.
+
+    Many readers may hold the lock simultaneously; a writer waits for all
+    readers to drain and then excludes everyone else.  Waiting writers block
+    new readers so writers cannot starve.  The thread currently holding the
+    write lock passes straight through further acquisitions (read or write),
+    so a session that holds a transaction's write lock can keep issuing
+    statements — and other sessions *on the same thread* are not deadlocked
+    by it, preserving the engine's historical single-threaded behaviour.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer: int | None = None
+        self._writer_depth = 0
+        self._waiting_writers = 0
+
+    # -- read side ----------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        with self._condition:
+            if self._writer == me:
+                self._writer_depth += 1
+                return
+            while self._writer is not None or self._waiting_writers:
+                self._condition.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        me = threading.get_ident()
+        with self._condition:
+            if self._writer == me:
+                self._writer_depth -= 1
+                return
+            self._readers -= 1
+            if self._readers == 0:
+                self._condition.notify_all()
+
+    # -- write side ---------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        with self._condition:
+            if self._writer == me:
+                self._writer_depth += 1
+                return
+            self._waiting_writers += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._condition.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._writer = me
+            self._writer_depth = 1
+
+    def release_write(self) -> None:
+        with self._condition:
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+                self._condition.notify_all()

@@ -1,0 +1,96 @@
+"""Shared test/benchmark fixtures: the paper's bank example database.
+
+Both the tier-1 test suite (``tests/conftest.py``) and the benchmark suite
+(``benchmarks/conftest.py``) need the Client/Account/Office mapping used
+throughout the paper's figures.  It lives here, in an importable module, so
+the two conftest files do not have to reach into each other via ``sys.path``
+tricks (which previously produced a circular self-import that broke test
+collection).
+"""
+
+from __future__ import annotations
+
+from repro.orm import (
+    EntityMapping,
+    FieldMapping,
+    OrmMapping,
+    QueryllDatabase,
+    RelationshipMapping,
+)
+from repro.sqlengine.catalog import SqlType
+
+BANK_CLIENTS = [
+    (1000, "Alice", "1 Main Street", "Canada", "K1A 0A1"),
+    (1001, "Bob", "2 Rue du Lac", "Switzerland", "1015"),
+    (1002, "Carol", "3 Elm Avenue", "Canada", "V5K 0A4"),
+    (1003, "Dave", "4 High Street", "United Kingdom", "SW1A"),
+]
+
+BANK_ACCOUNTS = [
+    (1, 1000, 500.0, 100.0),
+    (2, 1000, 50.0, 100.0),
+    (3, 1001, 900.0, 0.0),
+    (4, 1001, -25.0, 50.0),
+    (5, 1002, 10.0, 20.0),
+    (6, 1003, 10000.0, 500.0),
+]
+
+BANK_OFFICES = [
+    (1, "Seattle", "United States"),
+    (2, "LA", "United States"),
+    (3, "Geneva", "Switzerland"),
+    (4, "Toronto", "Canada"),
+]
+
+
+def make_bank_mapping() -> OrmMapping:
+    """The Client/Account/Office mapping used throughout the paper's figures."""
+    return OrmMapping(
+        [
+            EntityMapping(
+                "Client",
+                "Client",
+                fields=[
+                    FieldMapping("clientId", "ClientID", SqlType.INTEGER, primary_key=True),
+                    FieldMapping("name", "Name", SqlType.TEXT),
+                    FieldMapping("address", "Address", SqlType.TEXT),
+                    FieldMapping("country", "Country", SqlType.TEXT),
+                    FieldMapping("postalCode", "PostalCode", SqlType.TEXT),
+                ],
+                relationships=[
+                    RelationshipMapping("accounts", "Account", "ClientID", "ClientID", "to_many"),
+                ],
+            ),
+            EntityMapping(
+                "Account",
+                "Account",
+                fields=[
+                    FieldMapping("accountId", "AccountID", SqlType.INTEGER, primary_key=True),
+                    FieldMapping("clientId", "ClientID", SqlType.INTEGER),
+                    FieldMapping("balance", "Balance", SqlType.DOUBLE),
+                    FieldMapping("minBalance", "MinBalance", SqlType.DOUBLE),
+                ],
+                relationships=[
+                    RelationshipMapping("holder", "Client", "ClientID", "ClientID", "to_one"),
+                ],
+            ),
+            EntityMapping(
+                "Office",
+                "Office",
+                fields=[
+                    FieldMapping("officeId", "OfficeID", SqlType.INTEGER, primary_key=True),
+                    FieldMapping("name", "Name", SqlType.TEXT),
+                    FieldMapping("country", "Country", SqlType.TEXT),
+                ],
+            ),
+        ]
+    )
+
+
+def make_bank_db() -> QueryllDatabase:
+    """A populated bank database."""
+    database = QueryllDatabase(make_bank_mapping())
+    database.database.insert_rows("Client", BANK_CLIENTS)
+    database.database.insert_rows("Account", BANK_ACCOUNTS)
+    database.database.insert_rows("Office", BANK_OFFICES)
+    return database

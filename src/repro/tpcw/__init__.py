@@ -18,13 +18,17 @@ from __future__ import annotations
 from repro.tpcw.schema import TPCW_SUBJECTS, tpcw_mapping
 from repro.tpcw.population import PopulationScale, populate
 from repro.tpcw.database import TpcwDatabase, build_database
+from repro.tpcw.workload import ConcurrentDriver, ParameterGenerator, ThroughputResult
 from repro.tpcw.harness import BenchmarkConfig, BenchmarkResult, TpcwBenchmark
 
 __all__ = [
     "BenchmarkConfig",
     "BenchmarkResult",
+    "ConcurrentDriver",
+    "ParameterGenerator",
     "PopulationScale",
     "TPCW_SUBJECTS",
+    "ThroughputResult",
     "TpcwBenchmark",
     "TpcwDatabase",
     "build_database",

@@ -25,9 +25,13 @@ class TpcwDatabase:
         """The underlying SQL engine."""
         return self.orm.database
 
-    def connection(self) -> Connection:
-        """A JDBC-style connection (used by the hand-written SQL queries)."""
-        return connect(self.orm.database)
+    def connection(self, auto_commit: bool = True) -> Connection:
+        """A JDBC-style connection (used by the hand-written SQL queries).
+
+        Each call opens a fresh connection with its own engine session, so
+        concurrent driver threads get independent transaction contexts.
+        """
+        return connect(self.orm.database, auto_commit=auto_commit)
 
     def entity_manager(self) -> EntityManager:
         """A fresh EntityManager (used by the Queryll-style queries)."""

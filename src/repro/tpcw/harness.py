@@ -27,7 +27,7 @@ from repro.bench.timing import Measurement, measure
 from repro.tpcw import queries_queryll, queries_sql
 from repro.tpcw.database import TpcwDatabase, build_database
 from repro.tpcw.population import PopulationScale
-from repro.tpcw.workload import ParameterGenerator
+from repro.tpcw.workload import ConcurrentDriver, ParameterGenerator, ThroughputResult
 
 
 @dataclass
@@ -281,6 +281,68 @@ class TpcwBenchmark:
             f"(items={self.config.scale.num_items}, "
             f"customers={self.config.scale.num_customers}, "
             f"{self.config.measured_executions} executions per run)"
+        )
+        return format_table(headers, rows, title=title)
+
+    # -- concurrent throughput -----------------------------------------------------------------
+
+    def run_throughput(
+        self,
+        threads: int = 4,
+        interactions_per_thread: Optional[int] = None,
+        write_fraction: float = 0.0,
+        variants: tuple[str, ...] = ("queryll", "handwritten"),
+    ) -> list[ThroughputResult]:
+        """Run the multi-threaded emulated-browser driver per variant.
+
+        This goes beyond the paper's single-threaded protocol: ``threads``
+        workers issue the paper's interactions concurrently (optionally with
+        a fraction of transactional write interactions) and the result
+        reports throughput in interactions/sec alongside the latency numbers
+        of :meth:`run_table4`.
+        """
+        per_thread = interactions_per_thread
+        if per_thread is None:
+            per_thread = max(1, self.config.measured_executions // max(1, threads))
+        results = []
+        for variant in variants:
+            driver = ConcurrentDriver(
+                self.database,
+                variant=variant,
+                threads=threads,
+                interactions_per_thread=per_thread,
+                write_fraction=write_fraction,
+            )
+            results.append(driver.run())
+        return results
+
+    def format_throughput(self, results: list[ThroughputResult]) -> str:
+        """Render throughput results as a table."""
+        headers = [
+            "Variant",
+            "Threads",
+            "Interactions",
+            "Writes",
+            "Rollbacks",
+            "Elapsed (s)",
+            "Interactions/s",
+        ]
+        rows: list[list[object]] = [
+            [
+                result.variant,
+                result.threads,
+                result.interactions,
+                result.writes,
+                result.rollbacks,
+                result.elapsed_s,
+                result.interactions_per_sec,
+            ]
+            for result in results
+        ]
+        title = (
+            "Concurrent TPC-W throughput "
+            f"(items={self.config.scale.num_items}, "
+            f"customers={self.config.scale.num_customers})"
         )
         return format_table(headers, rows, title=title)
 

@@ -1,16 +1,33 @@
-"""Random-parameter generation for the benchmark queries.
+"""Random-parameter generation and the concurrent emulated-browser driver.
 
-The paper runs every query "using random valid parameters"; this module
-draws those parameters from a seeded generator so runs are reproducible.
+The paper runs every query "using random valid parameters"; the
+:class:`ParameterGenerator` draws those parameters from a seeded generator
+so runs are reproducible.
+
+:class:`ConcurrentDriver` goes beyond the paper's single-threaded protocol:
+it runs N emulated-browser worker threads in a closed loop, each with its
+own connection (or EntityManager) and parameter stream, and reports
+throughput in interactions per second.  An optional fraction of write
+interactions ("buy confirm"-style stock transfers executed inside real
+transactions) exercises the engine's concurrent write path: each transfer
+either commits atomically or rolls back, so the total stock across the item
+table is invariant — a property the concurrency tests assert.
 """
 
 from __future__ import annotations
 
 import random
+import threading
+import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
 
+from repro.tpcw import queries_queryll, queries_sql
 from repro.tpcw.population import PopulationScale, customer_uname
 from repro.tpcw.schema import TPCW_SUBJECTS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tpcw.database import TpcwDatabase
 
 
 @dataclass
@@ -43,3 +60,234 @@ class ParameterGenerator:
     def reset(self) -> None:
         """Restart the sequence (so two variants see identical parameters)."""
         self._rng = random.Random(self.seed)
+
+
+# ---------------------------------------------------------------------------
+# Concurrent emulated-browser driver
+# ---------------------------------------------------------------------------
+
+#: Browsing-mix weights for the paper's four read-only interactions.
+READ_MIX: tuple[tuple[str, float], ...] = (
+    ("getName", 0.30),
+    ("getCustomer", 0.30),
+    ("doSubjectSearch", 0.25),
+    ("doGetRelated", 0.15),
+)
+
+
+@dataclass
+class ThroughputResult:
+    """Aggregate outcome of one multi-threaded driver run."""
+
+    variant: str
+    threads: int
+    interactions: int
+    writes: int
+    rollbacks: int
+    elapsed_s: float
+    per_thread: list[int]
+
+    @property
+    def interactions_per_sec(self) -> float:
+        """Completed interactions per wall-clock second across all threads."""
+        if self.elapsed_s <= 0:
+            return float("inf")
+        return self.interactions / self.elapsed_s
+
+
+class _EmulatedBrowser(threading.Thread):
+    """One closed-loop worker: its own session state, parameters and mix."""
+
+    def __init__(
+        self,
+        index: int,
+        database: "TpcwDatabase",
+        variant: str,
+        interactions: int,
+        write_fraction: float,
+        seed: int,
+        barrier: threading.Barrier,
+    ) -> None:
+        super().__init__(name=f"emulated-browser-{index}", daemon=True)
+        self._index = index
+        self._database = database
+        self._variant = variant
+        self._interactions = interactions
+        self._write_fraction = write_fraction
+        self._seed = seed
+        self._barrier = barrier
+        self.completed = 0
+        self.writes = 0
+        self.rollbacks = 0
+        self.error: BaseException | None = None
+
+    def run(self) -> None:  # pragma: no cover - exercised via ConcurrentDriver
+        try:
+            self._run()
+        except BaseException as exc:  # propagate to the driver thread
+            self.error = exc
+            try:
+                self._barrier.abort()
+            except threading.BrokenBarrierError:
+                pass
+
+    def _run(self) -> None:
+        parameters = ParameterGenerator(self._database.scale, seed=self._seed)
+        rng = random.Random((self._seed * 2654435761) & 0xFFFFFFFF)
+        operations = self._build_operations(parameters)
+        names = [name for name, _ in READ_MIX]
+        weights = [weight for _, weight in READ_MIX]
+        # Writes always go through the SQL connection: stock transfers are
+        # expressed as relative UPDATEs inside one transaction, which is
+        # atomic under the engine's write lock (an ORM read-modify-write
+        # would race between its SELECT and its flush).
+        write_connection = (
+            self._database.connection(auto_commit=False)
+            if self._write_fraction > 0
+            else None
+        )
+        self._barrier.wait()
+        for _ in range(self._interactions):
+            if write_connection is not None and rng.random() < self._write_fraction:
+                self._transfer_stock(write_connection, parameters, rng)
+                self.writes += 1
+            else:
+                operations[rng.choices(names, weights)[0]]()
+            self.completed += 1
+
+    def _build_operations(
+        self, parameters: ParameterGenerator
+    ) -> dict[str, Callable[[], object]]:
+        if self._variant == "queryll":
+            em = self._database.entity_manager()
+            return {
+                "getName": lambda: queries_queryll.get_name(
+                    em, parameters.customer_id()
+                ),
+                "getCustomer": lambda: queries_queryll.get_customer(
+                    em, parameters.customer_username()
+                ),
+                "doSubjectSearch": lambda: queries_queryll.do_subject_search(
+                    em, parameters.subject()
+                ),
+                "doGetRelated": lambda: queries_queryll.do_get_related(
+                    em, parameters.item_id()
+                ),
+            }
+        connection = self._database.connection()
+        return {
+            "getName": lambda: queries_sql.get_name(
+                connection, parameters.customer_id()
+            ),
+            "getCustomer": lambda: queries_sql.get_customer(
+                connection, parameters.customer_username()
+            ),
+            "doSubjectSearch": lambda: queries_sql.do_subject_search(
+                connection, parameters.subject()
+            ),
+            "doGetRelated": lambda: queries_sql.do_get_related(
+                connection, parameters.item_id()
+            ),
+        }
+
+    def _transfer_stock(self, connection, parameters, rng) -> None:
+        """Move stock between two random items in one real transaction.
+
+        The guarded first UPDATE refuses to drive stock negative; in that
+        case the whole interaction rolls back, exercising the undo path.
+        Either way ``SUM(i_stock)`` over the table is preserved.
+        """
+        source = parameters.item_id()
+        destination = parameters.item_id()
+        quantity = rng.randint(1, 3)
+        take = connection.prepare_statement(
+            "UPDATE item SET i_stock = i_stock - ? WHERE i_id = ? AND i_stock >= ?"
+        )
+        take.set_int(1, quantity)
+        take.set_int(2, source)
+        take.set_int(3, quantity)
+        if take.execute_update() == 0 or source == destination:
+            connection.rollback()
+            self.rollbacks += 1
+            return
+        give = connection.prepare_statement(
+            "UPDATE item SET i_stock = i_stock + ? WHERE i_id = ?"
+        )
+        give.set_int(1, quantity)
+        give.set_int(2, destination)
+        give.execute_update()
+        connection.commit()
+
+
+class ConcurrentDriver:
+    """A multi-threaded TPC-W driver: N emulated browsers in a closed loop.
+
+    Every worker owns its private connection/EntityManager (one engine
+    session each) and a deterministic per-thread parameter stream, so runs
+    are reproducible up to thread interleaving.  ``run()`` starts all
+    workers behind a barrier, measures wall-clock time across the whole run
+    and reports interactions per second.
+    """
+
+    def __init__(
+        self,
+        database: "TpcwDatabase",
+        variant: str = "handwritten",
+        threads: int = 4,
+        interactions_per_thread: int = 100,
+        write_fraction: float = 0.0,
+        seed: int = 7,
+    ) -> None:
+        if variant not in ("handwritten", "queryll"):
+            raise ValueError(f"unknown driver variant {variant!r}")
+        self.database = database
+        self.variant = variant
+        self.threads = threads
+        self.interactions_per_thread = interactions_per_thread
+        self.write_fraction = write_fraction
+        self.seed = seed
+
+    def run(self) -> ThroughputResult:
+        """Execute the workload and aggregate per-thread counters."""
+        barrier = threading.Barrier(self.threads + 1)
+        workers = [
+            _EmulatedBrowser(
+                index=index,
+                database=self.database,
+                variant=self.variant,
+                interactions=self.interactions_per_thread,
+                write_fraction=self.write_fraction,
+                seed=self.seed + 101 * index,
+                barrier=barrier,
+            )
+            for index in range(self.threads)
+        ]
+        for worker in workers:
+            worker.start()
+        try:
+            barrier.wait()
+        except threading.BrokenBarrierError:
+            pass  # a worker failed during setup; its error is re-raised below
+        start = time.perf_counter()
+        for worker in workers:
+            worker.join()
+        elapsed = time.perf_counter() - start
+        errors = [worker.error for worker in workers if worker.error is not None]
+        if errors:
+            # A failing worker aborts the barrier, which makes the other
+            # workers record BrokenBarrierError; surface the root cause.
+            root_causes = [
+                error
+                for error in errors
+                if not isinstance(error, threading.BrokenBarrierError)
+            ]
+            raise (root_causes or errors)[0]
+        return ThroughputResult(
+            variant=self.variant,
+            threads=self.threads,
+            interactions=sum(worker.completed for worker in workers),
+            writes=sum(worker.writes for worker in workers),
+            rollbacks=sum(worker.rollbacks for worker in workers),
+            elapsed_s=elapsed,
+            per_thread=[worker.completed for worker in workers],
+        )

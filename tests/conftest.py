@@ -1,102 +1,29 @@
-"""Shared fixtures: the paper's bank example and a tiny TPC-W database."""
+"""Shared fixtures: the paper's bank example and a tiny TPC-W database.
+
+The bank mapping/data builders live in :mod:`repro.testing` so the benchmark
+suite can import them too without ``sys.path`` tricks.
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.orm import (
-    EntityMapping,
-    FieldMapping,
-    OrmMapping,
-    QueryllDatabase,
-    RelationshipMapping,
+from repro.orm import OrmMapping, QueryllDatabase
+from repro.testing import (  # noqa: F401 - re-exported for historical imports
+    BANK_ACCOUNTS,
+    BANK_CLIENTS,
+    BANK_OFFICES,
+    make_bank_db,
+    make_bank_mapping,
 )
-from repro.sqlengine.catalog import SqlType
 from repro.tpcw.database import TpcwDatabase, build_database
 from repro.tpcw.population import PopulationScale
-
-
-def make_bank_mapping() -> OrmMapping:
-    """The Client/Account/Office mapping used throughout the paper's figures."""
-    return OrmMapping(
-        [
-            EntityMapping(
-                "Client",
-                "Client",
-                fields=[
-                    FieldMapping("clientId", "ClientID", SqlType.INTEGER, primary_key=True),
-                    FieldMapping("name", "Name", SqlType.TEXT),
-                    FieldMapping("address", "Address", SqlType.TEXT),
-                    FieldMapping("country", "Country", SqlType.TEXT),
-                    FieldMapping("postalCode", "PostalCode", SqlType.TEXT),
-                ],
-                relationships=[
-                    RelationshipMapping("accounts", "Account", "ClientID", "ClientID", "to_many"),
-                ],
-            ),
-            EntityMapping(
-                "Account",
-                "Account",
-                fields=[
-                    FieldMapping("accountId", "AccountID", SqlType.INTEGER, primary_key=True),
-                    FieldMapping("clientId", "ClientID", SqlType.INTEGER),
-                    FieldMapping("balance", "Balance", SqlType.DOUBLE),
-                    FieldMapping("minBalance", "MinBalance", SqlType.DOUBLE),
-                ],
-                relationships=[
-                    RelationshipMapping("holder", "Client", "ClientID", "ClientID", "to_one"),
-                ],
-            ),
-            EntityMapping(
-                "Office",
-                "Office",
-                fields=[
-                    FieldMapping("officeId", "OfficeID", SqlType.INTEGER, primary_key=True),
-                    FieldMapping("name", "Name", SqlType.TEXT),
-                    FieldMapping("country", "Country", SqlType.TEXT),
-                ],
-            ),
-        ]
-    )
-
-
-BANK_CLIENTS = [
-    (1000, "Alice", "1 Main Street", "Canada", "K1A 0A1"),
-    (1001, "Bob", "2 Rue du Lac", "Switzerland", "1015"),
-    (1002, "Carol", "3 Elm Avenue", "Canada", "V5K 0A4"),
-    (1003, "Dave", "4 High Street", "United Kingdom", "SW1A"),
-]
-
-BANK_ACCOUNTS = [
-    (1, 1000, 500.0, 100.0),
-    (2, 1000, 50.0, 100.0),
-    (3, 1001, 900.0, 0.0),
-    (4, 1001, -25.0, 50.0),
-    (5, 1002, 10.0, 20.0),
-    (6, 1003, 10000.0, 500.0),
-]
-
-BANK_OFFICES = [
-    (1, "Seattle", "United States"),
-    (2, "LA", "United States"),
-    (3, "Geneva", "Switzerland"),
-    (4, "Toronto", "Canada"),
-]
 
 
 @pytest.fixture()
 def bank_mapping() -> OrmMapping:
     """A fresh bank mapping."""
     return make_bank_mapping()
-
-
-def make_bank_db() -> QueryllDatabase:
-    """A populated bank database."""
-    database = QueryllDatabase(make_bank_mapping())
-    database.database.insert_rows("Client", BANK_CLIENTS)
-    database.database.insert_rows("Account", BANK_ACCOUNTS)
-    database.database.insert_rows("Office", BANK_OFFICES)
-    return database
 
 
 @pytest.fixture()

@@ -1,0 +1,123 @@
+"""Connection-level transaction semantics and round-trip accounting.
+
+The paper's benchmark counts COMMIT round trips (generated code "sends a
+commit command to the database separately from its query"), so the exact
+number of round trips per code path is part of the contract: auto-commit
+issues none beyond the statement itself, while an explicit ``commit()`` or
+``rollback()`` costs exactly one extra round trip — and now really commits
+or aborts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbapi import connect
+from repro.sqlengine import Database, SqlExecutionError
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database()
+    database.execute(
+        "CREATE TABLE item (i_id INTEGER PRIMARY KEY, i_title VARCHAR(60))"
+    )
+    database.execute("INSERT INTO item (i_id, i_title) VALUES (1, 'Dune')")
+    return database
+
+
+class TestAutoCommit:
+    def test_statement_commits_immediately(self, db: Database) -> None:
+        connection = connect(db)
+        statement = connection.prepare_statement(
+            "INSERT INTO item (i_id, i_title) VALUES (?, ?)"
+        )
+        statement.set_int(1, 2)
+        statement.set_string(2, "Foundation")
+        statement.execute_update()
+        # Visible through an unrelated connection without any commit.
+        other = connect(db)
+        results = other.prepare_statement("SELECT i_title FROM item WHERE i_id = 2")
+        assert results.execute_query().row_count == 1
+        assert not connection.in_transaction
+
+    def test_round_trip_counts(self, db: Database) -> None:
+        connection = connect(db)
+        statement = connection.prepare_statement(
+            "INSERT INTO item (i_id, i_title) VALUES (?, ?)"
+        )
+        statement.set_int(1, 2)
+        statement.set_string(2, "Foundation")
+        statement.execute_update()
+        connection.commit()  # still one (no-op) round trip, as the paper counts
+        assert connection.round_trips == 2
+
+
+class TestExplicitTransactions:
+    def test_commit_round_trips(self, db: Database) -> None:
+        connection = connect(db, auto_commit=False)
+        statement = connection.prepare_statement(
+            "INSERT INTO item (i_id, i_title) VALUES (?, ?)"
+        )
+        statement.set_int(1, 2)
+        statement.set_string(2, "Foundation")
+        statement.execute_update()
+        assert connection.in_transaction  # opened implicitly, no BEGIN round trip
+        connection.commit()
+        # Exactly 2 round trips: the INSERT and the COMMIT.
+        assert connection.round_trips == 2
+        assert db.row_count("item") == 2
+
+    def test_rollback_undoes_uncommitted_changes(self, db: Database) -> None:
+        connection = connect(db, auto_commit=False)
+        update = connection.prepare_statement(
+            "UPDATE item SET i_title = ? WHERE i_id = ?"
+        )
+        update.set_string(1, "Changed")
+        update.set_int(2, 1)
+        update.execute_update()
+        connection.rollback()
+        assert connection.round_trips == 2
+        assert db.execute("SELECT i_title FROM item WHERE i_id = 1").rows == [
+            ("Dune",)
+        ]
+        assert not connection.in_transaction
+
+    def test_several_statements_commit_atomically(self, db: Database) -> None:
+        connection = connect(db, auto_commit=False)
+        insert = connection.prepare_statement(
+            "INSERT INTO item (i_id, i_title) VALUES (?, ?)"
+        )
+        for item_id, title in ((2, "Foundation"), (3, "Hyperion")):
+            insert.set_int(1, item_id)
+            insert.set_string(2, title)
+            insert.execute_update()
+        connection.rollback()
+        assert db.row_count("item") == 1
+
+    def test_enabling_auto_commit_commits_open_transaction(self, db: Database) -> None:
+        connection = connect(db, auto_commit=False)
+        statement = connection.create_statement()
+        statement.execute("DELETE FROM item WHERE i_id = 1")
+        connection.set_auto_commit(True)  # JDBC semantics: commits
+        assert not connection.in_transaction
+        assert db.row_count("item") == 0
+
+    def test_close_rolls_back_open_transaction(self, db: Database) -> None:
+        connection = connect(db, auto_commit=False)
+        statement = connection.create_statement()
+        statement.execute("DELETE FROM item WHERE i_id = 1")
+        connection.close()
+        assert db.row_count("item") == 1
+        with pytest.raises(SqlExecutionError):
+            connection.commit()
+
+    def test_execute_update_reports_affected_rows(self, db: Database) -> None:
+        connection = connect(db)
+        statement = connection.prepare_statement(
+            "UPDATE item SET i_title = 'X' WHERE i_id = ?"
+        )
+        statement.set_int(1, 1)
+        assert statement.execute_update() == 1
+        statement.set_int(1, 99)
+        assert statement.execute_update() == 0

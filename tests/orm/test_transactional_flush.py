@@ -1,0 +1,71 @@
+"""EntityManager flush runs inside a real transaction.
+
+A failed flush (e.g. an UPDATE violating a unique index) must roll back the
+UPDATEs already applied in the same flush, so the database never keeps half
+of a unit of work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.orm import QueryllDatabase
+from repro.sqlengine.errors import SqlExecutionError
+
+
+class TestTransactionalFlush:
+    def test_failed_flush_rolls_back_applied_updates(
+        self, bank_db: QueryllDatabase
+    ) -> None:
+        # A unique index over Client.Name makes the second write-back fail.
+        bank_db.database.create_index("Client", ["Name"], unique=True)
+        em = bank_db.begin_transaction()
+        first = em.find("Client", 1000)
+        second = em.find("Client", 1001)
+        first.name = "Renamed"
+        second.name = "Carol"  # collides with client 1002
+        with pytest.raises(SqlExecutionError):
+            em.commit()
+        rows = sorted(
+            bank_db.database.execute("SELECT ClientID, Name FROM Client").rows
+        )
+        # Neither update survived — including the first, already-applied one.
+        assert rows == [
+            (1000, "Alice"),
+            (1001, "Bob"),
+            (1002, "Carol"),
+            (1003, "Dave"),
+        ]
+        # The manager is still usable and holds no stale state.
+        assert em.dirty_entities == []
+        assert em.find("Client", 1000).name == "Alice"
+
+    def test_successful_flush_commits_all_updates(
+        self, bank_db: QueryllDatabase
+    ) -> None:
+        em = bank_db.begin_transaction()
+        first = em.find("Client", 1000)
+        second = em.find("Client", 1001)
+        first.name = "Alicia"
+        second.name = "Robert"
+        assert em.commit() == 2
+        rows = dict(
+            bank_db.database.execute(
+                "SELECT ClientID, Name FROM Client WHERE ClientID IN (1000, 1001)"
+            ).rows
+        )
+        assert rows == {1000: "Alicia", 1001: "Robert"}
+
+    def test_close_releases_engine_transaction(self, bank_db: QueryllDatabase) -> None:
+        em = bank_db.begin_transaction()
+        client = em.find("Client", 1000)
+        client.name = "Changed"
+        em.close()
+        # A fresh manager can immediately write (no lock left behind).
+        em2 = bank_db.begin_transaction()
+        other = em2.find("Client", 1001)
+        other.name = "Bobby"
+        em2.commit()
+        assert bank_db.database.execute(
+            "SELECT Name FROM Client WHERE ClientID = 1001"
+        ).rows == [("Bobby",)]

@@ -1,0 +1,192 @@
+"""Multi-threaded engine smoke tests: concurrent readers and writers.
+
+The readers-writer lock must let read-only SELECTs from different sessions
+run concurrently while transactions stay atomic: a reader can never observe
+a transfer transaction half-applied, so the invariant checked inside each
+reader thread (the sum of two account balances is constant) must hold on
+every single read.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.sqlengine import Database
+from repro.sqlengine.transactions import ReadWriteLock
+
+
+def make_db() -> Database:
+    db = Database()
+    db.execute("CREATE TABLE account (id INTEGER PRIMARY KEY, balance INTEGER)")
+    db.execute_many(
+        "INSERT INTO account (id, balance) VALUES (?, ?)",
+        [(1, 1000), (2, 1000)],
+    )
+    return db
+
+
+class TestConcurrentSessions:
+    def test_readers_see_consistent_transfers(self) -> None:
+        db = make_db()
+        rounds = 200
+        reader_threads = 4
+        stop = threading.Event()
+        errors: list[str] = []
+
+        def writer() -> None:
+            session = db.session()
+            try:
+                for index in range(rounds):
+                    session.execute("BEGIN")
+                    session.execute(
+                        "UPDATE account SET balance = balance - 10 WHERE id = 1"
+                    )
+                    session.execute(
+                        "UPDATE account SET balance = balance + 10 WHERE id = 2"
+                    )
+                    if index % 3 == 2:
+                        # Every third transfer aborts: the rollback must be
+                        # invisible to readers too.
+                        session.execute("ROLLBACK")
+                    else:
+                        session.execute("COMMIT")
+            finally:
+                stop.set()
+
+        def reader(worker: int) -> None:
+            session = db.session()
+            while not stop.is_set():
+                rows = session.execute(
+                    "SELECT balance FROM account ORDER BY id"
+                ).rows
+                total = sum(balance for (balance,) in rows)
+                if total != 2000:
+                    errors.append(f"reader {worker} saw total {total}")
+                    return
+
+        threads = [threading.Thread(target=reader, args=(i,)) for i in range(reader_threads)]
+        threads.append(threading.Thread(target=writer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not any(thread.is_alive() for thread in threads), "deadlock"
+        assert errors == []
+        committed = rounds - (rounds + 0) // 3  # every third round rolls back
+        rows = dict(db.execute("SELECT id, balance FROM account").rows)
+        assert rows[1] == 1000 - 10 * committed
+        assert rows[2] == 1000 + 10 * committed
+
+    def test_concurrent_writers_serialise(self) -> None:
+        db = make_db()
+        increments_per_thread = 100
+        writer_threads = 4
+
+        def writer() -> None:
+            session = db.session()
+            for _ in range(increments_per_thread):
+                session.execute(
+                    "UPDATE account SET balance = balance + 1 WHERE id = 1"
+                )
+
+        threads = [threading.Thread(target=writer) for _ in range(writer_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not any(thread.is_alive() for thread in threads), "deadlock"
+        expected = 1000 + increments_per_thread * writer_threads
+        assert db.execute("SELECT balance FROM account WHERE id = 1").rows == [
+            (expected,)
+        ]
+
+    def test_database_facade_is_thread_safe(self) -> None:
+        # Database.execute uses one default session per thread, so
+        # concurrent facade writes must serialise like any other sessions.
+        db = make_db()
+        increments_per_thread = 100
+
+        def writer() -> None:
+            for _ in range(increments_per_thread):
+                db.execute("UPDATE account SET balance = balance + 1 WHERE id = 2")
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not any(thread.is_alive() for thread in threads), "deadlock"
+        assert db.execute("SELECT balance FROM account WHERE id = 2").rows == [
+            (1000 + 4 * increments_per_thread,)
+        ]
+
+    def test_same_thread_sessions_do_not_deadlock(self) -> None:
+        # Historical single-threaded behaviour: one thread may interleave an
+        # open write transaction with reads through other sessions.
+        db = make_db()
+        session = db.session()
+        session.execute("BEGIN")
+        session.execute("UPDATE account SET balance = 0 WHERE id = 1")
+        # Default-session read on the same thread passes straight through.
+        assert len(db.execute("SELECT id FROM account").rows) == 2
+        session.execute("ROLLBACK")
+        assert db.execute("SELECT balance FROM account WHERE id = 1").rows == [(1000,)]
+
+
+class TestReadWriteLock:
+    def test_readers_run_concurrently(self) -> None:
+        lock = ReadWriteLock()
+        inside = threading.Barrier(3, timeout=10)
+
+        def reader() -> None:
+            lock.acquire_read()
+            try:
+                inside.wait()  # only reachable if all readers hold the lock
+            finally:
+                lock.release_read()
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not any(thread.is_alive() for thread in threads)
+
+    def test_writer_excludes_readers(self) -> None:
+        lock = ReadWriteLock()
+        lock.acquire_write()
+        observed: list[int] = []
+
+        def reader() -> None:
+            lock.acquire_read()
+            observed.append(1)
+            lock.release_read()
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        thread.join(timeout=0.2)
+        assert observed == []  # reader blocked while the write lock is held
+        lock.release_write()
+        thread.join(timeout=30)
+        assert observed == [1]
+
+    def test_write_lock_reentrant_for_owner(self) -> None:
+        lock = ReadWriteLock()
+        lock.acquire_write()
+        lock.acquire_write()
+        lock.acquire_read()
+        lock.release_read()
+        lock.release_write()
+        lock.release_write()
+        # Fully released: another thread can now take the write lock.
+        acquired = threading.Event()
+
+        def writer() -> None:
+            lock.acquire_write()
+            acquired.set()
+            lock.release_write()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        thread.join(timeout=30)
+        assert acquired.is_set()

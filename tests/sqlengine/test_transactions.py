@@ -1,0 +1,237 @@
+"""Transaction semantics: rollback, savepoints, statement atomicity.
+
+The acceptance bar for the transaction subsystem: ROLLBACK after a mix of
+INSERT/UPDATE/DELETE restores the table rows *and every index* to a
+byte-identical state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlengine import Database, SqlExecutionError
+from repro.sqlengine.indexes import HashIndex, OrderedIndex
+
+
+def make_db() -> Database:
+    db = Database()
+    db.execute(
+        "CREATE TABLE account (id INTEGER PRIMARY KEY, owner VARCHAR(32), "
+        "balance INTEGER)"
+    )
+    db.create_index("account", ["owner"], name="idx_owner")
+    db.create_index("account", ["balance"], name="idx_balance", ordered=True)
+    db.execute_many(
+        "INSERT INTO account (id, owner, balance) VALUES (?, ?, ?)",
+        [(1, "alice", 100), (2, "bob", 200), (3, "carol", 300)],
+    )
+    return db
+
+
+def snapshot(db: Database, table: str) -> dict:
+    """Capture rows, live count and the full internal state of every index."""
+    data = db.table_data(table)
+    state: dict[str, object] = {
+        "rows": list(data._rows),
+        "live": len(data),
+    }
+    for name, index in data.indexes().items():
+        if isinstance(index, OrderedIndex):
+            state[name] = (list(index._keys), list(index._row_ids))
+        elif isinstance(index, HashIndex):
+            state[name] = {key: sorted(ids) for key, ids in index._entries.items()}
+    return state
+
+
+class TestRollback:
+    def test_rollback_restores_rows_and_indexes_byte_identical(self) -> None:
+        db = make_db()
+        before = snapshot(db, "account")
+        session = db.session()
+        session.execute("BEGIN")
+        session.execute(
+            "INSERT INTO account (id, owner, balance) VALUES (4, 'dave', 400)"
+        )
+        session.execute("UPDATE account SET owner = 'ALICE', balance = 1 WHERE id = 1")
+        session.execute("DELETE FROM account WHERE id = 2")
+        session.execute("UPDATE account SET balance = balance + 7")
+        assert db.row_count("account") == 3  # 3 - 1 deleted + 1 inserted
+        session.execute("ROLLBACK")
+        assert snapshot(db, "account") == before
+        assert db.row_count("account") == 3
+        assert sorted(db.execute("SELECT id, owner, balance FROM account").rows) == [
+            (1, "alice", 100),
+            (2, "bob", 200),
+            (3, "carol", 300),
+        ]
+
+    def test_commit_makes_changes_durable(self) -> None:
+        db = make_db()
+        session = db.session()
+        session.execute("BEGIN")
+        session.execute("UPDATE account SET balance = 0 WHERE id = 1")
+        session.execute("COMMIT")
+        session.execute("ROLLBACK")  # no-op: nothing open
+        assert db.execute("SELECT balance FROM account WHERE id = 1").rows == [(0,)]
+
+    def test_rollback_restores_after_delete_and_reinsert_same_key(self) -> None:
+        db = make_db()
+        before = snapshot(db, "account")
+        session = db.session()
+        session.execute("BEGIN")
+        session.execute("DELETE FROM account WHERE id = 1")
+        session.execute(
+            "INSERT INTO account (id, owner, balance) VALUES (1, 'eve', 5)"
+        )
+        session.execute("ROLLBACK")
+        assert snapshot(db, "account") == before
+
+    def test_rolled_back_insert_frees_unique_key(self) -> None:
+        db = make_db()
+        session = db.session()
+        session.execute("BEGIN")
+        session.execute(
+            "INSERT INTO account (id, owner, balance) VALUES (9, 'zoe', 1)"
+        )
+        session.execute("ROLLBACK")
+        # The primary key must be reusable after the rollback.
+        db.execute("INSERT INTO account (id, owner, balance) VALUES (9, 'zoe', 1)")
+        assert db.row_count("account") == 4
+
+    def test_transaction_spans_multiple_tables(self) -> None:
+        db = make_db()
+        db.execute("CREATE TABLE audit (id INTEGER PRIMARY KEY, note TEXT)")
+        before_account = snapshot(db, "account")
+        before_audit = snapshot(db, "audit")
+        session = db.session()
+        session.execute("BEGIN")
+        session.execute("INSERT INTO audit (id, note) VALUES (1, 'x')")
+        session.execute("DELETE FROM account WHERE id = 3")
+        session.execute("ROLLBACK")
+        assert snapshot(db, "account") == before_account
+        assert snapshot(db, "audit") == before_audit
+
+
+class TestStatementAtomicity:
+    def test_failed_multi_row_insert_is_atomic(self) -> None:
+        db = make_db()
+        before = snapshot(db, "account")
+        with pytest.raises(SqlExecutionError):
+            # Third row violates the primary key; the earlier rows of the
+            # same statement must be undone too.
+            db.execute(
+                "INSERT INTO account (id, owner, balance) "
+                "VALUES (10, 'x', 1), (11, 'y', 2), (1, 'dup', 3)"
+            )
+        assert snapshot(db, "account") == before
+
+    def test_failed_statement_keeps_transaction_alive(self) -> None:
+        db = make_db()
+        session = db.session()
+        session.execute("BEGIN")
+        session.execute("UPDATE account SET balance = 999 WHERE id = 2")
+        with pytest.raises(SqlExecutionError):
+            session.execute(
+                "INSERT INTO account (id, owner, balance) VALUES (1, 'dup', 0)"
+            )
+        # The earlier statement of the transaction is still in effect...
+        assert db.execute("SELECT balance FROM account WHERE id = 2").rows == [(999,)]
+        # ...and commits fine.
+        session.execute("COMMIT")
+        assert db.execute("SELECT balance FROM account WHERE id = 2").rows == [(999,)]
+
+
+class TestSavepoints:
+    def test_partial_rollback_to_savepoint(self) -> None:
+        db = make_db()
+        session = db.session()
+        session.execute("BEGIN")
+        session.execute("INSERT INTO account (id, owner, balance) VALUES (4, 'd', 1)")
+        session.execute("SAVEPOINT sp1")
+        session.execute("INSERT INTO account (id, owner, balance) VALUES (5, 'e', 2)")
+        session.execute("UPDATE account SET balance = 0 WHERE id = 4")
+        session.execute("ROLLBACK TO SAVEPOINT sp1")
+        # Work after the savepoint is undone; work before it survives.
+        assert db.execute("SELECT balance FROM account WHERE id = 4").rows == [(1,)]
+        assert db.execute("SELECT id FROM account WHERE id = 5").rows == []
+        session.execute("COMMIT")
+        assert db.execute("SELECT balance FROM account WHERE id = 4").rows == [(1,)]
+
+    def test_savepoint_survives_rollback_to_it(self) -> None:
+        db = make_db()
+        session = db.session()
+        session.execute("BEGIN")
+        session.execute("SAVEPOINT sp1")
+        session.execute("DELETE FROM account WHERE id = 1")
+        session.execute("ROLLBACK TO sp1")
+        session.execute("DELETE FROM account WHERE id = 2")
+        session.execute("ROLLBACK TO sp1")  # still valid, standard SQL
+        session.execute("COMMIT")
+        assert db.row_count("account") == 3
+
+    def test_release_savepoint_keeps_changes(self) -> None:
+        db = make_db()
+        session = db.session()
+        session.execute("BEGIN")
+        session.execute("SAVEPOINT sp1")
+        session.execute("DELETE FROM account WHERE id = 1")
+        session.execute("RELEASE SAVEPOINT sp1")
+        with pytest.raises(SqlExecutionError):
+            session.execute("ROLLBACK TO sp1")
+        session.execute("COMMIT")
+        assert db.row_count("account") == 2
+
+    def test_savepoint_requires_transaction(self) -> None:
+        db = make_db()
+        session = db.session()
+        with pytest.raises(SqlExecutionError):
+            session.execute("SAVEPOINT sp1")
+
+    def test_rollback_to_unknown_savepoint_raises(self) -> None:
+        db = make_db()
+        session = db.session()
+        session.execute("BEGIN")
+        with pytest.raises(SqlExecutionError):
+            session.execute("ROLLBACK TO missing")
+
+
+class TestSessionApi:
+    def test_nested_begin_raises(self) -> None:
+        session = make_db().session()
+        session.execute("BEGIN")
+        with pytest.raises(SqlExecutionError):
+            session.execute("BEGIN")
+
+    def test_context_manager_commits_on_success(self) -> None:
+        db = make_db()
+        with db.session() as session:
+            session.begin()
+            session.execute("UPDATE account SET balance = 1 WHERE id = 1")
+        assert db.execute("SELECT balance FROM account WHERE id = 1").rows == [(1,)]
+
+    def test_context_manager_rolls_back_on_error(self) -> None:
+        db = make_db()
+        with pytest.raises(RuntimeError):
+            with db.session() as session:
+                session.begin()
+                session.execute("UPDATE account SET balance = 1 WHERE id = 1")
+                raise RuntimeError("boom")
+        assert db.execute("SELECT balance FROM account WHERE id = 1").rows == [(100,)]
+
+    def test_non_autocommit_session_holds_changes_until_commit(self) -> None:
+        db = make_db()
+        session = db.session(autocommit=False)
+        session.execute("UPDATE account SET balance = 42 WHERE id = 1")
+        assert session.in_transaction
+        session.execute("ROLLBACK")
+        assert db.execute("SELECT balance FROM account WHERE id = 1").rows == [(100,)]
+
+    def test_execute_many_is_atomic(self) -> None:
+        db = make_db()
+        before = snapshot(db, "account")
+        with pytest.raises(SqlExecutionError):
+            db.execute_many(
+                "INSERT INTO account (id, owner, balance) VALUES (?, ?, ?)",
+                [(20, "u", 1), (21, "v", 2), (2, "dup", 3)],
+            )
+        assert snapshot(db, "account") == before

@@ -1,0 +1,94 @@
+"""The concurrent emulated-browser driver: throughput and consistency.
+
+Acceptance: a TPC-W run with >= 4 concurrent driver threads completes with
+consistent results and reports interactions/sec.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tpcw import (
+    BenchmarkConfig,
+    ConcurrentDriver,
+    PopulationScale,
+    TpcwBenchmark,
+    build_database,
+)
+
+
+def total_stock(database) -> int:
+    return sum(row[0] for row in database.execute("SELECT i_stock FROM item").rows)
+
+
+@pytest.fixture()
+def small_db():
+    return build_database(PopulationScale.tiny())
+
+
+class TestConcurrentDriver:
+    def test_read_only_run_reports_throughput(self, tpcw_db) -> None:
+        driver = ConcurrentDriver(
+            tpcw_db, variant="handwritten", threads=4, interactions_per_thread=25
+        )
+        result = driver.run()
+        assert result.threads == 4
+        assert result.interactions == 100
+        assert result.per_thread == [25, 25, 25, 25]
+        assert result.interactions_per_sec > 0
+        assert result.writes == 0
+
+    def test_queryll_variant_runs_concurrently(self, tpcw_db) -> None:
+        result = ConcurrentDriver(
+            tpcw_db, variant="queryll", threads=4, interactions_per_thread=15
+        ).run()
+        assert result.interactions == 60
+        assert result.interactions_per_sec > 0
+
+    def test_write_mix_preserves_total_stock(self, small_db) -> None:
+        before = total_stock(small_db.database)
+        result = ConcurrentDriver(
+            small_db,
+            variant="handwritten",
+            threads=4,
+            interactions_per_thread=40,
+            write_fraction=0.5,
+        ).run()
+        assert result.interactions == 160
+        assert result.writes > 0
+        # Every transfer either committed atomically or rolled back, so the
+        # stock total is invariant under any interleaving.
+        assert total_stock(small_db.database) == before
+
+    def test_deterministic_parameters_per_thread(self, small_db) -> None:
+        first = ConcurrentDriver(
+            small_db, variant="handwritten", threads=2, interactions_per_thread=10
+        ).run()
+        second = ConcurrentDriver(
+            small_db, variant="handwritten", threads=2, interactions_per_thread=10
+        ).run()
+        assert first.per_thread == second.per_thread == [10, 10]
+
+    def test_unknown_variant_rejected(self, small_db) -> None:
+        with pytest.raises(ValueError):
+            ConcurrentDriver(small_db, variant="nope")
+
+
+class TestHarnessThroughput:
+    def test_run_throughput_covers_both_variants(self, tpcw_db) -> None:
+        benchmark = TpcwBenchmark(
+            config=BenchmarkConfig(
+                scale=PopulationScale.tiny(),
+                warmup_executions=0,
+                measured_executions=40,
+                runs=1,
+                discard_runs=0,
+            ),
+            database=tpcw_db,
+        )
+        results = benchmark.run_throughput(threads=4)
+        assert [result.variant for result in results] == ["queryll", "handwritten"]
+        assert all(result.interactions == 40 for result in results)
+        table = benchmark.format_throughput(results)
+        assert "Interactions/s" in table
+        assert "queryll" in table and "handwritten" in table
