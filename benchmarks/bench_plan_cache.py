@@ -1,0 +1,143 @@
+"""Plan-cache ablation: repeated-statement latency and TPC-W throughput
+with the shared statement/plan cache enabled vs disabled.
+
+Two ways to run it:
+
+* ``python benchmarks/bench_plan_cache.py [--smoke] [--output PATH]`` —
+  standalone: emits a machine-readable JSON document (also written to
+  ``BENCH_plan_cache.json`` by default) with the per-query plan+execute
+  latency split and interactions/sec, so the perf trajectory can accumulate
+  across PRs.  ``--smoke`` shrinks the workload for CI.
+* ``python -m pytest benchmarks/bench_plan_cache.py`` — as a test, asserting
+  the cache actually gets hit and the report has the expected shape.
+
+The experiment demonstrates both halves of the acceptance criterion: the
+parse+plan cost that every execution pays without the cache (``execute_cold``
+vs ``execute_warm``), and the end-to-end interactions/sec effect on the
+concurrent TPC-W driver.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # standalone: make src/ importable without pytest
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.tpcw.harness import BenchmarkConfig, TpcwBenchmark
+from repro.tpcw.workload import ConcurrentDriver
+
+
+def run_experiment(
+    benchmark: TpcwBenchmark,
+    executions: int,
+    driver_interactions: int,
+    threads: int = 4,
+) -> dict:
+    """The full plan-cache experiment as a JSON-serialisable dict."""
+    database = benchmark.database.database
+    split = benchmark.run_plan_cache_split(executions=executions)
+
+    throughput: dict[str, dict[str, float]] = {}
+    cache_size = database.statement_cache_info()["size"]
+    for label, size in (("cache_enabled", cache_size), ("cache_disabled", 0)):
+        database.set_statement_cache_size(size)
+        try:
+            driver = ConcurrentDriver(
+                benchmark.database,
+                variant="handwritten",
+                threads=threads,
+                interactions_per_thread=max(1, driver_interactions // threads),
+            )
+            result = driver.run()
+        finally:
+            database.set_statement_cache_size(cache_size)
+        throughput[label] = {
+            "interactions_per_sec": result.interactions_per_sec,
+            "interactions": result.interactions,
+            "threads": result.threads,
+            "elapsed_s": result.elapsed_s,
+        }
+
+    return {
+        "benchmark": "plan_cache",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "config": {
+            "num_items": benchmark.config.scale.num_items,
+            "num_customers": benchmark.config.scale.num_customers,
+            "executions": executions,
+            "driver_interactions": driver_interactions,
+            "threads": threads,
+        },
+        "queries": split,
+        "throughput": throughput,
+        "cache": database.statement_cache_info(),
+    }
+
+
+# -- pytest entry points -----------------------------------------------------
+
+
+def test_plan_cache_split_and_throughput(tpcw_benchmark, capsys) -> None:
+    report = run_experiment(
+        tpcw_benchmark, executions=50, driver_interactions=200
+    )
+    assert set(report["queries"]) == {
+        "getName", "getCustomer", "doSubjectSearch", "doGetRelated"
+    }
+    for name, split in report["queries"].items():
+        assert split["plan_ms"] > 0, name
+        assert split["execute_warm_ms"] > 0, name
+        assert split["execute_cold_ms"] > 0, name
+    assert report["cache"]["hits"] > 0
+    assert report["throughput"]["cache_enabled"]["interactions"] > 0
+    assert report["throughput"]["cache_disabled"]["interactions"] > 0
+    with capsys.disabled():
+        print("\n" + json.dumps(report, indent=2))
+
+
+# -- standalone entry point --------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny workload for CI smoke runs",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_plan_cache.json",
+        help="where to write the JSON report ('-' for stdout only)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        config = BenchmarkConfig.quick()
+        executions, interactions = 50, 200
+    else:
+        config = BenchmarkConfig.from_environment()
+        executions, interactions = 500, 2000
+    benchmark = TpcwBenchmark(config)
+    report = run_experiment(
+        benchmark, executions=executions, driver_interactions=interactions
+    )
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.output != "-":
+        Path(args.output).write_text(text + "\n")
+    warm = sum(q["execute_warm_ms"] for q in report["queries"].values())
+    cold = sum(q["execute_cold_ms"] for q in report["queries"].values())
+    if warm >= cold:
+        print(
+            f"warning: warm latency ({warm:.3f} ms) did not beat cold "
+            f"({cold:.3f} ms)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

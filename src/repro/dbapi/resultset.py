@@ -23,6 +23,11 @@ class ResultSet:
 
     def __init__(self, columns: Sequence[str], rows: Sequence[tuple[object, ...]]) -> None:
         self._columns = [column.lower() for column in columns]
+        # Name→index built once so per-value access by name is O(1); the
+        # first occurrence wins for duplicated column names (JDBC rule).
+        self._column_map: dict[str, int] = {}
+        for position, column in enumerate(self._columns):
+            self._column_map.setdefault(column, position)
         self._rows = list(rows)
         self._cursor = -1
 
@@ -109,8 +114,7 @@ class ResultSet:
             if column < 1 or column > len(self._columns):
                 raise IndexError(f"column index {column} out of range (1-based)")
             return column - 1
-        lowered = column.lower()
         try:
-            return self._columns.index(lowered)
-        except ValueError as exc:
+            return self._column_map[column.lower()]
+        except KeyError as exc:
             raise KeyError(f"no column named {column!r}") from exc

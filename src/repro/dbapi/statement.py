@@ -72,6 +72,17 @@ class PreparedStatement:
         result = self._connection._execute(self._sql, self._ordered_parameters())
         return result.rowcount
 
+    def explain(self) -> str:
+        """The engine's cost-annotated plan for this statement's query.
+
+        Issues ``EXPLAIN <sql>`` through the connection, so it works for
+        any SELECT without needing parameter values (plans do not depend on
+        them) and exercises the same cached plan repeated executions use.
+        """
+        self._check_open()
+        result = self._connection._execute(f"EXPLAIN {self._sql}", ())
+        return "\n".join(str(row[0]) for row in result.rows)
+
     def close(self) -> None:
         """Close the statement (further executions raise)."""
         self._closed = True

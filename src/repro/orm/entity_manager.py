@@ -146,6 +146,11 @@ class EntityManager:
         self._identity_map: dict[tuple[str, object], Entity] = {}
         self._dirty: list[Entity] = []
         self._closed = False
+        # Generated SQL text per entity, built once: reusing the identical
+        # string across executions keeps the engine's shared plan cache hot
+        # (the cache is keyed by SQL text).
+        self._all_sql: dict[str, str] = {}
+        self._find_sql: dict[str, str] = {}
         #: Number of SQL statements issued through this EntityManager.
         self.queries_executed = 0
 
@@ -176,8 +181,12 @@ class EntityManager:
         ``em.allClient()`` / ``em.allOffice()`` methods.
         """
         entity_name = self._entity_name(entity)
-        mapping = self._mapping.entity(entity_name)
-        sql = f"SELECT A.* FROM {mapping.table} AS A"
+        sql = self._all_sql.get(entity_name)
+        if sql is None:
+            mapping = self._mapping.entity(entity_name)
+            sql = self._all_sql[entity_name] = (
+                f"SELECT A.* FROM {mapping.table} AS A"
+            )
         query = SqlBackedQuery(
             self,
             sql,
@@ -193,11 +202,13 @@ class EntityManager:
         cached = self._identity_map.get((entity_name, primary_key))
         if cached is not None:
             return cached
-        mapping = self._mapping.entity(entity_name)
-        sql = (
-            f"SELECT A.* FROM {mapping.table} AS A "
-            f"WHERE A.{mapping.primary_key.column} = ?"
-        )
+        sql = self._find_sql.get(entity_name)
+        if sql is None:
+            mapping = self._mapping.entity(entity_name)
+            sql = self._find_sql[entity_name] = (
+                f"SELECT A.* FROM {mapping.table} AS A "
+                f"WHERE A.{mapping.primary_key.column} = ?"
+            )
         result = self.execute_sql(sql, (primary_key,))
         if not result.rows:
             return None

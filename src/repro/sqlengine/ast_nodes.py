@@ -214,6 +214,14 @@ class DropTableStatement:
 
 
 @dataclass(frozen=True)
+class ExplainStatement:
+    """``EXPLAIN SELECT ...``: plan the query and return the cost-annotated
+    operator tree as rows instead of executing it."""
+
+    statement: "SelectStatement"
+
+
+@dataclass(frozen=True)
 class TransactionStatement:
     """A transaction-control statement.
 
@@ -235,5 +243,6 @@ Statement = Union[
     CreateTableStatement,
     CreateIndexStatement,
     DropTableStatement,
+    ExplainStatement,
     TransactionStatement,
 ]

@@ -142,6 +142,30 @@ class TableSchema:
         )
 
 
+@dataclass(frozen=True)
+class TableStatistics:
+    """Cheap per-table statistics for the cost-based planner.
+
+    Statistics are derived from live storage state, so they are always
+    up to date: ``row_count`` is the live-row counter and the distinct
+    counts come from the indexes' incremental distinct-key tracking (which
+    transaction rollback keeps correct by replaying inverse index
+    operations).  Columns without a single-column index have no NDV entry;
+    the planner falls back to default selectivities for them.
+    """
+
+    table: str
+    row_count: int
+    #: NDV (number of distinct values) per single-column-indexed column.
+    column_distinct: dict[str, int]
+    #: Distinct key count per index (multi-column indexes included).
+    index_distinct: dict[str, int]
+
+    def distinct(self, column: str) -> Optional[int]:
+        """NDV of ``column`` if an index tracks it, else None."""
+        return self.column_distinct.get(column.lower())
+
+
 class Catalog:
     """The set of tables known to a :class:`~repro.sqlengine.engine.Database`."""
 

@@ -20,7 +20,8 @@ default auto-commit session.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 from repro.sqlengine import ast_nodes as ast
@@ -45,13 +46,24 @@ class ResultSet:
     rows: list[tuple[object, ...]]
     #: Affected-row count for DML statements (for SELECTs, the row count).
     rowcount: int = 0
+    _column_map: Optional[dict[str, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def column_index(self, name: str) -> int:
-        """Index of a column by (case-insensitive) name."""
-        lowered = name.lower()
+        """Index of a column by (case-insensitive) name.
+
+        The name→index map is built once per result set, so per-value
+        access by name is O(1) instead of an O(n) list search."""
+        column_map = self._column_map
+        if column_map is None:
+            column_map = {}
+            for position, column in enumerate(self.columns):
+                column_map.setdefault(column, position)
+            self._column_map = column_map
         try:
-            return self.columns.index(lowered)
-        except ValueError as exc:
+            return column_map[name.lower()]
+        except KeyError as exc:
             raise KeyError(f"no column named {name!r}") from exc
 
     def value(self, row: int, column: str) -> object:
@@ -69,6 +81,15 @@ class ResultSet:
 class _CachedStatement:
     statement: ast.Statement
     plan: Optional[SelectPlan]
+
+
+#: Statements that change the catalog; executing one invalidates every
+#: cached statement and plan.
+_DDL_STATEMENTS = (
+    ast.CreateTableStatement,
+    ast.CreateIndexStatement,
+    ast.DropTableStatement,
+)
 
 
 class Session:
@@ -181,14 +202,14 @@ class Session:
     def execute(self, sql: str, params: Sequence[object] = ()) -> ResultSet:
         """Parse (with caching), plan and execute one SQL statement."""
         database = self._database
-        cached = database._cached_statement(sql)
+        cached, generation = database._cached_statement(sql)
         statement = cached.statement
         if isinstance(statement, ast.TransactionStatement):
             database._count_statement()
             self._apply_transaction_statement(statement)
             return ResultSet(columns=[], rows=[])
-        if isinstance(statement, ast.SelectStatement):
-            return self._execute_select(sql, params)
+        if isinstance(statement, (ast.SelectStatement, ast.ExplainStatement)):
+            return self._execute_select(sql, params, cached, generation)
         return self._execute_write(cached, params)
 
     def execute_many(self, sql: str, param_rows: Iterable[Sequence[object]]) -> int:
@@ -200,7 +221,7 @@ class Session:
         one was already open).
         """
         database = self._database
-        cached = database._cached_statement(sql)
+        cached, _ = database._cached_statement(sql)
         statement = cached.statement
         total = 0
         self._acquire_write()
@@ -227,15 +248,24 @@ class Session:
 
     # -- internals -----------------------------------------------------------
 
-    def _execute_select(self, sql: str, params: Sequence[object]) -> ResultSet:
+    def _execute_select(
+        self,
+        sql: str,
+        params: Sequence[object],
+        cached: _CachedStatement,
+        generation: int,
+    ) -> ResultSet:
         database = self._database
         database._rwlock.acquire_read()
         try:
-            # Re-fetch the cache entry under the lock: concurrent DDL may
-            # have invalidated the entry fetched during dispatch, and a
-            # stale plan would read a dropped table's detached storage.
-            # DDL holds the write lock, so from here the entry is stable.
-            cached = database._cached_statement(sql)
+            # Concurrent DDL may have invalidated the entry fetched during
+            # dispatch, and a stale plan would read a dropped table's
+            # detached storage.  Invalidations bump the cache generation, so
+            # an unchanged generation proves the entry is still current; on
+            # a mismatch re-fetch under the lock (DDL holds the write lock,
+            # so from here the entry is stable).
+            if database._cache_generation != generation:
+                cached, _ = database._cached_statement(sql)
             plan = database._ensure_plan(cached)
             result = database._executor.execute(
                 cached.statement, params, plan=plan
@@ -266,6 +296,11 @@ class Session:
                 cached.statement, params, undo=transaction.undo
             )
             database._count_statement()
+            if isinstance(cached.statement, _DDL_STATEMENTS):
+                # The catalog just changed: drop (again, after the change —
+                # parsing already dropped once) every cached statement that
+                # may have been planned between parse and execution.
+                database._invalidate_cache()
         except BaseException:
             # Statement-level atomicity: undo this statement's changes but
             # keep an already-open transaction alive.
@@ -329,18 +364,39 @@ class Database:
     session for convenience.
     """
 
-    def __init__(self, planner_options: PlannerOptions | None = None) -> None:
+    def __init__(
+        self,
+        planner_options: PlannerOptions | None = None,
+        statement_cache_size: int = 256,
+    ) -> None:
         self._catalog = Catalog()
         self._tables: dict[str, TableData] = {}
         self._planner_options = planner_options or PlannerOptions()
         self._executor = Executor(self._catalog, self._tables, self._planner_options)
-        self._statement_cache: dict[str, _CachedStatement] = {}
+        # LRU statement cache: parsed statement + plan, keyed by
+        # (SQL text, planner-options identity).  Invalidated wholesale on
+        # DDL and per-entry when table statistics drift (see _ensure_plan).
+        self._statement_cache: OrderedDict[
+            tuple[str, tuple], _CachedStatement
+        ] = OrderedDict()
+        self._statement_cache_size = max(0, statement_cache_size)
+        # Bumped on every cache invalidation (DDL, option changes) so
+        # readers can prove a dispatched entry is still current without
+        # re-fetching it (see Session._execute_select).
+        self._cache_generation = 0
+        self._options_key: tuple = self._planner_options.cache_key()
         self._rwlock = ReadWriteLock()
         self._cache_lock = threading.Lock()
         self._counter_lock = threading.Lock()
         #: Number of statements executed; used by tests and benchmarks to
         #: verify how many round-trips a code path performs.
         self.statements_executed = 0
+        #: Statement-cache hit/miss counters and the number of times a
+        #: SELECT was (re)planned; benchmarks and tests read these to
+        #: observe plan reuse and invalidation.
+        self.statement_cache_hits = 0
+        self.statement_cache_misses = 0
+        self.plans_computed = 0
         # One default session per thread: Session objects are not
         # thread-safe, so the Database.execute facade must not share one
         # session's transaction/lock state across threads.
@@ -364,10 +420,30 @@ class Database:
         self._rwlock.acquire_write()
         try:
             self._planner_options = options
+            self._options_key = options.cache_key()
             self._executor = Executor(self._catalog, self._tables, options)
             self._invalidate_cache()
         finally:
             self._rwlock.release_write()
+
+    def set_statement_cache_size(self, size: int) -> None:
+        """Resize (or, with 0, disable) the statement/plan cache."""
+        size = max(0, size)
+        with self._cache_lock:
+            self._statement_cache_size = size
+            while len(self._statement_cache) > size:
+                self._statement_cache.popitem(last=False)
+
+    def statement_cache_info(self) -> dict[str, int]:
+        """Cache observability: hits, misses, plans computed, entries."""
+        with self._cache_lock:
+            return {
+                "hits": self.statement_cache_hits,
+                "misses": self.statement_cache_misses,
+                "plans_computed": self.plans_computed,
+                "entries": len(self._statement_cache),
+                "size": self._statement_cache_size,
+            }
 
     # -- sessions ------------------------------------------------------------
 
@@ -400,11 +476,28 @@ class Database:
         """Return the textual plan for a SELECT statement."""
         self._rwlock.acquire_read()
         try:
-            cached = self._cached_statement(sql)
+            cached, _ = self._cached_statement(sql)
             plan = self._ensure_plan(cached)
             if plan is None:
                 return type(cached.statement).__name__
             return plan.explain()
+        finally:
+            self._rwlock.release_read()
+
+    def plan(self, sql: str) -> SelectPlan:
+        """Parse and plan a SELECT **bypassing the statement cache**.
+
+        Always replans, so benchmarks can time the parse+plan half of a
+        round trip in isolation (the half the plan cache amortises away).
+        """
+        statement = parse_statement(sql)
+        if isinstance(statement, ast.ExplainStatement):
+            statement = statement.statement
+        if not isinstance(statement, ast.SelectStatement):
+            raise SqlExecutionError("only SELECT statements can be planned")
+        self._rwlock.acquire_read()
+        try:
+            return self._executor.plan_select(statement)
         finally:
             self._rwlock.release_read()
 
@@ -479,37 +572,70 @@ class Database:
     def _invalidate_cache(self) -> None:
         with self._cache_lock:
             self._statement_cache.clear()
+            self._cache_generation += 1
 
-    def _cached_statement(self, sql: str) -> _CachedStatement:
-        """Parse ``sql`` with caching.  Plans are attached lazily by
-        :meth:`_ensure_plan` under the appropriate lock."""
+    def _cached_statement(self, sql: str) -> tuple[_CachedStatement, int]:
+        """Parse ``sql`` with LRU caching keyed by (SQL text, planner
+        options); returns the entry plus the cache generation it belongs
+        to.  Plans are attached lazily by :meth:`_ensure_plan` under the
+        appropriate lock."""
         with self._cache_lock:
-            cached = self._statement_cache.get(sql)
+            key = (sql, self._options_key)
+            cached = self._statement_cache.get(key)
             if cached is not None:
-                return cached
+                self._statement_cache.move_to_end(key)
+                self.statement_cache_hits += 1
+                return cached, self._cache_generation
+            self.statement_cache_misses += 1
             statement = parse_statement(sql)
             cached = _CachedStatement(statement=statement, plan=None)
-            if isinstance(
-                statement,
-                (ast.SelectStatement, ast.InsertStatement, ast.UpdateStatement,
-                 ast.DeleteStatement, ast.TransactionStatement),
-            ):
-                # Only cache statements that do not change the catalog.
-                self._statement_cache[sql] = cached
-            else:
+            if isinstance(statement, _DDL_STATEMENTS):
+                # DDL changes the catalog: every cached statement and plan
+                # may be stale, so the whole cache is dropped.
                 self._statement_cache.clear()
-            return cached
+                self._cache_generation += 1
+            elif self._statement_cache_size > 0:
+                self._statement_cache[key] = cached
+                while len(self._statement_cache) > self._statement_cache_size:
+                    self._statement_cache.popitem(last=False)
+            return cached, self._cache_generation
 
     def _ensure_plan(self, cached: _CachedStatement) -> Optional[SelectPlan]:
-        """Plan a cached SELECT on first execution.
+        """Plan a cached SELECT on first execution (and replan on
+        statistics drift).
 
         Called while holding the read (or write) lock so planning sees a
         stable catalog.  Two racing readers may both plan; the plans are
         equivalent and the attribute write is atomic, so the race is benign.
         """
-        if cached.plan is None and isinstance(cached.statement, ast.SelectStatement):
-            cached.plan = self._executor.plan_select(cached.statement)
-        return cached.plan
+        statement = cached.statement
+        if isinstance(statement, ast.ExplainStatement):
+            statement = statement.statement
+        if not isinstance(statement, ast.SelectStatement):
+            return None
+        plan = cached.plan
+        if plan is not None and self._plan_is_stale(plan):
+            plan = None
+        if plan is None:
+            plan = self._executor.plan_select(statement)
+            cached.plan = plan
+            with self._counter_lock:
+                self.plans_computed += 1
+        return plan
+
+    def _plan_is_stale(self, plan: SelectPlan) -> bool:
+        """True when a referenced table's row count has drifted roughly 2x
+        from the value the plan was costed with (small tables are damped so
+        a handful of inserts does not thrash the cache)."""
+        for table, planned in plan.stats_snapshot.items():
+            data = self._tables.get(table)
+            if data is None:
+                return True
+            current = len(data)
+            low, high = (planned, current) if planned <= current else (current, planned)
+            if high + 8 > 2 * (low + 8):
+                return True
+        return False
 
 
 def _split_script(script: str) -> list[str]:

@@ -12,8 +12,8 @@ from typing import Optional, Sequence
 
 from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.catalog import Catalog, ColumnSchema, SqlType, TableSchema
-from repro.sqlengine.errors import SqlExecutionError
-from repro.sqlengine.expressions import ExpressionCompiler, column_key, is_truthy
+from repro.sqlengine.errors import SqlCatalogError, SqlExecutionError
+from repro.sqlengine.expressions import ExpressionCompiler, is_truthy
 from repro.sqlengine.operators import materialise
 from repro.sqlengine.planner import Planner, PlannerOptions, SelectPlan
 from repro.sqlengine.storage import TableData
@@ -66,11 +66,21 @@ class Executor:
         """
         if isinstance(statement, ast.SelectStatement):
             select_plan = plan if plan is not None else self.plan_select(statement)
-            rows = materialise(select_plan.root, params, select_plan.column_names)
+            rows = materialise(select_plan.root, params)
             return StatementResult(
                 columns=list(select_plan.column_names),
                 rows=rows,
                 rowcount=len(rows),
+            )
+        if isinstance(statement, ast.ExplainStatement):
+            select_plan = (
+                plan if plan is not None else self.plan_select(statement.statement)
+            )
+            lines = select_plan.explain().splitlines()
+            return StatementResult(
+                columns=["query plan"],
+                rows=[(line,) for line in lines],
+                rowcount=len(lines),
             )
         if isinstance(statement, ast.InsertStatement):
             return self._execute_insert(statement, params, undo)
@@ -123,14 +133,20 @@ class Executor:
             count += 1
         return StatementResult(rowcount=count)
 
-    def _single_table_env(
-        self, schema: TableSchema, binding: str, row: tuple[object, ...]
-    ) -> dict[str, object]:
-        env: dict[str, object] = {}
-        for column, value in zip(schema.columns, row):
-            env[column_key(binding, column.name)] = value
-            env[column.name.lower()] = value
-        return env
+    def _single_table_compiler(
+        self, schema: TableSchema, binding: str
+    ) -> ExpressionCompiler:
+        """A slot-mode compiler over one table's stored rows: column
+        references compile to positions in the stored tuple, so predicates
+        and assignments evaluate directly against storage without building a
+        per-row environment."""
+
+        def resolve(ref: ast.ColumnRef) -> int:
+            if ref.table is not None and ref.table.lower() != binding:
+                raise SqlCatalogError(f"unknown table alias {ref.table!r}")
+            return schema.column_index(ref.column)
+
+        return ExpressionCompiler(resolve)
 
     def _execute_update(
         self,
@@ -140,7 +156,7 @@ class Executor:
     ) -> StatementResult:
         schema = self._catalog.table(statement.table)
         data = self._tables[schema.name.lower()]
-        compiler = ExpressionCompiler()
+        compiler = self._single_table_compiler(schema, statement.table.lower())
         predicate = (
             compiler.compile(statement.where) if statement.where is not None else None
         )
@@ -148,20 +164,17 @@ class Executor:
             (schema.column_index(column), compiler.compile(expression))
             for column, expression in statement.assignments
         ]
-        binding = statement.table.lower()
         updated = 0
         # Materialise matching row ids first so index updates cannot affect
         # the scan in progress.
         matches: list[tuple[int, tuple[object, ...]]] = []
         for row_id, row in data.scan():
-            env = self._single_table_env(schema, binding, row)
-            if predicate is None or is_truthy(predicate(env, params)):
+            if predicate is None or is_truthy(predicate(row, params)):
                 matches.append((row_id, row))
         for row_id, row in matches:
-            env = self._single_table_env(schema, binding, row)
             new_row = list(row)
             for position, evaluate in assignments:
-                new_row[position] = evaluate(env, params)
+                new_row[position] = evaluate(row, params)
             coerced = schema.coerce_row(new_row)
             if undo is not None:
                 # Recorded before the update so a failure partway through
@@ -179,15 +192,13 @@ class Executor:
     ) -> StatementResult:
         schema = self._catalog.table(statement.table)
         data = self._tables[schema.name.lower()]
-        compiler = ExpressionCompiler()
+        compiler = self._single_table_compiler(schema, statement.table.lower())
         predicate = (
             compiler.compile(statement.where) if statement.where is not None else None
         )
-        binding = statement.table.lower()
         to_delete: list[tuple[int, tuple[object, ...]]] = []
         for row_id, row in data.scan():
-            env = self._single_table_env(schema, binding, row)
-            if predicate is None or is_truthy(predicate(env, params)):
+            if predicate is None or is_truthy(predicate(row, params)):
                 to_delete.append((row_id, row))
         for row_id, row in to_delete:
             if undo is not None:

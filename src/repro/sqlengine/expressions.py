@@ -1,8 +1,16 @@
 """Expression compilation and evaluation for the SQL engine.
 
 Expressions are compiled once per statement into Python closures that take a
-*row environment* (mapping of qualified/unqualified column names to values)
-and the positional parameter list, and return the value of the expression.
+*row* and the positional parameter list, and return the value of the
+expression.  Two row representations are supported, selected by what the
+resolver returns for a column reference:
+
+* **slot mode** (the planner and executor hot paths): the resolver maps a
+  :class:`~repro.sqlengine.ast_nodes.ColumnRef` to an integer slot index and
+  rows are positional tuples — a column read compiles to ``row[slot]``;
+* **environment mode** (the default, kept for ad-hoc evaluation): the
+  resolver returns a string key and rows are dictionaries mapping
+  qualified/unqualified column names to values.
 
 NULL handling follows a simplified SQL model: any comparison or arithmetic
 involving NULL yields NULL, and NULL in a filter position is treated as
@@ -13,14 +21,16 @@ from __future__ import annotations
 
 import operator
 import re
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Mapping, Sequence, Union
 
 from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.errors import SqlExecutionError
 
 RowEnv = Mapping[str, object]
+#: A positional row (slot mode) — what every plan operator passes around.
+Row = Sequence[object]
 Params = Sequence[object]
-Evaluator = Callable[[RowEnv, Params], object]
+Evaluator = Callable[[Union[RowEnv, Row], Params], object]
 
 _ARITHMETIC_OPS: dict[str, Callable[[object, object], object]] = {
     "+": operator.add,
@@ -66,13 +76,15 @@ def column_key(table: str | None, column: str) -> str:
 class ExpressionCompiler:
     """Compiles AST expressions into evaluator closures.
 
-    ``resolver`` maps a :class:`~repro.sqlengine.ast_nodes.ColumnRef` to the
-    environment key that will hold its value at runtime; the planner supplies
-    a resolver that also validates the reference against the catalog.
+    ``resolver`` maps a :class:`~repro.sqlengine.ast_nodes.ColumnRef` to
+    either an integer slot index (slot mode: rows are positional tuples and
+    the reference compiles to ``row[slot]``) or an environment key (rows are
+    dictionaries).  The planner supplies a slot resolver that also validates
+    the reference against the catalog.
     """
 
     def __init__(
-        self, resolver: Callable[[ast.ColumnRef], str] | None = None
+        self, resolver: Callable[[ast.ColumnRef], Union[str, int]] | None = None
     ) -> None:
         self._resolver = resolver or (
             lambda ref: column_key(ref.table, ref.column)
@@ -93,7 +105,13 @@ class ExpressionCompiler:
                 return params[index]
             return eval_parameter
         if isinstance(expression, ast.ColumnRef):
-            key = self._resolver(expression)
+            target = self._resolver(expression)
+            if isinstance(target, int):
+                slot = target
+                def eval_slot(row: Row, params: Params) -> object:
+                    return row[slot]
+                return eval_slot
+            key = target
             def eval_column(env: RowEnv, params: Params) -> object:
                 try:
                     return env[key]

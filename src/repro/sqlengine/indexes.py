@@ -40,6 +40,17 @@ class Index:
     def clear(self) -> None:
         raise NotImplementedError
 
+    def distinct_keys(self) -> int:
+        """Number of distinct keys currently in the index.
+
+        Maintained incrementally, so it is exact and O(1) to read; the
+        planner's cost model uses it as the NDV (number of distinct values)
+        statistic for the indexed column(s).  Because transaction rollback
+        replays inverse operations through :meth:`insert`/:meth:`delete`,
+        the estimate stays correct across ROLLBACK as well.
+        """
+        raise NotImplementedError
+
     def __len__(self) -> int:
         raise NotImplementedError
 
@@ -80,6 +91,9 @@ class HashIndex(Index):
         self._entries.clear()
         self._size = 0
 
+    def distinct_keys(self) -> int:
+        return len(self._entries)
+
     def __len__(self) -> int:
         return self._size
 
@@ -95,15 +109,17 @@ class OrderedIndex(Index):
         super().__init__(name, columns, unique)
         self._keys: list[Hashable] = []
         self._row_ids: list[int] = []
+        self._distinct = 0
 
     def insert(self, key: Hashable, row_id: int) -> None:
+        left = bisect.bisect_left(self._keys, key)  # type: ignore[arg-type]
         position = bisect.bisect_right(self._keys, key)  # type: ignore[arg-type]
-        if self.unique:
-            left = bisect.bisect_left(self._keys, key)  # type: ignore[arg-type]
-            if left != position:
-                raise SqlExecutionError(
-                    f"unique index {self.name!r} violated for key {key!r}"
-                )
+        if self.unique and left != position:
+            raise SqlExecutionError(
+                f"unique index {self.name!r} violated for key {key!r}"
+            )
+        if left == position:
+            self._distinct += 1
         self._keys.insert(position, key)
         self._row_ids.insert(position, row_id)
 
@@ -114,6 +130,8 @@ class OrderedIndex(Index):
             if self._row_ids[position] == row_id:
                 del self._keys[position]
                 del self._row_ids[position]
+                if right - left == 1:
+                    self._distinct -= 1
                 return
 
     def lookup(self, key: Hashable) -> list[int]:
@@ -152,6 +170,10 @@ class OrderedIndex(Index):
     def clear(self) -> None:
         self._keys.clear()
         self._row_ids.clear()
+        self._distinct = 0
+
+    def distinct_keys(self) -> int:
+        return self._distinct
 
     def __len__(self) -> int:
         return len(self._row_ids)

@@ -1,25 +1,38 @@
 """Iterator-model plan operators for the in-memory SQL engine.
 
-Every operator yields *row environments*: dictionaries mapping column keys
-(``alias.column`` plus unambiguous bare column names, all lower case) to
-values.  The planner decides which keys each scan publishes.
+Every operator yields *positional rows*: sequences whose slots are assigned
+by the planner (one slot per published column, contiguous per FROM-clause
+binding).  Scans write a base table's stored tuple into its binding's slot
+range; joins copy the build side's slot range into the probe row; compiled
+expressions read ``row[slot]`` directly.  Compared to the previous
+dict-environment model this removes all per-row dictionary construction and
+double-key publishing from the hot loops.
+
+Single-binding scans are zero-copy: when the output width equals the table
+width, the stored row tuples are yielded as-is.
+
+Operators also carry the planner's cost-model annotations
+(:attr:`PlanOperator.estimated_rows` / :attr:`~PlanOperator.estimated_cost`),
+which ``EXPLAIN`` renders per node.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Sequence
+from typing import Iterator, Optional, Sequence
 
-from repro.sqlengine.expressions import Evaluator, Params, RowEnv, is_truthy
+from repro.sqlengine.expressions import Evaluator, Params, Row, is_truthy
 from repro.sqlengine.storage import TableData
-
-Env = dict[str, object]
 
 
 class PlanOperator:
     """Base class for plan operators (iterator model)."""
 
-    def execute(self, params: Params) -> Iterator[Env]:
-        """Yield row environments for the given statement parameters."""
+    #: Cost-model annotations, set by the planner (None when not estimated).
+    estimated_rows: Optional[float] = None
+    estimated_cost: Optional[float] = None
+
+    def execute(self, params: Params) -> Iterator[Row]:
+        """Yield positional rows for the given statement parameters."""
         raise NotImplementedError
 
     def children(self) -> Sequence["PlanOperator"]:
@@ -31,34 +44,46 @@ class PlanOperator:
         return type(self).__name__
 
     def explain(self, indent: int = 0) -> str:
-        """Multi-line textual plan (operator tree)."""
-        lines = ["  " * indent + self.describe()]
+        """Multi-line textual plan (operator tree with cost annotations)."""
+        line = "  " * indent + self.describe()
+        if self.estimated_rows is not None:
+            line += f"  (rows={self.estimated_rows:.1f}"
+            if self.estimated_cost is not None:
+                line += f", cost={self.estimated_cost:.1f}"
+            line += ")"
+        lines = [line]
         for child in self.children():
             lines.append(child.explain(indent + 1))
         return "\n".join(lines)
 
 
 class SeqScan(PlanOperator):
-    """Full scan over a table, publishing the given key set per column."""
+    """Full scan over a table, writing rows into the binding's slot range."""
 
     def __init__(
         self,
         table: TableData,
         binding: str,
-        column_keys: Sequence[Sequence[str]],
+        width: int,
+        offset: int,
     ) -> None:
         self._table = table
         self._binding = binding
-        self._column_keys = [list(keys) for keys in column_keys]
+        self._width = width
+        self._offset = offset
+        self._columns = len(table.schema.columns)
 
-    def execute(self, params: Params) -> Iterator[Env]:
-        column_keys = self._column_keys
+    def execute(self, params: Params) -> Iterator[Row]:
+        if self._offset == 0 and self._width == self._columns:
+            # Single-binding query: the stored tuples already have the
+            # output layout, so yield them without copying.
+            yield from self._table.rows()
+            return
+        width, start, end = self._width, self._offset, self._offset + self._columns
         for row in self._table.rows():
-            env: Env = {}
-            for value, keys in zip(row, column_keys):
-                for key in keys:
-                    env[key] = value
-            yield env
+            out = [None] * width
+            out[start:end] = row
+            yield out
 
     def describe(self) -> str:
         return f"SeqScan({self._table.schema.name} AS {self._binding})"
@@ -71,27 +96,33 @@ class IndexLookupScan(PlanOperator):
         self,
         table: TableData,
         binding: str,
-        column_keys: Sequence[Sequence[str]],
+        width: int,
+        offset: int,
         index_name: str,
         key_evaluators: Sequence[Evaluator],
     ) -> None:
         self._table = table
         self._binding = binding
-        self._column_keys = [list(keys) for keys in column_keys]
+        self._width = width
+        self._offset = offset
+        self._columns = len(table.schema.columns)
         self._index_name = index_name
         self._key_evaluators = list(key_evaluators)
 
-    def execute(self, params: Params) -> Iterator[Env]:
+    def execute(self, params: Params) -> Iterator[Row]:
         index = self._table.indexes()[self._index_name]
-        empty_env: RowEnv = {}
-        key_values = [evaluate(empty_env, params) for evaluate in self._key_evaluators]
+        empty_row: Row = ()
+        key_values = [evaluate(empty_row, params) for evaluate in self._key_evaluators]
         key = key_values[0] if len(key_values) == 1 else tuple(key_values)
+        if self._offset == 0 and self._width == self._columns:
+            for _, row in self._table.lookup_rows(index, key):
+                yield row
+            return
+        width, start, end = self._width, self._offset, self._offset + self._columns
         for _, row in self._table.lookup_rows(index, key):
-            env: Env = {}
-            for value, keys in zip(row, self._column_keys):
-                for column_key in keys:
-                    env[column_key] = value
-            yield env
+            out = [None] * width
+            out[start:end] = row
+            yield out
 
     def describe(self) -> str:
         return (
@@ -108,11 +139,11 @@ class Filter(PlanOperator):
         self._predicate = predicate
         self._label = label
 
-    def execute(self, params: Params) -> Iterator[Env]:
+    def execute(self, params: Params) -> Iterator[Row]:
         predicate = self._predicate
-        for env in self._child.execute(params):
-            if is_truthy(predicate(env, params)):
-                yield env
+        for row in self._child.execute(params):
+            if is_truthy(predicate(row, params)):
+                yield row
 
     def children(self) -> Sequence[PlanOperator]:
         return (self._child,)
@@ -122,27 +153,34 @@ class Filter(PlanOperator):
 
 
 class NestedLoopJoin(PlanOperator):
-    """Cartesian product of two children with an optional join predicate."""
+    """Cartesian product of two children with an optional join predicate.
+
+    The right child covers the slot range ``right_range``; joining copies
+    that range of the right row into a copy of the left row.
+    """
 
     def __init__(
         self,
         left: PlanOperator,
         right: PlanOperator,
+        right_range: tuple[int, int],
         predicate: Evaluator | None = None,
     ) -> None:
         self._left = left
         self._right = right
+        self._right_range = right_range
         self._predicate = predicate
 
-    def execute(self, params: Params) -> Iterator[Env]:
-        right_rows = list(self._right.execute(params))
+    def execute(self, params: Params) -> Iterator[Row]:
+        start, end = self._right_range
+        right_rows = [row[start:end] for row in self._right.execute(params)]
         predicate = self._predicate
-        for left_env in self._left.execute(params):
-            for right_env in right_rows:
-                env = dict(left_env)
-                env.update(right_env)
-                if predicate is None or is_truthy(predicate(env, params)):
-                    yield env
+        for left_row in self._left.execute(params):
+            for right_slice in right_rows:
+                row = list(left_row)
+                row[start:end] = right_slice
+                if predicate is None or is_truthy(predicate(row, params)):
+                    yield row
 
     def children(self) -> Sequence[PlanOperator]:
         return (self._left, self._right)
@@ -160,27 +198,31 @@ class HashJoin(PlanOperator):
         right: PlanOperator,
         left_keys: Sequence[Evaluator],
         right_keys: Sequence[Evaluator],
+        right_range: tuple[int, int],
     ) -> None:
         self._left = left
         self._right = right
         self._left_keys = list(left_keys)
         self._right_keys = list(right_keys)
+        self._right_range = right_range
 
-    def execute(self, params: Params) -> Iterator[Env]:
-        table: dict[object, list[Env]] = {}
-        for right_env in self._right.execute(params):
-            key = tuple(evaluate(right_env, params) for evaluate in self._right_keys)
+    def execute(self, params: Params) -> Iterator[Row]:
+        start, end = self._right_range
+        table: dict[object, list[Row]] = {}
+        for right_row in self._right.execute(params):
+            key = tuple(evaluate(right_row, params) for evaluate in self._right_keys)
             if any(value is None for value in key):
                 continue
-            table.setdefault(key, []).append(right_env)
-        for left_env in self._left.execute(params):
-            key = tuple(evaluate(left_env, params) for evaluate in self._left_keys)
+            table.setdefault(key, []).append(right_row[start:end])
+        left_keys = self._left_keys
+        for left_row in self._left.execute(params):
+            key = tuple(evaluate(left_row, params) for evaluate in left_keys)
             if any(value is None for value in key):
                 continue
-            for right_env in table.get(key, ()):
-                env = dict(left_env)
-                env.update(right_env)
-                yield env
+            for right_slice in table.get(key, ()):
+                row = list(left_row)
+                row[start:end] = right_slice
+                yield row
 
     def children(self) -> Sequence[PlanOperator]:
         return (self._left, self._right)
@@ -190,24 +232,35 @@ class HashJoin(PlanOperator):
 
 
 class Project(PlanOperator):
-    """Compute the output columns of the select list."""
+    """Compute the output columns of the select list.
+
+    When every output is a plain column reference the projection is a pure
+    slot gather (no evaluator calls per column).
+    """
 
     def __init__(
         self,
         child: PlanOperator,
         columns: Sequence[tuple[str, Evaluator]],
+        slots: Sequence[int] | None = None,
     ) -> None:
         self._child = child
         self._columns = list(columns)
+        self._slots = list(slots) if slots is not None else None
 
     @property
     def column_names(self) -> list[str]:
         return [name for name, _ in self._columns]
 
-    def execute(self, params: Params) -> Iterator[Env]:
-        columns = self._columns
-        for env in self._child.execute(params):
-            yield {name: evaluate(env, params) for name, evaluate in columns}
+    def execute(self, params: Params) -> Iterator[Row]:
+        if self._slots is not None:
+            slots = self._slots
+            for row in self._child.execute(params):
+                yield tuple(row[slot] for slot in slots)
+            return
+        evaluators = [evaluate for _, evaluate in self._columns]
+        for row in self._child.execute(params):
+            yield tuple(evaluate(row, params) for evaluate in evaluators)
 
     def children(self) -> Sequence[PlanOperator]:
         return (self._child,)
@@ -232,11 +285,11 @@ class Sort(PlanOperator):
         self._child = child
         self._keys = list(keys)
 
-    def execute(self, params: Params) -> Iterator[Env]:
+    def execute(self, params: Params) -> Iterator[Row]:
         rows = list(self._child.execute(params))
         for evaluate, descending in reversed(self._keys):
             rows.sort(
-                key=lambda env: _sort_key(evaluate(env, params)),
+                key=lambda row: _sort_key(evaluate(row, params)),
                 reverse=descending,
             )
         return iter(rows)
@@ -261,20 +314,20 @@ class Limit(PlanOperator):
         self._limit = limit
         self._offset = offset
 
-    def execute(self, params: Params) -> Iterator[Env]:
-        empty_env: RowEnv = {}
-        offset = int(self._offset(empty_env, params)) if self._offset else 0  # type: ignore[arg-type]
-        limit = int(self._limit(empty_env, params)) if self._limit else None  # type: ignore[arg-type]
+    def execute(self, params: Params) -> Iterator[Row]:
+        empty_row: Row = ()
+        offset = int(self._offset(empty_row, params)) if self._offset else 0  # type: ignore[arg-type]
+        limit = int(self._limit(empty_row, params)) if self._limit else None  # type: ignore[arg-type]
         produced = 0
         skipped = 0
-        for env in self._child.execute(params):
+        for row in self._child.execute(params):
             if skipped < offset:
                 skipped += 1
                 continue
             if limit is not None and produced >= limit:
                 return
             produced += 1
-            yield env
+            yield row
 
     def children(self) -> Sequence[PlanOperator]:
         return (self._child,)
@@ -284,20 +337,23 @@ class Limit(PlanOperator):
 
 
 class Distinct(PlanOperator):
-    """Remove duplicate output rows (by value of every column)."""
+    """Remove duplicate output rows (by value of every column).
 
-    def __init__(self, child: PlanOperator, column_names: Sequence[str]) -> None:
+    Runs above :class:`Project`, whose rows are already tuples in output
+    order, so the row itself is the deduplication key.
+    """
+
+    def __init__(self, child: PlanOperator) -> None:
         self._child = child
-        self._column_names = list(column_names)
 
-    def execute(self, params: Params) -> Iterator[Env]:
+    def execute(self, params: Params) -> Iterator[Row]:
         seen: set[tuple[object, ...]] = set()
-        for env in self._child.execute(params):
-            key = tuple(env.get(name) for name in self._column_names)
+        for row in self._child.execute(params):
+            key = tuple(row)
             if key in seen:
                 continue
             seen.add(key)
-            yield env
+            yield row
 
     def children(self) -> Sequence[PlanOperator]:
         return (self._child,)
@@ -307,45 +363,72 @@ class Distinct(PlanOperator):
 
 
 class Aggregate(PlanOperator):
-    """Minimal aggregate support: ``COUNT(*)`` / ``COUNT(expr)`` without
-    GROUP BY, which is all the engine needs (the paper's queries avoid
-    aggregation, but utilities such as row counting use it)."""
+    """Ungrouped aggregation: COUNT / SUM / MIN / MAX / AVG without GROUP BY.
+
+    Each output column is ``(name, function, evaluator)``; a ``None``
+    evaluator means ``COUNT(*)``.  NULL inputs are skipped (SQL semantics);
+    SUM/MIN/MAX/AVG over zero non-NULL inputs yield NULL, COUNT yields 0.
+    """
 
     def __init__(
         self,
         child: PlanOperator,
-        columns: Sequence[tuple[str, Evaluator | None]],
+        columns: Sequence[tuple[str, str, Evaluator | None]],
     ) -> None:
         self._child = child
         self._columns = list(columns)
 
     @property
     def column_names(self) -> list[str]:
-        return [name for name, _ in self._columns]
+        return [name for name, _, _ in self._columns]
 
-    def execute(self, params: Params) -> Iterator[Env]:
+    def execute(self, params: Params) -> Iterator[Row]:
         counts = [0] * len(self._columns)
-        for env in self._child.execute(params):
-            for position, (_, evaluate) in enumerate(self._columns):
+        sums: list[object] = [None] * len(self._columns)
+        minima: list[object] = [None] * len(self._columns)
+        maxima: list[object] = [None] * len(self._columns)
+        specs = self._columns
+        for row in self._child.execute(params):
+            for position, (_, function, evaluate) in enumerate(specs):
                 if evaluate is None:
                     counts[position] += 1
-                else:
-                    value = evaluate(env, params)
-                    if value is not None:
-                        counts[position] += 1
-        yield {
-            name: counts[position]
-            for position, (name, _) in enumerate(self._columns)
-        }
+                    continue
+                value = evaluate(row, params)
+                if value is None:
+                    continue
+                counts[position] += 1
+                if function in ("SUM", "AVG"):
+                    current = sums[position]
+                    sums[position] = value if current is None else current + value  # type: ignore[operator]
+                elif function == "MIN":
+                    current = minima[position]
+                    if current is None or value < current:  # type: ignore[operator]
+                        minima[position] = value
+                elif function == "MAX":
+                    current = maxima[position]
+                    if current is None or value > current:  # type: ignore[operator]
+                        maxima[position] = value
+        out: list[object] = []
+        for position, (_, function, _) in enumerate(specs):
+            if function == "COUNT":
+                out.append(counts[position])
+            elif function == "SUM":
+                out.append(sums[position])
+            elif function == "AVG":
+                total = sums[position]
+                out.append(None if total is None else total / counts[position])  # type: ignore[operator]
+            elif function == "MIN":
+                out.append(minima[position])
+            else:  # MAX
+                out.append(maxima[position])
+        yield tuple(out)
 
     def children(self) -> Sequence[PlanOperator]:
         return (self._child,)
 
     def describe(self) -> str:
-        return "Aggregate(COUNT)"
-
-
-_MISSING = object()
+        functions = ", ".join(function for _, function, _ in self._columns)
+        return f"Aggregate({functions})"
 
 
 def _sort_key(value: object) -> tuple[int, object]:
@@ -359,14 +442,14 @@ def _sort_key(value: object) -> tuple[int, object]:
     return (2, str(value))
 
 
-def materialise(
-    operator: PlanOperator, params: Params, column_names: Sequence[str]
-) -> list[tuple[object, ...]]:
-    """Run a plan and return rows as tuples in column order."""
-    rows: list[tuple[object, ...]] = []
-    for env in operator.execute(params):
-        rows.append(tuple(env.get(name) for name in column_names))
-    return rows
+def materialise(operator: PlanOperator, params: Params) -> list[tuple[object, ...]]:
+    """Run a plan and return its rows as tuples.
+
+    The plan root (Project / Aggregate, possibly under Distinct/Limit)
+    already yields tuples in output-column order, so this is a plain drain;
+    ``tuple(row)`` is the identity for rows that are already tuples.
+    """
+    return [tuple(row) for row in operator.execute(params)]
 
 
 class IndexNestedLoopJoin(PlanOperator):
@@ -383,7 +466,7 @@ class IndexNestedLoopJoin(PlanOperator):
         left: PlanOperator,
         table: TableData,
         binding: str,
-        column_keys: Sequence[Sequence[str]],
+        offset: int,
         index_name: str,
         left_key_evaluators: Sequence[Evaluator],
         residual: Evaluator | None = None,
@@ -391,29 +474,34 @@ class IndexNestedLoopJoin(PlanOperator):
         self._left = left
         self._table = table
         self._binding = binding
-        self._column_keys = [list(keys) for keys in column_keys]
+        self._offset = offset
+        self._columns = len(table.schema.columns)
         self._index_name = index_name
         self._left_key_evaluators = list(left_key_evaluators)
         self._residual = residual
 
-    def execute(self, params: Params) -> Iterator[Env]:
+    def execute(self, params: Params) -> Iterator[Row]:
         index = self._table.indexes()[self._index_name]
-        column_keys = self._column_keys
+        start, end = self._offset, self._offset + self._columns
         residual = self._residual
-        for left_env in self._left.execute(params):
-            key_values = [
-                evaluate(left_env, params) for evaluate in self._left_key_evaluators
-            ]
-            if any(value is None for value in key_values):
-                continue
-            key = key_values[0] if len(key_values) == 1 else tuple(key_values)
-            for _, row in self._table.lookup_rows(index, key):
-                env = dict(left_env)
-                for value, keys in zip(row, column_keys):
-                    for column_key in keys:
-                        env[column_key] = value
-                if residual is None or is_truthy(residual(env, params)):
-                    yield env
+        evaluators = self._left_key_evaluators
+        single_key = evaluators[0] if len(evaluators) == 1 else None
+        table = self._table
+        for left_row in self._left.execute(params):
+            if single_key is not None:
+                key = single_key(left_row, params)
+                if key is None:
+                    continue
+            else:
+                key_values = [evaluate(left_row, params) for evaluate in evaluators]
+                if any(value is None for value in key_values):
+                    continue
+                key = tuple(key_values)
+            for _, stored in table.lookup_rows(index, key):
+                row = list(left_row)
+                row[start:end] = stored
+                if residual is None or is_truthy(residual(row, params)):
+                    yield row
 
     def children(self) -> Sequence[PlanOperator]:
         return (self._left,)
@@ -445,37 +533,37 @@ class IndexOrLookupJoin(PlanOperator):
         left: PlanOperator,
         table: TableData,
         binding: str,
-        column_keys: Sequence[Sequence[str]],
+        offset: int,
         probes: Sequence[tuple[str, Evaluator]],
         residual: Evaluator | None = None,
     ) -> None:
         self._left = left
         self._table = table
         self._binding = binding
-        self._column_keys = [list(keys) for keys in column_keys]
+        self._offset = offset
+        self._columns = len(table.schema.columns)
         self._probes = list(probes)
         self._residual = residual
 
-    def execute(self, params: Params) -> Iterator[Env]:
-        column_keys = self._column_keys
+    def execute(self, params: Params) -> Iterator[Row]:
         indexes = self._table.indexes()
+        start, end = self._offset, self._offset + self._columns
         residual = self._residual
-        for left_env in self._left.execute(params):
+        table = self._table
+        for left_row in self._left.execute(params):
             seen_rows: set[int] = set()
             for index_name, key_evaluator in self._probes:
-                key = key_evaluator(left_env, params)
+                key = key_evaluator(left_row, params)
                 if key is None:
                     continue
-                for row_id, row in self._table.lookup_rows(indexes[index_name], key):
+                for row_id, stored in table.lookup_rows(indexes[index_name], key):
                     if row_id in seen_rows:
                         continue
                     seen_rows.add(row_id)
-                    env = dict(left_env)
-                    for value, keys in zip(row, column_keys):
-                        for column_key in keys:
-                            env[column_key] = value
-                    if residual is None or is_truthy(residual(env, params)):
-                        yield env
+                    row = list(left_row)
+                    row[start:end] = stored
+                    if residual is None or is_truthy(residual(row, params)):
+                        yield row
 
     def children(self) -> Sequence[PlanOperator]:
         return (self._left,)

@@ -65,6 +65,14 @@ class SqlParser:
 
     def _parse_statement(self) -> ast.Statement:
         token = self._peek()
+        if token.is_keyword("EXPLAIN"):
+            self._advance()
+            inner = self._parse_statement()
+            if not isinstance(inner, ast.SelectStatement):
+                raise SqlParseError(
+                    "EXPLAIN supports only SELECT statements", token.position
+                )
+            return ast.ExplainStatement(statement=inner)
         if token.is_keyword("SELECT"):
             return self._parse_select()
         if token.is_keyword("INSERT"):

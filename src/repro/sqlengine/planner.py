@@ -1,21 +1,33 @@
 """Query planner: turns a parsed SELECT statement into an operator tree.
 
-The planner performs the standard basic optimisations a relational engine
-needs for the paper's workload:
+The planner performs the optimisations a relational engine needs for the
+paper's workload:
 
+* **slot assignment**: every published column gets a positional slot (one
+  contiguous range per FROM-clause binding); expressions compile to slot
+  reads and operators pass positional rows — no per-row dictionaries,
 * predicate pushdown of single-table conjuncts onto their scans,
 * index selection for equality predicates on indexed columns,
-* equi-join detection with a choice of index nested-loop join (when the join
-  key hits an index on the build side) or hash join,
-* greedy join ordering starting from the most selective access path,
-* sort / limit / distinct handling.
+* equi-join detection with a choice of index nested-loop join or hash join,
+* **cost-based join ordering** driven by table statistics (live row counts
+  and incremental per-index distinct-key counts from
+  :meth:`repro.sqlengine.storage.TableData.statistics`): the planner
+  estimates access-path and join cardinalities, orders joins by estimated
+  cost and picks the physical join operator the estimates favour,
+* sort / limit / distinct handling and ungrouped aggregates
+  (COUNT/SUM/MIN/MAX/AVG).
 
+Every operator is annotated with its estimated row count and cumulative
+cost; ``EXPLAIN`` (and :meth:`SelectPlan.explain`) print them per node.
 Planner behaviour can be tuned via :class:`PlannerOptions`; the ablation
-benchmarks exercise those switches.
+benchmarks exercise those switches, and ``use_cost_model=False`` falls back
+to the statistics-free greedy join order of the earlier engine (the
+equivalence property tests compare the two).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -28,6 +40,7 @@ from repro.sqlengine.expressions import (
     collect_column_refs,
     split_conjuncts,
 )
+from repro.sqlengine.indexes import Index
 from repro.sqlengine.operators import (
     Aggregate,
     Distinct,
@@ -45,6 +58,16 @@ from repro.sqlengine.operators import (
 )
 from repro.sqlengine.storage import TableData
 
+#: Aggregate functions the ungrouped-aggregate path supports.
+AGGREGATE_FUNCTIONS = frozenset({"COUNT", "SUM", "MIN", "MAX", "AVG"})
+
+# Default selectivities for predicates the statistics cannot estimate.
+_EQUALITY_SELECTIVITY = 0.1
+_RANGE_SELECTIVITY = 1.0 / 3.0
+_LIKE_SELECTIVITY = 0.25
+_NOT_EQUAL_SELECTIVITY = 0.9
+_DEFAULT_SELECTIVITY = 0.5
+
 
 @dataclass
 class PlannerOptions:
@@ -53,17 +76,36 @@ class PlannerOptions:
     use_indexes: bool = True
     use_index_nested_loop_join: bool = True
     use_hash_join: bool = True
+    #: When False, join order falls back to the statistics-free greedy
+    #: heuristic (first binding with an indexed equality, then the first
+    #: connecting predicate) used before the cost model existed.
+    use_cost_model: bool = True
+
+    def cache_key(self) -> tuple[bool, bool, bool, bool]:
+        """Hashable identity of these options for the plan cache."""
+        return (
+            self.use_indexes,
+            self.use_index_nested_loop_join,
+            self.use_hash_join,
+            self.use_cost_model,
+        )
 
 
 @dataclass
 class SelectPlan:
-    """A planned SELECT: the operator tree plus its output column names."""
+    """A planned SELECT: the operator tree plus its output column names.
+
+    ``stats_snapshot`` records each referenced table's live row count at
+    planning time; the engine's plan cache compares it against current
+    counts and replans when the statistics have drifted too far.
+    """
 
     root: PlanOperator
     column_names: list[str]
+    stats_snapshot: dict[str, int] = field(default_factory=dict)
 
     def explain(self) -> str:
-        """Human-readable plan tree."""
+        """Human-readable plan tree with per-node estimated rows/cost."""
         return self.root.explain()
 
 
@@ -75,6 +117,38 @@ class _Binding:
     schema: TableSchema
     data: TableData
     conjuncts: list[ast.Expression] = field(default_factory=list)
+    #: First slot of this binding's columns in the query's row layout.
+    slot_start: int = 0
+    #: Memoised access-path estimate: bindings, conjuncts and statistics
+    #: are fixed for the duration of one plan_select pass, and the estimate
+    #: is consulted once per candidate per join round.
+    access_estimate: Optional["_AccessEstimate"] = None
+
+
+@dataclass
+class _AccessEstimate:
+    """Estimated behaviour of the best single-table access path."""
+
+    index: Optional[Index]
+    consumed: list[ast.Expression]
+    rows_scan: float
+    cost: float
+    rows_out: float
+    #: The equality conjuncts backing ``index`` (column → (conjunct, value
+    #: expression)); _plan_scan compiles the key expressions from these.
+    equalities: dict[str, tuple[ast.Expression, ast.Expression]] = field(
+        default_factory=dict
+    )
+
+
+@dataclass
+class _JoinCandidate:
+    """One joinable binding with the equi-join predicates connecting it."""
+
+    build: str
+    conjuncts: list[ast.Expression]
+    probe_refs: list[ast.ColumnRef]
+    build_refs: list[ast.ColumnRef]
 
 
 class Planner:
@@ -95,7 +169,8 @@ class Planner:
     def plan_select(self, statement: ast.SelectStatement) -> SelectPlan:
         """Build an executable plan for ``statement``."""
         bindings = self._resolve_bindings(statement)
-        compiler = ExpressionCompiler(self._make_resolver(bindings))
+        slot_map, width = self._assign_slots(bindings)
+        compiler = ExpressionCompiler(self._make_resolver(bindings, slot_map))
 
         join_conjuncts: list[ast.Expression] = []
         residual_conjuncts: list[ast.Expression] = []
@@ -112,11 +187,16 @@ class Planner:
                 residual_conjuncts.append(conjunct)
 
         root = self._plan_joins(
-            statement, bindings, join_conjuncts, residual_conjuncts, compiler
+            bindings, join_conjuncts, residual_conjuncts, compiler, width
         )
+        snapshot = {
+            binding.schema.name.lower(): len(binding.data)
+            for binding in bindings.values()
+        }
 
         aggregate_plan = self._maybe_plan_aggregate(statement, root, compiler)
         if aggregate_plan is not None:
+            aggregate_plan.stats_snapshot = snapshot
             return aggregate_plan
 
         if statement.order_by:
@@ -124,21 +204,31 @@ class Planner:
                 (compiler.compile(item.expression), item.descending)
                 for item in statement.order_by
             ]
-            root = Sort(root, keys)
+            root = self._annotated(
+                Sort(root, keys), root.estimated_rows, _sort_cost(root)
+            )
 
-        columns = self._output_columns(statement, bindings, compiler)
-        root = Project(root, columns)
+        columns, slots = self._output_columns(statement, bindings, compiler, slot_map)
+        root = self._annotated(
+            Project(root, columns, slots), root.estimated_rows, root.estimated_cost
+        )
         column_names = [name for name, _ in columns]
 
         if statement.distinct:
-            root = Distinct(root, column_names)
+            root = self._annotated(
+                Distinct(root), root.estimated_rows, root.estimated_cost
+            )
 
         if statement.limit is not None or statement.offset is not None:
             limit = compiler.compile(statement.limit) if statement.limit else None
             offset = compiler.compile(statement.offset) if statement.offset else None
-            root = Limit(root, limit, offset)
+            root = self._annotated(
+                Limit(root, limit, offset), root.estimated_rows, root.estimated_cost
+            )
 
-        return SelectPlan(root=root, column_names=column_names)
+        return SelectPlan(
+            root=root, column_names=column_names, stats_snapshot=snapshot
+        )
 
     # -- binding resolution ---------------------------------------------------
 
@@ -155,16 +245,47 @@ class Planner:
             bindings[name] = _Binding(name=name, schema=schema, data=data)
         return bindings
 
-    def _make_resolver(self, bindings: dict[str, _Binding]):
-        def resolve(ref: ast.ColumnRef) -> str:
-            return self._resolve_column(ref, bindings)[0]
+    def _assign_slots(
+        self, bindings: dict[str, _Binding]
+    ) -> tuple[dict[str, int], int]:
+        """Give every published column a positional slot.
+
+        Each binding's columns occupy a contiguous slot range (so scans and
+        joins can write whole stored rows with one slice assignment); bare
+        column names that are unambiguous across the FROM clause alias the
+        same slot as their qualified form.
+        """
+        counts: dict[str, int] = {}
+        for binding in bindings.values():
+            for column in binding.schema.column_names:
+                key = column.lower()
+                counts[key] = counts.get(key, 0) + 1
+        slot_map: dict[str, int] = {}
+        width = 0
+        for binding in bindings.values():
+            binding.slot_start = width
+            for position, column in enumerate(binding.schema.column_names):
+                lowered = column.lower()
+                slot = width + position
+                slot_map[f"{binding.name}.{lowered}"] = slot
+                if counts[lowered] == 1:
+                    slot_map[lowered] = slot
+            width += len(binding.schema.columns)
+        return slot_map, width
+
+    def _make_resolver(
+        self, bindings: dict[str, _Binding], slot_map: dict[str, int]
+    ):
+        def resolve(ref: ast.ColumnRef) -> int:
+            key, _ = self._resolve_column(ref, bindings)
+            return slot_map[key]
 
         return resolve
 
     def _resolve_column(
         self, ref: ast.ColumnRef, bindings: dict[str, _Binding]
     ) -> tuple[str, str]:
-        """Resolve a column reference to (environment key, binding name)."""
+        """Resolve a column reference to (canonical key, binding name)."""
         if ref.table is not None:
             name = ref.table.lower()
             if name not in bindings:
@@ -206,83 +327,178 @@ class Planner:
             and isinstance(expression.right, ast.ColumnRef)
         )
 
-    # -- scans ---------------------------------------------------------------
+    # -- statistics and cost estimation ---------------------------------------
 
-    def _column_keys(
-        self, binding: _Binding, bindings: dict[str, _Binding]
-    ) -> list[list[str]]:
-        """For each column of ``binding``, the environment keys it publishes."""
-        counts: dict[str, int] = {}
-        for other in bindings.values():
-            for column in other.schema.column_names:
-                key = column.lower()
-                counts[key] = counts.get(key, 0) + 1
-        keys: list[list[str]] = []
-        for column in binding.schema.column_names:
-            lowered = column.lower()
-            column_keys = [f"{binding.name}.{lowered}"]
-            if counts[lowered] == 1:
-                column_keys.append(lowered)
-            keys.append(column_keys)
-        return keys
-
-    def _plan_scan(
-        self,
-        binding: _Binding,
-        bindings: dict[str, _Binding],
-        compiler: ExpressionCompiler,
-    ) -> PlanOperator:
-        """Plan the access path for a single table, honouring its pushed-down
-        conjuncts (index lookup when possible, otherwise scan + filter)."""
-        column_keys = self._column_keys(binding, bindings)
-        remaining = list(binding.conjuncts)
-        scan: PlanOperator | None = None
-
-        if self._options.use_indexes:
-            scan, remaining = self._try_index_lookup(
-                binding, column_keys, remaining, compiler
-            )
-        if scan is None:
-            scan = SeqScan(binding.data, binding.name, column_keys)
-        for conjunct in remaining:
-            scan = Filter(scan, compiler.compile(conjunct), label=binding.name)
-        return scan
-
-    def _try_index_lookup(
-        self,
-        binding: _Binding,
-        column_keys: list[list[str]],
-        conjuncts: list[ast.Expression],
-        compiler: ExpressionCompiler,
-    ) -> tuple[Optional[PlanOperator], list[ast.Expression]]:
-        """Try to satisfy some equality conjuncts with an index lookup."""
+    def _collect_equalities(
+        self, binding: _Binding
+    ) -> dict[str, tuple[ast.Expression, ast.Expression]]:
+        """Equality conjuncts of the form ``binding.column = <const/param>``,
+        keyed by lower-cased column name."""
         equalities: dict[str, tuple[ast.Expression, ast.Expression]] = {}
-        for conjunct in conjuncts:
+        for conjunct in binding.conjuncts:
             column_and_value = self._extract_column_equality(conjunct, binding)
             if column_and_value is not None:
                 column, value_expr = column_and_value
                 equalities.setdefault(column.lower(), (conjunct, value_expr))
-        if not equalities:
-            return None, conjuncts
+        return equalities
 
-        for index_name, index in binding.data.indexes().items():
-            index_columns = [column.lower() for column in index.columns]
-            if all(column in equalities for column in index_columns):
-                consumed = {equalities[column][0] for column in index_columns}
-                key_evaluators = [
-                    compiler.compile(equalities[column][1])
-                    for column in index_columns
-                ]
-                scan = IndexLookupScan(
-                    binding.data,
-                    binding.name,
-                    column_keys,
-                    index_name,
-                    key_evaluators,
-                )
-                remaining = [c for c in conjuncts if c not in consumed]
-                return scan, remaining
-        return None, conjuncts
+    @staticmethod
+    def _matching_index(
+        binding: _Binding,
+        equalities: dict[str, tuple[ast.Expression, ast.Expression]],
+    ) -> Optional[Index]:
+        """The first index whose columns are fully covered by equalities."""
+        for index in binding.data.indexes().values():
+            if all(column.lower() in equalities for column in index.columns):
+                return index
+        return None
+
+    def _estimate_access(self, binding: _Binding) -> _AccessEstimate:
+        """Estimate the access path :meth:`_plan_scan` would build
+        (memoised on the binding for the current planning pass)."""
+        if binding.access_estimate is not None:
+            return binding.access_estimate
+        rows = float(len(binding.data))
+        index: Optional[Index] = None
+        consumed: list[ast.Expression] = []
+        equalities: dict[str, tuple[ast.Expression, ast.Expression]] = {}
+        if self._options.use_indexes:
+            equalities = self._collect_equalities(binding)
+            if equalities:
+                index = self._matching_index(binding, equalities)
+        if index is not None:
+            distinct = binding.data.index_distinct(index.name) or 1
+            rows_scan = rows / max(1.0, float(distinct))
+            cost = max(1.0, rows_scan)
+            consumed = [
+                equalities[column.lower()][0] for column in index.columns
+            ]
+        else:
+            rows_scan = rows
+            cost = max(1.0, rows)
+        rows_out = rows_scan
+        for conjunct in binding.conjuncts:
+            if conjunct in consumed:
+                continue
+            rows_out *= self._selectivity(binding, conjunct)
+        binding.access_estimate = _AccessEstimate(
+            index=index,
+            consumed=consumed,
+            rows_scan=rows_scan,
+            cost=cost,
+            rows_out=rows_out,
+            equalities=equalities,
+        )
+        return binding.access_estimate
+
+    def _selectivity(self, binding: _Binding, conjunct: ast.Expression) -> float:
+        """Fraction of rows a pushed-down predicate is estimated to keep."""
+        if isinstance(conjunct, ast.BinaryOp):
+            op = conjunct.op
+            if op == "=":
+                column_and_value = self._extract_column_equality(conjunct, binding)
+                if column_and_value is not None:
+                    distinct = binding.data.column_distinct(column_and_value[0])
+                    if distinct:
+                        return 1.0 / float(distinct)
+                return _EQUALITY_SELECTIVITY
+            if op in ("<", "<=", ">", ">="):
+                return _RANGE_SELECTIVITY
+            if op == "LIKE":
+                return _LIKE_SELECTIVITY
+            if op in ("!=", "<>"):
+                return _NOT_EQUAL_SELECTIVITY
+        if isinstance(conjunct, ast.IsNull):
+            if conjunct.negated:
+                return 1.0 - _EQUALITY_SELECTIVITY
+            return _EQUALITY_SELECTIVITY
+        if isinstance(conjunct, ast.InList):
+            kept = min(1.0, len(conjunct.items) * _EQUALITY_SELECTIVITY)
+            return 1.0 - kept if conjunct.negated else kept
+        return _DEFAULT_SELECTIVITY
+
+    def _estimate_join(
+        self,
+        left_rows: float,
+        left_cost: float,
+        binding: _Binding,
+        build_refs: list[ast.ColumnRef],
+    ) -> tuple[float, Optional[float], Optional[float], float]:
+        """Estimate (output rows, index-NL cost, hash cost, NL cost) for
+        joining the current tree with ``binding`` on ``build_refs``."""
+        access = self._estimate_access(binding)
+        rows = float(len(binding.data))
+        build_columns = tuple(ref.column for ref in build_refs)
+        index = binding.data.find_equality_index(build_columns)
+        distinct: Optional[int] = None
+        if index is not None:
+            distinct = binding.data.index_distinct(index.name)
+        elif len(build_columns) == 1:
+            distinct = binding.data.column_distinct(build_columns[0])
+        distinct_f = float(distinct) if distinct else max(1.0, access.rows_out)
+        join_rows = left_rows * access.rows_out / max(1.0, distinct_f)
+        cost_index_join: Optional[float] = None
+        if (
+            index is not None
+            and not binding.conjuncts
+            and self._options.use_indexes
+            and self._options.use_index_nested_loop_join
+        ):
+            matches_per_probe = rows / max(1.0, distinct_f)
+            cost_index_join = left_cost + left_rows * (1.0 + matches_per_probe)
+        cost_hash: Optional[float] = None
+        if self._options.use_hash_join:
+            cost_hash = left_cost + access.cost + access.rows_out + left_rows
+        cost_nested = left_cost + access.cost + left_rows * max(1.0, access.rows_out)
+        return join_rows, cost_index_join, cost_hash, cost_nested
+
+    @staticmethod
+    def _annotated(
+        operator: PlanOperator, rows: Optional[float], cost: Optional[float]
+    ) -> PlanOperator:
+        operator.estimated_rows = rows
+        operator.estimated_cost = cost
+        return operator
+
+    # -- scans ---------------------------------------------------------------
+
+    def _plan_scan(
+        self,
+        binding: _Binding,
+        compiler: ExpressionCompiler,
+        width: int,
+    ) -> PlanOperator:
+        """Plan the access path for a single table, honouring its pushed-down
+        conjuncts (index lookup when possible, otherwise scan + filter)."""
+        access = self._estimate_access(binding)
+        remaining = list(binding.conjuncts)
+        scan: PlanOperator
+        if access.index is not None:
+            key_evaluators = [
+                compiler.compile(access.equalities[column.lower()][1])
+                for column in access.index.columns
+            ]
+            scan = IndexLookupScan(
+                binding.data,
+                binding.name,
+                width,
+                binding.slot_start,
+                access.index.name,
+                key_evaluators,
+            )
+            remaining = [c for c in remaining if c not in access.consumed]
+        else:
+            scan = SeqScan(binding.data, binding.name, width, binding.slot_start)
+        self._annotated(scan, access.rows_scan, access.cost)
+        rows = access.rows_scan
+        for conjunct in remaining:
+            rows *= self._selectivity(binding, conjunct)
+            scan = self._annotated(
+                Filter(scan, compiler.compile(conjunct), label=binding.name),
+                rows,
+                access.cost,
+            )
+        return scan
 
     def _extract_column_equality(
         self, conjunct: ast.Expression, binding: _Binding
@@ -308,107 +524,144 @@ class Planner:
 
     def _plan_joins(
         self,
-        statement: ast.SelectStatement,
         bindings: dict[str, _Binding],
         join_conjuncts: list[ast.Expression],
         residual_conjuncts: list[ast.Expression],
         compiler: ExpressionCompiler,
+        width: int,
     ) -> PlanOperator:
         order = list(bindings)
-        # Start from the binding with the most selective-looking access path:
-        # one that has an equality conjunct usable with an index.
-        def selectivity_rank(name: str) -> tuple[int, int]:
-            binding = bindings[name]
-            has_index_eq = 0
-            if self._options.use_indexes:
-                scan, remaining = self._try_index_lookup(
-                    binding,
-                    self._column_keys(binding, bindings),
-                    list(binding.conjuncts),
-                    compiler,
-                )
-                has_index_eq = 0 if scan is not None else 1
-            return (has_index_eq, order.index(name))
+        cost_mode = self._options.use_cost_model
 
-        start = min(order, key=selectivity_rank)
+        def start_rank(name: str):
+            access = self._estimate_access(bindings[name])
+            if cost_mode:
+                return (access.rows_out, order.index(name))
+            # Statistics-free heuristic: prefer a binding with an indexed
+            # equality, breaking ties by FROM-clause order.
+            return (0 if access.index is not None else 1, order.index(name))
+
+        start = min(order, key=start_rank)
         joined = {start}
-        current = self._plan_scan(bindings[start], bindings, compiler)
-        pending_joins = list(join_conjuncts)
+        current = self._plan_scan(bindings[start], compiler, width)
+        pending = list(join_conjuncts)
 
         while len(joined) < len(bindings):
-            progressed = False
-            for conjunct in list(pending_joins):
-                assert isinstance(conjunct, ast.BinaryOp)
-                left_ref = conjunct.left
-                right_ref = conjunct.right
-                assert isinstance(left_ref, ast.ColumnRef)
-                assert isinstance(right_ref, ast.ColumnRef)
-                _, left_binding = self._resolve_column(left_ref, bindings)
-                _, right_binding = self._resolve_column(right_ref, bindings)
-                if left_binding in joined and right_binding not in joined:
-                    probe_ref, build_ref, build_binding = left_ref, right_ref, right_binding
-                elif right_binding in joined and left_binding not in joined:
-                    probe_ref, build_ref, build_binding = right_ref, left_ref, left_binding
+            candidates = self._join_candidates(
+                pending, bindings, joined, residual_conjuncts
+            )
+            if candidates:
+                if cost_mode:
+                    left_rows = current.estimated_rows or 1.0
+                    left_cost = current.estimated_cost or 0.0
+
+                    def candidate_cost(candidate: _JoinCandidate):
+                        _, cost_index, cost_hash, cost_nested = self._estimate_join(
+                            left_rows, left_cost,
+                            bindings[candidate.build], candidate.build_refs,
+                        )
+                        costs = [
+                            c for c in (cost_index, cost_hash, cost_nested)
+                            if c is not None
+                        ]
+                        return (min(costs), order.index(candidate.build))
+
+                    best = min(candidates, key=candidate_cost)
                 else:
-                    if left_binding in joined and right_binding in joined:
-                        # Both sides already joined: becomes a residual filter.
-                        pending_joins.remove(conjunct)
-                        residual_conjuncts.append(conjunct)
-                        progressed = True
-                    continue
-                pending_joins.remove(conjunct)
-                # Collect every other pending join predicate linking the new
-                # binding to already-joined ones so multi-key joins work.
-                extra_probe_refs = [probe_ref]
-                extra_build_refs = [build_ref]
-                for other in list(pending_joins):
-                    assert isinstance(other, ast.BinaryOp)
-                    other_left, other_right = other.left, other.right
-                    assert isinstance(other_left, ast.ColumnRef)
-                    assert isinstance(other_right, ast.ColumnRef)
-                    _, other_left_binding = self._resolve_column(other_left, bindings)
-                    _, other_right_binding = self._resolve_column(other_right, bindings)
-                    if other_left_binding in joined and other_right_binding == build_binding:
-                        extra_probe_refs.append(other_left)
-                        extra_build_refs.append(other_right)
-                        pending_joins.remove(other)
-                    elif other_right_binding in joined and other_left_binding == build_binding:
-                        extra_probe_refs.append(other_right)
-                        extra_build_refs.append(other_left)
-                        pending_joins.remove(other)
+                    best = candidates[0]
+                for conjunct in best.conjuncts:
+                    pending.remove(conjunct)
                 current = self._join_binding(
                     current,
-                    bindings[build_binding],
-                    bindings,
-                    extra_probe_refs,
-                    extra_build_refs,
+                    bindings[best.build],
+                    best.probe_refs,
+                    best.build_refs,
                     compiler,
+                    width,
                 )
-                joined.add(build_binding)
-                progressed = True
-                break
-            if not progressed:
-                # No equi-join predicate connects the remaining tables.  Try
-                # a disjunction of indexed equalities (PostgreSQL-style index
-                # OR), otherwise fall back to a cross join.
-                for name in order:
-                    if name in joined:
-                        continue
-                    or_join = self._try_index_or_join(
-                        current, bindings[name], bindings, joined,
-                        residual_conjuncts, compiler,
+                joined.add(best.build)
+                continue
+            # No equi-join predicate connects the remaining tables.  Try a
+            # disjunction of indexed equalities (PostgreSQL-style index OR),
+            # otherwise fall back to a cross join.
+            for name in order:
+                if name in joined:
+                    continue
+                binding = bindings[name]
+                or_join = self._try_index_or_join(
+                    current, binding, bindings, joined,
+                    residual_conjuncts, compiler, width,
+                )
+                if or_join is not None:
+                    current = or_join
+                else:
+                    right = self._plan_scan(binding, compiler, width)
+                    rows = (current.estimated_rows or 1.0) * (
+                        right.estimated_rows or 1.0
                     )
-                    if or_join is not None:
-                        current = or_join
-                    else:
-                        right = self._plan_scan(bindings[name], bindings, compiler)
-                        current = NestedLoopJoin(current, right)
-                    joined.add(name)
-                    break
+                    cost = (
+                        (current.estimated_cost or 0.0)
+                        + (right.estimated_cost or 0.0)
+                        + rows
+                    )
+                    slot_range = (
+                        binding.slot_start,
+                        binding.slot_start + len(binding.schema.columns),
+                    )
+                    current = self._annotated(
+                        NestedLoopJoin(current, right, slot_range), rows, cost
+                    )
+                joined.add(name)
+                break
 
         for conjunct in residual_conjuncts:
-            current = Filter(current, compiler.compile(conjunct), label="residual")
+            rows = (current.estimated_rows or 1.0) * _DEFAULT_SELECTIVITY
+            current = self._annotated(
+                Filter(current, compiler.compile(conjunct), label="residual"),
+                rows,
+                current.estimated_cost,
+            )
         return current
+
+    def _join_candidates(
+        self,
+        pending: list[ast.Expression],
+        bindings: dict[str, _Binding],
+        joined: set[str],
+        residual_conjuncts: list[ast.Expression],
+    ) -> list[_JoinCandidate]:
+        """Group pending equi-join predicates by the unjoined binding they
+        would bring in (in first-connecting order, which the greedy mode
+        uses verbatim).  Predicates whose sides are both already joined are
+        moved to the residual list."""
+        candidates: dict[str, _JoinCandidate] = {}
+        for conjunct in list(pending):
+            assert isinstance(conjunct, ast.BinaryOp)
+            left_ref = conjunct.left
+            right_ref = conjunct.right
+            assert isinstance(left_ref, ast.ColumnRef)
+            assert isinstance(right_ref, ast.ColumnRef)
+            _, left_binding = self._resolve_column(left_ref, bindings)
+            _, right_binding = self._resolve_column(right_ref, bindings)
+            if left_binding in joined and right_binding in joined:
+                pending.remove(conjunct)
+                residual_conjuncts.append(conjunct)
+                continue
+            if left_binding in joined and right_binding not in joined:
+                probe_ref, build_ref, build = left_ref, right_ref, right_binding
+            elif right_binding in joined and left_binding not in joined:
+                probe_ref, build_ref, build = right_ref, left_ref, left_binding
+            else:
+                continue
+            candidate = candidates.get(build)
+            if candidate is None:
+                candidate = candidates[build] = _JoinCandidate(
+                    build=build, conjuncts=[], probe_refs=[], build_refs=[]
+                )
+            candidate.conjuncts.append(conjunct)
+            candidate.probe_refs.append(probe_ref)
+            candidate.build_refs.append(build_ref)
+        return list(candidates.values())
 
     def _try_index_or_join(
         self,
@@ -418,6 +671,7 @@ class Planner:
         joined: set[str],
         residual_conjuncts: list[ast.Expression],
         compiler: ExpressionCompiler,
+        width: int,
     ) -> Optional[PlanOperator]:
         """Join ``binding`` through a disjunction of indexed equalities.
 
@@ -446,14 +700,20 @@ class Planner:
                 continue
             residual_conjuncts.remove(conjunct)
             residual = compiler.compile(conjunct)
-            column_keys = self._column_keys(binding, bindings)
-            return IndexOrLookupJoin(
-                left,
-                binding.data,
-                binding.name,
-                column_keys,
-                probes,
-                residual,
+            left_rows = left.estimated_rows or 1.0
+            rows = left_rows * len(probes)
+            cost = (left.estimated_cost or 0.0) + left_rows * len(probes)
+            return self._annotated(
+                IndexOrLookupJoin(
+                    left,
+                    binding.data,
+                    binding.name,
+                    binding.slot_start,
+                    probes,
+                    residual,
+                ),
+                rows,
+                cost,
             )
         return None
 
@@ -466,7 +726,7 @@ class Planner:
         compiler: ExpressionCompiler,
     ) -> Optional[tuple[str, Evaluator]]:
         """If ``disjunct`` is ``<outer expr> = binding.column`` with an index
-        on ``column``, return (index name, key evaluator over the left env)."""
+        on ``column``, return (index name, key evaluator over the left row)."""
         if not isinstance(disjunct, ast.BinaryOp) or disjunct.op != "=":
             return None
         for column_side, value_side in (
@@ -494,40 +754,67 @@ class Planner:
         self,
         left: PlanOperator,
         build_binding: _Binding,
-        bindings: dict[str, _Binding],
         probe_refs: list[ast.ColumnRef],
         build_refs: list[ast.ColumnRef],
         compiler: ExpressionCompiler,
+        width: int,
     ) -> PlanOperator:
-        """Join ``left`` with ``build_binding`` on the given key columns."""
-        column_keys = self._column_keys(build_binding, bindings)
+        """Join ``left`` with ``build_binding`` on the given key columns,
+        letting the cost estimates choose the physical operator."""
         probe_evaluators = [compiler.compile(ref) for ref in probe_refs]
         build_columns = tuple(ref.column for ref in build_refs)
+        left_rows = left.estimated_rows or 1.0
+        left_cost = left.estimated_cost or 0.0
+        join_rows, cost_index_join, cost_hash, cost_nested = self._estimate_join(
+            left_rows, left_cost, build_binding, build_refs
+        )
+        slot_range = (
+            build_binding.slot_start,
+            build_binding.slot_start + len(build_binding.schema.columns),
+        )
 
-        if self._options.use_index_nested_loop_join and self._options.use_indexes:
+        use_index_join = cost_index_join is not None
+        if (
+            use_index_join
+            and self._options.use_cost_model
+            and cost_hash is not None
+            and cost_hash < cost_index_join
+        ):
+            use_index_join = False
+        if use_index_join:
             index = build_binding.data.find_equality_index(build_columns)
-            if index is not None and not build_binding.conjuncts:
-                # Reorder probe keys to match the index column order.
-                ordered_probe: list[Evaluator] = []
-                for index_column in index.columns:
-                    for probe_evaluator, build_ref in zip(probe_evaluators, build_refs):
-                        if build_ref.column.lower() == index_column.lower():
-                            ordered_probe.append(probe_evaluator)
-                            break
-                if len(ordered_probe) == len(index.columns):
-                    return IndexNestedLoopJoin(
+            assert index is not None
+            # Reorder probe keys to match the index column order.
+            ordered_probe: list[Evaluator] = []
+            for index_column in index.columns:
+                for probe_evaluator, build_ref in zip(probe_evaluators, build_refs):
+                    if build_ref.column.lower() == index_column.lower():
+                        ordered_probe.append(probe_evaluator)
+                        break
+            if len(ordered_probe) == len(index.columns):
+                return self._annotated(
+                    IndexNestedLoopJoin(
                         left,
                         build_binding.data,
                         build_binding.name,
-                        column_keys,
+                        build_binding.slot_start,
                         index.name,
                         ordered_probe,
-                    )
+                    ),
+                    join_rows,
+                    cost_index_join,
+                )
 
-        right = self._plan_scan(build_binding, bindings, compiler)
+        right = self._plan_scan(build_binding, compiler, width)
         if self._options.use_hash_join:
             build_evaluators = [compiler.compile(ref) for ref in build_refs]
-            return HashJoin(left, right, probe_evaluators, build_evaluators)
+            return self._annotated(
+                HashJoin(
+                    left, right, probe_evaluators, build_evaluators, slot_range
+                ),
+                join_rows,
+                cost_hash if cost_hash is not None else cost_nested,
+            )
         predicate_ast: ast.Expression | None = None
         for probe_ref, build_ref in zip(probe_refs, build_refs):
             equality = ast.BinaryOp("=", probe_ref, build_ref)
@@ -537,7 +824,11 @@ class Planner:
                 else ast.BinaryOp("AND", predicate_ast, equality)
             )
         predicate = compiler.compile(predicate_ast) if predicate_ast else None
-        return NestedLoopJoin(left, right, predicate)
+        return self._annotated(
+            NestedLoopJoin(left, right, slot_range, predicate),
+            join_rows,
+            cost_nested,
+        )
 
     # -- output columns -------------------------------------------------------
 
@@ -547,15 +838,15 @@ class Planner:
         root: PlanOperator,
         compiler: ExpressionCompiler,
     ) -> Optional[SelectPlan]:
-        """Handle the simple aggregate case (COUNT without GROUP BY)."""
+        """Handle ungrouped aggregates (COUNT/SUM/MIN/MAX/AVG)."""
         has_aggregate = any(
             isinstance(item.expression, ast.FunctionCall)
-            and item.expression.name.upper() == "COUNT"
+            and item.expression.name.upper() in AGGREGATE_FUNCTIONS
             for item in statement.items
         )
         if not has_aggregate:
             return None
-        columns: list[tuple[str, Optional[Evaluator]]] = []
+        columns: list[tuple[str, str, Optional[Evaluator]]] = []
         for position, item in enumerate(statement.items):
             expression = item.expression
             if not isinstance(expression, ast.FunctionCall):
@@ -563,21 +854,46 @@ class Planner:
                     "mixing aggregate and non-aggregate select items "
                     "requires GROUP BY, which is not supported"
                 )
-            name = (item.alias or f"count{position}").lower()
+            function = expression.name.upper()
+            if function not in AGGREGATE_FUNCTIONS:
+                raise SqlExecutionError(
+                    f"aggregate function {expression.name!r} is not supported "
+                    f"(supported: {', '.join(sorted(AGGREGATE_FUNCTIONS))})"
+                )
+            if expression.star and function != "COUNT":
+                raise SqlExecutionError(f"{function}(*) is not valid SQL")
+            name = (item.alias or f"{function.lower()}{position}").lower()
             evaluator = None
             if not expression.star and expression.args:
+                if len(expression.args) != 1:
+                    raise SqlExecutionError(
+                        f"{function} takes exactly one argument"
+                    )
                 evaluator = compiler.compile(expression.args[0])
-            columns.append((name, evaluator))
-        aggregate = Aggregate(root, columns)
-        return SelectPlan(root=aggregate, column_names=[name for name, _ in columns])
+            elif function != "COUNT":
+                raise SqlExecutionError(
+                    f"{function} requires an argument"
+                )
+            columns.append((name, function, evaluator))
+        aggregate = self._annotated(
+            Aggregate(root, columns), 1.0, root.estimated_cost
+        )
+        return SelectPlan(
+            root=aggregate, column_names=[name for name, _, _ in columns]
+        )
 
     def _output_columns(
         self,
         statement: ast.SelectStatement,
         bindings: dict[str, _Binding],
         compiler: ExpressionCompiler,
-    ) -> list[tuple[str, Evaluator]]:
+        slot_map: dict[str, int],
+    ) -> tuple[list[tuple[str, Evaluator]], Optional[list[int]]]:
+        """The select-list outputs: (name, evaluator) pairs plus, when every
+        output is a plain column reference, the slot list for the projection
+        fast path."""
         columns: list[tuple[str, Evaluator]] = []
+        slots: list[Optional[int]] = []
         counts: dict[str, int] = {}
         for binding in bindings.values():
             for column in binding.schema.column_names:
@@ -585,11 +901,13 @@ class Planner:
                 counts[key] = counts.get(key, 0) + 1
 
         def add_table_columns(binding: _Binding) -> None:
-            for column in binding.schema.column_names:
+            for position, column in enumerate(binding.schema.column_names):
                 lowered = column.lower()
                 key = f"{binding.name}.{lowered}"
                 output_name = lowered if counts[lowered] == 1 else key
-                columns.append((output_name, _env_getter(key)))
+                slot = binding.slot_start + position
+                columns.append((output_name, _slot_getter(slot)))
+                slots.append(slot)
 
         generated_index = 0
         for item in statement.items:
@@ -612,7 +930,14 @@ class Planner:
                     output_name = f"col{generated_index}"
                 generated_index += 1
                 columns.append((output_name, evaluator))
-        return columns
+                if isinstance(item.expression, ast.ColumnRef):
+                    key, _ = self._resolve_column(item.expression, bindings)
+                    slots.append(slot_map[key])
+                else:
+                    slots.append(None)
+        if all(slot is not None for slot in slots):
+            return columns, [slot for slot in slots if slot is not None]
+        return columns, None
 
 
 def _split_disjuncts(expression: ast.Expression) -> list[ast.Expression]:
@@ -622,8 +947,15 @@ def _split_disjuncts(expression: ast.Expression) -> list[ast.Expression]:
     return [expression]
 
 
-def _env_getter(key: str) -> Evaluator:
-    def get(env, params):  # type: ignore[no-untyped-def]
-        return env.get(key)
+def _slot_getter(slot: int) -> Evaluator:
+    def get(row, params):  # type: ignore[no-untyped-def]
+        return row[slot]
 
     return get
+
+
+def _sort_cost(child: PlanOperator) -> Optional[float]:
+    if child.estimated_cost is None:
+        return None
+    rows = max(1.0, child.estimated_rows or 1.0)
+    return child.estimated_cost + rows * max(1.0, math.log2(rows))

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, Optional
 
-from repro.sqlengine.catalog import TableSchema
+from repro.sqlengine.catalog import TableSchema, TableStatistics
 from repro.sqlengine.errors import SqlExecutionError
 from repro.sqlengine.indexes import HashIndex, Index, OrderedIndex, make_key
 
@@ -79,6 +79,43 @@ class TableData:
             if tuple(sorted(have)) == tuple(sorted(wanted)):
                 return index
         return None
+
+    # -- statistics ----------------------------------------------------------
+    #
+    # Statistics are read straight from live storage state (the live-row
+    # counter and the indexes' incremental distinct-key tracking), so they
+    # cost O(1) to read, stay correct under concurrent inserts/deletes, and
+    # survive transaction rollback (the undo log replays inverse operations
+    # through the same insert/delete paths that maintain them).
+
+    def column_distinct(self, column: str) -> Optional[int]:
+        """NDV of ``column`` from a single-column index over it, or None."""
+        wanted = column.lower()
+        for index in self._indexes.values():
+            if len(index.columns) == 1 and index.columns[0].lower() == wanted:
+                return index.distinct_keys()
+        return None
+
+    def index_distinct(self, name: str) -> Optional[int]:
+        """Distinct key count of the named index, or None if unknown."""
+        index = self._indexes.get(name)
+        return index.distinct_keys() if index is not None else None
+
+    def statistics(self) -> TableStatistics:
+        """A point-in-time snapshot of this table's planner statistics."""
+        column_distinct: dict[str, int] = {}
+        index_distinct: dict[str, int] = {}
+        for name, index in self._indexes.items():
+            distinct = index.distinct_keys()
+            index_distinct[name] = distinct
+            if len(index.columns) == 1:
+                column_distinct.setdefault(index.columns[0].lower(), distinct)
+        return TableStatistics(
+            table=self.schema.name,
+            row_count=self._live_count,
+            column_distinct=column_distinct,
+            index_distinct=index_distinct,
+        )
 
     # -- row operations -----------------------------------------------------
 

@@ -19,6 +19,7 @@ in-memory engine; ``BenchmarkConfig.paper()`` selects the paper's parameters
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -283,6 +284,66 @@ class TpcwBenchmark:
             f"{self.config.measured_executions} executions per run)"
         )
         return format_table(headers, rows, title=title)
+
+    # -- plan-cache split ----------------------------------------------------------------------
+
+    #: The four hand-written statements, with their parameter generators.
+    PLAN_CACHE_QUERIES: tuple[tuple[str, str, str], ...] = (
+        ("getName", queries_sql.GET_NAME_SQL, "customer_id"),
+        ("getCustomer", queries_sql.GET_CUSTOMER_SQL, "customer_username"),
+        ("doSubjectSearch", queries_sql.DO_SUBJECT_SEARCH_SQL, "subject"),
+        ("doGetRelated", queries_sql.DO_GET_RELATED_SQL, "item_id"),
+    )
+
+    def run_plan_cache_split(
+        self, executions: Optional[int] = None
+    ) -> dict[str, dict[str, float]]:
+        """Per-query latency split: parse+plan vs execute, cached vs not.
+
+        For each of the paper's four hand-written statements this measures
+
+        * ``plan_ms`` — parse + cost-based planning alone
+          (:meth:`Database.plan`, which bypasses the statement cache),
+        * ``execute_warm_ms`` — a full round trip with the shared plan
+          cache hot (what repeated prepared-statement executions pay),
+        * ``execute_cold_ms`` — a full round trip with the statement cache
+          disabled, i.e. paying parse+plan on every execution.
+
+        All values are mean milliseconds per execution.
+        """
+        executions = executions or self.config.measured_executions
+        database = self.database.database
+        session = database.session()
+        results: dict[str, dict[str, float]] = {}
+        for name, sql, parameter in self.PLAN_CACHE_QUERIES:
+            self._parameters.reset()
+            draw = getattr(self._parameters, parameter)
+            params = [(draw(),) for _ in range(executions)]
+            database.plan(sql)  # warm up code paths
+            started = time.perf_counter()
+            for _ in range(executions):
+                database.plan(sql)
+            plan_s = time.perf_counter() - started
+            session.execute(sql, params[0])  # populate the cache
+            started = time.perf_counter()
+            for values in params:
+                session.execute(sql, values)
+            warm_s = time.perf_counter() - started
+            cache_size = database.statement_cache_info()["size"]
+            database.set_statement_cache_size(0)
+            try:
+                started = time.perf_counter()
+                for values in params:
+                    session.execute(sql, values)
+                cold_s = time.perf_counter() - started
+            finally:
+                database.set_statement_cache_size(cache_size)
+            results[name] = {
+                "plan_ms": plan_s * 1000.0 / executions,
+                "execute_warm_ms": warm_s * 1000.0 / executions,
+                "execute_cold_ms": cold_s * 1000.0 / executions,
+            }
+        return results
 
     # -- concurrent throughput -----------------------------------------------------------------
 

@@ -1,0 +1,139 @@
+"""Tests for the shared LRU statement/plan cache: hits, LRU eviction,
+DDL invalidation, statistics-drift replanning and cross-layer reuse."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlengine import Database
+from repro.sqlengine.planner import PlannerOptions
+from repro.testing import make_bank_db
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database()
+    database.executescript(
+        """
+        CREATE TABLE item (i_id INTEGER PRIMARY KEY, i_subject VARCHAR(20), i_cost INTEGER);
+        CREATE TABLE author (a_id INTEGER PRIMARY KEY, a_name VARCHAR(20));
+        """
+    )
+    database.insert_rows(
+        "item", [(i, f"subject{i % 5}", i * 10) for i in range(1, 41)]
+    )
+    database.insert_rows("author", [(i, f"author{i}") for i in range(1, 11)])
+    return database
+
+
+class TestCacheHits:
+    def test_repeated_select_hits_cache_and_plans_once(self, db: Database) -> None:
+        info = db.statement_cache_info()
+        sql = "SELECT i_cost FROM item WHERE i_id = ?"
+        for item_id in (1, 2, 3, 4):
+            db.execute(sql, (item_id,))
+        after = db.statement_cache_info()
+        assert after["hits"] >= info["hits"] + 3
+        assert after["plans_computed"] == info["plans_computed"] + 1
+
+    def test_cache_disabled_never_hits(self, db: Database) -> None:
+        db.set_statement_cache_size(0)
+        before = db.statement_cache_info()
+        sql = "SELECT i_cost FROM item WHERE i_id = ?"
+        db.execute(sql, (1,))
+        db.execute(sql, (2,))
+        after = db.statement_cache_info()
+        assert after["hits"] == before["hits"]
+        assert after["plans_computed"] >= before["plans_computed"] + 2
+
+    def test_lru_eviction_bounds_entries(self, db: Database) -> None:
+        db.set_statement_cache_size(2)
+        db.execute("SELECT i_id FROM item WHERE i_id = 1")
+        db.execute("SELECT i_id FROM item WHERE i_id = 2")
+        db.execute("SELECT i_id FROM item WHERE i_id = 3")
+        assert db.statement_cache_info()["entries"] <= 2
+
+    def test_planner_options_key_separates_entries(self, db: Database) -> None:
+        sql = "SELECT i_cost FROM item WHERE i_id = ?"
+        db.execute(sql, (1,))
+        plans_before = db.statement_cache_info()["plans_computed"]
+        db.set_planner_options(PlannerOptions(use_indexes=False))
+        db.execute(sql, (1,))
+        assert db.statement_cache_info()["plans_computed"] == plans_before + 1
+        assert "SeqScan" in db.explain(sql)
+
+
+class TestInvalidation:
+    def test_ddl_clears_cache(self, db: Database) -> None:
+        db.execute("SELECT i_id FROM item WHERE i_id = 1")
+        assert db.statement_cache_info()["entries"] > 0
+        db.execute("CREATE INDEX idx_subject ON item (i_subject)")
+        assert db.statement_cache_info()["entries"] == 0
+
+    def test_replan_after_ddl_uses_new_index(self, db: Database) -> None:
+        sql = "SELECT i_id FROM item WHERE i_subject = ?"
+        db.execute(sql, ("subject1",))
+        assert "SeqScan" in db.explain(sql)
+        db.execute("CREATE INDEX idx_subject ON item (i_subject)")
+        rows = db.execute(sql, ("subject1",)).rows
+        plan = db.explain(sql)
+        assert "idx_subject" in plan and "IndexLookup" in plan
+        assert sorted(rows) == sorted(
+            db.execute(
+                "SELECT i_id FROM item WHERE i_subject = 'subject1'"
+            ).rows
+        )
+
+    def test_statistics_drift_triggers_replan(self, db: Database) -> None:
+        db.execute("CREATE TABLE tiny (t_id INTEGER PRIMARY KEY, t_val INTEGER)")
+        db.insert_rows("tiny", [(1, 10)])
+        sql = "SELECT t_val FROM tiny WHERE t_val > 0"
+        db.execute(sql)
+        plans_before = db.statement_cache_info()["plans_computed"]
+        db.execute(sql)  # no drift yet: cached plan reused
+        assert db.statement_cache_info()["plans_computed"] == plans_before
+        db.insert_rows("tiny", [(i, i) for i in range(2, 200)])
+        result = db.execute(sql)
+        assert db.statement_cache_info()["plans_computed"] == plans_before + 1
+        assert len(result.rows) == 199
+
+    def test_dropped_table_does_not_leave_stale_plan(self, db: Database) -> None:
+        db.execute("CREATE TABLE temp_t (x INTEGER PRIMARY KEY)")
+        db.execute("INSERT INTO temp_t (x) VALUES (1)")
+        db.execute("SELECT x FROM temp_t")
+        db.execute("DROP TABLE temp_t")
+        with pytest.raises(Exception):
+            db.execute("SELECT x FROM temp_t")
+
+
+class TestCrossLayerReuse:
+    def test_orm_find_reuses_cached_plan(self) -> None:
+        bank = make_bank_db()
+        database = bank.database
+        em = bank.begin_transaction()
+        em.find("Client", 1000)
+        info = database.statement_cache_info()
+        # A different EntityManager issues byte-identical SQL, so the second
+        # lookup is a pure cache hit with no replanning.
+        other = bank.begin_transaction()
+        other.find("Client", 1001)
+        after = database.statement_cache_info()
+        assert after["hits"] >= info["hits"] + 1
+        assert after["plans_computed"] == info["plans_computed"]
+
+    def test_prepared_statement_reuses_cached_plan(self, db: Database) -> None:
+        from repro.dbapi.connection import connect
+
+        connection = connect(db)
+        statement = connection.prepare_statement(
+            "SELECT i_cost FROM item WHERE i_id = ?"
+        )
+        statement.set_int(1, 1)
+        statement.execute_query()
+        info = db.statement_cache_info()
+        for item_id in (2, 3, 4):
+            statement.set_int(1, item_id)
+            statement.execute_query()
+        after = db.statement_cache_info()
+        assert after["hits"] >= info["hits"] + 3
+        assert after["plans_computed"] == info["plans_computed"]

@@ -1,0 +1,110 @@
+"""Tests for the planner statistics: live row counts, incremental
+distinct-key (NDV) tracking, and correctness across transaction ROLLBACK."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlengine import Database
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database()
+    database.execute(
+        "CREATE TABLE account (id INTEGER PRIMARY KEY, owner INTEGER, balance INTEGER)"
+    )
+    database.create_index("account", ["owner"])
+    database.insert_rows(
+        "account", [(i, i % 4, i * 100) for i in range(1, 13)]
+    )
+    return database
+
+
+class TestIncrementalStatistics:
+    def test_snapshot_reflects_rows_and_ndv(self, db: Database) -> None:
+        stats = db.table_data("account").statistics()
+        assert stats.row_count == 12
+        assert stats.distinct("id") == 12
+        assert stats.distinct("owner") == 4
+        assert stats.distinct("balance") is None  # no index on balance
+
+    def test_insert_and_delete_update_statistics(self, db: Database) -> None:
+        db.execute("INSERT INTO account (id, owner, balance) VALUES (13, 9, 0)")
+        stats = db.table_data("account").statistics()
+        assert stats.row_count == 13
+        assert stats.distinct("owner") == 5
+        db.execute("DELETE FROM account WHERE id = 13")
+        stats = db.table_data("account").statistics()
+        assert stats.row_count == 12
+        assert stats.distinct("owner") == 4
+
+    def test_update_moves_distinct_counts(self, db: Database) -> None:
+        db.execute("UPDATE account SET owner = 0 WHERE id > 0")
+        stats = db.table_data("account").statistics()
+        assert stats.row_count == 12
+        assert stats.distinct("owner") == 1
+
+    def test_ordered_index_tracks_distinct_keys(self) -> None:
+        database = Database()
+        database.execute(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, grade INTEGER)"
+        )
+        database.create_index("t", ["grade"], ordered=True)
+        database.insert_rows("t", [(i, i % 3) for i in range(9)])
+        assert db_distinct(database, "t", "grade") == 3
+        database.execute("DELETE FROM t WHERE grade = 2")
+        assert db_distinct(database, "t", "grade") == 2
+
+
+class TestStatisticsAcrossRollback:
+    def test_rollback_restores_row_count_and_ndv(self, db: Database) -> None:
+        before = db.table_data("account").statistics()
+        session = db.session()
+        session.execute("BEGIN")
+        session.execute(
+            "INSERT INTO account (id, owner, balance) VALUES (100, 50, 1)"
+        )
+        session.execute(
+            "INSERT INTO account (id, owner, balance) VALUES (101, 51, 1)"
+        )
+        session.execute("UPDATE account SET owner = 99 WHERE id = 1")
+        mid = db.table_data("account").statistics()
+        assert mid.row_count == 14
+        assert mid.distinct("owner") > before.column_distinct["owner"]
+        session.execute("ROLLBACK")
+        after = db.table_data("account").statistics()
+        assert after.row_count == before.row_count
+        assert after.column_distinct == before.column_distinct
+        assert after.index_distinct == before.index_distinct
+
+    def test_savepoint_rollback_restores_statistics(self, db: Database) -> None:
+        session = db.session()
+        session.execute("BEGIN")
+        session.execute(
+            "INSERT INTO account (id, owner, balance) VALUES (200, 60, 1)"
+        )
+        inside = db.table_data("account").statistics()
+        session.execute("SAVEPOINT sp")
+        session.execute("DELETE FROM account WHERE owner = 1")
+        session.execute("ROLLBACK TO sp")
+        assert db.table_data("account").statistics() == inside
+        session.execute("COMMIT")
+        committed = db.table_data("account").statistics()
+        assert committed.row_count == 13
+        assert committed.distinct("owner") == 5
+
+    def test_failed_statement_leaves_statistics_intact(self, db: Database) -> None:
+        before = db.table_data("account").statistics()
+        with pytest.raises(Exception):
+            # Second row violates the primary key; statement-level
+            # atomicity must undo the first row's statistics too.
+            db.execute(
+                "INSERT INTO account (id, owner, balance) "
+                "VALUES (300, 70, 1), (1, 71, 1)"
+            )
+        assert db.table_data("account").statistics() == before
+
+
+def db_distinct(database: Database, table: str, column: str) -> int | None:
+    return database.table_data(table).column_distinct(column)
