@@ -5,10 +5,30 @@
 * planner access paths — what the benchmark queries cost when indexes or the
   index-OR join are disabled (the paper's PostgreSQL had all of them);
 * rewriting on/off — the headline claim: executing a query as the plain loop
-  the programmer wrote versus the rewritten SQL.
+  the programmer wrote versus the rewritten SQL;
+* the logical optimizer on/off — latency and row-width of the four TPC-W
+  queries with ``OptimizerOptions(optimize=False)`` vs the full rule set.
+
+Two ways to run it (the same split as ``bench_plan_cache.py``):
+
+* ``python benchmarks/bench_ablations.py [--smoke] [--output PATH]`` —
+  standalone: emits a machine-readable JSON document (default
+  ``BENCH_ablations.json``, uploaded as a CI artifact) so the ablation
+  trajectory accumulates across PRs.
+* ``python -m pytest benchmarks/bench_ablations.py`` — pytest-benchmark
+  variants of the same experiments, for statistically careful local runs.
 """
 
 from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # standalone: make src/ importable without pytest
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import pytest
 
@@ -18,6 +38,7 @@ from repro.pyfrontend.disassembler import lower_function
 from repro.sqlengine.planner import PlannerOptions
 from repro.tpcw import queries_queryll, queries_sql
 from repro.tpcw.database import build_database
+from repro.tpcw.harness import BenchmarkConfig, TpcwBenchmark
 from repro.tpcw.population import PopulationScale
 
 
@@ -79,3 +100,122 @@ def test_get_name_unrewritten_full_scan(benchmark, small_scale) -> None:
     database = build_database(small_scale)
     em = database.entity_manager()
     benchmark(lambda: queries_queryll.get_name_loop.original(em, 123).to_list())
+
+
+@pytest.mark.benchmark(group="ablation-optimizer")
+def test_projection_split_report(benchmark) -> None:
+    """The optimizer ablation: narrow vs full-width rows, machine-readable."""
+    harness = TpcwBenchmark(BenchmarkConfig.quick())
+    report = benchmark.pedantic(harness.run_projection_split, rounds=1, iterations=1)
+    for name, entry in report.items():
+        assert entry["optimized"]["columns"] <= entry["unoptimized"]["columns"], name
+        assert entry["optimized"]["rows"] == entry["unoptimized"]["rows"], name
+
+
+# -- standalone JSON entry point ---------------------------------------------
+
+
+def _mean_ms(operation, executions: int, warmup: int = 3) -> float:
+    """Mean wall-clock milliseconds per call of ``operation``."""
+    for _ in range(warmup):
+        operation()
+    started = time.perf_counter()
+    for _ in range(executions):
+        operation()
+    return (time.perf_counter() - started) * 1000.0 / executions
+
+
+def run_experiment(config: BenchmarkConfig, executions: int) -> dict:
+    """Every ablation as one JSON-serialisable report."""
+    scale = config.scale
+
+    # 1. Simplification: the redundant-comparison clean-up itself.
+    chain = _redundant_comparison_chain(depth=12)
+    simplify_ms = _mean_ms(lambda: simplify(chain), executions)
+
+    # 2. Planner access paths: hand-written doGetRelated with and without
+    #    index access paths.
+    planner: dict[str, float] = {}
+    for label, options in (
+        ("indexes_enabled", None),
+        ("indexes_disabled", PlannerOptions(use_indexes=False)),
+    ):
+        database = build_database(scale, planner_options=options)
+        connection = database.connection()
+        planner[label] = _mean_ms(
+            lambda: queries_sql.do_get_related(connection, 17), executions
+        )
+
+    # 3. Rewriting on/off: the same getName loop as generated SQL vs the
+    #    full ORM scan the programmer wrote.
+    database = build_database(scale)
+    em = database.entity_manager()
+    rewrite = {
+        "rewritten_ms": _mean_ms(
+            lambda: queries_queryll.get_name(em, 123), executions
+        ),
+        "unrewritten_full_scan_ms": _mean_ms(
+            lambda: queries_queryll.get_name_loop.original(em, 123).to_list(),
+            max(1, executions // 10),
+        ),
+    }
+
+    # 4. The logical optimizer: latency + row width, optimized vs not.
+    harness = TpcwBenchmark(config)
+    projection = harness.run_projection_split()
+    session = harness.database.database.session()
+    parameters = {name: draw for name, draw in TpcwBenchmark.PROJECTION_QUERIES}
+    optimizer: dict[str, dict[str, float]] = {}
+    for name, entry in projection.items():
+        value = getattr(harness._parameters, parameters[name])()
+        timing: dict[str, float] = {}
+        for variant in ("optimized", "unoptimized"):
+            sql = entry[variant]["sql"]
+            params = tuple(value for _ in range(sql.count("?")))
+            timing[f"{variant}_ms"] = _mean_ms(
+                lambda: session.execute(sql, params), executions
+            )
+        optimizer[name] = timing
+
+    return {
+        "benchmark": "ablations",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "config": {
+            "num_items": scale.num_items,
+            "num_customers": scale.num_customers,
+            "executions": executions,
+        },
+        "simplify": {"redundant_chain_ms": simplify_ms},
+        "planner": planner,
+        "rewrite": rewrite,
+        "optimizer": {"latency": optimizer, "projection": projection},
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny workload for CI smoke runs",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_ablations.json",
+        help="where to write the JSON report ('-' for stdout only)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        config = BenchmarkConfig.quick()
+        executions = 30
+    else:
+        config = BenchmarkConfig.from_environment()
+        executions = 300
+    report = run_experiment(config, executions)
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.output != "-":
+        Path(args.output).write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,111 @@
+"""Round-trip between SQL expression nodes and symbolic expression nodes.
+
+The simplifier (:mod:`repro.core.analysis.simplify`) — constant folding,
+boolean identities, double-negation and comparison-negation push-through —
+operates on the symbolic :mod:`repro.core.expr.nodes` trees the path
+analysis produces.  The optimizer wants those same rewrites *after*
+query-tree construction, on :data:`~repro.core.querytree.nodes.SqlExpr`
+trees.  Rather than re-implementing the rules, this module converts SQL
+expressions losslessly into symbolic expressions (columns become marked
+``GetField`` accesses, parameters become marked variables), runs the
+existing simplifier, and converts the result back.
+
+Conversion is total in the forward direction; the backward direction raises
+:class:`UnconvertibleExpression` when simplification produced a node shape
+with no SQL counterpart, in which case the calling rule simply declines to
+fire — the unsimplified expression was already correct.
+"""
+
+from __future__ import annotations
+
+from repro.core.expr import nodes
+from repro.core.querytree.nodes import (
+    SqlBinary,
+    SqlColumn,
+    SqlExpr,
+    SqlLiteral,
+    SqlNot,
+    SqlParam,
+)
+
+#: Receiver-name prefix marking a symbolic variable as a binding alias.
+_BINDING_MARK = "@binding:"
+#: Variable-name prefix marking a symbolic variable as a SQL parameter.
+_PARAM_MARK = "@param:"
+
+_SQL_TO_SYMBOLIC_OPS = {
+    "=": "==",
+    "!=": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+    "AND": "&&",
+    "OR": "||",
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "/": "/",
+    "%": "%",
+}
+
+_SYMBOLIC_TO_SQL_OPS = {symbolic: sql for sql, symbolic in _SQL_TO_SYMBOLIC_OPS.items()}
+
+
+class UnconvertibleExpression(Exception):
+    """A symbolic expression has no SQL expression counterpart."""
+
+
+def to_symbolic(expression: SqlExpr) -> nodes.Expression:
+    """Convert a SQL expression into a symbolic expression tree."""
+    if isinstance(expression, SqlLiteral):
+        return nodes.Constant(expression.value)
+    if isinstance(expression, SqlColumn):
+        return nodes.GetField(
+            nodes.Var(_BINDING_MARK + expression.binding), expression.column
+        )
+    if isinstance(expression, SqlParam):
+        return nodes.Var(f"{_PARAM_MARK}{expression.index}:{expression.source}")
+    if isinstance(expression, SqlNot):
+        return nodes.UnaryOp("!", to_symbolic(expression.operand))
+    if isinstance(expression, SqlBinary):
+        return nodes.BinOp(
+            _SQL_TO_SYMBOLIC_OPS[expression.op],
+            to_symbolic(expression.left),
+            to_symbolic(expression.right),
+        )
+    raise TypeError(f"unknown SQL expression {expression!r}")
+
+
+def to_sql(expression: nodes.Expression) -> SqlExpr:
+    """Convert a symbolic expression back into a SQL expression.
+
+    Raises :class:`UnconvertibleExpression` for node shapes the SQL
+    expression language cannot represent.
+    """
+    if isinstance(expression, nodes.Constant):
+        return SqlLiteral(expression.value)
+    if isinstance(expression, nodes.GetField):
+        receiver = expression.receiver
+        if isinstance(receiver, nodes.Var) and receiver.name.startswith(_BINDING_MARK):
+            return SqlColumn(
+                binding=receiver.name[len(_BINDING_MARK):], column=expression.field
+            )
+        raise UnconvertibleExpression(f"field access {expression!r}")
+    if isinstance(expression, nodes.Var):
+        if expression.name.startswith(_PARAM_MARK):
+            index_text, _, source = expression.name[len(_PARAM_MARK):].partition(":")
+            return SqlParam(index=int(index_text), source=source)
+        raise UnconvertibleExpression(f"free variable {expression!r}")
+    if isinstance(expression, nodes.UnaryOp):
+        if expression.op == "!":
+            return SqlNot(to_sql(expression.operand))
+        if expression.op == "neg":
+            return SqlBinary("-", SqlLiteral(0), to_sql(expression.operand))
+        raise UnconvertibleExpression(f"unary operator {expression.op!r}")
+    if isinstance(expression, nodes.BinOp):
+        sql_op = _SYMBOLIC_TO_SQL_OPS.get(expression.op)
+        if sql_op is None:
+            raise UnconvertibleExpression(f"operator {expression.op!r}")
+        return SqlBinary(sql_op, to_sql(expression.left), to_sql(expression.right))
+    raise UnconvertibleExpression(f"expression {expression!r}")

@@ -131,6 +131,12 @@ class QueryTreeBuilder:
     def _build_condition(
         self, state: "_BuildState", condition: nodes.Expression
     ) -> Optional[SqlExpr]:
+        """Interpret one path condition into a SQL predicate.
+
+        Returns ``None`` for the always-true condition (an unconditional
+        ``add``); the logical optimizer later normalises and prunes the
+        combined predicate, so no simplification happens here.
+        """
         if isinstance(condition, nodes.Constant) and condition.value is True:
             return None
         interpreted = self._interpret(state, condition)
@@ -143,11 +149,20 @@ class QueryTreeBuilder:
     def _build_output(
         self, state: "_BuildState", value: nodes.Expression, add_method: str
     ) -> Output:
+        """Interpret the value a path adds to the destination collection.
+
+        The resulting :class:`Output` shape drives both SQL generation and
+        projection pruning: entity outputs expand to column lists (narrowed
+        by the optimizer to the consumed columns), column outputs to single
+        ``AS COLn`` items.
+        """
         if add_method == "addAll":
             return self._build_addall_output(state, value)
         return self._output_of(state, value)
 
     def _output_of(self, state: "_BuildState", value: nodes.Expression) -> Output:
+        """Map an added value onto an output shape (entity, column, Pair,
+        tuple), recursing through ``Pair``/tuple construction."""
         if isinstance(value, nodes.New) and value.class_name == "Pair":
             if len(value.args) != 2:
                 raise UnsupportedQueryError("Pair construction needs two arguments")
@@ -169,6 +184,8 @@ class QueryTreeBuilder:
     def _build_addall_output(
         self, state: "_BuildState", value: nodes.Expression
     ) -> Output:
+        """Interpret an ``addAll`` value: a to-many navigation (which joins
+        the target entity in) or ``Pair.pairCollection(...)``."""
         # Pair.pairCollection(x, entity.getAccounts()) -> Pair(x, joined entity)
         if isinstance(value, nodes.Call) and value.method.split(".")[-1] in (
             "pairCollection",
@@ -184,6 +201,8 @@ class QueryTreeBuilder:
         return self._to_many_output(state, value)
 
     def _to_many_output(self, state: "_BuildState", value: nodes.Expression) -> Output:
+        """Resolve a to-many relationship navigation into a joined entity
+        output (``client.getAccounts()`` becomes a binding on Account)."""
         accessor = None
         receiver: Optional[nodes.Expression] = None
         if isinstance(value, nodes.Call) and value.receiver is not None and not value.args:
@@ -212,6 +231,13 @@ class QueryTreeBuilder:
     # -- expression interpretation ----------------------------------------------------------
 
     def _interpret(self, state: "_BuildState", expression: nodes.Expression) -> _Interpreted:
+        """Translate one symbolic expression into SQL terms.
+
+        Constants become literals, outer variables become parameters,
+        getters become columns, to-one navigation adds joins; whole-entity
+        values surface as :class:`_EntityValue` so callers can decide
+        whether an entity is legal in that position.
+        """
         if isinstance(expression, nodes.Constant):
             return SqlLiteral(expression.value)
         if isinstance(expression, nodes.Var):
@@ -240,6 +266,7 @@ class QueryTreeBuilder:
     def _interpret_unary(
         self, state: "_BuildState", expression: nodes.UnaryOp
     ) -> _Interpreted:
+        """``!`` becomes ``NOT``; arithmetic negation becomes ``0 - x``."""
         operand = self._interpret(state, expression.operand)
         if isinstance(operand, _EntityValue):
             raise UnsupportedQueryError("cannot apply an operator to a whole entity")
@@ -252,6 +279,8 @@ class QueryTreeBuilder:
     def _interpret_binop(
         self, state: "_BuildState", expression: nodes.BinOp
     ) -> _Interpreted:
+        """Comparisons, logic and arithmetic; comparing two entities with
+        ``==``/``!=`` compares their primary-key columns."""
         left = self._interpret(state, expression.left)
         right = self._interpret(state, expression.right)
         op = expression.op
@@ -285,6 +314,9 @@ class QueryTreeBuilder:
         accessor: str,
         args: tuple[nodes.Expression, ...],
     ) -> _Interpreted:
+        """Resolve a getter/field access against the ORM mapping: a mapped
+        field reads as its column, a to-one relationship joins its target
+        entity in (reusing the binding on repeated navigation)."""
         if receiver is None:
             raise UnsupportedQueryError(
                 f"static call {accessor!r} cannot be translated to SQL"
@@ -318,6 +350,7 @@ class QueryTreeBuilder:
         )
 
     def _primary_key_column(self, entity: _EntityValue) -> SqlColumn:
+        """The primary-key column reference of an entity binding."""
         mapping = self._mapping.entity(entity.entity_name)
         return SqlColumn(binding=entity.alias, column=mapping.primary_key.column)
 

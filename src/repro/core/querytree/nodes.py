@@ -108,7 +108,15 @@ class EntityBinding:
 
 @dataclass
 class QueryTree:
-    """A complete relational query."""
+    """A complete relational query.
+
+    ``required_columns`` is filled in by the logical optimizer's projection
+    pruning (:mod:`repro.core.optimizer`): it maps each binding alias to the
+    set of column names the query actually consumes through its outputs,
+    predicates and ordering.  ``None`` means "not computed" — the SQL
+    generator then expands entity outputs to every mapped column, exactly as
+    the unoptimized pipeline always did.
+    """
 
     bindings: list[EntityBinding] = field(default_factory=list)
     where: Optional[SqlExpr] = None
@@ -118,6 +126,7 @@ class QueryTree:
     limit: Optional[int] = None
     offset: Optional[int] = None
     parameter_sources: list[str] = field(default_factory=list)
+    required_columns: Optional[dict[str, frozenset[str]]] = None
 
     # -- helpers ------------------------------------------------------------------
 
@@ -170,11 +179,16 @@ def _alias_for(position: int) -> str:
 
 def sql_expr_references(expression: SqlExpr) -> set[str]:
     """Aliases referenced by a SQL expression."""
-    aliases: set[str] = set()
+    return {column.binding for column in sql_expr_columns(expression)}
+
+
+def sql_expr_columns(expression: SqlExpr) -> set[SqlColumn]:
+    """Every column reference occurring in a SQL expression."""
+    columns: set[SqlColumn] = set()
 
     def walk(node: SqlExpr) -> None:
         if isinstance(node, SqlColumn):
-            aliases.add(node.binding)
+            columns.add(node)
         elif isinstance(node, SqlBinary):
             walk(node.left)
             walk(node.right)
@@ -182,4 +196,23 @@ def sql_expr_references(expression: SqlExpr) -> set[str]:
             walk(node.operand)
 
     walk(expression)
-    return aliases
+    return columns
+
+
+def clone_tree(tree: QueryTree) -> QueryTree:
+    """Shallow-copy a query tree so a rewrite rule can return a modified
+    tree without mutating its input (expressions are immutable, so sharing
+    them between the copies is safe)."""
+    return QueryTree(
+        bindings=list(tree.bindings),
+        where=tree.where,
+        join_conditions=list(tree.join_conditions),
+        output=tree.output,
+        order_by=list(tree.order_by),
+        limit=tree.limit,
+        offset=tree.offset,
+        parameter_sources=list(tree.parameter_sources),
+        required_columns=(
+            dict(tree.required_columns) if tree.required_columns is not None else None
+        ),
+    )

@@ -4,7 +4,9 @@ A rewritten query method no longer iterates the whole database; instead it
 calls :func:`execute_generated_query` with the generated SQL, the values of
 its outer variables and the destination QuerySet.  This module also knows how
 to turn result rows back into entities, Pairs and scalars according to the
-:class:`~repro.core.sqlgen.generator.OutputPlan` produced at rewrite time.
+:class:`~repro.core.sqlgen.generator.OutputPlan` produced at rewrite time —
+including rows narrowed by the optimizer's projection pruning, which map to
+partially loaded entities that complete themselves lazily.
 """
 
 from __future__ import annotations
@@ -44,6 +46,13 @@ def _map_value(
     columns: Sequence[str],
     row: tuple[object, ...],
 ) -> object:
+    """Map one result row into the value shape ``plan`` describes.
+
+    Entity plans delegate to the EntityManager so the identity map stays
+    authoritative; a plan narrowed by projection pruning materialises a
+    *partially loaded* entity (``plan.partial``) that lazily completes on
+    first access to an unloaded field.
+    """
     if isinstance(plan, ColumnOutputPlan):
         label = plan.label.lower()
         for position, column in enumerate(columns):
@@ -52,7 +61,11 @@ def _map_value(
         raise RewriteError(f"result set has no column {plan.label!r}")
     if isinstance(plan, EntityOutputPlan):
         return entity_manager.materialise_entity(
-            plan.entity_name, columns, row, column_prefix=plan.column_prefix
+            plan.entity_name,
+            columns,
+            row,
+            column_prefix=plan.column_prefix,
+            partial=plan.partial,
         )
     if isinstance(plan, PairOutputPlan):
         return Pair(

@@ -28,11 +28,19 @@ from repro.errors import RewriteError
 
 @dataclass(frozen=True)
 class EntityOutputPlan:
-    """Result rows contain every column of one entity, with a column prefix."""
+    """Result rows contain columns of one entity, with a column prefix.
+
+    ``partial`` is True when projection pruning narrowed the SELECT list to
+    a subset of the entity's mapped columns; the runtime then materialises a
+    *partially loaded* entity that completes itself lazily (and must not
+    poison the identity map — see
+    :meth:`repro.orm.entity_manager.EntityManager.materialise_entity`).
+    """
 
     entity_name: str
     binding: str
     column_prefix: str
+    partial: bool = False
 
 
 @dataclass(frozen=True)
@@ -87,13 +95,21 @@ class SqlGenerator:
         self._mapping = mapping
 
     def generate(self, tree: QueryTree) -> GeneratedSql:
-        """Generate the SELECT statement for ``tree``."""
+        """Generate the SELECT statement for ``tree``.
+
+        When the optimizer filled in ``tree.required_columns``, entity
+        outputs expand to only the consumed columns (projection pruning)
+        instead of every mapped column; identical projected expressions and
+        repeated entity outputs are emitted once (redundant-projection
+        elimination).
+        """
         if tree.output is None:
             raise RewriteError("query tree has no output")
         renderer = ExpressionRenderer()
 
         select_items: list[str] = []
-        output_plan = self._plan_output(tree.output, select_items, renderer)
+        state = _SelectState(tree=tree)
+        output_plan = self._plan_output(tree.output, select_items, renderer, state)
 
         from_clause = ", ".join(
             f"{binding.table} AS {binding.alias}" for binding in tree.bindings
@@ -138,38 +154,73 @@ class SqlGenerator:
         output: Output,
         select_items: list[str],
         renderer: ExpressionRenderer,
+        state: "_SelectState",
     ) -> OutputPlan:
         if isinstance(output, ColumnOutput):
-            label = f"COL{_count_columns(select_items)}"
-            select_items.append(f"({renderer.render(output.expression)}) AS {label}")
+            # Deduplicate on the expression *node*, not its rendered text:
+            # rendering has a side effect (parameters are recorded in
+            # textual order) and distinct parameters all render as "?".
+            label = state.column_labels.get(output.expression)
+            if label is None:
+                label = f"COL{len(state.column_labels)}"
+                state.column_labels[output.expression] = label
+                select_items.append(
+                    f"({renderer.render(output.expression)}) AS {label}"
+                )
             return ColumnOutputPlan(label=label.lower())
         if isinstance(output, EntityOutput):
-            entity_mapping = self._mapping.entity(output.entity_name)
-            prefix = f"{output.binding.lower()}_"
-            for column_field in entity_mapping.fields:
-                alias = f"{output.binding}_{column_field.column}".upper()
-                select_items.append(
-                    f"({output.binding}.{column_field.column.upper()}) AS {alias}"
-                )
-            return EntityOutputPlan(
-                entity_name=output.entity_name,
-                binding=output.binding,
-                column_prefix=prefix,
-            )
+            return self._plan_entity_output(output, select_items, state)
         if isinstance(output, PairOutput):
-            first = self._plan_output(output.first, select_items, renderer)
-            second = self._plan_output(output.second, select_items, renderer)
+            first = self._plan_output(output.first, select_items, renderer, state)
+            second = self._plan_output(output.second, select_items, renderer, state)
             return PairOutputPlan(first=first, second=second)
         if isinstance(output, TupleOutput):
             return TupleOutputPlan(
                 items=tuple(
-                    self._plan_output(item, select_items, renderer)
+                    self._plan_output(item, select_items, renderer, state)
                     for item in output.items
                 )
             )
         raise RewriteError(f"unknown output shape {output!r}")
 
+    def _plan_entity_output(
+        self,
+        output: EntityOutput,
+        select_items: list[str],
+        state: "_SelectState",
+    ) -> EntityOutputPlan:
+        cached = state.entity_plans.get(output.binding)
+        if cached is not None:
+            return cached
+        entity_mapping = self._mapping.entity(output.entity_name)
+        required = None
+        if state.tree.required_columns is not None:
+            required = state.tree.required_columns.get(output.binding)
+        emitted = 0
+        for column_field in entity_mapping.fields:
+            if required is not None and column_field.column.lower() not in required:
+                continue
+            alias = f"{output.binding}_{column_field.column}".upper()
+            select_items.append(
+                f"({output.binding}.{column_field.column.upper()}) AS {alias}"
+            )
+            emitted += 1
+        plan = EntityOutputPlan(
+            entity_name=output.entity_name,
+            binding=output.binding,
+            column_prefix=f"{output.binding.lower()}_",
+            partial=emitted < len(entity_mapping.fields),
+        )
+        state.entity_plans[output.binding] = plan
+        return plan
 
-def _count_columns(select_items: list[str]) -> int:
-    """Number of COLn labels already allocated (entity columns don't count)."""
-    return sum(1 for item in select_items if " AS COL" in item)
+
+@dataclass
+class _SelectState:
+    """Per-generation bookkeeping for select-item deduplication."""
+
+    tree: QueryTree
+    #: Projected expression node -> allocated ``COLn`` label.
+    column_labels: dict[object, str] = field(default_factory=dict)
+    #: Binding alias -> already-emitted entity output plan.
+    entity_plans: dict[str, "EntityOutputPlan"] = field(default_factory=dict)

@@ -26,6 +26,7 @@ from types import FunctionType
 from typing import Any, Callable, Optional
 
 from repro.core.expr import nodes
+from repro.core.optimizer import OptimizerOptions
 from repro.core.pipeline import QueryllPipeline, RewrittenQuery
 from repro.core.runtime import execute_generated_query, lazy_generated_query
 from repro.core.tac.instructions import Assign, Goto, Instruction, Nop, Return
@@ -50,9 +51,15 @@ class _CachedAnalysis:
 class QueryFunction:
     """Callable wrapper installed by :func:`query`."""
 
-    def __init__(self, function: FunctionType, fallback: bool = True) -> None:
+    def __init__(
+        self,
+        function: FunctionType,
+        fallback: bool = True,
+        optimizer_options: Optional[OptimizerOptions] = None,
+    ) -> None:
         self._function = function
         self._fallback = fallback
+        self._optimizer_options = optimizer_options or OptimizerOptions()
         self._signature = inspect.signature(function)
         self._tac: Optional[TacMethod] = None
         self._tac_error: Optional[str] = None
@@ -167,7 +174,7 @@ class QueryFunction:
             method = self.tac()
         except UnsupportedQueryError as error:
             return _CachedAnalysis(rewritten=None, reason=str(error))
-        pipeline = QueryllPipeline(mapping)
+        pipeline = QueryllPipeline(mapping, optimizer_options=self._optimizer_options)
         report = pipeline.analyze_method(method)
         if not report.queries:
             reason = report.skipped[0][1] if report.skipped else "no query loop found"
@@ -283,19 +290,33 @@ def _only_constants(expression: nodes.Expression) -> bool:
 
 
 def query(
-    function: Optional[Callable] = None, *, fallback: bool = True
+    function: Optional[Callable] = None,
+    *,
+    fallback: bool = True,
+    optimize: bool = True,
+    optimizer_options: Optional[OptimizerOptions] = None,
 ) -> QueryFunction | Callable[[Callable], QueryFunction]:
     """Mark a function as a Queryll query (the paper's ``@Query`` annotation).
 
     ``fallback=False`` turns failed rewrites into errors instead of silently
     executing the original loop — useful in tests that must assert a query is
     actually translated to SQL.
+
+    ``optimize=False`` disables the logical query-tree optimizer for this
+    function (the ablation the benchmarks measure: full-entity-width SELECT
+    lists and un-normalized predicates, as the bare paper pipeline emits).
+    ``optimizer_options`` passes a full
+    :class:`~repro.core.optimizer.OptimizerOptions` instead, for rule
+    subsets or trace mode.
     """
 
     def wrap(func: Callable) -> QueryFunction:
         if not isinstance(func, FunctionType):
             raise TypeError("@query can only decorate plain functions")
-        return QueryFunction(func, fallback=fallback)
+        options = optimizer_options
+        if options is None:
+            options = OptimizerOptions(optimize=optimize)
+        return QueryFunction(func, fallback=fallback, optimizer_options=options)
 
     if function is not None:
         return wrap(function)

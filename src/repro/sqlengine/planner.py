@@ -22,7 +22,11 @@ cost; ``EXPLAIN`` (and :meth:`SelectPlan.explain`) print them per node.
 Planner behaviour can be tuned via :class:`PlannerOptions`; the ablation
 benchmarks exercise those switches, and ``use_cost_model=False`` falls back
 to the statistics-free greedy join order of the earlier engine (the
-equivalence property tests compare the two).
+equivalence property tests compare the two).  One layer up, the *logical*
+query-tree optimizer has the matching ablation switch
+``repro.core.optimizer.OptimizerOptions(optimize=False)``, which restores
+the unoptimized SQL (full-entity-width SELECT lists, un-normalized
+predicates) of the bare rewriting pipeline.
 """
 
 from __future__ import annotations

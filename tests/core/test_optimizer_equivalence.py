@@ -1,0 +1,168 @@
+"""Property test: the logical optimizer never changes query results.
+
+Hypothesis generates random query trees over the bank schema — one or two
+bindings, randomly shaped predicates (comparisons, AND/OR/NOT, constants,
+equi-joins in the WHERE clause) and entity/column/pair outputs.  Each tree
+is run through the real SQL engine twice: once as built (optimizer off) and
+once through the full rule set.  The returned rows must be identical as
+multisets, with entities compared by primary key.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.optimizer import Optimizer, OptimizerOptions
+from repro.core.querytree.nodes import (
+    ColumnOutput,
+    EntityOutput,
+    PairOutput,
+    QueryTree,
+    SqlBinary,
+    SqlColumn,
+    SqlExpr,
+    SqlLiteral,
+    SqlNot,
+    TupleOutput,
+)
+from repro.core.runtime import execute_generated_query
+from repro.core.sqlgen.generator import SqlGenerator
+from repro.orm.entity import Entity
+from repro.orm.pair import Pair
+from repro.testing import make_bank_db, make_bank_mapping
+
+#: (column, kind) pools per binding alias of the generated trees.
+_CLIENT_COLUMNS = [
+    ("ClientID", "int"),
+    ("Name", "text"),
+    ("Country", "text"),
+    ("PostalCode", "text"),
+]
+_ACCOUNT_COLUMNS = [
+    ("AccountID", "int"),
+    ("ClientID", "int"),
+    ("Balance", "num"),
+    ("MinBalance", "num"),
+]
+
+_TEXT_LITERALS = ["Canada", "Switzerland", "Peru", "Alice", "LA", ""]
+_COMPARISONS = ["=", "!=", "<", "<=", ">", ">="]
+
+
+def _columns_for(alias: str) -> list[tuple[str, str]]:
+    return _CLIENT_COLUMNS if alias == "A" else _ACCOUNT_COLUMNS
+
+
+def _leaf_strategy(aliases: list[str]) -> st.SearchStrategy[SqlExpr]:
+    def make_comparison(draw_tuple):
+        alias, (column, kind), op, number, text = draw_tuple
+        column_ref = SqlColumn(alias, column)
+        if kind == "text":
+            literal = SqlLiteral(text)
+            op = op if op in ("=", "!=") else "="
+        else:
+            literal = SqlLiteral(number)
+        return SqlBinary(op, column_ref, literal)
+
+    comparison = st.tuples(
+        st.sampled_from(aliases),
+        st.sampled_from(_CLIENT_COLUMNS + _ACCOUNT_COLUMNS),
+        st.sampled_from(_COMPARISONS),
+        st.integers(min_value=-5, max_value=1005) | st.sampled_from([0, 1000, 1001, 1002]),
+        st.sampled_from(_TEXT_LITERALS),
+    ).map(
+        lambda t: make_comparison(
+            (t[0], t[1] if t[1] in _columns_for(t[0]) else _columns_for(t[0])[0], *t[2:])
+        )
+    )
+    constant = st.sampled_from([SqlLiteral(True), SqlLiteral(False)])
+    return comparison | constant
+
+
+def _predicate_strategy(aliases: list[str]) -> st.SearchStrategy[SqlExpr]:
+    leaf = _leaf_strategy(aliases)
+    return st.recursive(
+        leaf,
+        lambda children: st.one_of(
+            st.tuples(st.sampled_from(["AND", "OR"]), children, children).map(
+                lambda t: SqlBinary(t[0], t[1], t[2])
+            ),
+            children.map(SqlNot),
+        ),
+        max_leaves=6,
+    )
+
+
+@st.composite
+def query_trees(draw) -> QueryTree:
+    tree = QueryTree()
+    tree.add_binding("Client", "Client")
+    two_bindings = draw(st.booleans())
+    if two_bindings:
+        tree.add_binding("Account", "Account")
+        # The equi-join lives in WHERE so push-join-conditions has work.
+        join = SqlBinary("=", SqlColumn("A", "ClientID"), SqlColumn("B", "ClientID"))
+        predicate = draw(_predicate_strategy(["A", "B"]))
+        tree.where = SqlBinary("AND", join, predicate)
+        output_pool = [
+            EntityOutput("A", "Client"),
+            EntityOutput("B", "Account"),
+            ColumnOutput(SqlColumn("B", "Balance")),
+            ColumnOutput(SqlColumn("A", "Name")),
+        ]
+    else:
+        tree.where = draw(_predicate_strategy(["A"]))
+        output_pool = [
+            EntityOutput("A", "Client"),
+            ColumnOutput(SqlColumn("A", "Name")),
+            ColumnOutput(SqlColumn("A", "ClientID")),
+        ]
+    first = draw(st.sampled_from(output_pool))
+    shape = draw(st.sampled_from(["single", "pair", "tuple"]))
+    if shape == "single":
+        tree.output = first
+    elif shape == "pair":
+        tree.output = PairOutput(first=first, second=draw(st.sampled_from(output_pool)))
+    else:
+        tree.output = TupleOutput(
+            items=(first, draw(st.sampled_from(output_pool)))
+        )
+    return tree
+
+
+def _normalise(value: object) -> object:
+    """Entities compare by (class, pk); Pairs/tuples recurse."""
+    if isinstance(value, Entity):
+        return (type(value).__name__, value.primary_key_value)
+    if isinstance(value, Pair):
+        return ("pair", _normalise(value.getFirst()), _normalise(value.getSecond()))
+    if isinstance(value, tuple):
+        return tuple(_normalise(item) for item in value)
+    return value
+
+
+def _run(tree: QueryTree) -> list[object]:
+    database = make_bank_db()
+    generated = SqlGenerator(make_bank_mapping()).generate(tree)
+    result = execute_generated_query(
+        database.begin_transaction(), generated, {}, None
+    )
+    return sorted((repr(_normalise(item)) for item in result.to_list()))
+
+
+@settings(max_examples=60, deadline=None)
+@given(tree=query_trees())
+def test_optimized_tree_returns_identical_rows(tree: QueryTree) -> None:
+    optimized = Optimizer(make_bank_mapping(), OptimizerOptions()).optimize(tree).tree
+    assert _run(optimized) == _run(tree)
+
+
+@settings(max_examples=20, deadline=None)
+@given(tree=query_trees())
+def test_each_rule_alone_preserves_rows(tree: QueryTree) -> None:
+    """Every individual rule is row-preserving, not just the composition."""
+    mapping = make_bank_mapping()
+    baseline = _run(tree)
+    for rule in Optimizer(mapping).rules:
+        alone = Optimizer(mapping, OptimizerOptions(rules=(rule.name,)))
+        assert _run(alone.optimize(tree).tree) == baseline, rule.name

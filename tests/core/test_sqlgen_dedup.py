@@ -1,0 +1,83 @@
+"""Select-item deduplication must keep ``?`` placeholders and the bound
+parameter list in lockstep (regression: dedup used to key on rendered text,
+where every parameter renders as ``?``)."""
+
+from __future__ import annotations
+
+from repro.core.querytree.nodes import (
+    ColumnOutput,
+    EntityOutput,
+    PairOutput,
+    QueryTree,
+    SqlBinary,
+    SqlColumn,
+    SqlLiteral,
+    SqlParam,
+    TupleOutput,
+)
+from repro.core.sqlgen.generator import SqlGenerator
+from repro.testing import make_bank_db, make_bank_mapping
+
+
+def _tree(output, where=None) -> QueryTree:
+    tree = QueryTree()
+    tree.add_binding("Client", "Client")
+    tree.output = output
+    tree.where = where
+    return tree
+
+
+class TestSelectItemDedup:
+    def test_distinct_parameters_are_not_collapsed(self) -> None:
+        generated = SqlGenerator(make_bank_mapping()).generate(
+            _tree(
+                TupleOutput(
+                    items=(
+                        ColumnOutput(SqlParam(0, "x")),
+                        ColumnOutput(SqlParam(1, "y")),
+                    )
+                ),
+                where=SqlBinary(
+                    "=", SqlColumn("A", "ClientID"), SqlParam(2, "cid")
+                ),
+            )
+        )
+        assert len(generated.select_items) == 2
+        # One bound value per placeholder, in textual order.
+        assert generated.sql.count("?") == len(generated.parameter_sources) == 3
+        assert generated.parameter_sources == ["x", "y", "cid"]
+
+    def test_identical_expressions_share_one_select_item(self) -> None:
+        column = ColumnOutput(SqlColumn("A", "Name"))
+        generated = SqlGenerator(make_bank_mapping()).generate(
+            _tree(TupleOutput(items=(column, column)))
+        )
+        assert len(generated.select_items) == 1
+        plan = generated.output_plan
+        assert plan.items[0] == plan.items[1]
+
+    def test_repeated_identical_parameter_binds_once(self) -> None:
+        parameter = ColumnOutput(SqlParam(0, "x"))
+        generated = SqlGenerator(make_bank_mapping()).generate(
+            _tree(TupleOutput(items=(parameter, parameter)))
+        )
+        assert len(generated.select_items) == 1
+        assert generated.sql.count("?") == len(generated.parameter_sources) == 1
+
+    def test_repeated_entity_output_is_emitted_once_and_executes(self) -> None:
+        entity = EntityOutput("A", "Client")
+        generated = SqlGenerator(make_bank_mapping()).generate(
+            _tree(
+                PairOutput(first=entity, second=entity),
+                where=SqlBinary("=", SqlColumn("A", "ClientID"), SqlLiteral(1000)),
+            )
+        )
+        aliases = [item.split(" AS ")[1] for item in generated.select_items]
+        assert len(aliases) == len(set(aliases))
+
+        from repro.core.runtime import execute_generated_query
+
+        em = make_bank_db().begin_transaction()
+        pair = execute_generated_query(em, generated, {}, None).to_list()[0]
+        assert pair.getFirst() is pair.getSecond()
+        assert pair.getFirst().clientId == 1000

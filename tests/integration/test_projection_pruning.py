@@ -1,0 +1,171 @@
+"""End-to-end projection pruning: the paper's four TPC-W queries emit
+narrow SELECT lists, results are unchanged, and partially loaded entities
+complete lazily without poisoning the identity map."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.core.optimizer import OptimizerOptions
+from repro.core.pipeline import QueryllPipeline
+from repro.pyfrontend.decorator import query
+from repro.pyfrontend.disassembler import lower_function
+from repro.tpcw import queries_queryll
+from repro.tpcw.database import build_database
+from repro.tpcw.population import PopulationScale, customer_uname
+from repro.tpcw.schema import tpcw_mapping
+
+
+def _generated(function, optimize: bool = True):
+    pipeline = QueryllPipeline(
+        tpcw_mapping(), optimizer_options=OptimizerOptions(optimize=optimize)
+    )
+    method = lower_function(function.original)
+    return pipeline.analyze_method(method).queries[0].generated
+
+
+def _selected_columns(sql: str) -> set[str]:
+    """``binding.COLUMN`` references in the SELECT list."""
+    select_list = sql.split(" FROM ")[0]
+    return set(re.findall(r"\(([A-Z]\d?\.[A-Z0-9_]+)\)", select_list))
+
+
+class TestTpcwSelectListsAreNarrow:
+    """Acceptance: generated SQL contains only columns consumed by
+    outputs, predicates and ordering (plus pk/FK for entity identity)."""
+
+    def test_get_name_selects_exactly_the_two_output_columns(self) -> None:
+        generated = _generated(queries_queryll.get_name_loop)
+        assert _selected_columns(generated.sql) == {"A.C_FNAME", "A.C_LNAME"}
+
+    def test_get_customer_prunes_unconsumed_customer_columns(self) -> None:
+        generated = _generated(queries_queryll.get_customer_loop)
+        selected = _selected_columns(generated.sql)
+        # Consumed: predicate (uname), identity keys and join FKs.
+        assert selected == {
+            "A.C_ID", "A.C_UNAME", "A.C_ADDR_ID",
+            "B.ADDR_ID", "B.ADDR_CO_ID",
+            "C.CO_ID",
+        }
+        # The wide, never-consumed columns of the unoptimized SQL are gone.
+        for column in ("A.C_PHONE", "A.C_EMAIL", "A.C_DISCOUNT", "B.ADDR_ZIP",
+                       "C.CO_EXCHANGE"):
+            assert column not in selected
+
+    def test_do_subject_search_prunes_item_and_author_width(self) -> None:
+        generated = _generated(queries_queryll.do_subject_search_loop)
+        selected = _selected_columns(generated.sql)
+        assert "A.I_DESC" not in selected
+        assert "A.I_IMAGE" not in selected
+        assert "B.A_BIO" not in selected
+        assert {"A.I_ID", "A.I_SUBJECT", "A.I_A_ID", "B.A_ID"} <= selected
+
+    def test_do_get_related_prunes_five_way_self_join_width(self) -> None:
+        generated = _generated(queries_queryll.do_get_related_loop)
+        selected = _selected_columns(generated.sql)
+        # 7 identity/FK columns per output item binding instead of all 23.
+        for letter in "BCDEF":
+            assert f"{letter}.I_ID" in selected
+            assert f"{letter}.I_TITLE" not in selected
+            assert f"{letter}.I_DESC" not in selected
+        # The source binding A is only consumed by predicates/joins.
+        assert not any(column.startswith("A.I_TITLE") for column in selected)
+
+    def test_every_selected_column_is_in_the_required_sets(self) -> None:
+        pipeline = QueryllPipeline(tpcw_mapping())
+        for name, function in queries_queryll.QUERY_FUNCTIONS.items():
+            report = pipeline.analyze_method(lower_function(function.original))
+            rewritten = report.queries[0]
+            required = rewritten.tree.required_columns
+            assert required is not None, name
+            for reference in _selected_columns(rewritten.generated.sql):
+                alias, _, column = reference.partition(".")
+                assert column.lower() in required[alias], (name, reference)
+
+    def test_ablation_restores_full_width(self) -> None:
+        optimized = _generated(queries_queryll.do_get_related_loop)
+        unoptimized = _generated(queries_queryll.do_get_related_loop, optimize=False)
+        assert len(unoptimized.select_items) > len(optimized.select_items)
+        assert "B.I_TITLE" in _selected_columns(unoptimized.sql)
+
+
+class TestOptimizedResultsUnchanged:
+    @pytest.fixture(scope="class")
+    def tpcw(self):
+        return build_database(PopulationScale.tiny())
+
+    def test_wrappers_agree_with_unoptimized_pipeline(self, tpcw) -> None:
+        em = tpcw.entity_manager()
+
+        @query(optimize=False)
+        def get_customer_unoptimized(em, username):
+            from repro.orm.pair import Pair
+            from repro.orm.queryset import QuerySet
+            result = QuerySet()
+            for c in em.all('Customer'):
+                if c.uname == username:
+                    result.add(Pair(c, Pair(c.address, c.address.country)))
+            return result
+
+        username = customer_uname(3)
+        optimized = queries_queryll.get_customer(em, username)
+        unoptimized_pairs = get_customer_unoptimized(
+            tpcw.entity_manager(), username
+        ).to_list()
+        assert len(unoptimized_pairs) == 1
+        pair = unoptimized_pairs[0]
+        assert optimized["c_uname"] == pair.getFirst().uname
+        assert optimized["c_fname"] == pair.getFirst().firstName
+        assert optimized["co_name"] == pair.getSecond().getSecond().name
+
+
+class TestPartialEntityIdentityMapSafety:
+    @pytest.fixture(scope="class")
+    def tpcw(self):
+        return build_database(PopulationScale.tiny())
+
+    def test_partial_entity_lazily_completes(self, tpcw) -> None:
+        em = tpcw.entity_manager()
+        rows = queries_queryll.do_get_related_loop(em, 1).to_list()
+        assert rows
+        item = rows[0][0]
+        assert item.is_partially_loaded
+        before = em.queries_executed
+        title = item.title  # not in the pruned SELECT -> one pk lookup
+        assert isinstance(title, str) and title
+        assert em.queries_executed == before + 1
+        assert not item.is_partially_loaded
+        # Further pruned-field reads are served from memory.
+        assert item.thumbnail is not None
+        assert em.queries_executed == before + 1
+
+    def test_partial_entity_does_not_poison_find(self, tpcw) -> None:
+        em = tpcw.entity_manager()
+        partial = queries_queryll.do_get_related_loop(em, 2).to_list()[0][0]
+        found = em.find("Item", partial.itemId)
+        # Identity map: same instance, and the full row was merged in.
+        assert found is partial
+        assert found.title
+
+    def test_full_entity_is_not_degraded_by_partial_row(self, tpcw) -> None:
+        em = tpcw.entity_manager()
+        # Load the full entity first ...
+        related = em.find("Item", 1)._column_value("i_related1")
+        full = em.find("Item", related)
+        assert not full.is_partially_loaded
+        queries_before = em.queries_executed
+        # ... then materialise the same pk from a pruned row.
+        rows = queries_queryll.do_get_related_loop(em, 1).to_list()
+        assert any(item is full for item in rows[0] if item is not None)
+        assert full.title  # still complete, no extra lookup for this read
+        assert em.queries_executed == queries_before + 1  # just the query
+
+    def test_merge_never_clobbers_dirty_fields(self, tpcw) -> None:
+        em = tpcw.entity_manager()
+        partial = queries_queryll.do_get_related_loop(em, 3).to_list()[0][1]
+        partial.stock = 123456  # dirty, locally modified
+        partial.title  # triggers lazy completion
+        assert partial.stock == 123456  # merge did not overwrite the edit
+        assert partial in em.dirty_entities
