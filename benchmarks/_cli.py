@@ -1,0 +1,41 @@
+"""Shared scaffolding for the standalone ``bench_*.py`` entry points.
+
+Every benchmark main speaks the same contract: ``--smoke`` shrinks the
+workload for CI, ``--output PATH`` names the ``BENCH_<name>.json`` artifact
+(``-`` for stdout only), and the JSON report is always printed.  The
+helpers here keep that contract in one place so a change to it (say, a new
+common report field) is a single edit.
+
+The module name starts with an underscore so pytest's ``bench_*.py``
+collection rule never picks it up as a test module.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+
+def parse_bench_args(
+    description: str | None, default_output: str, argv: list[str] | None = None
+) -> argparse.Namespace:
+    """The standard ``--smoke`` / ``--output`` benchmark argument parser."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny workload for CI smoke runs",
+    )
+    parser.add_argument(
+        "--output", default=default_output,
+        help="where to write the JSON report ('-' for stdout only)",
+    )
+    return parser.parse_args(argv)
+
+
+def emit_report(report: dict, output: str) -> None:
+    """Print the report and write it to ``output`` (unless ``-``)."""
+    text = json.dumps(report, indent=2)
+    print(text)
+    if output != "-":
+        Path(output).write_text(text + "\n")

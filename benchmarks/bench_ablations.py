@@ -21,7 +21,6 @@ Two ways to run it (the same split as ``bench_plan_cache.py``):
 
 from __future__ import annotations
 
-import argparse
 import json
 import sys
 import time
@@ -193,27 +192,16 @@ def run_experiment(config: BenchmarkConfig, executions: int) -> dict:
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke", action="store_true",
-        help="tiny workload for CI smoke runs",
-    )
-    parser.add_argument(
-        "--output", default="BENCH_ablations.json",
-        help="where to write the JSON report ('-' for stdout only)",
-    )
-    args = parser.parse_args(argv)
+    from _cli import emit_report, parse_bench_args
+
+    args = parse_bench_args(__doc__, "BENCH_ablations.json", argv)
     if args.smoke:
         config = BenchmarkConfig.quick()
         executions = 30
     else:
         config = BenchmarkConfig.from_environment()
         executions = 300
-    report = run_experiment(config, executions)
-    text = json.dumps(report, indent=2)
-    print(text)
-    if args.output != "-":
-        Path(args.output).write_text(text + "\n")
+    emit_report(run_experiment(config, executions), args.output)
     return 0
 
 

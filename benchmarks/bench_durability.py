@@ -1,0 +1,233 @@
+"""Durability benchmark: commit throughput per fsync policy, group-commit
+batching under concurrency, and recovery time as a function of log length.
+
+Two ways to run it:
+
+* ``python benchmarks/bench_durability.py [--smoke] [--output PATH]`` —
+  standalone: emits a machine-readable JSON document (written to
+  ``BENCH_durability.json`` by default) so the durability cost/recovery
+  trajectory accumulates across PRs.  ``--smoke`` shrinks the workload for
+  CI.
+* ``python -m pytest benchmarks/bench_durability.py`` — as a test,
+  asserting the report shape, that group commit coalesces fsyncs under
+  concurrency, and that recovery time grows with log length.
+
+The experiment answers the three questions the durability design raises:
+what does each fsync policy cost per commit (``always`` vs ``group`` vs
+``off`` vs a purely in-memory engine), how much does group commit recover
+under concurrent committers, and how long does restart take as the
+write-ahead log grows (with and without a checkpoint).
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import time
+import sys
+from pathlib import Path
+
+if __name__ == "__main__":  # standalone: make src/ importable without pytest
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.sqlengine.durability import DurabilityOptions
+from repro.sqlengine.engine import Database
+
+
+SCHEMA = "CREATE TABLE events (id INTEGER PRIMARY KEY, thread INTEGER, payload VARCHAR)"
+INSERT = "INSERT INTO events (id, thread, payload) VALUES (?, ?, ?)"
+PAYLOAD = "x" * 48
+
+
+def _open_database(data_dir: str | None, fsync: str) -> Database:
+    if data_dir is None:
+        return Database()
+    return Database(
+        data_dir=data_dir,
+        # The benchmark wants to see log growth, not checkpoints.
+        durability=DurabilityOptions(fsync=fsync, checkpoint_log_bytes=None),
+    )
+
+
+def measure_commit_throughput(
+    fsync: str | None, threads: int, commits_per_thread: int
+) -> dict[str, object]:
+    """Commits/sec for one fsync policy (None = in-memory baseline).
+
+    Every commit is a single-row INSERT in its own transaction, issued from
+    ``threads`` concurrent sessions — the worst case for per-commit fsync
+    and the best case for group commit.
+    """
+    with tempfile.TemporaryDirectory() as scratch:
+        database = _open_database(None if fsync is None else scratch, fsync or "off")
+        database.execute(SCHEMA)
+        barrier = threading.Barrier(threads + 1)
+        errors: list[BaseException] = []
+
+        def worker(index: int) -> None:
+            try:
+                session = database.session(autocommit=False)
+                barrier.wait()
+                for i in range(commits_per_thread):
+                    session.execute(
+                        INSERT, (index * 1_000_000 + i, index, PAYLOAD)
+                    )
+                    session.commit()
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        workers = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(threads)
+        ]
+        for thread in workers:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in workers:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        if errors:
+            raise errors[0]
+        commits = threads * commits_per_thread
+        info = database.durability_info()
+        database.close()
+        return {
+            "fsync": fsync or "in-memory",
+            "threads": threads,
+            "commits": commits,
+            "elapsed_s": elapsed,
+            "commits_per_sec": commits / elapsed if elapsed > 0 else float("inf"),
+            "syncs_issued": info.get("syncs_issued", 0),
+            "log_bytes": info.get("log_bytes", 0),
+        }
+
+
+def measure_recovery(
+    row_counts: list[int], checkpoint_last: bool = True
+) -> list[dict[str, object]]:
+    """Recovery time after a simulated crash, per log length.
+
+    For each row count the database is populated with that many committed
+    single-row transactions, "killed" (reopened without close/checkpoint)
+    and the reopen timed.  The largest configuration is measured again
+    after a CHECKPOINT to show what log truncation buys.
+    """
+    results: list[dict[str, object]] = []
+    for rows in row_counts:
+        with tempfile.TemporaryDirectory() as scratch:
+            database = _open_database(scratch, "off")
+            database.execute(SCHEMA)
+            session = database.session(autocommit=False)
+            for i in range(rows):
+                session.execute(INSERT, (i, 0, PAYLOAD))
+                if i % 16 == 15:
+                    session.commit()
+            session.commit()
+            log_bytes = database.durability_info()["log_bytes"]
+            started = time.perf_counter()
+            recovered = _open_database(scratch, "off")
+            elapsed = time.perf_counter() - started
+            info = recovered.durability_info()
+            assert recovered.row_count("events") == rows
+            results.append(
+                {
+                    "rows": rows,
+                    "wal_bytes": log_bytes,
+                    "recover_s": elapsed,
+                    "recovered_transactions": info["recovered_transactions"],
+                    "checkpointed": False,
+                }
+            )
+            if checkpoint_last and rows == max(row_counts):
+                recovered.checkpoint()
+                started = time.perf_counter()
+                warm = _open_database(scratch, "off")
+                elapsed = time.perf_counter() - started
+                assert warm.row_count("events") == rows
+                results.append(
+                    {
+                        "rows": rows,
+                        "wal_bytes": warm.durability_info()["log_bytes"],
+                        "recover_s": elapsed,
+                        "recovered_transactions": warm.durability_info()[
+                            "recovered_transactions"
+                        ],
+                        "checkpointed": True,
+                    }
+                )
+    return results
+
+
+def run_experiment(
+    threads: int, commits_per_thread: int, recovery_rows: list[int]
+) -> dict:
+    """The full durability experiment as a JSON-serialisable dict."""
+    policies = [None, "off", "group", "always"]
+    throughput = [
+        measure_commit_throughput(policy, threads, commits_per_thread)
+        for policy in policies
+    ]
+    return {
+        "benchmark": "durability",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "config": {
+            "threads": threads,
+            "commits_per_thread": commits_per_thread,
+            "recovery_rows": recovery_rows,
+        },
+        "commit_throughput": throughput,
+        "recovery": measure_recovery(recovery_rows),
+    }
+
+
+# -- pytest entry points -----------------------------------------------------
+
+
+def test_durability_report_shape_and_invariants(capsys) -> None:
+    report = run_experiment(
+        threads=4, commits_per_thread=40, recovery_rows=[64, 256]
+    )
+    by_policy = {entry["fsync"]: entry for entry in report["commit_throughput"]}
+    assert set(by_policy) == {"in-memory", "off", "group", "always"}
+    for entry in by_policy.values():
+        assert entry["commits_per_sec"] > 0
+    # Group commit must coalesce: strictly fewer fsyncs than commits.
+    group = by_policy["group"]
+    assert 0 < group["syncs_issued"] < group["commits"]
+    # ``always`` pays one fsync per commit batch (plus the close).
+    always = by_policy["always"]
+    assert always["syncs_issued"] >= always["commits"]
+    # Recovery: more rows -> more log -> more replayed transactions, and a
+    # checkpoint collapses the log to (almost) nothing.
+    plain = [entry for entry in report["recovery"] if not entry["checkpointed"]]
+    assert plain[0]["wal_bytes"] < plain[-1]["wal_bytes"]
+    checkpointed = [entry for entry in report["recovery"] if entry["checkpointed"]]
+    assert checkpointed and checkpointed[0]["wal_bytes"] < plain[-1]["wal_bytes"]
+    assert checkpointed[0]["recovered_transactions"] == 0
+    with capsys.disabled():
+        print("\n" + json.dumps(report, indent=2))
+
+
+# -- standalone entry point --------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    from _cli import emit_report, parse_bench_args
+
+    args = parse_bench_args(__doc__, "BENCH_durability.json", argv)
+    if args.smoke:
+        report = run_experiment(
+            threads=4, commits_per_thread=50, recovery_rows=[100, 400]
+        )
+    else:
+        report = run_experiment(
+            threads=8, commits_per_thread=250, recovery_rows=[1000, 4000, 16000]
+        )
+    emit_report(report, args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,7 +19,6 @@ concurrent TPC-W driver.
 
 from __future__ import annotations
 
-import argparse
 import json
 import sys
 import time
@@ -104,16 +103,9 @@ def test_plan_cache_split_and_throughput(tpcw_benchmark, capsys) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke", action="store_true",
-        help="tiny workload for CI smoke runs",
-    )
-    parser.add_argument(
-        "--output", default="BENCH_plan_cache.json",
-        help="where to write the JSON report ('-' for stdout only)",
-    )
-    args = parser.parse_args(argv)
+    from _cli import emit_report, parse_bench_args
+
+    args = parse_bench_args(__doc__, "BENCH_plan_cache.json", argv)
     if args.smoke:
         config = BenchmarkConfig.quick()
         executions, interactions = 50, 200
@@ -124,10 +116,7 @@ def main(argv: list[str] | None = None) -> int:
     report = run_experiment(
         benchmark, executions=executions, driver_interactions=interactions
     )
-    text = json.dumps(report, indent=2)
-    print(text)
-    if args.output != "-":
-        Path(args.output).write_text(text + "\n")
+    emit_report(report, args.output)
     warm = sum(q["execute_warm_ms"] for q in report["queries"].values())
     cold = sum(q["execute_cold_ms"] for q in report["queries"].values())
     if warm >= cold:

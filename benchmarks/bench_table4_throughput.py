@@ -6,9 +6,21 @@ PostgreSQL on 2006 hardware; what is expected to hold here is the *relative*
 picture per query — see EXPERIMENTS.md for the measured comparison.
 
 Set ``REPRO_TPCW_PROFILE=paper`` for the full-scale configuration.
+
+Standalone, ``python benchmarks/bench_table4_throughput.py [--smoke]
+[--output PATH]`` runs the harness's own Table 4 protocol once and emits a
+machine-readable JSON report (``BENCH_table4.json`` by default) so the
+latency trajectory accumulates across PRs like the other BENCH artifacts.
 """
 
 from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # standalone: make src/ importable without pytest
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import pytest
 
@@ -61,3 +73,61 @@ def test_do_get_related_queryll(benchmark, tpcw_benchmark) -> None:
 @pytest.mark.benchmark(group="Table4-doGetRelated")
 def test_do_get_related_handwritten(benchmark, tpcw_benchmark) -> None:
     benchmark(tpcw_benchmark.run_do_get_related_handwritten)
+
+
+# -- standalone entry point --------------------------------------------------
+
+
+def _measurement_to_dict(measurement) -> dict[str, float]:
+    return {
+        "mean_ms": measurement.mean_ms,
+        "stdev_ms": measurement.stdev_ms,
+        "per_execution_us": measurement.per_execution_us,
+    }
+
+
+def run_report(config) -> dict:
+    """The full Table 4 protocol as a JSON-serialisable dict."""
+    from repro.tpcw.harness import TpcwBenchmark
+
+    harness = TpcwBenchmark(config)
+    queries = {}
+    for result in harness.run_table4():
+        entry = {
+            "queryll": _measurement_to_dict(result.queryll),
+            "handwritten": _measurement_to_dict(result.handwritten),
+            "difference_ms": result.difference_ms,
+            "ratio": result.ratio,
+        }
+        if result.extra_variant is not None:
+            entry[result.extra_variant_label.replace(" ", "_")] = (
+                _measurement_to_dict(result.extra_variant)
+            )
+        queries[result.query] = entry
+    return {
+        "benchmark": "table4",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "config": {
+            "num_items": config.scale.num_items,
+            "num_customers": config.scale.num_customers,
+            "measured_executions": config.measured_executions,
+            "runs": config.runs,
+        },
+        "queries": queries,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    from _cli import emit_report, parse_bench_args
+    from repro.tpcw.harness import BenchmarkConfig
+
+    args = parse_bench_args(__doc__, "BENCH_table4.json", argv)
+    config = (
+        BenchmarkConfig.quick() if args.smoke else BenchmarkConfig.from_environment()
+    )
+    emit_report(run_report(config), args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,9 +4,22 @@
 Each benchmark measures the corresponding pipeline stage on the paper's
 running example (the Seattle/LA office query of Fig. 10) and prints the
 regenerated artefact once so it can be compared with the paper by eye.
+
+Standalone, ``python benchmarks/bench_tables1_2_figs11_12.py [--smoke]
+[--output PATH]`` times every stage and emits a machine-readable JSON
+report (``BENCH_tables1_2.json`` by default) containing the per-stage
+latencies and the regenerated artefacts, matching the other BENCH
+artifacts' interface.
 """
 
 from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # standalone: make src/ importable without pytest
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.analysis.foreach import find_foreach_queries
 from repro.core.analysis.paths import enumerate_paths
@@ -73,3 +86,66 @@ def test_fig12_sql_generation(benchmark, office_classfile, bank_mapping) -> None
     sql = report.queries[0].sql
     assert " OR " in sql and "'Seattle'" in sql and "'LA'" in sql
     _print_once("Fig. 12 (generated SQL)", sql)
+
+
+# -- standalone entry point --------------------------------------------------
+
+
+def _time_stage(operation, iterations: int) -> float:
+    """Mean milliseconds per call over ``iterations`` calls (1 warm-up)."""
+    operation()
+    started = time.perf_counter()
+    for _ in range(iterations):
+        operation()
+    return (time.perf_counter() - started) * 1000.0 / iterations
+
+
+def run_report(iterations: int) -> dict:
+    """Per-stage latencies + regenerated artefacts as a JSON-able dict."""
+    from repro.minijava import compile_source
+    from repro.testing import OFFICE_QUERY_SOURCE, make_bank_mapping
+
+    classfile = compile_source(OFFICE_QUERY_SOURCE)
+    raw_method = classfile.method("westCoast")
+    method = method_to_tac(raw_method)
+    cfg = build_cfg(method)
+    query = find_foreach_queries(method)[0]
+    paths = enumerate_paths(method, cfg, query)
+    pipeline = QueryllPipeline(make_bank_mapping())
+    sql = pipeline.analyze_method(method).queries[0].sql
+    return {
+        "benchmark": "tables1_2",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "config": {"iterations": iterations},
+        "stages_ms": {
+            "fig11_tac_conversion": _time_stage(
+                lambda: method_to_tac(raw_method), iterations
+            ),
+            "table1_path_enumeration": _time_stage(
+                lambda: enumerate_paths(method, cfg, query), iterations
+            ),
+            "table2_backward_substitution": _time_stage(
+                lambda: analyze_path(method, query, paths[1], record_trace=True),
+                iterations,
+            ),
+            "fig12_full_pipeline": _time_stage(
+                lambda: pipeline.analyze_method(method), iterations
+            ),
+        },
+        "artifacts": {
+            "paths": [list(path.instruction_indexes) for path in paths],
+            "generated_sql": sql,
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    from _cli import emit_report, parse_bench_args
+
+    args = parse_bench_args(__doc__, "BENCH_tables1_2.json", argv)
+    emit_report(run_report(iterations=20 if args.smoke else 200), args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,23 +15,8 @@ from __future__ import annotations
 import pytest
 
 from repro.minijava import compile_source
-from repro.testing import make_bank_db, make_bank_mapping
+from repro.testing import OFFICE_QUERY_SOURCE, make_bank_db, make_bank_mapping
 from repro.tpcw import BenchmarkConfig, TpcwBenchmark
-
-OFFICE_QUERY_SOURCE = """
-class OfficeQueries {
-    @Query
-    QuerySet<Office> westCoast(EntityManager em, QuerySet<Office> westcoast) {
-        for (Office of : em.allOffice()) {
-            if (of.getName().equals("Seattle"))
-                westcoast.add(of);
-            else if (of.getName().equals("LA"))
-                westcoast.add(of);
-        }
-        return westcoast;
-    }
-}
-"""
 
 
 @pytest.fixture(scope="session")

@@ -102,6 +102,26 @@ class Connection:
         """Whether :meth:`close` has been called."""
         return self._closed
 
+    # -- context-manager protocol ------------------------------------------------
+
+    def __enter__(self) -> "Connection":
+        """``with connect(...) as conn:`` — commit on clean exit, roll back
+        on exception, always close."""
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            if self._session.in_transaction:
+                # Real COMMIT/ROLLBACK round trips, so the round-trip
+                # counters tell the same story as explicit calls would.
+                if exc_type is None:
+                    self.commit()
+                else:
+                    self.rollback()
+        finally:
+            self.close()
+
     # -- internals ---------------------------------------------------------------
 
     def _execute(self, sql: str, params: Sequence[object]) -> EngineResultSet:

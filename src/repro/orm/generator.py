@@ -58,12 +58,25 @@ class OrmTool:
 
     # -- schema generation -----------------------------------------------------------
 
-    def create_schema(self, database: Database, create_indexes: bool = True) -> None:
-        """Create the tables (and useful indexes) implied by the mapping."""
+    def create_schema(
+        self,
+        database: Database,
+        create_indexes: bool = True,
+        skip_existing: bool = False,
+    ) -> None:
+        """Create the tables (and useful indexes) implied by the mapping.
+
+        With ``skip_existing`` tables and indexes already in the catalog
+        are left alone instead of raising — the reopen path for a durable
+        database, where part (or all) of the schema was recovered from
+        disk and only the remainder must be created.
+        """
         for entity_name in self._mapping.entity_names():
             entity_mapping = self._mapping.entity(entity_name)
             schema = entity_mapping.to_table_schema()
             if database.catalog.has_table(schema.name):
+                if skip_existing:
+                    continue
                 raise OrmError(f"table {schema.name!r} already exists")
             database.create_table(schema)
         if create_indexes:
@@ -89,5 +102,6 @@ class OrmTool:
                     name.lower() for name in schema.primary_key_columns
                 ):
                     continue
-                database.create_index(table, [column])
+                if database.table_data(table).find_equality_index((column,)) is None:
+                    database.create_index(table, [column])
                 created.add(key)

@@ -18,6 +18,7 @@ from repro.orm.entity import Entity
 from repro.orm.entity_manager import EntityManager
 from repro.orm.generator import OrmTool
 from repro.orm.mapping import OrmMapping
+from repro.sqlengine.durability import DurabilityOptions
 from repro.sqlengine.engine import Database
 from repro.sqlengine.planner import PlannerOptions
 
@@ -31,11 +32,26 @@ class QueryllDatabase:
         database: Optional[Database] = None,
         create_schema: bool = True,
         planner_options: Optional[PlannerOptions] = None,
+        data_dir: Optional[str] = None,
+        durability: Optional[DurabilityOptions] = None,
     ) -> None:
-        self._database = database or Database(planner_options=planner_options)
+        if database is None:
+            # ``data_dir`` opens (or recovers) a durable engine; see
+            # repro.sqlengine.durability.  In-memory stays the default.
+            database = Database(
+                planner_options=planner_options,
+                data_dir=data_dir,
+                durability=durability,
+            )
+        self._database = database
         self._tool = OrmTool(mapping)
         if create_schema:
-            self._tool.create_schema(self._database)
+            # On a durable engine part (or all) of the schema may have been
+            # recovered from disk — including a partial schema left by a
+            # crash mid-creation — so only the missing pieces are created.
+            self._tool.create_schema(
+                self._database, skip_existing=self._database.durable
+            )
         self._entity_classes = self._tool.generate_entity_classes()
 
     # -- accessors -------------------------------------------------------------------

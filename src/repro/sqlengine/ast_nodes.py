@@ -235,6 +235,12 @@ class TransactionStatement:
     savepoint: Optional[str] = None
 
 
+@dataclass(frozen=True)
+class CheckpointStatement:
+    """``CHECKPOINT``: snapshot the database and truncate the write-ahead
+    log.  A no-op on an in-memory (non-durable) database."""
+
+
 Statement = Union[
     SelectStatement,
     InsertStatement,
@@ -245,4 +251,5 @@ Statement = Union[
     DropTableStatement,
     ExplainStatement,
     TransactionStatement,
+    CheckpointStatement,
 ]

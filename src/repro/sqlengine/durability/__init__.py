@@ -1,0 +1,31 @@
+"""Durability subsystem for the SQL engine: WAL, checkpoints, recovery.
+
+Three cooperating pieces give the engine its persistence story:
+
+* :mod:`~repro.sqlengine.durability.wal` — the binary write-ahead log
+  (length-prefixed, checksummed records) with a group-commit
+  :class:`~repro.sqlengine.durability.wal.WalWriter`;
+* :mod:`~repro.sqlengine.durability.snapshot` — atomic full-state
+  checkpoint files that let the log be truncated;
+* :mod:`~repro.sqlengine.durability.recovery` — the restart path: load the
+  latest snapshot, replay the surviving log epochs, discard uncommitted
+  tails.
+
+:class:`~repro.sqlengine.durability.manager.DurabilityManager` wires them
+together; the engine constructs one when opened with ``data_dir=...`` and
+otherwise pays nothing (in-memory operation stays the default).  See
+``docs/durability.md`` for the record format and the protocols.
+"""
+
+from repro.sqlengine.durability.wal import WalError, WalWriter
+from repro.sqlengine.durability.manager import DurabilityManager, DurabilityOptions
+from repro.sqlengine.durability.recovery import RecoveryInfo, recover
+
+__all__ = [
+    "DurabilityManager",
+    "DurabilityOptions",
+    "RecoveryInfo",
+    "WalError",
+    "WalWriter",
+    "recover",
+]

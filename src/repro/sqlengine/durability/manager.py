@@ -1,0 +1,239 @@
+"""The durability manager: one object owning a database's on-disk state.
+
+A :class:`~repro.sqlengine.engine.Database` opened with ``data_dir=...``
+constructs one :class:`DurabilityManager`.  The manager
+
+* runs crash recovery at construction (snapshot load + log replay into the
+  engine's catalog/tables),
+* owns the live :class:`~repro.sqlengine.durability.wal.WalWriter` and
+  translates committed transactions, bulk loads and DDL into log records,
+* cuts checkpoints — atomically snapshotting the tables, rotating to a
+  fresh log epoch and deleting the log files the snapshot supersedes —
+  either on demand (the ``CHECKPOINT`` statement) or automatically when the
+  live log grows past ``checkpoint_log_bytes``.
+
+Locking contract: every ``log_*`` method and :meth:`checkpoint` must be
+called while holding the database write lock (appends then happen in commit
+order and snapshots see no uncommitted data); :meth:`sync` must be called
+*without* it, so waiting for the disk never serialises other sessions.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.sqlengine.catalog import Catalog, TableSchema
+from repro.sqlengine.durability import wal
+from repro.sqlengine.durability.recovery import (
+    RecoveryInfo,
+    list_wal_epochs,
+    recover,
+    wal_path,
+)
+from repro.sqlengine.durability.snapshot import (
+    schema_to_payload,
+    write_snapshot,
+)
+from repro.sqlengine.storage import TableData
+
+
+@dataclass(frozen=True)
+class DurabilityOptions:
+    """Knobs of the durability subsystem.
+
+    ``fsync`` selects the commit durability policy: ``"always"`` fsyncs in
+    every commit's append, ``"group"`` (the default) batches one fsync
+    across concurrently committing sessions, ``"off"`` leaves flushing to
+    the OS (process-crash safe, power-loss unsafe).  ``checkpoint_log_bytes``
+    triggers an automatic checkpoint when the live log (bytes replayed at
+    startup plus bytes appended since) exceeds it; ``None`` disables
+    automatic checkpoints.
+    """
+
+    fsync: str = "group"
+    checkpoint_log_bytes: Optional[int] = 64 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.fsync not in wal.FSYNC_POLICIES:
+            raise wal.WalError(
+                f"unknown fsync policy {self.fsync!r}; "
+                f"expected one of {wal.FSYNC_POLICIES}"
+            )
+
+
+class DurabilityManager:
+    """Write-ahead logging, checkpointing and recovery for one database."""
+
+    def __init__(
+        self,
+        data_dir: str,
+        options: DurabilityOptions,
+        catalog: Catalog,
+        tables: dict[str, TableData],
+    ) -> None:
+        self.data_dir = data_dir
+        self.options = options
+        self._catalog = catalog
+        self._tables = tables
+        os.makedirs(data_dir, exist_ok=True)
+        self.recovery_info: RecoveryInfo = recover(data_dir, catalog, tables)
+        self._epoch = self.recovery_info.next_epoch
+        self._writer = wal.WalWriter(
+            wal_path(data_dir, self._epoch), fsync=options.fsync
+        )
+        # Log volume that the *next* checkpoint would absorb: everything
+        # replayed at startup plus everything appended since.
+        self._carried_bytes = self.recovery_info.bytes_replayed
+        self._txn_lock = threading.Lock()
+        self._next_txn = self.recovery_info.transactions_committed + 1
+        self._closed = False
+        #: Checkpoints cut over this manager's lifetime.
+        self.checkpoints_taken = 0
+
+    # -- logging (call with the database write lock held) ---------------------
+    #
+    # Every log_* method returns an opaque *ticket* — (writer, sequence) —
+    # that :meth:`sync` later redeems.  Binding the writer instance into
+    # the ticket matters: a checkpoint may rotate ``self._writer`` between
+    # a commit's append (under the database write lock) and its sync
+    # (after releasing it), and the new writer's sequence numbers restart
+    # from zero.  Redeeming the ticket against the *original* writer is
+    # always correct — a rotated-away writer was flushed and fsynced by
+    # ``close()``, which marks every appended batch synced and wakes any
+    # waiter, so a stale ticket's sync returns immediately.
+
+    def log_commit(self, undo_entries: Iterable[tuple]) -> tuple:
+        """Append one committed transaction's redo batch; returns a ticket
+        to pass to :meth:`sync` after releasing the write lock."""
+        with self._txn_lock:
+            txn = self._next_txn
+            self._next_txn += 1
+        writer = self._writer
+        return writer, writer.append(wal.redo_records(txn, undo_entries))
+
+    def log_bulk_insert(
+        self, table: str, rows: Iterable[tuple[int, tuple[object, ...]]]
+    ) -> tuple:
+        """Append a non-transactional bulk load (``Database.insert_rows``)
+        as one committed transaction; returns a sync ticket."""
+        with self._txn_lock:
+            txn = self._next_txn
+            self._next_txn += 1
+        records = [wal.encode_marker(wal.BEGIN, txn)]
+        for row_id, row in rows:
+            records.append(wal.encode_insert(txn, table, row_id, row))
+        records.append(wal.encode_marker(wal.COMMIT, txn))
+        writer = self._writer
+        return writer, writer.append(records)
+
+    def log_create_table(self, schema: TableSchema) -> tuple:
+        """Append a CREATE TABLE record; returns a sync ticket."""
+        return self._append_ddl(
+            {"kind": "create_table", "schema": schema_to_payload(schema)}
+        )
+
+    def log_create_index(
+        self,
+        table: str,
+        name: str,
+        columns: tuple[str, ...],
+        unique: bool,
+        ordered: bool,
+    ) -> tuple:
+        """Append a CREATE INDEX record; returns a sync ticket."""
+        return self._append_ddl(
+            {
+                "kind": "create_index",
+                "table": table,
+                "index": {
+                    "name": name,
+                    "columns": list(columns),
+                    "unique": unique,
+                    "ordered": ordered,
+                },
+            }
+        )
+
+    def log_drop_table(self, table: str) -> tuple:
+        """Append a DROP TABLE record; returns a sync ticket."""
+        return self._append_ddl({"kind": "drop_table", "table": table})
+
+    def _append_ddl(self, payload: dict) -> tuple:
+        writer = self._writer
+        return writer, writer.append([wal.encode_ddl(payload)])
+
+    # -- durability wait (call withOUT the database write lock) ---------------
+
+    def sync(self, ticket: tuple) -> None:
+        """Wait until the ticket's batch is durable per the fsync policy."""
+        writer, seq = ticket
+        writer.sync(seq)
+
+    # -- checkpointing ---------------------------------------------------------
+
+    @property
+    def log_bytes(self) -> int:
+        """Live log volume a checkpoint would absorb right now."""
+        return self._carried_bytes + self._writer.bytes_written
+
+    def should_checkpoint(self) -> bool:
+        """Whether the automatic size trigger has fired."""
+        limit = self.options.checkpoint_log_bytes
+        return limit is not None and self.log_bytes > limit
+
+    def checkpoint(self) -> int:
+        """Cut a checkpoint; returns the new log epoch.
+
+        Must be called with the database write lock held: the snapshot then
+        contains exactly the committed state, and no commit can append to
+        the outgoing log file while it is being superseded.
+        """
+        old_epoch = self._epoch
+        new_epoch = old_epoch + 1
+        self._writer.close()
+        self._writer = wal.WalWriter(
+            wal_path(self.data_dir, new_epoch), fsync=self.options.fsync
+        )
+        marker_seq = self._writer.append([wal.encode_checkpoint(new_epoch)])
+        self._writer.sync(marker_seq)
+        self._epoch = new_epoch
+        write_snapshot(self.data_dir, new_epoch, self._tables)
+        for epoch in list_wal_epochs(self.data_dir):
+            if epoch < new_epoch:
+                os.remove(wal_path(self.data_dir, epoch))
+        self._carried_bytes = 0
+        self.checkpoints_taken += 1
+        return new_epoch
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def close(self) -> None:
+        """Flush and close the live log file (no checkpoint is cut — a
+        clean close and a crash recover identically, by design)."""
+        if not self._closed:
+            self._closed = True
+            self._writer.close()
+
+    # -- observability ---------------------------------------------------------
+
+    def info(self) -> dict[str, object]:
+        """Counters for tests, benchmarks and debugging."""
+        return {
+            "data_dir": self.data_dir,
+            "fsync": self.options.fsync,
+            "epoch": self._epoch,
+            "log_bytes": self.log_bytes,
+            "batches_appended": self._writer.batches_appended,
+            "syncs_issued": self._writer.syncs_issued,
+            "checkpoints_taken": self.checkpoints_taken,
+            "recovered_transactions": self.recovery_info.transactions_committed,
+            "recovered_records": self.recovery_info.records_scanned,
+        }

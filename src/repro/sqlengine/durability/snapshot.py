@@ -1,0 +1,251 @@
+"""Checkpoint snapshots: the full database state in one atomic file.
+
+A snapshot serialises the catalog (every table schema), the index
+definitions and the row storage — including tombstone positions, so row
+identifiers survive a round trip and the write-ahead log's exact-position
+redo records keep applying.  Indexes themselves are *not* stored: they are
+rebuilt from their definitions while loading, which also re-derives the
+incremental distinct-key statistics the cost-based planner reads.
+
+File layout::
+
+    MAGIC "RSNAP1\\n" | u32 version | u64 epoch | u32 table count
+    per table: u32 length | payload | u32 crc32(payload)
+
+Each table payload is a varint-length JSON header (schema, index
+definitions, slot count) followed by the rows in the WAL's binary row
+codec, each prefixed with its row id.  The snapshot is written to a
+temporary file, fsynced and atomically renamed over ``snapshot.db``; a
+crash mid-checkpoint therefore leaves the previous snapshot (and the log
+files it needs) fully intact.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import json
+from dataclasses import dataclass
+from typing import Optional
+from zlib import crc32
+
+from repro.sqlengine.catalog import Catalog, ColumnSchema, SqlType, TableSchema
+from repro.sqlengine.durability.wal import (
+    WalError,
+    decode_row,
+    decode_varint,
+    encode_row,
+    encode_varint,
+)
+from repro.sqlengine.indexes import OrderedIndex
+from repro.sqlengine.storage import TableData
+
+MAGIC = b"RSNAP1\n"
+VERSION = 1
+SNAPSHOT_NAME = "snapshot.db"
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+
+class SnapshotError(WalError):
+    """A snapshot file failed validation."""
+
+
+# -- schema <-> JSON ---------------------------------------------------------
+
+
+def schema_to_payload(schema: TableSchema) -> dict:
+    """A JSON-serialisable description of one table schema."""
+    return {
+        "name": schema.name,
+        "columns": [
+            {
+                "name": column.name,
+                "type": column.sql_type.value,
+                "primary_key": column.primary_key,
+                "unique": column.unique,
+                "nullable": column.nullable,
+                "length": column.length,
+            }
+            for column in schema.columns
+        ],
+    }
+
+
+def schema_from_payload(payload: dict) -> TableSchema:
+    """Rebuild a :class:`TableSchema` from :func:`schema_to_payload` output."""
+    return TableSchema(
+        name=payload["name"],
+        columns=tuple(
+            ColumnSchema(
+                name=column["name"],
+                sql_type=SqlType(column["type"]),
+                primary_key=column["primary_key"],
+                unique=column["unique"],
+                nullable=column["nullable"],
+                length=column["length"],
+            )
+            for column in payload["columns"]
+        ),
+    )
+
+
+def index_definitions(data: TableData) -> list[dict]:
+    """JSON-serialisable definitions of every index on a table."""
+    return [
+        {
+            "name": name,
+            "columns": list(index.columns),
+            "unique": index.unique,
+            "ordered": isinstance(index, OrderedIndex),
+        }
+        for name, index in data.indexes().items()
+    ]
+
+
+def apply_index_definitions(data: TableData, definitions: list[dict]) -> None:
+    """Create every index that does not already exist (the primary-key index
+    is created by ``TableData.__init__`` and is skipped here)."""
+    existing = set(data.indexes())
+    for definition in definitions:
+        if definition["name"] in existing:
+            continue
+        data.create_index(
+            definition["name"],
+            tuple(definition["columns"]),
+            unique=definition["unique"],
+            ordered=definition["ordered"],
+        )
+
+
+# -- write -------------------------------------------------------------------
+
+
+def _encode_table(data: TableData) -> bytes:
+    header = {
+        "schema": schema_to_payload(data.schema),
+        "indexes": index_definitions(data),
+        "slot_count": data.slot_count(),
+    }
+    raw_header = json.dumps(header, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    out = bytearray()
+    encode_varint(len(raw_header), out)
+    out.extend(raw_header)
+    rows = list(data.scan())
+    encode_varint(len(rows), out)
+    for row_id, row in rows:
+        encode_varint(row_id, out)
+        encode_row(row, out)
+    return bytes(out)
+
+
+def write_snapshot(
+    data_dir: str, epoch: int, tables: dict[str, TableData]
+) -> str:
+    """Write an atomic snapshot of ``tables`` tagged with ``epoch``.
+
+    Returns the final snapshot path.  Callers must hold the database write
+    lock so the serialised state contains no uncommitted data.
+    """
+    final_path = os.path.join(data_dir, SNAPSHOT_NAME)
+    tmp_path = final_path + ".tmp"
+    with open(tmp_path, "wb") as handle:
+        handle.write(MAGIC)
+        handle.write(_U32.pack(VERSION))
+        handle.write(_U64.pack(epoch))
+        handle.write(_U32.pack(len(tables)))
+        for data in tables.values():
+            payload = _encode_table(data)
+            handle.write(_U32.pack(len(payload)))
+            handle.write(payload)
+            handle.write(_U32.pack(crc32(payload)))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, final_path)
+    _fsync_directory(data_dir)
+    return final_path
+
+
+def _fsync_directory(path: str) -> None:
+    """Persist a rename/unlink by fsyncing the containing directory."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without directory fds
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+# -- read --------------------------------------------------------------------
+
+
+@dataclass
+class LoadedSnapshot:
+    """A decoded snapshot: the epoch it was cut at plus the rebuilt tables."""
+
+    epoch: int
+    schemas: list[TableSchema]
+    tables: dict[str, TableData]
+
+
+def load_snapshot(data_dir: str) -> Optional[LoadedSnapshot]:
+    """Load ``snapshot.db`` from ``data_dir``; None when no snapshot exists.
+
+    Unlike the log (whose tail may legitimately be torn), a snapshot is
+    written atomically, so any validation failure raises
+    :class:`SnapshotError` instead of being silently skipped.
+    """
+    path = os.path.join(data_dir, SNAPSHOT_NAME)
+    if not os.path.exists(path):
+        return None
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if not data.startswith(MAGIC):
+        raise SnapshotError(f"{path}: bad snapshot magic")
+    offset = len(MAGIC)
+    if offset + 16 > len(data):
+        raise SnapshotError(f"{path}: truncated snapshot header")
+    (version,) = _U32.unpack_from(data, offset)
+    if version != VERSION:
+        raise SnapshotError(f"{path}: unsupported snapshot version {version}")
+    (epoch,) = _U64.unpack_from(data, offset + 4)
+    (table_count,) = _U32.unpack_from(data, offset + 12)
+    offset += 16
+    schemas: list[TableSchema] = []
+    tables: dict[str, TableData] = {}
+    for _ in range(table_count):
+        if offset + 4 > len(data):
+            raise SnapshotError(f"{path}: truncated table frame")
+        (length,) = _U32.unpack_from(data, offset)
+        end = offset + 4 + length + 4
+        if end > len(data):
+            raise SnapshotError(f"{path}: truncated table payload")
+        payload = data[offset + 4:offset + 4 + length]
+        (expected,) = _U32.unpack_from(data, offset + 4 + length)
+        if crc32(payload) != expected:
+            raise SnapshotError(f"{path}: table payload checksum mismatch")
+        schema, table = _decode_table(payload)
+        schemas.append(schema)
+        tables[schema.name.lower()] = table
+        offset = end
+    return LoadedSnapshot(epoch=epoch, schemas=schemas, tables=tables)
+
+
+def _decode_table(payload: bytes) -> tuple[TableSchema, TableData]:
+    header_length, offset = decode_varint(payload, 0)
+    header = json.loads(payload[offset:offset + header_length].decode("utf-8"))
+    offset += header_length
+    schema = schema_from_payload(header["schema"])
+    data = TableData(schema)
+    apply_index_definitions(data, header["indexes"])
+    row_count, offset = decode_varint(payload, offset)
+    rows: list[tuple[int, tuple[object, ...]]] = []
+    for _ in range(row_count):
+        row_id, offset = decode_varint(payload, offset)
+        row, offset = decode_row(payload, offset)
+        rows.append((row_id, row))
+    data.restore_rows(rows, header["slot_count"])
+    return schema, data

@@ -1,0 +1,528 @@
+"""Write-ahead log: binary record format, writer with group commit, reader.
+
+The log is a sequence of length-prefixed, checksummed frames::
+
+    <u32 payload length> <payload bytes> <u32 crc32(payload)>
+
+A frame's payload starts with a one-byte record kind followed by
+kind-specific fields encoded with a small tag-based value codec (see
+:func:`encode_value`).  The engine stores only ``None``, ``int``, ``float``,
+``bool`` and ``str`` cell values (:meth:`SqlType.coerce` guarantees it), so
+the codec covers exactly those.
+
+The engine uses *redo-only commit logging*: a transaction's surviving row
+operations are appended as one contiguous ``BEGIN … ops … COMMIT`` batch at
+commit time, under the database write lock, so batch order in the file is
+commit order and uncommitted work never reaches the log except as a torn
+final batch after a crash.  Recovery therefore applies a transaction's
+records only once its COMMIT frame has been read intact and discards
+everything else — which handles both torn tails and (defensively)
+interleaved or aborted transactions.
+
+Group commit: :meth:`WalWriter.append` writes frames under the append lock
+and returns a monotonically increasing sequence number; :meth:`WalWriter.sync`
+makes that sequence durable according to the fsync policy.  Under the
+``group`` policy one committer becomes the *leader*: it snapshots the
+current append sequence, issues a single ``fsync`` covering every batch
+appended so far, and wakes all waiting committers whose sequence that sync
+covered — so N concurrently committing sessions pay one fsync, not N.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+from dataclasses import dataclass
+from typing import BinaryIO, Iterable, Iterator, Optional
+from zlib import crc32
+
+from repro.sqlengine.errors import SqlExecutionError
+
+# -- record kinds ------------------------------------------------------------
+
+BEGIN = 1
+INSERT = 2
+UPDATE = 3
+DELETE = 4
+COMMIT = 5
+ABORT = 6
+DDL = 7
+CHECKPOINT = 8
+
+KIND_NAMES = {
+    BEGIN: "BEGIN",
+    INSERT: "INSERT",
+    UPDATE: "UPDATE",
+    DELETE: "DELETE",
+    COMMIT: "COMMIT",
+    ABORT: "ABORT",
+    DDL: "DDL",
+    CHECKPOINT: "CHECKPOINT",
+}
+
+#: Upper bound on a single frame payload; anything larger read back from a
+#: log is treated as corruption rather than allocated blindly.
+MAX_PAYLOAD = 1 << 30
+
+_U32 = struct.Struct("<I")
+_F64 = struct.Struct("<d")
+
+FSYNC_POLICIES = ("always", "group", "off")
+
+
+class WalError(SqlExecutionError):
+    """A write-ahead-log invariant was violated."""
+
+
+# -- value codec -------------------------------------------------------------
+
+_TAG_NONE = 0
+_TAG_INT = 1
+_TAG_FLOAT = 2
+_TAG_STR = 3
+_TAG_TRUE = 4
+_TAG_FALSE = 5
+
+
+def encode_varint(value: int, out: bytearray) -> None:
+    """Append an unsigned LEB128 varint."""
+    if value < 0:
+        raise WalError(f"varint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def decode_varint(data: bytes, offset: int) -> tuple[int, int]:
+    """Decode an unsigned varint at ``offset``; returns (value, new offset)."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise WalError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+def _zigzag(value: int) -> int:
+    """Map a signed int to unsigned so small magnitudes stay small.
+
+    Python ints are unbounded, so this is the arbitrary-precision form of
+    protobuf's zigzag encoding rather than the fixed-width XOR trick.
+    """
+    return value << 1 if value >= 0 else ((-value) << 1) - 1
+
+
+def _unzigzag(value: int) -> int:
+    return value >> 1 if not value & 1 else -((value + 1) >> 1)
+
+
+def encode_value(value: object, out: bytearray) -> None:
+    """Append one cell value (None/bool/int/float/str) to ``out``."""
+    if value is None:
+        out.append(_TAG_NONE)
+    elif value is True:
+        out.append(_TAG_TRUE)
+    elif value is False:
+        out.append(_TAG_FALSE)
+    elif isinstance(value, int):
+        out.append(_TAG_INT)
+        encode_varint(_zigzag(value), out)
+    elif isinstance(value, float):
+        out.append(_TAG_FLOAT)
+        out.extend(_F64.pack(value))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(_TAG_STR)
+        encode_varint(len(raw), out)
+        out.extend(raw)
+    else:
+        raise WalError(f"cannot encode value of type {type(value).__name__}")
+
+
+def decode_value(data: bytes, offset: int) -> tuple[object, int]:
+    """Decode one cell value at ``offset``; returns (value, new offset)."""
+    if offset >= len(data):
+        raise WalError("truncated value")
+    tag = data[offset]
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_INT:
+        raw, offset = decode_varint(data, offset)
+        return _unzigzag(raw), offset
+    if tag == _TAG_FLOAT:
+        if offset + 8 > len(data):
+            raise WalError("truncated float")
+        return _F64.unpack_from(data, offset)[0], offset + 8
+    if tag == _TAG_STR:
+        length, offset = decode_varint(data, offset)
+        if offset + length > len(data):
+            raise WalError("truncated string")
+        return data[offset:offset + length].decode("utf-8"), offset + length
+    raise WalError(f"unknown value tag {tag}")
+
+
+def encode_row(row: Iterable[object], out: bytearray) -> None:
+    """Append a row: a varint column count followed by the values."""
+    values = tuple(row)
+    encode_varint(len(values), out)
+    for value in values:
+        encode_value(value, out)
+
+
+def decode_row(data: bytes, offset: int) -> tuple[tuple[object, ...], int]:
+    """Decode a row at ``offset``; returns (row, new offset)."""
+    count, offset = decode_varint(data, offset)
+    values = []
+    for _ in range(count):
+        value, offset = decode_value(data, offset)
+        values.append(value)
+    return tuple(values), offset
+
+
+def _encode_str(text: str, out: bytearray) -> None:
+    raw = text.encode("utf-8")
+    encode_varint(len(raw), out)
+    out.extend(raw)
+
+
+def _decode_str(data: bytes, offset: int) -> tuple[str, int]:
+    length, offset = decode_varint(data, offset)
+    if offset + length > len(data):
+        raise WalError("truncated string")
+    return data[offset:offset + length].decode("utf-8"), offset + length
+
+
+# -- records -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record.
+
+    ``table``/``row_id``/``row`` are populated for row operations,
+    ``payload`` for DDL (the parsed JSON object) and ``epoch`` for
+    CHECKPOINT markers.
+    """
+
+    kind: int
+    txn: int = 0
+    table: str = ""
+    row_id: int = 0
+    row: Optional[tuple[object, ...]] = None
+    payload: Optional[dict] = None
+    epoch: int = 0
+
+    @property
+    def kind_name(self) -> str:
+        """Human-readable record kind."""
+        return KIND_NAMES.get(self.kind, f"?{self.kind}")
+
+
+def encode_marker(kind: int, txn: int) -> bytes:
+    """Encode a BEGIN/COMMIT/ABORT record."""
+    out = bytearray([kind])
+    encode_varint(txn, out)
+    return bytes(out)
+
+
+def encode_insert(txn: int, table: str, row_id: int, row: Iterable[object]) -> bytes:
+    """Encode an INSERT redo record (row placed at an exact row id)."""
+    out = bytearray([INSERT])
+    encode_varint(txn, out)
+    _encode_str(table, out)
+    encode_varint(row_id, out)
+    encode_row(row, out)
+    return bytes(out)
+
+
+def encode_update(txn: int, table: str, row_id: int, new_row: Iterable[object]) -> bytes:
+    """Encode an UPDATE redo record (the full new row image)."""
+    out = bytearray([UPDATE])
+    encode_varint(txn, out)
+    _encode_str(table, out)
+    encode_varint(row_id, out)
+    encode_row(new_row, out)
+    return bytes(out)
+
+
+def encode_delete(txn: int, table: str, row_id: int) -> bytes:
+    """Encode a DELETE redo record."""
+    out = bytearray([DELETE])
+    encode_varint(txn, out)
+    _encode_str(table, out)
+    encode_varint(row_id, out)
+    return bytes(out)
+
+
+def encode_ddl(payload: dict) -> bytes:
+    """Encode a DDL record; the payload is a JSON-serialisable description."""
+    raw = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    return bytes([DDL]) + raw
+
+
+def encode_checkpoint(epoch: int) -> bytes:
+    """Encode a CHECKPOINT marker naming the new log epoch."""
+    out = bytearray([CHECKPOINT])
+    encode_varint(epoch, out)
+    return bytes(out)
+
+
+def decode_record(payload: bytes) -> WalRecord:
+    """Decode one frame payload into a :class:`WalRecord`."""
+    if not payload:
+        raise WalError("empty record payload")
+    kind = payload[0]
+    offset = 1
+    if kind in (BEGIN, COMMIT, ABORT):
+        txn, _ = decode_varint(payload, offset)
+        return WalRecord(kind=kind, txn=txn)
+    if kind in (INSERT, UPDATE):
+        txn, offset = decode_varint(payload, offset)
+        table, offset = _decode_str(payload, offset)
+        row_id, offset = decode_varint(payload, offset)
+        row, _ = decode_row(payload, offset)
+        return WalRecord(kind=kind, txn=txn, table=table, row_id=row_id, row=row)
+    if kind == DELETE:
+        txn, offset = decode_varint(payload, offset)
+        table, offset = _decode_str(payload, offset)
+        row_id, _ = decode_varint(payload, offset)
+        return WalRecord(kind=kind, txn=txn, table=table, row_id=row_id)
+    if kind == DDL:
+        return WalRecord(kind=kind, payload=json.loads(payload[offset:].decode("utf-8")))
+    if kind == CHECKPOINT:
+        epoch, _ = decode_varint(payload, offset)
+        return WalRecord(kind=kind, epoch=epoch)
+    raise WalError(f"unknown record kind {kind}")
+
+
+def redo_records(txn: int, undo_entries: Iterable[tuple]) -> list[bytes]:
+    """Translate a transaction's undo journal into its redo batch.
+
+    The undo journal records each surviving row operation in execution
+    order with the exact information redo needs — the row id, the inserted
+    or deleted row, and an update's new image — so the commit path derives
+    the redo batch from it instead of paying a second journal on the write
+    path (keeping in-memory operation zero-overhead).
+    """
+    records = [encode_marker(BEGIN, txn)]
+    for entry in undo_entries:
+        kind = entry[0]
+        if kind == "insert":
+            _, table, row_id, row = entry
+            records.append(encode_insert(txn, table.schema.name, row_id, row))
+        elif kind == "delete":
+            _, table, row_id, row = entry
+            records.append(encode_delete(txn, table.schema.name, row_id))
+        else:  # update
+            _, table, row_id, _old_row, new_row = entry
+            records.append(encode_update(txn, table.schema.name, row_id, new_row))
+    records.append(encode_marker(COMMIT, txn))
+    return records
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def frame(payload: bytes) -> bytes:
+    """Wrap a payload in the length-prefixed, checksummed frame format."""
+    return _U32.pack(len(payload)) + payload + _U32.pack(crc32(payload))
+
+
+def read_frames(data: bytes) -> Iterator[tuple[bytes, int]]:
+    """Yield (payload, end offset) for every intact frame in ``data``.
+
+    Iteration stops silently at the first torn or corrupt frame — a short
+    length prefix, a payload cut off mid-way, a missing checksum, or a
+    checksum mismatch.  That is exactly the crash-recovery contract: a
+    partially written final batch is discarded wholesale because its COMMIT
+    frame never decodes.
+    """
+    offset = 0
+    total = len(data)
+    while offset + 4 <= total:
+        (length,) = _U32.unpack_from(data, offset)
+        if length > MAX_PAYLOAD:
+            return
+        end = offset + 4 + length + 4
+        if end > total:
+            return
+        payload = data[offset + 4:offset + 4 + length]
+        (expected,) = _U32.unpack_from(data, offset + 4 + length)
+        if crc32(payload) != expected:
+            return
+        yield payload, end
+        offset = end
+
+
+def read_wal(path: str) -> Iterator[tuple[WalRecord, int]]:
+    """Yield (record, end offset) for every intact record in a log file.
+
+    Decode failures inside an intact frame are treated like torn frames:
+    the scan stops, discarding the rest of the file.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    for payload, end in read_frames(data):
+        try:
+            record = decode_record(payload)
+        except (WalError, ValueError):
+            return
+        yield record, end
+
+
+# -- writer ------------------------------------------------------------------
+
+
+class WalWriter:
+    """Appends framed records to one log file with a configurable fsync
+    policy and group commit.
+
+    Thread safety: :meth:`append` may be called from any thread (the engine
+    calls it under the database write lock, which also fixes the batch
+    order); :meth:`sync` is called *outside* the database lock so waiting
+    for the disk never blocks other sessions' transactions.
+    """
+
+    def __init__(self, path: str, fsync: str = "group") -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise WalError(
+                f"unknown fsync policy {fsync!r}; expected one of {FSYNC_POLICIES}"
+            )
+        self.path = path
+        self.fsync = fsync
+        self._file: BinaryIO = open(path, "ab")
+        self._append_lock = threading.Lock()
+        self._group = threading.Condition()
+        self._appended_seq = 0
+        self._synced_seq = 0
+        self._leader_active = False
+        self._closing = False
+        #: Number of fsync() calls issued (observability: group commit should
+        #: show fewer syncs than commits under concurrency).
+        self.syncs_issued = 0
+        #: Number of sequences appended (== commit batches + standalone records).
+        self.batches_appended = 0
+        self.bytes_written = 0
+
+    # -- append side ---------------------------------------------------------
+
+    def append(self, payloads: Iterable[bytes]) -> int:
+        """Append a batch of record payloads as one atomic unit.
+
+        Returns the batch's sequence number for :meth:`sync`.  The frames
+        are pushed to the OS (``flush``) before returning, so a reopened
+        reader in the same machine sees them even under ``fsync=off`` —
+        only a *machine* crash can lose them in that mode.
+        """
+        chunk = b"".join(frame(payload) for payload in payloads)
+        with self._append_lock:
+            self._file.write(chunk)
+            self._file.flush()
+            if self.fsync == "always":
+                os.fsync(self._file.fileno())
+                self.syncs_issued += 1
+            self._appended_seq += 1
+            self.batches_appended += 1
+            self.bytes_written += len(chunk)
+            seq = self._appended_seq
+        if self.fsync == "always":
+            with self._group:
+                self._synced_seq = max(self._synced_seq, seq)
+        return seq
+
+    # -- sync side -----------------------------------------------------------
+
+    def sync(self, seq: int) -> None:
+        """Block until batch ``seq`` is durable under the current policy.
+
+        ``off`` returns immediately; ``always`` already synced during
+        :meth:`append`; ``group`` elects a leader that issues one fsync for
+        every batch appended so far and wakes the followers it covered.
+        """
+        if self.fsync != "group":
+            return
+        while True:
+            with self._group:
+                if self._synced_seq >= seq:
+                    return
+                if self._leader_active or self._closing:
+                    # ``closing``: close() is about to fsync everything
+                    # appended so far and publish it; becoming a leader now
+                    # would race the file descriptor being closed.
+                    self._group.wait()
+                    continue
+                self._leader_active = True
+            durable = False
+            try:
+                # Leader: snapshot the append frontier, then fsync outside
+                # both locks so new appends keep flowing while the disk works.
+                with self._append_lock:
+                    target = self._appended_seq
+                    if self._file.closed:
+                        # close() already flushed and fsynced everything; a
+                        # checkpoint rotated the log under a racing sync.
+                        fd = None
+                    else:
+                        self._file.flush()
+                        fd = self._file.fileno()
+                if fd is not None:
+                    os.fsync(fd)
+                    self.syncs_issued += 1
+                durable = True
+            finally:
+                with self._group:
+                    self._leader_active = False
+                    if durable:
+                        # Publish only on success: a failed fsync (EIO,
+                        # ENOSPC) must not let waiting followers report
+                        # durability that was never achieved — they wake,
+                        # retry as leaders and surface the error themselves.
+                        self._synced_seq = max(self._synced_seq, target)
+                    self._group.notify_all()
+            # Loop: our own seq is necessarily <= target, so the next pass
+            # returns; the loop form keeps the invariant obvious.
+
+    def close(self) -> None:
+        """Flush, fsync (unless ``off``) and close the file.
+
+        Coordinates with group commit: it first drains any in-flight sync
+        leader and blocks new ones (the leader fsyncs the captured file
+        descriptor outside the locks, and closing — possibly letting the
+        OS reuse that descriptor for the next log epoch — under its feet
+        would fsync the wrong file).  Everything appended so far is then
+        made durable and published, waking any committer still waiting in
+        :meth:`sync`, so a checkpoint rotating the log strands nobody.
+        """
+        with self._group:
+            self._closing = True
+            while self._leader_active:
+                self._group.wait()
+        with self._append_lock:
+            if self._file.closed:
+                return
+            self._file.flush()
+            if self.fsync != "off":
+                os.fsync(self._file.fileno())
+                self.syncs_issued += 1
+            self._file.close()
+            appended = self._appended_seq
+        with self._group:
+            self._synced_seq = max(self._synced_seq, appended)
+            self._group.notify_all()

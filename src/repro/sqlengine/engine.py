@@ -26,6 +26,7 @@ from typing import Iterable, Optional, Sequence
 
 from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.catalog import Catalog, TableSchema
+from repro.sqlengine.durability import DurabilityManager, DurabilityOptions
 from repro.sqlengine.errors import SqlExecutionError
 from repro.sqlengine.executor import Executor, StatementResult
 from repro.sqlengine.parser import parse_statement
@@ -137,14 +138,20 @@ class Session:
         self._transaction = Transaction(implicit=False)
 
     def commit(self) -> None:
-        """Commit the open transaction (no-op when none is open)."""
+        """Commit the open transaction (no-op when none is open).
+
+        On a durable database the transaction's redo batch is appended to
+        the write-ahead log *before* the write lock is released (so log
+        order is commit order), and the commit then waits for the log to
+        reach disk per the fsync policy *after* releasing it (so a slow
+        fsync never blocks other sessions — that wait is where group
+        commit batches concurrent committers into one fsync).
+        """
         transaction = self._transaction
         if transaction is None:
             return
-        transaction.undo.clear()
         transaction.savepoints.clear()
-        self._transaction = None
-        self._release_write()
+        self._commit_and_release(transaction)
 
     def rollback(self) -> None:
         """Roll back the open transaction (no-op when none is open)."""
@@ -207,6 +214,10 @@ class Session:
         if isinstance(statement, ast.TransactionStatement):
             database._count_statement()
             self._apply_transaction_statement(statement)
+            return ResultSet(columns=[], rows=[])
+        if isinstance(statement, ast.CheckpointStatement):
+            database._count_statement()
+            self._execute_checkpoint()
             return ResultSet(columns=[], rows=[])
         if isinstance(statement, (ast.SelectStatement, ast.ExplainStatement)):
             return self._execute_select(sql, params, cached, generation)
@@ -281,6 +292,23 @@ class Session:
         self, cached: _CachedStatement, params: Sequence[object]
     ) -> ResultSet:
         database = self._database
+        if (
+            database._durability is not None
+            and isinstance(cached.statement, _DDL_STATEMENTS)
+            and self._transaction is not None
+            and self._transaction.undo
+        ):
+            # DDL is logged at execution position but the transaction's row
+            # operations only at COMMIT; letting DDL run after pending row
+            # ops would make the log replay in a different order than live
+            # execution (e.g. a unique index backfilled before the DELETE
+            # that made it satisfiable), wedging recovery.  DDL on a
+            # durable database therefore requires the transaction to have
+            # no uncommitted row changes.
+            raise SqlExecutionError(
+                "DDL on a durable database cannot follow uncommitted row "
+                "changes in the same transaction; COMMIT first"
+            )
         self._acquire_write()
         transaction = self._transaction
         opened_here = transaction is None
@@ -301,6 +329,7 @@ class Session:
                 # parsing already dropped once) every cached statement that
                 # may have been planned between parse and execution.
                 database._invalidate_cache()
+                database._log_ddl(cached.statement)
         except BaseException:
             # Statement-level atomicity: undo this statement's changes but
             # keep an already-open transaction alive.
@@ -316,9 +345,52 @@ class Session:
 
     def _finish_write(self, transaction: Transaction) -> None:
         if transaction.implicit:
-            transaction.undo.clear()
-            self._transaction = None
-            self._release_write()
+            self._commit_and_release(transaction)
+
+    def _commit_and_release(self, transaction: Transaction) -> None:
+        """The durable-commit epilogue shared by explicit COMMIT and
+        implicit (auto-commit) transactions.
+
+        The redo batch is appended to the write-ahead log *before* the
+        write lock is released (so log order is commit order); the wait
+        for the disk happens *after* releasing it, so a slow fsync never
+        blocks other sessions — that wait is where group commit batches
+        concurrent committers into one fsync.
+        """
+        durability = self._database._durability
+        ticket = None
+        if durability is not None and transaction.undo:
+            try:
+                ticket = durability.log_commit(transaction.undo.entries())
+            except BaseException:
+                # The commit record never reached the log, so the
+                # transaction cannot be durable: roll it back (restoring
+                # the in-memory state to match) and release the write
+                # lock rather than leaking it with the database wedged.
+                try:
+                    transaction.undo.rollback_to(0)
+                finally:
+                    self._transaction = None
+                    self._release_write()
+                raise
+        transaction.undo.clear()
+        self._transaction = None
+        self._release_write()
+        if ticket is not None:
+            durability.sync(ticket)
+            self._database._maybe_checkpoint()
+
+    def _execute_checkpoint(self) -> None:
+        """Run a CHECKPOINT statement issued on this session.
+
+        Disallowed inside an explicit transaction: the session would hold
+        uncommitted (in-place) changes that the snapshot must not contain.
+        """
+        if self.in_transaction:
+            raise SqlExecutionError(
+                "CHECKPOINT cannot run inside an open transaction"
+            )
+        self._database.checkpoint()
 
     def _apply_transaction_statement(self, statement: ast.TransactionStatement) -> None:
         action = statement.action
@@ -346,10 +418,14 @@ class Session:
         if not self._holds_write:
             self._database._rwlock.acquire_write()
             self._holds_write = True
+            # Guarded by the write lock itself (and the GIL for sibling
+            # sessions on this thread, which pass through reentrantly).
+            self._database._write_holders += 1
 
     def _release_write(self) -> None:
         if self._holds_write:
             self._holds_write = False
+            self._database._write_holders -= 1
             self._database._rwlock.release_write()
 
 
@@ -368,9 +444,28 @@ class Database:
         self,
         planner_options: PlannerOptions | None = None,
         statement_cache_size: int = 256,
+        data_dir: str | None = None,
+        durability: DurabilityOptions | None = None,
     ) -> None:
         self._catalog = Catalog()
         self._tables: dict[str, TableData] = {}
+        # Durability: with a data_dir the manager recovers the previous
+        # state into the (still empty) catalog/tables — latest snapshot
+        # plus write-ahead-log replay — and opens the live log.  Without
+        # one the database is purely in-memory and the durable code paths
+        # reduce to a None check.
+        self._durability: Optional[DurabilityManager] = None
+        if data_dir is not None:
+            self._durability = DurabilityManager(
+                data_dir,
+                durability or DurabilityOptions(),
+                self._catalog,
+                self._tables,
+            )
+        elif durability is not None:
+            raise SqlExecutionError(
+                "durability options require a data_dir"
+            )
         self._planner_options = planner_options or PlannerOptions()
         self._executor = Executor(self._catalog, self._tables, self._planner_options)
         # LRU statement cache: parsed statement + plan, keyed by
@@ -386,6 +481,11 @@ class Database:
         self._cache_generation = 0
         self._options_key: tuple = self._planner_options.cache_key()
         self._rwlock = ReadWriteLock()
+        # Number of sessions currently holding the write lock (i.e. open
+        # write transactions).  The write lock is same-thread reentrant,
+        # so checkpointing must consult this instead of relying on lock
+        # acquisition alone to prove no uncommitted changes are visible.
+        self._write_holders = 0
         self._cache_lock = threading.Lock()
         self._counter_lock = threading.Lock()
         #: Number of statements executed; used by tests and benchmarks to
@@ -444,6 +544,125 @@ class Database:
                 "entries": len(self._statement_cache),
                 "size": self._statement_cache_size,
             }
+
+    # -- durability ----------------------------------------------------------
+
+    @property
+    def data_dir(self) -> str | None:
+        """Directory backing this database, or None when purely in-memory."""
+        return self._durability.data_dir if self._durability is not None else None
+
+    @property
+    def durable(self) -> bool:
+        """Whether this database persists through a write-ahead log."""
+        return self._durability is not None
+
+    def durability_info(self) -> dict[str, object]:
+        """Durability counters (epoch, log bytes, syncs, recovery stats);
+        empty for an in-memory database."""
+        return self._durability.info() if self._durability is not None else {}
+
+    def checkpoint(self) -> bool:
+        """Snapshot all tables and truncate the write-ahead log.
+
+        Returns False (a no-op) on an in-memory database.  Takes the write
+        lock, so the snapshot sees only committed state.  Raises when any
+        session holds an open write transaction: the write lock is
+        same-thread reentrant, so blocking on it alone would not keep a
+        sibling session's uncommitted (in-place) changes out of the
+        snapshot — and a later rollback would then be resurrected by
+        recovery.
+        """
+        durability = self._durability
+        if durability is None:
+            return False
+        self._rwlock.acquire_write()
+        try:
+            if self._write_holders:
+                raise SqlExecutionError(
+                    "CHECKPOINT requires no open write transaction"
+                )
+            durability.checkpoint()
+        finally:
+            self._rwlock.release_write()
+        return True
+
+    def close(self) -> None:
+        """Flush and close the durability layer (no-op when in-memory).
+
+        Deliberately does not checkpoint: a clean close and a crash must
+        recover identically, so closing only makes the log durable.
+        """
+        if self._durability is not None:
+            self._durability.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _maybe_checkpoint(self) -> None:
+        """Cut an automatic checkpoint when the log-size trigger fires.
+
+        Silently deferred while any session holds an open write
+        transaction (see :meth:`checkpoint`); the next qualifying commit
+        re-fires the trigger.
+        """
+        durability = self._durability
+        if durability is None or not durability.should_checkpoint():
+            return
+        self._rwlock.acquire_write()
+        try:
+            # Re-check under the lock: a concurrent committer may have cut
+            # the checkpoint while this one waited, and snapshotting the
+            # whole database again microseconds later would be pure waste.
+            if not self._write_holders and durability.should_checkpoint():
+                durability.checkpoint()
+        finally:
+            self._rwlock.release_write()
+
+    def _log_ddl(self, statement: ast.Statement) -> None:
+        """Append (and sync) the log record for an executed DDL statement.
+
+        Called under the write lock right after execution.  DDL is rare and
+        auto-committed, so the sync happening before the lock is released
+        is an acceptable simplification.
+        """
+        durability = self._durability
+        if durability is None:
+            return
+        try:
+            if isinstance(statement, ast.CreateTableStatement):
+                ticket = durability.log_create_table(
+                    self._catalog.table(statement.table)
+                )
+            elif isinstance(statement, ast.CreateIndexStatement):
+                ticket = durability.log_create_index(
+                    statement.table,
+                    statement.name,
+                    tuple(statement.columns),
+                    statement.unique,
+                    ordered=False,
+                )
+            elif isinstance(statement, ast.DropTableStatement):
+                ticket = durability.log_drop_table(statement.table)
+            else:  # pragma: no cover - _DDL_STATEMENTS lists exactly the above
+                return
+        except BaseException:
+            # Compensate where possible so memory and the recovered state
+            # cannot diverge.  An unlogged DROP TABLE cannot restore the
+            # dropped data, so it is left asymmetric: recovery conservatively
+            # resurrects the table.
+            if isinstance(statement, ast.CreateTableStatement):
+                self._catalog.drop_table(statement.table)
+                self._tables.pop(statement.table.lower(), None)
+            elif isinstance(statement, ast.CreateIndexStatement):
+                data = self._tables.get(statement.table.lower())
+                if data is not None:
+                    data.drop_index(statement.name)
+            raise
+        durability.sync(ticket)
 
     # -- sessions ------------------------------------------------------------
 
@@ -510,13 +729,28 @@ class Database:
 
     def create_table(self, schema: TableSchema) -> None:
         """Register a table directly from a :class:`TableSchema`."""
+        durability = self._durability
         self._rwlock.acquire_write()
         try:
             self._catalog.create_table(schema)
             self._tables[schema.name.lower()] = TableData(schema)
             self._invalidate_cache()
+            try:
+                ticket = (
+                    durability.log_create_table(schema)
+                    if durability is not None
+                    else None
+                )
+            except BaseException:
+                # The table never reached the log; unregister it so memory
+                # and the recovered state cannot diverge.
+                self._catalog.drop_table(schema.name)
+                self._tables.pop(schema.name.lower(), None)
+                raise
         finally:
             self._rwlock.release_write()
+        if ticket is not None:
+            durability.sync(ticket)
 
     def create_index(
         self,
@@ -527,32 +761,74 @@ class Database:
         ordered: bool = False,
     ) -> None:
         """Create an index without going through SQL."""
+        durability = self._durability
         self._rwlock.acquire_write()
         try:
             data = self.table_data(table)
             index_name = name or f"idx_{table.lower()}_{'_'.join(columns).lower()}"
             data.create_index(index_name, tuple(columns), unique=unique, ordered=ordered)
             self._invalidate_cache()
+            try:
+                ticket = (
+                    durability.log_create_index(
+                        data.schema.name, index_name, tuple(columns), unique, ordered
+                    )
+                    if durability is not None
+                    else None
+                )
+            except BaseException:
+                # The index never reached the log; drop it again so memory
+                # and the recovered state cannot diverge.
+                data.drop_index(index_name)
+                raise
         finally:
             self._rwlock.release_write()
+        if ticket is not None:
+            durability.sync(ticket)
 
     def insert_rows(self, table: str, rows: Iterable[Sequence[object]]) -> int:
         """Bulk-load rows (used by the TPC-W population generator).
 
         Rows must list a value for every column in schema order.  The load
-        is non-transactional: it bypasses the undo log.
+        is non-transactional for the in-memory undo machinery (it bypasses
+        the undo log), but on a durable database it is journalled as one
+        committed transaction so a bulk-loaded population survives restart.
         """
+        durability = self._durability
+        ticket = None
         self._rwlock.acquire_write()
         try:
             schema = self._catalog.table(table)
             data = self._tables[schema.name.lower()]
             count = 0
-            for row in rows:
-                data.insert(schema.coerce_row(row))
-                count += 1
+            logged: list[tuple[int, tuple[object, ...]]] | None = (
+                [] if durability is not None else None
+            )
+            try:
+                for row in rows:
+                    coerced = schema.coerce_row(row)
+                    row_id = data.insert(coerced)
+                    if logged is not None:
+                        logged.append((row_id, coerced))
+                    count += 1
+                if logged:
+                    ticket = durability.log_bulk_insert(schema.name, logged)
+            except BaseException:
+                if logged:
+                    # Keep memory and log consistent on a durable engine: a
+                    # failed load (bad row mid-stream, or the log append
+                    # itself) must not leave rows visible that recovery
+                    # would never reproduce.  Undone newest-first, exactly
+                    # like transaction rollback.
+                    for row_id, coerced in reversed(logged):
+                        data.undo_insert(row_id, coerced)
+                raise
             return count
         finally:
             self._rwlock.release_write()
+            if ticket is not None:
+                durability.sync(ticket)
+                self._maybe_checkpoint()
 
     def table_data(self, table: str) -> TableData:
         """Direct access to a table's storage (tests and the ORM use this)."""

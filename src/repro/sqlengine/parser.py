@@ -102,6 +102,9 @@ class SqlParser:
             return ast.TransactionStatement(
                 action="SAVEPOINT", savepoint=self._expect_name()
             )
+        if token.is_keyword("CHECKPOINT"):
+            self._advance()
+            return ast.CheckpointStatement()
         if token.is_keyword("RELEASE"):
             self._advance()
             if self._peek().is_keyword("SAVEPOINT"):

@@ -222,13 +222,7 @@ class TableData:
 
     def undo_delete(self, row_id: int, row: Row) -> None:
         """Undo a delete: restore the row and re-insert its index entries."""
-        if row_id >= len(self._rows):
-            self._rows.extend([None] * (row_id + 1 - len(self._rows)))
-        self._rows[row_id] = row
-        self._live_count += 1
-        for name, index in self._indexes.items():
-            positions = self._positions(name)
-            index.insert(make_key(row[p] for p in positions), row_id)
+        self._place_row(row_id, row)
 
     def undo_update(self, row_id: int, old_row: Row, new_row: Row) -> None:
         """Undo an update: restore ``old_row`` and repair every index.
@@ -243,6 +237,57 @@ class TableData:
             index.delete(make_key(old_row[p] for p in positions), row_id)
             index.insert(make_key(old_row[p] for p in positions), row_id)
         self._rows[row_id] = old_row
+
+    # -- redo operations ----------------------------------------------------
+    #
+    # Forward row operations replayed by crash recovery.  The write-ahead
+    # log records each committed insert with its original row id, so replay
+    # must be able to place a row at an exact position — including leaving
+    # holes where aborted transactions once consumed ids — for the rebuilt
+    # indexes and statistics to match the pre-crash state.
+
+    def redo_insert(self, row_id: int, row: Row) -> None:
+        """Redo an insert at its original row id, extending the row list
+        with tombstones if ids in between never materialised."""
+        self._place_row(row_id, row)
+
+    def _place_row(self, row_id: int, row: Row) -> None:
+        """Materialise ``row`` at an exact id (shared by delete-undo and
+        insert-redo, which are the same operation from storage's view)."""
+        if row_id >= len(self._rows):
+            self._rows.extend([None] * (row_id + 1 - len(self._rows)))
+        self._rows[row_id] = row
+        self._live_count += 1
+        for name, index in self._indexes.items():
+            positions = self._positions(name)
+            index.insert(make_key(row[p] for p in positions), row_id)
+
+    def slot_count(self) -> int:
+        """Total row slots allocated (live rows plus tombstones); the next
+        insert takes id ``slot_count()``.  Snapshots persist this so row
+        ids keep lining up with the log across a checkpoint."""
+        return len(self._rows)
+
+    def restore_rows(
+        self, rows: list[tuple[int, Row]], slot_count: int
+    ) -> None:
+        """Replace all storage with ``rows`` at their exact ids (used by
+        snapshot loading).  Every index is rebuilt from scratch, which also
+        restores the incremental distinct-key statistics."""
+        if slot_count < len(rows):
+            raise SqlExecutionError(
+                f"snapshot for {self.schema.name!r} claims {slot_count} slots "
+                f"for {len(rows)} rows"
+            )
+        self._rows = [None] * slot_count
+        for row_id, row in rows:
+            self._rows[row_id] = row
+        self._live_count = len(rows)
+        for name, index in self._indexes.items():
+            index.clear()
+            positions = self._positions(name)
+            for row_id, row in rows:
+                index.insert(make_key(row[p] for p in positions), row_id)
 
     def __len__(self) -> int:
         return self._live_count

@@ -66,6 +66,19 @@ class UndoLog:
         ``new_row`` (both are needed to repair indexes on rollback)."""
         self._entries.append(("update", table, row_id, old_row, new_row))
 
+    # -- reading ------------------------------------------------------------
+
+    def entries(self) -> list[tuple]:
+        """The surviving journal entries, oldest first.
+
+        Because statement failures and savepoint rollbacks pop the entries
+        they undo, what remains at commit time is exactly the transaction's
+        net-effective operation sequence — the durability layer reads it to
+        derive the redo batch it appends to the write-ahead log, so the
+        write path pays no second journal.
+        """
+        return self._entries
+
     # -- marks and rollback -------------------------------------------------
 
     def mark(self) -> int:

@@ -94,3 +94,21 @@ def make_bank_db() -> QueryllDatabase:
     database.database.insert_rows("Account", BANK_ACCOUNTS)
     database.database.insert_rows("Office", BANK_OFFICES)
     return database
+
+
+#: The paper's Fig. 10 running example (the Seattle/LA office query),
+#: shared by the benchmark fixtures and the standalone benchmark mains.
+OFFICE_QUERY_SOURCE = """
+class OfficeQueries {
+    @Query
+    QuerySet<Office> westCoast(EntityManager em, QuerySet<Office> westcoast) {
+        for (Office of : em.allOffice()) {
+            if (of.getName().equals("Seattle"))
+                westcoast.add(of);
+            else if (of.getName().equals("LA"))
+                westcoast.add(of);
+        }
+        return westcoast;
+    }
+}
+"""

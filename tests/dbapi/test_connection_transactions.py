@@ -121,3 +121,58 @@ class TestExplicitTransactions:
         assert statement.execute_update() == 1
         statement.set_int(1, 99)
         assert statement.execute_update() == 0
+
+
+class TestConnectionContextManager:
+    """``with connect(...) as conn:`` — commit on clean exit, roll back on
+    exception, always close (and the same protocol on the engine itself)."""
+
+    def test_clean_exit_commits(self, db: Database) -> None:
+        with connect(db, auto_commit=False) as connection:
+            statement = connection.prepare_statement(
+                "INSERT INTO item (i_id, i_title) VALUES (?, ?)"
+            )
+            statement.set_int(1, 2)
+            statement.set_string(2, "Foundation")
+            statement.execute_update()
+            assert connection.in_transaction
+        assert connection.closed
+        assert db.execute("SELECT i_title FROM item WHERE i_id = 2").rows == [
+            ("Foundation",)
+        ]
+
+    def test_exception_rolls_back_and_closes(self, db: Database) -> None:
+        with pytest.raises(RuntimeError, match="boom"):
+            with connect(db, auto_commit=False) as connection:
+                statement = connection.prepare_statement(
+                    "DELETE FROM item WHERE i_id = ?"
+                )
+                statement.set_int(1, 1)
+                statement.execute_update()
+                raise RuntimeError("boom")
+        assert connection.closed
+        assert db.execute("SELECT i_id FROM item").rows == [(1,)]
+
+    def test_clean_exit_without_transaction_closes_quietly(self, db: Database) -> None:
+        with connect(db) as connection:
+            trips_before = connection.round_trips
+            statement = connection.prepare_statement("SELECT i_id FROM item")
+            statement.execute_query()
+        assert connection.closed
+        # No spurious COMMIT round trip was issued for a read-only visit.
+        assert connection.round_trips == trips_before + 1
+
+    def test_entering_a_closed_connection_fails(self, db: Database) -> None:
+        connection = connect(db)
+        connection.close()
+        with pytest.raises(SqlExecutionError):
+            with connection:
+                pass  # pragma: no cover
+
+    def test_engine_is_a_context_manager_too(self) -> None:
+        with Database() as database:
+            database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+            database.execute("INSERT INTO t (id) VALUES (1)")
+            assert database.row_count("t") == 1
+        # In-memory close is a no-op; the engine stays usable.
+        assert database.row_count("t") == 1

@@ -1,0 +1,578 @@
+"""Unit tests for the durability subsystem: WAL codec and framing, group
+commit, checkpoints, DDL replay and engine open/close semantics."""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.sqlengine.durability import DurabilityOptions
+from repro.sqlengine.durability import wal
+from repro.sqlengine.durability.recovery import list_wal_epochs, wal_path
+from repro.sqlengine.durability.snapshot import SNAPSHOT_NAME
+from repro.sqlengine.engine import Database
+from repro.sqlengine.errors import SqlExecutionError
+
+
+def durable_db(path, fsync="off", **options) -> Database:
+    """A durable engine on ``path`` (fsync off keeps the suite fast)."""
+    return Database(
+        data_dir=str(path),
+        durability=DurabilityOptions(fsync=fsync, **options),
+    )
+
+
+# -- value codec -------------------------------------------------------------
+
+
+class TestCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            1,
+            -1,
+            2**40,
+            -(2**40),
+            2**100,
+            -(2**100),
+            0.0,
+            -2.5,
+            1e300,
+            "",
+            "hello",
+            "naïve — ünïcödé ✓",
+            "with 'quotes' and \"doubles\"",
+        ],
+    )
+    def test_value_round_trip(self, value) -> None:
+        out = bytearray()
+        wal.encode_value(value, out)
+        decoded, offset = wal.decode_value(bytes(out), 0)
+        assert decoded == value
+        assert type(decoded) is type(value)
+        assert offset == len(out)
+
+    def test_row_round_trip(self) -> None:
+        row = (1, "x", None, 2.5, True, False, -7)
+        out = bytearray()
+        wal.encode_row(row, out)
+        decoded, offset = wal.decode_row(bytes(out), 0)
+        assert decoded == row
+        assert offset == len(out)
+
+    def test_unencodable_value_raises(self) -> None:
+        with pytest.raises(wal.WalError):
+            wal.encode_value(object(), bytearray())
+
+    def test_record_round_trips(self) -> None:
+        records = [
+            wal.encode_marker(wal.BEGIN, 7),
+            wal.encode_insert(7, "t", 3, (1, "a")),
+            wal.encode_update(7, "t", 3, (1, "b")),
+            wal.encode_delete(7, "t", 3),
+            wal.encode_marker(wal.COMMIT, 7),
+            wal.encode_marker(wal.ABORT, 8),
+            wal.encode_ddl({"kind": "drop_table", "table": "t"}),
+            wal.encode_checkpoint(4),
+        ]
+        decoded = [wal.decode_record(payload) for payload in records]
+        assert [record.kind for record in decoded] == [
+            wal.BEGIN, wal.INSERT, wal.UPDATE, wal.DELETE,
+            wal.COMMIT, wal.ABORT, wal.DDL, wal.CHECKPOINT,
+        ]
+        assert decoded[1].row == (1, "a")
+        assert decoded[2].row == (1, "b")
+        assert decoded[3].table == "t" and decoded[3].row_id == 3
+        assert decoded[6].payload == {"kind": "drop_table", "table": "t"}
+        assert decoded[7].epoch == 4
+
+
+# -- framing and torn tails --------------------------------------------------
+
+
+class TestFraming:
+    def payloads(self) -> list[bytes]:
+        return [b"alpha", b"beta-beta", b"g"]
+
+    def test_frames_round_trip(self) -> None:
+        data = b"".join(wal.frame(payload) for payload in self.payloads())
+        assert [p for p, _ in wal.read_frames(data)] == self.payloads()
+
+    def test_every_truncation_yields_a_prefix(self) -> None:
+        """Cutting the stream at ANY byte offset yields an intact prefix of
+        the original frames — never garbage, never an exception."""
+        data = b"".join(wal.frame(payload) for payload in self.payloads())
+        for cut in range(len(data) + 1):
+            recovered = [p for p, _ in wal.read_frames(data[:cut])]
+            assert recovered == self.payloads()[: len(recovered)]
+
+    def test_corrupt_byte_stops_the_scan(self) -> None:
+        data = bytearray(b"".join(wal.frame(p) for p in self.payloads()))
+        # Flip a byte inside the second frame's payload.
+        first_len = len(wal.frame(self.payloads()[0]))
+        data[first_len + 5] ^= 0xFF
+        recovered = [p for p, _ in wal.read_frames(bytes(data))]
+        assert recovered == self.payloads()[:1]
+
+    def test_absurd_length_prefix_is_corruption(self) -> None:
+        data = (2**31 + 7).to_bytes(4, "little") + b"x" * 64
+        assert list(wal.read_frames(data)) == []
+
+
+# -- writer policies and group commit ----------------------------------------
+
+
+class TestWalWriter:
+    def test_rejects_unknown_policy(self, tmp_path) -> None:
+        with pytest.raises(wal.WalError):
+            wal.WalWriter(str(tmp_path / "w.log"), fsync="sometimes")
+        with pytest.raises(wal.WalError):
+            DurabilityOptions(fsync="sometimes")
+
+    @pytest.mark.parametrize("fsync", ["always", "group", "off"])
+    def test_append_sync_read_back(self, tmp_path, fsync) -> None:
+        path = str(tmp_path / "w.log")
+        writer = wal.WalWriter(path, fsync=fsync)
+        seq = writer.append([wal.encode_marker(wal.BEGIN, 1),
+                             wal.encode_marker(wal.COMMIT, 1)])
+        writer.sync(seq)
+        writer.close()
+        kinds = [record.kind for record, _ in wal.read_wal(path)]
+        assert kinds == [wal.BEGIN, wal.COMMIT]
+
+    def test_group_commit_coalesces_syncs(self, tmp_path) -> None:
+        """N threads committing concurrently must all become durable while
+        issuing (usually far) fewer fsyncs than commits."""
+        writer = wal.WalWriter(str(tmp_path / "w.log"), fsync="group")
+        threads = 8
+        commits_per_thread = 25
+        barrier = threading.Barrier(threads)
+        errors: list[BaseException] = []
+
+        def committer(base: int) -> None:
+            try:
+                barrier.wait()
+                for i in range(commits_per_thread):
+                    txn = base * 1000 + i
+                    seq = writer.append(wal.redo_records(txn, []))
+                    writer.sync(seq)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        workers = [
+            threading.Thread(target=committer, args=(t,)) for t in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert not errors
+        assert writer.batches_appended == threads * commits_per_thread
+        records = list(wal.read_wal(writer.path))
+        assert len(records) == threads * commits_per_thread * 2  # BEGIN+COMMIT
+        writer.close()
+
+
+# -- engine-level durability -------------------------------------------------
+
+
+class TestEngineDurability:
+    def test_in_memory_database_has_no_durability(self, tmp_path) -> None:
+        database = Database()
+        assert not database.durable
+        assert database.data_dir is None
+        assert database.durability_info() == {}
+        assert database.checkpoint() is False
+        database.close()  # no-op, must not raise
+
+    def test_durability_options_require_data_dir(self) -> None:
+        with pytest.raises(SqlExecutionError):
+            Database(durability=DurabilityOptions())
+
+    def test_committed_data_survives_reopen(self, tmp_path) -> None:
+        with durable_db(tmp_path) as database:
+            database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR)")
+            database.execute_many(
+                "INSERT INTO t (id, v) VALUES (?, ?)",
+                [(i, f"v{i}") for i in range(10)],
+            )
+            database.execute("UPDATE t SET v = ? WHERE id = ?", ("changed", 3))
+            database.execute("DELETE FROM t WHERE id = ?", (7,))
+        with durable_db(tmp_path) as reopened:
+            rows = reopened.execute("SELECT id, v FROM t ORDER BY id").rows
+        assert rows == [
+            (i, "changed" if i == 3 else f"v{i}") for i in range(10) if i != 7
+        ]
+
+    def test_uncommitted_and_rolled_back_work_is_invisible(self, tmp_path) -> None:
+        database = durable_db(tmp_path)
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        database.execute("INSERT INTO t (id) VALUES (?)", (1,))
+        rolled_back = database.session(autocommit=False)
+        rolled_back.execute("INSERT INTO t (id) VALUES (?)", (2,))
+        rolled_back.rollback()
+        open_txn = database.session(autocommit=False)
+        open_txn.execute("INSERT INTO t (id) VALUES (?)", (3,))
+        # Simulated crash: neither close() nor commit for the open session.
+        recovered = durable_db(tmp_path)
+        assert recovered.execute("SELECT id FROM t").rows == [(1,)]
+
+    def test_savepoint_partial_rollback_is_durable(self, tmp_path) -> None:
+        database = durable_db(tmp_path)
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        session = database.session(autocommit=False)
+        session.execute("INSERT INTO t (id) VALUES (?)", (1,))
+        session.execute("SAVEPOINT s1")
+        session.execute("INSERT INTO t (id) VALUES (?)", (2,))
+        session.execute("ROLLBACK TO s1")
+        session.execute("INSERT INTO t (id) VALUES (?)", (3,))
+        session.commit()
+        recovered = durable_db(tmp_path)
+        assert recovered.execute("SELECT id FROM t ORDER BY id").rows == [(1,), (3,)]
+
+    def test_ddl_is_replayed(self, tmp_path) -> None:
+        database = durable_db(tmp_path)
+        database.execute("CREATE TABLE keep (id INTEGER PRIMARY KEY, k VARCHAR)")
+        database.execute("CREATE TABLE gone (id INTEGER PRIMARY KEY)")
+        database.execute("CREATE INDEX idx_keep_k ON keep (k)")
+        database.create_index("keep", ["id", "k"], name="native_idx", ordered=True)
+        database.execute("DROP TABLE gone")
+        database.execute("INSERT INTO keep (id, k) VALUES (?, ?)", (1, "a"))
+        recovered = durable_db(tmp_path)
+        assert recovered.catalog.has_table("keep")
+        assert not recovered.catalog.has_table("gone")
+        indexes = recovered.table_data("keep").indexes()
+        assert {"pk_keep", "idx_keep_k", "native_idx"} <= set(indexes)
+        assert recovered.execute("SELECT k FROM keep WHERE id = ?", (1,)).rows == [("a",)]
+
+    def test_bulk_insert_rows_is_journalled(self, tmp_path) -> None:
+        from repro.sqlengine.catalog import ColumnSchema, SqlType, TableSchema
+
+        database = durable_db(tmp_path)
+        schema = TableSchema(
+            name="bulk",
+            columns=(
+                ColumnSchema("id", SqlType.INTEGER, primary_key=True),
+                ColumnSchema("v", SqlType.TEXT),
+            ),
+        )
+        database.create_table(schema)
+        database.insert_rows("bulk", [(i, f"v{i}") for i in range(50)])
+        recovered = durable_db(tmp_path)
+        assert recovered.row_count("bulk") == 50
+
+    def test_explicit_checkpoint_truncates_the_log(self, tmp_path) -> None:
+        database = durable_db(tmp_path)
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        database.execute_many(
+            "INSERT INTO t (id) VALUES (?)", [(i,) for i in range(20)]
+        )
+        epochs_before = list_wal_epochs(str(tmp_path))
+        log_bytes_before = database.durability_info()["log_bytes"]
+        database.execute("CHECKPOINT")
+        assert os.path.exists(tmp_path / SNAPSHOT_NAME)
+        epochs_after = list_wal_epochs(str(tmp_path))
+        assert len(epochs_after) == 1
+        assert epochs_after[0] > max(epochs_before)
+        assert database.durability_info()["log_bytes"] < log_bytes_before
+        # Post-checkpoint commits land in the new epoch and still recover.
+        database.execute("INSERT INTO t (id) VALUES (?)", (99,))
+        recovered = durable_db(tmp_path)
+        assert recovered.row_count("t") == 21
+        assert recovered.durability_info()["recovered_transactions"] == 1
+
+    def test_checkpoint_statement_rejected_inside_transaction(self, tmp_path) -> None:
+        database = durable_db(tmp_path)
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        session = database.session(autocommit=False)
+        session.execute("INSERT INTO t (id) VALUES (?)", (1,))
+        with pytest.raises(SqlExecutionError):
+            session.execute("CHECKPOINT")
+        session.rollback()
+
+    def test_automatic_checkpoint_by_log_size(self, tmp_path) -> None:
+        database = durable_db(tmp_path, checkpoint_log_bytes=512)
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, pad VARCHAR)")
+        for i in range(40):
+            database.execute(
+                "INSERT INTO t (id, pad) VALUES (?, ?)", (i, "x" * 64)
+            )
+        info = database.durability_info()
+        assert info["checkpoints_taken"] >= 1
+        recovered = durable_db(tmp_path)
+        assert recovered.row_count("t") == 40
+
+    def test_recovered_statistics_match_a_fresh_rebuild(self, tmp_path) -> None:
+        database = durable_db(tmp_path)
+        database.execute(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, grp INTEGER, v VARCHAR)"
+        )
+        database.execute("CREATE INDEX idx_t_grp ON t (grp)")
+        database.execute_many(
+            "INSERT INTO t (id, grp, v) VALUES (?, ?, ?)",
+            [(i, i % 7, f"v{i}") for i in range(60)],
+        )
+        database.execute("DELETE FROM t WHERE grp = ?", (3,))
+        expected = database.table_data("t").statistics()
+
+        recovered = durable_db(tmp_path)
+        fresh = Database()
+        fresh.execute(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, grp INTEGER, v VARCHAR)"
+        )
+        fresh.execute("CREATE INDEX idx_t_grp ON t (grp)")
+        for row in database.execute("SELECT id, grp, v FROM t").rows:
+            fresh.execute("INSERT INTO t (id, grp, v) VALUES (?, ?, ?)", row)
+
+        for candidate in (recovered.table_data("t"), fresh.table_data("t")):
+            statistics = candidate.statistics()
+            assert statistics.row_count == expected.row_count
+            assert statistics.column_distinct == expected.column_distinct
+            assert statistics.index_distinct == expected.index_distinct
+
+    def test_plans_work_identically_after_restart(self, tmp_path) -> None:
+        database = durable_db(tmp_path)
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR)")
+        database.execute_many(
+            "INSERT INTO t (id, v) VALUES (?, ?)",
+            [(i, f"v{i}") for i in range(32)],
+        )
+        sql = "SELECT v FROM t WHERE id = ?"
+        before = database.explain(sql)
+        recovered = durable_db(tmp_path)
+        assert recovered.explain(sql) == before
+        recovered.execute(sql, (5,))
+        recovered.execute(sql, (6,))
+        info = recovered.statement_cache_info()
+        assert info["hits"] >= 1  # the plan cache works on the recovered engine
+
+    def test_close_is_idempotent_and_connection_context_manager(self, tmp_path) -> None:
+        from repro.dbapi import connect
+
+        database = durable_db(tmp_path)
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        with connect(database, auto_commit=False) as connection:
+            statement = connection.prepare_statement("INSERT INTO t (id) VALUES (?)")
+            statement.set_int(1, 1)
+            statement.execute_update()
+        assert connection.closed
+        with pytest.raises(RuntimeError):
+            with connect(database, auto_commit=False) as connection:
+                statement = connection.prepare_statement("INSERT INTO t (id) VALUES (?)")
+                statement.set_int(1, 2)
+                statement.execute_update()
+                raise RuntimeError("boom")
+        assert connection.closed
+        database.close()
+        database.close()
+        recovered = durable_db(tmp_path)
+        assert recovered.execute("SELECT id FROM t").rows == [(1,)]
+
+
+class TestCheckpointCommitRace:
+    def test_stale_sync_ticket_returns_after_log_rotation(self, tmp_path) -> None:
+        """A committer may obtain its sync ticket, lose the CPU, and only
+        call sync() after a concurrent checkpoint rotated the log.  The
+        ticket is bound to the original writer (whose close() marked every
+        appended batch synced), so the late sync must return immediately —
+        not spin against the new writer's restarted sequence numbers."""
+        from repro.sqlengine.catalog import Catalog
+        from repro.sqlengine.durability.manager import DurabilityManager
+
+        manager = DurabilityManager(
+            str(tmp_path), DurabilityOptions(fsync="group"), Catalog(), {}
+        )
+        manager.log_commit([])
+        ticket = manager.log_commit([])  # sequence 2: beyond the fresh
+        # writer's post-rotation frontier, so syncing it against the wrong
+        # writer could never succeed.
+        manager.checkpoint()  # rotates to a fresh writer (sequences restart)
+        syncer = threading.Thread(target=manager.sync, args=(ticket,))
+        syncer.start()
+        syncer.join(timeout=5.0)
+        assert not syncer.is_alive(), "sync() of a pre-rotation ticket hung"
+
+    def test_commits_racing_checkpoints_stay_durable(self, tmp_path) -> None:
+        """Concurrent committers with an aggressive auto-checkpoint trigger:
+        every commit must survive, and nothing may deadlock."""
+        database = durable_db(
+            tmp_path, fsync="group", checkpoint_log_bytes=256
+        )
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, pad VARCHAR)")
+        threads, per_thread = 4, 30
+        barrier = threading.Barrier(threads)
+        errors: list[BaseException] = []
+
+        def worker(base: int) -> None:
+            try:
+                session = database.session(autocommit=False)
+                barrier.wait()
+                for i in range(per_thread):
+                    session.execute(
+                        "INSERT INTO t (id, pad) VALUES (?, ?)",
+                        (base * 1000 + i, "x" * 40),
+                    )
+                    session.commit()
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        workers = [
+            threading.Thread(target=worker, args=(t,)) for t in range(threads)
+        ]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join(timeout=30.0)
+        assert not any(thread.is_alive() for thread in workers), "hung"
+        assert not errors
+        assert database.durability_info()["checkpoints_taken"] >= 1
+        recovered = durable_db(tmp_path)
+        assert recovered.row_count("t") == threads * per_thread
+
+
+class TestPartialSchemaRecovery:
+    def test_crash_mid_schema_creation_self_heals(self, tmp_path) -> None:
+        """Each CREATE TABLE is logged individually, so a crash between two
+        of them leaves a partial schema on disk; reopening through the ORM
+        must create only the missing tables instead of raising."""
+        from repro.orm import QueryllDatabase
+        from repro.testing import BANK_CLIENTS, make_bank_mapping
+
+        mapping = make_bank_mapping()
+        half_done = durable_db(tmp_path)
+        first = mapping.entity(mapping.entity_names()[0])
+        half_done.create_table(first.to_table_schema())
+        # Crash: no close, remaining tables never created.
+
+        orm = QueryllDatabase(make_bank_mapping(), data_dir=str(tmp_path))
+        for name in mapping.entity_names():
+            assert orm.database.catalog.has_table(mapping.entity(name).table)
+        orm.database.insert_rows("Client", BANK_CLIENTS)
+        em = orm.begin_transaction()
+        assert em.find("Client", 1000) is not None
+
+
+class TestCheckpointTransactionIsolation:
+    def test_checkpoint_rejected_while_any_write_transaction_open(self, tmp_path) -> None:
+        """The write lock is same-thread reentrant, so CHECKPOINT must
+        refuse while a *sibling* session holds uncommitted changes — a
+        snapshot of them would survive that session's rollback."""
+        database = durable_db(tmp_path)
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        open_txn = database.session(autocommit=False)
+        open_txn.execute("INSERT INTO t (id) VALUES (?)", (100,))
+        with pytest.raises(SqlExecutionError):
+            database.checkpoint()
+        open_txn.rollback()
+        assert database.checkpoint() is True
+
+    def test_auto_checkpoint_defers_around_open_transactions(self, tmp_path) -> None:
+        """The log-size trigger must skip (not snapshot) while a sibling
+        session's transaction is open, and rolled-back rows must never be
+        resurrected by recovery."""
+        database = durable_db(tmp_path, checkpoint_log_bytes=64)
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, pad VARCHAR)")
+        doomed = database.session(autocommit=False)
+        doomed.execute("INSERT INTO t (id, pad) VALUES (?, ?)", (100, "x" * 80))
+        # Sibling auto-commit sessions fire the trigger repeatedly while
+        # the doomed transaction stays open on the same thread.
+        for i in range(5):
+            database.execute(
+                "INSERT INTO t (id, pad) VALUES (?, ?)", (i, "y" * 80)
+            )
+        doomed.rollback()
+        database.execute("INSERT INTO t (id, pad) VALUES (?, ?)", (50, "z"))
+        recovered = durable_db(tmp_path)
+        ids = sorted(row[0] for row in recovered.execute("SELECT id FROM t").rows)
+        assert ids == [0, 1, 2, 3, 4, 50]  # 100 must not be resurrected
+        # With no transaction open, the deferred trigger eventually fires.
+        assert recovered.durability_info()["checkpoints_taken"] >= 0
+
+
+class TestCommitFailureReleasesLock:
+    def test_failed_wal_append_rolls_back_and_frees_the_database(self, tmp_path) -> None:
+        """If the commit-time log append raises (closed file standing in
+        for ENOSPC/EIO), the transaction must roll back and the write lock
+        must be released — not leak and wedge every other session."""
+        database = durable_db(tmp_path)
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        database.execute("INSERT INTO t (id) VALUES (?)", (1,))
+        database.close()  # further appends raise ValueError (closed file)
+        with pytest.raises(ValueError):
+            database.execute("INSERT INTO t (id) VALUES (?)", (2,))
+        # The database is not wedged: reads and sibling sessions work, and
+        # the failed transaction's changes were rolled back in memory.
+        assert database.execute("SELECT id FROM t").rows == [(1,)]
+        other = database.session(autocommit=False)
+        other.execute("DELETE FROM t WHERE id = ?", (1,))
+        other.rollback()
+        recovered = durable_db(tmp_path)
+        assert recovered.execute("SELECT id FROM t").rows == [(1,)]
+
+
+class TestDdlTransactionOrdering:
+    def test_ddl_after_pending_row_ops_is_rejected(self, tmp_path) -> None:
+        """DDL is logged at execution position but row ops only at COMMIT;
+        allowing DDL after pending changes would replay in a different
+        order than live execution (e.g. a unique index backfilled before
+        the DELETE that made it satisfiable) and wedge recovery."""
+        database = durable_db(tmp_path)
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER)")
+        database.execute_many(
+            "INSERT INTO t (id, k) VALUES (?, ?)", [(1, 7), (2, 7)]
+        )
+        session = database.session(autocommit=False)
+        session.execute("DELETE FROM t WHERE id = ?", (1,))
+        with pytest.raises(SqlExecutionError, match="DDL"):
+            session.execute("CREATE UNIQUE INDEX u_k ON t (k)")
+        session.commit()
+        # After the commit the same DDL is fine, and recovery replays it.
+        database.execute("CREATE UNIQUE INDEX u_k ON t (k)")
+        recovered = durable_db(tmp_path)
+        assert "u_k" in recovered.table_data("t").indexes()
+        assert recovered.execute("SELECT id FROM t").rows == [(2,)]
+
+    def test_ddl_first_in_transaction_is_allowed(self, tmp_path) -> None:
+        """BEGIN; CREATE TABLE; INSERT; COMMIT — DDL before any row ops
+        keeps log order equal to execution order and must keep working."""
+        database = durable_db(tmp_path)
+        session = database.session(autocommit=False)
+        session.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        session.execute("INSERT INTO t (id) VALUES (?)", (1,))
+        session.commit()
+        recovered = durable_db(tmp_path)
+        assert recovered.execute("SELECT id FROM t").rows == [(1,)]
+
+    def test_in_memory_ddl_inside_transaction_unchanged(self) -> None:
+        """The restriction is durability-specific; in-memory keeps the old
+        (non-transactional DDL) behaviour."""
+        database = Database()
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        session = database.session(autocommit=False)
+        session.execute("INSERT INTO t (id) VALUES (?)", (1,))
+        session.execute("CREATE INDEX idx ON t (id)")
+        session.commit()
+        assert "idx" in database.table_data("t").indexes()
+
+
+class TestBulkLoadFailureConsistency:
+    def test_failed_bulk_load_leaves_no_unlogged_rows(self, tmp_path) -> None:
+        """A mid-stream failure in insert_rows must undo the rows already
+        inserted: otherwise they stay visible in memory but absent from
+        the log, and a restart recovers a state that never existed."""
+        from repro.sqlengine.errors import SqlTypeError
+
+        database = durable_db(tmp_path)
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        rows = [(1,), (2,), ("not-an-int",)]
+        with pytest.raises(SqlTypeError):
+            database.insert_rows("t", rows)
+        assert database.row_count("t") == 0
+        recovered = durable_db(tmp_path)
+        assert recovered.row_count("t") == 0
