@@ -7,11 +7,24 @@ readers-writer lock, read-only interactions from different connections run
 concurrently; the write mix exercises the transactional stock-transfer
 path.
 
-Run with ``python -m pytest benchmarks/bench_concurrent_throughput.py -s``
-to see the throughput table.
+Two ways to run it:
+
+* ``python benchmarks/bench_concurrent_throughput.py [--smoke] [--output PATH]``
+  — standalone: emits the machine-readable JSON document (written to
+  ``BENCH_concurrent.json`` by default) so the throughput trajectory
+  accumulates across PRs.  ``--smoke`` shrinks the workload for CI.
+* ``python -m pytest benchmarks/bench_concurrent_throughput.py -s`` — as a
+  test, printing the throughput table.
 """
 
 from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # standalone: make src/ importable without pytest
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import pytest
 
@@ -61,6 +74,51 @@ def test_rows_width_split(tpcw_benchmark, capsys) -> None:
             )
 
 
+def run_experiment(
+    thread_counts: list[int], interactions: int, write_fraction: float = 0.2
+) -> dict:
+    """Thread-scaling + write-mix throughput as a JSON-serialisable dict."""
+    from repro.tpcw import BenchmarkConfig, TpcwBenchmark
+
+    benchmark = TpcwBenchmark(BenchmarkConfig.from_environment())
+    scaling = []
+    for variant in ("queryll", "handwritten"):
+        for threads in thread_counts:
+            driver = ConcurrentDriver(
+                benchmark.database,
+                variant=variant,
+                threads=threads,
+                interactions_per_thread=max(1, interactions // threads),
+            )
+            scaling.append(driver.run().as_dict())
+    database = benchmark.database.database
+    before = sum(row[0] for row in database.execute("SELECT i_stock FROM item").rows)
+    write_result = ConcurrentDriver(
+        benchmark.database,
+        variant="handwritten",
+        threads=max(thread_counts),
+        interactions_per_thread=max(1, interactions // max(thread_counts)),
+        write_fraction=write_fraction,
+    ).run()
+    after = sum(row[0] for row in database.execute("SELECT i_stock FROM item").rows)
+    return {
+        "benchmark": "concurrent_throughput",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "config": {
+            "thread_counts": thread_counts,
+            "interactions": interactions,
+            "write_fraction": write_fraction,
+            "items": benchmark.config.scale.num_items,
+            "customers": benchmark.config.scale.num_customers,
+        },
+        "scaling": scaling,
+        "write_mix": {
+            **write_result.as_dict(),
+            "stock_conserved": after == before,
+        },
+    }
+
+
 def test_write_mix_is_consistent(tpcw_benchmark, capsys) -> None:
     database = tpcw_benchmark.database.database
     before = sum(row[0] for row in database.execute("SELECT i_stock FROM item").rows)
@@ -79,3 +137,22 @@ def test_write_mix_is_consistent(tpcw_benchmark, capsys) -> None:
             f"interactions/s ({result.writes} writes, "
             f"{result.rollbacks} rollbacks, stock conserved)"
         )
+
+
+# -- standalone entry point --------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    from _cli import emit_report, parse_bench_args
+
+    args = parse_bench_args(__doc__, "BENCH_concurrent.json", argv)
+    if args.smoke:
+        report = run_experiment(thread_counts=[1, 4], interactions=400)
+    else:
+        report = run_experiment(thread_counts=[1, 2, 4, 8], interactions=2000)
+    emit_report(report, args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,254 @@
+"""Network throughput: the TPC-W workload over the wire vs in-process.
+
+The experiment answers the questions the network subsystem raises:
+
+* what does the wire cost — interactions/sec and round trips for the same
+  emulated-browser workload driven in-process vs through pooled network
+  connections against a spawned :class:`~repro.server.SqlServer`;
+* what does cursor batching buy — draining a multi-row result with one
+  FETCH batch per round trip vs row-at-a-time (``batch_rows=1``);
+* what do remote interactions cost individually — client-observed latency
+  percentiles (p50/p95/p99) per TPC-W interaction;
+* does the transactional write mix stay correct over the network — the
+  stock-sum invariant after concurrent remote stock transfers.
+
+Two ways to run it:
+
+* ``python benchmarks/bench_network_throughput.py [--smoke] [--output PATH]``
+  — standalone: emits the machine-readable JSON document (written to
+  ``BENCH_network.json`` by default).  ``--smoke`` shrinks the workload
+  for CI.
+* ``python -m pytest benchmarks/bench_network_throughput.py`` — as a test,
+  asserting the report shape, that batched FETCH beats row-at-a-time, and
+  that the remote write mix conserves stock.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # standalone: make src/ importable without pytest
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.netclient import ConnectionPool
+from repro.server import SqlServer
+from repro.tpcw import queries_sql
+from repro.tpcw.workload import ConcurrentDriver, ParameterGenerator
+
+
+def measure_throughput(database, threads: int, interactions: int) -> list[dict]:
+    """In-process vs remote driver runs at matched scale, per variant."""
+    entries = []
+    for variant in ("handwritten", "queryll"):
+        for remote in (False, True):
+            driver = ConcurrentDriver(
+                database,
+                variant=variant,
+                threads=threads,
+                interactions_per_thread=max(1, interactions // threads),
+                remote=remote,
+            )
+            entries.append(driver.run().as_dict())
+    return entries
+
+
+def measure_write_mix(database, threads: int, interactions: int) -> dict:
+    """The remote transactional write mix + the stock-sum invariant."""
+    engine = database.database
+    before = sum(row[0] for row in engine.execute("SELECT i_stock FROM item").rows)
+    result = ConcurrentDriver(
+        database,
+        variant="handwritten",
+        threads=threads,
+        interactions_per_thread=max(1, interactions // threads),
+        write_fraction=0.2,
+        remote=True,
+    ).run()
+    after = sum(row[0] for row in engine.execute("SELECT i_stock FROM item").rows)
+    return {**result.as_dict(), "stock_conserved": after == before}
+
+
+def measure_fetch_batching(database, repetitions: int) -> dict:
+    """Batched FETCH vs row-at-a-time for one wide scan.
+
+    Both variants drain ``SELECT i_id, i_title FROM item`` through a
+    server-side cursor; the batched run ships rows in protocol-default
+    batches (one round trip each), the other one row per round trip —
+    the driver-level cost the paper attributes to chatty result access.
+    """
+    from repro.netclient import DEFAULT_BATCH_ROWS, RemoteDatabase
+
+    sql = "SELECT i_id, i_title FROM item"
+    report: dict[str, object] = {"sql": sql, "repetitions": repetitions}
+    with SqlServer(database=database.database) as server:
+        for label, batch_rows in (
+            ("batched", DEFAULT_BATCH_ROWS),
+            ("row_at_a_time", 1),
+        ):
+            remote = RemoteDatabase(server.address, batch_rows=batch_rows)
+            session = remote.session()
+            rows = 0
+            started = time.perf_counter()
+            for _ in range(repetitions):
+                rows += len(session.execute(sql).rows)
+            elapsed = time.perf_counter() - started
+            round_trips = session.client.round_trips
+            session.close()
+            report[label] = {
+                "batch_rows": batch_rows,
+                "rows": rows,
+                "elapsed_s": elapsed,
+                "rows_per_sec": rows / elapsed if elapsed > 0 else float("inf"),
+                "round_trips": round_trips,
+            }
+    report["speedup"] = (
+        report["row_at_a_time"]["elapsed_s"] / report["batched"]["elapsed_s"]
+        if report["batched"]["elapsed_s"] > 0
+        else float("inf")
+    )
+    return report
+
+
+def _percentile(sorted_samples: list[float], q: float) -> float:
+    index = min(len(sorted_samples) - 1, int(q * len(sorted_samples)))
+    return sorted_samples[index]
+
+
+def measure_latency_percentiles(database, executions: int) -> dict:
+    """Client-observed latency percentiles per remote TPC-W interaction."""
+    interactions = (
+        ("getName", queries_sql.get_name, "customer_id"),
+        ("getCustomer", queries_sql.get_customer, "customer_username"),
+        ("doSubjectSearch", queries_sql.do_subject_search, "subject"),
+        ("doGetRelated", queries_sql.do_get_related, "item_id"),
+    )
+    report: dict[str, object] = {}
+    with SqlServer(database=database.database) as server:
+        with ConnectionPool(server.address, min_size=1, max_size=2) as pool:
+            for name, function, parameter in interactions:
+                parameters = ParameterGenerator(database.scale)
+                draw = getattr(parameters, parameter)
+                samples: list[float] = []
+                for _ in range(executions):
+                    with pool.connection() as connection:
+                        value = draw()
+                        started = time.perf_counter()
+                        function(connection, value)
+                        samples.append((time.perf_counter() - started) * 1000.0)
+                samples.sort()
+                report[name] = {
+                    "executions": executions,
+                    "p50_ms": _percentile(samples, 0.50),
+                    "p95_ms": _percentile(samples, 0.95),
+                    "p99_ms": _percentile(samples, 0.99),
+                    "mean_ms": sum(samples) / len(samples),
+                }
+        stats = None
+        session = None
+        try:
+            from repro.netclient import RemoteDatabase
+
+            session = RemoteDatabase(server.address).session()
+            stats = session.server_stats()
+        finally:
+            if session is not None:
+                session.close()
+    report["server_stats"] = stats
+    return report
+
+
+def run_experiment(
+    threads: int,
+    interactions: int,
+    fetch_repetitions: int,
+    latency_executions: int,
+) -> dict:
+    """The full network experiment as a JSON-serialisable dict."""
+    from repro.tpcw import BenchmarkConfig, TpcwBenchmark
+
+    benchmark = TpcwBenchmark(BenchmarkConfig.from_environment())
+    database = benchmark.database
+    throughput = measure_throughput(database, threads, interactions)
+    remote_best = max(
+        (entry for entry in throughput if entry["mode"] == "remote"),
+        key=lambda entry: entry["interactions_per_sec"],
+    )
+    return {
+        "benchmark": "network_throughput",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "config": {
+            "threads": threads,
+            "interactions": interactions,
+            "fetch_repetitions": fetch_repetitions,
+            "latency_executions": latency_executions,
+            "items": benchmark.config.scale.num_items,
+            "customers": benchmark.config.scale.num_customers,
+        },
+        "throughput": throughput,
+        "remote_interactions_per_sec": remote_best["interactions_per_sec"],
+        "write_mix": measure_write_mix(database, threads, interactions // 2),
+        "fetch": measure_fetch_batching(database, fetch_repetitions),
+        "latency_percentiles": measure_latency_percentiles(
+            database, latency_executions
+        ),
+    }
+
+
+# -- pytest entry points -----------------------------------------------------
+
+
+def test_network_report_shape_and_invariants(capsys) -> None:
+    import json
+
+    report = run_experiment(
+        threads=4, interactions=600, fetch_repetitions=3, latency_executions=30
+    )
+    modes = {(entry["variant"], entry["mode"]) for entry in report["throughput"]}
+    assert modes == {
+        ("handwritten", "in-process"), ("handwritten", "remote"),
+        ("queryll", "in-process"), ("queryll", "remote"),
+    }
+    for entry in report["throughput"]:
+        assert entry["interactions_per_sec"] > 0
+        if entry["mode"] == "remote":
+            assert entry["wire_round_trips"] > 0
+    # Batched FETCH must beat row-at-a-time streaming by a wide margin.
+    assert report["fetch"]["speedup"] >= 2.0
+    assert (
+        report["fetch"]["row_at_a_time"]["round_trips"]
+        > report["fetch"]["batched"]["round_trips"]
+    )
+    # The remote transactional mix conserves stock.
+    assert report["write_mix"]["stock_conserved"] is True
+    for name in ("getName", "getCustomer", "doSubjectSearch", "doGetRelated"):
+        entry = report["latency_percentiles"][name]
+        assert 0 < entry["p50_ms"] <= entry["p95_ms"] <= entry["p99_ms"]
+    with capsys.disabled():
+        print("\n" + json.dumps(report, indent=2))
+
+
+# -- standalone entry point --------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    from _cli import emit_report, parse_bench_args
+
+    args = parse_bench_args(__doc__, "BENCH_network.json", argv)
+    if args.smoke:
+        report = run_experiment(
+            threads=4, interactions=1600, fetch_repetitions=5,
+            latency_executions=100,
+        )
+    else:
+        report = run_experiment(
+            threads=8, interactions=8000, fetch_repetitions=20,
+            latency_executions=500,
+        )
+    emit_report(report, args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,10 @@ Layout
 ``repro.orm``
     The light-weight object-relational mapping layer (EntityManager,
     QuerySet, Pair, sorters).
+``repro.server`` / ``repro.netclient``
+    The network layer: a binary wire protocol and threaded SQL server over
+    one engine, and the remote dbapi driver (with client-side connection
+    pooling) presenting the same surface as ``repro.dbapi``.
 ``repro.tpcw``
     The TPC-W-derived microbenchmark used in the paper's evaluation.
 ``repro.bench``

@@ -17,19 +17,39 @@ counted so tests and benchmarks can observe the difference.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.sqlengine.engine import Database, ResultSet as EngineResultSet, Session
 from repro.sqlengine.errors import SqlExecutionError
+from repro.dbapi.resultset import ResultSet
 from repro.dbapi.statement import PreparedStatement, Statement
 
 
 class Connection:
-    """A client connection to a :class:`~repro.sqlengine.engine.Database`."""
+    """A client connection to a :class:`~repro.sqlengine.engine.Database`.
 
-    def __init__(self, database: Database, auto_commit: bool = True) -> None:
+    ``database`` may be anything with a ``session(autocommit=...)`` factory
+    returning a Session-shaped object — the embedded engine here, or the
+    network driver's :class:`repro.netclient.RemoteDatabase`, whose
+    connection subclass reuses this class wholesale.  The transaction
+    contract (shared by both drivers, see ``docs/server.md`` § "Connection
+    lifecycle") includes: :meth:`close` on a connection with an open
+    explicit transaction **rolls it back** — it never commits.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        auto_commit: bool = True,
+        session: Optional[Session] = None,
+    ) -> None:
         self._database = database
-        self._session = database.session(autocommit=auto_commit)
+        # A pre-built session lets pooled drivers hand an already-checked-out
+        # session to a fresh Connection facade (its autocommit flag was set
+        # at checkout, so ``auto_commit`` is not re-applied).
+        self._session = (
+            session if session is not None else database.session(autocommit=auto_commit)
+        )
         self._closed = False
         #: Number of statements sent through this connection, including
         #: COMMIT/ROLLBACK round trips.  Used by the overhead benchmarks.
@@ -92,7 +112,13 @@ class Connection:
         self._execute("ROLLBACK", ())
 
     def close(self) -> None:
-        """Close the connection, rolling back any open transaction."""
+        """Close the connection, **rolling back** any open transaction.
+
+        Uncommitted work is never silently committed by a close — the same
+        semantics on the embedded and the remote driver (the remote session
+        sends an explicit ROLLBACK round trip before releasing its socket,
+        and the server additionally rolls back on disconnect).
+        """
         if not self._closed:
             self._session.close()
         self._closed = True
@@ -128,6 +154,11 @@ class Connection:
         self._check_open()
         self.round_trips += 1
         return self._session.execute(sql, params)
+
+    def _wrap_result(self, result) -> "ResultSet":
+        """Turn an engine-level result into the driver's ResultSet class
+        (the remote driver overrides this to return a streaming one)."""
+        return ResultSet.from_engine(result)
 
     def _check_open(self) -> None:
         if self._closed:

@@ -19,7 +19,20 @@ class ResultSet:
 
     Column access by name is case-insensitive; column access by index is
     1-based, both as in JDBC.
+
+    Python-side iteration is also supported in the DB-API style:
+    ``for row in rs`` yields the remaining rows as tuples (advancing the
+    cursor), and :meth:`fetchmany` returns the next batch of up to
+    ``arraysize`` rows — the same batching contract the remote driver's
+    FETCH streaming builds on.
+
+    Subclasses may stream rows in on demand by overriding
+    :meth:`_available` (and the materialising accessors); the base class
+    holds every row in memory.
     """
+
+    #: Default :meth:`fetchmany` batch size (DB-API ``cursor.arraysize``).
+    arraysize: int = 1
 
     def __init__(self, columns: Sequence[str], rows: Sequence[tuple[object, ...]]) -> None:
         self._columns = [column.lower() for column in columns]
@@ -40,11 +53,15 @@ class ResultSet:
 
     def next(self) -> bool:
         """Advance to the next row; return False when exhausted."""
-        if self._cursor + 1 >= len(self._rows):
+        if not self._available(self._cursor + 1):
             self._cursor = len(self._rows)
             return False
         self._cursor += 1
         return True
+
+    def _available(self, index: int) -> bool:
+        """Whether row ``index`` exists (hook for streaming subclasses)."""
+        return index < len(self._rows)
 
     def before_first(self) -> None:
         """Reset the cursor to before the first row."""
@@ -96,6 +113,20 @@ class ResultSet:
     def fetch_all(self) -> list[tuple[object, ...]]:
         """All rows as tuples (does not move the cursor)."""
         return list(self._rows)
+
+    def fetchmany(self, size: Optional[int] = None) -> list[tuple[object, ...]]:
+        """The next batch of up to ``size`` rows (default ``arraysize``),
+        advancing the cursor past them; an empty list when exhausted."""
+        size = self.arraysize if size is None else size
+        batch: list[tuple[object, ...]] = []
+        while len(batch) < size and self.next():
+            batch.append(self._rows[self._cursor])
+        return batch
+
+    def __iter__(self):
+        """Yield the remaining rows as tuples, advancing the cursor."""
+        while self.next():
+            yield self._rows[self._cursor]
 
     def __len__(self) -> int:
         return len(self._rows)

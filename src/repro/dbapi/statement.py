@@ -63,14 +63,18 @@ class PreparedStatement:
     def execute_query(self) -> ResultSet:
         """Run the statement and return a :class:`ResultSet`."""
         self._check_open()
-        result = self._connection._execute(self._sql, self._ordered_parameters())
-        return ResultSet.from_engine(result)
+        return self._connection._wrap_result(self._run())
 
     def execute_update(self) -> int:
         """Run a DML statement and return the affected-row count."""
         self._check_open()
-        result = self._connection._execute(self._sql, self._ordered_parameters())
-        return result.rowcount
+        return self._run().rowcount
+
+    def _run(self):
+        """Send the statement through the connection (driver hook: the
+        remote driver overrides this to execute server-side prepared
+        statements instead of re-sending the SQL text)."""
+        return self._connection._execute(self._sql, self._ordered_parameters())
 
     def explain(self) -> str:
         """The engine's cost-annotated plan for this statement's query.
@@ -117,5 +121,5 @@ class Statement(PreparedStatement):
         self._check_open()
         result = self._connection._execute(sql, ())
         if result.columns:
-            return ResultSet.from_engine(result)
+            return self._connection._wrap_result(result)
         return None

@@ -1,0 +1,57 @@
+"""Remote dbapi driver: the ``repro.dbapi`` surface over the wire protocol.
+
+The package mirrors the embedded driver layer by layer —
+:class:`RemoteDatabase` stands in for the engine's ``Database`` as a
+session factory, :class:`Connection`/``PreparedStatement``/``ResultSet``
+keep the JDBC-style surface — so application code (the hand-written TPC-W
+queries, the ORM's EntityManager, the rewritten ``@query`` pipeline) runs
+unmodified against a :class:`repro.server.SqlServer`.  A
+:class:`ConnectionPool` adds the client-side pooling the middleware tier
+needs: bounded size, checkout timeout, liveness checks and
+rollback-on-return.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.netclient.client import (
+    DEFAULT_BATCH_ROWS,
+    RemoteDatabase,
+    RemoteResult,
+    RemoteSession,
+    WireClient,
+)
+from repro.netclient.connection import (
+    Connection,
+    RemotePreparedStatement,
+    RemoteResultSet,
+)
+from repro.netclient.pool import ConnectionPool, PoolTimeoutError
+
+__all__ = [
+    "DEFAULT_BATCH_ROWS",
+    "Connection",
+    "ConnectionPool",
+    "PoolTimeoutError",
+    "RemoteDatabase",
+    "RemotePreparedStatement",
+    "RemoteResult",
+    "RemoteResultSet",
+    "RemoteSession",
+    "WireClient",
+    "connect",
+]
+
+
+def connect(
+    host: str,
+    port: Optional[int] = None,
+    auto_commit: bool = True,
+    *,
+    batch_rows: int = DEFAULT_BATCH_ROWS,
+    timeout: Optional[float] = None,
+) -> Connection:
+    """Open a remote connection (the network twin of ``repro.dbapi.connect``)."""
+    database = RemoteDatabase(host, port, batch_rows=batch_rows, timeout=timeout)
+    return database.connect(auto_commit=auto_commit)

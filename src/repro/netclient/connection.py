@@ -1,0 +1,137 @@
+"""The remote dbapi driver: the ``repro.dbapi`` surface over the network.
+
+:class:`Connection` subclasses the embedded driver's Connection — the
+transaction semantics, round-trip accounting and context-manager protocol
+are inherited, not re-implemented — and swaps in:
+
+* server-side prepared statements (:class:`RemotePreparedStatement`): the
+  SQL text crosses the wire once at PREPARE, later executions ship only a
+  statement id and parameters, and the server maps the registered text
+  onto the engine's shared plan cache;
+* streaming result sets (:class:`RemoteResultSet`): rows arrive in FETCH
+  batches as the cursor advances instead of being materialised up front.
+
+The shared contract — including "``close()`` with an open transaction
+rolls back, never commits" — is documented once in ``docs/server.md``
+§ "Connection lifecycle" and tested against both drivers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dbapi.connection import Connection as _EmbeddedConnection
+from repro.dbapi.resultset import ResultSet
+from repro.dbapi.statement import PreparedStatement
+from repro.netclient.client import RemoteDatabase, RemoteResult, RemoteSession
+
+
+class RemoteResultSet(ResultSet):
+    """A ResultSet over a server-side cursor: batches stream in on demand.
+
+    Rows already received stay buffered client-side, so cursor rewinds
+    (``before_first``) and re-reads behave exactly like the embedded
+    driver; only the *first* pass over unseen rows costs FETCH round trips.
+    """
+
+    def __init__(self, result: RemoteResult) -> None:
+        super().__init__(result.columns, ())
+        self._result = result
+        # Share the streaming buffer: rows appended by FETCH become
+        # visible to the inherited accessors without copying.
+        self._rows = result._buffer
+
+    def _available(self, index: int) -> bool:
+        return self._result.available(index)
+
+    @property
+    def row_count(self) -> int:
+        """Total number of rows (drains the cursor)."""
+        return len(self._result.rows)
+
+    def fetch_all(self) -> list[tuple[object, ...]]:
+        """All rows as tuples (drains the cursor; cursor position unmoved)."""
+        return list(self._result.rows)
+
+    def __len__(self) -> int:
+        return len(self._result.rows)
+
+
+class RemotePreparedStatement(PreparedStatement):
+    """A prepared statement executed server-side by id.
+
+    The statement is registered lazily on first execution; afterwards each
+    execution sends only ``(stmt_id, parameters)`` — the remote analogue
+    of the engine's plan-cache reuse, and one less SQL parse per call.
+    """
+
+    def __init__(self, connection: "Connection", sql: str) -> None:
+        super().__init__(connection, sql)
+        self._stmt_id: Optional[int] = None
+
+    def _run(self):
+        connection = self._connection
+        connection._check_open()
+        session: RemoteSession = connection._session
+        # Re-resolve the id on every execution rather than pinning it: the
+        # lookup is a local cache hit (no round trip) that also refreshes
+        # the statement's LRU position, and it re-PREPAREs transparently if
+        # the registration was evicted by 256+ other statements meanwhile.
+        self._stmt_id = session.prepare(self._sql)
+        connection.round_trips += 1
+        return session.execute_prepared(self._stmt_id, self._ordered_parameters())
+
+    def explain(self) -> str:
+        """The server engine's cost-annotated plan for this statement."""
+        self._check_open()
+        self._connection.round_trips += 1
+        return self._connection._session.explain(self._sql)
+
+    def close(self) -> None:
+        """Close the statement object.
+
+        The server-side registration is deliberately kept: it belongs to
+        the wire connection's SQL-text-keyed statement cache, so the next
+        PreparedStatement with the same text (possibly from a different
+        pool checkout) reuses it without another PREPARE round trip.
+        """
+        self._stmt_id = None
+        super().close()
+
+
+class Connection(_EmbeddedConnection):
+    """A dbapi connection whose session lives on a remote server."""
+
+    def __init__(
+        self,
+        database: RemoteDatabase,
+        auto_commit: bool = True,
+        session: Optional[RemoteSession] = None,
+    ) -> None:
+        super().__init__(database, auto_commit=auto_commit, session=session)
+
+    def prepare_statement(self, sql: str) -> RemotePreparedStatement:
+        """Create a server-side prepared statement for ``sql``."""
+        self._check_open()
+        return RemotePreparedStatement(self, sql)
+
+    def commit(self) -> None:
+        """Commit via the protocol's dedicated COMMIT message."""
+        self._check_open()
+        self.round_trips += 1
+        self._session.commit()
+
+    def rollback(self) -> None:
+        """Roll back via the protocol's dedicated ROLLBACK message."""
+        self._check_open()
+        self.round_trips += 1
+        self._session.rollback()
+
+    def _wrap_result(self, result) -> RemoteResultSet:
+        return RemoteResultSet(result)
+
+    @property
+    def wire_round_trips(self) -> int:
+        """Actual frames exchanged with the server (includes PREPARE and
+        FETCH traffic, unlike the statement-level ``round_trips``)."""
+        return self._session.client.round_trips

@@ -1,0 +1,302 @@
+"""Thread-safe client-side connection pooling for the remote driver.
+
+A :class:`ConnectionPool` keeps a bounded set of handshaken wire
+connections to one server and hands them out per unit of work — the
+middleware pattern the paper's application tier assumes: many request
+handlers, few database connections.
+
+Contract (each piece is tested):
+
+* **min/max size** — ``min_size`` connections are opened eagerly; the pool
+  grows on demand up to ``max_size`` and never beyond.
+* **checkout timeout** — when every connection is busy, ``acquire`` waits
+  up to ``checkout_timeout`` seconds and then raises
+  :class:`PoolTimeoutError` instead of blocking forever.
+* **liveness check on checkout** — an idle connection that has not been
+  used for ``liveness_check_after`` seconds is PINGed before being handed
+  out; a dead one (server restarted, socket reset) is discarded and
+  replaced transparently.
+* **return-to-pool rollback** — a connection released with a transaction
+  still open is rolled back (and its auto-commit flag restored) before it
+  becomes available again, so one caller's abandoned transaction can never
+  leak into the next checkout.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.errors import SqlError
+from repro.netclient.client import (
+    DEFAULT_BATCH_ROWS,
+    RemoteSession,
+    WireClient,
+)
+from repro.sqlengine.errors import SqlExecutionError
+
+
+class PoolTimeoutError(SqlError):
+    """No pooled connection became available within the checkout timeout."""
+
+
+class ConnectionPool:
+    """A bounded pool of wire connections to one SQL server."""
+
+    def __init__(
+        self,
+        host: str,
+        port: Optional[int] = None,
+        *,
+        min_size: int = 0,
+        max_size: int = 8,
+        checkout_timeout: float = 5.0,
+        liveness_check_after: float = 1.0,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+        timeout: Optional[float] = None,
+        client_name: str = "repro-pool",
+    ) -> None:
+        if port is None:
+            host, port = host  # an (host, port) address tuple
+        if max_size < 1:
+            raise SqlExecutionError("max_size must be at least 1")
+        if min_size > max_size:
+            raise SqlExecutionError("min_size cannot exceed max_size")
+        self.host = host
+        self.port = port
+        self.min_size = min_size
+        self.max_size = max_size
+        self.checkout_timeout = checkout_timeout
+        self.liveness_check_after = liveness_check_after
+        self.batch_rows = batch_rows
+        self.timeout = timeout
+        self.client_name = client_name
+        self._cond = threading.Condition()
+        self._idle: list[WireClient] = []
+        self._size = 0
+        self._closed = False
+        #: Live clients (for aggregate wire counters); a retired client's
+        #: counters are folded into the running totals and its reference
+        #: dropped, so churn cannot grow this list without bound.
+        self._clients: list[WireClient] = []
+        self._retired_round_trips = 0
+        self._retired_bytes_sent = 0
+        self._retired_bytes_received = 0
+        self.checkouts = 0
+        self.created = 0
+        self.discarded = 0
+        self.liveness_failures = 0
+        self.checkout_timeouts = 0
+        for _ in range(min_size):
+            with self._cond:
+                self._size += 1
+            try:
+                client = self._open()
+            except BaseException:
+                with self._cond:
+                    self._size -= 1
+                raise
+            with self._cond:
+                self._idle.append(client)
+
+    # -- checkout / release --------------------------------------------------
+
+    def acquire(self) -> WireClient:
+        """Check a live connection out of the pool.
+
+        Prefers the most recently returned idle connection (its statement
+        cache and liveness are warmest), grows the pool when allowed, and
+        otherwise waits — up to ``checkout_timeout`` — for a release.
+        """
+        deadline = time.monotonic() + self.checkout_timeout
+        while True:
+            client: Optional[WireClient] = None
+            grow = False
+            with self._cond:
+                if self._closed:
+                    raise SqlExecutionError("connection pool is closed")
+                if self._idle:
+                    client = self._idle.pop()
+                elif self._size < self.max_size:
+                    self._size += 1
+                    grow = True
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self.checkout_timeouts += 1
+                        raise PoolTimeoutError(
+                            f"no connection became available within "
+                            f"{self.checkout_timeout}s (max_size={self.max_size})"
+                        )
+                    self._cond.wait(remaining)
+                    continue
+            if grow:
+                try:
+                    client = self._open()
+                except BaseException:
+                    with self._cond:
+                        self._size -= 1
+                        self._cond.notify()
+                    raise
+                with self._cond:
+                    self.checkouts += 1
+                return client
+            assert client is not None
+            if (
+                self.liveness_check_after is not None
+                and time.monotonic() - client.last_used > self.liveness_check_after
+                and not client.ping()
+            ):
+                with self._cond:
+                    self.liveness_failures += 1
+                self._discard(client)
+                continue
+            with self._cond:
+                self.checkouts += 1
+            return client
+
+    def release(self, client: WireClient) -> None:
+        """Return a connection, rolling back any abandoned transaction."""
+        if client.closed:
+            self._discard(client)
+            return
+        try:
+            if client.in_transaction:
+                client.rollback()
+            if not client.autocommit:
+                client.set_autocommit(True)
+        except (SqlError, OSError):
+            # The reset itself failed: the connection state is unknown, so
+            # it must not be reused.
+            self._discard(client)
+            return
+        with self._cond:
+            if self._closed:
+                pass  # fall through to retire outside the lock
+            else:
+                self._idle.append(client)
+                self._cond.notify()
+                return
+        client.close()
+        with self._cond:
+            self._size -= 1
+            self._retire(client)
+
+    # -- session/connection factories ---------------------------------------
+
+    def session(
+        self, autocommit: bool = True, batch_rows: Optional[int] = None
+    ) -> RemoteSession:
+        """Check out a connection wrapped as a :class:`RemoteSession`;
+        closing the session returns the connection to this pool."""
+        client = self.acquire()
+        try:
+            return RemoteSession(
+                client,
+                autocommit=autocommit,
+                pool=self,
+                batch_rows=self.batch_rows if batch_rows is None else batch_rows,
+            )
+        except BaseException:
+            self.release(client)
+            raise
+
+    def connection(self, auto_commit: bool = True):
+        """Check out a connection wrapped in the remote dbapi surface;
+        ``close()`` (or leaving its ``with`` block) returns it here."""
+        from repro.netclient.connection import Connection
+
+        session = self.session(autocommit=auto_commit)
+        try:
+            return Connection(None, session=session)
+        except BaseException:
+            session.close()
+            raise
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Pool counters plus aggregate wire counters over every
+        connection this pool ever opened."""
+        with self._cond:
+            return {
+                "size": self._size,
+                "idle": len(self._idle),
+                "in_use": self._size - len(self._idle),
+                "max_size": self.max_size,
+                "checkouts": self.checkouts,
+                "created": self.created,
+                "discarded": self.discarded,
+                "liveness_failures": self.liveness_failures,
+                "checkout_timeouts": self.checkout_timeouts,
+                "round_trips": self._retired_round_trips
+                + sum(c.round_trips for c in self._clients),
+                "bytes_sent": self._retired_bytes_sent
+                + sum(c.bytes_sent for c in self._clients),
+                "bytes_received": self._retired_bytes_received
+                + sum(c.bytes_received for c in self._clients),
+            }
+
+    def round_trips(self) -> int:
+        """Total request/response round trips across every connection this
+        pool ever opened (retired ones included)."""
+        with self._cond:
+            return self._retired_round_trips + sum(
+                client.round_trips for client in self._clients
+            )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every idle connection and refuse further checkouts.
+
+        Connections currently checked out are closed as they come back.
+        """
+        with self._cond:
+            self._closed = True
+            idle = list(self._idle)
+            self._idle.clear()
+            self._size -= len(idle)
+            self._cond.notify_all()
+        for client in idle:
+            client.close()
+        with self._cond:
+            for client in idle:
+                self._retire(client)
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- internals -----------------------------------------------------------
+
+    def _open(self) -> WireClient:
+        client = WireClient(
+            self.host, self.port, timeout=self.timeout, client_name=self.client_name
+        )
+        with self._cond:
+            self._clients.append(client)
+            self.created += 1
+        return client
+
+    def _discard(self, client: WireClient) -> None:
+        client.close()
+        with self._cond:
+            self.discarded += 1
+            self._size -= 1
+            self._retire(client)
+            self._cond.notify()
+
+    def _retire(self, client: WireClient) -> None:
+        """Fold a dead client's counters into the totals and drop it.
+        Caller holds the condition lock."""
+        try:
+            self._clients.remove(client)
+        except ValueError:  # pragma: no cover - retired twice
+            return
+        self._retired_round_trips += client.round_trips
+        self._retired_bytes_sent += client.bytes_sent
+        self._retired_bytes_received += client.bytes_received

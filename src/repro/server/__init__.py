@@ -1,0 +1,26 @@
+"""Network server subsystem: wire protocol + concurrent SQL server.
+
+``repro.server`` turns the embedded engine into a shared server process:
+:mod:`repro.server.protocol` defines the versioned, length-prefixed binary
+wire protocol (reusing the write-ahead log's value codec), and
+:mod:`repro.server.server` is the threaded socket server that owns one
+:class:`~repro.sqlengine.engine.Database` and serves one engine session per
+client connection.  The matching client side lives in :mod:`repro.netclient`.
+"""
+
+from __future__ import annotations
+
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    RemoteServerError,
+)
+from repro.server.server import ServerStats, SqlServer
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RemoteServerError",
+    "ServerStats",
+    "SqlServer",
+]

@@ -1,0 +1,518 @@
+"""Versioned, length-prefixed binary wire protocol for the SQL server.
+
+Every message travels in the same frame format the write-ahead log uses::
+
+    <u32 payload length> <payload bytes> <u32 crc32(payload)>
+
+and a frame's payload starts with a one-byte opcode followed by
+opcode-specific fields encoded with the WAL's tag-based value codec
+(LEB128 varints, zigzag integers, UTF-8 strings — see
+:mod:`repro.sqlengine.durability.wal`).  The engine stores only ``None``,
+``bool``, ``int``, ``float`` and ``str`` cell values, so the codec covers
+every parameter and every result cell without a separate serialisation
+layer.
+
+Protocol shape:
+
+* The client opens with ``HELLO`` carrying :data:`PROTOCOL_VERSION`; the
+  server answers ``HELLO_OK`` or an ``ERROR`` frame (version mismatch,
+  admission control) and closes.
+* Requests are strictly request/response: one client frame, one server
+  frame.  ``EXECUTE`` / ``EXECUTE_PREPARED`` answer with ``RESULT``
+  (columns, row count, the first row batch and — when the batch did not
+  exhaust the result — a cursor id for ``FETCH``).  ``FETCH`` answers with
+  ``ROWS`` until the exhausted flag is set.
+* Every server frame carries a flags byte whose
+  :data:`FLAG_IN_TRANSACTION` bit mirrors the server session's transaction
+  state, so the client never has to guess whether a statement opened or
+  closed a transaction.
+* Errors are structured: an ``ERROR`` frame carries the engine error
+  *class name* plus the message, and :func:`raise_remote_error` re-raises
+  the matching exception type client-side (unknown classes degrade to
+  :class:`RemoteServerError`).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+from zlib import crc32
+
+from repro.errors import SqlError
+from repro.sqlengine import errors as sql_errors
+from repro.sqlengine.durability.wal import (
+    WalError,
+    decode_row,
+    decode_varint,
+    encode_row,
+    encode_varint,
+)
+
+#: Bumped on any incompatible change; HELLO frames carrying a different
+#: version are rejected before any SQL is accepted.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame payload.  Large enough for any realistic row
+#: batch, small enough that a corrupt length prefix cannot make the peer
+#: allocate gigabytes.
+MAX_MESSAGE = 1 << 26
+
+_U32 = struct.Struct("<I")
+
+# -- opcodes: client -> server ------------------------------------------------
+
+HELLO = 0x01
+EXECUTE = 0x02
+PREPARE = 0x03
+EXECUTE_PREPARED = 0x04
+FETCH = 0x05
+CLOSE_CURSOR = 0x06
+CLOSE_STATEMENT = 0x07
+BEGIN = 0x08
+COMMIT = 0x09
+ROLLBACK = 0x0A
+SET_AUTOCOMMIT = 0x0B
+EXPLAIN = 0x0C
+CHECKPOINT = 0x0D
+SERVER_STATS = 0x0E
+PING = 0x0F
+GOODBYE = 0x10
+
+# -- opcodes: server -> client ------------------------------------------------
+
+HELLO_OK = 0x81
+RESULT = 0x82
+ROWS = 0x83
+OK = 0x84
+PREPARED = 0x85
+STATS = 0x86
+EXPLAINED = 0x87
+ERROR = 0xFF
+
+OPCODE_NAMES = {
+    HELLO: "HELLO", EXECUTE: "EXECUTE", PREPARE: "PREPARE",
+    EXECUTE_PREPARED: "EXECUTE_PREPARED", FETCH: "FETCH",
+    CLOSE_CURSOR: "CLOSE_CURSOR", CLOSE_STATEMENT: "CLOSE_STATEMENT",
+    BEGIN: "BEGIN", COMMIT: "COMMIT", ROLLBACK: "ROLLBACK",
+    SET_AUTOCOMMIT: "SET_AUTOCOMMIT", EXPLAIN: "EXPLAIN",
+    CHECKPOINT: "CHECKPOINT", SERVER_STATS: "SERVER_STATS", PING: "PING",
+    GOODBYE: "GOODBYE", HELLO_OK: "HELLO_OK", RESULT: "RESULT", ROWS: "ROWS",
+    OK: "OK", PREPARED: "PREPARED", STATS: "STATS", EXPLAINED: "EXPLAINED",
+    ERROR: "ERROR",
+}
+
+#: Server-frame flag bits.
+FLAG_IN_TRANSACTION = 0x01
+FLAG_EXHAUSTED = 0x02
+
+
+class ProtocolError(SqlError):
+    """A malformed, oversized or version-incompatible frame was seen."""
+
+
+class RemoteServerError(SqlError):
+    """A server-side error whose class has no client-side counterpart."""
+
+    def __init__(self, error_class: str, message: str) -> None:
+        super().__init__(f"{error_class}: {message}")
+        self.error_class = error_class
+        self.remote_message = message
+
+
+# -- error class registry -----------------------------------------------------
+
+#: Engine error classes a structured ERROR frame can round-trip exactly.
+ERROR_CLASSES: dict[str, type[SqlError]] = {
+    name: value
+    for name, value in vars(sql_errors).items()
+    if isinstance(value, type) and issubclass(value, SqlError)
+}
+ERROR_CLASSES["WalError"] = WalError
+ERROR_CLASSES["ProtocolError"] = ProtocolError
+
+
+def error_class_name(error: BaseException) -> str:
+    """The class name shipped in an ERROR frame for ``error``."""
+    return type(error).__name__
+
+
+def raise_remote_error(error_class: str, message: str) -> None:
+    """Re-raise a server-side error under its original class when known."""
+    exception_type = ERROR_CLASSES.get(error_class)
+    if exception_type is not None:
+        raise exception_type(message)
+    raise RemoteServerError(error_class, message)
+
+
+# -- framing ------------------------------------------------------------------
+
+
+def frame(payload: bytes) -> bytes:
+    """Wrap a message payload in the length-prefixed checksummed frame."""
+    return _U32.pack(len(payload)) + payload + _U32.pack(crc32(payload))
+
+
+def read_frame(rfile) -> Optional[bytes]:
+    """Read one frame from a blocking binary stream.
+
+    Returns None on a clean EOF at a frame boundary (the peer closed the
+    connection between messages).  Raises :class:`ProtocolError` for a
+    truncated frame, an oversized length prefix, or a checksum mismatch —
+    after any of those the stream cannot be resynchronised and the
+    connection must be dropped.
+    """
+    header = rfile.read(4)
+    if not header:
+        return None
+    if len(header) < 4:
+        raise ProtocolError("truncated frame header")
+    (length,) = _U32.unpack(header)
+    if length > MAX_MESSAGE:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the protocol maximum ({MAX_MESSAGE})"
+        )
+    body = rfile.read(length + 4)
+    if len(body) < length + 4:
+        raise ProtocolError("truncated frame body")
+    payload = body[:length]
+    (expected,) = _U32.unpack_from(body, length)
+    if crc32(payload) != expected:
+        raise ProtocolError("frame checksum mismatch")
+    return payload
+
+
+# -- shared field codecs ------------------------------------------------------
+
+
+def _encode_str(text: str, out: bytearray) -> None:
+    raw = text.encode("utf-8")
+    encode_varint(len(raw), out)
+    out.extend(raw)
+
+
+def _decode_str(data: bytes, offset: int) -> tuple[str, int]:
+    length, offset = decode_varint(data, offset)
+    if offset + length > len(data):
+        raise ProtocolError("truncated string field")
+    return data[offset:offset + length].decode("utf-8"), offset + length
+
+
+def _encode_rows(rows: Iterable[Sequence[object]], out: bytearray) -> None:
+    materialised = list(rows)
+    encode_varint(len(materialised), out)
+    for row in materialised:
+        encode_row(row, out)
+
+
+def _decode_rows(data: bytes, offset: int) -> tuple[list[tuple[object, ...]], int]:
+    count, offset = decode_varint(data, offset)
+    rows: list[tuple[object, ...]] = []
+    for _ in range(count):
+        row, offset = decode_row(data, offset)
+        rows.append(row)
+    return rows, offset
+
+
+# -- client messages ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClientMessage:
+    """One decoded client request."""
+
+    op: int
+    sql: str = ""
+    params: tuple[object, ...] = ()
+    max_rows: int = 0
+    stmt_id: int = 0
+    cursor_id: int = 0
+    flag: bool = False
+    version: int = 0
+    client_name: str = ""
+
+    @property
+    def op_name(self) -> str:
+        """Human-readable opcode."""
+        return OPCODE_NAMES.get(self.op, f"?{self.op:#x}")
+
+
+def encode_hello(version: int = PROTOCOL_VERSION, client_name: str = "repro-netclient") -> bytes:
+    """HELLO: protocol handshake (must be the first frame)."""
+    out = bytearray([HELLO])
+    encode_varint(version, out)
+    _encode_str(client_name, out)
+    return bytes(out)
+
+
+def encode_execute(sql: str, params: Sequence[object] = (), max_rows: int = 0) -> bytes:
+    """EXECUTE: run one SQL statement.  ``max_rows`` caps the inline row
+    batch of the RESULT frame (0 = ship every row in one response)."""
+    out = bytearray([EXECUTE])
+    _encode_str(sql, out)
+    encode_row(params, out)
+    encode_varint(max_rows, out)
+    return bytes(out)
+
+
+def encode_prepare(sql: str) -> bytes:
+    """PREPARE: register a server-side prepared statement."""
+    out = bytearray([PREPARE])
+    _encode_str(sql, out)
+    return bytes(out)
+
+
+def encode_execute_prepared(
+    stmt_id: int, params: Sequence[object] = (), max_rows: int = 0
+) -> bytes:
+    """EXECUTE_PREPARED: run a prepared statement with fresh parameters."""
+    out = bytearray([EXECUTE_PREPARED])
+    encode_varint(stmt_id, out)
+    encode_row(params, out)
+    encode_varint(max_rows, out)
+    return bytes(out)
+
+
+def encode_fetch(cursor_id: int, max_rows: int) -> bytes:
+    """FETCH: the next batch of an open cursor."""
+    out = bytearray([FETCH])
+    encode_varint(cursor_id, out)
+    encode_varint(max_rows, out)
+    return bytes(out)
+
+
+def encode_close_cursor(cursor_id: int) -> bytes:
+    """CLOSE_CURSOR: drop an open cursor without draining it."""
+    out = bytearray([CLOSE_CURSOR])
+    encode_varint(cursor_id, out)
+    return bytes(out)
+
+
+def encode_close_statement(stmt_id: int) -> bytes:
+    """CLOSE_STATEMENT: drop a server-side prepared statement."""
+    out = bytearray([CLOSE_STATEMENT])
+    encode_varint(stmt_id, out)
+    return bytes(out)
+
+
+def encode_set_autocommit(value: bool) -> bytes:
+    """SET_AUTOCOMMIT: flip the server session's auto-commit flag."""
+    return bytes([SET_AUTOCOMMIT, 1 if value else 0])
+
+
+def encode_explain(sql: str) -> bytes:
+    """EXPLAIN: ask for the engine's cost-annotated plan text."""
+    out = bytearray([EXPLAIN])
+    _encode_str(sql, out)
+    return bytes(out)
+
+
+def encode_simple(op: int) -> bytes:
+    """A request with no fields (BEGIN/COMMIT/ROLLBACK/CHECKPOINT/...)."""
+    return bytes([op])
+
+
+def decode_client_message(payload: bytes) -> ClientMessage:
+    """Decode one client frame payload."""
+    if not payload:
+        raise ProtocolError("empty message payload")
+    op = payload[0]
+    offset = 1
+    if op == HELLO:
+        version, offset = decode_varint(payload, offset)
+        client_name, _ = _decode_str(payload, offset)
+        return ClientMessage(op=op, version=version, client_name=client_name)
+    if op == EXECUTE:
+        sql, offset = _decode_str(payload, offset)
+        params, offset = decode_row(payload, offset)
+        max_rows, _ = decode_varint(payload, offset)
+        return ClientMessage(op=op, sql=sql, params=params, max_rows=max_rows)
+    if op == PREPARE:
+        sql, _ = _decode_str(payload, offset)
+        return ClientMessage(op=op, sql=sql)
+    if op == EXECUTE_PREPARED:
+        stmt_id, offset = decode_varint(payload, offset)
+        params, offset = decode_row(payload, offset)
+        max_rows, _ = decode_varint(payload, offset)
+        return ClientMessage(op=op, stmt_id=stmt_id, params=params, max_rows=max_rows)
+    if op == FETCH:
+        cursor_id, offset = decode_varint(payload, offset)
+        max_rows, _ = decode_varint(payload, offset)
+        return ClientMessage(op=op, cursor_id=cursor_id, max_rows=max_rows)
+    if op == CLOSE_CURSOR:
+        cursor_id, _ = decode_varint(payload, offset)
+        return ClientMessage(op=op, cursor_id=cursor_id)
+    if op == CLOSE_STATEMENT:
+        stmt_id, _ = decode_varint(payload, offset)
+        return ClientMessage(op=op, stmt_id=stmt_id)
+    if op == SET_AUTOCOMMIT:
+        if offset >= len(payload):
+            raise ProtocolError("truncated SET_AUTOCOMMIT")
+        return ClientMessage(op=op, flag=bool(payload[offset]))
+    if op == EXPLAIN:
+        sql, _ = _decode_str(payload, offset)
+        return ClientMessage(op=op, sql=sql)
+    if op in (BEGIN, COMMIT, ROLLBACK, CHECKPOINT, SERVER_STATS, PING, GOODBYE):
+        return ClientMessage(op=op)
+    raise ProtocolError(f"unknown client opcode {op:#x}")
+
+
+# -- server messages ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServerMessage:
+    """One decoded server response."""
+
+    op: int
+    flags: int = 0
+    rowcount: int = 0
+    cursor_id: int = 0
+    stmt_id: int = 0
+    columns: tuple[str, ...] = ()
+    rows: tuple[tuple[object, ...], ...] = ()
+    text: str = ""
+    error_class: str = ""
+    message: str = ""
+    version: int = 0
+
+    @property
+    def op_name(self) -> str:
+        """Human-readable opcode."""
+        return OPCODE_NAMES.get(self.op, f"?{self.op:#x}")
+
+    @property
+    def in_transaction(self) -> bool:
+        """Whether the server session has an open transaction."""
+        return bool(self.flags & FLAG_IN_TRANSACTION)
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether a RESULT/ROWS frame shipped the final row batch."""
+        return bool(self.flags & FLAG_EXHAUSTED)
+
+
+def _flags(in_transaction: bool, exhausted: bool = False) -> int:
+    return (FLAG_IN_TRANSACTION if in_transaction else 0) | (
+        FLAG_EXHAUSTED if exhausted else 0
+    )
+
+
+def encode_hello_ok(version: int = PROTOCOL_VERSION, banner: str = "repro-sql-server") -> bytes:
+    """HELLO_OK: handshake accepted."""
+    out = bytearray([HELLO_OK, 0])
+    encode_varint(version, out)
+    _encode_str(banner, out)
+    return bytes(out)
+
+
+def encode_result(
+    columns: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    rowcount: int,
+    cursor_id: int,
+    in_transaction: bool,
+    exhausted: bool,
+) -> bytes:
+    """RESULT: the answer to EXECUTE/EXECUTE_PREPARED."""
+    out = bytearray([RESULT, _flags(in_transaction, exhausted)])
+    encode_varint(rowcount, out)
+    encode_varint(cursor_id, out)
+    encode_varint(len(columns), out)
+    for column in columns:
+        _encode_str(column, out)
+    _encode_rows(rows, out)
+    return bytes(out)
+
+
+def encode_rows(
+    rows: Iterable[Sequence[object]],
+    cursor_id: int,
+    in_transaction: bool,
+    exhausted: bool,
+) -> bytes:
+    """ROWS: one FETCH batch."""
+    out = bytearray([ROWS, _flags(in_transaction, exhausted)])
+    encode_varint(cursor_id, out)
+    _encode_rows(rows, out)
+    return bytes(out)
+
+
+def encode_ok(in_transaction: bool, rowcount: int = 0) -> bytes:
+    """OK: a fieldless acknowledgement (transaction control, PING, ...)."""
+    out = bytearray([OK, _flags(in_transaction)])
+    encode_varint(rowcount, out)
+    return bytes(out)
+
+
+def encode_prepared(stmt_id: int, in_transaction: bool) -> bytes:
+    """PREPARED: the id of a freshly registered prepared statement."""
+    out = bytearray([PREPARED, _flags(in_transaction)])
+    encode_varint(stmt_id, out)
+    return bytes(out)
+
+
+def encode_stats(text: str, in_transaction: bool) -> bytes:
+    """STATS: the SERVER_STATS JSON document."""
+    out = bytearray([STATS, _flags(in_transaction)])
+    _encode_str(text, out)
+    return bytes(out)
+
+
+def encode_explained(text: str, in_transaction: bool) -> bytes:
+    """EXPLAINED: the engine's plan text."""
+    out = bytearray([EXPLAINED, _flags(in_transaction)])
+    _encode_str(text, out)
+    return bytes(out)
+
+
+def encode_error(error_class: str, message: str, in_transaction: bool) -> bytes:
+    """ERROR: structured error (engine error class name + message)."""
+    out = bytearray([ERROR, _flags(in_transaction)])
+    _encode_str(error_class, out)
+    _encode_str(message, out)
+    return bytes(out)
+
+
+def decode_server_message(payload: bytes) -> ServerMessage:
+    """Decode one server frame payload."""
+    if len(payload) < 2:
+        raise ProtocolError("server message too short")
+    op = payload[0]
+    flags = payload[1]
+    offset = 2
+    if op == HELLO_OK:
+        version, offset = decode_varint(payload, offset)
+        banner, _ = _decode_str(payload, offset)
+        return ServerMessage(op=op, flags=flags, version=version, text=banner)
+    if op == RESULT:
+        rowcount, offset = decode_varint(payload, offset)
+        cursor_id, offset = decode_varint(payload, offset)
+        ncols, offset = decode_varint(payload, offset)
+        columns = []
+        for _ in range(ncols):
+            column, offset = _decode_str(payload, offset)
+            columns.append(column)
+        rows, _ = _decode_rows(payload, offset)
+        return ServerMessage(
+            op=op, flags=flags, rowcount=rowcount, cursor_id=cursor_id,
+            columns=tuple(columns), rows=tuple(rows),
+        )
+    if op == ROWS:
+        cursor_id, offset = decode_varint(payload, offset)
+        rows, _ = _decode_rows(payload, offset)
+        return ServerMessage(op=op, flags=flags, cursor_id=cursor_id, rows=tuple(rows))
+    if op == OK:
+        rowcount, _ = decode_varint(payload, offset)
+        return ServerMessage(op=op, flags=flags, rowcount=rowcount)
+    if op == PREPARED:
+        stmt_id, _ = decode_varint(payload, offset)
+        return ServerMessage(op=op, flags=flags, stmt_id=stmt_id)
+    if op in (STATS, EXPLAINED):
+        text, _ = _decode_str(payload, offset)
+        return ServerMessage(op=op, flags=flags, text=text)
+    if op == ERROR:
+        error_class, offset = _decode_str(payload, offset)
+        message, _ = _decode_str(payload, offset)
+        return ServerMessage(op=op, flags=flags, error_class=error_class, message=message)
+    raise ProtocolError(f"unknown server opcode {op:#x}")

@@ -35,6 +35,17 @@ from repro.sqlengine.storage import TableData
 from repro.sqlengine.transactions import ReadWriteLock, Transaction
 
 
+def build_column_map(columns: Sequence[str]) -> dict[str, int]:
+    """Name→index map over a select list (first occurrence wins, the JDBC
+    rule for duplicated column names).  Shared by every result-set flavour
+    — the engine's, and the network driver's streaming one — so the lookup
+    contract lives in exactly one place."""
+    column_map: dict[str, int] = {}
+    for position, column in enumerate(columns):
+        column_map.setdefault(column, position)
+    return column_map
+
+
 @dataclass
 class ResultSet:
     """Materialised result of a query: column names plus row tuples.
@@ -58,10 +69,7 @@ class ResultSet:
         access by name is O(1) instead of an O(n) list search."""
         column_map = self._column_map
         if column_map is None:
-            column_map = {}
-            for position, column in enumerate(self.columns):
-                column_map.setdefault(column, position)
-            self._column_map = column_map
+            column_map = self._column_map = build_column_map(self.columns)
         try:
             return column_map[name.lower()]
         except KeyError as exc:
@@ -544,6 +552,29 @@ class Database:
                 "entries": len(self._statement_cache),
                 "size": self._statement_cache_size,
             }
+
+    def stats(self) -> dict[str, object]:
+        """One engine-wide statistics document.
+
+        Aggregates the counters the network server's SERVER_STATS frame
+        ships to remote clients: statements executed, statement-cache
+        behaviour, per-table row counts and (on a durable engine) the
+        durability counters.
+        """
+        self._rwlock.acquire_read()
+        try:
+            tables = {
+                name: len(data) for name, data in self._tables.items()
+            }
+        finally:
+            self._rwlock.release_read()
+        return {
+            "statements_executed": self.statements_executed,
+            "statement_cache": self.statement_cache_info(),
+            "tables": tables,
+            "durable": self.durable,
+            "durability": self.durability_info(),
+        }
 
     # -- durability ----------------------------------------------------------
 

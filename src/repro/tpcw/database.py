@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.dbapi.connection import Connection, connect
 from repro.orm.entity_manager import EntityManager
 from repro.orm.session import QueryllDatabase
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.netclient import ConnectionPool, RemoteDatabase
 from repro.sqlengine.durability import DurabilityOptions
 from repro.sqlengine.planner import PlannerOptions
 from repro.tpcw.population import PopulationScale, PopulationSummary, populate
@@ -46,6 +49,85 @@ class TpcwDatabase:
     def close(self) -> None:
         """Close the underlying engine's durability layer."""
         self.orm.database.close()
+
+
+@dataclass
+class RemoteTpcwDatabase:
+    """A TpcwDatabase-shaped handle whose sessions cross the network.
+
+    Wraps a server-side :class:`TpcwDatabase` (for the population metadata
+    and the client-side ORM artifacts — mapping and generated entity
+    classes) plus a client-side :class:`~repro.netclient.RemoteDatabase`.
+    ``connection()`` and ``entity_manager()`` return the exact objects the
+    local handle returns, but their engine sessions live on the server —
+    which is what lets the whole TPC-W suite run unchanged against a
+    remote server.
+    """
+
+    local: TpcwDatabase
+    remote: "RemoteDatabase"
+
+    @property
+    def orm(self) -> QueryllDatabase:
+        """The ORM bundle (mapping + entity classes, all client-side)."""
+        return self.local.orm
+
+    @property
+    def scale(self) -> PopulationScale:
+        """The population scale."""
+        return self.local.scale
+
+    @property
+    def summary(self) -> PopulationSummary:
+        """The population summary."""
+        return self.local.summary
+
+    @property
+    def database(self):
+        """The server-side SQL engine (tests inspect it in-process)."""
+        return self.local.database
+
+    def connection(self, auto_commit: bool = True):
+        """A remote dbapi connection (pooled when the RemoteDatabase has a
+        pool — then ``close()`` returns it instead of closing the socket)."""
+        return self.remote.connect(auto_commit=auto_commit)
+
+    def entity_manager(self) -> EntityManager:
+        """A fresh EntityManager whose session runs on the remote server."""
+        return EntityManager(
+            self.remote, self.orm.mapping, self.orm.entity_classes
+        )
+
+    def checkpoint(self) -> bool:
+        """Checkpoint the server's engine over the wire."""
+        session = self.remote.session()
+        try:
+            session.checkpoint()
+        finally:
+            session.close()
+        return self.local.database.durable
+
+    def server_stats(self) -> dict:
+        """The server's SERVER_STATS document."""
+        return self.remote.server_stats()
+
+
+def connect_remote(
+    local: TpcwDatabase,
+    address: tuple[str, int],
+    *,
+    pool: Optional["ConnectionPool"] = None,
+    batch_rows: Optional[int] = None,
+) -> RemoteTpcwDatabase:
+    """Point a TPC-W workload at a server exposing ``local``'s engine."""
+    from repro.netclient import DEFAULT_BATCH_ROWS, RemoteDatabase
+
+    remote = RemoteDatabase(
+        address,
+        pool=pool,
+        batch_rows=DEFAULT_BATCH_ROWS if batch_rows is None else batch_rows,
+    )
+    return RemoteTpcwDatabase(local=local, remote=remote)
 
 
 def build_database(

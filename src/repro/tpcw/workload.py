@@ -86,6 +86,12 @@ class ThroughputResult:
     rollbacks: int
     elapsed_s: float
     per_thread: list[int]
+    #: ``in-process`` or ``remote`` (pooled network connections).
+    mode: str = "in-process"
+    #: Engine statements executed during the run (both modes).
+    statements: int = 0
+    #: Wire round trips during the run (remote mode only).
+    wire_round_trips: int = 0
 
     @property
     def interactions_per_sec(self) -> float:
@@ -93,6 +99,22 @@ class ThroughputResult:
         if self.elapsed_s <= 0:
             return float("inf")
         return self.interactions / self.elapsed_s
+
+    def as_dict(self) -> dict[str, object]:
+        """The JSON row shape the throughput benchmarks emit (shared here
+        so the BENCH_*.json artifacts cannot drift apart field by field)."""
+        return {
+            "variant": self.variant,
+            "mode": self.mode,
+            "threads": self.threads,
+            "interactions": self.interactions,
+            "writes": self.writes,
+            "rollbacks": self.rollbacks,
+            "elapsed_s": self.elapsed_s,
+            "interactions_per_sec": self.interactions_per_sec,
+            "statements": self.statements,
+            "wire_round_trips": self.wire_round_trips,
+        }
 
 
 class _EmulatedBrowser(threading.Thread):
@@ -107,6 +129,7 @@ class _EmulatedBrowser(threading.Thread):
         write_fraction: float,
         seed: int,
         barrier: threading.Barrier,
+        per_interaction: bool = False,
     ) -> None:
         super().__init__(name=f"emulated-browser-{index}", daemon=True)
         self._index = index
@@ -116,6 +139,10 @@ class _EmulatedBrowser(threading.Thread):
         self._write_fraction = write_fraction
         self._seed = seed
         self._barrier = barrier
+        # Remote mode: check a pooled connection (or EntityManager session)
+        # out per interaction — the middleware request pattern — instead of
+        # pinning one connection per browser for the whole run.
+        self._per_interaction = per_interaction
         self.completed = 0
         self.writes = 0
         self.rollbacks = 0
@@ -143,13 +170,20 @@ class _EmulatedBrowser(threading.Thread):
         # would race between its SELECT and its flush).
         write_connection = (
             self._database.connection(auto_commit=False)
-            if self._write_fraction > 0
+            if self._write_fraction > 0 and not self._per_interaction
             else None
         )
         self._barrier.wait()
         for _ in range(self._interactions):
-            if write_connection is not None and rng.random() < self._write_fraction:
-                self._transfer_stock(write_connection, parameters, rng)
+            if self._write_fraction > 0 and rng.random() < self._write_fraction:
+                if write_connection is not None:
+                    self._transfer_stock(write_connection, parameters, rng)
+                else:
+                    connection = self._database.connection(auto_commit=False)
+                    try:
+                        self._transfer_stock(connection, parameters, rng)
+                    finally:
+                        connection.close()
                 self.writes += 1
             else:
                 operations[rng.choices(names, weights)[0]]()
@@ -158,6 +192,8 @@ class _EmulatedBrowser(threading.Thread):
     def _build_operations(
         self, parameters: ParameterGenerator
     ) -> dict[str, Callable[[], object]]:
+        if self._per_interaction:
+            return self._build_per_interaction_operations(parameters)
         if self._variant == "queryll":
             em = self._database.entity_manager()
             return {
@@ -187,6 +223,63 @@ class _EmulatedBrowser(threading.Thread):
             ),
             "doGetRelated": lambda: queries_sql.do_get_related(
                 connection, parameters.item_id()
+            ),
+        }
+
+    def _build_per_interaction_operations(
+        self, parameters: ParameterGenerator
+    ) -> dict[str, Callable[[], object]]:
+        """Ops that borrow a connection/EntityManager per interaction.
+
+        Closing the borrowed object returns its pooled session, so N
+        browsers time-share the pool exactly like request handlers in a
+        middleware tier share database connections.
+        """
+        database = self._database
+        if self._variant == "queryll":
+            def using_entity_manager(function, draw):
+                def run():
+                    entity_manager = database.entity_manager()
+                    try:
+                        return function(entity_manager, draw())
+                    finally:
+                        entity_manager.close()
+                return run
+
+            return {
+                "getName": using_entity_manager(
+                    queries_queryll.get_name, parameters.customer_id
+                ),
+                "getCustomer": using_entity_manager(
+                    queries_queryll.get_customer, parameters.customer_username
+                ),
+                "doSubjectSearch": using_entity_manager(
+                    queries_queryll.do_subject_search, parameters.subject
+                ),
+                "doGetRelated": using_entity_manager(
+                    queries_queryll.do_get_related, parameters.item_id
+                ),
+            }
+
+        def using_connection(function, draw):
+            def run():
+                connection = database.connection()
+                try:
+                    return function(connection, draw())
+                finally:
+                    connection.close()
+            return run
+
+        return {
+            "getName": using_connection(queries_sql.get_name, parameters.customer_id),
+            "getCustomer": using_connection(
+                queries_sql.get_customer, parameters.customer_username
+            ),
+            "doSubjectSearch": using_connection(
+                queries_sql.do_subject_search, parameters.subject
+            ),
+            "doGetRelated": using_connection(
+                queries_sql.do_get_related, parameters.item_id
             ),
         }
 
@@ -227,6 +320,14 @@ class ConcurrentDriver:
     are reproducible up to thread interleaving.  ``run()`` starts all
     workers behind a barrier, measures wall-clock time across the whole run
     and reports interactions per second.
+
+    With ``remote=True`` the same workload runs over the network: a
+    :class:`~repro.server.SqlServer` is spawned around the database's
+    engine (or an existing server is reached via ``address=``), and the
+    browsers borrow pooled network connections per interaction — the
+    middleware request pattern — through a client-side
+    :class:`~repro.netclient.ConnectionPool` of ``pool_size`` connections.
+    The result additionally reports the wire round trips the run cost.
     """
 
     def __init__(
@@ -237,6 +338,10 @@ class ConcurrentDriver:
         interactions_per_thread: int = 100,
         write_fraction: float = 0.0,
         seed: int = 7,
+        remote: bool = False,
+        address: tuple[str, int] | None = None,
+        pool_size: int | None = None,
+        batch_rows: int | None = None,
     ) -> None:
         if variant not in ("handwritten", "queryll"):
             raise ValueError(f"unknown driver variant {variant!r}")
@@ -246,19 +351,79 @@ class ConcurrentDriver:
         self.interactions_per_thread = interactions_per_thread
         self.write_fraction = write_fraction
         self.seed = seed
+        #: Remote mode: drive the browsers through pooled network
+        #: connections against ``address``, or against a server spawned
+        #: around this database's engine for the duration of the run.
+        self.remote = remote or address is not None
+        self.address = address
+        self.pool_size = pool_size
+        self.batch_rows = batch_rows
 
     def run(self) -> ThroughputResult:
         """Execute the workload and aggregate per-thread counters."""
+        if not self.remote:
+            return self._run_against(self.database, per_interaction=False)
+        return self._run_remote()
+
+    def _run_remote(self) -> ThroughputResult:
+        """Spawn (or reach) a server and run the workload over the wire."""
+        from repro.netclient import ConnectionPool
+        from repro.server import SqlServer
+        from repro.tpcw.database import connect_remote
+
+        pool_size = self.pool_size or max(2, self.threads)
+        server: SqlServer | None = None
+        address = self.address
+        if address is None:
+            server = SqlServer(
+                database=self.database.database,
+                max_connections=pool_size + 8,
+            ).start()
+            address = server.address
+        try:
+            with ConnectionPool(
+                address,
+                min_size=min(self.threads, pool_size),
+                max_size=pool_size,
+                checkout_timeout=30.0,
+            ) as pool:
+                handle = connect_remote(
+                    self.database, address, pool=pool, batch_rows=self.batch_rows
+                )
+                external = server is None
+                if external:
+                    # The local engine is not the one executing: take the
+                    # statement delta from the remote server's counters.
+                    statements_before = handle.server_stats()["engine"][
+                        "statements_executed"
+                    ]
+                result = self._run_against(handle, per_interaction=True)
+                if external:
+                    result.statements = (
+                        handle.server_stats()["engine"]["statements_executed"]
+                        - statements_before
+                    )
+                result.mode = "remote"
+                result.wire_round_trips = pool.round_trips()
+                return result
+        finally:
+            if server is not None:
+                server.shutdown()
+
+    def _run_against(self, database, per_interaction: bool) -> ThroughputResult:
+        engine = self.database.database
+        statements_before = engine.statements_executed
         barrier = threading.Barrier(self.threads + 1)
         workers = [
             _EmulatedBrowser(
                 index=index,
-                database=self.database,
+                database=database,
                 variant=self.variant,
                 interactions=self.interactions_per_thread,
                 write_fraction=self.write_fraction,
                 seed=self.seed + 101 * index,
                 barrier=barrier,
+                per_interaction=per_interaction,
             )
             for index in range(self.threads)
         ]
@@ -290,4 +455,5 @@ class ConcurrentDriver:
             rollbacks=sum(worker.rollbacks for worker in workers),
             elapsed_s=elapsed,
             per_thread=[worker.completed for worker in workers],
+            statements=engine.statements_executed - statements_before,
         )

@@ -110,6 +110,25 @@ class TestResultSet:
         results.before_first()
         assert results.next()
 
+    def test_fetchmany_and_arraysize(self, db: Database) -> None:
+        connection = connect(db)
+        results = connection.prepare_statement("SELECT i_id FROM item").execute_query()
+        assert results.arraysize == 1
+        assert results.fetchmany() == [(1,)]  # defaults to arraysize
+        results.arraysize = 2
+        assert results.fetchmany() == [(2,), (3,)]
+        assert results.fetchmany() == []  # exhausted
+        results.before_first()
+        assert results.fetchmany(10) == [(1,), (2,), (3,)]  # capped at the end
+
+    def test_iteration_yields_remaining_rows(self, db: Database) -> None:
+        connection = connect(db)
+        results = connection.prepare_statement("SELECT i_id FROM item").execute_query()
+        assert [row[0] for row in results] == [1, 2, 3]
+        results.before_first()
+        results.next()  # consume the first row through the JDBC cursor
+        assert [row[0] for row in results] == [2, 3]  # iteration continues
+
     def test_bad_column_references(self, db: Database) -> None:
         connection = connect(db)
         results = connection.prepare_statement("SELECT i_id FROM item").execute_query()

@@ -1,0 +1,35 @@
+"""Fixtures for the network driver suites.
+
+``remote_tpcw`` wraps the session-scoped TPC-W database (from the
+top-level conftest) in a running :class:`~repro.server.SqlServer` and
+returns a :class:`~repro.tpcw.database.RemoteTpcwDatabase` handle — the
+same surface as the local handle, with every engine session living on the
+server.  ``tests/netclient/test_remote_tpcw.py`` substitutes it for the
+``tpcw_db`` fixture to run the TPC-W suite unchanged over the network.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server import SqlServer
+from repro.tpcw.database import RemoteTpcwDatabase, build_database, connect_remote
+from repro.tpcw.population import PopulationScale
+
+
+@pytest.fixture(scope="session")
+def remote_tpcw() -> RemoteTpcwDatabase:
+    """A tiny TPC-W database, served over a socket for the whole session.
+
+    Built independently of the shared ``tpcw_db`` fixture (the write-mix tests
+    mutate stock, and shadowing the fixture name would create a resolution
+    cycle).  ``max_connections`` is generous because the reused suite opens
+    a fresh (never explicitly closed) connection or EntityManager per test,
+    exactly like its in-process original.
+    """
+    local = build_database(PopulationScale.tiny())
+    server = SqlServer(database=local.database, max_connections=512).start()
+    try:
+        yield connect_remote(local, server.address)
+    finally:
+        server.shutdown()

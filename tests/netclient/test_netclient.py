@@ -1,0 +1,386 @@
+"""Remote dbapi driver: surface parity with the embedded driver, result
+streaming, the ORM over the network, and the connection pool contract."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import netclient
+from repro.netclient import ConnectionPool, PoolTimeoutError, RemoteDatabase
+from repro.orm.entity_manager import EntityManager
+from repro.server import SqlServer
+from repro.sqlengine.engine import Database
+from repro.sqlengine.errors import SqlExecutionError
+from repro.testing import make_bank_db
+
+
+def make_database(rows: int = 30) -> Database:
+    database = Database()
+    database.execute(
+        "CREATE TABLE item (i_id INTEGER PRIMARY KEY, i_title VARCHAR(60), i_cost DOUBLE)"
+    )
+    database.execute_many(
+        "INSERT INTO item (i_id, i_title, i_cost) VALUES (?, ?, ?)",
+        [(index, f"title-{index}", float(index)) for index in range(1, rows + 1)],
+    )
+    return database
+
+
+@pytest.fixture()
+def server():
+    with SqlServer(database=make_database()) as running:
+        yield running
+
+
+@pytest.fixture()
+def connection(server):
+    remote = netclient.connect(*server.address)
+    yield remote
+    remote.close()
+
+
+class TestDbapiSurfaceParity:
+    """The remote driver exposes the embedded driver's exact surface."""
+
+    def test_prepared_statement_query(self, connection) -> None:
+        statement = connection.prepare_statement(
+            "SELECT i_id, i_title FROM item WHERE i_id = ?"
+        )
+        statement.set_int(1, 7)
+        results = statement.execute_query()
+        assert results.next()
+        assert results.get_int(1) == 7
+        assert results.get_string("I_TITLE") == "title-7"
+        assert not results.next()
+
+    def test_prepared_statement_update_and_rowcount(self, connection, server) -> None:
+        statement = connection.prepare_statement(
+            "UPDATE item SET i_cost = ? WHERE i_id = ?"
+        )
+        statement.set_double(1, 99.0)
+        statement.set_int(2, 3)
+        assert statement.execute_update() == 1
+        assert server.database.execute(
+            "SELECT i_cost FROM item WHERE i_id = 3"
+        ).rows == [(99.0,)]
+
+    def test_plain_statement(self, connection) -> None:
+        results = connection.create_statement().execute(
+            "SELECT COUNT(*) AS n FROM item"
+        )
+        assert results is not None
+        results.next()
+        assert results.get_int("n") == 30
+
+    def test_null_handling(self, connection) -> None:
+        connection.create_statement().execute(
+            "UPDATE item SET i_cost = NULL WHERE i_id = 1"
+        )
+        results = connection.create_statement().execute(
+            "SELECT i_cost FROM item WHERE i_id = 1"
+        )
+        results.next()
+        assert results.get_double(1) == 0.0
+        assert results.was_null(1)
+
+    def test_explain_matches_engine(self, connection, server) -> None:
+        statement = connection.prepare_statement(
+            "SELECT i_title FROM item WHERE i_id = ?"
+        )
+        assert statement.explain() == server.database.explain(
+            "SELECT i_title FROM item WHERE i_id = ?"
+        )
+
+    def test_closed_connection_rejects_statements(self, server) -> None:
+        remote = netclient.connect(*server.address)
+        remote.close()
+        with pytest.raises(SqlExecutionError):
+            remote.prepare_statement("SELECT 1 FROM item")
+
+    def test_statement_id_cache_avoids_re_prepare(self, connection) -> None:
+        for _ in range(3):
+            statement = connection.prepare_statement(
+                "SELECT i_title FROM item WHERE i_id = ?"
+            )
+            statement.set_int(1, 1)
+            statement.execute_query().next()
+            statement.close()
+        client = connection.session.client
+        assert len(client._statement_ids) == 1
+
+    def test_prepared_statement_survives_cache_eviction(
+        self, connection, monkeypatch
+    ) -> None:
+        """A long-lived PreparedStatement keeps working after 256+ other
+        statements evicted (and server-side closed) its registration."""
+        monkeypatch.setattr(type(connection.session.client), "STATEMENT_CACHE_SIZE", 4)
+        held = connection.prepare_statement("SELECT i_title FROM item WHERE i_id = ?")
+        held.set_int(1, 1)
+        assert held.execute_query().next()
+        for offset in range(8):  # churn the cache past its capacity
+            connection.prepare_statement(
+                f"SELECT i_title FROM item WHERE i_id = {offset + 1}"
+            ).execute_query()
+        held.set_int(1, 2)
+        results = held.execute_query()
+        assert results.next() and results.get_string(1) == "title-2"
+
+
+class TestTransactionSemantics:
+    """Identical semantics to tests/dbapi/test_connection_transactions.py,
+    but over the network — including the shared close-rolls-back contract
+    (documented once in docs/server.md § Connection lifecycle)."""
+
+    def test_autocommit_visible_immediately(self, server) -> None:
+        first = netclient.connect(*server.address)
+        second = netclient.connect(*server.address)
+        first.create_statement().execute("DELETE FROM item WHERE i_id = 30")
+        results = second.create_statement().execute("SELECT COUNT(*) FROM item")
+        results.next()
+        assert results.get_int(1) == 29
+        first.close()
+        second.close()
+
+    def test_explicit_transaction_commit(self, server) -> None:
+        remote = netclient.connect(*server.address, auto_commit=False)
+        remote.create_statement().execute("DELETE FROM item WHERE i_id = 30")
+        assert remote.in_transaction  # opened implicitly server-side
+        remote.commit()
+        assert not remote.in_transaction
+        assert server.database.row_count("item") == 29
+        remote.close()
+
+    def test_rollback_undoes(self, server) -> None:
+        remote = netclient.connect(*server.address, auto_commit=False)
+        remote.create_statement().execute("DELETE FROM item WHERE i_id = 30")
+        remote.rollback()
+        assert server.database.row_count("item") == 30
+        remote.close()
+
+    def test_close_rolls_back_open_transaction(self, server) -> None:
+        """The satellite contract: close() rolls back — never commits —
+        on the remote driver exactly as on the embedded one."""
+        remote = netclient.connect(*server.address, auto_commit=False)
+        remote.create_statement().execute("DELETE FROM item WHERE i_id = 1")
+        remote.close()
+        # Deterministic: the rollback round-trips before close() returns.
+        assert server.database.row_count("item") == 30
+        with pytest.raises(SqlExecutionError):
+            remote.commit()
+
+    def test_context_manager_commits_on_clean_exit(self, server) -> None:
+        with netclient.connect(*server.address, auto_commit=False) as remote:
+            remote.create_statement().execute("DELETE FROM item WHERE i_id = 1")
+            assert remote.in_transaction
+        assert remote.closed
+        assert server.database.row_count("item") == 29
+
+    def test_context_manager_rolls_back_on_exception(self, server) -> None:
+        with pytest.raises(RuntimeError, match="boom"):
+            with netclient.connect(*server.address, auto_commit=False) as remote:
+                remote.create_statement().execute("DELETE FROM item WHERE i_id = 1")
+                raise RuntimeError("boom")
+        assert server.database.row_count("item") == 30
+
+    def test_enabling_auto_commit_commits_open_transaction(self, server) -> None:
+        remote = netclient.connect(*server.address, auto_commit=False)
+        remote.create_statement().execute("DELETE FROM item WHERE i_id = 1")
+        remote.set_auto_commit(True)  # JDBC semantics: commits
+        assert not remote.in_transaction
+        assert server.database.row_count("item") == 29
+        remote.close()
+
+
+class TestResultStreaming:
+    def test_batches_arrive_lazily(self, server) -> None:
+        remote = RemoteDatabase(server.address, batch_rows=8).connect()
+        results = remote.create_statement().execute("SELECT i_id FROM item")
+        streamed = results._result
+        assert streamed.fetched_rows == 8  # only the first batch so far
+        seen = 0
+        while results.next():
+            seen += 1
+        assert seen == 30
+        assert streamed.fetched_rows == 30
+        remote.close()
+
+    def test_fetchmany_arraysize_and_iter(self, server) -> None:
+        remote = RemoteDatabase(server.address, batch_rows=8).connect()
+        results = remote.create_statement().execute("SELECT i_id FROM item")
+        results.arraysize = 12
+        first = results.fetchmany()
+        assert [row[0] for row in first] == list(range(1, 13))
+        rest = list(results)
+        assert [row[0] for row in rest] == list(range(13, 31))
+        assert results.fetchmany() == []
+        remote.close()
+
+    def test_abandoned_cursor_is_closed_with_the_session(self, server) -> None:
+        """Session close frees server-side cursors the client never
+        drained, so pooled connection reuse cannot pile them up."""
+        with ConnectionPool(server.address, max_size=1) as pool:
+            session = pool.session(batch_rows=5)
+            result = session.execute("SELECT i_id FROM item")
+            assert result.fetched_rows == 5 and session._open_cursors
+            session.close()  # back to the pool without draining
+            handler = next(iter(server._handlers))
+            assert not handler._cursors
+            # Draining to exhaustion also clears the tracking set.
+            fresh = pool.session(batch_rows=5)
+            assert len(fresh.execute("SELECT i_id FROM item").rows) == 30
+            assert not fresh._open_cursors
+            fresh.close()
+
+    def test_row_count_and_rewind(self, server) -> None:
+        remote = RemoteDatabase(server.address, batch_rows=8).connect()
+        results = remote.create_statement().execute("SELECT i_id FROM item")
+        assert results.row_count == 30  # drains the cursor
+        assert len(results.fetch_all()) == 30
+        results.before_first()
+        assert results.next()
+        assert results.get_int(1) == 1
+        remote.close()
+
+
+class TestOrmOverTheNetwork:
+    """The EntityManager and the rewritten @query pipeline run unmodified
+    against a RemoteDatabase."""
+
+    @pytest.fixture()
+    def bank_server(self):
+        bank = make_bank_db()
+        with SqlServer(database=bank.database) as running:
+            yield bank, running
+
+    def test_find_and_navigation(self, bank_server) -> None:
+        bank, running = bank_server
+        remote = RemoteDatabase(running.address)
+        entity_manager = EntityManager(remote, bank.mapping, bank.entity_classes)
+        client = entity_manager.find("Client", 1000)
+        assert client is not None
+        assert client.name == "Alice"
+        accounts = client.accounts.to_list()
+        assert {account.accountId for account in accounts} == {1, 2}
+        entity_manager.close()
+
+    def test_rewritten_query_pipeline(self, bank_server) -> None:
+        from repro.orm import QuerySet
+        from repro.pyfrontend import query
+
+        bank, running = bank_server
+
+        @query
+        def canadians(em, country):
+            result = QuerySet()
+            for c in em.all("Client"):
+                if c.country == country:
+                    result.add(c.name)
+            return result
+
+        assert canadians.generated_sql(bank.mapping) is not None
+        remote_em = EntityManager(
+            RemoteDatabase(running.address), bank.mapping, bank.entity_classes
+        )
+        local_em = bank.begin_transaction()
+        remote_names = sorted(canadians(remote_em, "Canada").to_list())
+        local_names = sorted(canadians(local_em, "Canada").to_list())
+        assert remote_names == local_names == ["Alice", "Carol"]
+        remote_em.close()
+        local_em.close()
+
+    def test_persist_and_update_flush(self, bank_server) -> None:
+        bank, running = bank_server
+        remote = RemoteDatabase(running.address)
+        entity_manager = EntityManager(remote, bank.mapping, bank.entity_classes)
+        client_class = bank.entity_class("Client")
+        fresh = client_class(
+            clientId=9001, name="Remote", address="1 Wire Road",
+            country="Canada", postalCode="Z9Z 9Z9",
+        )
+        entity_manager.persist(fresh)
+        assert bank.database.execute(
+            "SELECT Name FROM Client WHERE ClientID = 9001"
+        ).rows == [("Remote",)]
+        fresh.name = "Renamed"
+        entity_manager.commit()  # transactional write-back over the wire
+        assert bank.database.execute(
+            "SELECT Name FROM Client WHERE ClientID = 9001"
+        ).rows == [("Renamed",)]
+        entity_manager.close()
+
+
+class TestConnectionPool:
+    def test_min_size_preopens(self, server) -> None:
+        with ConnectionPool(server.address, min_size=3, max_size=4) as pool:
+            assert pool.stats()["size"] == 3
+            assert server.stats.snapshot()["connections_accepted"] == 3
+
+    def test_max_size_and_checkout_timeout(self, server) -> None:
+        with ConnectionPool(
+            server.address, max_size=1, checkout_timeout=0.2
+        ) as pool:
+            held = pool.acquire()
+            started = time.monotonic()
+            with pytest.raises(PoolTimeoutError, match="max_size=1"):
+                pool.acquire()
+            assert time.monotonic() - started >= 0.2
+            pool.release(held)
+            # A released connection satisfies the next checkout instantly.
+            again = pool.acquire()
+            pool.release(again)
+            assert pool.stats()["checkout_timeouts"] == 1
+
+    def test_release_rolls_back_abandoned_transaction(self, server) -> None:
+        with ConnectionPool(server.address, max_size=1) as pool:
+            session = pool.session(autocommit=False)
+            session.execute("DELETE FROM item WHERE i_id = 1")
+            assert session.in_transaction
+            session.close()  # return to pool: must roll back, not commit
+            assert server.database.row_count("item") == 30
+            # The same wire connection comes back clean.
+            fresh = pool.session()
+            assert not fresh.in_transaction
+            assert fresh.autocommit
+            fresh.close()
+            assert pool.stats()["size"] == 1  # reused, not discarded
+
+    def test_liveness_check_replaces_dead_connections(self) -> None:
+        database = make_database()
+        server = SqlServer(database=database).start()
+        port = server.port
+        pool = ConnectionPool(
+            ("127.0.0.1", port), min_size=1, max_size=2,
+            liveness_check_after=0.0, checkout_timeout=2.0,
+        )
+        with pool.connection() as remote:
+            remote.create_statement().execute("SELECT COUNT(*) FROM item")
+        server.kill()
+        replacement = SqlServer(database=database, port=port).start()
+        try:
+            # The pooled socket is dead; checkout must detect and replace it.
+            with pool.connection() as remote:
+                results = remote.create_statement().execute(
+                    "SELECT COUNT(*) FROM item"
+                )
+                results.next()
+                assert results.get_int(1) == 30
+            assert pool.liveness_failures >= 1
+        finally:
+            pool.close()
+            replacement.shutdown()
+
+    def test_closed_pool_refuses_checkout(self, server) -> None:
+        pool = ConnectionPool(server.address, max_size=2)
+        pool.close()
+        with pytest.raises(SqlExecutionError, match="closed"):
+            pool.acquire()
+
+    def test_pool_round_trip_accounting(self, server) -> None:
+        with ConnectionPool(server.address, max_size=2) as pool:
+            with pool.connection() as remote:
+                remote.create_statement().execute("SELECT COUNT(*) FROM item")
+            stats = pool.stats()
+            assert stats["round_trips"] >= 2  # HELLO + EXECUTE
+            assert stats["bytes_sent"] > 0 and stats["bytes_received"] > 0
