@@ -2,10 +2,16 @@
 
 This experiment goes beyond the paper's single-threaded latency protocol
 (Tables 4/5): it drives the paper's four interactions from N emulated
-browsers at once and reports throughput per variant.  With the engine's
-readers-writer lock, read-only interactions from different connections run
-concurrently; the write mix exercises the transactional stock-transfer
-path.
+browsers at once and reports throughput per variant.  Under the engine's
+MVCC snapshot isolation, read-only interactions never block — there is no
+reader/writer lock handoff at any thread count — and the write mix
+exercises the transactional stock-transfer path including write-write
+conflicts and client retries (reported per run, along with the engine's
+concurrency counters).
+
+The report carries two scaling curves: the read-only interaction mix and
+the write mix, each across the full thread ladder, so regressions in
+either path show up as a bend in its own curve.
 
 Two ways to run it:
 
@@ -19,6 +25,7 @@ Two ways to run it:
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from pathlib import Path
@@ -31,7 +38,7 @@ import pytest
 from repro.tpcw.workload import ConcurrentDriver
 
 
-@pytest.mark.parametrize("threads", [1, 2, 4, 8])
+@pytest.mark.parametrize("threads", [1, 2, 4, 8, 16])
 @pytest.mark.parametrize("variant", ["queryll", "handwritten"])
 def test_throughput_scaling(tpcw_benchmark, capsys, threads, variant) -> None:
     driver = ConcurrentDriver(
@@ -77,7 +84,7 @@ def test_rows_width_split(tpcw_benchmark, capsys) -> None:
 def run_experiment(
     thread_counts: list[int], interactions: int, write_fraction: float = 0.2
 ) -> dict:
-    """Thread-scaling + write-mix throughput as a JSON-serialisable dict."""
+    """Thread-scaling (read mix + write mix) as a JSON-serialisable dict."""
     from repro.tpcw import BenchmarkConfig, TpcwBenchmark
 
     benchmark = TpcwBenchmark(BenchmarkConfig.from_environment())
@@ -89,18 +96,31 @@ def run_experiment(
                 variant=variant,
                 threads=threads,
                 interactions_per_thread=max(1, interactions // threads),
+                shared_workload=True,
             )
             scaling.append(driver.run().as_dict())
+    # Write mix as its own scaling curve: every point checks the stock-sum
+    # invariant, so a lost update under conflict retries fails the run.
     database = benchmark.database.database
-    before = sum(row[0] for row in database.execute("SELECT i_stock FROM item").rows)
-    write_result = ConcurrentDriver(
-        benchmark.database,
-        variant="handwritten",
-        threads=max(thread_counts),
-        interactions_per_thread=max(1, interactions // max(thread_counts)),
-        write_fraction=write_fraction,
-    ).run()
-    after = sum(row[0] for row in database.execute("SELECT i_stock FROM item").rows)
+    write_scaling = []
+    for threads in thread_counts:
+        before = sum(
+            row[0] for row in database.execute("SELECT i_stock FROM item").rows
+        )
+        write_result = ConcurrentDriver(
+            benchmark.database,
+            variant="handwritten",
+            threads=threads,
+            interactions_per_thread=max(1, interactions // threads),
+            write_fraction=write_fraction,
+            shared_workload=True,
+        ).run()
+        after = sum(
+            row[0] for row in database.execute("SELECT i_stock FROM item").rows
+        )
+        write_scaling.append(
+            {**write_result.as_dict(), "stock_conserved": after == before}
+        )
     return {
         "benchmark": "concurrent_throughput",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -110,12 +130,16 @@ def run_experiment(
             "write_fraction": write_fraction,
             "items": benchmark.config.scale.num_items,
             "customers": benchmark.config.scale.num_customers,
+            # Interpreting the curves needs the core count: on a single
+            # CPU (or under the GIL for CPU-bound work) the honest
+            # expectation is flat-with-noise, not linear speedup.
+            "cpus": os.cpu_count(),
         },
         "scaling": scaling,
-        "write_mix": {
-            **write_result.as_dict(),
-            "stock_conserved": after == before,
-        },
+        "write_scaling": write_scaling,
+        # Kept for cross-PR continuity: the max-thread-count write-mix point.
+        "write_mix": write_scaling[-1],
+        "mvcc": database.stats()["mvcc"],
     }
 
 
@@ -147,9 +171,16 @@ def main(argv: list[str] | None = None) -> int:
 
     args = parse_bench_args(__doc__, "BENCH_concurrent.json", argv)
     if args.smoke:
-        report = run_experiment(thread_counts=[1, 4], interactions=400)
+        # Same 1 -> 16 ladder as the full run, tiny interaction budget: CI
+        # still sees the whole curve (and the conflict-retry path) cheaply.
+        report = run_experiment(thread_counts=[1, 2, 4, 8, 16], interactions=320)
     else:
-        report = run_experiment(thread_counts=[1, 2, 4, 8], interactions=2000)
+        # 8000 interactions per point: enough for each browser thread's
+        # EntityManager identity map to warm up even at 16 threads, so the
+        # queryll curve measures the engine rather than per-thread cache
+        # warm-up (which at 2000 interactions still costs ~10% at 4
+        # threads).
+        report = run_experiment(thread_counts=[1, 2, 4, 8, 16], interactions=8000)
     emit_report(report, args.output)
     return 0
 

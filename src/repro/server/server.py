@@ -5,7 +5,9 @@ and gives every client connection its own engine :class:`Session`, so the
 transaction semantics over the network are exactly the embedded ones: an
 explicit transaction belongs to one connection, a dropped connection rolls
 its open transaction back, and concurrent SELECTs from different clients
-run in parallel under the engine's readers-writer lock.
+run in parallel under the engine's MVCC snapshot isolation (readers never
+block, write-write conflicts abort the later writer with a typed error the
+client re-raises).
 
 Concurrency model: one handler thread per connection, bounded by
 ``max_connections`` (admission control — a connection over the limit is

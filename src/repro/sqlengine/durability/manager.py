@@ -12,10 +12,12 @@ constructs one :class:`DurabilityManager`.  The manager
   either on demand (the ``CHECKPOINT`` statement) or automatically when the
   live log grows past ``checkpoint_log_bytes``.
 
-Locking contract: every ``log_*`` method and :meth:`checkpoint` must be
-called while holding the database write lock (appends then happen in commit
-order and snapshots see no uncommitted data); :meth:`sync` must be called
-*without* it, so waiting for the disk never serialises other sessions.
+Locking contract: the ``log_*`` methods for transactions must be called
+while holding the engine's MVCC commit lock (appends then happen in commit
+order); bulk-load/DDL logging and :meth:`checkpoint` run under the MVCC
+exclusive gate (all statements drained, so snapshots see no uncommitted
+data); :meth:`sync` must be called *without* either, so waiting for the
+disk never serialises other sessions.
 """
 
 from __future__ import annotations
@@ -93,12 +95,12 @@ class DurabilityManager:
         #: Checkpoints cut over this manager's lifetime.
         self.checkpoints_taken = 0
 
-    # -- logging (call with the database write lock held) ---------------------
+    # -- logging (call with the commit lock / exclusive gate held) ------------
     #
     # Every log_* method returns an opaque *ticket* — (writer, sequence) —
     # that :meth:`sync` later redeems.  Binding the writer instance into
     # the ticket matters: a checkpoint may rotate ``self._writer`` between
-    # a commit's append (under the database write lock) and its sync
+    # a commit's append (under the commit lock) and its sync
     # (after releasing it), and the new writer's sequence numbers restart
     # from zero.  Redeeming the ticket against the *original* writer is
     # always correct — a rotated-away writer was flushed and fsynced by
@@ -107,7 +109,7 @@ class DurabilityManager:
 
     def log_commit(self, undo_entries: Iterable[tuple]) -> tuple:
         """Append one committed transaction's redo batch; returns a ticket
-        to pass to :meth:`sync` after releasing the write lock."""
+        to pass to :meth:`sync` after releasing the commit lock."""
         with self._txn_lock:
             txn = self._next_txn
             self._next_txn += 1
@@ -165,7 +167,7 @@ class DurabilityManager:
         writer = self._writer
         return writer, writer.append([wal.encode_ddl(payload)])
 
-    # -- durability wait (call withOUT the database write lock) ---------------
+    # -- durability wait (call withOUT the commit lock) -----------------------
 
     def sync(self, ticket: tuple) -> None:
         """Wait until the ticket's batch is durable per the fsync policy."""
@@ -187,9 +189,10 @@ class DurabilityManager:
     def checkpoint(self) -> int:
         """Cut a checkpoint; returns the new log epoch.
 
-        Must be called with the database write lock held: the snapshot then
-        contains exactly the committed state, and no commit can append to
-        the outgoing log file while it is being superseded.
+        Must be called under the MVCC exclusive gate (statements drained,
+        no open write transaction): the snapshot then contains exactly the
+        committed state, and no commit can append to the outgoing log file
+        while it is being superseded.
         """
         old_epoch = self._epoch
         new_epoch = old_epoch + 1

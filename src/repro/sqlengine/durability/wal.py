@@ -12,7 +12,7 @@ the codec covers exactly those.
 
 The engine uses *redo-only commit logging*: a transaction's surviving row
 operations are appended as one contiguous ``BEGIN … ops … COMMIT`` batch at
-commit time, under the database write lock, so batch order in the file is
+commit time, under the engine's commit lock, so batch order in the file is
 commit order and uncommitted work never reaches the log except as a torn
 final batch after a crash.  Recovery therefore applies a transaction's
 records only once its COMMIT frame has been read intact and discards
@@ -327,10 +327,10 @@ def redo_records(txn: int, undo_entries: Iterable[tuple]) -> list[bytes]:
         if kind == "insert":
             _, table, row_id, row = entry
             records.append(encode_insert(txn, table.schema.name, row_id, row))
-        elif kind == "delete":
+        elif kind in ("delete", "vdelete"):
             _, table, row_id, row = entry
             records.append(encode_delete(txn, table.schema.name, row_id))
-        else:  # update
+        else:  # update / vupdate — the MVCC variant redoes identically
             _, table, row_id, _old_row, new_row = entry
             records.append(encode_update(txn, table.schema.name, row_id, new_row))
     records.append(encode_marker(COMMIT, txn))
@@ -395,9 +395,9 @@ class WalWriter:
     policy and group commit.
 
     Thread safety: :meth:`append` may be called from any thread (the engine
-    calls it under the database write lock, which also fixes the batch
-    order); :meth:`sync` is called *outside* the database lock so waiting
-    for the disk never blocks other sessions' transactions.
+    calls it under its commit lock, which also fixes the batch order);
+    :meth:`sync` is called *outside* that lock so waiting for the disk
+    never blocks other sessions' transactions.
     """
 
     def __init__(self, path: str, fsync: str = "group") -> None:

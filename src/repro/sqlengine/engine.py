@@ -2,24 +2,30 @@
 
 This is the component standing in for PostgreSQL in the reproduction.  It is
 synchronous and single-process — the paper's benchmark runs the database and
-the query code on the same machine — but it is safe for concurrent use from
-several threads: a readers-writer lock lets read-only SELECT statements from
-different sessions run in parallel while writers get exclusive access.
+the query code on the same machine — and safe for concurrent use from
+several threads through multi-version concurrency control: readers resolve
+row visibility against a snapshot taken at statement (or transaction) start
+and **never block**, writers take short per-table latches and detect
+write-write conflicts eagerly (first updater wins, the loser aborts with
+:class:`~repro.sqlengine.errors.TransactionConflictError`), and only DDL,
+checkpoints and bulk loads briefly drain in-flight statements through the
+controller's exclusive gate.  See :mod:`repro.sqlengine.transactions` and
+``docs/transactions.md`` for the full design.
 
 Clients interact through :class:`Session` objects (one per connection, from
 :meth:`Database.session`).  Each session owns its own transaction context:
 statements run in auto-commit mode wrap themselves in an implicit
-transaction, ``BEGIN`` opens an explicit one, and COMMIT/ROLLBACK (plus
-SAVEPOINT / ROLLBACK TO) behave like the real thing — rolling back restores
-rows and indexes exactly via the undo log in
-:mod:`repro.sqlengine.transactions`.  The :class:`Database` methods
-``execute``/``execute_many``/... remain as a convenience facade over a
-default auto-commit session.
+transaction (transparently retried on conflict), ``BEGIN`` opens an
+explicit one, and COMMIT/ROLLBACK (plus SAVEPOINT / ROLLBACK TO) behave
+like the real thing — rolling back restores rows and indexes exactly via
+the undo log.  The :class:`Database` methods ``execute``/``execute_many``/
+... remain as a convenience facade over a default auto-commit session.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
@@ -27,12 +33,26 @@ from typing import Iterable, Optional, Sequence
 from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.catalog import Catalog, TableSchema
 from repro.sqlengine.durability import DurabilityManager, DurabilityOptions
-from repro.sqlengine.errors import SqlExecutionError
+from repro.sqlengine.errors import SqlExecutionError, TransactionConflictError
 from repro.sqlengine.executor import Executor, StatementResult
 from repro.sqlengine.parser import parse_statement
 from repro.sqlengine.planner import PlannerOptions, SelectPlan
 from repro.sqlengine.storage import TableData
-from repro.sqlengine.transactions import ReadWriteLock, Transaction
+from repro.sqlengine.transactions import MvccController, Transaction
+
+#: Auto-commit statements that lose a write-write conflict are retried with
+#: a fresh snapshot up to this many times before the conflict surfaces.
+CONFLICT_RETRY_LIMIT = 100
+
+
+def _conflict_backoff(attempt: int) -> None:
+    """Yield to the conflicting owner before retrying: an immediate retry
+    for the first attempts (the owner usually just needs the GIL), then an
+    exponential pause capped at 10 ms."""
+    if attempt <= 3:
+        time.sleep(0)
+    else:
+        time.sleep(min(0.0002 * (2 ** min(attempt - 3, 6)), 0.01))
 
 
 def build_column_map(columns: Sequence[str]) -> dict[str, int]:
@@ -109,12 +129,12 @@ class Session:
     flag.  Sessions are cheap — the dbapi layer creates one per connection
     and the ORM one per EntityManager.
 
-    Locking protocol: SELECT statements take the database's read lock for
-    the duration of the statement; the first write of a transaction takes
-    the write lock and *holds it until COMMIT or ROLLBACK*, so other
-    sessions never observe a transaction half-applied.  In auto-commit mode
-    the implicit transaction ends with its statement, so the write lock is
-    held per-statement only.
+    Concurrency protocol: every statement registers a snapshot with the
+    MVCC controller and runs without blocking other statements.  A
+    transaction's writes stay invisible to other sessions until COMMIT
+    installs their commit stamp; a write-write conflict aborts the later
+    writer with :class:`TransactionConflictError` (auto-commit statements
+    retry transparently with a fresh snapshot).
 
     A session is not itself thread-safe: use one session per thread.
     """
@@ -123,7 +143,6 @@ class Session:
         self._database = database
         self.autocommit = autocommit
         self._transaction: Optional[Transaction] = None
-        self._holds_write = False
 
     # -- properties ----------------------------------------------------------
 
@@ -140,20 +159,22 @@ class Session:
     # -- transaction API (usable directly, without SQL round trips) ----------
 
     def begin(self) -> None:
-        """Open an explicit transaction."""
+        """Open an explicit transaction (snapshot taken now)."""
         if self._transaction is not None:
             raise SqlExecutionError("a transaction is already in progress")
-        self._transaction = Transaction(implicit=False)
+        transaction = Transaction(implicit=False)
+        self._database._mvcc.begin_transaction(transaction)
+        self._transaction = transaction
 
     def commit(self) -> None:
         """Commit the open transaction (no-op when none is open).
 
         On a durable database the transaction's redo batch is appended to
-        the write-ahead log *before* the write lock is released (so log
-        order is commit order), and the commit then waits for the log to
-        reach disk per the fsync policy *after* releasing it (so a slow
-        fsync never blocks other sessions — that wait is where group
-        commit batches concurrent committers into one fsync).
+        the write-ahead log under the commit lock (so log order is commit
+        order), and the commit then waits for the log to reach disk per
+        the fsync policy *after* releasing it (so a slow fsync never
+        blocks other sessions — that wait is where group commit batches
+        concurrent committers into one fsync).
         """
         transaction = self._transaction
         if transaction is None:
@@ -166,13 +187,21 @@ class Session:
         transaction = self._transaction
         if transaction is None:
             return
+        self._abort_transaction(transaction)
+
+    def _abort_transaction(self, transaction: Transaction) -> None:
+        """Replay the undo journal, release row ownerships and unregister
+        the transaction."""
+        controller = self._database._mvcc
         try:
-            # Any recorded undo work implies this session holds the write
-            # lock, so the journal replays under mutual exclusion.
             transaction.undo.rollback_to(0)
+            for table, row_id in reversed(transaction.write_set):
+                table.release_ownership(row_id, transaction)
         finally:
+            transaction.write_set.clear()
             self._transaction = None
-            self._release_write()
+            controller.end_transaction(transaction, committed=False)
+            controller.collect_garbage()
 
     def savepoint(self, name: str) -> None:
         """Define a savepoint inside the open transaction."""
@@ -237,33 +266,61 @@ class Session:
 
         If any row fails, the whole batch is rolled back (when the session
         had no transaction open) or undone back to the batch start (when
-        one was already open).
+        one was already open).  Like single statements, a batch that opened
+        its own transaction is retried on a write-write conflict.
         """
         database = self._database
+        controller = database._mvcc
         cached, _ = database._cached_statement(sql)
         statement = cached.statement
-        total = 0
-        self._acquire_write()
-        transaction = self._transaction
-        opened_here = transaction is None
-        if opened_here:
-            transaction = self._transaction = Transaction(implicit=self.autocommit)
-        mark = transaction.undo.mark()
-        try:
-            for params in param_rows:
-                result = database._executor.execute(
-                    statement, params, undo=transaction.undo
-                )
-                database._count_statement()
-                total += result.rowcount
-        except BaseException:
-            transaction.undo.rollback_to(mark)
+        param_rows = list(param_rows)
+        attempt = 0
+        while True:
+            token = controller.begin_statement(self._transaction)
+            transaction = self._transaction
+            opened_here = transaction is None
             if opened_here:
-                self._transaction = None
-                self._release_write()
-            raise
-        self._finish_write(transaction)
-        return total
+                transaction = self._transaction = Transaction(
+                    implicit=self.autocommit
+                )
+                controller.adopt_transaction(transaction)
+            mark = transaction.undo.mark()
+            total = 0
+            try:
+                for params in param_rows:
+                    result = database._executor.execute(
+                        statement, params, txn=transaction
+                    )
+                    database._count_statement()
+                    total += result.rowcount
+            except TransactionConflictError:
+                transaction.undo.rollback_to(mark)
+                if opened_here:
+                    self._abort_transaction(transaction)
+                    controller.end_statement(token)
+                    attempt += 1
+                    if attempt <= CONFLICT_RETRY_LIMIT:
+                        controller.count_retry()
+                        _conflict_backoff(attempt)
+                        continue
+                else:
+                    controller.end_statement(token)
+                raise
+            except BaseException:
+                transaction.undo.rollback_to(mark)
+                if opened_here:
+                    self._abort_transaction(transaction)
+                controller.end_statement(token)
+                raise
+            # The gate is left before the auto-commit epilogue: the open
+            # write transaction itself keeps the exclusive side out (DDL
+            # and checkpoints drain write transactions too), and the
+            # checkpoint trigger inside the epilogue must be able to drain
+            # *this* statement.
+            controller.end_statement(token)
+            self._finish_write(transaction)
+            controller.collect_garbage()
+            return total
 
     # -- internals -----------------------------------------------------------
 
@@ -275,14 +332,15 @@ class Session:
         generation: int,
     ) -> ResultSet:
         database = self._database
-        database._rwlock.acquire_read()
+        controller = database._mvcc
+        token = controller.begin_statement(self._transaction)
         try:
             # Concurrent DDL may have invalidated the entry fetched during
             # dispatch, and a stale plan would read a dropped table's
             # detached storage.  Invalidations bump the cache generation, so
             # an unchanged generation proves the entry is still current; on
-            # a mismatch re-fetch under the lock (DDL holds the write lock,
-            # so from here the entry is stable).
+            # a mismatch re-fetch inside the statement gate (DDL runs on
+            # the exclusive side, so from here the entry is stable).
             if database._cache_generation != generation:
                 cached, _ = database._cached_statement(sql)
             plan = database._ensure_plan(cached)
@@ -294,15 +352,80 @@ class Session:
                 columns=result.columns, rows=result.rows, rowcount=result.rowcount
             )
         finally:
-            database._rwlock.release_read()
+            controller.end_statement(token)
 
     def _execute_write(
         self, cached: _CachedStatement, params: Sequence[object]
     ) -> ResultSet:
         database = self._database
+        if isinstance(cached.statement, _DDL_STATEMENTS):
+            return self._execute_ddl(cached)
+        controller = database._mvcc
+        attempt = 0
+        while True:
+            token = controller.begin_statement(self._transaction)
+            transaction = self._transaction
+            opened_here = transaction is None
+            if opened_here:
+                # Auto-commit wraps the statement in an implicit
+                # transaction; a session with auto-commit off starts a
+                # transaction that stays open until COMMIT/ROLLBACK (JDBC
+                # semantics, no BEGIN round trip).
+                transaction = self._transaction = Transaction(
+                    implicit=self.autocommit
+                )
+                controller.adopt_transaction(transaction)
+            mark = transaction.undo.mark()
+            try:
+                result = database._executor.execute(
+                    cached.statement, params, txn=transaction
+                )
+                database._count_statement()
+            except TransactionConflictError:
+                # Statement-level atomicity, then first-updater-wins: when
+                # this statement opened its own transaction nothing of it
+                # survives, so it can safely retry against a fresh
+                # snapshot; inside an explicit transaction the conflict
+                # propagates for the client to roll back and retry.
+                transaction.undo.rollback_to(mark)
+                if opened_here:
+                    self._abort_transaction(transaction)
+                    controller.end_statement(token)
+                    attempt += 1
+                    if attempt <= CONFLICT_RETRY_LIMIT:
+                        controller.count_retry()
+                        _conflict_backoff(attempt)
+                        continue
+                else:
+                    controller.end_statement(token)
+                raise
+            except BaseException:
+                # Statement-level atomicity: undo this statement's changes
+                # but keep an already-open transaction alive.
+                transaction.undo.rollback_to(mark)
+                if opened_here:
+                    self._abort_transaction(transaction)
+                controller.end_statement(token)
+                raise
+            # The gate is left before the auto-commit epilogue: the open
+            # write transaction itself keeps the exclusive side out (DDL
+            # and checkpoints drain write transactions too), and the
+            # checkpoint trigger inside the epilogue must be able to drain
+            # *this* statement.
+            controller.end_statement(token)
+            self._finish_write(transaction)
+            controller.collect_garbage()
+            return ResultSet(
+                columns=result.columns, rows=result.rows, rowcount=result.rowcount
+            )
+
+    def _execute_ddl(self, cached: _CachedStatement) -> ResultSet:
+        """DDL runs on the exclusive side of the statement gate: in-flight
+        statements drain first, and no statement starts until it finishes.
+        DDL is not transactional — it auto-commits at execution."""
+        database = self._database
         if (
             database._durability is not None
-            and isinstance(cached.statement, _DDL_STATEMENTS)
             and self._transaction is not None
             and self._transaction.undo
         ):
@@ -317,36 +440,14 @@ class Session:
                 "DDL on a durable database cannot follow uncommitted row "
                 "changes in the same transaction; COMMIT first"
             )
-        self._acquire_write()
-        transaction = self._transaction
-        opened_here = transaction is None
-        if opened_here:
-            # Auto-commit wraps the statement in an implicit transaction; a
-            # session with auto-commit off starts a transaction that stays
-            # open until COMMIT/ROLLBACK (JDBC semantics, no BEGIN round
-            # trip).
-            transaction = self._transaction = Transaction(implicit=self.autocommit)
-        mark = transaction.undo.mark()
-        try:
-            result = database._executor.execute(
-                cached.statement, params, undo=transaction.undo
-            )
+        with database._mvcc.exclusive(self._transaction):
+            result = database._executor.execute(cached.statement, ())
             database._count_statement()
-            if isinstance(cached.statement, _DDL_STATEMENTS):
-                # The catalog just changed: drop (again, after the change —
-                # parsing already dropped once) every cached statement that
-                # may have been planned between parse and execution.
-                database._invalidate_cache()
-                database._log_ddl(cached.statement)
-        except BaseException:
-            # Statement-level atomicity: undo this statement's changes but
-            # keep an already-open transaction alive.
-            transaction.undo.rollback_to(mark)
-            if opened_here:
-                self._transaction = None
-                self._release_write()
-            raise
-        self._finish_write(transaction)
+            # The catalog just changed: drop (again, after the change —
+            # parsing already dropped once) every cached statement that
+            # may have been planned between parse and execution.
+            database._invalidate_cache()
+            database._log_ddl(cached.statement)
         return ResultSet(
             columns=result.columns, rows=result.rows, rowcount=result.rowcount
         )
@@ -356,37 +457,45 @@ class Session:
             self._commit_and_release(transaction)
 
     def _commit_and_release(self, transaction: Transaction) -> None:
-        """The durable-commit epilogue shared by explicit COMMIT and
-        implicit (auto-commit) transactions.
+        """The commit epilogue shared by explicit COMMIT and implicit
+        (auto-commit) transactions.
 
-        The redo batch is appended to the write-ahead log *before* the
-        write lock is released (so log order is commit order); the wait
-        for the disk happens *after* releasing it, so a slow fsync never
-        blocks other sessions — that wait is where group commit batches
-        concurrent committers into one fsync.
+        Commit installation runs under the controller's commit lock: the
+        WAL append (on a durable database) and the commit-stamp
+        installation happen atomically with respect to other commits, so
+        log order is commit-stamp order and no snapshot can observe a
+        half-installed commit.  The wait for the disk happens *after*
+        releasing the lock, so a slow fsync never blocks other sessions —
+        that wait is where group commit batches concurrent committers into
+        one fsync.
         """
-        durability = self._database._durability
+        database = self._database
+        controller = database._mvcc
+        durability = database._durability
         ticket = None
-        if durability is not None and transaction.undo:
-            try:
-                ticket = durability.log_commit(transaction.undo.entries())
-            except BaseException:
-                # The commit record never reached the log, so the
-                # transaction cannot be durable: roll it back (restoring
-                # the in-memory state to match) and release the write
-                # lock rather than leaking it with the database wedged.
-                try:
-                    transaction.undo.rollback_to(0)
-                finally:
-                    self._transaction = None
-                    self._release_write()
-                raise
+        if transaction.write_set:
+            with controller.commit_lock:
+                if durability is not None and transaction.undo:
+                    try:
+                        ticket = durability.log_commit(transaction.undo.entries())
+                    except BaseException:
+                        # The commit record never reached the log, so the
+                        # transaction cannot be durable: roll it back
+                        # (restoring the in-memory state to match).
+                        self._abort_transaction(transaction)
+                        raise
+                stamp = controller.allocate_commit_stamp()
+                for table, row_id in transaction.write_set:
+                    table.install_commit(row_id, transaction, stamp)
+                controller.publish_commit(stamp)
+            transaction.write_set.clear()
         transaction.undo.clear()
         self._transaction = None
-        self._release_write()
+        controller.end_transaction(transaction, committed=True)
+        controller.collect_garbage()
         if ticket is not None:
             durability.sync(ticket)
-            self._database._maybe_checkpoint()
+            database._maybe_checkpoint()
 
     def _execute_checkpoint(self) -> None:
         """Run a CHECKPOINT statement issued on this session.
@@ -422,27 +531,14 @@ class Session:
             raise SqlExecutionError(f"{action} requires an open transaction")
         return self._transaction
 
-    def _acquire_write(self) -> None:
-        if not self._holds_write:
-            self._database._rwlock.acquire_write()
-            self._holds_write = True
-            # Guarded by the write lock itself (and the GIL for sibling
-            # sessions on this thread, which pass through reentrantly).
-            self._database._write_holders += 1
-
-    def _release_write(self) -> None:
-        if self._holds_write:
-            self._holds_write = False
-            self._database._write_holders -= 1
-            self._database._rwlock.release_write()
-
-
 class Database:
     """An in-memory SQL database.
 
-    Thread safety: a readers-writer lock serialises writers against
-    everything while allowing SELECTs from different sessions to run
-    concurrently.  Use :meth:`session` to get a per-connection
+    Thread safety: multi-version concurrency control.  Statements from any
+    number of sessions run concurrently — readers resolve row visibility
+    against their snapshot and never block — while the MVCC controller's
+    exclusive gate briefly drains in-flight statements for DDL, checkpoints
+    and bulk loads.  Use :meth:`session` to get a per-connection
     :class:`Session` with its own transaction context; the ``execute``
     family on the Database itself runs through a shared default auto-commit
     session for convenience.
@@ -457,6 +553,7 @@ class Database:
     ) -> None:
         self._catalog = Catalog()
         self._tables: dict[str, TableData] = {}
+        self._mvcc = MvccController()
         # Durability: with a data_dir the manager recovers the previous
         # state into the (still empty) catalog/tables — latest snapshot
         # plus write-ahead-log replay — and opens the live log.  Without
@@ -470,12 +567,19 @@ class Database:
                 self._catalog,
                 self._tables,
             )
+            # Recovery built raw tables (no versioning — everything it
+            # loads is committed); attach the controller now so live
+            # statements run them through the MVCC read/write paths.
+            for data in self._tables.values():
+                data.attach_mvcc(self._mvcc)
         elif durability is not None:
             raise SqlExecutionError(
                 "durability options require a data_dir"
             )
         self._planner_options = planner_options or PlannerOptions()
-        self._executor = Executor(self._catalog, self._tables, self._planner_options)
+        self._executor = Executor(
+            self._catalog, self._tables, self._planner_options, mvcc=self._mvcc
+        )
         # LRU statement cache: parsed statement + plan, keyed by
         # (SQL text, planner-options identity).  Invalidated wholesale on
         # DDL and per-entry when table statistics drift (see _ensure_plan).
@@ -488,12 +592,6 @@ class Database:
         # re-fetching it (see Session._execute_select).
         self._cache_generation = 0
         self._options_key: tuple = self._planner_options.cache_key()
-        self._rwlock = ReadWriteLock()
-        # Number of sessions currently holding the write lock (i.e. open
-        # write transactions).  The write lock is same-thread reentrant,
-        # so checkpointing must consult this instead of relying on lock
-        # acquisition alone to prove no uncommitted changes are visible.
-        self._write_holders = 0
         self._cache_lock = threading.Lock()
         self._counter_lock = threading.Lock()
         #: Number of statements executed; used by tests and benchmarks to
@@ -525,14 +623,13 @@ class Database:
 
     def set_planner_options(self, options: PlannerOptions) -> None:
         """Replace the planner options and invalidate cached plans."""
-        self._rwlock.acquire_write()
-        try:
+        with self._mvcc.exclusive():
             self._planner_options = options
             self._options_key = options.cache_key()
-            self._executor = Executor(self._catalog, self._tables, options)
+            self._executor = Executor(
+                self._catalog, self._tables, options, mvcc=self._mvcc
+            )
             self._invalidate_cache()
-        finally:
-            self._rwlock.release_write()
 
     def set_statement_cache_size(self, size: int) -> None:
         """Resize (or, with 0, disable) the statement/plan cache."""
@@ -558,20 +655,22 @@ class Database:
 
         Aggregates the counters the network server's SERVER_STATS frame
         ships to remote clients: statements executed, statement-cache
-        behaviour, per-table row counts and (on a durable engine) the
-        durability counters.
+        behaviour, per-table row counts, the MVCC concurrency counters
+        (active transactions, conflicts, retries, snapshot ages, garbage
+        collection) and (on a durable engine) the durability counters.
         """
-        self._rwlock.acquire_read()
+        token = self._mvcc.begin_statement()
         try:
             tables = {
                 name: len(data) for name, data in self._tables.items()
             }
         finally:
-            self._rwlock.release_read()
+            self._mvcc.end_statement(token)
         return {
             "statements_executed": self.statements_executed,
             "statement_cache": self.statement_cache_info(),
             "tables": tables,
+            "mvcc": self._mvcc.stats(),
             "durable": self.durable,
             "durability": self.durability_info(),
         }
@@ -596,26 +695,24 @@ class Database:
     def checkpoint(self) -> bool:
         """Snapshot all tables and truncate the write-ahead log.
 
-        Returns False (a no-op) on an in-memory database.  Takes the write
-        lock, so the snapshot sees only committed state.  Raises when any
-        session holds an open write transaction: the write lock is
-        same-thread reentrant, so blocking on it alone would not keep a
-        sibling session's uncommitted (in-place) changes out of the
-        snapshot — and a later rollback would then be resurrected by
-        recovery.
+        Returns False (a no-op) on an in-memory database.  Takes the
+        exclusive side of the statement gate (draining in-flight statements
+        and other threads' write transactions), so the snapshot sees only
+        committed state.  Raises when a write transaction remains open
+        after the drain: the gate exempts same-thread transactions (the
+        historical reentrancy), so a sibling session's uncommitted
+        (in-place) changes could otherwise reach the snapshot — and a
+        later rollback would then be resurrected by recovery.
         """
         durability = self._durability
         if durability is None:
             return False
-        self._rwlock.acquire_write()
-        try:
-            if self._write_holders:
+        with self._mvcc.exclusive():
+            if self._mvcc.has_open_write_transactions():
                 raise SqlExecutionError(
                     "CHECKPOINT requires no open write transaction"
                 )
             durability.checkpoint()
-        finally:
-            self._rwlock.release_write()
         return True
 
     def close(self) -> None:
@@ -643,22 +740,22 @@ class Database:
         durability = self._durability
         if durability is None or not durability.should_checkpoint():
             return
-        self._rwlock.acquire_write()
-        try:
-            # Re-check under the lock: a concurrent committer may have cut
+        hold = self._mvcc.try_exclusive_idle()
+        if hold is None:
+            return
+        with hold:
+            # Re-check under the gate: a concurrent committer may have cut
             # the checkpoint while this one waited, and snapshotting the
             # whole database again microseconds later would be pure waste.
-            if not self._write_holders and durability.should_checkpoint():
+            if durability.should_checkpoint():
                 durability.checkpoint()
-        finally:
-            self._rwlock.release_write()
 
     def _log_ddl(self, statement: ast.Statement) -> None:
         """Append (and sync) the log record for an executed DDL statement.
 
-        Called under the write lock right after execution.  DDL is rare and
-        auto-committed, so the sync happening before the lock is released
-        is an acceptable simplification.
+        Called under the MVCC exclusive gate right after execution.  DDL is
+        rare and auto-committed, so the sync happening before the gate is
+        released is an acceptable simplification.
         """
         durability = self._durability
         if durability is None:
@@ -724,7 +821,7 @@ class Database:
 
     def explain(self, sql: str) -> str:
         """Return the textual plan for a SELECT statement."""
-        self._rwlock.acquire_read()
+        token = self._mvcc.begin_statement()
         try:
             cached, _ = self._cached_statement(sql)
             plan = self._ensure_plan(cached)
@@ -732,7 +829,7 @@ class Database:
                 return type(cached.statement).__name__
             return plan.explain()
         finally:
-            self._rwlock.release_read()
+            self._mvcc.end_statement(token)
 
     def plan(self, sql: str) -> SelectPlan:
         """Parse and plan a SELECT **bypassing the statement cache**.
@@ -745,11 +842,11 @@ class Database:
             statement = statement.statement
         if not isinstance(statement, ast.SelectStatement):
             raise SqlExecutionError("only SELECT statements can be planned")
-        self._rwlock.acquire_read()
+        token = self._mvcc.begin_statement()
         try:
             return self._executor.plan_select(statement)
         finally:
-            self._rwlock.release_read()
+            self._mvcc.end_statement(token)
 
     def executescript(self, script: str) -> None:
         """Execute several semicolon-separated statements (DDL helper)."""
@@ -761,10 +858,11 @@ class Database:
     def create_table(self, schema: TableSchema) -> None:
         """Register a table directly from a :class:`TableSchema`."""
         durability = self._durability
-        self._rwlock.acquire_write()
-        try:
+        with self._mvcc.exclusive():
             self._catalog.create_table(schema)
-            self._tables[schema.name.lower()] = TableData(schema)
+            data = TableData(schema)
+            data.attach_mvcc(self._mvcc)
+            self._tables[schema.name.lower()] = data
             self._invalidate_cache()
             try:
                 ticket = (
@@ -778,8 +876,6 @@ class Database:
                 self._catalog.drop_table(schema.name)
                 self._tables.pop(schema.name.lower(), None)
                 raise
-        finally:
-            self._rwlock.release_write()
         if ticket is not None:
             durability.sync(ticket)
 
@@ -793,8 +889,7 @@ class Database:
     ) -> None:
         """Create an index without going through SQL."""
         durability = self._durability
-        self._rwlock.acquire_write()
-        try:
+        with self._mvcc.exclusive():
             data = self.table_data(table)
             index_name = name or f"idx_{table.lower()}_{'_'.join(columns).lower()}"
             data.create_index(index_name, tuple(columns), unique=unique, ordered=ordered)
@@ -812,8 +907,6 @@ class Database:
                 # and the recovered state cannot diverge.
                 data.drop_index(index_name)
                 raise
-        finally:
-            self._rwlock.release_write()
         if ticket is not None:
             durability.sync(ticket)
 
@@ -827,36 +920,35 @@ class Database:
         """
         durability = self._durability
         ticket = None
-        self._rwlock.acquire_write()
         try:
-            schema = self._catalog.table(table)
-            data = self._tables[schema.name.lower()]
-            count = 0
-            logged: list[tuple[int, tuple[object, ...]]] | None = (
-                [] if durability is not None else None
-            )
-            try:
-                for row in rows:
-                    coerced = schema.coerce_row(row)
-                    row_id = data.insert(coerced)
-                    if logged is not None:
-                        logged.append((row_id, coerced))
-                    count += 1
-                if logged:
-                    ticket = durability.log_bulk_insert(schema.name, logged)
-            except BaseException:
-                if logged:
-                    # Keep memory and log consistent on a durable engine: a
-                    # failed load (bad row mid-stream, or the log append
-                    # itself) must not leave rows visible that recovery
-                    # would never reproduce.  Undone newest-first, exactly
-                    # like transaction rollback.
-                    for row_id, coerced in reversed(logged):
-                        data.undo_insert(row_id, coerced)
-                raise
-            return count
+            with self._mvcc.exclusive():
+                schema = self._catalog.table(table)
+                data = self._tables[schema.name.lower()]
+                count = 0
+                logged: list[tuple[int, tuple[object, ...]]] | None = (
+                    [] if durability is not None else None
+                )
+                try:
+                    for row in rows:
+                        coerced = schema.coerce_row(row)
+                        row_id = data.insert(coerced)
+                        if logged is not None:
+                            logged.append((row_id, coerced))
+                        count += 1
+                    if logged:
+                        ticket = durability.log_bulk_insert(schema.name, logged)
+                except BaseException:
+                    if logged:
+                        # Keep memory and log consistent on a durable
+                        # engine: a failed load (bad row mid-stream, or the
+                        # log append itself) must not leave rows visible
+                        # that recovery would never reproduce.  Undone
+                        # newest-first, exactly like transaction rollback.
+                        for row_id, coerced in reversed(logged):
+                            data.undo_insert(row_id, coerced)
+                    raise
+                return count
         finally:
-            self._rwlock.release_write()
             if ticket is not None:
                 durability.sync(ticket)
                 self._maybe_checkpoint()

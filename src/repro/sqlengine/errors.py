@@ -23,3 +23,23 @@ class SqlTypeError(SqlError):
 
 class SqlExecutionError(SqlError):
     """A statement failed during execution (e.g. bad parameter count)."""
+
+
+class UniqueViolationError(SqlExecutionError):
+    """A row would duplicate an existing key in a unique index."""
+
+    def __init__(self, message: str, index: str | None = None, key: object = None) -> None:
+        super().__init__(message)
+        self.index = index
+        self.key = key
+
+
+class TransactionConflictError(SqlExecutionError):
+    """Two transactions tried to write the same row (write-write conflict).
+
+    Under snapshot isolation the first updater wins: the transaction that
+    touches an already-owned row — or a row committed after its snapshot —
+    is aborted with this error.  It is safe (and expected) for clients to
+    roll back and retry the whole transaction; auto-commit statements are
+    retried by the engine itself.
+    """

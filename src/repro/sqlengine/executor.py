@@ -17,7 +17,7 @@ from repro.sqlengine.expressions import ExpressionCompiler, is_truthy
 from repro.sqlengine.operators import materialise
 from repro.sqlengine.planner import Planner, PlannerOptions, SelectPlan
 from repro.sqlengine.storage import TableData
-from repro.sqlengine.transactions import UndoLog
+from repro.sqlengine.transactions import MvccController, Transaction, UndoLog
 
 
 @dataclass
@@ -37,10 +37,12 @@ class Executor:
         catalog: Catalog,
         tables: dict[str, TableData],
         planner_options: PlannerOptions | None = None,
+        mvcc: MvccController | None = None,
     ) -> None:
         self._catalog = catalog
         self._tables = tables
         self._planner_options = planner_options or PlannerOptions()
+        self._mvcc = mvcc
 
     # -- planning ------------------------------------------------------------
 
@@ -57,13 +59,20 @@ class Executor:
         params: Sequence[object] = (),
         plan: Optional[SelectPlan] = None,
         undo: Optional[UndoLog] = None,
+        txn: Optional[Transaction] = None,
     ) -> StatementResult:
         """Execute ``statement`` with positional ``params``.
 
-        ``undo``, when given, receives an inverse operation for every row
-        mutated by a DML statement so the owning transaction can roll the
-        statement back.  DDL is not transactional and records nothing.
+        ``txn``, when given, routes DML through the MVCC write path: rows
+        are locked (first-updater-wins), inverse operations land in the
+        transaction's undo log, and write-write conflicts raise
+        :class:`~repro.sqlengine.errors.TransactionConflictError`.  The
+        legacy ``undo`` parameter keeps the unversioned path for callers
+        without a transaction (recovery tooling, standalone tests).  DDL is
+        not transactional and records nothing either way.
         """
+        if txn is not None:
+            undo = txn.undo
         if isinstance(statement, ast.SelectStatement):
             select_plan = plan if plan is not None else self.plan_select(statement)
             rows = materialise(select_plan.root, params)
@@ -83,11 +92,11 @@ class Executor:
                 rowcount=len(lines),
             )
         if isinstance(statement, ast.InsertStatement):
-            return self._execute_insert(statement, params, undo)
+            return self._execute_insert(statement, params, undo, txn)
         if isinstance(statement, ast.UpdateStatement):
-            return self._execute_update(statement, params, undo)
+            return self._execute_update(statement, params, undo, txn)
         if isinstance(statement, ast.DeleteStatement):
-            return self._execute_delete(statement, params, undo)
+            return self._execute_delete(statement, params, undo, txn)
         if isinstance(statement, ast.CreateTableStatement):
             return self._execute_create_table(statement)
         if isinstance(statement, ast.CreateIndexStatement):
@@ -110,9 +119,11 @@ class Executor:
         statement: ast.InsertStatement,
         params: Sequence[object],
         undo: Optional[UndoLog] = None,
+        txn: Optional[Transaction] = None,
     ) -> StatementResult:
         schema = self._catalog.table(statement.table)
         data = self._tables[schema.name.lower()]
+        versioned = txn is not None and data._controller is not None
         compiler = ExpressionCompiler()
         count = 0
         for value_row in statement.rows:
@@ -127,7 +138,10 @@ class Executor:
                 position = schema.column_index(column)
                 values[position] = compiler.compile(expression)({}, params)
             row = schema.coerce_row(values)
-            row_id = data.insert(row)
+            if versioned:
+                row_id = data.mvcc_insert(row, txn)
+            else:
+                row_id = data.insert(row)
             if undo is not None:
                 undo.record_insert(data, row_id, row)
             count += 1
@@ -153,9 +167,11 @@ class Executor:
         statement: ast.UpdateStatement,
         params: Sequence[object],
         undo: Optional[UndoLog] = None,
+        txn: Optional[Transaction] = None,
     ) -> StatementResult:
         schema = self._catalog.table(statement.table)
         data = self._tables[schema.name.lower()]
+        versioned = txn is not None and data._controller is not None
         compiler = self._single_table_compiler(schema, statement.table.lower())
         predicate = (
             compiler.compile(statement.where) if statement.where is not None else None
@@ -172,15 +188,26 @@ class Executor:
             if predicate is None or is_truthy(predicate(row, params)):
                 matches.append((row_id, row))
         for row_id, row in matches:
+            if versioned:
+                # Lock first: a conflicting writer aborts us before any
+                # mutation; on success the matched row is re-read in case a
+                # commit landed between the scan and the lock (the lock's
+                # snapshot check ensures any such commit predates ours).
+                data.mvcc_lock_row(row_id, txn)
+                row = data._rows[row_id]
             new_row = list(row)
             for position, evaluate in assignments:
                 new_row[position] = evaluate(row, params)
             coerced = schema.coerce_row(new_row)
-            if undo is not None:
-                # Recorded before the update so a failure partway through
-                # re-indexing is still restorable.
-                undo.record_update(data, row_id, row, coerced)
-            data.update(row_id, coerced)
+            if versioned:
+                undo.record_versioned_update(data, row_id, row, coerced)
+                data.mvcc_update(row_id, coerced, txn)
+            else:
+                if undo is not None:
+                    # Recorded before the update so a failure partway
+                    # through re-indexing is still restorable.
+                    undo.record_update(data, row_id, row, coerced)
+                data.update(row_id, coerced)
             updated += 1
         return StatementResult(rowcount=updated)
 
@@ -189,9 +216,11 @@ class Executor:
         statement: ast.DeleteStatement,
         params: Sequence[object],
         undo: Optional[UndoLog] = None,
+        txn: Optional[Transaction] = None,
     ) -> StatementResult:
         schema = self._catalog.table(statement.table)
         data = self._tables[schema.name.lower()]
+        versioned = txn is not None and data._controller is not None
         compiler = self._single_table_compiler(schema, statement.table.lower())
         predicate = (
             compiler.compile(statement.where) if statement.where is not None else None
@@ -201,9 +230,17 @@ class Executor:
             if predicate is None or is_truthy(predicate(row, params)):
                 to_delete.append((row_id, row))
         for row_id, row in to_delete:
-            if undo is not None:
-                undo.record_delete(data, row_id, row)
-            data.delete(row_id)
+            if versioned:
+                data.mvcc_lock_row(row_id, txn)
+                row = data._rows[row_id]
+                if row is None:
+                    continue
+                undo.record_versioned_delete(data, row_id, row)
+                data.mvcc_delete(row_id, txn)
+            else:
+                if undo is not None:
+                    undo.record_delete(data, row_id, row)
+                data.delete(row_id)
         return StatementResult(rowcount=len(to_delete))
 
     # -- DDL -----------------------------------------------------------------
@@ -224,7 +261,10 @@ class Executor:
         )
         schema = TableSchema(name=statement.table, columns=columns)
         self._catalog.create_table(schema)
-        self._tables[schema.name.lower()] = TableData(schema)
+        data = TableData(schema)
+        if self._mvcc is not None:
+            data.attach_mvcc(self._mvcc)
+        self._tables[schema.name.lower()] = data
         return StatementResult()
 
     def _execute_create_index(

@@ -17,7 +17,7 @@ from __future__ import annotations
 import bisect
 from typing import Hashable, Iterable, Iterator
 
-from repro.sqlengine.errors import SqlExecutionError
+from repro.sqlengine.errors import UniqueViolationError
 
 
 class Index:
@@ -28,7 +28,15 @@ class Index:
         self.columns = columns
         self.unique = unique
 
-    def insert(self, key: Hashable, row_id: int) -> None:
+    def insert(self, key: Hashable, row_id: int, enforce_unique: bool = True) -> None:
+        """Add ``row_id`` under ``key``.
+
+        ``enforce_unique=False`` skips the duplicate check on a unique
+        index: the MVCC storage layer uses it when a key is only a
+        *transient* duplicate — the other row id under the key is a dead
+        version kept for older snapshots (see ``TableData``), which plain
+        uniqueness cannot distinguish from a live row.
+        """
         raise NotImplementedError
 
     def delete(self, key: Hashable, row_id: int) -> None:
@@ -63,11 +71,13 @@ class HashIndex(Index):
         self._entries: dict[Hashable, list[int]] = {}
         self._size = 0
 
-    def insert(self, key: Hashable, row_id: int) -> None:
+    def insert(self, key: Hashable, row_id: int, enforce_unique: bool = True) -> None:
         bucket = self._entries.setdefault(key, [])
-        if self.unique and bucket:
-            raise SqlExecutionError(
-                f"unique index {self.name!r} violated for key {key!r}"
+        if self.unique and bucket and enforce_unique:
+            raise UniqueViolationError(
+                f"unique index {self.name!r} violated for key {key!r}",
+                index=self.name,
+                key=key,
             )
         bucket.append(row_id)
         self._size += 1
@@ -111,12 +121,14 @@ class OrderedIndex(Index):
         self._row_ids: list[int] = []
         self._distinct = 0
 
-    def insert(self, key: Hashable, row_id: int) -> None:
+    def insert(self, key: Hashable, row_id: int, enforce_unique: bool = True) -> None:
         left = bisect.bisect_left(self._keys, key)  # type: ignore[arg-type]
         position = bisect.bisect_right(self._keys, key)  # type: ignore[arg-type]
-        if self.unique and left != position:
-            raise SqlExecutionError(
-                f"unique index {self.name!r} violated for key {key!r}"
+        if self.unique and left != position and enforce_unique:
+            raise UniqueViolationError(
+                f"unique index {self.name!r} violated for key {key!r}",
+                index=self.name,
+                key=key,
             )
         if left == position:
             self._distinct += 1

@@ -1,20 +1,113 @@
-"""Row storage for the in-memory SQL engine.
+"""Row storage for the in-memory SQL engine, with MVCC version chains.
 
 Each table's rows live in a :class:`TableData` instance: a dense list of row
 tuples plus the indexes built over the table.  Row identifiers are stable
 positions in the list; deleted rows are tombstoned (``None``) so identifiers
 never move, which keeps index maintenance simple.
+
+Concurrency model (when a :class:`~repro.sqlengine.transactions.MvccController`
+is attached): ``_rows[row_id]`` always holds the row's *newest* content —
+possibly an uncommitted write — and a side table ``_versions`` maps the row
+ids that currently need more than that one version to a :class:`VersionEntry`
+holding the writer that owns the row plus the chain of superseded committed
+versions (newest first).  Readers resolve every row id against their
+snapshot through the entry and **never block**; rows with no entry are
+trivially committed.  Writers acquire row ownership (pushing the committed
+content onto the chain) under a short per-table latch, and a write-write
+conflict — the row is owned by another transaction, or was committed after
+the writer's snapshot — aborts the second writer immediately
+(first-updater-wins, which also makes the scheme deadlock-free: no writer
+ever waits for a row).
+
+Index maintenance is *deferred* for committed keys: when an update moves an
+indexed key, the old key stays in the index until garbage collection proves
+no open snapshot can still read the old version through it.  Lookups
+therefore re-check the resolved row against the probe key.  The invariant:
+an index contains exactly the keys of current rows, the keys of the calling
+transaction's own uncommitted rows, and the keys of committed-over versions
+not yet garbage-collected.
+
+Without an attached controller (recovery replay, snapshot loading,
+standalone tests) every operation degrades to the original single-version
+behaviour, byte for byte.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Optional
+import threading
+from typing import Callable, Iterator, Optional, TYPE_CHECKING
 
 from repro.sqlengine.catalog import TableSchema, TableStatistics
-from repro.sqlengine.errors import SqlExecutionError
+from repro.sqlengine.errors import (
+    SqlExecutionError,
+    TransactionConflictError,
+    UniqueViolationError,
+)
 from repro.sqlengine.indexes import HashIndex, Index, OrderedIndex, make_key
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sqlengine.transactions import MvccController, Transaction
+
 Row = tuple[object, ...]
+
+#: ``VersionEntry.begin`` value meaning "no committed version exists" —
+#: the entry belongs to an uncommitted (or rolled-back) insert.
+_ABSENT = -1
+
+#: Sentinel "committed key" for a row with no committed version; unequal to
+#: every real key, so the committed-key delta rules degrade to plain
+#: insert/delete for uncommitted inserts.
+_ABSENT_KEY = object()
+
+
+class RowVersion:
+    """One superseded committed version of a row.
+
+    ``begin`` is the commit stamp that created this content; ``end`` the
+    stamp that superseded it (``None`` while its successor is uncommitted).
+    ``stale_keys`` lists the (index name, key) entries that exist in the
+    indexes solely for this version and must be removed when it is pruned.
+    """
+
+    __slots__ = ("begin", "end", "row", "stale_keys")
+
+    def __init__(self, begin: int, end: Optional[int], row: Optional[Row]) -> None:
+        self.begin = begin
+        self.end = end
+        self.row = row
+        self.stale_keys: list[tuple[str, object]] = []
+
+
+class VersionEntry:
+    """Concurrency state of one row id: its owner and version chain.
+
+    ``owner`` is the transaction currently holding the row's write
+    ownership (None when the newest content is committed).  ``begin`` is
+    the commit stamp of the newest content while unowned (``_ABSENT`` if
+    nothing is committed).  ``versions`` holds superseded committed
+    versions, newest first.  ``seq`` increments on every ownership
+    acquisition so lock-free readers can detect that a writer slipped in
+    between their stamp check and their row read.  ``queued`` tracks
+    membership in the controller's GC queue.
+    """
+
+    __slots__ = ("owner", "begin", "versions", "queued", "seq")
+
+    def __init__(self, owner: "Optional[Transaction]", begin: int) -> None:
+        self.owner = owner
+        self.begin = begin
+        self.versions: list[RowVersion] = []
+        self.queued = False
+        self.seq = 0
+
+    def committed_row(self) -> Optional[Row]:
+        """The newest committed content, or None if nothing is committed
+        (call while owning the row or holding the table latch)."""
+        if self.owner is None:
+            raise SqlExecutionError("committed_row() requires an owned entry")
+        if self.versions and self.versions[0].end is None:
+            return self.versions[0].row
+        return None
 
 
 class TableData:
@@ -26,9 +119,21 @@ class TableData:
         self._live_count = 0
         self._indexes: dict[str, Index] = {}
         self._index_columns: dict[str, tuple[str, ...]] = {}
+        #: Serialises writers (and undo replay) of this table; readers
+        #: never take it.  Held only for the duration of one row operation.
+        self.latch = threading.RLock()
+        self._controller: "Optional[MvccController]" = None
+        self._versions: dict[int, VersionEntry] = {}
         pk_columns = tuple(schema.primary_key_columns)
         if pk_columns:
             self.create_index(f"pk_{schema.name}", pk_columns, unique=True)
+
+    def attach_mvcc(self, controller: "MvccController") -> None:
+        """Enable versioned reads/writes through ``controller``.
+
+        Called by the Database once recovery has replayed this table (replay
+        runs unversioned: the log contains only committed operations)."""
+        self._controller = controller
 
     # -- index management ---------------------------------------------------
 
@@ -166,24 +271,110 @@ class TableData:
         return row
 
     def scan(self) -> Iterator[tuple[int, Row]]:
-        """Iterate over (row_id, row) for every live row."""
-        for row_id, row in enumerate(self._rows):
-            if row is not None:
-                yield row_id, row
+        """Iterate over (row_id, row) for every row visible to the calling
+        thread's snapshot (every live row when no controller is attached)."""
+        controller = self._controller
+        if controller is None:
+            for row_id, row in enumerate(self._rows):
+                if row is not None:
+                    yield row_id, row
+            return
+        snapshot, txn = controller.read_context()
+        rows = self._rows
+        get = self._versions.get
+        for row_id in range(len(rows)):
+            entry = get(row_id)
+            if entry is None:
+                # Unversioned fast path.  The row is read *between* two
+                # entry checks: a writer publishes its entry before touching
+                # the row, so an unchanged None proves the value read in the
+                # middle is the newest committed content — which, having no
+                # entry, predates every open snapshot.
+                row = rows[row_id]
+                if get(row_id) is None:
+                    if row is not None:
+                        yield row_id, row
+                    continue
+            visible = self._visible_row(row_id, snapshot, txn)
+            if visible is not None:
+                yield row_id, visible
 
     def rows(self) -> Iterator[Row]:
-        """Iterate over live rows only."""
+        """Iterate over visible rows only."""
         for _, row in self.scan():
             yield row
 
     def lookup_rows(self, index: Index, key: object) -> list[tuple[int, Row]]:
-        """Rows matching an index key."""
+        """Rows matching an index key, resolved against the caller's
+        snapshot.
+
+        Because committed index keys are removed lazily (see the module
+        docstring), a versioned row id found under ``key`` may resolve to a
+        version whose key differs; such hits are filtered out here."""
+        controller = self._controller
         result = []
+        if controller is None:
+            for row_id in index.lookup(key):
+                row = self._row_or_none(row_id)
+                if row is not None:
+                    result.append((row_id, row))
+            return result
+        snapshot, txn = controller.read_context()
+        rows = self._rows
+        get = self._versions.get
+        positions = self._positions(index.name)
         for row_id in index.lookup(key):
-            row = self._row_or_none(row_id)
-            if row is not None:
-                result.append((row_id, row))
+            entry = get(row_id)
+            if entry is None:
+                row = rows[row_id] if row_id < len(rows) else None
+                if get(row_id) is None:
+                    if row is not None:
+                        result.append((row_id, row))
+                    continue
+            visible = self._visible_row(row_id, snapshot, txn)
+            if visible is not None and make_key(
+                visible[p] for p in positions
+            ) == key:
+                result.append((row_id, visible))
         return result
+
+    def _visible_row(
+        self, row_id: int, snapshot: int, txn: "Optional[Transaction]"
+    ) -> Optional[Row]:
+        """Resolve ``row_id`` to the version visible at ``snapshot`` (with
+        ``txn`` seeing its own uncommitted writes), without locking.
+
+        Safe against concurrent writers under the writer protocol: ownership
+        is published (entry created/seq bumped) *before* the row mutates, an
+        abort restores the row *before* releasing ownership, and garbage
+        collection only removes entries whose content every open snapshot
+        already agrees on.  The retry loop re-resolves when a validation
+        read shows a writer slipped in mid-read.
+        """
+        rows = self._rows
+        versions = self._versions
+        while True:
+            entry = versions.get(row_id)
+            if entry is None:
+                row = rows[row_id] if row_id < len(rows) else None
+                if versions.get(row_id) is None:
+                    return row
+                continue
+            owner = entry.owner
+            if owner is not None and owner is txn:
+                return rows[row_id] if row_id < len(rows) else None
+            if owner is None:
+                begin = entry.begin
+                seq = entry.seq
+                if begin != _ABSENT and begin <= snapshot:
+                    row = rows[row_id] if row_id < len(rows) else None
+                    if entry.seq == seq:
+                        return row
+                    continue
+            for version in tuple(entry.versions):
+                if version.begin <= snapshot:
+                    return version.row
+            return None
 
     def select_row_ids(self, predicate: Callable[[Row], bool]) -> list[int]:
         """Row ids of live rows satisfying ``predicate``."""
@@ -237,6 +428,369 @@ class TableData:
             index.delete(make_key(old_row[p] for p in positions), row_id)
             index.insert(make_key(old_row[p] for p in positions), row_id)
         self._rows[row_id] = old_row
+
+    # -- MVCC write path ----------------------------------------------------
+    #
+    # Used by the executor when a statement runs inside a transaction on a
+    # controller-attached table.  Every method takes the table latch; none
+    # ever blocks on another transaction (conflicts abort the caller).
+
+    def mvcc_insert(self, values: Row, txn: "Transaction") -> int:
+        """Insert an uncommitted row owned by ``txn``; returns its row id.
+
+        The version entry is published *before* the row list grows so
+        concurrent snapshot readers can never mistake the new row for
+        committed content.
+        """
+        with self.latch:
+            row_id = len(self._rows)
+            entry = self._versions.get(row_id)
+            if entry is None:
+                entry = VersionEntry(owner=txn, begin=_ABSENT)
+                self._versions[row_id] = entry
+            elif entry.owner is txn and not entry.versions:
+                # This transaction's own insert into the slot was undone by
+                # a savepoint rollback; it may reuse the slot it still owns.
+                pass
+            else:
+                # The slot was freed by a rolled-back insert whose entry is
+                # still awaiting GC; take it over.
+                if entry.owner is not None or entry.versions or entry.begin != _ABSENT:
+                    self._conflict(
+                        f"row slot {row_id} of {self.schema.name!r} is "
+                        "still owned by another transaction"
+                    )
+                entry.owner = txn
+            entry.seq += 1
+            self._rows.append(values)
+            self._live_count += 1
+            indexed: list[tuple[Index, object]] = []
+            try:
+                for name, index in self._indexes.items():
+                    positions = self._positions(name)
+                    key = make_key(values[p] for p in positions)
+                    self._checked_index_insert(index, key, row_id, txn)
+                    indexed.append((index, key))
+            except BaseException:
+                for index, key in indexed:
+                    index.delete(key, row_id)
+                self._rows.pop()
+                self._live_count -= 1
+                entry.owner = None
+                entry.begin = _ABSENT
+                del self._versions[row_id]
+                raise
+            txn.write_set.append((self, row_id))
+            self._controller.register_write(txn)
+            return row_id
+
+    def mvcc_lock_row(self, row_id: int, txn: "Transaction") -> None:
+        """Acquire write ownership of ``row_id`` for ``txn``.
+
+        First-updater-wins: raises
+        :class:`~repro.sqlengine.errors.TransactionConflictError` when the
+        row is owned by another live transaction or was committed after
+        ``txn``'s snapshot.  On success the committed content is pushed
+        onto the version chain so snapshot readers keep finding it while
+        ``txn`` mutates the row in place.
+        """
+        with self.latch:
+            entry = self._versions.get(row_id)
+            if entry is None:
+                entry = VersionEntry(owner=txn, begin=0)
+                entry.versions.append(RowVersion(0, None, self._rows[row_id]))
+                entry.seq += 1
+                self._versions[row_id] = entry
+            elif entry.owner is txn:
+                return
+            elif entry.owner is not None:
+                self._conflict(
+                    f"row {row_id} of {self.schema.name!r} is being written "
+                    "by another transaction"
+                )
+            elif entry.begin > (txn.snapshot or 0):
+                self._conflict(
+                    f"row {row_id} of {self.schema.name!r} was committed "
+                    "after this transaction's snapshot"
+                )
+            else:
+                entry.versions.insert(
+                    0, RowVersion(entry.begin, None, self._rows[row_id])
+                )
+                entry.owner = txn
+                entry.seq += 1
+            txn.write_set.append((self, row_id))
+            self._controller.register_write(txn)
+
+    def mvcc_update(self, row_id: int, values: Row, txn: "Transaction") -> None:
+        """Replace an owned row's content (call after :meth:`mvcc_lock_row`).
+
+        Index delta relative to the *committed* key ``kc``: the new key is
+        inserted unless it equals ``kc``, and the previous key is deleted
+        unless it equals ``kc`` — so committed keys survive for older
+        snapshots while the transaction's own transient keys are cleaned
+        eagerly.
+        """
+        with self.latch:
+            entry = self._versions[row_id]
+            old_row = self._rows[row_id]
+            committed = entry.committed_row()
+            for name, index in self._indexes.items():
+                positions = self._positions(name)
+                old_key = make_key(old_row[p] for p in positions)
+                new_key = make_key(values[p] for p in positions)
+                if old_key == new_key:
+                    continue
+                committed_key = (
+                    make_key(committed[p] for p in positions)
+                    if committed is not None
+                    else _ABSENT_KEY
+                )
+                if new_key != committed_key:
+                    self._checked_index_insert(index, new_key, row_id, txn)
+                if old_key != committed_key:
+                    index.delete(old_key, row_id)
+            self._rows[row_id] = values
+
+    def mvcc_delete(self, row_id: int, txn: "Transaction") -> None:
+        """Delete an owned row (call after :meth:`mvcc_lock_row`)."""
+        with self.latch:
+            entry = self._versions[row_id]
+            old_row = self._rows[row_id]
+            if old_row is None:
+                return
+            committed = entry.committed_row()
+            for name, index in self._indexes.items():
+                positions = self._positions(name)
+                old_key = make_key(old_row[p] for p in positions)
+                committed_key = (
+                    make_key(committed[p] for p in positions)
+                    if committed is not None
+                    else _ABSENT_KEY
+                )
+                if old_key != committed_key:
+                    index.delete(old_key, row_id)
+            self._rows[row_id] = None
+            self._live_count -= 1
+
+    def undo_versioned_update(
+        self, row_id: int, old_row: Row, new_row: Row
+    ) -> None:
+        """Exact inverse of :meth:`mvcc_update` (called with the latch held
+        by the undo log).  Deletes are defensive — both keys are removed
+        before the old key is restored — so a partially indexed update is
+        repaired too, mirroring :meth:`undo_update`."""
+        entry = self._versions[row_id]
+        committed = entry.committed_row()
+        for name, index in self._indexes.items():
+            positions = self._positions(name)
+            old_key = make_key(old_row[p] for p in positions)
+            new_key = make_key(new_row[p] for p in positions)
+            if old_key == new_key:
+                continue
+            committed_key = (
+                make_key(committed[p] for p in positions)
+                if committed is not None
+                else _ABSENT_KEY
+            )
+            if new_key != committed_key:
+                index.delete(new_key, row_id)
+            if old_key != committed_key:
+                index.delete(old_key, row_id)
+                index.insert(old_key, row_id, enforce_unique=False)
+        self._rows[row_id] = old_row
+
+    def undo_versioned_delete(self, row_id: int, row: Row) -> None:
+        """Exact inverse of :meth:`mvcc_delete`."""
+        entry = self._versions[row_id]
+        committed = entry.committed_row()
+        for name, index in self._indexes.items():
+            positions = self._positions(name)
+            old_key = make_key(row[p] for p in positions)
+            committed_key = (
+                make_key(committed[p] for p in positions)
+                if committed is not None
+                else _ABSENT_KEY
+            )
+            if old_key != committed_key:
+                index.insert(old_key, row_id, enforce_unique=False)
+        self._rows[row_id] = row
+        self._live_count += 1
+
+    def install_commit(self, row_id: int, txn: "Transaction", stamp: int) -> None:
+        """Stamp ``txn``'s write of ``row_id`` as committed at ``stamp``.
+
+        Called under the controller's commit lock for every write-set row.
+        The superseded version learns its end stamp and which index keys
+        now exist solely for it; the entry then queues for GC.
+        """
+        with self.latch:
+            entry = self._versions.get(row_id)
+            if entry is None or entry.owner is not txn:
+                return
+            final = self._rows[row_id] if row_id < len(self._rows) else None
+            prior = entry.versions[0] if entry.versions else None
+            if prior is not None and prior.end is None:
+                prior.end = stamp
+                prior_row = prior.row
+                for name, index in self._indexes.items():
+                    positions = self._positions(name)
+                    prior_key = make_key(prior_row[p] for p in positions)
+                    if final is None or prior_key != make_key(
+                        final[p] for p in positions
+                    ):
+                        prior.stale_keys.append((name, prior_key))
+            elif prior is None and final is None:
+                # An insert that was rolled back statement-level (or
+                # deleted again) before the commit: nothing to publish.
+                entry.owner = None
+                entry.begin = _ABSENT
+                self._queue_gc(entry, row_id)
+                return
+            entry.begin = stamp
+            entry.owner = None
+            self._queue_gc(entry, row_id)
+
+    def release_ownership(self, row_id: int, txn: "Transaction") -> None:
+        """Drop ``txn``'s ownership of ``row_id`` after a rollback (the
+        undo log has already restored the row content and indexes)."""
+        with self.latch:
+            entry = self._versions.get(row_id)
+            if entry is None or entry.owner is not txn:
+                return
+            if entry.versions and entry.versions[0].end is None:
+                prior = entry.versions.pop(0)
+                entry.begin = prior.begin
+                entry.owner = None
+                self._queue_gc(entry, row_id)
+            else:
+                # An insert that never committed: the undo log popped (or
+                # tombstoned) the row; the entry stays behind as a marker
+                # until GC so in-flight snapshot readers cannot mistake a
+                # reused slot for committed content.
+                entry.owner = None
+                entry.begin = _ABSENT
+                self._queue_gc(entry, row_id)
+
+    def collect_row(self, row_id: int, min_active: int) -> tuple[bool, int]:
+        """Prune versions of ``row_id`` unreachable by every snapshot at or
+        after ``min_active``; returns (fully collected?, versions freed)."""
+        with self.latch:
+            entry = self._versions.get(row_id)
+            if entry is None:
+                return True, 0
+            if entry.owner is not None:
+                # A new owner appeared; its commit (or rollback) re-queues.
+                entry.queued = False
+                return True, 0
+            pruned = 0
+            if entry.begin == _ABSENT:
+                for version in entry.versions:
+                    self._drop_version_keys(version, row_id)
+                    pruned += 1
+                del self._versions[row_id]
+                entry.queued = False
+                return True, pruned
+            if entry.begin <= min_active:
+                # The current content is visible to every open snapshot:
+                # the whole chain (and the entry itself) is dead.
+                for version in entry.versions:
+                    self._drop_version_keys(version, row_id)
+                    pruned += 1
+                del self._versions[row_id]
+                entry.queued = False
+                return True, pruned
+            # Newest content is invisible to the oldest snapshot: keep the
+            # chain down to the newest version that snapshot can read.
+            keep = len(entry.versions)
+            for position, version in enumerate(entry.versions):
+                if version.begin <= min_active:
+                    keep = position + 1
+                    break
+            for version in entry.versions[keep:]:
+                self._drop_version_keys(version, row_id)
+                pruned += 1
+            del entry.versions[keep:]
+            return False, pruned
+
+    def _queue_gc(self, entry: VersionEntry, row_id: int) -> None:
+        if not entry.queued:
+            entry.queued = True
+            self._controller.enqueue_gc(self, row_id)
+
+    def _drop_version_keys(self, version: RowVersion, row_id: int) -> None:
+        for index_name, key in version.stale_keys:
+            index = self._indexes.get(index_name)
+            if index is not None:
+                index.delete(key, row_id)
+        version.stale_keys.clear()
+
+    def _checked_index_insert(
+        self, index: Index, key: object, row_id: int, txn: "Transaction"
+    ) -> None:
+        """Insert an index entry, discriminating a *real* duplicate from a
+        dead-version key that merely lingers until GC.
+
+        A unique violation re-raises when some other row id under the key
+        is live (committed and current); it becomes a
+        :class:`TransactionConflictError` when the holder is another
+        in-flight transaction or a commit newer than ``txn``'s snapshot
+        (the outcome depends on who commits — the safe answer is to abort
+        and retry); and it is overridden when every holder is a dead
+        version.
+        """
+        try:
+            index.insert(key, row_id)
+            return
+        except UniqueViolationError:
+            pass
+        snapshot = txn.snapshot or 0
+        rows = self._rows
+        for other_id in index.lookup(key):
+            if other_id == row_id:
+                continue
+            entry = self._versions.get(other_id)
+            if entry is None:
+                raise UniqueViolationError(
+                    f"unique index {index.name!r} violated for key {key!r}",
+                    index=index.name,
+                    key=key,
+                )
+            current = rows[other_id] if other_id < len(rows) else None
+            positions = self._positions(index.name)
+            current_holds_key = current is not None and make_key(
+                current[p] for p in positions
+            ) == key
+            if entry.owner is not None and entry.owner is not txn:
+                if current_holds_key or any(
+                    version.end is None
+                    and version.row is not None
+                    and make_key(version.row[p] for p in positions) == key
+                    for version in entry.versions
+                ):
+                    self._conflict(
+                        f"key {key!r} of unique index {index.name!r} is "
+                        "claimed by another in-flight transaction"
+                    )
+                continue
+            if current_holds_key:
+                if entry.owner is None and entry.begin > snapshot:
+                    self._conflict(
+                        f"key {key!r} of unique index {index.name!r} was "
+                        "committed after this transaction's snapshot"
+                    )
+                raise UniqueViolationError(
+                    f"unique index {index.name!r} violated for key {key!r}",
+                    index=index.name,
+                    key=key,
+                )
+        index.insert(key, row_id, enforce_unique=False)
+
+    def _conflict(self, message: str) -> None:
+        controller = self._controller
+        if controller is not None:
+            controller.count_conflict()
+        raise TransactionConflictError(message)
 
     # -- redo operations ----------------------------------------------------
     #

@@ -1,28 +1,39 @@
-"""Transaction support for the in-memory SQL engine.
+"""Transaction support for the in-memory SQL engine: MVCC snapshot isolation.
 
-Two building blocks live here:
+Three building blocks live here:
 
 * :class:`UndoLog` — a per-transaction journal of inverse operations.  Every
   row mutation (INSERT/UPDATE/DELETE) records enough information to restore
   the row *and* every index entry exactly; rolling back replays the journal
   in reverse.  Savepoints are simply marks (offsets) into the journal.
-* :class:`ReadWriteLock` — a shared/exclusive lock that lets read-only
-  SELECT statements from different sessions run concurrently while writers
-  get exclusive access.  The lock is reentrant per thread: the thread that
-  holds the write lock may freely acquire it (or the read lock) again, which
-  keeps single-threaded code using several sessions deadlock-free.
+* :class:`MvccController` — the database-wide coordinator for multi-version
+  concurrency control: it hands out snapshot timestamps, tracks the open
+  snapshots (so garbage collection knows which committed versions are still
+  reachable), serialises commit installation, counts conflicts/retries, and
+  provides the *statement gate* — a lightweight shared/exclusive barrier
+  that lets every SELECT and DML statement run concurrently while DDL,
+  checkpoints and bulk loads briefly drain them for exclusive access.
+* :class:`ReadWriteLock` — the engine's historical shared/exclusive lock,
+  kept for callers that still want one (the engine itself no longer
+  serialises writers behind it: readers resolve row visibility against
+  their snapshot and never block, and writers only take short per-table
+  latches; see :mod:`repro.sqlengine.storage`).
 
 Sessions (see :class:`repro.sqlengine.engine.Session`) own one
-:class:`UndoLog` per open transaction and acquire the database's
-:class:`ReadWriteLock` around statement execution: read locks per SELECT,
-and a write lock held from a transaction's first write until COMMIT or
-ROLLBACK so concurrent sessions never observe a transaction half-applied.
+:class:`Transaction` — undo journal, savepoints, snapshot and write set —
+per open transaction.  Write-write conflicts surface as
+:class:`~repro.sqlengine.errors.TransactionConflictError`: the first
+updater of a row wins, the loser aborts (auto-commit statements are
+retried with a fresh snapshot by the session itself).
 """
 
 from __future__ import annotations
 
 import threading
-from typing import TYPE_CHECKING
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sqlengine.storage import Row, TableData
@@ -66,6 +77,21 @@ class UndoLog:
         ``new_row`` (both are needed to repair indexes on rollback)."""
         self._entries.append(("update", table, row_id, old_row, new_row))
 
+    def record_versioned_update(
+        self, table: "TableData", row_id: int, old_row: "Row", new_row: "Row"
+    ) -> None:
+        """Like :meth:`record_update`, but for a row mutated through the
+        MVCC write path, whose index maintenance is relative to the row's
+        *committed* version rather than unconditional (dead-version index
+        keys stay behind for older snapshots until garbage collection)."""
+        self._entries.append(("vupdate", table, row_id, old_row, new_row))
+
+    def record_versioned_delete(
+        self, table: "TableData", row_id: int, row: "Row"
+    ) -> None:
+        """Like :meth:`record_delete`, but for the MVCC write path."""
+        self._entries.append(("vdelete", table, row_id, row))
+
     # -- reading ------------------------------------------------------------
 
     def entries(self) -> list[tuple]:
@@ -86,19 +112,32 @@ class UndoLog:
         return len(self._entries)
 
     def rollback_to(self, mark: int = 0) -> None:
-        """Undo every operation recorded after ``mark``, newest first."""
+        """Undo every operation recorded after ``mark``, newest first.
+
+        Each inverse operation runs under its table's latch so the replay
+        never races concurrent writers mutating *other* rows of the same
+        table's index structures.
+        """
         while len(self._entries) > mark:
             entry = self._entries.pop()
             kind = entry[0]
-            if kind == "insert":
-                _, table, row_id, row = entry
-                table.undo_insert(row_id, row)
-            elif kind == "delete":
-                _, table, row_id, row = entry
-                table.undo_delete(row_id, row)
-            else:  # update
-                _, table, row_id, old_row, new_row = entry
-                table.undo_update(row_id, old_row, new_row)
+            table = entry[1]
+            with table.latch:
+                if kind == "insert":
+                    _, _, row_id, row = entry
+                    table.undo_insert(row_id, row)
+                elif kind == "delete":
+                    _, _, row_id, row = entry
+                    table.undo_delete(row_id, row)
+                elif kind == "update":
+                    _, _, row_id, old_row, new_row = entry
+                    table.undo_update(row_id, old_row, new_row)
+                elif kind == "vupdate":
+                    _, _, row_id, old_row, new_row = entry
+                    table.undo_versioned_update(row_id, old_row, new_row)
+                else:  # vdelete
+                    _, _, row_id, row = entry
+                    table.undo_versioned_delete(row_id, row)
 
     def clear(self) -> None:
         """Discard the journal (transaction committed)."""
@@ -106,20 +145,40 @@ class UndoLog:
 
 
 class Transaction:
-    """State of one open transaction: its undo journal and savepoints.
+    """State of one open transaction: undo journal, savepoints, snapshot.
 
     ``implicit`` transactions wrap a single auto-commit statement and end
     as soon as it does; explicit transactions stay open until COMMIT or
     ROLLBACK.  Savepoints are (name, journal mark) pairs; a name may be
     reused, in which case the most recent definition wins.
+
+    MVCC state: ``snapshot`` is the commit stamp this transaction reads as
+    of (assigned at BEGIN, or at the first statement for transactions the
+    session opens implicitly); ``write_set`` lists every (table, row id)
+    whose ownership the transaction acquired, in acquisition order —
+    commit stamps exactly these rows, rollback releases them.
     """
 
-    __slots__ = ("undo", "savepoints", "implicit")
+    __slots__ = (
+        "undo",
+        "savepoints",
+        "implicit",
+        "snapshot",
+        "write_set",
+        "thread",
+        "registered_write",
+        "view_key",
+    )
 
     def __init__(self, implicit: bool = False) -> None:
         self.undo = UndoLog()
         self.savepoints: list[tuple[str, int]] = []
         self.implicit = implicit
+        self.snapshot: Optional[int] = None
+        self.write_set: list[tuple["TableData", int]] = []
+        self.thread = threading.get_ident()
+        self.registered_write = False
+        self.view_key: Optional[int] = None
 
     def set_savepoint(self, name: str) -> None:
         """Define (or redefine) a savepoint at the current journal mark."""
@@ -199,3 +258,357 @@ class ReadWriteLock:
             if self._writer_depth == 0:
                 self._writer = None
                 self._condition.notify_all()
+
+
+class MvccController:
+    """Database-wide coordinator for snapshot isolation.
+
+    Responsibilities:
+
+    * **Commit stamps and snapshots.**  ``last_committed`` is the stamp of
+      the newest fully installed commit.  A statement (or transaction)
+      snapshot is simply the value of ``last_committed`` when it starts;
+      a committed version is visible to a snapshot ``s`` iff its begin
+      stamp is ``<= s`` (see ``VersionEntry.visible`` in storage).
+    * **Open-snapshot registry.**  Every running statement and every open
+      explicit transaction registers its snapshot here so
+      :meth:`min_active_snapshot` can bound garbage collection.
+    * **The statement gate.**  A shared/exclusive barrier: statements
+      enter shared (never blocking each other); DDL, checkpoints and bulk
+      loads enter exclusive, draining in-flight statements first.  Write
+      transactions open on *other* threads are drained too (they would
+      otherwise hold uncommitted in-place rows across the exclusive
+      section); same-thread ones are exempt, preserving the engine's
+      historical single-threaded reentrancy.
+    * **Commit installation.**  ``commit_lock`` serialises commits so WAL
+      append order equals commit-stamp order and a commit becomes visible
+      atomically (``last_committed`` is published only after every row of
+      the write set has its stamps installed).
+    * **Garbage collection.**  Committed-over versions queue up here and
+      are pruned incrementally once no open snapshot can reach them.
+    """
+
+    def __init__(self) -> None:
+        self._cv = threading.Condition()
+        self._last_committed = 0
+        self._views: dict[int, tuple[int, float]] = {}
+        self._next_view_key = 0
+        self._write_txns: dict[Transaction, int] = {}
+        self._active_statements = 0
+        self._exclusive_thread: Optional[int] = None
+        self._exclusive_depth = 0
+        self._exclusive_waiters = 0
+        self._local = threading.local()
+        #: Serialises commit installation; WAL appends happen under it so
+        #: log order is commit order (the fsync wait happens outside it).
+        self.commit_lock = threading.Lock()
+        self._gc_queue: deque[tuple["TableData", int]] = deque()
+        self._stats_lock = threading.Lock()
+        self._commits = 0
+        self._aborts = 0
+        self._conflicts = 0
+        self._retries = 0
+        self._versions_gced = 0
+
+    # -- snapshots and visibility context ------------------------------------
+
+    @property
+    def last_committed(self) -> int:
+        """Stamp of the newest fully installed commit."""
+        return self._last_committed
+
+    def read_context(self) -> tuple[int, Optional[Transaction]]:
+        """The (snapshot, transaction) the current thread reads under.
+
+        Set for the duration of each statement by :meth:`begin_statement`;
+        outside any statement (direct ``TableData`` access from tests or
+        tools) reads see the latest committed state.
+        """
+        context = getattr(self._local, "context", None)
+        if context is None:
+            return self._last_committed, None
+        return context
+
+    def _register_view(self, snapshot: int) -> int:
+        key = self._next_view_key
+        self._next_view_key += 1
+        self._views[key] = (snapshot, time.monotonic())
+        return key
+
+    # -- the statement gate ---------------------------------------------------
+
+    def begin_statement(self, transaction: Optional[Transaction] = None) -> tuple:
+        """Enter the shared side of the gate and set the read context.
+
+        Returns an opaque token for :meth:`end_statement`.  Statements of a
+        write transaction pass waiting-exclusive requests (they must be able
+        to finish so the drain terminates); everyone else yields to them.
+        """
+        me = threading.get_ident()
+        with self._cv:
+            if self._exclusive_thread == me:
+                tracked = False
+            else:
+                while self._exclusive_thread is not None or (
+                    self._exclusive_waiters
+                    and (transaction is None or transaction not in self._write_txns)
+                ):
+                    self._cv.wait()
+                self._active_statements += 1
+                tracked = True
+            if transaction is not None and transaction.snapshot is not None:
+                snapshot = transaction.snapshot
+                view_key = None  # covered by the transaction's own view
+            else:
+                snapshot = self._last_committed
+                view_key = self._register_view(snapshot)
+        previous = getattr(self._local, "context", None)
+        self._local.context = (snapshot, transaction)
+        return (view_key, tracked, previous)
+
+    def end_statement(self, token: tuple) -> None:
+        """Leave the gate and clear the read context."""
+        view_key, tracked, previous = token
+        self._local.context = previous
+        with self._cv:
+            if view_key is not None:
+                del self._views[view_key]
+            if tracked:
+                self._active_statements -= 1
+            if self._exclusive_waiters or self._exclusive_thread is not None:
+                self._cv.notify_all()
+
+    @contextmanager
+    def exclusive(
+        self, transaction: Optional[Transaction] = None
+    ) -> Iterator[None]:
+        """Exclusive side of the gate (DDL, checkpoints, bulk loads).
+
+        Waits for in-flight statements to drain and for write transactions
+        open on *other* threads to finish; write transactions on the
+        calling thread (including ``transaction``) are exempt, matching the
+        reentrancy of the historical write lock.  Reentrant per thread.
+        """
+        me = threading.get_ident()
+        with self._cv:
+            if self._exclusive_thread == me:
+                self._exclusive_depth += 1
+            else:
+                self._exclusive_waiters += 1
+                try:
+                    while (
+                        self._exclusive_thread is not None
+                        or self._active_statements
+                        or any(
+                            thread != me for thread in self._write_txns.values()
+                        )
+                    ):
+                        self._cv.wait()
+                finally:
+                    self._exclusive_waiters -= 1
+                self._exclusive_thread = me
+                self._exclusive_depth = 1
+        try:
+            yield
+        finally:
+            with self._cv:
+                self._exclusive_depth -= 1
+                if self._exclusive_depth == 0:
+                    self._exclusive_thread = None
+                    self._cv.notify_all()
+
+    def try_exclusive_idle(self) -> "Optional[_ExclusiveHold]":
+        """Acquire the exclusive gate only if no write transaction is open
+        *anywhere*; returns None (without blocking on writers) otherwise.
+
+        Used by the automatic checkpoint: it must never wait on an idle
+        open transaction (which may belong to this very thread through a
+        sibling session) and silently defers instead.
+        """
+        me = threading.get_ident()
+        with self._cv:
+            if self._exclusive_thread == me:
+                return None  # re-entering exclusively is never a checkpoint
+            self._exclusive_waiters += 1
+            try:
+                while self._exclusive_thread is not None or self._active_statements:
+                    self._cv.wait()
+            finally:
+                self._exclusive_waiters -= 1
+            if self._write_txns:
+                self._cv.notify_all()
+                return None
+            self._exclusive_thread = me
+            self._exclusive_depth = 1
+        return _ExclusiveHold(self)
+
+    def _release_exclusive(self) -> None:
+        with self._cv:
+            self._exclusive_depth -= 1
+            if self._exclusive_depth == 0:
+                self._exclusive_thread = None
+                self._cv.notify_all()
+
+    # -- transaction lifecycle -------------------------------------------------
+
+    def begin_transaction(self, transaction: Transaction) -> None:
+        """Assign a snapshot to an explicitly opened transaction and
+        register it so garbage collection keeps its snapshot readable."""
+        with self._cv:
+            transaction.snapshot = self._last_committed
+            transaction.view_key = self._register_view(transaction.snapshot)
+
+    def adopt_transaction(self, transaction: Transaction) -> None:
+        """Adopt a transaction the session opened mid-statement: it reads
+        under the running statement's snapshot.  Non-implicit transactions
+        outlive the statement, so they get their own snapshot view."""
+        snapshot, _ = self.read_context()
+        transaction.snapshot = snapshot
+        if not transaction.implicit:
+            with self._cv:
+                transaction.view_key = self._register_view(snapshot)
+        self._local.context = (snapshot, transaction)
+
+    def register_write(self, transaction: Transaction) -> None:
+        """Called by storage when a transaction takes its first row
+        ownership; write transactions are what DDL/checkpoints drain."""
+        if transaction.registered_write:
+            return
+        transaction.registered_write = True
+        with self._cv:
+            self._write_txns[transaction] = transaction.thread
+
+    def has_open_write_transactions(self) -> bool:
+        """Whether any transaction anywhere holds row ownerships.
+
+        Checkpoints consult this *after* acquiring the exclusive gate: the
+        gate only drains write transactions on other threads, so whatever
+        remains belongs to sibling sessions on the calling thread — whose
+        uncommitted in-place rows must not reach a snapshot.
+        """
+        with self._cv:
+            return bool(self._write_txns)
+
+    def end_transaction(self, transaction: Transaction, committed: bool) -> None:
+        """Unregister a finished transaction and wake gate waiters."""
+        with self._cv:
+            self._write_txns.pop(transaction, None)
+            if transaction.view_key is not None:
+                self._views.pop(transaction.view_key, None)
+                transaction.view_key = None
+            transaction.registered_write = False
+            if self._exclusive_waiters:
+                self._cv.notify_all()
+        with self._stats_lock:
+            if committed:
+                self._commits += 1
+            else:
+                self._aborts += 1
+
+    # -- commit stamps ---------------------------------------------------------
+
+    def allocate_commit_stamp(self) -> int:
+        """Next commit stamp; call while holding :attr:`commit_lock`."""
+        return self._last_committed + 1
+
+    def publish_commit(self, stamp: int) -> None:
+        """Make ``stamp`` visible to new snapshots; call while holding
+        :attr:`commit_lock`, after every write-set row is installed."""
+        self._last_committed = stamp
+
+    # -- conflict accounting ---------------------------------------------------
+
+    def count_conflict(self) -> None:
+        """One write-write conflict was detected (the loser will abort)."""
+        with self._stats_lock:
+            self._conflicts += 1
+
+    def count_retry(self) -> None:
+        """One auto-commit statement is being retried after a conflict."""
+        with self._stats_lock:
+            self._retries += 1
+
+    # -- garbage collection ----------------------------------------------------
+
+    def enqueue_gc(self, table: "TableData", row_id: int) -> None:
+        """Queue a committed-over row for version pruning."""
+        self._gc_queue.append((table, row_id))
+
+    def min_active_snapshot(self) -> int:
+        """Oldest snapshot any open statement or transaction still reads;
+        versions superseded at or before it are unreachable."""
+        with self._cv:
+            if not self._views:
+                return self._last_committed
+            return min(snapshot for snapshot, _ in self._views.values())
+
+    def collect_garbage(self, limit: int = 128) -> int:
+        """Prune up to ``limit`` queued rows' dead versions; rows still
+        pinned by an old snapshot are re-queued.  Returns versions freed."""
+        queue = self._gc_queue
+        if not queue:
+            return 0
+        min_active = self.min_active_snapshot()
+        collected = 0
+        for _ in range(min(limit, len(queue))):
+            try:
+                table, row_id = queue.popleft()
+            except IndexError:  # pragma: no cover - concurrent collector
+                break
+            done, pruned = table.collect_row(row_id, min_active)
+            collected += pruned
+            if not done:
+                queue.append((table, row_id))
+        if collected:
+            with self._stats_lock:
+                self._versions_gced += collected
+        return collected
+
+    # -- observability ---------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """Concurrency counters for ``Database.stats()`` / SERVER_STATS."""
+        with self._cv:
+            active_snapshots = len(self._views)
+            active_write_transactions = len(self._write_txns)
+            oldest = (
+                min(started for _, started in self._views.values())
+                if self._views
+                else None
+            )
+        with self._stats_lock:
+            commits = self._commits
+            aborts = self._aborts
+            conflicts = self._conflicts
+            retries = self._retries
+            versions_gced = self._versions_gced
+        return {
+            "last_committed": self._last_committed,
+            "active_snapshots": active_snapshots,
+            "active_write_transactions": active_write_transactions,
+            "oldest_snapshot_age_s": (
+                round(time.monotonic() - oldest, 6) if oldest is not None else 0.0
+            ),
+            "commits": commits,
+            "aborts": aborts,
+            "conflicts": conflicts,
+            "retries": retries,
+            "versions_gced": versions_gced,
+            "gc_backlog": len(self._gc_queue),
+        }
+
+
+class _ExclusiveHold:
+    """Context manager over an exclusive gate acquisition that already
+    happened (see :meth:`MvccController.try_exclusive_idle`)."""
+
+    __slots__ = ("_controller",)
+
+    def __init__(self, controller: MvccController) -> None:
+        self._controller = controller
+
+    def __enter__(self) -> "_ExclusiveHold":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._controller._release_exclusive()

@@ -1,0 +1,383 @@
+"""MVCC snapshot isolation: visibility, conflicts, counters, and the wire.
+
+The engine's concurrency model (see ``docs/transactions.md``): statements
+read under a snapshot and never block, writers take row ownership eagerly,
+and the *first updater wins* — the second transaction to touch a row aborts
+with :class:`TransactionConflictError`.  These tests pin that contract from
+every angle a client can observe it: in-process sessions, the dbapi layer,
+the network protocol and the concurrency counters.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.sqlengine import Database, TransactionConflictError
+from repro.sqlengine.errors import SqlExecutionError
+
+
+def make_db() -> Database:
+    db = Database()
+    db.execute("CREATE TABLE account (id INTEGER PRIMARY KEY, balance INTEGER)")
+    db.execute_many(
+        "INSERT INTO account (id, balance) VALUES (?, ?)",
+        [(1, 1000), (2, 1000), (3, 1000)],
+    )
+    return db
+
+
+class TestSnapshotVisibility:
+    def test_open_transaction_writes_are_invisible_to_others(self) -> None:
+        db = make_db()
+        writer = db.session()
+        writer.execute("BEGIN")
+        writer.execute("UPDATE account SET balance = 0 WHERE id = 1")
+        writer.execute("DELETE FROM account WHERE id = 2")
+        writer.execute("INSERT INTO account (id, balance) VALUES (9, 9)")
+        # Another session sees the last committed state, not the in-flight
+        # transaction — including through the primary-key index.
+        reader = db.session()
+        assert reader.execute(
+            "SELECT balance FROM account WHERE id = 1"
+        ).rows == [(1000,)]
+        assert reader.execute("SELECT id FROM account WHERE id = 2").rows == [(2,)]
+        assert reader.execute("SELECT id FROM account WHERE id = 9").rows == []
+        assert len(reader.execute("SELECT id FROM account").rows) == 3
+        writer.execute("COMMIT")
+        assert sorted(reader.execute("SELECT id FROM account").rows) == [
+            (1,), (3,), (9,),
+        ]
+
+    def test_explicit_transaction_reads_are_repeatable(self) -> None:
+        db = make_db()
+        reader = db.session()
+        reader.execute("BEGIN")
+        before = reader.execute("SELECT id, balance FROM account").rows
+        # Commits landing after the snapshot stay invisible until the
+        # transaction ends, no matter how often it re-reads.
+        db.execute("UPDATE account SET balance = 1 WHERE id = 1")
+        db.execute("DELETE FROM account WHERE id = 3")
+        assert reader.execute("SELECT id, balance FROM account").rows == before
+        assert reader.execute(
+            "SELECT balance FROM account WHERE id = 1"
+        ).rows == [(1000,)]
+        reader.execute("COMMIT")
+        assert reader.execute(
+            "SELECT balance FROM account WHERE id = 1"
+        ).rows == [(1,)]
+
+    def test_transaction_sees_its_own_writes(self) -> None:
+        db = make_db()
+        session = db.session()
+        session.execute("BEGIN")
+        session.execute("UPDATE account SET balance = 5 WHERE id = 1")
+        session.execute("INSERT INTO account (id, balance) VALUES (7, 70)")
+        assert session.execute(
+            "SELECT balance FROM account WHERE id = 1"
+        ).rows == [(5,)]
+        assert session.execute(
+            "SELECT balance FROM account WHERE id = 7"
+        ).rows == [(70,)]
+        session.execute("ROLLBACK")
+        assert session.execute("SELECT id FROM account WHERE id = 7").rows == []
+
+    def test_rolled_back_insert_never_becomes_visible(self) -> None:
+        db = make_db()
+        session = db.session()
+        session.execute("BEGIN")
+        session.execute("INSERT INTO account (id, balance) VALUES (42, 1)")
+        session.execute("ROLLBACK")
+        assert db.execute("SELECT id FROM account WHERE id = 42").rows == []
+        # The slot freed by the rollback is reusable.
+        db.execute("INSERT INTO account (id, balance) VALUES (43, 2)")
+        assert db.execute("SELECT balance FROM account WHERE id = 43").rows == [(2,)]
+
+
+class TestNonBlockingReaders:
+    def test_reader_thread_is_not_blocked_by_open_write_transaction(self) -> None:
+        # The headline behavioural change versus the old readers-writer
+        # lock: an open write transaction on one thread must not stall
+        # SELECTs on another.
+        db = make_db()
+        writer = db.session()
+        writer.execute("BEGIN")
+        writer.execute("UPDATE account SET balance = 0 WHERE id = 1")
+        seen: list[object] = []
+
+        def read() -> None:
+            seen.append(
+                db.session().execute(
+                    "SELECT balance FROM account WHERE id = 1"
+                ).rows
+            )
+
+        thread = threading.Thread(target=read)
+        thread.start()
+        thread.join(timeout=10)
+        assert not thread.is_alive(), "reader blocked behind an open write txn"
+        assert seen == [[(1000,)]]
+        writer.execute("ROLLBACK")
+
+
+class TestWriteWriteConflicts:
+    def test_second_updater_of_a_row_loses(self) -> None:
+        db = make_db()
+        first, second = db.session(), db.session()
+        first.execute("BEGIN")
+        second.execute("BEGIN")
+        first.execute("UPDATE account SET balance = balance + 1 WHERE id = 1")
+        with pytest.raises(TransactionConflictError):
+            second.execute("UPDATE account SET balance = balance + 7 WHERE id = 1")
+        second.execute("ROLLBACK")
+        first.execute("COMMIT")
+        assert db.execute("SELECT balance FROM account WHERE id = 1").rows == [
+            (1001,)
+        ]
+
+    def test_commit_after_snapshot_conflicts(self) -> None:
+        # First updater wins even when it already committed: the second
+        # transaction's snapshot predates the commit, so updating on top of
+        # it would silently drop the first update.
+        db = make_db()
+        late = db.session()
+        late.execute("BEGIN")
+        assert late.execute("SELECT balance FROM account WHERE id = 1").rows == [
+            (1000,)
+        ]
+        db.execute("UPDATE account SET balance = balance + 1 WHERE id = 1")
+        with pytest.raises(TransactionConflictError):
+            late.execute("UPDATE account SET balance = balance + 7 WHERE id = 1")
+        late.execute("ROLLBACK")
+        assert db.execute("SELECT balance FROM account WHERE id = 1").rows == [
+            (1001,)
+        ]
+
+    def test_loser_can_retry_and_succeed(self) -> None:
+        db = make_db()
+        loser = db.session()
+        loser.execute("BEGIN")
+        db.execute("UPDATE account SET balance = balance + 1 WHERE id = 1")
+        with pytest.raises(TransactionConflictError):
+            loser.execute("UPDATE account SET balance = balance + 7 WHERE id = 1")
+        loser.execute("ROLLBACK")
+        # A fresh transaction sees the winner's commit and applies cleanly.
+        loser.execute("BEGIN")
+        loser.execute("UPDATE account SET balance = balance + 7 WHERE id = 1")
+        loser.execute("COMMIT")
+        assert db.execute("SELECT balance FROM account WHERE id = 1").rows == [
+            (1008,)
+        ]
+
+    def test_autocommit_statements_retry_transparently(self) -> None:
+        # Engine-side retry: an auto-commit UPDATE that loses a conflict is
+        # re-run against a fresh snapshot instead of surfacing the error.
+        db = make_db()
+        barrier = threading.Barrier(2, timeout=10)
+        errors: list[BaseException] = []
+
+        def bump() -> None:
+            session = db.session()
+            try:
+                barrier.wait()
+                for _ in range(50):
+                    session.execute(
+                        "UPDATE account SET balance = balance + 1 WHERE id = 3"
+                    )
+            except BaseException as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=bump) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+        assert db.execute("SELECT balance FROM account WHERE id = 3").rows == [
+            (1100,)
+        ]
+
+    def test_conflict_propagates_through_dbapi(self) -> None:
+        from repro.dbapi import connect
+
+        db = make_db()
+        winner = connect(db, auto_commit=False)
+        loser = connect(db, auto_commit=False)
+        take = winner.prepare_statement(
+            "UPDATE account SET balance = balance - 1 WHERE id = 1"
+        )
+        assert take.execute_update() == 1
+        steal = loser.prepare_statement(
+            "UPDATE account SET balance = balance - 2 WHERE id = 1"
+        )
+        with pytest.raises(TransactionConflictError):
+            steal.execute_update()
+        loser.rollback()
+        winner.commit()
+        assert db.execute("SELECT balance FROM account WHERE id = 1").rows == [
+            (999,)
+        ]
+
+
+class TestConflictOverTheWire:
+    def test_conflict_round_trips_as_typed_error(self) -> None:
+        from repro import netclient
+        from repro.server import SqlServer
+
+        db = make_db()
+        with SqlServer(database=db) as server:
+            winner = netclient.connect(*server.address, auto_commit=False)
+            loser = netclient.connect(*server.address, auto_commit=False)
+            try:
+                statement = winner.prepare_statement(
+                    "UPDATE account SET balance = balance + 1 WHERE id = 2"
+                )
+                assert statement.execute_update() == 1
+                with pytest.raises(TransactionConflictError):
+                    loser.prepare_statement(
+                        "UPDATE account SET balance = balance + 9 WHERE id = 2"
+                    ).execute_update()
+                loser.rollback()
+                winner.commit()
+            finally:
+                loser.close()
+                winner.close()
+        assert db.execute("SELECT balance FROM account WHERE id = 2").rows == [
+            (1001,)
+        ]
+
+
+class TestConcurrencyCounters:
+    def test_stats_document_shape(self) -> None:
+        db = make_db()
+        stats = db.stats()["mvcc"]
+        for field in (
+            "last_committed",
+            "active_snapshots",
+            "active_write_transactions",
+            "oldest_snapshot_age_s",
+            "commits",
+            "aborts",
+            "conflicts",
+            "retries",
+            "versions_gced",
+            "gc_backlog",
+        ):
+            assert field in stats, field
+
+    def test_commits_aborts_and_conflicts_are_counted(self) -> None:
+        db = make_db()
+        base = db.stats()["mvcc"]
+        session = db.session()
+        session.execute("BEGIN")
+        session.execute("UPDATE account SET balance = 1 WHERE id = 1")
+        open_stats = db.stats()["mvcc"]
+        assert open_stats["active_write_transactions"] == 1
+        assert open_stats["active_snapshots"] >= 1
+        session.execute("ROLLBACK")
+        loser = db.session()
+        loser.execute("BEGIN")
+        db.execute("UPDATE account SET balance = 2 WHERE id = 1")
+        with pytest.raises(TransactionConflictError):
+            loser.execute("UPDATE account SET balance = 3 WHERE id = 1")
+        loser.execute("ROLLBACK")
+        stats = db.stats()["mvcc"]
+        assert stats["commits"] > base["commits"]
+        assert stats["aborts"] >= base["aborts"] + 2
+        assert stats["conflicts"] >= base["conflicts"] + 1
+        assert stats["active_write_transactions"] == 0
+        assert stats["last_committed"] > base["last_committed"]
+
+    def test_superseded_versions_are_garbage_collected(self) -> None:
+        db = make_db()
+        for _ in range(20):
+            db.execute("UPDATE account SET balance = balance + 1 WHERE id = 1")
+        stats = db.stats()["mvcc"]
+        assert stats["versions_gced"] >= 20
+        # With no open snapshots the backlog drains completely.
+        data = db.table_data("account")
+        assert stats["gc_backlog"] == len(data._versions) == 0
+
+    def test_old_snapshot_pins_versions_until_it_closes(self) -> None:
+        db = make_db()
+        reader = db.session()
+        reader.execute("BEGIN")
+        assert reader.execute(
+            "SELECT balance FROM account WHERE id = 1"
+        ).rows == [(1000,)]
+        for _ in range(5):
+            db.execute("UPDATE account SET balance = balance + 1 WHERE id = 1")
+        # The open snapshot still reads the original version...
+        assert reader.execute(
+            "SELECT balance FROM account WHERE id = 1"
+        ).rows == [(1000,)]
+        assert len(db.table_data("account")._versions) > 0
+        reader.execute("COMMIT")
+        # ...and closing it lets garbage collection reclaim the chain.
+        db._mvcc.collect_garbage(limit=1000)
+        assert db.table_data("account")._versions == {}
+
+    def test_mvcc_stats_ship_over_server_stats(self) -> None:
+        from repro import netclient
+        from repro.server import SqlServer
+
+        db = make_db()
+        with SqlServer(database=db) as server:
+            connection = netclient.connect(*server.address)
+            try:
+                stats = connection.session.server_stats()
+            finally:
+                connection.close()
+        assert "mvcc" in stats["engine"]
+        assert stats["engine"]["mvcc"]["last_committed"] >= 1
+
+
+class TestExclusiveGateInteractions:
+    def test_checkpoint_refuses_open_write_transaction(self, tmp_path) -> None:
+        db = Database(data_dir=str(tmp_path / "db"))
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        session = db.session()
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t (id) VALUES (1)")
+        with pytest.raises(SqlExecutionError):
+            db.checkpoint()
+        session.execute("COMMIT")
+        assert db.checkpoint()
+        db.close()
+
+    def test_ddl_waits_for_other_threads_write_transaction(self) -> None:
+        db = make_db()
+        holding = threading.Event()
+        release = threading.Event()
+        done: list[str] = []
+
+        def writer() -> None:
+            session = db.session()
+            session.execute("BEGIN")
+            session.execute("UPDATE account SET balance = 0 WHERE id = 1")
+            holding.set()
+            release.wait(timeout=30)
+            session.execute("COMMIT")
+            done.append("writer")
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        assert holding.wait(timeout=10)
+        ddl = threading.Thread(
+            target=lambda: (
+                db.execute("CREATE TABLE other (id INTEGER PRIMARY KEY)"),
+                done.append("ddl"),
+            )
+        )
+        ddl.start()
+        ddl.join(timeout=0.3)
+        # DDL drains open write transactions first...
+        assert ddl.is_alive()
+        release.set()
+        ddl.join(timeout=30)
+        thread.join(timeout=30)
+        assert not ddl.is_alive() and not thread.is_alive()
+        # ...and the writer's commit landed before the catalog change.
+        assert done == ["writer", "ddl"]
+        assert db.execute("SELECT balance FROM account WHERE id = 1").rows == [(0,)]

@@ -1,0 +1,247 @@
+"""Property-based MVCC invariants, driven by Hypothesis.
+
+Four properties no interleaving may violate:
+
+* **No dirty reads** — whatever sequence of statements an open transaction
+  executes, other sessions keep reading the last committed state.
+* **Repeatable snapshot reads** — a transaction's reads are identical no
+  matter how many commits land after its snapshot.
+* **Exactly one loser** — when two transactions write the same row, the
+  first updater wins and exactly the other aborts with
+  :class:`TransactionConflictError`.
+* **Byte-identical rollback** — ROLLBACK (and ROLLBACK TO SAVEPOINT)
+  restores rows, live counts and every index's internal state exactly,
+  even when the touched rows carry version chains from earlier commits.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sqlengine import Database, TransactionConflictError
+from repro.sqlengine.indexes import HashIndex, OrderedIndex
+
+ROW_IDS = list(range(1, 7))
+
+
+def make_db(balances: list[int]) -> Database:
+    db = Database()
+    db.execute(
+        "CREATE TABLE account (id INTEGER PRIMARY KEY, owner VARCHAR(32), "
+        "balance INTEGER)"
+    )
+    db.create_index("account", ["owner"], name="idx_owner")
+    db.create_index("account", ["balance"], name="idx_balance", ordered=True)
+    db.execute_many(
+        "INSERT INTO account (id, owner, balance) VALUES (?, ?, ?)",
+        [
+            (row_id, f"owner-{row_id}", balance)
+            for row_id, balance in zip(ROW_IDS, balances)
+        ],
+    )
+    return db
+
+
+def state_snapshot(db: Database, table: str) -> dict:
+    """Rows, live count and full index internals (the byte-identity bar)."""
+    data = db.table_data(table)
+    state: dict[str, object] = {"rows": list(data._rows), "live": len(data)}
+    for name, index in data.indexes().items():
+        if isinstance(index, OrderedIndex):
+            state[name] = (list(index._keys), list(index._row_ids))
+        elif isinstance(index, HashIndex):
+            state[name] = {key: sorted(ids) for key, ids in index._entries.items()}
+    return state
+
+
+#: One transactional operation: (kind, row id, value).
+_operation = st.tuples(
+    st.sampled_from(["update", "delete", "insert", "savepoint", "rollback_to"]),
+    st.sampled_from(ROW_IDS + [10, 11, 12]),
+    st.integers(min_value=-50, max_value=50),
+)
+
+_balances = st.lists(
+    st.integers(min_value=0, max_value=100),
+    min_size=len(ROW_IDS),
+    max_size=len(ROW_IDS),
+)
+
+
+def _apply(session, operations) -> None:
+    """Run a generated operation sequence inside the open transaction.
+
+    Individual statements may legitimately fail (duplicate insert, missing
+    savepoint); statement-level atomicity keeps the transaction usable, so
+    failures are simply skipped.
+    """
+    defined: list[str] = []
+    for kind, row_id, value in operations:
+        try:
+            if kind == "update":
+                session.execute(
+                    "UPDATE account SET balance = balance + ? WHERE id = ?",
+                    (value, row_id),
+                )
+            elif kind == "delete":
+                session.execute("DELETE FROM account WHERE id = ?", (row_id,))
+            elif kind == "insert":
+                session.execute(
+                    "INSERT INTO account (id, owner, balance) VALUES (?, ?, ?)",
+                    (row_id, f"new-{row_id}", value),
+                )
+            elif kind == "savepoint":
+                name = f"sp{len(defined)}"
+                session.execute(f"SAVEPOINT {name}")
+                defined.append(name)
+            elif kind == "rollback_to" and defined:
+                session.execute(f"ROLLBACK TO SAVEPOINT {defined[value % len(defined)]}")
+        except Exception:  # noqa: BLE001 - failed statements roll back alone
+            continue
+
+
+class TestNoDirtyReads:
+    @given(balances=_balances, operations=st.lists(_operation, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_other_sessions_read_committed_state_only(
+        self, balances, operations
+    ) -> None:
+        db = make_db(balances)
+        committed = db.execute(
+            "SELECT id, owner, balance FROM account ORDER BY id"
+        ).rows
+        writer = db.session()
+        writer.execute("BEGIN")
+        _apply(writer, operations)
+        # However the in-flight transaction mangled the table, a reader
+        # (scan and index path both) sees exactly the committed rows.
+        observer = db.session()
+        assert (
+            observer.execute(
+                "SELECT id, owner, balance FROM account ORDER BY id"
+            ).rows
+            == committed
+        )
+        for row_id, owner, balance in committed:
+            assert observer.execute(
+                "SELECT owner, balance FROM account WHERE id = ?", (row_id,)
+            ).rows == [(owner, balance)]
+        writer.execute("ROLLBACK")
+
+
+class TestRepeatableReads:
+    @given(balances=_balances, operations=st.lists(_operation, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_snapshot_reads_do_not_move(self, balances, operations) -> None:
+        db = make_db(balances)
+        reader = db.session()
+        reader.execute("BEGIN")
+        first = reader.execute(
+            "SELECT id, owner, balance FROM account ORDER BY id"
+        ).rows
+        # Apply (and commit) arbitrary churn from another session.
+        churn = db.session()
+        churn.execute("BEGIN")
+        _apply(churn, operations)
+        churn.execute("COMMIT")
+        assert (
+            reader.execute(
+                "SELECT id, owner, balance FROM account ORDER BY id"
+            ).rows
+            == first
+        )
+        for row_id, owner, balance in first:
+            assert reader.execute(
+                "SELECT owner, balance FROM account WHERE id = ?", (row_id,)
+            ).rows == [(owner, balance)]
+        reader.execute("COMMIT")
+        # After the snapshot closes, the churn is visible.
+        assert (
+            db.execute("SELECT id, owner, balance FROM account ORDER BY id").rows
+            == churn.execute(
+                "SELECT id, owner, balance FROM account ORDER BY id"
+            ).rows
+        )
+
+
+class TestExactlyOneLoser:
+    @given(
+        balances=_balances,
+        row_id=st.sampled_from(ROW_IDS),
+        first_delta=st.integers(min_value=1, max_value=9),
+        second_delta=st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_first_updater_wins_second_aborts(
+        self, balances, row_id, first_delta, second_delta
+    ) -> None:
+        db = make_db(balances)
+        start = db.execute(
+            "SELECT balance FROM account WHERE id = ?", (row_id,)
+        ).rows[0][0]
+        first, second = db.session(), db.session()
+        first.execute("BEGIN")
+        second.execute("BEGIN")
+        first.execute(
+            "UPDATE account SET balance = balance + ? WHERE id = ?",
+            (first_delta, row_id),
+        )
+        with pytest.raises(TransactionConflictError):
+            second.execute(
+                "UPDATE account SET balance = balance + ? WHERE id = ?",
+                (second_delta, row_id),
+            )
+        second.execute("ROLLBACK")
+        first.execute("COMMIT")
+        # Exactly the winner's delta was applied.
+        assert db.execute(
+            "SELECT balance FROM account WHERE id = ?", (row_id,)
+        ).rows == [(start + first_delta,)]
+
+
+class TestByteIdenticalRollback:
+    @given(balances=_balances, operations=st.lists(_operation, max_size=14))
+    @settings(max_examples=40, deadline=None)
+    def test_rollback_restores_storage_exactly(self, balances, operations) -> None:
+        db = make_db(balances)
+        # Put version chains on some rows first: committed history must not
+        # perturb the rollback restoration of later transactions.
+        for row_id in ROW_IDS[:3]:
+            db.execute(
+                "UPDATE account SET balance = balance + 1 WHERE id = ?", (row_id,)
+            )
+        before = state_snapshot(db, "account")
+        session = db.session()
+        session.execute("BEGIN")
+        _apply(session, operations)
+        session.execute("ROLLBACK")
+        db._mvcc.collect_garbage(limit=10_000)
+        assert state_snapshot(db, "account") == before
+
+    @given(balances=_balances, operations=st.lists(_operation, max_size=14))
+    @settings(max_examples=30, deadline=None)
+    def test_savepoint_rollback_then_commit_is_consistent(
+        self, balances, operations
+    ) -> None:
+        db = make_db(balances)
+        session = db.session()
+        session.execute("BEGIN")
+        session.execute("SAVEPOINT base")
+        _apply(session, operations)
+        session.execute("ROLLBACK TO SAVEPOINT base")
+        session.execute(
+            "UPDATE account SET balance = balance + 1 WHERE id = ?", (ROW_IDS[0],)
+        )
+        session.execute("COMMIT")
+        db._mvcc.collect_garbage(limit=10_000)
+        # Only the post-savepoint survivor landed; indexes agree with rows.
+        rows = db.execute(
+            "SELECT id, owner, balance FROM account ORDER BY id"
+        ).rows
+        assert [row[0] for row in rows] == ROW_IDS
+        assert rows[0][2] == balances[0] + 1
+        for row_id, owner, balance in rows:
+            assert db.execute(
+                "SELECT balance FROM account WHERE id = ?", (row_id,)
+            ).rows == [(balance,)]

@@ -134,9 +134,15 @@ class TestStatementAtomicity:
             session.execute(
                 "INSERT INTO account (id, owner, balance) VALUES (1, 'dup', 0)"
             )
-        # The earlier statement of the transaction is still in effect...
-        assert db.execute("SELECT balance FROM account WHERE id = 2").rows == [(999,)]
-        # ...and commits fine.
+        # The earlier statement of the transaction is still in effect
+        # inside the transaction...
+        assert session.execute(
+            "SELECT balance FROM account WHERE id = 2"
+        ).rows == [(999,)]
+        # ...while other sessions still see the committed state (snapshot
+        # isolation: no dirty reads)...
+        assert db.execute("SELECT balance FROM account WHERE id = 2").rows == [(200,)]
+        # ...and it commits fine.
         session.execute("COMMIT")
         assert db.execute("SELECT balance FROM account WHERE id = 2").rows == [(999,)]
 
@@ -151,9 +157,13 @@ class TestSavepoints:
         session.execute("INSERT INTO account (id, owner, balance) VALUES (5, 'e', 2)")
         session.execute("UPDATE account SET balance = 0 WHERE id = 4")
         session.execute("ROLLBACK TO SAVEPOINT sp1")
-        # Work after the savepoint is undone; work before it survives.
-        assert db.execute("SELECT balance FROM account WHERE id = 4").rows == [(1,)]
-        assert db.execute("SELECT id FROM account WHERE id = 5").rows == []
+        # Work after the savepoint is undone; work before it survives —
+        # visible inside the transaction, and to everyone after COMMIT.
+        assert session.execute(
+            "SELECT balance FROM account WHERE id = 4"
+        ).rows == [(1,)]
+        assert session.execute("SELECT id FROM account WHERE id = 5").rows == []
+        assert db.execute("SELECT id FROM account WHERE id = 4").rows == []
         session.execute("COMMIT")
         assert db.execute("SELECT balance FROM account WHERE id = 4").rows == [(1,)]
 
