@@ -116,11 +116,21 @@ class ResultSet:
 
     def fetchmany(self, size: Optional[int] = None) -> list[tuple[object, ...]]:
         """The next batch of up to ``size`` rows (default ``arraysize``),
-        advancing the cursor past them; an empty list when exhausted."""
+        advancing the cursor past them; an empty list when exhausted.
+
+        The whole batch is requested with one availability probe and
+        returned as one slice — a streaming subclass pulls the rows in
+        server-side FETCH batches rather than one round trip per row.
+        """
         size = self.arraysize if size is None else size
-        batch: list[tuple[object, ...]] = []
-        while len(batch) < size and self.next():
-            batch.append(self._rows[self._cursor])
+        if size <= 0:
+            return []
+        start = self._cursor + 1
+        has_full_batch = self._available(start + size - 1)
+        end = start + size if has_full_batch else len(self._rows)
+        batch = list(self._rows[start:end])
+        # Same cursor positions the per-row loop would have left behind.
+        self._cursor = end - 1 if has_full_batch else len(self._rows)
         return batch
 
     def __iter__(self):

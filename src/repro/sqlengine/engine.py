@@ -32,6 +32,7 @@ from typing import Iterable, Optional, Sequence
 
 from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.catalog import Catalog, TableSchema
+from repro.sqlengine.columnar import ColumnarMetrics
 from repro.sqlengine.durability import DurabilityManager, DurabilityOptions
 from repro.sqlengine.errors import SqlExecutionError, TransactionConflictError
 from repro.sqlengine.executor import Executor, StatementResult
@@ -577,8 +578,15 @@ class Database:
                 "durability options require a data_dir"
             )
         self._planner_options = planner_options or PlannerOptions()
+        # Engine-wide columnar execution counters; shared by every Executor
+        # this database builds so stats() survives option changes.
+        self._columnar_metrics = ColumnarMetrics()
         self._executor = Executor(
-            self._catalog, self._tables, self._planner_options, mvcc=self._mvcc
+            self._catalog,
+            self._tables,
+            self._planner_options,
+            mvcc=self._mvcc,
+            columnar_metrics=self._columnar_metrics,
         )
         # LRU statement cache: parsed statement + plan, keyed by
         # (SQL text, planner-options identity).  Invalidated wholesale on
@@ -627,7 +635,11 @@ class Database:
             self._planner_options = options
             self._options_key = options.cache_key()
             self._executor = Executor(
-                self._catalog, self._tables, options, mvcc=self._mvcc
+                self._catalog,
+                self._tables,
+                options,
+                mvcc=self._mvcc,
+                columnar_metrics=self._columnar_metrics,
             )
             self._invalidate_cache()
 
@@ -664,6 +676,13 @@ class Database:
             tables = {
                 name: len(data) for name, data in self._tables.items()
             }
+            columnar: dict[str, object] = dict(self._columnar_metrics.snapshot())
+            columnar["column_rebuilds"] = sum(
+                data.column_rebuilds for data in self._tables.values()
+            )
+            columnar["column_patches"] = sum(
+                data.column_patches for data in self._tables.values()
+            )
         finally:
             self._mvcc.end_statement(token)
         return {
@@ -671,6 +690,7 @@ class Database:
             "statement_cache": self.statement_cache_info(),
             "tables": tables,
             "mvcc": self._mvcc.stats(),
+            "columnar": columnar,
             "durable": self.durable,
             "durability": self.durability_info(),
         }

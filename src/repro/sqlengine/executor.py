@@ -12,6 +12,7 @@ from typing import Optional, Sequence
 
 from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.catalog import Catalog, ColumnSchema, SqlType, TableSchema
+from repro.sqlengine.columnar import ColumnarMetrics
 from repro.sqlengine.errors import SqlCatalogError, SqlExecutionError
 from repro.sqlengine.expressions import ExpressionCompiler, is_truthy
 from repro.sqlengine.operators import materialise
@@ -38,17 +39,24 @@ class Executor:
         tables: dict[str, TableData],
         planner_options: PlannerOptions | None = None,
         mvcc: MvccController | None = None,
+        columnar_metrics: "ColumnarMetrics | None" = None,
     ) -> None:
         self._catalog = catalog
         self._tables = tables
         self._planner_options = planner_options or PlannerOptions()
         self._mvcc = mvcc
+        self._columnar_metrics = columnar_metrics
 
     # -- planning ------------------------------------------------------------
 
     def plan_select(self, statement: ast.SelectStatement) -> SelectPlan:
         """Plan a SELECT statement (exposed for plan caching and EXPLAIN)."""
-        planner = Planner(self._catalog, self._tables, self._planner_options)
+        planner = Planner(
+            self._catalog,
+            self._tables,
+            self._planner_options,
+            metrics=self._columnar_metrics,
+        )
         return planner.plan_select(statement)
 
     # -- execution -----------------------------------------------------------

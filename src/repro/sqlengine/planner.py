@@ -37,6 +37,18 @@ from typing import Optional
 
 from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.catalog import Catalog, TableSchema
+from repro.sqlengine.columnar import (
+    DEFAULT_BATCH_SIZE,
+    BatchAggregate,
+    BatchFilter,
+    BatchHashJoin,
+    BatchOperator,
+    BatchOutput,
+    BatchScan,
+    BatchSort,
+    ColumnarMetrics,
+    compile_columnwise,
+)
 from repro.sqlengine.errors import SqlCatalogError, SqlExecutionError
 from repro.sqlengine.expressions import (
     Evaluator,
@@ -72,6 +84,19 @@ _LIKE_SELECTIVITY = 0.25
 _NOT_EQUAL_SELECTIVITY = 0.9
 _DEFAULT_SELECTIVITY = 0.5
 
+#: In ``execution_mode="auto"`` a query only goes columnar when the tables
+#: it scans hold at least this many rows combined — below it, per-batch
+#: setup costs more than row-at-a-time saves.
+_BATCH_ROW_THRESHOLD = 256
+
+#: Valid values of :attr:`PlannerOptions.execution_mode`.
+_EXECUTION_MODES = ("auto", "row", "batch")
+
+
+class _BatchUnsupported(Exception):
+    """Internal: the statement's shape has no batch equivalent (cross
+    joins, index-OR joins); the caller falls back to the row planner."""
+
 
 @dataclass
 class PlannerOptions:
@@ -84,14 +109,22 @@ class PlannerOptions:
     #: heuristic (first binding with an indexed equality, then the first
     #: connecting predicate) used before the cost model existed.
     use_cost_model: bool = True
+    #: Vectorized execution: ``auto`` lets a cost/shape heuristic pick
+    #: batch or row execution per query, ``batch`` forces batch whenever
+    #: the shape supports it (ablation), ``row`` disables it.
+    execution_mode: str = "auto"
+    #: Row slots per column batch in batch execution.
+    batch_size: int = DEFAULT_BATCH_SIZE
 
-    def cache_key(self) -> tuple[bool, bool, bool, bool]:
+    def cache_key(self) -> tuple:
         """Hashable identity of these options for the plan cache."""
         return (
             self.use_indexes,
             self.use_index_nested_loop_join,
             self.use_hash_join,
             self.use_cost_model,
+            self.execution_mode,
+            self.batch_size,
         )
 
 
@@ -107,10 +140,18 @@ class SelectPlan:
     root: PlanOperator
     column_names: list[str]
     stats_snapshot: dict[str, int] = field(default_factory=dict)
+    #: Chosen execution mode (``row`` or ``batch``) and, for batch plans,
+    #: the batch size; EXPLAIN reports both.
+    mode: str = "row"
+    batch_size: Optional[int] = None
 
     def explain(self) -> str:
         """Human-readable plan tree with per-node estimated rows/cost."""
-        return self.root.explain()
+        if self.mode == "batch":
+            header = f"mode=batch (batch_size={self.batch_size})"
+        else:
+            header = "mode=row"
+        return header + "\n" + self.root.explain()
 
 
 @dataclass
@@ -163,15 +204,22 @@ class Planner:
         catalog: Catalog,
         tables: dict[str, TableData],
         options: PlannerOptions | None = None,
+        metrics: ColumnarMetrics | None = None,
     ) -> None:
         self._catalog = catalog
         self._tables = tables
         self._options = options or PlannerOptions()
+        self._metrics = metrics if metrics is not None else ColumnarMetrics()
 
     # -- public API ----------------------------------------------------------
 
     def plan_select(self, statement: ast.SelectStatement) -> SelectPlan:
         """Build an executable plan for ``statement``."""
+        if self._options.execution_mode not in _EXECUTION_MODES:
+            raise SqlExecutionError(
+                f"unknown execution_mode {self._options.execution_mode!r} "
+                f"(expected one of {', '.join(_EXECUTION_MODES)})"
+            )
         bindings = self._resolve_bindings(statement)
         slot_map, width = self._assign_slots(bindings)
         compiler = ExpressionCompiler(self._make_resolver(bindings, slot_map))
@@ -190,13 +238,26 @@ class Planner:
             else:
                 residual_conjuncts.append(conjunct)
 
-        root = self._plan_joins(
-            bindings, join_conjuncts, residual_conjuncts, compiler, width
-        )
         snapshot = {
             binding.schema.name.lower(): len(binding.data)
             for binding in bindings.values()
         }
+
+        batch_plan = self._maybe_plan_batch(
+            statement,
+            bindings,
+            join_conjuncts,
+            residual_conjuncts,
+            compiler,
+            slot_map,
+        )
+        if batch_plan is not None:
+            batch_plan.stats_snapshot = snapshot
+            return batch_plan
+
+        root = self._plan_joins(
+            bindings, join_conjuncts, residual_conjuncts, compiler, width
+        )
 
         aggregate_plan = self._maybe_plan_aggregate(statement, root, compiler)
         if aggregate_plan is not None:
@@ -834,15 +895,327 @@ class Planner:
             cost_nested,
         )
 
-    # -- output columns -------------------------------------------------------
+    # -- batch (vectorized) planning ------------------------------------------
 
-    def _maybe_plan_aggregate(
+    def _maybe_plan_batch(
         self,
         statement: ast.SelectStatement,
-        root: PlanOperator,
+        bindings: dict[str, _Binding],
+        join_conjuncts: list[ast.Expression],
+        residual_conjuncts: list[ast.Expression],
         compiler: ExpressionCompiler,
+        slot_map: dict[str, int],
     ) -> Optional[SelectPlan]:
-        """Handle ungrouped aggregates (COUNT/SUM/MIN/MAX/AVG)."""
+        """Try to plan ``statement`` with the columnar batch operators.
+
+        Returns None when the options or the cost/shape heuristic say row
+        mode, or when the statement's shape has no batch equivalent — the
+        caller then continues down the row planner, which also re-raises
+        any genuine validation error identically (which is why planning
+        errors are swallowed here rather than propagated).
+        """
+        mode = self._options.execution_mode
+        if mode == "row":
+            return None
+        if mode == "auto":
+            # Heuristic: batch execution pays off on scans, not point
+            # lookups — any usable index lookup keeps the query row-mode,
+            # as do small tables (batch setup costs more than it saves).
+            total_rows = 0
+            for binding in bindings.values():
+                access = self._estimate_access(binding)
+                if access.index is not None:
+                    return None
+                total_rows += len(binding.data)
+            if total_rows < _BATCH_ROW_THRESHOLD:
+                return None
+        try:
+            return self._plan_batch(
+                statement,
+                bindings,
+                list(join_conjuncts),
+                list(residual_conjuncts),
+                compiler,
+                slot_map,
+            )
+        except (_BatchUnsupported, SqlCatalogError, SqlExecutionError):
+            return None
+
+    def _required_slots(
+        self,
+        statement: ast.SelectStatement,
+        bindings: dict[str, _Binding],
+        slot_map: dict[str, int],
+    ) -> dict[str, set[int]]:
+        """Per-binding slot sets the query output and sort keys reference
+        (projection pushdown: the batch scan reads only these columns; the
+        caller adds the slots its predicates and join keys need)."""
+        required: dict[str, set[int]] = {name: set() for name in bindings}
+
+        def add_ref(ref: ast.ColumnRef) -> None:
+            key, name = self._resolve_column(ref, bindings)
+            required[name].add(slot_map[key])
+
+        def add_all(binding: _Binding) -> None:
+            required[binding.name].update(
+                range(
+                    binding.slot_start,
+                    binding.slot_start + len(binding.schema.columns),
+                )
+            )
+
+        for item in statement.items:
+            if item.star:
+                for binding in bindings.values():
+                    add_all(binding)
+            elif item.table_star is not None:
+                name = item.table_star.lower()
+                if name not in bindings:
+                    raise SqlCatalogError(
+                        f"unknown table alias {item.table_star!r}"
+                    )
+                add_all(bindings[name])
+            else:
+                assert item.expression is not None
+                for ref in collect_column_refs(item.expression):
+                    add_ref(ref)
+        for order_item in statement.order_by or ():
+            for ref in collect_column_refs(order_item.expression):
+                add_ref(ref)
+        for binding in bindings.values():
+            for conjunct in binding.conjuncts:
+                for ref in collect_column_refs(conjunct):
+                    add_ref(ref)
+        return required
+
+    def _plan_batch(
+        self,
+        statement: ast.SelectStatement,
+        bindings: dict[str, _Binding],
+        pending: list[ast.Expression],
+        residual: list[ast.Expression],
+        compiler: ExpressionCompiler,
+        slot_map: dict[str, int],
+    ) -> SelectPlan:
+        """Build the batch plan: column scans with projection/selection
+        pushdown, batch hash joins in the cost model's join order, then the
+        batch aggregate/sort/output roots.  Estimates mirror the row
+        planner's (same access/join estimators), so EXPLAIN cardinalities
+        are identical across modes."""
+        options = self._options
+        order = list(bindings)
+        cost_mode = options.use_cost_model
+
+        def resolve_slot(ref: ast.ColumnRef) -> int:
+            key, _ = self._resolve_column(ref, bindings)
+            return slot_map[key]
+
+        required = self._required_slots(statement, bindings, slot_map)
+        for conjunct in pending + residual:
+            for ref in collect_column_refs(conjunct):
+                key, name = self._resolve_column(ref, bindings)
+                required[name].add(slot_map[key])
+
+        def batch_chain(binding: _Binding) -> BatchOperator:
+            """Scan one binding: pushed-down columnwise predicates inside
+            the BatchScan, the non-vectorisable rest as BatchFilters."""
+            access = self._estimate_access(binding)
+            slots = sorted(required[binding.name])
+            positions = [slot - binding.slot_start for slot in slots]
+            pushed: list[tuple[ast.Expression, object]] = []
+            rowwise: list[ast.Expression] = []
+            for conjunct in binding.conjuncts:
+                predicate = compile_columnwise(conjunct, resolve_slot, compiler)
+                if predicate is not None:
+                    pushed.append((conjunct, predicate))
+                else:
+                    rowwise.append(conjunct)
+            rows = float(len(binding.data))
+            # Cost parity with the row planner's scan chain (join ordering
+            # compares these): use the access-path estimate even though a
+            # batch scan always reads the whole column arrays.
+            cost = access.cost
+            scan: BatchOperator = BatchScan(
+                binding.data,
+                binding.name,
+                positions,
+                slots,
+                options.batch_size,
+                [predicate for _, predicate in pushed],
+                self._metrics,
+            )
+            for conjunct, _ in pushed:
+                rows *= self._selectivity(binding, conjunct)
+            current = self._annotated(scan, rows, cost)
+            for conjunct in rowwise:
+                rows *= self._selectivity(binding, conjunct)
+                current = self._annotated(
+                    BatchFilter(
+                        current, compiler.compile(conjunct), label=binding.name
+                    ),
+                    rows,
+                    cost,
+                )
+            # Parity with the row planner: whatever the multiplication
+            # order above produced, the chain's final estimate is the
+            # access path's (bit-identical to row mode's scan chain).
+            current.estimated_rows = access.rows_out
+            return current  # type: ignore[return-value]
+
+        def start_rank(name: str):
+            access = self._estimate_access(bindings[name])
+            if cost_mode:
+                return (access.rows_out, order.index(name))
+            return (0 if access.index is not None else 1, order.index(name))
+
+        start = min(order, key=start_rank)
+        joined = {start}
+        current = batch_chain(bindings[start])
+        current_slots = set(required[start])
+
+        while len(joined) < len(bindings):
+            candidates = self._join_candidates(
+                pending, bindings, joined, residual
+            )
+            if not candidates:
+                # Cross joins and index-OR joins have no batch equivalent.
+                raise _BatchUnsupported
+            if cost_mode:
+                left_rows = current.estimated_rows or 1.0
+                left_cost = current.estimated_cost or 0.0
+
+                def candidate_cost(candidate: _JoinCandidate):
+                    _, cost_index, cost_hash, cost_nested = self._estimate_join(
+                        left_rows, left_cost,
+                        bindings[candidate.build], candidate.build_refs,
+                    )
+                    costs = [
+                        c for c in (cost_index, cost_hash, cost_nested)
+                        if c is not None
+                    ]
+                    return (min(costs), order.index(candidate.build))
+
+                best = min(candidates, key=candidate_cost)
+            else:
+                best = candidates[0]
+            for conjunct in best.conjuncts:
+                pending.remove(conjunct)
+            build_binding = bindings[best.build]
+            join_rows, _, cost_hash, cost_nested = self._estimate_join(
+                current.estimated_rows or 1.0,
+                current.estimated_cost or 0.0,
+                build_binding,
+                best.build_refs,
+            )
+            probe_slots = [resolve_slot(ref) for ref in best.probe_refs]
+            build_slots = [resolve_slot(ref) for ref in best.build_refs]
+            current = self._annotated(
+                BatchHashJoin(
+                    current,
+                    batch_chain(build_binding),
+                    probe_slots,
+                    build_slots,
+                    sorted(current_slots),
+                    sorted(required[best.build]),
+                ),
+                join_rows,
+                cost_hash if cost_hash is not None else cost_nested,
+            )  # type: ignore[assignment]
+            current_slots |= required[best.build]
+            joined.add(best.build)
+
+        for conjunct in residual:
+            rows = (current.estimated_rows or 1.0) * _DEFAULT_SELECTIVITY
+            current = self._annotated(
+                BatchFilter(current, compiler.compile(conjunct), label="residual"),
+                rows,
+                current.estimated_cost,
+            )  # type: ignore[assignment]
+
+        specs = self._aggregate_specs(statement)
+        if specs is not None:
+            batch_specs: list[
+                tuple[str, str, Optional[int], Optional[Evaluator]]
+            ] = []
+            for name, function, arg in specs:
+                if arg is None:
+                    batch_specs.append((name, function, None, None))
+                elif isinstance(arg, ast.ColumnRef):
+                    batch_specs.append((name, function, resolve_slot(arg), None))
+                else:
+                    batch_specs.append(
+                        (name, function, None, compiler.compile(arg))
+                    )
+            root: PlanOperator = self._annotated(
+                BatchAggregate(current, batch_specs), 1.0, current.estimated_cost
+            )
+            return SelectPlan(
+                root=root,
+                column_names=[name for name, _, _ in specs],
+                mode="batch",
+                batch_size=options.batch_size,
+            )
+
+        if statement.order_by:
+            keys: list[tuple[Optional[int], Optional[Evaluator], bool]] = []
+            for order_item in statement.order_by:
+                if isinstance(order_item.expression, ast.ColumnRef):
+                    keys.append(
+                        (
+                            resolve_slot(order_item.expression),
+                            None,
+                            order_item.descending,
+                        )
+                    )
+                else:
+                    keys.append(
+                        (
+                            None,
+                            compiler.compile(order_item.expression),
+                            order_item.descending,
+                        )
+                    )
+            current = self._annotated(
+                BatchSort(current, keys),
+                current.estimated_rows,
+                _sort_cost(current),
+            )  # type: ignore[assignment]
+
+        columns, slots = self._output_columns(statement, bindings, compiler, slot_map)
+        root = self._annotated(
+            BatchOutput(current, columns, slots),
+            current.estimated_rows,
+            current.estimated_cost,
+        )
+        column_names = [name for name, _ in columns]
+
+        if statement.distinct:
+            root = self._annotated(
+                Distinct(root), root.estimated_rows, root.estimated_cost
+            )
+        if statement.limit is not None or statement.offset is not None:
+            limit = compiler.compile(statement.limit) if statement.limit else None
+            offset = compiler.compile(statement.offset) if statement.offset else None
+            root = self._annotated(
+                Limit(root, limit, offset), root.estimated_rows, root.estimated_cost
+            )
+        return SelectPlan(
+            root=root,
+            column_names=column_names,
+            mode="batch",
+            batch_size=options.batch_size,
+        )
+
+    # -- output columns -------------------------------------------------------
+
+    def _aggregate_specs(
+        self, statement: ast.SelectStatement
+    ) -> Optional[list[tuple[str, str, Optional[ast.Expression]]]]:
+        """Validate an ungrouped-aggregate select list and return one
+        ``(output name, function, argument expression)`` spec per item
+        (argument None for ``COUNT(*)``), or None when the statement has no
+        aggregates.  Shared by the row and batch aggregate planners so both
+        raise identical validation errors."""
         has_aggregate = any(
             isinstance(item.expression, ast.FunctionCall)
             and item.expression.name.upper() in AGGREGATE_FUNCTIONS
@@ -850,7 +1223,7 @@ class Planner:
         )
         if not has_aggregate:
             return None
-        columns: list[tuple[str, str, Optional[Evaluator]]] = []
+        specs: list[tuple[str, str, Optional[ast.Expression]]] = []
         for position, item in enumerate(statement.items):
             expression = item.expression
             if not isinstance(expression, ast.FunctionCall):
@@ -867,18 +1240,34 @@ class Planner:
             if expression.star and function != "COUNT":
                 raise SqlExecutionError(f"{function}(*) is not valid SQL")
             name = (item.alias or f"{function.lower()}{position}").lower()
-            evaluator = None
+            arg: Optional[ast.Expression] = None
             if not expression.star and expression.args:
                 if len(expression.args) != 1:
                     raise SqlExecutionError(
                         f"{function} takes exactly one argument"
                     )
-                evaluator = compiler.compile(expression.args[0])
+                arg = expression.args[0]
             elif function != "COUNT":
                 raise SqlExecutionError(
                     f"{function} requires an argument"
                 )
-            columns.append((name, function, evaluator))
+            specs.append((name, function, arg))
+        return specs
+
+    def _maybe_plan_aggregate(
+        self,
+        statement: ast.SelectStatement,
+        root: PlanOperator,
+        compiler: ExpressionCompiler,
+    ) -> Optional[SelectPlan]:
+        """Handle ungrouped aggregates (COUNT/SUM/MIN/MAX/AVG)."""
+        specs = self._aggregate_specs(statement)
+        if specs is None:
+            return None
+        columns: list[tuple[str, str, Optional[Evaluator]]] = [
+            (name, function, compiler.compile(arg) if arg is not None else None)
+            for name, function, arg in specs
+        ]
         aggregate = self._annotated(
             Aggregate(root, columns), 1.0, root.estimated_cost
         )

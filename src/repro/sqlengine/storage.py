@@ -30,6 +30,24 @@ not yet garbage-collected.
 Without an attached controller (recovery replay, snapshot loading,
 standalone tests) every operation degrades to the original single-version
 behaviour, byte for byte.
+
+**Column cache (vectorized execution).**  For the batch operators in
+:mod:`repro.sqlengine.columnar` the table can materialise per-column value
+arrays alongside the row store, on demand and per column (projection
+pushdown: only the columns a query references are ever built).  The cache
+is epoch-tracked: every row mutation bumps ``_data_epoch`` and records the
+touched row id in a dirty set, and the next :meth:`columnar_scan_state`
+call re-synchronises the arrays — by patching only the dirty rows into
+*copies* of the cached arrays when few rows changed, or by dropping and
+rebuilding when many did.  Published arrays are never mutated in place
+(copy-on-write), so a batch scan that captured them under the latch can
+keep reading them lock-free while writers proceed.  MVCC fast-path rule:
+a scan that observes an empty ``_versions`` side table under the latch may
+serve the arrays zero-copy to *any* open snapshot — the scan's registered
+statement view pins the version entry of every commit newer than its
+snapshot, so an empty side table proves all rows are universally visible.
+Otherwise the scan patches a private copy, resolving exactly the rows with
+version entries through :meth:`_visible_row`.
 """
 
 from __future__ import annotations
@@ -124,6 +142,20 @@ class TableData:
         self.latch = threading.RLock()
         self._controller: "Optional[MvccController]" = None
         self._versions: dict[int, VersionEntry] = {}
+        # Columnar cache state (see the module docstring).  ``_col_cache``
+        # maps column position -> value list aligned with ``_rows``;
+        # ``_col_live`` is the aligned liveness array; ``_col_epoch`` is the
+        # ``_data_epoch`` the cache was last synchronised at; ``_col_dirty``
+        # holds the row ids mutated since.  All guarded by ``latch``.
+        self._data_epoch = 0
+        self._col_cache: dict[int, list] = {}
+        self._col_live: Optional[list[bool]] = None
+        self._col_epoch = 0
+        self._col_dirty: set[int] = set()
+        #: Columnar observability: full per-column array builds and
+        #: incremental dirty-row patch passes (read by Database.stats()).
+        self.column_rebuilds = 0
+        self.column_patches = 0
         pk_columns = tuple(schema.primary_key_columns)
         if pk_columns:
             self.create_index(f"pk_{schema.name}", pk_columns, unique=True)
@@ -241,6 +273,7 @@ class TableData:
                 self._live_count -= 1
                 self._unindex(values, row_id, skip=name)
                 raise
+        self._note_mutation(row_id)
         return row_id
 
     def delete(self, row_id: int) -> None:
@@ -251,6 +284,7 @@ class TableData:
         self._unindex(row, row_id)
         self._rows[row_id] = None
         self._live_count -= 1
+        self._note_mutation(row_id)
 
     def update(self, row_id: int, values: Row) -> None:
         """Replace the row with the given id."""
@@ -262,6 +296,7 @@ class TableData:
         for name, index in self._indexes.items():
             positions = self._positions(name)
             index.insert(make_key(values[p] for p in positions), row_id)
+        self._note_mutation(row_id)
 
     def get(self, row_id: int) -> Row:
         """Return the row with the given id."""
@@ -386,6 +421,116 @@ class TableData:
         self._live_count = 0
         for index in self._indexes.values():
             index.clear()
+        self._drop_column_cache()
+
+    # -- columnar cache ------------------------------------------------------
+    #
+    # Per-column value arrays for the batch operators in
+    # repro.sqlengine.columnar.  Built lazily per requested column under the
+    # latch, kept in sync with the row store through the data epoch + dirty
+    # set, and never mutated once published (copy-on-write) so captured
+    # arrays stay readable lock-free.  See the module docstring for the MVCC
+    # fast-path rule.
+
+    def _note_mutation(self, row_id: int) -> None:
+        """Record that ``row_id``'s stored content changed (any write path)."""
+        self._data_epoch += 1
+        if self._col_cache or self._col_live is not None:
+            self._col_dirty.add(row_id)
+
+    def _drop_column_cache(self) -> None:
+        self._data_epoch += 1
+        self._col_cache = {}
+        self._col_live = None
+        self._col_dirty.clear()
+        self._col_epoch = self._data_epoch
+
+    def columnar_scan_state(
+        self, positions: list[int]
+    ) -> tuple[dict[int, list], list[bool], int, tuple[int, ...]]:
+        """Capture everything a batch scan needs, atomically under the latch.
+
+        Returns ``(columns, live, slot_count, versioned_row_ids)`` where
+        ``columns`` maps each requested column position to its value array,
+        ``live`` flags live row slots, and ``versioned_row_ids`` lists the
+        row ids that currently have MVCC version entries.  When the last is
+        empty the arrays are universally visible (fast path); otherwise the
+        caller must resolve exactly those rows through :meth:`_visible_row`
+        on private copies.  The returned arrays are immutable by contract.
+        """
+        with self.latch:
+            self._ensure_columns(positions)
+            columns = {position: self._col_cache[position] for position in positions}
+            live = self._col_live
+            assert live is not None
+            versioned = tuple(self._versions) if self._versions else ()
+            return columns, live, len(live), versioned
+
+    def _ensure_columns(self, positions: list[int]) -> None:
+        """Synchronise the cache with the row store and materialise every
+        requested column (call with the latch held)."""
+        rows = self._rows
+        count = len(rows)
+        if self._col_epoch != self._data_epoch:
+            # Patch when few rows changed; otherwise rebuild from scratch
+            # (dropping cached columns — they re-materialise on demand).
+            if self._col_cache and len(self._col_dirty) * 4 <= max(64, count):
+                self._patch_columns()
+            else:
+                self._col_cache = {}
+                self._col_dirty.clear()
+                self._col_live = [row is not None for row in rows]
+                self._col_epoch = self._data_epoch
+        elif self._col_live is None:
+            self._col_live = [row is not None for row in rows]
+        for position in positions:
+            if position not in self._col_cache:
+                array: list = [None] * count
+                for row_id, row in enumerate(rows):
+                    if row is not None:
+                        array[row_id] = row[position]
+                self._col_cache[position] = array
+                self.column_rebuilds += 1
+
+    def _patch_columns(self) -> None:
+        """Apply the dirty rows to copies of every cached array and publish
+        the copies (copy-on-write: captured arrays stay unchanged)."""
+        rows = self._rows
+        count = len(rows)
+        live = self._col_live
+        assert live is not None
+        if len(live) == count:
+            live = live.copy()
+        elif len(live) < count:
+            live = live + [False] * (count - len(live))
+        else:
+            live = live[:count]
+        fresh: dict[int, list] = {}
+        for position, array in self._col_cache.items():
+            if len(array) == count:
+                array = array.copy()
+            elif len(array) < count:
+                array = array + [None] * (count - len(array))
+            else:
+                array = array[:count]
+            fresh[position] = array
+        for row_id in self._col_dirty:
+            if row_id >= count:
+                continue
+            row = rows[row_id]
+            if row is None:
+                live[row_id] = False
+                for position, array in fresh.items():
+                    array[row_id] = None
+            else:
+                live[row_id] = True
+                for position, array in fresh.items():
+                    array[row_id] = row[position]
+        self._col_cache = fresh
+        self._col_live = live
+        self._col_dirty.clear()
+        self._col_epoch = self._data_epoch
+        self.column_patches += 1
 
     # -- undo operations ----------------------------------------------------
     #
@@ -410,6 +555,7 @@ class TableData:
             self._rows.pop()
         else:
             self._rows[row_id] = None
+        self._note_mutation(row_id)
 
     def undo_delete(self, row_id: int, row: Row) -> None:
         """Undo a delete: restore the row and re-insert its index entries."""
@@ -428,6 +574,7 @@ class TableData:
             index.delete(make_key(old_row[p] for p in positions), row_id)
             index.insert(make_key(old_row[p] for p in positions), row_id)
         self._rows[row_id] = old_row
+        self._note_mutation(row_id)
 
     # -- MVCC write path ----------------------------------------------------
     #
@@ -482,6 +629,7 @@ class TableData:
                 raise
             txn.write_set.append((self, row_id))
             self._controller.register_write(txn)
+            self._note_mutation(row_id)
             return row_id
 
     def mvcc_lock_row(self, row_id: int, txn: "Transaction") -> None:
@@ -551,6 +699,7 @@ class TableData:
                 if old_key != committed_key:
                     index.delete(old_key, row_id)
             self._rows[row_id] = values
+            self._note_mutation(row_id)
 
     def mvcc_delete(self, row_id: int, txn: "Transaction") -> None:
         """Delete an owned row (call after :meth:`mvcc_lock_row`)."""
@@ -572,6 +721,7 @@ class TableData:
                     index.delete(old_key, row_id)
             self._rows[row_id] = None
             self._live_count -= 1
+            self._note_mutation(row_id)
 
     def undo_versioned_update(
         self, row_id: int, old_row: Row, new_row: Row
@@ -599,6 +749,7 @@ class TableData:
                 index.delete(old_key, row_id)
                 index.insert(old_key, row_id, enforce_unique=False)
         self._rows[row_id] = old_row
+        self._note_mutation(row_id)
 
     def undo_versioned_delete(self, row_id: int, row: Row) -> None:
         """Exact inverse of :meth:`mvcc_delete`."""
@@ -616,6 +767,7 @@ class TableData:
                 index.insert(old_key, row_id, enforce_unique=False)
         self._rows[row_id] = row
         self._live_count += 1
+        self._note_mutation(row_id)
 
     def install_commit(self, row_id: int, txn: "Transaction", stamp: int) -> None:
         """Stamp ``txn``'s write of ``row_id`` as committed at ``stamp``.
@@ -815,6 +967,7 @@ class TableData:
         for name, index in self._indexes.items():
             positions = self._positions(name)
             index.insert(make_key(row[p] for p in positions), row_id)
+        self._note_mutation(row_id)
 
     def slot_count(self) -> int:
         """Total row slots allocated (live rows plus tombstones); the next
@@ -842,6 +995,7 @@ class TableData:
             positions = self._positions(name)
             for row_id, row in rows:
                 index.insert(make_key(row[p] for p in positions), row_id)
+        self._drop_column_cache()
 
     def __len__(self) -> int:
         return self._live_count

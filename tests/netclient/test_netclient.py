@@ -217,6 +217,23 @@ class TestResultStreaming:
         assert results.fetchmany() == []
         remote.close()
 
+    def test_fetchmany_round_trips_stay_flat(self, server) -> None:
+        """fetchmany requests the whole batch with one availability probe:
+        the wire cost is one FETCH per server batch, never one per row."""
+        remote = RemoteDatabase(server.address, batch_rows=10).connect()
+        results = remote.create_statement().execute("SELECT i_id FROM item")
+        before = remote.wire_round_trips
+        # The first 10 rows arrived with EXECUTE: zero extra round trips.
+        assert len(results.fetchmany(10)) == 10
+        assert remote.wire_round_trips == before
+        # Each further batch of 10 costs exactly one FETCH round trip.
+        assert len(results.fetchmany(10)) == 10
+        assert remote.wire_round_trips == before + 1
+        assert len(results.fetchmany(10)) == 10
+        assert remote.wire_round_trips == before + 2
+        assert results.fetchmany(10) == []
+        remote.close()
+
     def test_abandoned_cursor_is_closed_with_the_session(self, server) -> None:
         """Session close frees server-side cursors the client never
         drained, so pooled connection reuse cannot pile them up."""

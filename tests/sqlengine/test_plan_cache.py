@@ -97,6 +97,28 @@ class TestInvalidation:
         assert db.statement_cache_info()["plans_computed"] == plans_before + 1
         assert len(result.rows) == 199
 
+    def test_execution_mode_change_never_serves_stale_plan(self, db: Database) -> None:
+        """execution_mode and batch_size are part of the cache key: toggling
+        them replans instead of serving the other mode's plan."""
+        sql = "SELECT i_cost FROM item WHERE i_cost > ?"
+        db.execute(sql, (100,))
+        plans_before = db.statement_cache_info()["plans_computed"]
+        db.set_planner_options(PlannerOptions(execution_mode="batch"))
+        rows_batch = db.execute(sql, (100,)).rows
+        assert db.statement_cache_info()["plans_computed"] == plans_before + 1
+        assert db.explain(sql).startswith("mode=batch (batch_size=1024)")
+        db.set_planner_options(
+            PlannerOptions(execution_mode="batch", batch_size=64)
+        )
+        db.execute(sql, (100,))
+        assert db.statement_cache_info()["plans_computed"] == plans_before + 2
+        assert db.explain(sql).startswith("mode=batch (batch_size=64)")
+        db.set_planner_options(PlannerOptions(execution_mode="row"))
+        rows_row = db.execute(sql, (100,)).rows
+        assert db.statement_cache_info()["plans_computed"] == plans_before + 3
+        assert db.explain(sql).startswith("mode=row")
+        assert sorted(rows_batch) == sorted(rows_row)
+
     def test_dropped_table_does_not_leave_stale_plan(self, db: Database) -> None:
         db.execute("CREATE TABLE temp_t (x INTEGER PRIMARY KEY)")
         db.execute("INSERT INTO temp_t (x) VALUES (1)")
