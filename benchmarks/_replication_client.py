@@ -1,0 +1,76 @@
+"""Subprocess load generator for ``bench_replication.py``.
+
+One invocation is one client *process* driving the TPC-W browsing mix
+against an already-running primary (and optionally its replicas) — the
+read-scaling measurement spawns several of these so the load generation
+is not serialised behind a single interpreter lock, mirroring how the
+servers themselves are spawned as separate processes.
+
+Protocol (line-oriented, over stdio):
+
+* argv[1] is a JSON spec: ``{"primary": [host, port], "replicas":
+  [[host, port], ...], "threads": N, "interactions_per_thread": N,
+  "scale": "tiny"|"default"|"paper", "seed": N}``.
+* The client builds a local parameter-generation database, connects its
+  pool, prints ``READY`` and blocks until the parent sends one line on
+  stdin (the synchronised start).
+* After the run it prints one JSON line with the counters the parent
+  aggregates.
+
+Not a benchmark entry point itself — the leading underscore keeps pytest
+from collecting it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+
+def main() -> int:
+    from repro.tpcw.database import build_database
+    from repro.tpcw.population import PopulationScale
+    from repro.tpcw.workload import ConcurrentDriver
+
+    spec = json.loads(sys.argv[1])
+    scales = {
+        "tiny": PopulationScale.tiny,
+        "default": PopulationScale,
+        "paper": PopulationScale.paper,
+    }
+    # Parameters only: queries run remotely, this database is never read
+    # beyond its scale-derived key ranges.
+    local = build_database(scales[spec.get("scale", "default")]())
+    driver = ConcurrentDriver(
+        local,
+        threads=spec["threads"],
+        interactions_per_thread=spec["interactions_per_thread"],
+        write_fraction=0.0,
+        seed=spec.get("seed", 7),
+        address=tuple(spec["primary"]),
+        replicas=[tuple(address) for address in spec["replicas"]],
+        shared_workload=True,
+    )
+    print("READY", flush=True)
+    sys.stdin.readline()
+    result = driver.run()
+    print(
+        json.dumps(
+            {
+                "interactions": result.interactions,
+                "elapsed_s": result.elapsed_s,
+                "reads_on_replicas": result.reads_on_replicas,
+                "reads_on_primary": result.reads_on_primary,
+                "wire_round_trips": result.wire_round_trips,
+            }
+        ),
+        flush=True,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

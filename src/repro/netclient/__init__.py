@@ -27,7 +27,12 @@ from repro.netclient.connection import (
     RemotePreparedStatement,
     RemoteResultSet,
 )
-from repro.netclient.pool import ConnectionPool, PoolTimeoutError
+from repro.netclient.pool import (
+    ConnectionPool,
+    PoolTimeoutError,
+    ReplicatedConnectionPool,
+    RoutedSession,
+)
 
 __all__ = [
     "DEFAULT_BATCH_ROWS",
@@ -39,6 +44,8 @@ __all__ = [
     "RemoteResult",
     "RemoteResultSet",
     "RemoteSession",
+    "ReplicatedConnectionPool",
+    "RoutedSession",
     "WireClient",
     "connect",
 ]

@@ -67,6 +67,10 @@ class WireClient:
         self.bytes_sent = 0
         self.bytes_received = 0
         self.last_used = time.monotonic()
+        #: The server's log position from the most recent response that
+        #: carried one — on a primary its end of WAL (a read-your-writes
+        #: token after a write), on a replica its replayed watermark.
+        self.last_lsn: tuple[int, int] = (0, 0)
         # Client-side cache of server-side prepared-statement ids, keyed by
         # SQL text.  The server's registration lives as long as this
         # connection, so pooled reuse across many short-lived
@@ -118,6 +122,8 @@ class WireClient:
         self.last_used = time.monotonic()
         message = protocol.decode_server_message(response)
         self.in_transaction = message.in_transaction
+        if message.lsn != (0, 0) and message.lsn > self.last_lsn:
+            self.last_lsn = message.lsn
         if message.op == protocol.ERROR:
             protocol.raise_remote_error(message.error_class, message.message)
         return message
@@ -205,6 +211,23 @@ class WireClient:
     def server_stats(self) -> dict:
         """The SERVER_STATS document (server counters + engine stats)."""
         return json.loads(self.request(protocol.encode_simple(protocol.SERVER_STATS)).text)
+
+    def wal_position(self) -> tuple[int, int]:
+        """The server's current log position (primary: end of WAL;
+        replica: replayed watermark)."""
+        return self.request(protocol.encode_simple(protocol.WAL_POSITION)).lsn
+
+    def wait_lsn(self, lsn: tuple[int, int], timeout: float = 5.0) -> tuple[int, int]:
+        """Block until the server's applied position reaches ``lsn``; the
+        reached position is returned.  Raises on timeout."""
+        message = self.request(
+            protocol.encode_wait_lsn(lsn[0], lsn[1], int(timeout * 1000))
+        )
+        return message.lsn
+
+    def promote(self) -> None:
+        """PROMOTE a replica server into a writable primary."""
+        self.request(protocol.encode_simple(protocol.PROMOTE))
 
     def ping(self) -> bool:
         """Round-trip liveness probe; False (never an exception) when the

@@ -88,6 +88,11 @@ class ConnectionPool:
         self.discarded = 0
         self.liveness_failures = 0
         self.checkout_timeouts = 0
+        #: Checkout PINGs that found a dead connection (== liveness_failures,
+        #: under the name the ops docs use), and the transparent replacements
+        #: those triggered — the checkout continues with another connection.
+        self.ping_failures = 0
+        self.replacements = 0
         for _ in range(min_size):
             with self._cond:
                 self._size += 1
@@ -150,6 +155,8 @@ class ConnectionPool:
             ):
                 with self._cond:
                     self.liveness_failures += 1
+                    self.ping_failures += 1
+                    self.replacements += 1
                 self._discard(client)
                 continue
             with self._cond:
@@ -229,6 +236,8 @@ class ConnectionPool:
                 "created": self.created,
                 "discarded": self.discarded,
                 "liveness_failures": self.liveness_failures,
+                "ping_failures": self.ping_failures,
+                "replacements": self.replacements,
                 "checkout_timeouts": self.checkout_timeouts,
                 "round_trips": self._retired_round_trips
                 + sum(c.round_trips for c in self._clients),
@@ -300,3 +309,703 @@ class ConnectionPool:
         self._retired_round_trips += client.round_trips
         self._retired_bytes_sent += client.bytes_sent
         self._retired_bytes_received += client.bytes_received
+
+
+# ---------------------------------------------------------------------------
+# Replica-aware routing
+# ---------------------------------------------------------------------------
+
+_READ_ONLY_KEYWORDS = frozenset({"select", "explain"})
+
+
+def _read_only_sql(sql: str) -> bool:
+    """Lexical read-only test: does this statement only read?
+
+    The router cannot ask the engine without a round trip, so it keys off
+    the first keyword — exactly the set of statements a read-only server
+    accepts (SELECT, EXPLAIN).  Anything unrecognised routes to the
+    primary, which is always correct, just not load-balanced.
+    """
+    head = sql.lstrip()[:16].split(None, 1)
+    return bool(head) and head[0].lower() in _READ_ONLY_KEYWORDS
+
+
+def _transport_dead(session: Optional[RemoteSession], error: BaseException) -> bool:
+    """Did ``error`` mean the node (not the statement) failed?
+
+    A broken transport always tears the wire client down before raising,
+    so "the client is now closed" separates dead-node errors from ordinary
+    SQL errors on a healthy connection.  Pool saturation
+    (:class:`PoolTimeoutError`) is neither.
+    """
+    if isinstance(error, PoolTimeoutError):
+        return False
+    if isinstance(error, (OSError, EOFError)):
+        return True
+    return (
+        isinstance(error, SqlError)
+        and session is not None
+        and session.client.closed
+    )
+
+
+class _Node:
+    """One server endpoint and its connection pool."""
+
+    def __init__(self, address: tuple[str, int], pool: ConnectionPool) -> None:
+        self.address = (address[0], int(address[1]))
+        self.pool = pool
+        self.healthy = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "healthy" if self.healthy else "evicted"
+        return f"<_Node {self.address[0]}:{self.address[1]} {state}>"
+
+
+class RoutedSession:
+    """A RemoteSession-shaped facade that routes statements across nodes.
+
+    Reads (auto-commit SELECT/EXPLAIN, or everything when ``read_only``)
+    go to a replica; writes and explicit read-write transactions go to the
+    primary.  Underlying per-node sessions are checked out lazily from the
+    routed pool's node pools and held for this session's lifetime, so a
+    transaction stays pinned to one connection.
+    """
+
+    def __init__(
+        self,
+        pool: "ReplicatedConnectionPool",
+        *,
+        autocommit: bool = True,
+        batch_rows: Optional[int] = None,
+        read_only: bool = False,
+    ) -> None:
+        self._routed = pool
+        self._autocommit = autocommit
+        self._read_only = read_only
+        self.batch_rows = pool.batch_rows if batch_rows is None else batch_rows
+        self._closed = False
+        self._primary: Optional[RemoteSession] = None
+        #: Pool generation the pinned primary session was checked out
+        #: under; a mismatch means a failover happened elsewhere and the
+        #: session points at a demoted (dead) node.
+        self._primary_generation = 0
+        #: The replica this session reads from, pinned once chosen so a
+        #: read-only transaction sees one snapshot-consistent node.
+        self._replica: Optional[tuple[_Node, RemoteSession]] = None
+        #: Synthetic prepared-statement ids -> SQL text.  Execution routes
+        #: the text like any statement; the per-connection statement cache
+        #: underneath keeps the server-side PREPARE amortised.
+        self._prepared: dict[int, str] = {}
+        self._prepared_seq = 0
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def client(self):
+        """The wire client of whichever node this session last pinned
+        (for counter-reading tests; per-node counters live on the pools)."""
+        if self._primary is not None:
+            return self._primary.client
+        if self._replica is not None:
+            return self._replica[1].client
+        return _NULL_CLIENT
+
+    @property
+    def in_transaction(self) -> bool:
+        if self._read_only:
+            return self._replica is not None and self._replica[1].in_transaction
+        return self._primary is not None and self._primary.in_transaction
+
+    @property
+    def autocommit(self) -> bool:
+        return self._autocommit
+
+    @autocommit.setter
+    def autocommit(self, value: bool) -> None:
+        self._autocommit = value
+        if self._primary is not None:
+            self._primary.autocommit = value
+        if self._read_only and self._replica is not None:
+            self._replica[1].autocommit = value
+
+    # -- SQL interface -------------------------------------------------------
+
+    def execute(self, sql: str, params=()):
+        self._check_open()
+        pool = self._routed
+        if self._read_only or self._routes_to_replica(sql):
+            return self._with_replica(lambda s: s.execute(sql, params))
+        write = not _read_only_sql(sql)
+        retryable = write and not self.in_transaction and pool.retry_writes_on_failover
+        result = self._with_primary(
+            lambda s: s.execute(sql, params), retryable=retryable
+        )
+        if write:
+            pool._count("writes_on_primary")
+            if not self.in_transaction:
+                pool._note_write(self._primary.client.last_lsn)
+        else:
+            pool._count("reads_on_primary")
+        return result
+
+    def prepare(self, sql: str) -> int:
+        """A synthetic statement id valid for this session; execution
+        re-routes the SQL text, so a prepared read can run on a replica
+        while a prepared write runs on the primary — and survives a
+        failover in between."""
+        self._check_open()
+        self._prepared_seq += 1
+        self._prepared[self._prepared_seq] = sql
+        return self._prepared_seq
+
+    def execute_prepared(self, stmt_id: int, params=()):
+        self._check_open()
+        sql = self._prepared.get(stmt_id)
+        if sql is None:
+            raise SqlExecutionError(f"unknown prepared statement id {stmt_id}")
+        return self.execute(sql, params)
+
+    def close_statement(self, stmt_id: int) -> None:
+        self._prepared.pop(stmt_id, None)
+
+    # -- transactions --------------------------------------------------------
+
+    def begin(self) -> None:
+        self._check_open()
+        if self._read_only:
+            self._with_replica(lambda s: s.begin(), statement=False)
+        else:
+            self._with_primary(lambda s: s.begin(), retryable=True)
+
+    def commit(self) -> None:
+        self._check_open()
+        if self._read_only:
+            if self._replica is not None:
+                self._replica[1].commit()
+            return
+        if self._primary is not None:
+            # A commit must never be retried on a new primary: if the old
+            # one died mid-COMMIT the outcome is unknown.
+            self._with_primary(lambda s: s.commit(), retryable=False)
+            self._routed._note_write(self._primary.client.last_lsn)
+
+    def rollback(self) -> None:
+        self._check_open()
+        if self._read_only:
+            if self._replica is not None:
+                self._replica[1].rollback()
+            return
+        if self._primary is not None:
+            self._with_primary(lambda s: s.rollback(), retryable=False)
+
+    # -- server-side extras --------------------------------------------------
+
+    def explain(self, sql: str) -> str:
+        self._check_open()
+        if self._read_only:
+            return self._with_replica(lambda s: s.explain(sql), statement=False)
+        return self._with_primary(lambda s: s.explain(sql), retryable=True)
+
+    def checkpoint(self) -> None:
+        self._check_open()
+        self._with_primary(lambda s: s.checkpoint(), retryable=False)
+
+    def server_stats(self) -> dict:
+        self._check_open()
+        if self._read_only:
+            return self._with_replica(lambda s: s.server_stats(), statement=False)
+        return self._with_primary(lambda s: s.server_stats(), retryable=True)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._prepared.clear()
+        replica = self._replica
+        self._replica = None
+        if replica is not None:
+            replica[1].close()
+        primary = self._primary
+        self._primary = None
+        if primary is not None:
+            primary.close()
+
+    def __enter__(self) -> "RoutedSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            if not self._closed and exc_type is None:
+                self.commit()
+            elif not self._closed:
+                try:
+                    self.rollback()
+                except (SqlError, OSError):
+                    pass
+        finally:
+            self.close()
+
+    # -- routing internals ---------------------------------------------------
+
+    def _routes_to_replica(self, sql: str) -> bool:
+        if not self._autocommit or self.in_transaction:
+            return False
+        return _read_only_sql(sql)
+
+    def _ensure_primary(self) -> RemoteSession:
+        pool_generation = self._routed.generation
+        session = self._primary
+        if session is not None:
+            if (
+                not session.client.closed
+                and self._primary_generation == pool_generation
+            ):
+                return session
+            self._drop_primary()
+        session = self._routed._primary_node().pool.session(
+            autocommit=self._autocommit, batch_rows=self.batch_rows
+        )
+        self._primary = session
+        self._primary_generation = pool_generation
+        return session
+
+    def _drop_primary(self) -> None:
+        session = self._primary
+        self._primary = None
+        if session is not None:
+            session.close()
+
+    def _with_primary(self, fn, *, retryable: bool):
+        """Run ``fn`` against the primary's session, failing over once.
+
+        On a dead-node error the routed pool promotes a replica; the
+        statement is retried on the new primary only when ``retryable``
+        (an auto-commit statement outside any transaction) — an explicit
+        transaction lost its server state, so its caller must restart it.
+        """
+        pool = self._routed
+        failed_over = False
+        while True:
+            session = None
+            try:
+                session = self._ensure_primary()
+                return fn(session)
+            except PoolTimeoutError:
+                raise
+            except (SqlError, OSError) as error:
+                if (
+                    failed_over
+                    or not pool.failover
+                    or not _transport_dead(session, error)
+                ):
+                    raise
+                had_txn = session is not None and session.in_transaction
+                # The generation the dead session was routed under: the
+                # pool only runs a new promotion if no one else already
+                # moved the generation past it.
+                session_generation = self._primary_generation
+                self._drop_primary()
+                if not pool._failover(session_generation):
+                    raise
+                failed_over = True
+                if had_txn or not retryable:
+                    raise
+
+    def _ensure_replica(self) -> Optional[tuple[_Node, RemoteSession]]:
+        pinned = self._replica
+        if pinned is not None:
+            node, session = pinned
+            if (
+                node.healthy
+                and not session.client.closed
+                and self._routed._is_replica(node)
+            ):
+                return pinned
+            self._drop_replica()
+        checkout = self._routed._checkout_replica(
+            autocommit=True if not self._read_only else self._autocommit,
+            batch_rows=self.batch_rows,
+        )
+        if checkout is not None:
+            self._replica = checkout
+        return checkout
+
+    def _drop_replica(self) -> None:
+        pinned = self._replica
+        self._replica = None
+        if pinned is not None:
+            pinned[1].close()
+
+    def _with_replica(self, fn, *, statement: bool = True):
+        """Run ``fn`` on a replica, evicting dead ones and falling back.
+
+        A dead replica is evicted from the routed pool and the work moves
+        to the next one (or the primary) — unless a read-only transaction
+        was open on it, in which case its snapshot is gone and the error
+        must surface.  A read-your-writes wait that times out falls back
+        to the primary without evicting: the replica is lagging, not dead.
+        """
+        pool = self._routed
+        while True:
+            pinned = self._ensure_replica()
+            if pinned is None:
+                if self._read_only:
+                    raise SqlExecutionError(
+                        "no healthy replica available for a read-only session"
+                    )
+                result = self._with_primary(fn, retryable=True)
+                pool._count("reads_on_primary")
+                return result
+            node, session = pinned
+            try:
+                if statement:
+                    self._read_your_writes_barrier(session)
+                result = fn(session)
+            except _LagTimeout:
+                # Fall back for this read; keep the replica pinned.
+                if self._read_only:
+                    raise SqlExecutionError(
+                        "replica did not catch up to the last write in time"
+                    )
+                result = self._with_primary(fn, retryable=True)
+                pool._count("reads_on_primary")
+                return result
+            except PoolTimeoutError:
+                raise
+            except (SqlError, OSError) as error:
+                if not _transport_dead(session, error):
+                    raise
+                in_txn = session.in_transaction
+                self._drop_replica()
+                pool._evict(node)
+                if in_txn:
+                    raise
+                continue
+            pool._count("reads_on_replicas")
+            return result
+
+    def _read_your_writes_barrier(self, session: RemoteSession) -> None:
+        """Make a replica read see this pool's last acknowledged write.
+
+        Every response from a replica carries its replayed watermark, so
+        the wait round trip is skipped whenever this connection has
+        already observed a watermark past the last write's LSN.
+        """
+        pool = self._routed
+        if not pool.read_your_writes:
+            return
+        target = pool.last_write_lsn
+        if target == (0, 0):
+            return
+        client = session.client
+        if client.last_lsn >= target:
+            return
+        pool._count("read_your_writes_waits")
+        try:
+            reached = client.wait_lsn(target, pool.read_your_writes_timeout)
+        except SqlError as error:
+            if client.closed:
+                raise  # transport death, not a lag timeout
+            raise _LagTimeout() from error
+        if reached < target:
+            raise _LagTimeout()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SqlExecutionError("session is closed")
+
+
+class _LagTimeout(Exception):
+    """Internal: a read-your-writes wait timed out (replica lagging)."""
+
+
+class _NullClient:
+    """Counter stub for a routed session that has not pinned a node yet."""
+
+    round_trips = 0
+    bytes_sent = 0
+    bytes_received = 0
+    closed = False
+    in_transaction = False
+    last_lsn = (0, 0)
+
+
+_NULL_CLIENT = _NullClient()
+
+
+class ReplicatedConnectionPool:
+    """Replica-aware routing over one primary and N read replicas.
+
+    Owns one :class:`ConnectionPool` per node.  Sessions from
+    :meth:`session` route auto-commit reads round-robin across healthy
+    replicas and everything else to the primary; with ``read_your_writes``
+    (the default) a replica read first waits for the replica to replay the
+    pool's last acknowledged write, so a client never reads its own write's
+    absence.  When the primary dies mid-statement the pool promotes the
+    first healthy replica (draining its stream) and re-points writes at
+    it — ``failovers`` in :meth:`stats` counts these.
+    """
+
+    def __init__(
+        self,
+        primary: tuple[str, int],
+        replicas=(),
+        *,
+        read_your_writes: bool = True,
+        read_your_writes_timeout: float = 5.0,
+        failover: bool = True,
+        retry_writes_on_failover: bool = True,
+        min_size: int = 0,
+        max_size: int = 8,
+        checkout_timeout: float = 5.0,
+        liveness_check_after: float = 1.0,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+        timeout: Optional[float] = None,
+        client_name: str = "repro-routed",
+    ) -> None:
+        self.read_your_writes = read_your_writes
+        self.read_your_writes_timeout = read_your_writes_timeout
+        self.failover = failover
+        self.retry_writes_on_failover = retry_writes_on_failover
+        self.batch_rows = batch_rows
+        self._pool_options = dict(
+            min_size=min_size,
+            max_size=max_size,
+            checkout_timeout=checkout_timeout,
+            liveness_check_after=liveness_check_after,
+            batch_rows=batch_rows,
+            timeout=timeout,
+        )
+        self.client_name = client_name
+        self._lock = threading.Lock()
+        self._primary = self._make_node(primary, f"{client_name}-primary")
+        self._replicas: list[_Node] = [
+            self._make_node(address, f"{client_name}-replica{index}")
+            for index, address in enumerate(replicas)
+        ]
+        self._rr = 0
+        self._generation = 0
+        self._last_write_lsn = (0, 0)
+        self._closed = False
+        self.reads_on_replicas = 0
+        self.reads_on_primary = 0
+        self.writes_on_primary = 0
+        self.read_your_writes_waits = 0
+        self.replicas_evicted = 0
+        self.replicas_detached = 0
+        self.failovers = 0
+
+    def _make_node(self, address, client_name: str) -> _Node:
+        return _Node(
+            address, ConnectionPool(address, client_name=client_name, **self._pool_options)
+        )
+
+    # -- session factories ---------------------------------------------------
+
+    def session(
+        self,
+        autocommit: bool = True,
+        batch_rows: Optional[int] = None,
+        read_only: bool = False,
+    ) -> RoutedSession:
+        """A routed session; ``read_only=True`` pins every statement —
+        explicit transactions included — to one replica."""
+        with self._lock:
+            if self._closed:
+                raise SqlExecutionError("connection pool is closed")
+        return RoutedSession(
+            self, autocommit=autocommit, batch_rows=batch_rows, read_only=read_only
+        )
+
+    def connection(self, auto_commit: bool = True, read_only: bool = False):
+        """The remote dbapi surface over a routed session."""
+        from repro.netclient.connection import Connection
+
+        session = self.session(autocommit=auto_commit, read_only=read_only)
+        try:
+            return Connection(None, session=session)
+        except BaseException:
+            session.close()
+            raise
+
+    # -- topology ------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Bumped by every failover; routed sessions use it to detect a
+        promotion that raced their own error handling."""
+        with self._lock:
+            return self._generation
+
+    @property
+    def primary_address(self) -> tuple[str, int]:
+        with self._lock:
+            return self._primary.address
+
+    @property
+    def replica_addresses(self) -> list[tuple[str, int]]:
+        with self._lock:
+            return [node.address for node in self._replicas if node.healthy]
+
+    @property
+    def last_write_lsn(self) -> tuple[int, int]:
+        """The primary LSN of the last write acknowledged via this pool."""
+        with self._lock:
+            return self._last_write_lsn
+
+    def _note_write(self, lsn: tuple[int, int]) -> None:
+        with self._lock:
+            if lsn > self._last_write_lsn:
+                self._last_write_lsn = lsn
+
+    def _primary_node(self) -> _Node:
+        with self._lock:
+            return self._primary
+
+    def _is_replica(self, node: _Node) -> bool:
+        with self._lock:
+            return node in self._replicas
+
+    def _checkout_replica(self, *, autocommit: bool, batch_rows: Optional[int]):
+        """(node, session) from the next healthy replica, or None.
+
+        Walks the ring at most once; a replica whose pool cannot produce a
+        connection (node down) is evicted on the spot.  Saturation
+        (:class:`PoolTimeoutError`) propagates — the node is alive, the
+        caller is just over-driving it.
+        """
+        while True:
+            with self._lock:
+                candidates = [node for node in self._replicas if node.healthy]
+                if not candidates:
+                    return None
+                node = candidates[self._rr % len(candidates)]
+                self._rr += 1
+            try:
+                session = node.pool.session(
+                    autocommit=autocommit, batch_rows=batch_rows
+                )
+            except PoolTimeoutError:
+                raise
+            except (SqlError, OSError):
+                self._evict(node)
+                continue
+            return node, session
+
+    def _evict(self, node: _Node) -> None:
+        """Drop a dead replica from rotation and close its pool."""
+        with self._lock:
+            if not node.healthy or node not in self._replicas:
+                return
+            node.healthy = False
+            self._replicas.remove(node)
+            self.replicas_evicted += 1
+        node.pool.close()
+
+    # -- failover ------------------------------------------------------------
+
+    def _failover(self, observed_generation: int) -> bool:
+        """Promote a replica to primary; True when a (possibly concurrent)
+        failover produced a new primary to retry against.
+
+        Serialised: the first session to notice the dead primary runs the
+        promotion; racers block on the lock, see the generation moved on,
+        and simply retry.  ``observed_generation`` is the generation the
+        caller routed its failed statement under.
+        """
+        if not self.failover:
+            return False
+        with self._lock:
+            if self._closed:
+                return False
+            if self._generation != observed_generation:
+                return True  # someone else already failed over
+            candidates = list(self._replicas)
+            old_primary = self._primary
+        for node in candidates:
+            if not node.healthy:
+                continue
+            try:
+                with node.pool.session() as session:
+                    session.client.promote()
+            except (SqlError, OSError):
+                self._evict(node)
+                continue
+            with self._lock:
+                if self._generation != observed_generation:
+                    return True
+                self._replicas.remove(node)
+                # The surviving replicas still follow the dead primary:
+                # they will never see writes acknowledged by the new one,
+                # so serving reads from them would break read-your-writes.
+                # Detach them; reads fall back to the new primary.
+                detached = list(self._replicas)
+                self._replicas = []
+                self.replicas_detached += len(detached)
+                self._primary = node
+                self._generation += 1
+                self.failovers += 1
+            for stale in detached:
+                stale.healthy = False
+                stale.pool.close()
+            old_primary.healthy = False
+            old_primary.pool.close()
+            return True
+        return False
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """Routing and failover counters plus per-node pool stats."""
+        with self._lock:
+            primary = self._primary
+            replicas = list(self._replicas)
+            counters = {
+                "reads_on_replicas": self.reads_on_replicas,
+                "reads_on_primary": self.reads_on_primary,
+                "writes_on_primary": self.writes_on_primary,
+                "read_your_writes_waits": self.read_your_writes_waits,
+                "replicas_evicted": self.replicas_evicted,
+                "replicas_detached": self.replicas_detached,
+                "failovers": self.failovers,
+                "generation": self._generation,
+                "last_write_lsn": list(self._last_write_lsn),
+            }
+        counters["primary"] = {
+            "address": list(primary.address),
+            **primary.pool.stats(),
+        }
+        counters["replicas"] = [
+            {"address": list(node.address), **node.pool.stats()} for node in replicas
+        ]
+        return counters
+
+    def round_trips(self) -> int:
+        """Aggregate wire round trips across every node pool."""
+        with self._lock:
+            pools = [self._primary.pool] + [node.pool for node in self._replicas]
+        return sum(pool.round_trips() for pool in pools)
+
+    def _count(self, counter: str) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + 1)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pools = [self._primary.pool] + [node.pool for node in self._replicas]
+        for pool in pools:
+            pool.close()
+
+    def __enter__(self) -> "ReplicatedConnectionPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

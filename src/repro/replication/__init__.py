@@ -1,0 +1,37 @@
+"""Streaming primary -> replica replication over the wire protocol.
+
+The primary ships raw write-ahead-log frames (the exact bytes on disk —
+checksummed, epoch-chained) to followers over a dedicated ``REPLICATE``
+protocol stream; each follower replays committed transactions continuously
+through the crash-recovery apply path and tracks a replayed-LSN watermark.
+An LSN is the pair ``(epoch, offset)`` — offsets restart at zero in every
+epoch file, so LSNs compare lexicographically.
+
+Pieces:
+
+* :class:`~repro.replication.tailer.WalTailer` — reads complete frames
+  from the primary's log chain at an arbitrary position, following epoch
+  rollover (the server's stream loop drives one per replica connection).
+* :class:`~repro.replication.apply.ReplicaApplier` — buffers records per
+  transaction and applies each COMMIT atomically to an in-memory engine,
+  advancing the watermark.
+* :class:`~repro.replication.replica.ReplicaServer` — a read-only
+  :class:`~repro.server.SqlServer` plus the streaming client thread;
+  ``promote()`` turns it into a writable primary after draining.
+
+The client-side half — replica-aware routing, read-your-writes waits and
+failover — lives in :class:`repro.netclient.ReplicatedConnectionPool`.
+"""
+
+from repro.replication.apply import ReplicaApplier
+from repro.replication.replica import ReplicaServer
+from repro.replication.tailer import DEFAULT_CHUNK_BYTES, WalTailer
+from repro.sqlengine.errors import ReplicationError
+
+__all__ = [
+    "DEFAULT_CHUNK_BYTES",
+    "ReplicaApplier",
+    "ReplicaServer",
+    "ReplicationError",
+    "WalTailer",
+]

@@ -1,0 +1,132 @@
+"""Continuous replay of shipped WAL chunks into a replica's engine.
+
+The applier is the streaming twin of crash recovery's per-epoch replay:
+row records are buffered per transaction and applied only when that
+transaction's COMMIT frame arrives, so the replica's tables always hold
+exactly a committed prefix of the primary's history — whatever instant the
+stream is cut.  Unlike recovery (which runs on a cold engine) the replica
+is serving reads while applying, so each commit is installed under the
+MVCC exclusive gate: in-flight read statements drain first, and a commit's
+rows become visible atomically.  Replicas have no local write
+transactions, so the raw (unversioned) ``TableData`` operations recovery
+uses are safe here too — applied rows carry no version chains and take the
+reader fast path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.sqlengine.durability import wal
+from repro.sqlengine.durability.recovery import _apply, _apply_ddl
+
+
+class ReplicaApplier:
+    """Applies raw WAL chunks to one in-memory Database, tracking an LSN
+    watermark ``(epoch, offset)`` that advances after each whole chunk
+    (chunks end on frame boundaries, so the watermark is always a valid
+    position to resume streaming from)."""
+
+    def __init__(self, database) -> None:
+        self._database = database
+        self._pending: dict[int, list[wal.WalRecord]] = {}
+        self._watermark_cond = threading.Condition()
+        self._watermark = (0, 0)
+        #: Committed transactions applied (replica-side observability).
+        self.transactions_applied = 0
+        #: Row records applied inside those transactions.
+        self.records_applied = 0
+        #: DDL statements applied.
+        self.ddl_applied = 0
+        #: Transactions discarded by an ABORT frame.
+        self.transactions_discarded = 0
+
+    @property
+    def watermark(self) -> tuple[int, int]:
+        """The replayed-LSN watermark."""
+        with self._watermark_cond:
+            return self._watermark
+
+    @property
+    def pending_transactions(self) -> int:
+        """Transactions seen but not yet committed or aborted."""
+        return len(self._pending)
+
+    def apply_chunk(self, epoch: int, start: int, end: int, data: bytes) -> None:
+        """Replay one shipped chunk and advance the watermark to its end."""
+        for payload, _end in wal.read_frames(data):
+            self._apply_record(wal.decode_record(payload))
+        with self._watermark_cond:
+            if (epoch, end) > self._watermark:
+                self._watermark = (epoch, end)
+                self._watermark_cond.notify_all()
+
+    def wait_for(self, lsn: tuple[int, int], timeout: float) -> bool:
+        """Block until the watermark reaches ``lsn``; False on timeout."""
+        deadline = time.monotonic() + timeout
+        with self._watermark_cond:
+            while self._watermark < lsn:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._watermark_cond.wait(remaining)
+            return True
+
+    def discard_pending(self) -> int:
+        """Drop in-flight transaction buffers (promotion: an uncommitted
+        suffix must vanish exactly like recovery discards it)."""
+        dropped = len(self._pending)
+        self._pending.clear()
+        return dropped
+
+    # -- record dispatch -----------------------------------------------------
+
+    def _apply_record(self, record: wal.WalRecord) -> None:
+        kind = record.kind
+        if kind == wal.BEGIN:
+            self._pending[record.txn] = []
+        elif kind in (wal.INSERT, wal.UPDATE, wal.DELETE):
+            self._pending.setdefault(record.txn, []).append(record)
+        elif kind == wal.COMMIT:
+            operations = self._pending.pop(record.txn, [])
+            self._apply_transaction(operations)
+        elif kind == wal.ABORT:
+            if self._pending.pop(record.txn, None) is not None:
+                self.transactions_discarded += 1
+        elif kind == wal.DDL:
+            self._apply_ddl(record.payload or {})
+        # CHECKPOINT markers only label the epoch.
+
+    def _apply_transaction(self, operations: list[wal.WalRecord]) -> None:
+        database = self._database
+        with database._mvcc.exclusive():
+            for operation in operations:
+                _apply(operation, database._tables)
+        self.records_applied += len(operations)
+        self.transactions_applied += 1
+
+    def _apply_ddl(self, payload: dict) -> None:
+        database = self._database
+        with database._mvcc.exclusive():
+            _apply_ddl(payload, database.catalog, database._tables)
+            if payload.get("kind") == "create_table":
+                # Recovery leaves new tables unversioned (the cold path);
+                # a live replica must wire them into its MVCC controller.
+                name = payload["schema"]["name"].lower()
+                data = database._tables.get(name)
+                if data is not None:
+                    data.attach_mvcc(database._mvcc)
+            database._invalidate_cache()
+        self.ddl_applied += 1
+
+    def stats(self) -> dict[str, object]:
+        """Counters for SERVER_STATS and tests."""
+        return {
+            "watermark": list(self.watermark),
+            "transactions_applied": self.transactions_applied,
+            "records_applied": self.records_applied,
+            "ddl_applied": self.ddl_applied,
+            "transactions_discarded": self.transactions_discarded,
+            "pending_transactions": self.pending_transactions,
+        }

@@ -1,0 +1,325 @@
+"""A follower node: read-only SQL server + the WAL streaming client.
+
+A :class:`ReplicaServer` owns an in-memory engine, a
+:class:`~repro.replication.apply.ReplicaApplier` and a read-only
+:class:`~repro.server.SqlServer`, plus one background thread that keeps a
+``REPLICATE`` stream open to the primary.  The stream is one-way: after
+the handshake the replica only receives, so instead of the blocking
+file-object reader the request/response client uses, the thread runs its
+own recv loop with a short socket timeout — it notices a stop request (or
+a promotion) within one tick while still draining every complete frame
+the primary managed to send before dying.
+
+Promotion (:meth:`promote`) is the failover path: stop reconnecting, let
+the stream thread drain whatever the socket still holds, discard
+transactions whose COMMIT never arrived (exactly recovery's torn-tail
+rule), then flip the server writable.  The node then *is* a primary — in
+memory only, like any freshly promoted cache of the log — and the routing
+pool re-points writes at it.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from typing import Optional
+from zlib import crc32
+
+from repro.errors import SqlError
+from repro.replication.apply import ReplicaApplier
+from repro.server import protocol
+from repro.server.server import SqlServer
+from repro.sqlengine.engine import Database
+from repro.sqlengine.errors import ReplicationError
+
+_U32 = struct.Struct("<I")
+
+
+class _FrameBuffer:
+    """Incremental parser for the length-prefixed checksummed framing."""
+
+    def __init__(self) -> None:
+        self._data = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._data.extend(data)
+
+    def next_payload(self) -> Optional[bytes]:
+        """One complete frame payload, or None until more bytes arrive."""
+        buffer = self._data
+        if len(buffer) < 4:
+            return None
+        (length,) = _U32.unpack_from(buffer, 0)
+        if length > protocol.MAX_MESSAGE:
+            raise protocol.ProtocolError(
+                f"frame of {length} bytes exceeds the protocol maximum"
+            )
+        total = 4 + length + 4
+        if len(buffer) < total:
+            return None
+        payload = bytes(buffer[4:4 + length])
+        (expected,) = _U32.unpack_from(buffer, 4 + length)
+        if crc32(payload) != expected:
+            raise protocol.ProtocolError("frame checksum mismatch")
+        del buffer[:total]
+        return payload
+
+
+class ReplicaServer:
+    """One follower: in-memory engine, read-only server, stream thread."""
+
+    def __init__(
+        self,
+        primary_address: tuple[str, int],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        name: str = "replica",
+        max_connections: int = 64,
+        reconnect: bool = True,
+        reconnect_delay: float = 0.05,
+    ) -> None:
+        self.primary_address = (primary_address[0], int(primary_address[1]))
+        self.name = name
+        self.database = Database()
+        self.applier = ReplicaApplier(self.database)
+        self.server = SqlServer(
+            database=self.database,
+            host=host,
+            port=port,
+            max_connections=max_connections,
+            read_only=True,
+            banner=f"repro-replica/{name}",
+        )
+        self.server.replica = self
+        self.reconnect = reconnect
+        self.reconnect_delay = reconnect_delay
+        self._stop = threading.Event()
+        self._sock: Optional[socket.socket] = None
+        self._sock_lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._role = "replica"
+        #: Stream reconnect attempts after the initial connection.
+        self.reconnects = 0
+        #: Stream attempts that ended in a transport or protocol error.
+        self.stream_errors = 0
+        #: WAL chunks / raw bytes received over the stream's lifetime.
+        self.chunks_received = 0
+        self.bytes_received = 0
+        self.last_error: Optional[str] = None
+        #: The primary's end-of-log position at the last stream handshake.
+        self.primary_position = (0, 0)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ReplicaServer":
+        """Start the SQL server and the streaming thread."""
+        self.server.start()
+        self._thread = threading.Thread(
+            target=self._stream_loop, name=f"replica-stream-{self.name}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The read endpoint clients connect to."""
+        return self.server.address
+
+    @property
+    def role(self) -> str:
+        """``"replica"`` until :meth:`promote`, then ``"primary"``."""
+        return self._role
+
+    @property
+    def watermark(self) -> tuple[int, int]:
+        """The replayed-LSN watermark."""
+        return self.applier.watermark
+
+    def wait_for(self, lsn: tuple[int, int], timeout: float) -> bool:
+        """Block until the watermark reaches ``lsn``; False on timeout."""
+        return self.applier.wait_for(lsn, timeout)
+
+    def promote(self, drain_timeout: float = 5.0) -> None:
+        """Turn this replica into a writable primary.
+
+        Stops the stream after draining every complete frame already
+        received, discards transactions without a COMMIT (the committed-
+        prefix rule) and clears the server's read-only flag.  Idempotent.
+        """
+        if self._role == "primary":
+            return
+        self.reconnect = False
+        self._stop_stream(drain_timeout)
+        self.applier.discard_pending()
+        self._role = "primary"
+        self.server.read_only = False
+
+    def shutdown(self) -> None:
+        """Graceful stop: stream first, then the server drain."""
+        self._stop_stream(1.0)
+        self.server.shutdown()
+
+    def kill(self) -> None:
+        """Crash-style stop for fault-injection tests."""
+        self._stop.set()
+        self._close_stream_socket()
+        self.server.kill()
+
+    def _stop_stream(self, drain_timeout: float) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(drain_timeout)
+            if thread.is_alive():
+                self._close_stream_socket()
+                thread.join(drain_timeout)
+
+    def _close_stream_socket(self) -> None:
+        with self._sock_lock:
+            sock = self._sock
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ReplicaServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    # -- the stream thread ---------------------------------------------------
+
+    def _stream_loop(self) -> None:
+        first = True
+        while not self._stop.is_set():
+            if not first:
+                if not self.reconnect:
+                    return
+                self.reconnects += 1
+                if self._stop.wait(self.reconnect_delay):
+                    return
+            first = False
+            try:
+                self._stream_once()
+            except ReplicationError as error:
+                # Unrecoverable from this position (epoch checkpointed
+                # away, corrupt chain): reconnecting would fail forever.
+                self.stream_errors += 1
+                self.last_error = str(error)
+                return
+            except (OSError, SqlError, EOFError) as error:
+                self.stream_errors += 1
+                self.last_error = str(error)
+
+    def _stream_once(self) -> None:
+        sock = socket.create_connection(self.primary_address, timeout=10.0)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        with self._sock_lock:
+            if self._stop.is_set():
+                sock.close()
+                return
+            self._sock = sock
+        try:
+            sock.settimeout(0.2)
+            buffer = _FrameBuffer()
+            sock.sendall(
+                protocol.frame(
+                    protocol.encode_hello(client_name=f"replica-stream/{self.name}")
+                )
+            )
+            reply = self._next_message(sock, buffer)
+            if reply is None:
+                raise EOFError("primary closed during the stream handshake")
+            if reply.op == protocol.ERROR:
+                protocol.raise_remote_error(reply.error_class, reply.message)
+            epoch, offset = self.applier.watermark
+            sock.sendall(
+                protocol.frame(protocol.encode_replicate(epoch, offset, self.name))
+            )
+            while True:
+                message = self._next_message(sock, buffer)
+                if message is None:
+                    return  # primary went away, or stop requested and drained
+                if message.op == protocol.ERROR:
+                    protocol.raise_remote_error(message.error_class, message.message)
+                elif message.op == protocol.LSN:
+                    self.primary_position = message.lsn
+                elif message.op == protocol.WAL_CHUNK:
+                    self.applier.apply_chunk(
+                        message.lsn[0],
+                        message.chunk_start,
+                        message.lsn[1],
+                        message.chunk,
+                    )
+                    self.chunks_received += 1
+                    self.bytes_received += len(message.chunk)
+        finally:
+            with self._sock_lock:
+                self._sock = None
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _next_message(self, sock, buffer: _FrameBuffer):
+        """The next decoded server message; None on EOF, or after a stop
+        request once every frame already received has been drained (so a
+        promotion applies the full committed prefix the primary shipped).
+        A recv timeout just re-checks the stop flag."""
+        while True:
+            payload = buffer.next_payload()
+            if payload is not None:
+                return protocol.decode_server_message(payload)
+            if self._stop.is_set():
+                # Drain: pull whatever the kernel already buffered without
+                # blocking, hand back any complete frame, then finish.
+                try:
+                    sock.settimeout(0.0)
+                    while True:
+                        data = sock.recv(1 << 16)
+                        if not data:
+                            break
+                        buffer.feed(data)
+                except OSError:
+                    pass
+                payload = buffer.next_payload()
+                if payload is not None:
+                    return protocol.decode_server_message(payload)
+                return None
+            try:
+                data = sock.recv(1 << 16)
+            except socket.timeout:
+                continue
+            if not data:
+                return None
+            buffer.feed(data)
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """The SERVER_STATS ``replication`` section for this node."""
+        with self._sock_lock:
+            connected = self._sock is not None
+        stats = {
+            "role": self._role,
+            "name": self.name,
+            "primary": list(self.primary_address),
+            "connected": connected,
+            "reconnects": self.reconnects,
+            "stream_errors": self.stream_errors,
+            "chunks_received": self.chunks_received,
+            "bytes_received": self.bytes_received,
+            "primary_position": list(self.primary_position),
+        }
+        if self.last_error:
+            stats["last_error"] = self.last_error
+        stats.update(self.applier.stats())
+        return stats

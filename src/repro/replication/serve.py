@@ -1,0 +1,176 @@
+"""Launch replication nodes as standalone processes.
+
+The in-process :class:`~repro.replication.replica.ReplicaServer` is what
+the tests use, but an interpreter-based engine shares one GIL across every
+in-process node — a read-scaling measurement over in-process replicas
+would only measure lock contention.  This module is the subprocess face of
+the same components: each invocation starts exactly one node, prints
+``PORT <n>`` on stdout once it is accepting connections, and serves until
+the process is terminated.
+
+Three node kinds::
+
+    python -m repro.replication.serve primary --data-dir DIR
+    python -m repro.replication.serve tpcw-primary --data-dir DIR --scale tiny
+    python -m repro.replication.serve replica --primary HOST:PORT
+
+``primary`` serves an existing (or empty) durable database directory;
+``tpcw-primary`` first populates the directory with the TPC-W dataset so a
+benchmark can spawn a loaded primary in one step; ``replica`` bootstraps
+over the REPLICATE stream and serves reads.  Every fault a test can
+inject in-process (kill -9, severed stream) works on these processes too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+from typing import Optional
+
+
+def _address(text: str) -> tuple[str, int]:
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {text!r}"
+        )
+    return (host, int(port))
+
+
+def _durability(fsync: str):
+    from repro.sqlengine.durability import DurabilityOptions
+
+    # No automatic checkpoints: replicas bootstrap from the log alone, and
+    # a checkpoint would truncate the history they need.
+    return DurabilityOptions(fsync=fsync, checkpoint_log_bytes=None)
+
+
+def _announce(address: tuple[str, int]) -> None:
+    """The machine-readable readiness line the spawner waits for."""
+    print(f"PORT {address[1]}", flush=True)
+
+
+def _serve_forever() -> None:
+    # All the work happens on the server's own threads; park the main
+    # thread until SIGTERM/SIGINT tears the process down.
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+
+
+def _run_primary(args: argparse.Namespace) -> int:
+    from repro.server.server import SqlServer
+    from repro.sqlengine.engine import Database
+
+    database = Database(
+        data_dir=args.data_dir, durability=_durability(args.fsync)
+    )
+    server = SqlServer(
+        database=database,
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+        replication_chunk_bytes=args.chunk_bytes,
+    ).start()
+    _announce(server.address)
+    _serve_forever()
+    server.kill()
+    database.close()
+    return 0
+
+
+def _run_tpcw_primary(args: argparse.Namespace) -> int:
+    from repro.server.server import SqlServer
+    from repro.tpcw.database import build_database
+    from repro.tpcw.population import PopulationScale
+
+    scales = {
+        "tiny": PopulationScale.tiny,
+        "default": PopulationScale,
+        "paper": PopulationScale.paper,
+    }
+    tpcw = build_database(
+        scales[args.scale](),
+        data_dir=args.data_dir,
+        durability=_durability(args.fsync),
+    )
+    server = SqlServer(
+        database=tpcw.database,
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+        replication_chunk_bytes=args.chunk_bytes,
+    ).start()
+    _announce(server.address)
+    _serve_forever()
+    server.kill()
+    tpcw.close()
+    return 0
+
+
+def _run_replica(args: argparse.Namespace) -> int:
+    from repro.replication.replica import ReplicaServer
+
+    replica = ReplicaServer(
+        args.primary,
+        host=args.host,
+        port=args.port,
+        name=args.name,
+        max_connections=args.max_connections,
+    ).start()
+    _announce(replica.address)
+    _serve_forever()
+    replica.kill()
+    return 0
+
+
+def _common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--max-connections", type=int, default=128)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.replication.serve", description=__doc__
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    primary = commands.add_parser(
+        "primary", help="serve a durable database directory"
+    )
+    primary.add_argument("--data-dir", required=True)
+    primary.add_argument("--fsync", default="off", choices=["off", "group", "always"])
+    primary.add_argument("--chunk-bytes", type=int, default=None)
+    _common(primary)
+    primary.set_defaults(run=_run_primary)
+
+    tpcw = commands.add_parser(
+        "tpcw-primary", help="populate a TPC-W dataset, then serve it"
+    )
+    tpcw.add_argument("--data-dir", required=True)
+    tpcw.add_argument("--scale", default="tiny", choices=["tiny", "default", "paper"])
+    tpcw.add_argument("--fsync", default="off", choices=["off", "group", "always"])
+    tpcw.add_argument("--chunk-bytes", type=int, default=None)
+    _common(tpcw)
+    tpcw.set_defaults(run=_run_tpcw_primary)
+
+    replica = commands.add_parser(
+        "replica", help="follow a primary's REPLICATE stream, serve reads"
+    )
+    replica.add_argument("--primary", type=_address, required=True)
+    replica.add_argument("--name", default="replica")
+    _common(replica)
+    replica.set_defaults(run=_run_replica)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

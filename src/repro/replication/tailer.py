@@ -1,0 +1,117 @@
+"""Tailing the primary's write-ahead log for the replication stream.
+
+A :class:`WalTailer` reads *complete* frames from the log chain starting at
+an arbitrary ``(epoch, offset)`` position.  It never decodes records — the
+stream ships the on-disk bytes verbatim, checksums and all, so a replica
+validates them with the same :func:`~repro.sqlengine.durability.wal.read_frames`
+scanner recovery uses.
+
+Rollover: a checkpoint closes the old epoch file (flushing it completely)
+*before* creating the next one, so once a higher epoch exists on disk the
+old file is final — when a read at the current offset yields no complete
+frame and a later epoch exists, the tailer hops to it at offset zero.  A
+torn tail on a rolled-over epoch is therefore on-disk corruption and raises
+:class:`~repro.sqlengine.errors.ReplicationError`; a torn tail on the live
+epoch just means the writer is mid-append and the tailer reports "caught
+up".  The open file handle keeps a checkpoint's ``os.remove`` from pulling
+the file out from under a slow reader (POSIX unlink semantics).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.sqlengine.durability.recovery import list_wal_epochs, wal_path
+from repro.sqlengine.durability.wal import read_frames
+from repro.sqlengine.errors import ReplicationError
+
+#: Default upper bound on one stream chunk.  Chunks always end on a frame
+#: boundary; a single frame larger than the limit grows it transparently.
+DEFAULT_CHUNK_BYTES = 256 * 1024
+
+
+class WalTailer:
+    """A cursor over one database's log chain, yielding raw frame runs."""
+
+    def __init__(self, data_dir: str, epoch: int = 0, offset: int = 0) -> None:
+        self.data_dir = data_dir
+        if epoch <= 0:
+            # (0, 0): start from the oldest frame still on disk.
+            epochs = list_wal_epochs(data_dir)
+            epoch, offset = (epochs[0], 0) if epochs else (1, 0)
+        self.epoch = epoch
+        self.offset = offset
+        self._handle = None
+
+    def next_chunk(
+        self, max_bytes: Optional[int] = None
+    ) -> Optional[tuple[int, int, int, bytes]]:
+        """The next run of complete frames, as ``(epoch, start, end, data)``.
+
+        Returns None when caught up with the live log.  Follows epoch
+        rollover transparently; raises :class:`ReplicationError` when the
+        requested epoch was checkpointed away or a closed epoch is torn.
+        """
+        if max_bytes is None:
+            max_bytes = DEFAULT_CHUNK_BYTES
+        while True:
+            handle = self._open_epoch()
+            if handle is None:
+                return None
+            limit = max_bytes
+            while True:
+                handle.seek(self.offset)
+                data = handle.read(limit)
+                consumed = 0
+                for _payload, end in read_frames(data):
+                    consumed = end
+                if consumed:
+                    start = self.offset
+                    self.offset += consumed
+                    return (self.epoch, start, self.offset, data[:consumed])
+                if len(data) >= limit:
+                    # One frame larger than the read window; widen it.
+                    limit *= 2
+                    continue
+                break
+            # No complete frame here: live tail, or the epoch rolled over.
+            later = [e for e in list_wal_epochs(self.data_dir) if e > self.epoch]
+            if not later:
+                return None
+            if data:
+                raise ReplicationError(
+                    f"epoch {self.epoch} rolled over with a torn tail at "
+                    f"offset {self.offset} — the log chain is corrupt"
+                )
+            handle.close()
+            self._handle = None
+            self.epoch = later[0]
+            self.offset = 0
+
+    def _open_epoch(self):
+        """The current epoch's file handle; None when not yet created."""
+        if self._handle is None:
+            path = wal_path(self.data_dir, self.epoch)
+            try:
+                self._handle = open(path, "rb")
+            except FileNotFoundError:
+                if any(e > self.epoch for e in list_wal_epochs(self.data_dir)):
+                    raise ReplicationError(
+                        f"wal epoch {self.epoch} has been checkpointed away; "
+                        "the replica is too far behind and must re-bootstrap"
+                    ) from None
+                return None
+        return self._handle
+
+    def close(self) -> None:
+        """Release the open file handle."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WalTailer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

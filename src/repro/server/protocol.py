@@ -78,6 +78,10 @@ CHECKPOINT = 0x0D
 SERVER_STATS = 0x0E
 PING = 0x0F
 GOODBYE = 0x10
+REPLICATE = 0x11
+WAL_POSITION = 0x12
+WAIT_LSN = 0x13
+PROMOTE = 0x14
 
 # -- opcodes: server -> client ------------------------------------------------
 
@@ -88,6 +92,8 @@ OK = 0x84
 PREPARED = 0x85
 STATS = 0x86
 EXPLAINED = 0x87
+WAL_CHUNK = 0x88
+LSN = 0x89
 ERROR = 0xFF
 
 OPCODE_NAMES = {
@@ -97,9 +103,11 @@ OPCODE_NAMES = {
     BEGIN: "BEGIN", COMMIT: "COMMIT", ROLLBACK: "ROLLBACK",
     SET_AUTOCOMMIT: "SET_AUTOCOMMIT", EXPLAIN: "EXPLAIN",
     CHECKPOINT: "CHECKPOINT", SERVER_STATS: "SERVER_STATS", PING: "PING",
-    GOODBYE: "GOODBYE", HELLO_OK: "HELLO_OK", RESULT: "RESULT", ROWS: "ROWS",
+    GOODBYE: "GOODBYE", REPLICATE: "REPLICATE", WAL_POSITION: "WAL_POSITION",
+    WAIT_LSN: "WAIT_LSN", PROMOTE: "PROMOTE",
+    HELLO_OK: "HELLO_OK", RESULT: "RESULT", ROWS: "ROWS",
     OK: "OK", PREPARED: "PREPARED", STATS: "STATS", EXPLAINED: "EXPLAINED",
-    ERROR: "ERROR",
+    WAL_CHUNK: "WAL_CHUNK", LSN: "LSN", ERROR: "ERROR",
 }
 
 #: Server-frame flag bits.
@@ -230,6 +238,11 @@ class ClientMessage:
     flag: bool = False
     version: int = 0
     client_name: str = ""
+    #: Replication fields: a log position (REPLICATE start / WAIT_LSN target)
+    #: and the WAIT_LSN timeout.
+    epoch: int = 0
+    offset: int = 0
+    timeout_ms: int = 0
 
     @property
     def op_name(self) -> str:
@@ -312,6 +325,26 @@ def encode_simple(op: int) -> bytes:
     return bytes([op])
 
 
+def encode_replicate(epoch: int, offset: int, replica_name: str = "replica") -> bytes:
+    """REPLICATE: turn this connection into a one-way WAL stream starting
+    at ``(epoch, offset)`` — ``(0, 0)`` means the oldest available frame."""
+    out = bytearray([REPLICATE])
+    encode_varint(epoch, out)
+    encode_varint(offset, out)
+    _encode_str(replica_name, out)
+    return bytes(out)
+
+
+def encode_wait_lsn(epoch: int, offset: int, timeout_ms: int) -> bytes:
+    """WAIT_LSN: block until the server's applied position reaches the
+    given LSN (read-your-writes), or ``timeout_ms`` elapses."""
+    out = bytearray([WAIT_LSN])
+    encode_varint(epoch, out)
+    encode_varint(offset, out)
+    encode_varint(timeout_ms, out)
+    return bytes(out)
+
+
 def decode_client_message(payload: bytes) -> ClientMessage:
     """Decode one client frame payload."""
     if not payload:
@@ -352,7 +385,24 @@ def decode_client_message(payload: bytes) -> ClientMessage:
     if op == EXPLAIN:
         sql, _ = _decode_str(payload, offset)
         return ClientMessage(op=op, sql=sql)
-    if op in (BEGIN, COMMIT, ROLLBACK, CHECKPOINT, SERVER_STATS, PING, GOODBYE):
+    if op == REPLICATE:
+        epoch, offset = decode_varint(payload, offset)
+        log_offset, offset = decode_varint(payload, offset)
+        client_name, _ = _decode_str(payload, offset)
+        return ClientMessage(
+            op=op, epoch=epoch, offset=log_offset, client_name=client_name
+        )
+    if op == WAIT_LSN:
+        epoch, offset = decode_varint(payload, offset)
+        log_offset, offset = decode_varint(payload, offset)
+        timeout_ms, _ = decode_varint(payload, offset)
+        return ClientMessage(
+            op=op, epoch=epoch, offset=log_offset, timeout_ms=timeout_ms
+        )
+    if op in (
+        BEGIN, COMMIT, ROLLBACK, CHECKPOINT, SERVER_STATS, PING, GOODBYE,
+        WAL_POSITION, PROMOTE,
+    ):
         return ClientMessage(op=op)
     raise ProtocolError(f"unknown client opcode {op:#x}")
 
@@ -375,6 +425,14 @@ class ServerMessage:
     error_class: str = ""
     message: str = ""
     version: int = 0
+    #: The server's log position ``(epoch, offset)`` when it sent the frame
+    #: (primaries: end of WAL; replicas: applied watermark); ``(0, 0)`` when
+    #: the frame predates replication or the server is in-memory.
+    lsn: tuple[int, int] = (0, 0)
+    #: WAL_CHUNK payload: raw log frames covering
+    #: ``[chunk_start, lsn[1])`` of epoch ``lsn[0]``.
+    chunk: bytes = b""
+    chunk_start: int = 0
 
     @property
     def op_name(self) -> str:
@@ -413,8 +471,13 @@ def encode_result(
     cursor_id: int,
     in_transaction: bool,
     exhausted: bool,
+    lsn: tuple[int, int] = (0, 0),
 ) -> bytes:
-    """RESULT: the answer to EXECUTE/EXECUTE_PREPARED."""
+    """RESULT: the answer to EXECUTE/EXECUTE_PREPARED.
+
+    The trailing LSN rides behind the original fields; pre-replication
+    decoders ignored trailing bytes, so this needs no version bump.
+    """
     out = bytearray([RESULT, _flags(in_transaction, exhausted)])
     encode_varint(rowcount, out)
     encode_varint(cursor_id, out)
@@ -422,6 +485,8 @@ def encode_result(
     for column in columns:
         _encode_str(column, out)
     _encode_rows(rows, out)
+    encode_varint(lsn[0], out)
+    encode_varint(lsn[1], out)
     return bytes(out)
 
 
@@ -438,10 +503,37 @@ def encode_rows(
     return bytes(out)
 
 
-def encode_ok(in_transaction: bool, rowcount: int = 0) -> bytes:
-    """OK: a fieldless acknowledgement (transaction control, PING, ...)."""
+def encode_ok(
+    in_transaction: bool, rowcount: int = 0, lsn: tuple[int, int] = (0, 0)
+) -> bytes:
+    """OK: a fieldless acknowledgement (transaction control, PING, ...).
+    COMMIT acknowledgements carry the commit's LSN for read-your-writes."""
     out = bytearray([OK, _flags(in_transaction)])
     encode_varint(rowcount, out)
+    encode_varint(lsn[0], out)
+    encode_varint(lsn[1], out)
+    return bytes(out)
+
+
+def encode_lsn(epoch: int, offset: int, in_transaction: bool = False) -> bytes:
+    """LSN: a bare log position (WAL_POSITION/WAIT_LSN answers, and the
+    greeting frame of a replication stream)."""
+    out = bytearray([LSN, _flags(in_transaction)])
+    encode_varint(epoch, out)
+    encode_varint(offset, out)
+    return bytes(out)
+
+
+def encode_wal_chunk(epoch: int, start: int, end: int, data: bytes) -> bytes:
+    """WAL_CHUNK: raw log frames covering ``[start, end)`` of ``epoch``.
+    Chunks always end on a frame boundary, so ``(epoch, end)`` is a valid
+    restart position for a reconnecting replica."""
+    out = bytearray([WAL_CHUNK, 0])
+    encode_varint(epoch, out)
+    encode_varint(start, out)
+    encode_varint(end, out)
+    encode_varint(len(data), out)
+    out.extend(data)
     return bytes(out)
 
 
@@ -474,6 +566,16 @@ def encode_error(error_class: str, message: str, in_transaction: bool) -> bytes:
     return bytes(out)
 
 
+def _decode_trailing_lsn(data: bytes, offset: int) -> tuple[tuple[int, int], int]:
+    """Decode the optional trailing ``(epoch, offset)`` LSN pair added by
+    replication-aware servers; ``(0, 0)`` when the frame predates it."""
+    if offset >= len(data):
+        return (0, 0), offset
+    epoch, offset = decode_varint(data, offset)
+    log_offset, offset = decode_varint(data, offset)
+    return (epoch, log_offset), offset
+
+
 def decode_server_message(payload: bytes) -> ServerMessage:
     """Decode one server frame payload."""
     if len(payload) < 2:
@@ -493,18 +595,35 @@ def decode_server_message(payload: bytes) -> ServerMessage:
         for _ in range(ncols):
             column, offset = _decode_str(payload, offset)
             columns.append(column)
-        rows, _ = _decode_rows(payload, offset)
+        rows, offset = _decode_rows(payload, offset)
+        lsn, _ = _decode_trailing_lsn(payload, offset)
         return ServerMessage(
             op=op, flags=flags, rowcount=rowcount, cursor_id=cursor_id,
-            columns=tuple(columns), rows=tuple(rows),
+            columns=tuple(columns), rows=tuple(rows), lsn=lsn,
         )
     if op == ROWS:
         cursor_id, offset = decode_varint(payload, offset)
         rows, _ = _decode_rows(payload, offset)
         return ServerMessage(op=op, flags=flags, cursor_id=cursor_id, rows=tuple(rows))
     if op == OK:
-        rowcount, _ = decode_varint(payload, offset)
-        return ServerMessage(op=op, flags=flags, rowcount=rowcount)
+        rowcount, offset = decode_varint(payload, offset)
+        lsn, _ = _decode_trailing_lsn(payload, offset)
+        return ServerMessage(op=op, flags=flags, rowcount=rowcount, lsn=lsn)
+    if op == LSN:
+        epoch, offset = decode_varint(payload, offset)
+        log_offset, _ = decode_varint(payload, offset)
+        return ServerMessage(op=op, flags=flags, lsn=(epoch, log_offset))
+    if op == WAL_CHUNK:
+        epoch, offset = decode_varint(payload, offset)
+        start, offset = decode_varint(payload, offset)
+        end, offset = decode_varint(payload, offset)
+        length, offset = decode_varint(payload, offset)
+        if offset + length > len(payload):
+            raise ProtocolError("truncated WAL_CHUNK data")
+        data = payload[offset:offset + length]
+        return ServerMessage(
+            op=op, flags=flags, lsn=(epoch, end), chunk=data, chunk_start=start
+        )
     if op == PREPARED:
         stmt_id, _ = decode_varint(payload, offset)
         return ServerMessage(op=op, flags=flags, stmt_id=stmt_id)

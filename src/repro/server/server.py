@@ -28,6 +28,7 @@ recovery tests use to prove the WAL preserves the committed prefix.
 from __future__ import annotations
 
 import json
+import select
 import socket
 import threading
 from typing import Optional
@@ -36,7 +37,7 @@ from repro.errors import SqlError
 from repro.server import protocol
 from repro.sqlengine.durability import DurabilityOptions
 from repro.sqlengine.engine import Database, ResultSet, Session
-from repro.sqlengine.errors import SqlExecutionError
+from repro.sqlengine.errors import ReadOnlyError, SqlExecutionError
 
 
 class ServerStats:
@@ -51,6 +52,9 @@ class ServerStats:
         self.rows_shipped = 0
         self.bytes_in = 0
         self.bytes_out = 0
+        self.replication_streams = 0
+        self.wal_chunks_shipped = 0
+        self.wal_bytes_shipped = 0
 
     def add(self, **deltas: int) -> None:
         """Atomically add ``deltas`` to the named counters."""
@@ -69,6 +73,9 @@ class ServerStats:
                 "rows_shipped": self.rows_shipped,
                 "bytes_in": self.bytes_in,
                 "bytes_out": self.bytes_out,
+                "replication_streams": self.replication_streams,
+                "wal_chunks_shipped": self.wal_chunks_shipped,
+                "wal_bytes_shipped": self.wal_bytes_shipped,
             }
 
 
@@ -134,6 +141,11 @@ class _ClientHandler(threading.Thread):
                     return
                 if message.op == protocol.GOODBYE:
                     self._try_send(protocol.encode_ok(self._in_transaction))
+                    return
+                if message.op == protocol.REPLICATE:
+                    # The connection becomes a one-way WAL stream and never
+                    # returns to request/response.
+                    self._stream_wal(message)
                     return
                 self._send(self._dispatch(message))
         except (OSError, ValueError):
@@ -224,6 +236,7 @@ class _ClientHandler(threading.Thread):
         session = self._session
         assert session is not None
         if op == protocol.EXECUTE:
+            self._check_writable(message.sql)
             self._server.stats.add(statements=1)
             return self._result_frame(
                 session.execute(message.sql, message.params), message.max_rows
@@ -234,6 +247,7 @@ class _ClientHandler(threading.Thread):
                 raise SqlExecutionError(
                     f"unknown prepared statement id {message.stmt_id}"
                 )
+            self._check_writable(sql)
             self._server.stats.add(statements=1)
             return self._result_frame(
                 session.execute(sql, message.params), message.max_rows
@@ -262,7 +276,11 @@ class _ClientHandler(threading.Thread):
             return protocol.encode_ok(self._in_transaction)
         if op == protocol.COMMIT:
             session.commit()
-            return protocol.encode_ok(self._in_transaction)
+            # The commit's LSN rides on the acknowledgement so clients get
+            # read-your-writes tokens without an extra round trip.
+            return protocol.encode_ok(
+                self._in_transaction, lsn=self._server.wal_position()
+            )
         if op == protocol.ROLLBACK:
             session.rollback()
             return protocol.encode_ok(self._in_transaction)
@@ -278,6 +296,10 @@ class _ClientHandler(threading.Thread):
                 self._server.database.explain(message.sql), self._in_transaction
             )
         if op == protocol.CHECKPOINT:
+            if self._server.read_only:
+                raise ReadOnlyError(
+                    "CHECKPOINT rejected: this server is a read-only replica"
+                )
             if session.in_transaction:
                 raise SqlExecutionError(
                     "CHECKPOINT cannot run inside an open transaction"
@@ -290,7 +312,123 @@ class _ClientHandler(threading.Thread):
             )
         if op == protocol.PING:
             return protocol.encode_ok(self._in_transaction)
+        if op == protocol.WAL_POSITION:
+            epoch, offset = self._server.wal_position()
+            return protocol.encode_lsn(epoch, offset, self._in_transaction)
+        if op == protocol.WAIT_LSN:
+            return self._wait_lsn_frame(message)
+        if op == protocol.PROMOTE:
+            replica = self._server.replica
+            if replica is None:
+                raise SqlExecutionError(
+                    "PROMOTE rejected: this server is not a replica"
+                )
+            replica.promote()
+            return protocol.encode_ok(
+                self._in_transaction, lsn=self._server.wal_position()
+            )
         raise protocol.ProtocolError(f"unexpected opcode {message.op_name}")
+
+    def _check_writable(self, sql: str) -> None:
+        """Reject write statements on a read-only (replica) server."""
+        server = self._server
+        if server.read_only and not server.database.statement_is_read_only(sql):
+            raise ReadOnlyError(
+                "statement rejected: this server is a read-only replica; "
+                "send writes to the primary"
+            )
+
+    def _wait_lsn_frame(self, message: protocol.ClientMessage) -> bytes:
+        """Block until the applied position reaches the requested LSN.
+
+        On a replica this waits on the replayed watermark (the read-your-
+        writes barrier); on a primary the end of the log is already at or
+        past any LSN it ever handed out, so it answers immediately.
+        """
+        target = (message.epoch, message.offset)
+        replica = self._server.replica
+        if replica is not None:
+            timeout = message.timeout_ms / 1000.0
+            if not replica.wait_for(target, timeout):
+                raise SqlExecutionError(
+                    f"WAIT_LSN timed out after {message.timeout_ms}ms: "
+                    f"watermark {replica.watermark} has not reached {target}"
+                )
+        epoch, offset = self._server.wal_position()
+        return protocol.encode_lsn(epoch, offset, self._in_transaction)
+
+    # -- the replication stream ----------------------------------------------
+
+    #: Seconds a caught-up stream waits for an append signal before
+    #: re-checking the stop flag and the peer's liveness.
+    _STREAM_TICK = 0.05
+
+    def _stream_wal(self, message: protocol.ClientMessage) -> None:
+        """Ship raw WAL frames to a replica until it disconnects.
+
+        The tailer reads complete frames from the log chain (following
+        epoch rollover); an Event registered with the durability manager
+        wakes the loop as soon as a commit appends, so replication lag is
+        bounded by fsync latency rather than a polling interval.
+        """
+        from repro.replication.tailer import WalTailer
+
+        server = self._server
+        database = server.database
+        manager = database.durability_manager
+        if manager is None:
+            self._try_send(protocol.encode_error(
+                "SqlExecutionError",
+                "REPLICATE requires a durable primary (data_dir=...)", False,
+            ))
+            return
+        if message.epoch == 0 and not manager.replication_bootstrappable():
+            self._try_send(protocol.encode_error(
+                "ReplicationError",
+                "a checkpoint already truncated the log; a new replica "
+                "cannot bootstrap from the log alone — attach replicas "
+                "before the first checkpoint", False,
+            ))
+            return
+        stats = server.stats
+        tailer = WalTailer(manager.data_dir, message.epoch, message.offset)
+        event = manager.watch_appends()
+        stats.add(replication_streams=1)
+        try:
+            # Greeting: the primary's current end of log, so the replica
+            # knows how far behind it starts.
+            epoch, offset = manager.wal_position()
+            self._send(protocol.encode_lsn(epoch, offset))
+            while not server.stopping:
+                chunk = tailer.next_chunk(server.replication_chunk_bytes)
+                if chunk is None:
+                    if self._peer_gone():
+                        return
+                    event.wait(self._STREAM_TICK)
+                    event.clear()
+                    continue
+                chunk_epoch, start, end, data = chunk
+                self._send(protocol.encode_wal_chunk(chunk_epoch, start, end, data))
+                stats.add(wal_chunks_shipped=1, wal_bytes_shipped=len(data))
+        except SqlError as error:
+            # A tailer failure (epoch gone, corrupt chain) is fatal for the
+            # stream but reportable: the replica decides whether to re-seed.
+            self._try_send(protocol.encode_error(
+                protocol.error_class_name(error), str(error), False
+            ))
+        finally:
+            manager.unwatch_appends(event)
+            tailer.close()
+            stats.add(replication_streams=-1)
+
+    def _peer_gone(self) -> bool:
+        """Whether the replica hung up (it never writes after REPLICATE,
+        so a readable stream socket means EOF or reset)."""
+        try:
+            readable, _, _ = select.select([self._sock], [], [], 0)
+        except (OSError, ValueError):
+            return True
+        return bool(readable)
 
     # -- response builders --------------------------------------------------
 
@@ -313,6 +451,7 @@ class _ClientHandler(threading.Thread):
             payload = protocol.encode_result(
                 result.columns, rows[:batch_end], result.rowcount, cursor_id,
                 self._in_transaction, exhausted,
+                lsn=self._server.wal_position(),
             )
             # A batch of very wide rows can exceed the frame limit even
             # under the row-count cap; halve until it fits (a single row
@@ -400,6 +539,8 @@ class SqlServer:
         idle_timeout: Optional[float] = None,
         close_database: Optional[bool] = None,
         banner: str = "repro-sql-server",
+        read_only: bool = False,
+        replication_chunk_bytes: Optional[int] = None,
     ) -> None:
         if database is not None and data_dir is not None:
             raise SqlExecutionError("pass either a database or a data_dir, not both")
@@ -417,6 +558,15 @@ class SqlServer:
         #: only a database this server created; a caller-owned engine stays
         #: open unless explicitly requested otherwise.
         self.close_database = owns_database if close_database is None else close_database
+        #: Reject write statements (replica mode); promotion clears it.
+        self.read_only = read_only
+        #: Back-reference set by :class:`repro.replication.ReplicaServer`
+        #: so WAIT_LSN/PROMOTE and SERVER_STATS reach the applier.
+        self.replica = None
+        #: Max WAL bytes per shipped chunk (None = the tailer's default).
+        #: Fault-injection tests shrink this to cut streams between small
+        #: chunks at byte-exact offsets.
+        self.replication_chunk_bytes = replication_chunk_bytes
         self.stats = ServerStats()
         self.stopping = False
         self._listener: Optional[socket.socket] = None
@@ -494,13 +644,37 @@ class SqlServer:
 
     # -- observability -------------------------------------------------------
 
+    def wal_position(self) -> tuple[int, int]:
+        """The LSN this node stamps on responses: a primary's end of log,
+        or a replica's replayed watermark (its in-memory engine has no log,
+        so the watermark *is* its position in the primary's history)."""
+        if self.replica is not None:
+            return self.replica.watermark
+        return self.database.wal_position()
+
     def server_stats(self) -> dict[str, object]:
         """The SERVER_STATS document: server counters + engine statistics."""
         return {
             "server": self.stats.snapshot(),
             "max_connections": self.max_connections,
             "engine": self.database.stats(),
+            "replication": self.replication_stats(),
         }
+
+    def replication_stats(self) -> dict[str, object]:
+        """The ``replication`` section: node role, position and stream
+        counters (a replica's applier stats ride along via its back-ref)."""
+        snapshot = self.stats.snapshot()
+        stats: dict[str, object] = {
+            "role": "replica" if self.read_only else "primary",
+            "wal_position": list(self.wal_position()),
+            "streams": snapshot["replication_streams"],
+            "wal_chunks_shipped": snapshot["wal_chunks_shipped"],
+            "wal_bytes_shipped": snapshot["wal_bytes_shipped"],
+        }
+        if self.replica is not None:
+            stats.update(self.replica.stats())
+        return stats
 
     # -- internals -----------------------------------------------------------
 

@@ -36,6 +36,7 @@ from repro.sqlengine.durability.recovery import (
     wal_path,
 )
 from repro.sqlengine.durability.snapshot import (
+    SNAPSHOT_NAME,
     schema_to_payload,
     write_snapshot,
 )
@@ -94,6 +95,11 @@ class DurabilityManager:
         self._closed = False
         #: Checkpoints cut over this manager's lifetime.
         self.checkpoints_taken = 0
+        # Replication streamers park an Event here; every append (and every
+        # epoch rotation) sets all of them so tailers wake without polling.
+        self._append_watchers: set[threading.Event] = set()
+        self._watchers_lock = threading.Lock()
+        self._writer.on_append = self._notify_appends
 
     # -- logging (call with the commit lock / exclusive gate held) ------------
     #
@@ -200,6 +206,7 @@ class DurabilityManager:
         self._writer = wal.WalWriter(
             wal_path(self.data_dir, new_epoch), fsync=self.options.fsync
         )
+        self._writer.on_append = self._notify_appends
         marker_seq = self._writer.append([wal.encode_checkpoint(new_epoch)])
         self._writer.sync(marker_seq)
         self._epoch = new_epoch
@@ -209,7 +216,49 @@ class DurabilityManager:
                 os.remove(wal_path(self.data_dir, epoch))
         self._carried_bytes = 0
         self.checkpoints_taken += 1
+        self._notify_appends()
         return new_epoch
+
+    # -- replication hooks -----------------------------------------------------
+
+    def wal_position(self) -> tuple[int, int]:
+        """The current end-of-log position as an ``(epoch, offset)`` LSN.
+
+        Offsets restart at zero in each epoch file, so LSNs compare
+        lexicographically.  A checkpoint may rotate the writer concurrently;
+        the retry loop makes the torn case conservative (never ahead of the
+        log) rather than pairing a new epoch with a stale offset.
+        """
+        while True:
+            epoch = self._epoch
+            writer = self._writer
+            if epoch == self._epoch:
+                return epoch, writer.bytes_written
+
+    def watch_appends(self) -> threading.Event:
+        """Register and return an Event set on every append/rotation."""
+        event = threading.Event()
+        with self._watchers_lock:
+            self._append_watchers.add(event)
+        return event
+
+    def unwatch_appends(self, event: threading.Event) -> None:
+        """Deregister an Event returned by :meth:`watch_appends`."""
+        with self._watchers_lock:
+            self._append_watchers.discard(event)
+
+    def _notify_appends(self) -> None:
+        with self._watchers_lock:
+            watchers = list(self._append_watchers)
+        for event in watchers:
+            event.set()
+
+    def replication_bootstrappable(self) -> bool:
+        """Whether a brand-new replica can rebuild this database from the
+        log alone.  Once a checkpoint has been cut the oldest log files are
+        gone and the snapshot is required — shipping snapshots is out of
+        scope, so replicas must attach before the first checkpoint."""
+        return not os.path.exists(os.path.join(self.data_dir, SNAPSHOT_NAME))
 
     # -- lifecycle -------------------------------------------------------------
 

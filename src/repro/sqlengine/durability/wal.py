@@ -420,6 +420,9 @@ class WalWriter:
         #: Number of sequences appended (== commit batches + standalone records).
         self.batches_appended = 0
         self.bytes_written = 0
+        #: Optional zero-argument callback invoked after every append (the
+        #: replication streamer registers one to wake its tailers promptly).
+        self.on_append = None
 
     # -- append side ---------------------------------------------------------
 
@@ -445,6 +448,9 @@ class WalWriter:
         if self.fsync == "always":
             with self._group:
                 self._synced_seq = max(self._synced_seq, seq)
+        callback = self.on_append
+        if callback is not None:
+            callback()
         return seq
 
     # -- sync side -----------------------------------------------------------

@@ -712,6 +712,28 @@ class Database:
         empty for an in-memory database."""
         return self._durability.info() if self._durability is not None else {}
 
+    @property
+    def durability_manager(self):
+        """The :class:`DurabilityManager`, or None when in-memory (the
+        replication streamer tails its log files directly)."""
+        return self._durability
+
+    def wal_position(self) -> tuple[int, int]:
+        """The end-of-log ``(epoch, offset)`` LSN; ``(0, 0)`` in-memory."""
+        if self._durability is None:
+            return (0, 0)
+        return self._durability.wal_position()
+
+    def statement_is_read_only(self, sql: str) -> bool:
+        """Whether ``sql`` cannot modify data (SELECT/EXPLAIN, or pure
+        transaction control).  Read-only replica servers gate writes on
+        this; it reuses the parse cache so the check costs a dict hit."""
+        cached, _generation = self._cached_statement(sql)
+        return isinstance(
+            cached.statement,
+            (ast.SelectStatement, ast.ExplainStatement, ast.TransactionStatement),
+        )
+
     def checkpoint(self) -> bool:
         """Snapshot all tables and truncate the write-ahead log.
 

@@ -43,3 +43,22 @@ class TransactionConflictError(SqlExecutionError):
     roll back and retry the whole transaction; auto-commit statements are
     retried by the engine itself.
     """
+
+
+class ReadOnlyError(SqlExecutionError):
+    """A write statement reached a read-only server (a replica).
+
+    Replicas apply the primary's log stream and accept only reads; the
+    routing pool uses this as a signal that a statement landed on the wrong
+    node.  Promotion clears the flag and the same server starts accepting
+    writes.
+    """
+
+
+class ReplicationError(SqlExecutionError):
+    """The replication stream cannot continue from the requested position.
+
+    Raised when a replica asks for a log epoch the primary has checkpointed
+    away (the replica must re-bootstrap), or when a closed epoch file turns
+    out to be torn (on-disk corruption).
+    """

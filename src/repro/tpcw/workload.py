@@ -101,6 +101,14 @@ class ThroughputResult:
     statements: int = 0
     #: Wire round trips during the run (remote mode only).
     wire_round_trips: int = 0
+    #: Replica-aware routing counters (replicated remote mode only):
+    #: where read/write interactions landed, read-your-writes waits, and
+    #: primary failovers absorbed mid-run.
+    reads_on_replicas: int = 0
+    reads_on_primary: int = 0
+    writes_on_primary: int = 0
+    read_your_writes_waits: int = 0
+    failovers: int = 0
 
     @property
     def interactions_per_sec(self) -> float:
@@ -125,6 +133,11 @@ class ThroughputResult:
             "interactions_per_sec": self.interactions_per_sec,
             "statements": self.statements,
             "wire_round_trips": self.wire_round_trips,
+            "reads_on_replicas": self.reads_on_replicas,
+            "reads_on_primary": self.reads_on_primary,
+            "writes_on_primary": self.writes_on_primary,
+            "read_your_writes_waits": self.read_your_writes_waits,
+            "failovers": self.failovers,
         }
 
 
@@ -411,6 +424,8 @@ class ConcurrentDriver:
         pool_size: int | None = None,
         batch_rows: int | None = None,
         shared_workload: bool = False,
+        replicas: list[tuple[str, int]] | None = None,
+        read_your_writes: bool = True,
     ) -> None:
         if variant not in ("handwritten", "queryll"):
             raise ValueError(f"unknown driver variant {variant!r}")
@@ -427,6 +442,15 @@ class ConcurrentDriver:
         self.address = address
         self.pool_size = pool_size
         self.batch_rows = batch_rows
+        #: Replicated mode: route the browsing mix across these read
+        #: replicas through a :class:`~repro.netclient.ReplicatedConnectionPool`
+        #: (writes stay on ``address``); with ``read_your_writes`` each
+        #: replica read first waits out the replication lag behind the
+        #: run's last acknowledged write.
+        self.replicas = list(replicas) if replicas else []
+        self.read_your_writes = read_your_writes
+        if self.replicas and not self.remote:
+            raise ValueError("replicas require remote mode (an address)")
         #: Drain ``threads * interactions_per_thread`` interactions from a
         #: shared pool instead of fixed per-thread quotas (no straggler
         #: tail; the throughput benchmarks use this — see
@@ -441,7 +465,7 @@ class ConcurrentDriver:
 
     def _run_remote(self) -> ThroughputResult:
         """Spawn (or reach) a server and run the workload over the wire."""
-        from repro.netclient import ConnectionPool
+        from repro.netclient import ConnectionPool, ReplicatedConnectionPool
         from repro.server import SqlServer
         from repro.tpcw.database import connect_remote
 
@@ -454,13 +478,24 @@ class ConcurrentDriver:
                 max_connections=pool_size + 8,
             ).start()
             address = server.address
-        try:
-            with ConnectionPool(
+        if self.replicas:
+            pool = ReplicatedConnectionPool(
+                address,
+                self.replicas,
+                read_your_writes=self.read_your_writes,
+                min_size=min(self.threads, pool_size),
+                max_size=pool_size,
+                checkout_timeout=30.0,
+            )
+        else:
+            pool = ConnectionPool(
                 address,
                 min_size=min(self.threads, pool_size),
                 max_size=pool_size,
                 checkout_timeout=30.0,
-            ) as pool:
+            )
+        try:
+            with pool:
                 handle = connect_remote(
                     self.database, address, pool=pool, batch_rows=self.batch_rows
                 )
@@ -477,8 +512,17 @@ class ConcurrentDriver:
                         handle.server_stats()["engine"]["statements_executed"]
                         - statements_before
                     )
-                result.mode = "remote"
+                result.mode = "replicated" if self.replicas else "remote"
                 result.wire_round_trips = pool.round_trips()
+                if self.replicas:
+                    routing = pool.stats()
+                    result.reads_on_replicas = routing["reads_on_replicas"]
+                    result.reads_on_primary = routing["reads_on_primary"]
+                    result.writes_on_primary = routing["writes_on_primary"]
+                    result.read_your_writes_waits = routing[
+                        "read_your_writes_waits"
+                    ]
+                    result.failovers = routing["failovers"]
                 return result
         finally:
             if server is not None:

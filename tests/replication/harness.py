@@ -1,0 +1,316 @@
+"""Deterministic fault-injection harness for the replication tests.
+
+Two pieces:
+
+* :class:`FaultyLink` — a byte-level TCP proxy a replica's REPLICATE
+  stream is routed through.  Faults are *scheduled*, not raced: cut the
+  stream after exactly N forwarded bytes, delay every forwarded chunk, or
+  sever on demand.  Because the cut point is a byte count, a test (or a
+  Hypothesis property) can kill the stream at an arbitrary replication
+  offset and still be perfectly reproducible.
+* :class:`ReplicationCluster` — a durable primary plus N in-process
+  replicas (each optionally behind its own FaultyLink), with helpers to
+  build routed pools, wait for convergence, and crash or promote nodes.
+
+Everything is in-process and bound to loopback; a cluster tears down with
+the test.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Optional
+
+from repro.netclient.pool import ReplicatedConnectionPool
+from repro.replication.replica import ReplicaServer
+from repro.server.server import SqlServer
+from repro.sqlengine.durability import DurabilityOptions
+from repro.sqlengine.engine import Database
+
+#: Fast-but-honest durability for tests: replication correctness depends
+#: on the record format and framing, not on fsync timing.
+TEST_DURABILITY = DurabilityOptions(fsync="off", checkpoint_log_bytes=None)
+
+
+class FaultyLink:
+    """A TCP proxy with byte-exact fault scheduling.
+
+    Forwards both directions between a replica and the primary.  The
+    primary→replica direction (the WAL) counts forwarded bytes and honours
+    ``cut_after_bytes``: once the budget is spent the connection is torn
+    down mid-stream and — so a cut models a dead primary rather than a
+    network blip — further connection attempts are refused until
+    :meth:`heal`.
+    """
+
+    def __init__(self, upstream: tuple[str, int], delay: float = 0.0) -> None:
+        self.upstream = (upstream[0], int(upstream[1]))
+        #: Sleep injected before each forwarded downstream chunk.
+        self.delay = delay
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.address = self._listener.getsockname()
+        self._lock = threading.Lock()
+        self._cut_after: Optional[int] = None
+        self._refusing = False
+        self._closed = False
+        self._conns: list[socket.socket] = []
+        #: Downstream (primary→replica) bytes actually forwarded.
+        self.bytes_forwarded = 0
+        self._thread = threading.Thread(
+            target=self._accept_loop, name="faulty-link", daemon=True
+        )
+        self._thread.start()
+
+    # -- fault scheduling ----------------------------------------------------
+
+    def cut_after_bytes(self, budget: int) -> None:
+        """Sever the stream after forwarding ``budget`` more downstream
+        bytes, then refuse reconnects until :meth:`heal`."""
+        with self._lock:
+            self._cut_after = budget
+
+    def sever(self) -> None:
+        """Tear down the current connection immediately (network blip:
+        reconnects are allowed and resume from the replica's watermark)."""
+        self._close_conns()
+
+    def refuse_new(self, refusing: bool = True) -> None:
+        """Accept-and-drop new connections (a dead primary)."""
+        with self._lock:
+            self._refusing = refusing
+
+    def heal(self) -> None:
+        """Clear every scheduled fault; the next reconnect flows freely."""
+        with self._lock:
+            self._cut_after = None
+            self._refusing = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._close_conns()
+
+    def __enter__(self) -> "FaultyLink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- internals -----------------------------------------------------------
+
+    def _close_conns(self) -> None:
+        with self._lock:
+            conns, self._conns = self._conns, []
+        for sock in conns:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                downstream, _addr = self._listener.accept()
+            except OSError:
+                return
+            with self._lock:
+                if self._closed:
+                    downstream.close()
+                    return
+                refusing = self._refusing
+            if refusing:
+                downstream.close()
+                continue
+            try:
+                upstream = socket.create_connection(self.upstream, timeout=5.0)
+            except OSError:
+                downstream.close()
+                continue
+            pair = [downstream, upstream]
+            with self._lock:
+                self._conns.extend(pair)
+            threading.Thread(
+                target=self._pump,
+                args=(downstream, upstream, False),
+                daemon=True,
+            ).start()
+            threading.Thread(
+                target=self._pump,
+                args=(upstream, downstream, True),
+                daemon=True,
+            ).start()
+
+    def _pump(self, source: socket.socket, sink: socket.socket, counted: bool) -> None:
+        """Forward ``source`` → ``sink``; the counted (downstream)
+        direction enforces the byte budget."""
+        try:
+            while True:
+                data = source.recv(1 << 14)
+                if not data:
+                    break
+                if counted:
+                    if self.delay:
+                        time.sleep(self.delay)
+                    with self._lock:
+                        if self._cut_after is not None:
+                            if self._cut_after <= 0:
+                                break
+                            if len(data) > self._cut_after:
+                                data = data[: self._cut_after]
+                            self._cut_after -= len(data)
+                            tripped = self._cut_after <= 0
+                        else:
+                            tripped = False
+                        self.bytes_forwarded += len(data)
+                    sink.sendall(data)
+                    if tripped:
+                        with self._lock:
+                            self._refusing = True
+                        break
+                else:
+                    sink.sendall(data)
+        except OSError:
+            pass
+        for sock in (source, sink):
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class ReplicationCluster:
+    """A primary and N replicas wired for fault injection.
+
+    ``faulty=True`` routes every replica's stream through its own
+    :class:`FaultyLink` (``cluster.links[i]``); otherwise replicas connect
+    to the primary directly.  The cluster owns a temporary durable data
+    directory supplied by the caller.
+    """
+
+    def __init__(
+        self,
+        data_dir: str,
+        replicas: int = 2,
+        *,
+        faulty: bool = False,
+        delay: float = 0.0,
+        durability: DurabilityOptions = TEST_DURABILITY,
+        reconnect_delay: float = 0.02,
+        database: Optional[Database] = None,
+        chunk_bytes: Optional[int] = None,
+    ) -> None:
+        self.database = database or Database(data_dir=data_dir, durability=durability)
+        self.primary = SqlServer(
+            database=self.database,
+            host="127.0.0.1",
+            port=0,
+            max_connections=128,
+            replication_chunk_bytes=chunk_bytes,
+        ).start()
+        self.links: list[Optional[FaultyLink]] = []
+        self.replicas: list[ReplicaServer] = []
+        for index in range(replicas):
+            link = (
+                FaultyLink(self.primary.address, delay=delay) if faulty else None
+            )
+            self.links.append(link)
+            target = link.address if link is not None else self.primary.address
+            self.replicas.append(
+                ReplicaServer(
+                    target,
+                    name=f"r{index}",
+                    reconnect_delay=reconnect_delay,
+                ).start()
+            )
+        self._pools: list[ReplicatedConnectionPool] = []
+
+    # -- convenience ---------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.primary.address
+
+    @property
+    def replica_addresses(self) -> list[tuple[str, int]]:
+        return [replica.address for replica in self.replicas]
+
+    def pool(self, **options) -> ReplicatedConnectionPool:
+        """A routed pool over this cluster (closed with the cluster)."""
+        pool = ReplicatedConnectionPool(
+            self.primary.address, self.replica_addresses, **options
+        )
+        self._pools.append(pool)
+        return pool
+
+    def wal_position(self) -> tuple[int, int]:
+        return self.database.wal_position()
+
+    def wait_sync(self, timeout: float = 10.0) -> None:
+        """Block until every replica has replayed the primary's full log."""
+        target = self.database.wal_position()
+        for replica in self.replicas:
+            assert replica.wait_for(target, timeout), (
+                f"{replica.name} stuck at {replica.watermark}, "
+                f"primary at {target}"
+            )
+
+    # -- faults --------------------------------------------------------------
+
+    def kill_primary(self) -> None:
+        """Crash the primary (no drain, sockets dropped)."""
+        self.primary.kill()
+
+    def kill_replica(self, index: int) -> None:
+        self.replicas[index].kill()
+
+    def promote(self, index: int) -> ReplicaServer:
+        """Promote one replica (drains its stream first) and return it."""
+        replica = self.replicas[index]
+        replica.promote()
+        return replica
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def stop(self) -> None:
+        for pool in self._pools:
+            pool.close()
+        for replica in self.replicas:
+            try:
+                replica.kill()
+            except OSError:  # pragma: no cover - teardown best effort
+                pass
+        for link in self.links:
+            if link is not None:
+                link.close()
+        try:
+            self.primary.kill()
+        except OSError:  # pragma: no cover - teardown best effort
+            pass
+        self.database.close()
+
+    def __enter__(self) -> "ReplicationCluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

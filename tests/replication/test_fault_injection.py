@@ -1,0 +1,317 @@
+"""Fault injection: the replication subsystem under crashes and cut links.
+
+The committed-prefix property is the replication twin of crash recovery's:
+wherever the stream is cut — a byte offset chosen by Hypothesis, a crashed
+primary mid-commit, a severed socket — a promoted replica serves exactly a
+committed prefix of the primary's history: committed transactions fully
+visible, uncommitted ones fully absent, nothing torn.  The TPC-W
+stock-sum invariant extends that to the concurrent write mix across a
+failover.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from hypothesis import given, settings, strategies as st
+
+from repro.netclient.client import RemoteDatabase
+from repro.replication.replica import ReplicaServer
+from repro.server.server import SqlServer
+from repro.sqlengine.durability.recovery import list_wal_epochs, wal_path
+from repro.sqlengine.engine import Database
+from repro.tpcw.database import build_database
+from repro.tpcw.population import PopulationScale
+from repro.tpcw.workload import ConcurrentDriver
+
+from tests.replication.harness import (
+    TEST_DURABILITY,
+    FaultyLink,
+    ReplicationCluster,
+)
+
+
+def _rows(address, sql):
+    with RemoteDatabase(address).session() as session:
+        return session.execute(sql).rows
+
+
+def _await(predicate, timeout: float = 10.0, tick: float = 0.02) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(tick)
+    return predicate()
+
+
+# -- kill at an arbitrary replication offset ---------------------------------
+
+_TXNS = st.lists(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "update", "delete"]),
+            st.integers(min_value=0, max_value=11),
+        ),
+        min_size=1,
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestKillAtArbitraryReplicationOffset:
+    @settings(max_examples=12, deadline=None)
+    @given(txns=_TXNS, cut_fraction=st.floats(min_value=0.0, max_value=1.2))
+    def test_promoted_replica_serves_a_committed_prefix(
+        self, tmp_path_factory, txns, cut_fraction
+    ) -> None:
+        base = str(tmp_path_factory.mktemp("repl-kill"))
+        data_dir = os.path.join(base, "db")
+        database = Database(data_dir=data_dir, durability=TEST_DURABILITY)
+        server = SqlServer(
+            database=database, host="127.0.0.1", port=0,
+            replication_chunk_bytes=64,  # many small chunks: cuts land between them
+        ).start()
+        link = None
+        replica = None
+        try:
+            database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+            (epoch,) = list_wal_epochs(data_dir)
+            log = wal_path(data_dir, epoch)
+
+            # Mirror committed state in a model, keyed by log size — the
+            # same bookkeeping the crash-recovery property uses.
+            model: dict[int, int] = {}
+            prefixes: list[tuple[int, dict[int, int]]] = [
+                (os.path.getsize(log), dict(model))
+            ]
+            counter = 0
+            for ops in txns:
+                session = database.session(autocommit=False)
+                candidate = dict(model)
+                for action, key in ops:
+                    if action == "insert" and key not in candidate:
+                        counter += 1
+                        session.execute(
+                            "INSERT INTO t (id, v) VALUES (?, ?)", (key, counter)
+                        )
+                        candidate[key] = counter
+                    elif action == "update" and key in candidate:
+                        counter += 1
+                        session.execute(
+                            "UPDATE t SET v = ? WHERE id = ?", (counter, key)
+                        )
+                        candidate[key] = counter
+                    elif action == "delete" and key in candidate:
+                        session.execute("DELETE FROM t WHERE id = ?", (key,))
+                        del candidate[key]
+                session.commit()
+                model = candidate
+                prefixes.append((os.path.getsize(log), dict(model)))
+
+            # Cut the stream at an arbitrary byte offset.  The proxied
+            # stream carries the WAL plus per-chunk protocol overhead, so
+            # a fraction > 1 covers the no-cut case too.
+            total = os.path.getsize(log)
+            cut = int(round(cut_fraction * (total + 512)))
+            link = FaultyLink(server.address)
+            link.cut_after_bytes(cut)
+            replica = ReplicaServer(
+                link.address, name="victim", reconnect=False
+            ).start()
+
+            # The stream either delivers everything or dies at the cut.
+            target = database.wal_position()
+            _await(
+                lambda: replica.watermark >= target
+                or not replica._thread.is_alive()
+            )
+            replica.promote()
+
+            try:
+                got = dict(_rows(replica.address, "SELECT id, v FROM t"))
+            except Exception:
+                # The CREATE TABLE itself did not make it across: the cut
+                # fell inside the very first chunk.
+                assert replica.watermark < (epoch, prefixes[0][0])
+                return
+            # Exactly a committed prefix: the replica's table matches one
+            # of the recorded committed states...
+            assert got in [state for _size, state in prefixes], (
+                f"cut={cut}: {got!r} is not a committed prefix"
+            )
+            # ...and specifically the longest one at or below its
+            # replayed watermark (single epoch, so offsets compare).
+            watermark = replica.watermark
+            if watermark >= (epoch, prefixes[0][0]):
+                expected = max(
+                    (entry for entry in prefixes if entry[0] <= watermark[1]),
+                    key=lambda entry: entry[0],
+                )[1]
+                assert got == expected
+        finally:
+            if replica is not None:
+                replica.kill()
+            if link is not None:
+                link.close()
+            server.kill()
+            database.close()
+
+
+# -- scheduled crash scenarios -----------------------------------------------
+
+class TestCrashSchedules:
+    def test_kill_primary_mid_commit_stream(self, tmp_path) -> None:
+        """Crash the primary while a writer is streaming commits; the
+        promoted replica must hold a contiguous committed prefix."""
+        with ReplicationCluster(
+            str(tmp_path), replicas=2, chunk_bytes=64
+        ) as cluster:
+            with RemoteDatabase(cluster.address).session() as session:
+                session.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+            cluster.wait_sync()
+
+            acked = []
+            errors = []
+
+            def writer():
+                try:
+                    with RemoteDatabase(cluster.address).session() as session:
+                        for i in range(10_000):
+                            session.execute(f"INSERT INTO t VALUES ({i})")
+                            acked.append(i)
+                except Exception as error:  # noqa: BLE001 - the kill
+                    errors.append(error)
+
+            thread = threading.Thread(target=writer)
+            thread.start()
+            _await(lambda: len(acked) >= 50, timeout=15.0)
+            cluster.kill_primary()
+            thread.join(10.0)
+            assert errors, "the writer should have died with the primary"
+
+            promoted = cluster.promote(0)
+            ids = sorted(
+                row[0] for row in _rows(promoted.address, "SELECT id FROM t")
+            )
+            # Contiguous prefix of the insert sequence, nothing torn.
+            assert ids == list(range(len(ids)))
+            # The drain keeps promotion from discarding frames that
+            # arrived before the crash: the prefix reaches the watermark.
+            assert promoted.applier.pending_transactions == 0
+
+    def test_kill_replica_mid_replay_leaves_others_intact(self, tmp_path) -> None:
+        with ReplicationCluster(
+            str(tmp_path), replicas=2, chunk_bytes=64
+        ) as cluster:
+            with RemoteDatabase(cluster.address).session() as session:
+                session.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+                for i in range(100):
+                    session.execute(f"INSERT INTO t VALUES ({i})")
+                    if i == 20:
+                        cluster.kill_replica(1)
+            cluster.replicas = [cluster.replicas[0]]  # survivor only
+            cluster.wait_sync()
+            assert _rows(
+                cluster.replicas[0].address, "SELECT COUNT(*) FROM t"
+            ) == [(100,)]
+
+    def test_severed_stream_reconnects_from_watermark(self, tmp_path) -> None:
+        with ReplicationCluster(
+            str(tmp_path), replicas=1, faulty=True, chunk_bytes=64
+        ) as cluster:
+            replica = cluster.replicas[0]
+            with RemoteDatabase(cluster.address).session() as session:
+                session.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+                for i in range(50):
+                    session.execute(f"INSERT INTO t VALUES ({i})")
+            cluster.wait_sync()
+            mark = replica.watermark
+            cluster.links[0].sever()
+            with RemoteDatabase(cluster.address).session() as session:
+                for i in range(50, 100):
+                    session.execute(f"INSERT INTO t VALUES ({i})")
+            cluster.wait_sync(timeout=15.0)
+            assert replica.watermark > mark
+            assert replica.reconnects >= 1
+            assert _rows(replica.address, "SELECT COUNT(*) FROM t") == [(100,)]
+
+    def test_delayed_stream_still_converges(self, tmp_path) -> None:
+        with ReplicationCluster(
+            str(tmp_path), replicas=1, faulty=True, delay=0.01, chunk_bytes=256
+        ) as cluster:
+            with RemoteDatabase(cluster.address).session() as session:
+                session.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+                for i in range(30):
+                    session.execute(f"INSERT INTO t VALUES ({i})")
+            cluster.wait_sync(timeout=30.0)
+            assert _rows(
+                cluster.replicas[0].address, "SELECT COUNT(*) FROM t"
+            ) == [(30,)]
+
+
+# -- TPC-W stock-sum invariant across faults ---------------------------------
+
+class TestTpcwStockSumUnderFaults:
+    def test_stock_sum_holds_across_failover(self, tmp_path) -> None:
+        """Concurrent stock transfers with a primary crash and promotion:
+        the promoted node's total stock equals a committed state — every
+        transfer is atomic on the replica exactly as on the primary."""
+        scale = PopulationScale.tiny()
+        tpcw = build_database(
+            scale, data_dir=str(tmp_path / "db"), durability=TEST_DURABILITY
+        )
+        cluster = ReplicationCluster(
+            str(tmp_path), replicas=2, chunk_bytes=512, database=tpcw.database
+        )
+        try:
+            cluster.wait_sync(timeout=30.0)
+            baseline = _rows(
+                cluster.address, "SELECT SUM(i_stock) FROM item"
+            )[0][0]
+
+            driver = ConcurrentDriver(
+                tpcw,
+                threads=4,
+                interactions_per_thread=30,
+                write_fraction=0.5,
+                address=cluster.address,
+                replicas=cluster.replica_addresses,
+                shared_workload=True,
+            )
+            stop = threading.Event()
+            outcome = {}
+
+            def run_driver():
+                try:
+                    outcome["result"] = driver.run()
+                except Exception as error:  # noqa: BLE001 - the kill
+                    outcome["error"] = error
+                finally:
+                    stop.set()
+
+            thread = threading.Thread(target=run_driver)
+            thread.start()
+            time.sleep(0.4)  # let transfers get in flight
+            cluster.kill_primary()
+            stop.wait(30.0)
+            thread.join(10.0)
+
+            promoted = cluster.promote(0)
+            total = _rows(
+                promoted.address, "SELECT SUM(i_stock) FROM item"
+            )[0][0]
+            # Transfers move stock between items, so any committed prefix
+            # preserves the total exactly.
+            assert total == baseline
+            counts = _rows(
+                promoted.address, "SELECT COUNT(*) FROM item"
+            )[0][0]
+            assert counts == scale.num_items
+        finally:
+            cluster.stop()
+            tpcw.close()

@@ -1,0 +1,245 @@
+"""WAL-shipping replication: streaming, replay, watermark and promotion.
+
+These tests exercise the happy path of the replication subsystem — a
+replica bootstraps from the primary's log, follows live commits, replays
+DDL, survives checkpoint epoch rollover mid-stream, and reports its
+progress — plus the server-side read-only contract on followers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netclient.client import RemoteDatabase, WireClient
+from repro.replication.replica import ReplicaServer
+from repro.replication.tailer import WalTailer
+from repro.server.server import SqlServer
+from repro.sqlengine.durability import DurabilityOptions
+from repro.sqlengine.engine import Database
+from repro.sqlengine.errors import ReadOnlyError, ReplicationError, SqlExecutionError
+
+from tests.replication.harness import TEST_DURABILITY, ReplicationCluster
+
+
+def _rows(address, sql):
+    with RemoteDatabase(address).session() as session:
+        return session.execute(sql).rows
+
+
+class TestStreaming:
+    def test_bootstrap_from_existing_wal(self, tmp_path) -> None:
+        with ReplicationCluster(str(tmp_path), replicas=1) as cluster:
+            with RemoteDatabase(cluster.address).session() as session:
+                session.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+                for i in range(50):
+                    session.execute(f"INSERT INTO t VALUES ({i}, {i})")
+            cluster.wait_sync()
+            assert _rows(cluster.replicas[0].address, "SELECT COUNT(*) FROM t") == [
+                (50,)
+            ]
+
+    def test_live_commits_and_ddl_stream_continuously(self, tmp_path) -> None:
+        with ReplicationCluster(str(tmp_path), replicas=2) as cluster:
+            with RemoteDatabase(cluster.address).session() as session:
+                session.execute("CREATE TABLE a (id INT PRIMARY KEY, v INT)")
+                session.execute("INSERT INTO a VALUES (1, 10)")
+                cluster.wait_sync()
+                # DDL after the replicas attached, then rows into the new
+                # table: the applier must wire the table into MVCC live.
+                session.execute("CREATE TABLE b (id INT PRIMARY KEY, w VARCHAR)")
+                session.execute("INSERT INTO b VALUES (7, 'x')")
+                session.execute("UPDATE a SET v = 11 WHERE id = 1")
+                session.execute("DELETE FROM a WHERE id = 99")
+            cluster.wait_sync()
+            for replica in cluster.replicas:
+                assert _rows(replica.address, "SELECT v FROM a") == [(11,)]
+                assert _rows(replica.address, "SELECT w FROM b") == [("x",)]
+
+    def test_aborted_transactions_never_surface(self, tmp_path) -> None:
+        with ReplicationCluster(str(tmp_path), replicas=1) as cluster:
+            with RemoteDatabase(cluster.address).session(autocommit=False) as s:
+                s.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+                s.commit()
+                s.execute("INSERT INTO t VALUES (1)")
+                s.rollback()
+                s.execute("INSERT INTO t VALUES (2)")
+                s.commit()
+            cluster.wait_sync()
+            # The rolled-back insert never surfaces (the engine does not
+            # even ship it: writes reach the log at commit time).
+            assert _rows(cluster.replicas[0].address, "SELECT id FROM t") == [(2,)]
+
+    def test_epoch_rollover_mid_stream(self, tmp_path) -> None:
+        database = Database(
+            data_dir=str(tmp_path / "db"),
+            durability=DurabilityOptions(fsync="off", checkpoint_log_bytes=None),
+        )
+        with ReplicationCluster(
+            str(tmp_path), replicas=1, database=database
+        ) as cluster:
+            with RemoteDatabase(cluster.address).session() as session:
+                session.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+                for i in range(20):
+                    session.execute(f"INSERT INTO t VALUES ({i}, {i})")
+                cluster.wait_sync()
+                # Checkpoint rotates the log to a new epoch file; the
+                # stream must hop epochs without dropping frames.
+                database.checkpoint()
+                for i in range(20, 40):
+                    session.execute(f"INSERT INTO t VALUES ({i}, {i})")
+            cluster.wait_sync()
+            replica = cluster.replicas[0]
+            assert replica.watermark[0] >= 2  # past the rollover
+            assert _rows(replica.address, "SELECT COUNT(*) FROM t") == [(40,)]
+
+    def test_bootstrap_refused_after_checkpoint(self, tmp_path) -> None:
+        database = Database(
+            data_dir=str(tmp_path / "db"),
+            durability=DurabilityOptions(fsync="off", checkpoint_log_bytes=None),
+        )
+        database.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        database.execute("INSERT INTO t VALUES (1)")
+        database.checkpoint()  # rows now live in the snapshot, not the log
+        server = SqlServer(database=database, host="127.0.0.1", port=0).start()
+        try:
+            replica = ReplicaServer(
+                server.address, name="late", reconnect=False
+            ).start()
+            try:
+                deadline_error = None
+                for _ in range(100):
+                    if replica.last_error:
+                        deadline_error = replica.last_error
+                        break
+                    import time
+
+                    time.sleep(0.05)
+                assert deadline_error is not None
+                assert "checkpoint already truncated" in deadline_error
+            finally:
+                replica.kill()
+        finally:
+            server.kill()
+            database.close()
+
+
+class TestReadOnlyContract:
+    def test_writes_rejected_and_reads_allowed(self, tmp_path) -> None:
+        with ReplicationCluster(str(tmp_path), replicas=1) as cluster:
+            with RemoteDatabase(cluster.address).session() as session:
+                session.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+                session.execute("INSERT INTO t VALUES (1)")
+            cluster.wait_sync()
+            replica = cluster.replicas[0]
+            with RemoteDatabase(replica.address).session() as session:
+                assert session.execute("SELECT id FROM t").rows == [(1,)]
+                with pytest.raises(ReadOnlyError):
+                    session.execute("INSERT INTO t VALUES (2)")
+                with pytest.raises(SqlExecutionError):
+                    session.checkpoint()
+
+    def test_promotion_clears_read_only(self, tmp_path) -> None:
+        with ReplicationCluster(str(tmp_path), replicas=1) as cluster:
+            with RemoteDatabase(cluster.address).session() as session:
+                session.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+            cluster.wait_sync()
+            cluster.kill_primary()
+            promoted = cluster.promote(0)
+            assert promoted.role == "primary"
+            with RemoteDatabase(promoted.address).session() as session:
+                session.execute("INSERT INTO t VALUES (1)")
+                assert session.execute("SELECT COUNT(*) FROM t").rows == [(1,)]
+
+
+class TestWatermarkProtocol:
+    def test_wal_position_and_wait_lsn(self, tmp_path) -> None:
+        with ReplicationCluster(str(tmp_path), replicas=1) as cluster:
+            with RemoteDatabase(cluster.address).session() as session:
+                session.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+                session.execute("INSERT INTO t VALUES (1)")
+            primary_pos = cluster.wal_position()
+            client = WireClient(*cluster.replicas[0].address)
+            try:
+                reached = client.wait_lsn(primary_pos, timeout=10.0)
+                assert reached >= primary_pos
+                assert client.wal_position() >= primary_pos
+            finally:
+                client.close()
+
+    def test_wait_lsn_times_out_on_stalled_replica(self, tmp_path) -> None:
+        with ReplicationCluster(str(tmp_path), replicas=1, faulty=True) as cluster:
+            with RemoteDatabase(cluster.address).session() as session:
+                session.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+            cluster.wait_sync()
+            cluster.links[0].refuse_new(True)
+            cluster.links[0].sever()  # stream down; watermark frozen
+            with RemoteDatabase(cluster.address).session() as session:
+                session.execute("INSERT INTO t VALUES (1)")
+            primary_pos = cluster.wal_position()
+            client = WireClient(*cluster.replicas[0].address)
+            try:
+                with pytest.raises(SqlExecutionError, match="WAIT_LSN timed out"):
+                    client.wait_lsn(primary_pos, timeout=0.2)
+            finally:
+                client.close()
+
+    def test_replication_stats_exposed(self, tmp_path) -> None:
+        with ReplicationCluster(str(tmp_path), replicas=1) as cluster:
+            with RemoteDatabase(cluster.address).session() as session:
+                session.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+                session.execute("INSERT INTO t VALUES (1)")
+            cluster.wait_sync()
+            primary_stats = RemoteDatabase(cluster.address).server_stats()
+            assert primary_stats["replication"]["role"] == "primary"
+            assert primary_stats["replication"]["wal_chunks_shipped"] >= 1
+            replica_stats = RemoteDatabase(
+                cluster.replicas[0].address
+            ).server_stats()
+            section = replica_stats["replication"]
+            assert section["role"] == "replica"
+            assert section["transactions_applied"] >= 1
+            assert tuple(section["watermark"]) == cluster.replicas[0].watermark
+
+
+class TestTailer:
+    def test_tailer_rejects_checkpointed_epoch(self, tmp_path) -> None:
+        database = Database(
+            data_dir=str(tmp_path / "db"),
+            durability=DurabilityOptions(fsync="off", checkpoint_log_bytes=None),
+        )
+        try:
+            database.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+            database.checkpoint()  # epoch 1 deleted, epoch 2 live
+            tailer = WalTailer(str(tmp_path / "db"), epoch=1, offset=0)
+            with pytest.raises(ReplicationError):
+                tailer.next_chunk()
+        finally:
+            database.close()
+
+    def test_tailer_streams_across_rotation(self, tmp_path) -> None:
+        data_dir = str(tmp_path / "db")
+        database = Database(
+            data_dir=data_dir,
+            durability=DurabilityOptions(fsync="off", checkpoint_log_bytes=None),
+        )
+        try:
+            database.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+            database.execute("INSERT INTO t VALUES (1)")
+            tailer = WalTailer(data_dir)
+            shipped = []
+            while True:
+                chunk = tailer.next_chunk()
+                if chunk is None:
+                    break
+                shipped.append(chunk)
+            assert shipped and shipped[-1][0] == 1
+            database.checkpoint()
+            database.execute("INSERT INTO t VALUES (2)")
+            while True:
+                chunk = tailer.next_chunk()
+                if chunk is None:
+                    break
+                shipped.append(chunk)
+            assert shipped[-1][0] == 2  # hopped to the post-rotation epoch
+        finally:
+            database.close()
