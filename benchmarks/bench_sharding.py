@@ -1,0 +1,568 @@
+"""Sharding: write scaling, fan-out latency, 2PC overhead, kill schedules.
+
+The experiment answers the questions hash-partitioned sharding raises:
+
+* does a second (and fourth) shard buy write throughput — keyed
+  single-shard writes through the coordinator against 1/2/4 shard
+  processes, every server in its own process (one interpreter lock per
+  node, the way a deployment runs);
+* what does a fan-out cost — latency percentiles for single-shard routed
+  lookups vs scatter-gather aggregates vs ordered k-way merges over the
+  same population;
+* what does two-phase commit cost — commit latency of a cross-shard
+  transfer (PREPARE + journaled decision + COMMIT_PREPARED on two
+  participants) against the same transfer pinned to one shard;
+* does a shard crash lose money — 10 seeded kill schedules run randomised
+  cross-shard transfers, kill a shard node mid-run, restart it, let the
+  coordinator resolve in-doubt transactions from its decision journal and
+  audit: the account total is exactly conserved, every applied transfer
+  is atomic (balances replay from the transfer ledger), and every
+  acknowledged transfer survived.  ``stock_sum_violations``,
+  ``torn_transfers`` and ``lost_acked`` in the report are the CI gate.
+
+Write scaling needs real cores: the report carries ``cpu_count`` and
+``parallel_capable`` and the scaling ratio is only meaningful where the
+host can actually run the shard processes in parallel.
+
+Two ways to run it:
+
+* ``python benchmarks/bench_sharding.py [--smoke] [--output PATH]`` —
+  standalone: emits the machine-readable JSON document (written to
+  ``BENCH_sharding.json`` by default).  ``--smoke`` shrinks the workload
+  for CI.
+* ``python -m pytest benchmarks/bench_sharding.py`` — as a test,
+  asserting the report shape and the zero-loss gates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import re
+import shutil
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # standalone: make src/ importable without pytest
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.errors import SqlError
+from repro.netclient.client import RemoteDatabase
+from repro.netclient.pool import ConnectionPool
+from repro.server.server import SqlServer
+from repro.sharding import ShardMap, ShardedDatabase
+from repro.sqlengine.engine import Database
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+# -- process-per-node topology ------------------------------------------------
+
+
+def _spawn_node(args: list[str]) -> tuple[subprocess.Popen, tuple[str, int]]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_BENCH_DIR.parent / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.replication.serve", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline()
+    match = re.match(r"PORT (\d+)", line)
+    if not match:
+        proc.kill()
+        raise RuntimeError(
+            f"node failed to start: {line!r}\n{proc.stderr.read()}"
+        )
+    return proc, ("127.0.0.1", int(match.group(1)))
+
+
+class ProcessCluster:
+    """N shard-primary processes behind one coordinator process."""
+
+    def __init__(self, num_shards: int, base_dir: str):
+        self.procs: list[subprocess.Popen] = []
+        shard_args: list[str] = []
+        for index in range(num_shards):
+            proc, address = _spawn_node(
+                ["primary", "--data-dir", os.path.join(base_dir, f"s{index}")]
+            )
+            self.procs.append(proc)
+            shard_args.extend(["--shard", f"{address[0]}:{address[1]}"])
+        proc, self.address = _spawn_node(
+            [
+                "coordinator",
+                *shard_args,
+                "--table",
+                "bench=id",
+                "--data-dir",
+                os.path.join(base_dir, "coord"),
+            ]
+        )
+        self.procs.append(proc)
+
+    def stop(self) -> None:
+        for proc in self.procs:
+            proc.terminate()
+        for proc in self.procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
+# -- write scaling ------------------------------------------------------------
+
+
+def _write_worker(
+    address: tuple[str, int], start: int, count: int, barrier: threading.Barrier
+) -> None:
+    with RemoteDatabase(address).session() as session:
+        barrier.wait()
+        for i in range(start, start + count):
+            session.execute(
+                "INSERT INTO bench (id, v) VALUES (?, ?)", (i, i)
+            )
+
+
+def measure_write_scaling(
+    shard_counts: tuple[int, ...], *, clients: int, writes_per_client: int
+) -> dict:
+    entries = []
+    for num_shards in shard_counts:
+        base = tempfile.mkdtemp(prefix=f"bench-shard-{num_shards}-")
+        cluster = ProcessCluster(num_shards, base)
+        try:
+            with RemoteDatabase(cluster.address).session() as session:
+                session.execute(
+                    "CREATE TABLE bench (id INT PRIMARY KEY, v INT)"
+                )
+            barrier = threading.Barrier(clients + 1)
+            workers = [
+                threading.Thread(
+                    target=_write_worker,
+                    args=(
+                        cluster.address,
+                        client * writes_per_client,
+                        writes_per_client,
+                        barrier,
+                    ),
+                )
+                for client in range(clients)
+            ]
+            for worker in workers:
+                worker.start()
+            barrier.wait()
+            started = time.perf_counter()
+            for worker in workers:
+                worker.join()
+            elapsed = time.perf_counter() - started
+            total = clients * writes_per_client
+            with RemoteDatabase(cluster.address).session() as session:
+                landed = session.execute("SELECT COUNT(*) FROM bench").rows[0][0]
+            assert landed == total, f"{landed} of {total} writes landed"
+            entries.append(
+                {
+                    "shards": num_shards,
+                    "writes": total,
+                    "elapsed_s": round(elapsed, 4),
+                    "writes_per_sec": round(total / elapsed, 1),
+                }
+            )
+        finally:
+            cluster.stop()
+            shutil.rmtree(base, ignore_errors=True)
+    single = next(
+        (e["writes_per_sec"] for e in entries if e["shards"] == 1), None
+    )
+    cpu_count = os.cpu_count() or 1
+    return {
+        "entries": entries,
+        "speedup_vs_single": {
+            str(e["shards"]): round(e["writes_per_sec"] / single, 2)
+            for e in entries
+            if single
+        },
+        "cpu_count": cpu_count,
+        # Each shard process plus the coordinator needs a core to scale.
+        "parallel_capable": cpu_count >= max(shard_counts) + 2,
+    }
+
+
+# -- fan-out latency and 2PC overhead -----------------------------------------
+
+
+def _percentiles(samples: list[float]) -> dict:
+    ordered = sorted(samples)
+    return {
+        "p50_ms": round(statistics.median(ordered) * 1000, 3),
+        "p99_ms": round(ordered[int(len(ordered) * 0.99) - 1] * 1000, 3),
+        "mean_ms": round(statistics.fmean(ordered) * 1000, 3),
+    }
+
+
+def measure_fanout_latency(rows: int, queries: int) -> dict:
+    base = tempfile.mkdtemp(prefix="bench-shard-fanout-")
+    cluster = ProcessCluster(2, base)
+    try:
+        with RemoteDatabase(cluster.address).session() as session:
+            session.execute("CREATE TABLE bench (id INT PRIMARY KEY, v INT)")
+            for start in range(0, rows, 100):
+                values = ", ".join(
+                    f"({i}, {i % 97})" for i in range(start, min(start + 100, rows))
+                )
+                session.execute(f"INSERT INTO bench VALUES {values}")
+            shapes = {
+                "single_shard_lookup": lambda i: session.execute(
+                    "SELECT v FROM bench WHERE id = ?", (i % rows,)
+                ),
+                "fanout_aggregate": lambda i: session.execute(
+                    "SELECT COUNT(*), SUM(v) FROM bench"
+                ),
+                "fanout_ordered_merge": lambda i: session.execute(
+                    "SELECT id FROM bench ORDER BY v, id LIMIT 20"
+                ),
+            }
+            report = {}
+            for name, run in shapes.items():
+                run(0)  # warm the plan caches on every node
+                samples = []
+                for i in range(queries):
+                    started = time.perf_counter()
+                    run(i)
+                    samples.append(time.perf_counter() - started)
+                report[name] = _percentiles(samples)
+        return report
+    finally:
+        cluster.stop()
+        shutil.rmtree(base, ignore_errors=True)
+
+
+def measure_2pc_overhead(accounts: int, transfers: int) -> dict:
+    base = tempfile.mkdtemp(prefix="bench-shard-2pc-")
+    cluster = ProcessCluster(2, base)
+    try:
+        with RemoteDatabase(cluster.address).session() as session:
+            session.execute(
+                "CREATE TABLE bench (id INT PRIMARY KEY, v INT)"
+            )
+            for i in range(accounts):
+                session.execute(
+                    "INSERT INTO bench VALUES (?, ?)", (i, 1000)
+                )
+
+        def transfer(source: int, destination: int) -> float:
+            with RemoteDatabase(cluster.address).session(
+                autocommit=False
+            ) as txn:
+                txn.execute(
+                    "UPDATE bench SET v = v - 1 WHERE id = ?", (source,)
+                )
+                txn.execute(
+                    "UPDATE bench SET v = v + 1 WHERE id = ?", (destination,)
+                )
+                started = time.perf_counter()
+                txn.commit()
+                return time.perf_counter() - started
+
+        # ids 0/2 share shard 0, 1/3 share shard 1: same statement count,
+        # the only difference is how many participants the commit drives.
+        single = [transfer(0, 2) for _ in range(transfers)]
+        cross = [transfer(0, 1) for _ in range(transfers)]
+        report = {
+            "single_shard_commit": _percentiles(single),
+            "cross_shard_2pc_commit": _percentiles(cross),
+            "overhead_ratio": round(
+                statistics.fmean(cross) / statistics.fmean(single), 2
+            ),
+        }
+        with RemoteDatabase(cluster.address).session() as session:
+            total = session.execute("SELECT SUM(v) FROM bench").rows[0][0]
+        assert total == accounts * 1000, "transfers must conserve the total"
+        return report
+    finally:
+        cluster.stop()
+        shutil.rmtree(base, ignore_errors=True)
+
+
+# -- seeded shard-kill schedules ----------------------------------------------
+
+ACCOUNTS = 20
+INITIAL_BALANCE = 1000
+
+
+def run_kill_schedule(seed: int, transfers: int, base_dir: str) -> dict:
+    """One seeded crash: transfer, kill a shard mid-run, recover, audit.
+
+    Shard servers run in-process (their engines survive the server kill,
+    exactly like a process whose sockets die before its state is lost to
+    the audit) and the coordinator journals 2PC decisions on disk.  After
+    the crash window the shard is restarted, a fresh coordinator replays
+    the journal, and three properties are audited:
+
+    * conservation — SUM(balance) over both shards is exactly the initial
+      total (the stock-sum gate);
+    * atomicity — replaying the transfer ledger from the initial state
+      reproduces the balances exactly (no torn transfer: each ledger row
+      commits atomically with its two balance updates);
+    * durability — every transfer acknowledged to the client is in the
+      ledger (2PC never loses a committed transaction).
+    """
+    rng = random.Random(seed)
+    shard_map = ShardMap(
+        version=1, num_shards=2, tables={"acct": "id", "xfer": "id"}
+    )
+    journal_dir = os.path.join(base_dir, f"schedule-{seed}", "coord")
+    databases = [Database(), Database()]
+    servers = [
+        SqlServer(database=database, max_connections=16).start()
+        for database in databases
+    ]
+    pools = [
+        ConnectionPool(server.address[0], server.address[1], max_size=4)
+        for server in servers
+    ]
+    coordinator = ShardedDatabase(shard_map, pools, data_dir=journal_dir)
+    coordinator.execute("CREATE TABLE acct (id INT PRIMARY KEY, balance INT)")
+    coordinator.execute(
+        "CREATE TABLE xfer (id INT PRIMARY KEY, src INT, dst INT, amount INT)"
+    )
+    for i in range(ACCOUNTS):
+        coordinator.execute(
+            "INSERT INTO acct VALUES (?, ?)", (i, INITIAL_BALANCE)
+        )
+
+    kill_after = rng.randrange(1, transfers)
+    victim = rng.randrange(2)
+    # The kill fires from its own thread after a seeded jitter, so across
+    # the schedules it lands everywhere in the transfer loop — including
+    # inside the window between PREPARE and COMMIT_PREPARED.
+    kill_delay = rng.random() * 0.002
+    kill_armed = threading.Event()
+    killed = threading.Event()
+
+    def _killer() -> None:
+        kill_armed.wait()
+        time.sleep(kill_delay)
+        servers[victim].kill()
+        killed.set()
+
+    killer = threading.Thread(target=_killer, daemon=True)
+    killer.start()
+    acked: list[int] = []
+    attempted = 0
+    for transfer_id in range(transfers):
+        if transfer_id == kill_after:
+            kill_armed.set()
+        source = rng.randrange(ACCOUNTS)
+        destination = (source + rng.randrange(1, ACCOUNTS)) % ACCOUNTS
+        amount = rng.randint(1, 9)
+        attempted += 1
+        try:
+            with coordinator.session(autocommit=False) as txn:
+                txn.execute(
+                    "UPDATE acct SET balance = balance - ? WHERE id = ?",
+                    (amount, source),
+                )
+                txn.execute(
+                    "UPDATE acct SET balance = balance + ? WHERE id = ?",
+                    (amount, destination),
+                )
+                txn.execute(
+                    "INSERT INTO xfer VALUES (?, ?, ?, ?)",
+                    (transfer_id, source, destination, amount),
+                )
+                txn.commit()
+            acked.append(transfer_id)
+        except (SqlError, OSError):
+            continue  # the dead shard vetoed or the commit went in doubt
+    kill_armed.set()
+    killer.join(timeout=10)
+    coordinator.close()
+    for pool in pools:
+        pool.close()
+
+    # Restart the dead node's server over its surviving engine, then a
+    # fresh coordinator: its constructor replays the decision journal and
+    # resolves every in-doubt prepared batch.
+    servers[victim] = SqlServer(
+        database=databases[victim], max_connections=16
+    ).start()
+    pools = [
+        ConnectionPool(server.address[0], server.address[1], max_size=4)
+        for server in servers
+    ]
+    recovered = ShardedDatabase(shard_map, pools, data_dir=journal_dir)
+    recovered.register_table("acct", ("id", "balance"))
+    recovered.register_table("xfer", ("id", "src", "dst", "amount"))
+    try:
+        resolution = recovered.stats()
+        total = recovered.execute("SELECT SUM(balance) FROM acct").rows[0][0]
+        balances = dict(
+            recovered.execute("SELECT id, balance FROM acct").rows
+        )
+        ledger = recovered.execute(
+            "SELECT id, src, dst, amount FROM xfer"
+        ).rows
+        replayed = {i: INITIAL_BALANCE for i in range(ACCOUNTS)}
+        for _xfer_id, source, destination, amount in ledger:
+            replayed[source] -= amount
+            replayed[destination] += amount
+        ledger_ids = {row[0] for row in ledger}
+        lost_acked = len([t for t in acked if t not in ledger_ids])
+        return {
+            "seed": seed,
+            "kill_after": kill_after,
+            "victim_shard": victim,
+            "attempted": attempted,
+            "acked": len(acked),
+            "applied": len(ledger_ids),
+            "in_doubt_committed": resolution["in_doubt_committed"],
+            "in_doubt_aborted": resolution["in_doubt_aborted"],
+            "stock_sum_ok": total == ACCOUNTS * INITIAL_BALANCE,
+            "torn": replayed != balances,
+            "lost_acked": lost_acked,
+        }
+    finally:
+        recovered.close()
+        for pool in pools:
+            pool.close()
+        for server in servers:
+            server.kill()
+        for database in databases:
+            database.close()
+
+
+def measure_kill_schedules(schedules: int, transfers: int) -> dict:
+    base = tempfile.mkdtemp(prefix="bench-shard-kill-")
+    try:
+        entries = [
+            run_kill_schedule(seed, transfers, base)
+            for seed in range(schedules)
+        ]
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+    return {
+        "schedules": entries,
+        # The CI gate: money is conserved, transfers are atomic, and no
+        # acknowledged transfer vanished.
+        "stock_sum_violations": sum(
+            1 for e in entries if not e["stock_sum_ok"]
+        ),
+        "torn_transfers": sum(1 for e in entries if e["torn"]),
+        "lost_acked": sum(e["lost_acked"] for e in entries),
+    }
+
+
+# -- the experiment -----------------------------------------------------------
+
+
+def run_experiment(
+    *,
+    shard_counts: tuple[int, ...],
+    clients: int,
+    writes_per_client: int,
+    fanout_rows: int,
+    fanout_queries: int,
+    twopc_transfers: int,
+    kill_schedules: int,
+    kill_transfers: int,
+) -> dict:
+    return {
+        "write_scaling": measure_write_scaling(
+            shard_counts, clients=clients, writes_per_client=writes_per_client
+        ),
+        "fanout_latency": measure_fanout_latency(fanout_rows, fanout_queries),
+        "twopc_overhead": measure_2pc_overhead(
+            accounts=8, transfers=twopc_transfers
+        ),
+        "kill_schedules": measure_kill_schedules(
+            kill_schedules, kill_transfers
+        ),
+    }
+
+
+# -- pytest entry point -------------------------------------------------------
+
+
+def test_sharding_report_shape_and_invariants(capsys) -> None:
+    report = run_experiment(
+        shard_counts=(1, 2),
+        clients=4,
+        writes_per_client=40,
+        fanout_rows=400,
+        fanout_queries=40,
+        twopc_transfers=40,
+        kill_schedules=10,
+        kill_transfers=25,
+    )
+    scaling = report["write_scaling"]
+    assert {entry["shards"] for entry in scaling["entries"]} == {1, 2}
+    for entry in scaling["entries"]:
+        assert entry["writes_per_sec"] > 0
+
+    latency = report["fanout_latency"]
+    for shape in (
+        "single_shard_lookup",
+        "fanout_aggregate",
+        "fanout_ordered_merge",
+    ):
+        assert latency[shape]["p50_ms"] > 0
+
+    overhead = report["twopc_overhead"]
+    assert overhead["cross_shard_2pc_commit"]["p50_ms"] > 0
+    # A 2PC commit does strictly more work than a one-shard commit.
+    assert overhead["overhead_ratio"] > 0.5
+
+    kills = report["kill_schedules"]
+    assert len(kills["schedules"]) == 10
+    assert kills["stock_sum_violations"] == 0
+    assert kills["torn_transfers"] == 0
+    assert kills["lost_acked"] == 0
+    with capsys.disabled():
+        print("\n" + json.dumps(report, indent=2))
+
+
+# -- standalone entry point ---------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    from _cli import emit_report, parse_bench_args
+
+    args = parse_bench_args(__doc__, "BENCH_sharding.json", argv)
+    if args.smoke:
+        report = run_experiment(
+            shard_counts=(1, 2, 4),
+            clients=4,
+            writes_per_client=60,
+            fanout_rows=600,
+            fanout_queries=60,
+            twopc_transfers=60,
+            kill_schedules=10,
+            kill_transfers=30,
+        )
+    else:
+        report = run_experiment(
+            shard_counts=(1, 2, 4),
+            clients=8,
+            writes_per_client=250,
+            fanout_rows=5000,
+            fanout_queries=200,
+            twopc_transfers=300,
+            kill_schedules=10,
+            kill_transfers=100,
+        )
+    emit_report(report, args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -225,9 +225,32 @@ class WireClient:
         )
         return message.lsn
 
-    def promote(self) -> None:
-        """PROMOTE a replica server into a writable primary."""
-        self.request(protocol.encode_simple(protocol.PROMOTE))
+    def promote(self, data_dir: Optional[str] = None) -> None:
+        """PROMOTE a replica server into a writable primary; with
+        ``data_dir`` the promoted server becomes durable there first."""
+        self.request(protocol.encode_promote(data_dir or ""))
+
+    # -- two-phase commit (the sharding coordinator's verbs) ------------------
+
+    def prepare_txn(self, gid: str) -> None:
+        """PREPARE_TXN: make the open transaction durable under ``gid``
+        without committing it (phase one of two-phase commit)."""
+        self.request(protocol.encode_prepare_txn(gid))
+
+    def commit_prepared(self, gid: str) -> None:
+        """COMMIT_PREPARED: apply a prepared transaction (idempotent)."""
+        self.request(protocol.encode_commit_prepared(gid))
+
+    def abort_prepared(self, gid: str) -> None:
+        """ABORT_PREPARED: discard a prepared transaction (presumed abort:
+        unknown gids succeed silently)."""
+        self.request(protocol.encode_abort_prepared(gid))
+
+    def list_prepared(self) -> list[str]:
+        """LIST_PREPARED: gids of every in-doubt transaction on the server."""
+        return json.loads(
+            self.request(protocol.encode_simple(protocol.LIST_PREPARED)).text
+        )
 
     def ping(self) -> bool:
         """Round-trip liveness probe; False (never an exception) when the
@@ -437,6 +460,28 @@ class RemoteSession:
         """Roll back the open transaction (no-op when none is open)."""
         self._check_open()
         self._client.rollback()
+
+    def prepare_txn(self, gid: str) -> None:
+        """Two-phase commit phase one: park the open transaction under
+        ``gid``; a later :meth:`commit_prepared`/:meth:`abort_prepared`
+        (from any connection) decides it."""
+        self._check_open()
+        self._client.prepare_txn(gid)
+
+    def commit_prepared(self, gid: str) -> None:
+        """Apply a prepared transaction (idempotent)."""
+        self._check_open()
+        self._client.commit_prepared(gid)
+
+    def abort_prepared(self, gid: str) -> None:
+        """Discard a prepared transaction (presumed abort)."""
+        self._check_open()
+        self._client.abort_prepared(gid)
+
+    def list_prepared(self) -> list[str]:
+        """Gids of every in-doubt transaction on the server."""
+        self._check_open()
+        return self._client.list_prepared()
 
     # -- server-side extras --------------------------------------------------
 

@@ -499,6 +499,32 @@ class RoutedSession:
         if self._primary is not None:
             self._with_primary(lambda s: s.rollback(), retryable=False)
 
+    # -- two-phase commit (the sharding coordinator's verbs) ------------------
+
+    def prepare_txn(self, gid: str) -> None:
+        """Phase one against the primary.  Never retried across a
+        failover: the transaction's server state died with the old
+        primary, so the coordinator must treat the failure as a veto."""
+        self._check_open()
+        self._with_primary(lambda s: s.prepare_txn(gid), retryable=False)
+
+    def commit_prepared(self, gid: str) -> None:
+        """Apply a prepared transaction.  Retryable: the decision is
+        idempotent, and a promoted replica adopted the prepared batch."""
+        self._check_open()
+        self._with_primary(lambda s: s.commit_prepared(gid), retryable=True)
+        self._routed._note_write(self._primary.client.last_lsn)
+
+    def abort_prepared(self, gid: str) -> None:
+        """Discard a prepared transaction (presumed abort; retryable)."""
+        self._check_open()
+        self._with_primary(lambda s: s.abort_prepared(gid), retryable=True)
+
+    def list_prepared(self) -> list:
+        """Gids in doubt on the current primary."""
+        self._check_open()
+        return self._with_primary(lambda s: s.list_prepared(), retryable=True)
+
     # -- server-side extras --------------------------------------------------
 
     def explain(self, sql: str) -> str:
@@ -666,6 +692,7 @@ class RoutedSession:
                 result = fn(session)
             except _LagTimeout:
                 # Fall back for this read; keep the replica pinned.
+                pool._count("lag_fallbacks")
                 if self._read_only:
                     raise SqlExecutionError(
                         "replica did not catch up to the last write in time"
@@ -709,8 +736,10 @@ class RoutedSession:
         except SqlError as error:
             if client.closed:
                 raise  # transport death, not a lag timeout
+            pool._count("watermark_wait_timeouts")
             raise _LagTimeout() from error
         if reached < target:
+            pool._count("watermark_wait_timeouts")
             raise _LagTimeout()
 
     def _check_open(self) -> None:
@@ -758,6 +787,7 @@ class ReplicatedConnectionPool:
         read_your_writes_timeout: float = 5.0,
         failover: bool = True,
         retry_writes_on_failover: bool = True,
+        promote_data_dir: Optional[str] = None,
         min_size: int = 0,
         max_size: int = 8,
         checkout_timeout: float = 5.0,
@@ -770,6 +800,10 @@ class ReplicatedConnectionPool:
         self.read_your_writes_timeout = read_your_writes_timeout
         self.failover = failover
         self.retry_writes_on_failover = retry_writes_on_failover
+        #: When set, a failover promotion asks the replica to become
+        #: durable at this path (PROMOTE's optional data_dir), so the new
+        #: primary's committed prefix survives its own crashes too.
+        self.promote_data_dir = promote_data_dir
         self.batch_rows = batch_rows
         self._pool_options = dict(
             min_size=min_size,
@@ -794,6 +828,13 @@ class ReplicatedConnectionPool:
         self.reads_on_primary = 0
         self.writes_on_primary = 0
         self.read_your_writes_waits = 0
+        #: Read-your-writes waits that timed out (the replica was lagging
+        #: past ``read_your_writes_timeout``)...
+        self.watermark_wait_timeouts = 0
+        #: ...and the reads that consequently fell back to the primary
+        #: (every timeout becomes a fallback; read-only sessions surface
+        #: the error instead, so the two can differ).
+        self.lag_fallbacks = 0
         self.replicas_evicted = 0
         self.replicas_detached = 0
         self.failovers = 0
@@ -930,7 +971,7 @@ class ReplicatedConnectionPool:
                 continue
             try:
                 with node.pool.session() as session:
-                    session.client.promote()
+                    session.client.promote(self.promote_data_dir)
             except (SqlError, OSError):
                 self._evict(node)
                 continue
@@ -968,6 +1009,8 @@ class ReplicatedConnectionPool:
                 "reads_on_primary": self.reads_on_primary,
                 "writes_on_primary": self.writes_on_primary,
                 "read_your_writes_waits": self.read_your_writes_waits,
+                "watermark_wait_timeouts": self.watermark_wait_timeouts,
+                "lag_fallbacks": self.lag_fallbacks,
                 "replicas_evicted": self.replicas_evicted,
                 "replicas_detached": self.replicas_detached,
                 "failovers": self.failovers,

@@ -31,6 +31,12 @@ class ReplicaApplier:
     def __init__(self, database) -> None:
         self._database = database
         self._pending: dict[int, list[wal.WalRecord]] = {}
+        #: Two-phase commit: prepared batches keyed by gid.  Unlike
+        #: ``_pending`` these ARE durable on the primary (a PREPARE frame is
+        #: synced before the coordinator proceeds), so a promotion must not
+        #: drop them — it adopts them into the engine so the coordinator's
+        #: retried decision still lands.
+        self._prepared: dict[str, list[wal.WalRecord]] = {}
         self._watermark_cond = threading.Condition()
         self._watermark = (0, 0)
         #: Committed transactions applied (replica-side observability).
@@ -53,6 +59,17 @@ class ReplicaApplier:
         """Transactions seen but not yet committed or aborted."""
         return len(self._pending)
 
+    @property
+    def prepared_transactions(self) -> int:
+        """Prepared (in-doubt) batches awaiting a coordinator decision."""
+        return len(self._prepared)
+
+    def take_prepared(self) -> dict[str, list[wal.WalRecord]]:
+        """Hand the prepared batches to a promotion (clears the buffer)."""
+        prepared = self._prepared
+        self._prepared = {}
+        return prepared
+
     def apply_chunk(self, epoch: int, start: int, end: int, data: bytes) -> None:
         """Replay one shipped chunk and advance the watermark to its end."""
         for payload, _end in wal.read_frames(data):
@@ -60,6 +77,14 @@ class ReplicaApplier:
         with self._watermark_cond:
             if (epoch, end) > self._watermark:
                 self._watermark = (epoch, end)
+                self._watermark_cond.notify_all()
+
+    def advance_watermark(self, lsn: tuple[int, int]) -> None:
+        """Jump the watermark forward (snapshot bootstrap: the installed
+        image already covers everything below ``lsn``)."""
+        with self._watermark_cond:
+            if lsn > self._watermark:
+                self._watermark = lsn
                 self._watermark_cond.notify_all()
 
     def wait_for(self, lsn: tuple[int, int], timeout: float) -> bool:
@@ -93,6 +118,15 @@ class ReplicaApplier:
             self._apply_transaction(operations)
         elif kind == wal.ABORT:
             if self._pending.pop(record.txn, None) is not None:
+                self.transactions_discarded += 1
+        elif kind == wal.PREPARE:
+            self._prepared[record.gid] = self._pending.pop(record.txn, [])
+        elif kind == wal.COMMIT_PREPARED:
+            operations = self._prepared.pop(record.gid, None)
+            if operations is not None:
+                self._apply_transaction(operations)
+        elif kind == wal.ABORT_PREPARED:
+            if self._prepared.pop(record.gid, None) is not None:
                 self.transactions_discarded += 1
         elif kind == wal.DDL:
             self._apply_ddl(record.payload or {})
@@ -129,4 +163,5 @@ class ReplicaApplier:
             "ddl_applied": self.ddl_applied,
             "transactions_discarded": self.transactions_discarded,
             "pending_transactions": self.pending_transactions,
+            "prepared_transactions": self.prepared_transactions,
         }

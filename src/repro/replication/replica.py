@@ -30,6 +30,7 @@ from repro.errors import SqlError
 from repro.replication.apply import ReplicaApplier
 from repro.server import protocol
 from repro.server.server import SqlServer
+from repro.sqlengine.durability.snapshot import parse_snapshot
 from repro.sqlengine.engine import Database
 from repro.sqlengine.errors import ReplicationError
 
@@ -107,6 +108,9 @@ class ReplicaServer:
         #: WAL chunks / raw bytes received over the stream's lifetime.
         self.chunks_received = 0
         self.bytes_received = 0
+        #: Snapshot bootstraps completed and their streamed byte volume.
+        self.snapshots_bootstrapped = 0
+        self.snapshot_bytes_received = 0
         self.last_error: Optional[str] = None
         #: The primary's end-of-log position at the last stream handshake.
         self.primary_position = (0, 0)
@@ -141,18 +145,33 @@ class ReplicaServer:
         """Block until the watermark reaches ``lsn``; False on timeout."""
         return self.applier.wait_for(lsn, timeout)
 
-    def promote(self, drain_timeout: float = 5.0) -> None:
+    def promote(
+        self, drain_timeout: float = 5.0, data_dir: Optional[str] = None
+    ) -> None:
         """Turn this replica into a writable primary.
 
         Stops the stream after draining every complete frame already
         received, discards transactions without a COMMIT (the committed-
         prefix rule) and clears the server's read-only flag.  Idempotent.
+
+        With ``data_dir`` the promoted engine becomes durable there first
+        (empty-directory checkpoint + fresh write-ahead log), so the new
+        primary's committed prefix survives its own crashes.  Prepared
+        (in-doubt) two-phase-commit batches from the stream are adopted
+        either way — re-logged when durable — so the coordinator's retried
+        decision still lands on this node.
         """
         if self._role == "primary":
             return
         self.reconnect = False
         self._stop_stream(drain_timeout)
         self.applier.discard_pending()
+        if data_dir is not None:
+            self.database.make_durable(data_dir)
+        # Adopt AFTER make_durable: adoption re-logs each batch into the
+        # fresh log, where the empty-directory checkpoint cannot strand it.
+        for gid, records in self.applier.take_prepared().items():
+            self.database.adopt_recovered_prepared(gid, records)
         self._role = "primary"
         self.server.read_only = False
 
@@ -241,6 +260,10 @@ class ReplicaServer:
             if reply.op == protocol.ERROR:
                 protocol.raise_remote_error(reply.error_class, reply.message)
             epoch, offset = self.applier.watermark
+            if (epoch, offset) == (0, 0):
+                # Fresh replica: pull the primary's snapshot (if any) before
+                # tailing the log, so attaching after checkpoints works.
+                epoch, offset = self._bootstrap(sock, buffer)
             sock.sendall(
                 protocol.frame(protocol.encode_replicate(epoch, offset, self.name))
             )
@@ -268,6 +291,49 @@ class ReplicaServer:
                 sock.close()
             except OSError:
                 pass
+
+    def _bootstrap(self, sock, buffer: _FrameBuffer) -> tuple[int, int]:
+        """Ask the primary for its snapshot; returns the replication start.
+
+        Collects SNAPSHOT_CHUNK frames until the terminating LSN, installs
+        the decoded snapshot into the (empty) engine and advances the
+        watermark to the position the snapshot covers.  A bare LSN
+        ``(0, 0)`` with no chunks means the primary has no snapshot yet and
+        log replication starts from the beginning.
+        """
+        sock.sendall(protocol.frame(protocol.encode_simple(protocol.BOOTSTRAP)))
+        chunks: list[bytes] = []
+        while True:
+            message = self._next_message(sock, buffer)
+            if message is None:
+                raise EOFError("primary closed during the bootstrap stream")
+            if message.op == protocol.ERROR:
+                protocol.raise_remote_error(message.error_class, message.message)
+            if message.op == protocol.SNAPSHOT_CHUNK:
+                chunks.append(message.chunk)
+                self.snapshot_bytes_received += len(message.chunk)
+                continue
+            if message.op == protocol.LSN:
+                position = message.lsn
+                break
+            raise protocol.ProtocolError(
+                f"unexpected {message.op_name} frame in a bootstrap stream"
+            )
+        if not chunks and position == (0, 0):
+            return (0, 0)
+        snapshot = parse_snapshot(b"".join(chunks), source="bootstrap stream")
+        database = self.database
+        with database._mvcc.exclusive():
+            for schema in snapshot.schemas:
+                if not database.catalog.has_table(schema.name):
+                    database.catalog.create_table(schema)
+            database._tables.update(snapshot.tables)
+            for data in snapshot.tables.values():
+                data.attach_mvcc(database._mvcc)
+            database._invalidate_cache()
+        self.applier.advance_watermark(position)
+        self.snapshots_bootstrapped += 1
+        return position
 
     def _next_message(self, sock, buffer: _FrameBuffer):
         """The next decoded server message; None on EOF, or after a stop
@@ -317,6 +383,8 @@ class ReplicaServer:
             "stream_errors": self.stream_errors,
             "chunks_received": self.chunks_received,
             "bytes_received": self.bytes_received,
+            "snapshots_bootstrapped": self.snapshots_bootstrapped,
+            "snapshot_bytes_received": self.snapshot_bytes_received,
             "primary_position": list(self.primary_position),
         }
         if self.last_error:

@@ -8,17 +8,24 @@ the same components: each invocation starts exactly one node, prints
 ``PORT <n>`` on stdout once it is accepting connections, and serves until
 the process is terminated.
 
-Three node kinds::
+Four node kinds::
 
     python -m repro.replication.serve primary --data-dir DIR
     python -m repro.replication.serve tpcw-primary --data-dir DIR --scale tiny
     python -m repro.replication.serve replica --primary HOST:PORT
+    python -m repro.replication.serve coordinator \
+        --shard HOST:PORT[,HOST:PORT...] --shard ... --table item=i_id
 
 ``primary`` serves an existing (or empty) durable database directory;
 ``tpcw-primary`` first populates the directory with the TPC-W dataset so a
 benchmark can spawn a loaded primary in one step; ``replica`` bootstraps
-over the REPLICATE stream and serves reads.  Every fault a test can
-inject in-process (kill -9, severed stream) works on these processes too.
+over the REPLICATE stream and serves reads; ``coordinator`` fronts a fleet
+of shard processes with a :class:`~repro.sharding.ShardedDatabase` —
+each ``--shard`` names one shard's primary (and optionally its replicas,
+comma-separated), each ``--table`` declares a hash-partitioned table, and
+``--data-dir`` keeps the two-phase-commit decision journal.  Every fault a
+test can inject in-process (kill -9, severed stream) works on these
+processes too.
 """
 
 from __future__ import annotations
@@ -126,6 +133,55 @@ def _run_replica(args: argparse.Namespace) -> int:
     return 0
 
 
+def _shard_spec(text: str) -> list[tuple[str, int]]:
+    """One shard: ``primary[,replica...]`` as HOST:PORT addresses."""
+    return [_address(part) for part in text.split(",") if part]
+
+
+def _table_spec(text: str) -> tuple[str, str]:
+    table, sep, key = text.partition("=")
+    if not sep or not table or not key:
+        raise argparse.ArgumentTypeError(
+            f"expected TABLE=PARTITION_KEY, got {text!r}"
+        )
+    return (table, key)
+
+
+def _run_coordinator(args: argparse.Namespace) -> int:
+    from repro.netclient.pool import ConnectionPool, ReplicatedConnectionPool
+    from repro.server.server import SqlServer
+    from repro.sharding import ShardMap, ShardedDatabase
+
+    pools = []
+    for spec in args.shard:
+        primary, replicas = spec[0], spec[1:]
+        if replicas:
+            pools.append(ReplicatedConnectionPool(primary, replicas))
+        else:
+            pools.append(
+                ConnectionPool(primary[0], primary[1], max_size=args.pool_size)
+            )
+    shard_map = ShardMap(
+        version=args.map_version,
+        num_shards=len(pools),
+        tables=dict(args.table or ()),
+    )
+    coordinator = ShardedDatabase(
+        shard_map, pools, data_dir=args.data_dir, name=args.name
+    )
+    server = SqlServer(
+        database=coordinator,
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+    ).start()
+    _announce(server.address)
+    _serve_forever()
+    server.kill()
+    coordinator.close()
+    return 0
+
+
 def _common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=0)
@@ -164,6 +220,31 @@ def build_parser() -> argparse.ArgumentParser:
     replica.add_argument("--name", default="replica")
     _common(replica)
     replica.set_defaults(run=_run_replica)
+
+    coordinator = commands.add_parser(
+        "coordinator", help="route a sharded fleet behind one wire endpoint"
+    )
+    coordinator.add_argument(
+        "--shard",
+        type=_shard_spec,
+        action="append",
+        required=True,
+        metavar="PRIMARY[,REPLICA...]",
+        help="one shard's primary (and optional replicas), repeatable",
+    )
+    coordinator.add_argument(
+        "--table",
+        type=_table_spec,
+        action="append",
+        metavar="TABLE=KEY",
+        help="hash-partitioned table and its partition key, repeatable",
+    )
+    coordinator.add_argument("--data-dir", default=None)
+    coordinator.add_argument("--map-version", type=int, default=1)
+    coordinator.add_argument("--pool-size", type=int, default=8)
+    coordinator.add_argument("--name", default="coordinator")
+    _common(coordinator)
+    coordinator.set_defaults(run=_run_coordinator)
     return parser
 
 

@@ -82,6 +82,13 @@ REPLICATE = 0x11
 WAL_POSITION = 0x12
 WAIT_LSN = 0x13
 PROMOTE = 0x14
+#: Two-phase commit (sharding coordinator -> shard).
+PREPARE_TXN = 0x15
+COMMIT_PREPARED = 0x16
+ABORT_PREPARED = 0x17
+LIST_PREPARED = 0x18
+#: Snapshot-based replica bootstrap: stream ``snapshot.db`` before tailing.
+BOOTSTRAP = 0x19
 
 # -- opcodes: server -> client ------------------------------------------------
 
@@ -94,6 +101,7 @@ STATS = 0x86
 EXPLAINED = 0x87
 WAL_CHUNK = 0x88
 LSN = 0x89
+SNAPSHOT_CHUNK = 0x8A
 ERROR = 0xFF
 
 OPCODE_NAMES = {
@@ -105,9 +113,13 @@ OPCODE_NAMES = {
     CHECKPOINT: "CHECKPOINT", SERVER_STATS: "SERVER_STATS", PING: "PING",
     GOODBYE: "GOODBYE", REPLICATE: "REPLICATE", WAL_POSITION: "WAL_POSITION",
     WAIT_LSN: "WAIT_LSN", PROMOTE: "PROMOTE",
+    PREPARE_TXN: "PREPARE_TXN", COMMIT_PREPARED: "COMMIT_PREPARED",
+    ABORT_PREPARED: "ABORT_PREPARED", LIST_PREPARED: "LIST_PREPARED",
+    BOOTSTRAP: "BOOTSTRAP",
     HELLO_OK: "HELLO_OK", RESULT: "RESULT", ROWS: "ROWS",
     OK: "OK", PREPARED: "PREPARED", STATS: "STATS", EXPLAINED: "EXPLAINED",
-    WAL_CHUNK: "WAL_CHUNK", LSN: "LSN", ERROR: "ERROR",
+    WAL_CHUNK: "WAL_CHUNK", LSN: "LSN", SNAPSHOT_CHUNK: "SNAPSHOT_CHUNK",
+    ERROR: "ERROR",
 }
 
 #: Server-frame flag bits.
@@ -243,6 +255,11 @@ class ClientMessage:
     epoch: int = 0
     offset: int = 0
     timeout_ms: int = 0
+    #: Two-phase commit: the coordinator-chosen global transaction id.
+    gid: str = ""
+    #: PROMOTE: where the promoted replica should start writing its own
+    #: log ("" keeps the promoted server in-memory, the pre-sharding shape).
+    data_dir: str = ""
 
     @property
     def op_name(self) -> str:
@@ -345,6 +362,39 @@ def encode_wait_lsn(epoch: int, offset: int, timeout_ms: int) -> bytes:
     return bytes(out)
 
 
+def encode_prepare_txn(gid: str) -> bytes:
+    """PREPARE_TXN: two-phase commit phase one — make the session's open
+    transaction durable under ``gid`` without committing it."""
+    out = bytearray([PREPARE_TXN])
+    _encode_str(gid, out)
+    return bytes(out)
+
+
+def encode_commit_prepared(gid: str) -> bytes:
+    """COMMIT_PREPARED: apply a prepared transaction (idempotent)."""
+    out = bytearray([COMMIT_PREPARED])
+    _encode_str(gid, out)
+    return bytes(out)
+
+
+def encode_abort_prepared(gid: str) -> bytes:
+    """ABORT_PREPARED: discard a prepared transaction (presumed abort:
+    unknown gids succeed silently)."""
+    out = bytearray([ABORT_PREPARED])
+    _encode_str(gid, out)
+    return bytes(out)
+
+
+def encode_promote(data_dir: str = "") -> bytes:
+    """PROMOTE: flip a replica into a writable primary.  The optional
+    trailing ``data_dir`` (new in the sharding work; older clients send the
+    fieldless form) makes the promoted server durable at that path first."""
+    out = bytearray([PROMOTE])
+    if data_dir:
+        _encode_str(data_dir, out)
+    return bytes(out)
+
+
 def decode_client_message(payload: bytes) -> ClientMessage:
     """Decode one client frame payload."""
     if not payload:
@@ -399,9 +449,18 @@ def decode_client_message(payload: bytes) -> ClientMessage:
         return ClientMessage(
             op=op, epoch=epoch, offset=log_offset, timeout_ms=timeout_ms
         )
+    if op in (PREPARE_TXN, COMMIT_PREPARED, ABORT_PREPARED):
+        gid, _ = _decode_str(payload, offset)
+        return ClientMessage(op=op, gid=gid)
+    if op == PROMOTE:
+        # Fieldless in pre-sharding clients; the trailing data_dir is optional.
+        data_dir = ""
+        if offset < len(payload):
+            data_dir, _ = _decode_str(payload, offset)
+        return ClientMessage(op=op, data_dir=data_dir)
     if op in (
         BEGIN, COMMIT, ROLLBACK, CHECKPOINT, SERVER_STATS, PING, GOODBYE,
-        WAL_POSITION, PROMOTE,
+        WAL_POSITION, LIST_PREPARED, BOOTSTRAP,
     ):
         return ClientMessage(op=op)
     raise ProtocolError(f"unknown client opcode {op:#x}")
@@ -537,6 +596,19 @@ def encode_wal_chunk(epoch: int, start: int, end: int, data: bytes) -> bytes:
     return bytes(out)
 
 
+def encode_snapshot_chunk(start: int, data: bytes) -> bytes:
+    """SNAPSHOT_CHUNK: ``len(data)`` bytes of the snapshot file starting at
+    byte ``start``.  A BOOTSTRAP answer is a run of these followed by one
+    LSN frame carrying the position the snapshot covers — the replica
+    resumes log replication from there.  A bare LSN ``(0, 0)`` with no
+    chunks means "no snapshot yet; replicate from the start of the log"."""
+    out = bytearray([SNAPSHOT_CHUNK, 0])
+    encode_varint(start, out)
+    encode_varint(len(data), out)
+    out.extend(data)
+    return bytes(out)
+
+
 def encode_prepared(stmt_id: int, in_transaction: bool) -> bytes:
     """PREPARED: the id of a freshly registered prepared statement."""
     out = bytearray([PREPARED, _flags(in_transaction)])
@@ -624,6 +696,13 @@ def decode_server_message(payload: bytes) -> ServerMessage:
         return ServerMessage(
             op=op, flags=flags, lsn=(epoch, end), chunk=data, chunk_start=start
         )
+    if op == SNAPSHOT_CHUNK:
+        start, offset = decode_varint(payload, offset)
+        length, offset = decode_varint(payload, offset)
+        if offset + length > len(payload):
+            raise ProtocolError("truncated SNAPSHOT_CHUNK data")
+        data = payload[offset:offset + length]
+        return ServerMessage(op=op, flags=flags, chunk=data, chunk_start=start)
     if op == PREPARED:
         stmt_id, _ = decode_varint(payload, offset)
         return ServerMessage(op=op, flags=flags, stmt_id=stmt_id)

@@ -28,6 +28,7 @@ recovery tests use to prove the WAL preserves the committed prefix.
 from __future__ import annotations
 
 import json
+import os
 import select
 import socket
 import threading
@@ -36,6 +37,7 @@ from typing import Optional
 from repro.errors import SqlError
 from repro.server import protocol
 from repro.sqlengine.durability import DurabilityOptions
+from repro.sqlengine.durability.snapshot import SNAPSHOT_NAME, snapshot_epoch
 from repro.sqlengine.engine import Database, ResultSet, Session
 from repro.sqlengine.errors import ReadOnlyError, SqlExecutionError
 
@@ -147,6 +149,12 @@ class _ClientHandler(threading.Thread):
                     # returns to request/response.
                     self._stream_wal(message)
                     return
+                if message.op == protocol.BOOTSTRAP:
+                    # Multi-frame response (snapshot chunks + a terminating
+                    # LSN), then back to request/response — the replica
+                    # follows up with REPLICATE on the same connection.
+                    self._stream_snapshot()
+                    continue
                 self._send(self._dispatch(message))
         except (OSError, ValueError):
             # Timeout, reset, or a socket torn down by shutdown()/kill():
@@ -323,9 +331,43 @@ class _ClientHandler(threading.Thread):
                 raise SqlExecutionError(
                     "PROMOTE rejected: this server is not a replica"
                 )
-            replica.promote()
+            replica.promote(data_dir=message.data_dir or None)
             return protocol.encode_ok(
                 self._in_transaction, lsn=self._server.wal_position()
+            )
+        if op == protocol.PREPARE_TXN:
+            if self._server.read_only:
+                raise ReadOnlyError(
+                    "PREPARE_TXN rejected: this server is a read-only replica"
+                )
+            session.prepare_transaction(message.gid)
+            return protocol.encode_ok(
+                self._in_transaction, lsn=self._server.wal_position()
+            )
+        if op == protocol.COMMIT_PREPARED:
+            if self._server.read_only:
+                raise ReadOnlyError(
+                    "COMMIT_PREPARED rejected: this server is a read-only replica"
+                )
+            self._server.database.commit_prepared(message.gid)
+            return protocol.encode_ok(
+                self._in_transaction, lsn=self._server.wal_position()
+            )
+        if op == protocol.ABORT_PREPARED:
+            if self._server.read_only:
+                raise ReadOnlyError(
+                    "ABORT_PREPARED rejected: this server is a read-only replica"
+                )
+            self._server.database.rollback_prepared(message.gid)
+            return protocol.encode_ok(
+                self._in_transaction, lsn=self._server.wal_position()
+            )
+        if op == protocol.LIST_PREPARED:
+            # Works on replicas too: a coordinator resolving in-doubt
+            # transactions may reach a node in either role.
+            return protocol.encode_stats(
+                json.dumps(self._server.database.prepared_gids()),
+                self._in_transaction,
             )
         raise protocol.ProtocolError(f"unexpected opcode {message.op_name}")
 
@@ -420,6 +462,31 @@ class _ClientHandler(threading.Thread):
             manager.unwatch_appends(event)
             tailer.close()
             stats.add(replication_streams=-1)
+
+    #: Snapshot bytes per SNAPSHOT_CHUNK frame — comfortably under the
+    #: frame limit while keeping per-frame overhead negligible.
+    _SNAPSHOT_CHUNK_BYTES = 1 << 18
+
+    def _stream_snapshot(self) -> None:
+        """Answer BOOTSTRAP: ship ``snapshot.db`` then the LSN it covers.
+
+        A bare ``LSN (0, 0)`` (no chunks) means no snapshot exists yet and
+        the replica should replicate from the start of the log.  The file
+        is read in one go — checkpoints replace it atomically via rename,
+        so the image is always internally consistent.
+        """
+        manager = self._server.database.durability_manager
+        path = None if manager is None else os.path.join(manager.data_dir, SNAPSHOT_NAME)
+        if path is None or not os.path.exists(path):
+            self._send(protocol.encode_lsn(0, 0))
+            return
+        with open(path, "rb") as handle:
+            data = handle.read()
+        epoch = snapshot_epoch(data, source=path)
+        for start in range(0, len(data), self._SNAPSHOT_CHUNK_BYTES):
+            chunk = data[start:start + self._SNAPSHOT_CHUNK_BYTES]
+            self._send(protocol.encode_snapshot_chunk(start, chunk))
+        self._send(protocol.encode_lsn(epoch, 0))
 
     def _peer_gone(self) -> bool:
         """Whether the replica hung up (it never writes after REPLICATE,

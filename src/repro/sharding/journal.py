@@ -1,0 +1,108 @@
+"""The coordinator's durable two-phase-commit decision log.
+
+Two-phase commit has exactly one moment of truth: the instant the
+coordinator durably records "commit" for a global transaction id.  Before
+that instant a crash means presumed abort (every shard's prepared batch
+is rolled back on recovery contact); after it, the coordinator — restarted
+from this journal — must drive COMMIT_PREPARED to every participant until
+each acknowledges.  The journal therefore syncs each decision to disk
+*before* the first COMMIT_PREPARED leaves the coordinator.
+
+Frames reuse the engine WAL's length+CRC framing
+(:func:`repro.sqlengine.durability.wal.frame`), so torn tails from a
+crash mid-append are detected and discarded on replay, exactly like the
+engine log.  The payload is one kind byte (1 = commit, 2 = abort)
+followed by the UTF-8 gid.
+
+Without a ``data_dir`` the journal degrades to an in-memory dict — fine
+for tests and for topologies that accept losing in-doubt resolution with
+the coordinator process (shards then resolve via operator intervention).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Optional
+
+from repro.sqlengine.durability import wal
+from repro.sqlengine.errors import ShardError
+
+JOURNAL_NAME = "coordinator.journal"
+
+_COMMIT = 1
+_ABORT = 2
+_KIND_NAMES = {_COMMIT: "commit", _ABORT: "abort"}
+
+
+class DecisionJournal:
+    """Append-only commit/abort decisions keyed by global transaction id."""
+
+    def __init__(self, data_dir: Optional[str] = None) -> None:
+        self._lock = threading.Lock()
+        self._decisions: dict[str, str] = {}
+        self._file = None
+        self.path: Optional[str] = None
+        if data_dir is not None:
+            os.makedirs(data_dir, exist_ok=True)
+            self.path = os.path.join(data_dir, JOURNAL_NAME)
+            self._replay()
+            self._file = open(self.path, "ab")
+
+    def _replay(self) -> None:
+        assert self.path is not None
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "rb") as handle:
+            data = handle.read()
+        for payload, _end in wal.read_frames(data):
+            if not payload or payload[0] not in _KIND_NAMES:
+                raise ShardError(
+                    f"corrupt decision journal {self.path}: unknown record "
+                    f"kind {payload[:1]!r}"
+                )
+            gid = payload[1:].decode("utf-8")
+            self._decisions[gid] = _KIND_NAMES[payload[0]]
+
+    def record(self, gid: str, decision: str) -> None:
+        """Durably record ``decision`` ("commit" or "abort") for ``gid``.
+
+        Returns only after the record is fsynced (when file-backed); the
+        caller may then act on the decision against the shards.
+        """
+        if decision == "commit":
+            kind = _COMMIT
+        elif decision == "abort":
+            kind = _ABORT
+        else:
+            raise ShardError(f"unknown 2PC decision {decision!r}")
+        with self._lock:
+            existing = self._decisions.get(gid)
+            if existing is not None:
+                if existing != decision:
+                    raise ShardError(
+                        f"transaction {gid!r} already decided {existing!r}; "
+                        f"refusing to flip to {decision!r}"
+                    )
+                return
+            if self._file is not None:
+                self._file.write(wal.frame(bytes([kind]) + gid.encode("utf-8")))
+                self._file.flush()
+                os.fsync(self._file.fileno())
+            self._decisions[gid] = decision
+
+    def decision(self, gid: str) -> Optional[str]:
+        """The recorded decision for ``gid``, or None (presumed abort)."""
+        with self._lock:
+            return self._decisions.get(gid)
+
+    def decisions(self) -> dict[str, str]:
+        """A snapshot of every recorded decision (for recovery sweeps)."""
+        with self._lock:
+            return dict(self._decisions)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None

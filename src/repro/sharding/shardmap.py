@@ -1,0 +1,90 @@
+"""The shard map: a versioned catalog of where every table's rows live.
+
+A :class:`ShardMap` declares, for each *sharded* table, the partition
+column whose value picks the owning shard by deterministic hash modulo
+the shard count.  Tables absent from the map are *global*: every shard
+holds a full copy (writes broadcast, reads go anywhere), which keeps
+small reference tables joinable on every node without cross-shard data
+movement.
+
+The map carries a monotonically increasing ``version``.  Sessions capture
+the version when a distributed transaction starts; if the coordinator
+installs a newer map before the commit point, the transaction aborts with
+:class:`~repro.sqlengine.errors.StaleShardMapError` rather than commit
+row placements computed against a superseded topology.
+
+Hashing must be stable across processes and Python runs (``hash(str)`` is
+randomized per-process), so :func:`partition_hash` uses the value itself
+for integers and CRC-32 of the UTF-8 encoding for strings.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+from repro.sqlengine.errors import ShardError
+
+
+def partition_hash(value: object) -> int:
+    """A process-stable hash of a partition-key value.
+
+    Only integers (including bools, which the engine stores as a distinct
+    type but which hash by their integer value) and strings make sound
+    partition keys; ``None`` and floats are rejected because their
+    placement would be ambiguous (NULL matches no equality predicate,
+    floats compare across representations).
+    """
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        return zlib.crc32(value.encode("utf-8"))
+    raise ShardError(
+        f"value {value!r} of type {type(value).__name__} cannot be used as "
+        "a partition key (use an INTEGER or TEXT column)"
+    )
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """Immutable table -> partition-key catalog for a fleet of shards."""
+
+    #: Monotonic topology version; stale versions are rejected at commit.
+    version: int
+    #: Number of shard nodes; ``partition_hash(key) % num_shards`` owns a row.
+    num_shards: int
+    #: Lower-cased table name -> lower-cased partition column.  Tables not
+    #: listed are global (replicated in full on every shard).
+    tables: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ShardError("a shard map needs at least one shard")
+        if self.version < 1:
+            raise ShardError("shard map versions start at 1")
+        normalized = {
+            name.lower(): column.lower() for name, column in self.tables.items()
+        }
+        object.__setattr__(self, "tables", normalized)
+
+    def is_sharded(self, table: str) -> bool:
+        """True when ``table`` is hash-partitioned (not global)."""
+        return table.lower() in self.tables
+
+    def key_for(self, table: str) -> str | None:
+        """The partition column of ``table``, or None for global tables."""
+        return self.tables.get(table.lower())
+
+    def shard_of(self, table: str, key_value: object) -> int:
+        """The shard index owning the row with this partition-key value."""
+        if not self.is_sharded(table):
+            raise ShardError(f"table {table!r} is not sharded")
+        return partition_hash(key_value) % self.num_shards
+
+    def with_version(self, version: int) -> "ShardMap":
+        """A copy of this map stamped with a new version."""
+        return ShardMap(
+            version=version, num_shards=self.num_shards, tables=dict(self.tables)
+        )

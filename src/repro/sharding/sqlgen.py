@@ -1,0 +1,194 @@
+"""Render parsed AST nodes back into SQL text for per-shard execution.
+
+The coordinator parses each incoming statement once, classifies it, and
+then sends (possibly rewritten) statements to the shard nodes over the
+ordinary wire protocol — which carries SQL text.  This module is the
+inverse of the parser for the supported dialect.
+
+Parameters are inlined as literals at render time: the coordinator binds
+``?`` placeholders against the caller-supplied argument tuple so each
+shard receives a self-contained statement.  That keeps the fan-out logic
+independent of how many shards a parameterized statement ultimately
+reaches (each rewritten fragment may keep a different subset of the
+original conjuncts).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.errors import ShardError
+
+
+def render_value(value: object) -> str:
+    """A SQL literal for a Python value (the dbapi binding types)."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    raise ShardError(f"cannot render {type(value).__name__} value as SQL")
+
+
+def render_expression(expr: ast.Expression, params: Sequence[object]) -> str:
+    """SQL text for an expression, with ``?`` parameters inlined."""
+    if isinstance(expr, ast.Literal):
+        return render_value(expr.value)
+    if isinstance(expr, ast.Parameter):
+        if params is None:
+            # EXPLAIN renders without bindings: keep the placeholder (the
+            # engine plans parameterized statements without values too).
+            return "?"
+        if expr.index >= len(params):
+            raise ShardError(
+                f"statement references parameter {expr.index + 1} but only "
+                f"{len(params)} values were bound"
+            )
+        return render_value(params[expr.index])
+    if isinstance(expr, ast.ColumnRef):
+        if expr.table:
+            return f"{expr.table}.{expr.column}"
+        return expr.column
+    if isinstance(expr, ast.UnaryOp):
+        operand = render_expression(expr.operand, params)
+        if expr.op.upper() == "NOT":
+            return f"(NOT {operand})"
+        return f"({expr.op}{operand})"
+    if isinstance(expr, ast.BinaryOp):
+        left = render_expression(expr.left, params)
+        right = render_expression(expr.right, params)
+        return f"({left} {expr.op} {right})"
+    if isinstance(expr, ast.IsNull):
+        operand = render_expression(expr.operand, params)
+        return f"({operand} IS {'NOT ' if expr.negated else ''}NULL)"
+    if isinstance(expr, ast.InList):
+        operand = render_expression(expr.operand, params)
+        items = ", ".join(render_expression(item, params) for item in expr.items)
+        return f"({operand} {'NOT ' if expr.negated else ''}IN ({items}))"
+    if isinstance(expr, ast.FunctionCall):
+        if expr.star:
+            return f"{expr.name}(*)"
+        args = ", ".join(render_expression(arg, params) for arg in expr.args)
+        return f"{expr.name}({args})"
+    raise ShardError(f"cannot render expression node {type(expr).__name__}")
+
+
+def render_select_item(item: ast.SelectItem, params: Sequence[object]) -> str:
+    if item.star:
+        return "*"
+    if item.table_star is not None:
+        return f"{item.table_star}.*"
+    assert item.expression is not None
+    text = render_expression(item.expression, params)
+    if item.alias:
+        text += f" AS {item.alias}"
+    return text
+
+
+def render_order_item(item: ast.OrderItem, params: Sequence[object]) -> str:
+    text = render_expression(item.expression, params)
+    if item.descending:
+        text += " DESC"
+    return text
+
+
+def render_select(
+    statement: ast.SelectStatement,
+    params: Sequence[object],
+    *,
+    items: Optional[Sequence[str]] = None,
+    where: Optional[str] = None,
+    order_by: Optional[Sequence[str]] = None,
+    limit: Optional[int] = None,
+    offset: Optional[int] = None,
+    drop_order: bool = False,
+    drop_limit: bool = False,
+) -> str:
+    """SQL for a SELECT, with override hooks for per-shard rewrites.
+
+    ``items`` / ``where`` / ``order_by`` replace the corresponding clause
+    with pre-rendered text; ``limit`` / ``offset`` replace the bounds with
+    explicit integers (the fan-out path pushes ``LIMIT limit+offset`` to
+    each shard and re-applies the exact bounds after the merge).
+    ``drop_order`` / ``drop_limit`` omit the clause entirely.
+    """
+    if items is None:
+        items = [render_select_item(item, params) for item in statement.items]
+    parts = ["SELECT "]
+    if statement.distinct:
+        parts.append("DISTINCT ")
+    parts.append(", ".join(items))
+    if statement.tables:
+        tables = ", ".join(
+            f"{ref.table} AS {ref.alias}" if ref.alias else ref.table
+            for ref in statement.tables
+        )
+        parts.append(f" FROM {tables}")
+    if where is None and statement.where is not None:
+        where = render_expression(statement.where, params)
+    if where:
+        parts.append(f" WHERE {where}")
+    if not drop_order:
+        if order_by is None and statement.order_by:
+            order_by = [render_order_item(item, params) for item in statement.order_by]
+        if order_by:
+            parts.append(" ORDER BY " + ", ".join(order_by))
+    if not drop_limit:
+        if limit is None and statement.limit is not None:
+            limit_text = render_expression(statement.limit, params)
+        elif limit is not None:
+            limit_text = str(limit)
+        else:
+            limit_text = None
+        if limit_text is not None:
+            parts.append(f" LIMIT {limit_text}")
+        if offset is None and statement.offset is not None:
+            offset_text = render_expression(statement.offset, params)
+        elif offset is not None and offset > 0:
+            offset_text = str(offset)
+        else:
+            offset_text = None
+        if offset_text is not None:
+            parts.append(f" OFFSET {offset_text}")
+    return "".join(parts)
+
+
+def render_insert(
+    statement: ast.InsertStatement,
+    params: Sequence[object],
+    rows: Optional[Sequence[tuple]] = None,
+) -> str:
+    """SQL for an INSERT; ``rows`` restricts to a subset of the VALUES
+    tuples (the router splits multi-row inserts per owning shard)."""
+    if rows is None:
+        rows = statement.rows
+    rendered = ", ".join(
+        "(" + ", ".join(render_expression(expr, params) for expr in row) + ")"
+        for row in rows
+    )
+    columns = ""
+    if statement.columns:
+        columns = " (" + ", ".join(statement.columns) + ")"
+    return f"INSERT INTO {statement.table}{columns} VALUES {rendered}"
+
+
+def render_update(statement: ast.UpdateStatement, params: Sequence[object]) -> str:
+    assignments = ", ".join(
+        f"{column} = {render_expression(expr, params)}"
+        for column, expr in statement.assignments
+    )
+    text = f"UPDATE {statement.table} SET {assignments}"
+    if statement.where is not None:
+        text += f" WHERE {render_expression(statement.where, params)}"
+    return text
+
+
+def render_delete(statement: ast.DeleteStatement, params: Sequence[object]) -> str:
+    text = f"DELETE FROM {statement.table}"
+    if statement.where is not None:
+        text += f" WHERE {render_expression(statement.where, params)}"
+    return text

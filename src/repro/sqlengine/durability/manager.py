@@ -122,6 +122,41 @@ class DurabilityManager:
         writer = self._writer
         return writer, writer.append(wal.redo_records(txn, undo_entries))
 
+    def log_prepare(self, gid: str, undo_entries: Iterable[tuple]) -> tuple:
+        """Append a prepared transaction's redo batch terminated by a
+        PREPARE frame (two-phase commit, phase one); returns a sync ticket.
+        The transaction is in doubt on disk until :meth:`log_commit_prepared`
+        or :meth:`log_abort_prepared` decides it."""
+        with self._txn_lock:
+            txn = self._next_txn
+            self._next_txn += 1
+        writer = self._writer
+        return writer, writer.append(wal.prepare_records(txn, gid, undo_entries))
+
+    def log_adopted_prepare(self, gid: str, records: Iterable[wal.WalRecord]) -> tuple:
+        """Append an adopted (already-decoded) in-doubt batch as a fresh
+        PREPARE batch — a promoted replica carrying the stream's prepared
+        transactions into its own log.  Returns a sync ticket."""
+        with self._txn_lock:
+            txn = self._next_txn
+            self._next_txn += 1
+        writer = self._writer
+        return writer, writer.append(wal.reencode_prepare(txn, gid, records))
+
+    def log_commit_prepared(self, gid: str) -> tuple:
+        """Append the COMMIT decision for a prepared transaction."""
+        writer = self._writer
+        return writer, writer.append(
+            [wal.encode_decision(wal.COMMIT_PREPARED, gid)]
+        )
+
+    def log_abort_prepared(self, gid: str) -> tuple:
+        """Append the ABORT decision for a prepared transaction."""
+        writer = self._writer
+        return writer, writer.append(
+            [wal.encode_decision(wal.ABORT_PREPARED, gid)]
+        )
+
     def log_bulk_insert(
         self, table: str, rows: Iterable[tuple[int, tuple[object, ...]]]
     ) -> tuple:

@@ -69,6 +69,18 @@ class RecoveryInfo:
     bytes_replayed: int = 0
     #: The epoch the engine should write to next (max seen + 1).
     next_epoch: int = 1
+    #: Two-phase commit: prepared transactions whose decision record never
+    #: arrived, keyed by global transaction id.  Each maps to the redo
+    #: records the coordinator's eventual decision will apply or discard;
+    #: the engine re-registers them so it can honour COMMIT_PREPARED /
+    #: ABORT_PREPARED after a restart.  Prepared batches may be decided in
+    #: a *later* epoch than they were logged in, so this state is threaded
+    #: through the whole epoch chain rather than reset per file.
+    in_doubt: dict[str, list[wal.WalRecord]] = field(default_factory=dict)
+    #: Decisions already replayed, gid -> "commit" | "abort" — kept so a
+    #: coordinator retrying a decision after our crash gets an idempotent
+    #: success instead of an unknown-gid error.
+    decided_gids: dict[str, str] = field(default_factory=dict)
 
 
 def recover(data_dir: str, catalog: Catalog, tables: dict[str, TableData]) -> RecoveryInfo:
@@ -122,6 +134,23 @@ def _replay_epoch(
         elif kind == wal.ABORT:
             pending.pop(record.txn, None)
             info.transactions_discarded += 1
+        elif kind == wal.PREPARE:
+            # The batch is intact up to its PREPARE frame: the transaction
+            # is in doubt until a decision record names its gid (which may
+            # sit in a later epoch, or never arrive before the coordinator
+            # resolves it against the live engine).
+            info.in_doubt[record.gid] = pending.pop(record.txn, [])
+        elif kind == wal.COMMIT_PREPARED:
+            operations = info.in_doubt.pop(record.gid, None)
+            if operations is not None:
+                for operation in operations:
+                    _apply(operation, tables)
+                info.transactions_committed += 1
+            info.decided_gids[record.gid] = "commit"
+        elif kind == wal.ABORT_PREPARED:
+            if info.in_doubt.pop(record.gid, None) is not None:
+                info.transactions_discarded += 1
+            info.decided_gids[record.gid] = "abort"
         elif kind == wal.DDL:
             _apply_ddl(record.payload or {}, catalog, tables)
             info.ddl_applied += 1

@@ -192,25 +192,45 @@ class LoadedSnapshot:
 
 
 def load_snapshot(data_dir: str) -> Optional[LoadedSnapshot]:
-    """Load ``snapshot.db`` from ``data_dir``; None when no snapshot exists.
-
-    Unlike the log (whose tail may legitimately be torn), a snapshot is
-    written atomically, so any validation failure raises
-    :class:`SnapshotError` instead of being silently skipped.
-    """
+    """Load ``snapshot.db`` from ``data_dir``; None when no snapshot exists."""
     path = os.path.join(data_dir, SNAPSHOT_NAME)
     if not os.path.exists(path):
         return None
     with open(path, "rb") as handle:
         data = handle.read()
+    return parse_snapshot(data, source=path)
+
+
+def snapshot_epoch(data: bytes, source: str = "<bytes>") -> int:
+    """The epoch a snapshot image was cut at, from its header alone.
+
+    The BOOTSTRAP streamer uses this to stamp the terminating LSN without
+    decoding every table server-side.
+    """
     if not data.startswith(MAGIC):
-        raise SnapshotError(f"{path}: bad snapshot magic")
+        raise SnapshotError(f"{source}: bad snapshot magic")
+    if len(MAGIC) + 16 > len(data):
+        raise SnapshotError(f"{source}: truncated snapshot header")
+    (epoch,) = _U64.unpack_from(data, len(MAGIC) + 4)
+    return epoch
+
+
+def parse_snapshot(data: bytes, source: str = "<bytes>") -> LoadedSnapshot:
+    """Decode a complete snapshot image (a file's contents, or the chunks
+    of a BOOTSTRAP stream reassembled).
+
+    Unlike the log (whose tail may legitimately be torn), a snapshot is
+    written atomically, so any validation failure raises
+    :class:`SnapshotError` instead of being silently skipped.
+    """
+    if not data.startswith(MAGIC):
+        raise SnapshotError(f"{source}: bad snapshot magic")
     offset = len(MAGIC)
     if offset + 16 > len(data):
-        raise SnapshotError(f"{path}: truncated snapshot header")
+        raise SnapshotError(f"{source}: truncated snapshot header")
     (version,) = _U32.unpack_from(data, offset)
     if version != VERSION:
-        raise SnapshotError(f"{path}: unsupported snapshot version {version}")
+        raise SnapshotError(f"{source}: unsupported snapshot version {version}")
     (epoch,) = _U64.unpack_from(data, offset + 4)
     (table_count,) = _U32.unpack_from(data, offset + 12)
     offset += 16
@@ -218,15 +238,15 @@ def load_snapshot(data_dir: str) -> Optional[LoadedSnapshot]:
     tables: dict[str, TableData] = {}
     for _ in range(table_count):
         if offset + 4 > len(data):
-            raise SnapshotError(f"{path}: truncated table frame")
+            raise SnapshotError(f"{source}: truncated table frame")
         (length,) = _U32.unpack_from(data, offset)
         end = offset + 4 + length + 4
         if end > len(data):
-            raise SnapshotError(f"{path}: truncated table payload")
+            raise SnapshotError(f"{source}: truncated table payload")
         payload = data[offset + 4:offset + 4 + length]
         (expected,) = _U32.unpack_from(data, offset + 4 + length)
         if crc32(payload) != expected:
-            raise SnapshotError(f"{path}: table payload checksum mismatch")
+            raise SnapshotError(f"{source}: table payload checksum mismatch")
         schema, table = _decode_table(payload)
         schemas.append(schema)
         tables[schema.name.lower()] = table

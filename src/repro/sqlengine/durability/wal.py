@@ -50,6 +50,14 @@ COMMIT = 5
 ABORT = 6
 DDL = 7
 CHECKPOINT = 8
+#: Two-phase commit (sharding): a PREPARE frame terminates a transaction's
+#: redo batch instead of COMMIT, naming a *global transaction id* chosen by
+#: the distributed coordinator.  The transaction stays in doubt until a
+#: later COMMIT_PREPARED or ABORT_PREPARED frame decides it — possibly in a
+#: later log epoch, possibly after a crash.
+PREPARE = 9
+COMMIT_PREPARED = 10
+ABORT_PREPARED = 11
 
 KIND_NAMES = {
     BEGIN: "BEGIN",
@@ -60,6 +68,9 @@ KIND_NAMES = {
     ABORT: "ABORT",
     DDL: "DDL",
     CHECKPOINT: "CHECKPOINT",
+    PREPARE: "PREPARE",
+    COMMIT_PREPARED: "COMMIT_PREPARED",
+    ABORT_PREPARED: "ABORT_PREPARED",
 }
 
 #: Upper bound on a single frame payload; anything larger read back from a
@@ -228,6 +239,8 @@ class WalRecord:
     row: Optional[tuple[object, ...]] = None
     payload: Optional[dict] = None
     epoch: int = 0
+    #: Global transaction id for the two-phase-commit record kinds.
+    gid: str = ""
 
     @property
     def kind_name(self) -> str:
@@ -277,6 +290,23 @@ def encode_ddl(payload: dict) -> bytes:
     return bytes([DDL]) + raw
 
 
+def encode_prepare(txn: int, gid: str) -> bytes:
+    """Encode a PREPARE record terminating a prepared transaction's batch."""
+    out = bytearray([PREPARE])
+    encode_varint(txn, out)
+    _encode_str(gid, out)
+    return bytes(out)
+
+
+def encode_decision(kind: int, gid: str) -> bytes:
+    """Encode a COMMIT_PREPARED or ABORT_PREPARED decision record."""
+    if kind not in (COMMIT_PREPARED, ABORT_PREPARED):
+        raise WalError(f"record kind {kind} is not a 2PC decision")
+    out = bytearray([kind])
+    _encode_str(gid, out)
+    return bytes(out)
+
+
 def encode_checkpoint(epoch: int) -> bytes:
     """Encode a CHECKPOINT marker naming the new log epoch."""
     out = bytearray([CHECKPOINT])
@@ -309,6 +339,13 @@ def decode_record(payload: bytes) -> WalRecord:
     if kind == CHECKPOINT:
         epoch, _ = decode_varint(payload, offset)
         return WalRecord(kind=kind, epoch=epoch)
+    if kind == PREPARE:
+        txn, offset = decode_varint(payload, offset)
+        gid, _ = _decode_str(payload, offset)
+        return WalRecord(kind=kind, txn=txn, gid=gid)
+    if kind in (COMMIT_PREPARED, ABORT_PREPARED):
+        gid, _ = _decode_str(payload, offset)
+        return WalRecord(kind=kind, gid=gid)
     raise WalError(f"unknown record kind {kind}")
 
 
@@ -322,6 +359,47 @@ def redo_records(txn: int, undo_entries: Iterable[tuple]) -> list[bytes]:
     path (keeping in-memory operation zero-overhead).
     """
     records = [encode_marker(BEGIN, txn)]
+    records.extend(_operation_records(txn, undo_entries))
+    records.append(encode_marker(COMMIT, txn))
+    return records
+
+
+def prepare_records(txn: int, gid: str, undo_entries: Iterable[tuple]) -> list[bytes]:
+    """A prepared transaction's batch: like :func:`redo_records` but
+    terminated by a PREPARE frame instead of COMMIT, leaving the
+    transaction in doubt until a decision record names its ``gid``."""
+    records = [encode_marker(BEGIN, txn)]
+    records.extend(_operation_records(txn, undo_entries))
+    records.append(encode_prepare(txn, gid))
+    return records
+
+
+def reencode_prepare(txn: int, gid: str, records: Iterable[WalRecord]) -> list[bytes]:
+    """Re-encode an already-decoded in-doubt batch as a fresh PREPARE batch.
+
+    A promoted replica making itself durable carries the prepared
+    transactions it saw over the stream into its *own* log this way, so the
+    coordinator's eventual decision survives a crash of the new primary too.
+    """
+    out = [encode_marker(BEGIN, txn)]
+    for record in records:
+        if record.kind == INSERT:
+            out.append(encode_insert(txn, record.table, record.row_id, record.row or ()))
+        elif record.kind == UPDATE:
+            out.append(encode_update(txn, record.table, record.row_id, record.row or ()))
+        elif record.kind == DELETE:
+            out.append(encode_delete(txn, record.table, record.row_id))
+        else:
+            raise WalError(
+                f"record kind {KIND_NAMES.get(record.kind, record.kind)} "
+                f"cannot appear inside a prepared batch"
+            )
+    out.append(encode_prepare(txn, gid))
+    return out
+
+
+def _operation_records(txn: int, undo_entries: Iterable[tuple]) -> list[bytes]:
+    records = []
     for entry in undo_entries:
         kind = entry[0]
         if kind == "insert":
@@ -333,7 +411,6 @@ def redo_records(txn: int, undo_entries: Iterable[tuple]) -> list[bytes]:
         else:  # update / vupdate — the MVCC variant redoes identically
             _, table, row_id, _old_row, new_row = entry
             records.append(encode_update(txn, table.schema.name, row_id, new_row))
-    records.append(encode_marker(COMMIT, txn))
     return records
 
 

@@ -24,6 +24,7 @@ the undo log.  The :class:`Database` methods ``execute``/``execute_many``/
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -193,16 +194,32 @@ class Session:
     def _abort_transaction(self, transaction: Transaction) -> None:
         """Replay the undo journal, release row ownerships and unregister
         the transaction."""
-        controller = self._database._mvcc
         try:
-            transaction.undo.rollback_to(0)
-            for table, row_id in reversed(transaction.write_set):
-                table.release_ownership(row_id, transaction)
+            self._database._rollback_transaction(transaction)
         finally:
-            transaction.write_set.clear()
             self._transaction = None
-            controller.end_transaction(transaction, committed=False)
-            controller.collect_garbage()
+
+    def prepare_transaction(self, gid: str) -> None:
+        """Two-phase commit, phase one: detach the open transaction into
+        the database's prepared registry under global id ``gid``.
+
+        The transaction's redo batch (terminated by a PREPARE frame) is
+        made durable, its row ownerships stay held, and the session is left
+        with no open transaction — closing the connection can no longer
+        roll it back.  Only :meth:`Database.commit_prepared` or
+        :meth:`Database.rollback_prepared` (normally driven by the
+        distributed coordinator's decision) finishes it.
+        """
+        transaction = self._transaction
+        if transaction is None:
+            raise SqlExecutionError(
+                "PREPARE TRANSACTION requires an open transaction"
+            )
+        transaction.savepoints.clear()
+        # Detach before handing over: on failure the database rolls the
+        # transaction back itself, so the session must not own it anymore.
+        self._transaction = None
+        self._database._prepare_transaction(gid, transaction)
 
     def savepoint(self, name: str) -> None:
         """Define a savepoint inside the open transaction."""
@@ -555,6 +572,13 @@ class Database:
         self._catalog = Catalog()
         self._tables: dict[str, TableData] = {}
         self._mvcc = MvccController()
+        # Two-phase commit: live prepared transactions (detached from their
+        # sessions), redo batches recovered in doubt from the log, and the
+        # decisions already applied (for idempotent coordinator retries).
+        self._prepared: dict[str, Transaction] = {}
+        self._recovered_prepared: dict[str, list] = {}
+        self._decided_gids: dict[str, str] = {}
+        self._prepared_lock = threading.Lock()
         # Durability: with a data_dir the manager recovers the previous
         # state into the (still empty) catalog/tables — latest snapshot
         # plus write-ahead-log replay — and opens the live log.  Without
@@ -573,6 +597,11 @@ class Database:
             # statements run them through the MVCC read/write paths.
             for data in self._tables.values():
                 data.attach_mvcc(self._mvcc)
+            # Transactions prepared before a crash come back in doubt; the
+            # coordinator resolves them through commit/rollback_prepared.
+            info = self._durability.recovery_info
+            self._recovered_prepared.update(info.in_doubt)
+            self._decided_gids.update(info.decided_gids)
         elif durability is not None:
             raise SqlExecutionError(
                 "durability options require a data_dir"
@@ -693,6 +722,7 @@ class Database:
             "columnar": columnar,
             "durable": self.durable,
             "durability": self.durability_info(),
+            "prepared_transactions": len(self.prepared_gids()),
         }
 
     # -- durability ----------------------------------------------------------
@@ -745,17 +775,232 @@ class Database:
         historical reentrancy), so a sibling session's uncommitted
         (in-place) changes could otherwise reach the snapshot — and a
         later rollback would then be resurrected by recovery.
+
+        Also refused while any prepared (in-doubt) transaction exists: its
+        uncommitted state must not reach the snapshot, and the checkpoint
+        would delete the log epoch holding its PREPARE batch.  The check
+        runs *before* the exclusive gate because a live prepared
+        transaction stays registered as an open write transaction — the
+        gate would wait on it forever instead of failing fast.
         """
         durability = self._durability
         if durability is None:
             return False
+        if self.prepared_gids():
+            raise SqlExecutionError(
+                "CHECKPOINT requires no prepared (in-doubt) transaction"
+            )
         with self._mvcc.exclusive():
             if self._mvcc.has_open_write_transactions():
                 raise SqlExecutionError(
                     "CHECKPOINT requires no open write transaction"
                 )
+            if self.prepared_gids():
+                raise SqlExecutionError(
+                    "CHECKPOINT requires no prepared (in-doubt) transaction"
+                )
             durability.checkpoint()
         return True
+
+    # -- two-phase commit ------------------------------------------------------
+
+    def prepared_gids(self) -> list[str]:
+        """Global ids of every prepared transaction awaiting a decision —
+        live ones plus batches recovered in doubt from the log.  The
+        coordinator's LIST_PREPARED verb serves exactly this."""
+        with self._prepared_lock:
+            return sorted(set(self._prepared) | set(self._recovered_prepared))
+
+    def _prepare_transaction(self, gid: str, transaction: Transaction) -> None:
+        """Phase one: register ``transaction`` under ``gid`` and make its
+        redo batch durable, terminated by a PREPARE frame.
+
+        The transaction keeps its row ownerships (so conflicting writers
+        still lose to it) but no longer belongs to any session.  On any
+        failure it is rolled back completely — a coordinator that never
+        hears PREPARE-ok presumes abort.
+        """
+        with self._prepared_lock:
+            duplicate = (
+                gid in self._prepared
+                or gid in self._recovered_prepared
+                or gid in self._decided_gids
+            )
+            if not duplicate:
+                self._prepared[gid] = transaction
+        if duplicate:
+            self._rollback_transaction(transaction)
+            raise SqlExecutionError(
+                f"global transaction {gid!r} already exists"
+            )
+        durability = self._durability
+        ticket = None
+        if durability is not None:
+            try:
+                # Under the commit lock so the batch lands in commit order
+                # relative to concurrent commits (the replication stream
+                # replays log order).  Logged even when the write set is
+                # empty: a read-only participant's PREPARE must survive a
+                # crash, or the coordinator's commit retry would see an
+                # unknown gid and report a lost transaction.
+                with self._mvcc.commit_lock:
+                    ticket = durability.log_prepare(
+                        gid, transaction.undo.entries()
+                    )
+            except BaseException:
+                with self._prepared_lock:
+                    self._prepared.pop(gid, None)
+                self._rollback_transaction(transaction)
+                raise
+        if ticket is not None:
+            durability.sync(ticket)
+
+    def commit_prepared(self, gid: str) -> None:
+        """Phase two, COMMIT: install a prepared transaction.
+
+        Idempotent for gids already committed (a coordinator retries its
+        decision after failures); raises for unknown or already-aborted
+        gids.  Works both for live prepared transactions and for batches
+        recovered in doubt after a restart.
+        """
+        with self._prepared_lock:
+            transaction = self._prepared.pop(gid, None)
+            recovered = None
+            if transaction is None:
+                recovered = self._recovered_prepared.pop(gid, None)
+                if recovered is None:
+                    decision = self._decided_gids.get(gid)
+                    if decision == "commit":
+                        return
+                    if decision == "abort":
+                        raise SqlExecutionError(
+                            f"prepared transaction {gid!r} was already aborted"
+                        )
+                    raise SqlExecutionError(
+                        f"unknown prepared transaction {gid!r}"
+                    )
+            self._decided_gids[gid] = "commit"
+        controller = self._mvcc
+        durability = self._durability
+        ticket = None
+        if transaction is not None:
+            with controller.commit_lock:
+                if durability is not None:
+                    ticket = durability.log_commit_prepared(gid)
+                stamp = controller.allocate_commit_stamp()
+                for table, row_id in transaction.write_set:
+                    table.install_commit(row_id, transaction, stamp)
+                controller.publish_commit(stamp)
+            transaction.write_set.clear()
+            transaction.undo.clear()
+            controller.end_transaction(transaction, committed=True)
+            controller.collect_garbage()
+        else:
+            # A recovered batch holds raw redo records, not live row
+            # ownerships: replay it like recovery would, under the
+            # exclusive gate so the rows appear atomically.
+            from repro.sqlengine.durability.recovery import _apply
+
+            with controller.exclusive():
+                for record in recovered:
+                    _apply(record, self._tables)
+            if durability is not None:
+                ticket = durability.log_commit_prepared(gid)
+        if ticket is not None:
+            durability.sync(ticket)
+
+    def rollback_prepared(self, gid: str) -> None:
+        """Phase two, ABORT: discard a prepared transaction.
+
+        Presumed abort makes this liberal: unknown and already-aborted gids
+        succeed silently (the coordinator aborts anything it has no commit
+        record for); only a gid that already *committed* raises.
+        """
+        with self._prepared_lock:
+            transaction = self._prepared.pop(gid, None)
+            recovered = None
+            if transaction is None:
+                recovered = self._recovered_prepared.pop(gid, None)
+                if recovered is None:
+                    if self._decided_gids.get(gid) == "commit":
+                        raise SqlExecutionError(
+                            f"prepared transaction {gid!r} was already committed"
+                        )
+                    return
+            self._decided_gids[gid] = "abort"
+        if transaction is not None:
+            self._rollback_transaction(transaction)
+        durability = self._durability
+        if durability is not None:
+            durability.sync(durability.log_abort_prepared(gid))
+
+    def adopt_recovered_prepared(self, gid: str, records: list) -> None:
+        """Register a redo batch as an in-doubt prepared transaction.
+
+        Used by a promoted replica: prepared batches it saw over the
+        replication stream become resolvable through
+        :meth:`commit_prepared` / :meth:`rollback_prepared`, so a
+        coordinator's decision survives the primary it was prepared on.
+        """
+        with self._prepared_lock:
+            if gid in self._decided_gids or gid in self._prepared:
+                return
+            self._recovered_prepared[gid] = list(records)
+        if self._durability is not None:
+            # Re-log the batch so the adopted in-doubt state survives a
+            # crash of *this* node too (the batch was only durable on the
+            # node it was originally prepared on).
+            with self._mvcc.commit_lock:
+                ticket = self._durability.log_adopted_prepare(gid, records)
+            self._durability.sync(ticket)
+
+    def _rollback_transaction(self, transaction: Transaction) -> None:
+        """Replay the undo journal, release row ownerships and unregister
+        ``transaction`` (shared by session rollback and 2PC abort)."""
+        controller = self._mvcc
+        try:
+            transaction.undo.rollback_to(0)
+            for table, row_id in reversed(transaction.write_set):
+                table.release_ownership(row_id, transaction)
+        finally:
+            transaction.write_set.clear()
+            controller.end_transaction(transaction, committed=False)
+            controller.collect_garbage()
+
+    def make_durable(
+        self, data_dir: str, durability: DurabilityOptions | None = None
+    ) -> None:
+        """Attach a write-ahead log to a previously in-memory database.
+
+        The promotion path: a replica's engine is in-memory while it
+        follows the primary, and promotion hands it a fresh ``data_dir`` so
+        it can survive its own crash and be followed in turn.  The current
+        state is checkpointed immediately (snapshot + fresh log epoch), so
+        from this call on the database recovers like any other durable one.
+        ``data_dir`` must be empty or absent — recovering somebody else's
+        files into a populated engine would interleave two histories.
+        """
+        if self._durability is not None:
+            raise SqlExecutionError("database is already durable")
+        if os.path.isdir(data_dir) and os.listdir(data_dir):
+            raise SqlExecutionError(
+                f"make_durable requires an empty data_dir, {data_dir!r} is not"
+            )
+        with self._mvcc.exclusive():
+            if self._mvcc.has_open_write_transactions():
+                raise SqlExecutionError(
+                    "make_durable requires no open write transaction"
+                )
+            # The dir was verified empty, so the manager's recovery pass
+            # finds nothing and leaves the live catalog/tables untouched.
+            manager = DurabilityManager(
+                data_dir,
+                durability or DurabilityOptions(),
+                self._catalog,
+                self._tables,
+            )
+            manager.checkpoint()
+            self._durability = manager
 
     def close(self) -> None:
         """Flush and close the durability layer (no-op when in-memory).
@@ -781,6 +1026,10 @@ class Database:
         """
         durability = self._durability
         if durability is None or not durability.should_checkpoint():
+            return
+        if self.prepared_gids():
+            # An in-doubt transaction pins its PREPARE batch's log epoch;
+            # defer until the coordinator decides it.
             return
         hold = self._mvcc.try_exclusive_idle()
         if hold is None:

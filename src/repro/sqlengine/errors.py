@@ -62,3 +62,22 @@ class ReplicationError(SqlExecutionError):
     away (the replica must re-bootstrap), or when a closed epoch file turns
     out to be torn (on-disk corruption).
     """
+
+
+class ShardError(SqlExecutionError):
+    """A distributed statement could not be completed across the shards.
+
+    Raised by the sharding coordinator when a shard node fails mid-fan-out
+    (no partial merge is ever returned), when a statement cannot be routed
+    (e.g. an UPDATE that would move a row between shards by changing its
+    partition key), or when two-phase commit cannot reach a decision.
+    """
+
+
+class StaleShardMapError(ShardError):
+    """The shard map changed underneath an in-flight operation.
+
+    Shard maps are versioned; installing a newer map invalidates every
+    routing decision taken under an older version.  Callers retry against
+    the current map.
+    """

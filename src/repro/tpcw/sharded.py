@@ -1,0 +1,275 @@
+"""A sharded TPC-W cluster: the benchmark schema hash-partitioned.
+
+Partitioning follows the workload's access pattern: the two large,
+write-hot tables are sharded on their primary keys (``item`` by ``i_id``,
+``customer`` by ``c_id``) while the small reference tables (``address``,
+``country``, ``author``) are global — every shard holds a full copy, so
+shard-local joins like *item ⋈ author* never cross the network.
+
+:func:`build_sharded_cluster` assembles the whole topology in-process:
+
+* one stock :class:`~repro.server.SqlServer` per shard (optionally
+  durable, optionally trailed by WAL-shipping replicas behind a
+  :class:`~repro.netclient.pool.ReplicatedConnectionPool`),
+* a :class:`~repro.sharding.coordinator.ShardedDatabase` routing over
+  per-shard pools, itself exposed through another stock ``SqlServer`` —
+  the wire protocol is unchanged end to end,
+* a single-node :class:`~repro.tpcw.database.TpcwDatabase` with the
+  *same* population, kept as the byte-identical oracle for the suite.
+
+Rows are bulk-loaded into the shard engines in-process before the
+servers start (the same partition hash the router uses), so building a
+cluster costs about as much as building the single-node database.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.netclient.pool import ConnectionPool, ReplicatedConnectionPool
+from repro.replication.replica import ReplicaServer
+from repro.server.server import SqlServer
+from repro.sharding import ShardMap, ShardedDatabase
+from repro.sqlengine.catalog import TableSchema
+from repro.sqlengine.durability import DurabilityOptions
+from repro.sqlengine.engine import Database
+from repro.tpcw.database import RemoteTpcwDatabase, TpcwDatabase, build_database, connect_remote
+from repro.tpcw.population import PopulationScale
+
+#: TPC-W partitioning: the big tables shard on their primary key,
+#: everything else is global.
+SHARDED_TABLES = {"item": "i_id", "customer": "c_id"}
+
+#: Load order (no FK enforcement, but keep reference tables first for
+#: readability of the per-shard logs).
+_TABLES = ("country", "address", "author", "customer", "item")
+
+#: The secondary indexes the single-node build creates via the catalog
+#: API, as SQL so they flow through the coordinator's DDL capture.
+_INDEX_DDL = (
+    ("customer", "CREATE UNIQUE INDEX tpcw_customer_uname ON customer (c_uname)"),
+    ("item", "CREATE INDEX tpcw_item_subject ON item (i_subject)"),
+)
+
+
+def tpcw_shard_map(num_shards: int, version: int = 1) -> ShardMap:
+    """The TPC-W shard map for ``num_shards`` shards."""
+    return ShardMap(
+        version=version, num_shards=num_shards, tables=dict(SHARDED_TABLES)
+    )
+
+
+def table_ddl(schema: TableSchema) -> str:
+    """Reconstruct a CREATE TABLE statement from a catalog schema."""
+    parts = []
+    for column in schema.columns:
+        text = f"{column.name} {column.sql_type.value}"
+        if column.length is not None:
+            text += f"({column.length})"
+        if column.primary_key:
+            text += " PRIMARY KEY"
+        elif column.unique:
+            text += " UNIQUE"
+        if not column.nullable and not column.primary_key:
+            text += " NOT NULL"
+        parts.append(text)
+    return f"CREATE TABLE {schema.name} ({', '.join(parts)})"
+
+
+@dataclass
+class ShardNode:
+    """One shard: a primary server, its replicas, and the client pool the
+    coordinator routes through."""
+
+    index: int
+    database: Database
+    server: SqlServer
+    replicas: list[ReplicaServer] = field(default_factory=list)
+    pool: object = None
+
+    def kill(self) -> None:
+        """Hard-stop the primary (simulated crash); replicas keep serving
+        and a routed pool fails over on the next write."""
+        self.server.kill()
+
+    def stop(self) -> None:
+        for replica in self.replicas:
+            try:
+                replica.kill()
+            except Exception:
+                pass
+        try:
+            self.server.kill()
+        except Exception:
+            pass
+        try:
+            self.database.close()
+        except Exception:
+            pass
+
+
+@dataclass
+class ShardedTpcwCluster:
+    """The assembled topology plus the single-node oracle."""
+
+    local: TpcwDatabase
+    nodes: list[ShardNode]
+    coordinator: ShardedDatabase
+    server: SqlServer
+    #: A directory the cluster created itself and removes on stop().
+    owned_data_dir: Optional[str] = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The coordinator's wire address — clients connect only here."""
+        return self.server.address
+
+    def remote(self, **options) -> RemoteTpcwDatabase:
+        """The TPC-W handle whose sessions run against the cluster."""
+        return connect_remote(self.local, self.address, **options)
+
+    def kill_shard(self, index: int) -> None:
+        self.nodes[index].kill()
+
+    def stop(self) -> None:
+        try:
+            self.server.kill()
+        except Exception:
+            pass
+        self.coordinator.close()
+        for node in self.nodes:
+            node.stop()
+        self.local.close()
+        if self.owned_data_dir is not None:
+            shutil.rmtree(self.owned_data_dir, ignore_errors=True)
+
+
+def _partition_rows(
+    rows: Sequence[tuple],
+    key_position: Optional[int],
+    shard_map: ShardMap,
+    table: str,
+) -> list[list[tuple]]:
+    """Rows per shard: hashed for sharded tables, full copy for globals."""
+    if key_position is None:
+        return [list(rows) for _ in range(shard_map.num_shards)]
+    buckets: list[list[tuple]] = [[] for _ in range(shard_map.num_shards)]
+    for row in rows:
+        buckets[shard_map.shard_of(table, row[key_position])].append(row)
+    return buckets
+
+
+def build_sharded_cluster(
+    scale: Optional[PopulationScale] = None,
+    num_shards: int = 2,
+    replicas_per_shard: int = 0,
+    data_dir: Optional[str] = None,
+    durability: Optional[DurabilityOptions] = None,
+    coordinator_journal: bool = True,
+) -> ShardedTpcwCluster:
+    """Build, populate and start an ``num_shards``-way TPC-W cluster.
+
+    With ``data_dir`` each shard gets a durable subdirectory
+    (``shard0``, ``shard1``, ...) and the coordinator journals its 2PC
+    decisions under ``coordinator/``; without it everything is in-memory
+    (and ``coordinator_journal`` is moot — the journal degrades to a
+    dict).  Replicas need a WAL to ship, so ``replicas_per_shard > 0``
+    forces durable shards: a temporary directory is created (and removed
+    by :meth:`ShardedTpcwCluster.stop`) when ``data_dir`` is omitted.
+    """
+    owned_data_dir = None
+    if replicas_per_shard > 0 and data_dir is None:
+        data_dir = owned_data_dir = tempfile.mkdtemp(prefix="tpcw-sharded-")
+    if data_dir is not None and durability is None:
+        durability = DurabilityOptions(fsync="off", checkpoint_log_bytes=None)
+    local = build_database(scale)
+    shard_map = tpcw_shard_map(num_shards)
+
+    # -- shard engines, bulk-loaded in-process -------------------------------
+    databases = []
+    for index in range(num_shards):
+        shard_dir = None
+        if data_dir is not None:
+            shard_dir = os.path.join(data_dir, f"shard{index}")
+        databases.append(Database(data_dir=shard_dir, durability=durability))
+    ddl: dict[str, list[str]] = {}
+    for table in _TABLES:
+        schema = local.database.catalog.table(table)
+        statement = table_ddl(schema)
+        ddl[table] = [statement]
+        for database in databases:
+            database.execute(statement)
+        rows = local.database.execute(f"SELECT * FROM {table}").rows
+        key = SHARDED_TABLES.get(table)
+        position = schema.column_names.index(key) if key else None
+        buckets = _partition_rows(rows, position, shard_map, table)
+        for database, bucket in zip(databases, buckets):
+            if bucket:
+                database.insert_rows(table, bucket)
+    for table, index_sql in _INDEX_DDL:
+        ddl[table].append(index_sql)
+        for database in databases:
+            database.execute(index_sql)
+
+    # -- servers, replicas, pools --------------------------------------------
+    nodes: list[ShardNode] = []
+    try:
+        for index, database in enumerate(databases):
+            server = SqlServer(database=database, max_connections=128).start()
+            node = ShardNode(index=index, database=database, server=server)
+            for r in range(replicas_per_shard):
+                node.replicas.append(
+                    ReplicaServer(
+                        server.address, name=f"s{index}r{r}"
+                    ).start()
+                )
+            if node.replicas:
+                # Let the replicas replay the population before any read
+                # routes to them (the bulk load happened pre-attach).
+                target = database.wal_position()
+                for replica in node.replicas:
+                    replica.wait_for(target, timeout=30.0)
+                node.pool = ReplicatedConnectionPool(
+                    server.address,
+                    [replica.address for replica in node.replicas],
+                )
+            else:
+                node.pool = ConnectionPool(
+                    server.address[0], server.address[1], max_size=16
+                )
+            nodes.append(node)
+
+        # -- the coordinator and its wire front ------------------------------
+        coordinator_dir = None
+        if data_dir is not None and coordinator_journal:
+            coordinator_dir = os.path.join(data_dir, "coordinator")
+        coordinator = ShardedDatabase(
+            shard_map,
+            [node.pool for node in nodes],
+            data_dir=coordinator_dir,
+            name="tpcw-coordinator",
+        )
+        for table in _TABLES:
+            schema = local.database.catalog.table(table)
+            coordinator.register_table(
+                table, schema.column_names, ddl=ddl[table]
+            )
+        front = SqlServer(database=coordinator, max_connections=128).start()
+    except BaseException:
+        for node in nodes:
+            node.stop()
+        local.close()
+        if owned_data_dir is not None:
+            shutil.rmtree(owned_data_dir, ignore_errors=True)
+        raise
+    return ShardedTpcwCluster(
+        local=local,
+        nodes=nodes,
+        coordinator=coordinator,
+        server=front,
+        owned_data_dir=owned_data_dir,
+    )

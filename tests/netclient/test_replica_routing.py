@@ -165,6 +165,10 @@ class TestReadYourWrites:
                 assert stats["read_your_writes_waits"] == 1
                 assert stats["reads_on_primary"] == 1
                 assert stats["replicas_evicted"] == 0  # lagging, not dead
+                # The lag is individually accounted: the watermark wait
+                # timed out once and triggered one primary fallback.
+                assert stats["watermark_wait_timeouts"] == 1
+                assert stats["lag_fallbacks"] == 1
 
 
 class TestEvictionAndFailover:

@@ -92,30 +92,47 @@ class TestStreaming:
             assert replica.watermark[0] >= 2  # past the rollover
             assert _rows(replica.address, "SELECT COUNT(*) FROM t") == [(40,)]
 
-    def test_bootstrap_refused_after_checkpoint(self, tmp_path) -> None:
+    def test_fresh_replica_bootstraps_snapshot_after_checkpoints(
+        self, tmp_path
+    ) -> None:
+        """A replica attaching after several checkpoints pulls the
+        primary's snapshot over the BOOTSTRAP stream, then tails the log —
+        the case the log alone can no longer serve (the checkpoint
+        truncated the history the replica would have replayed)."""
+        import time
+
         database = Database(
             data_dir=str(tmp_path / "db"),
             durability=DurabilityOptions(fsync="off", checkpoint_log_bytes=None),
         )
-        database.execute("CREATE TABLE t (id INT PRIMARY KEY)")
-        database.execute("INSERT INTO t VALUES (1)")
-        database.checkpoint()  # rows now live in the snapshot, not the log
+        database.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        for round_number in range(3):
+            for i in range(10):
+                key = round_number * 10 + i
+                database.execute(f"INSERT INTO t VALUES ({key}, {key})")
+            database.checkpoint()  # rows now live in the snapshot, not the log
         server = SqlServer(database=database, host="127.0.0.1", port=0).start()
         try:
             replica = ReplicaServer(
                 server.address, name="late", reconnect=False
             ).start()
             try:
-                deadline_error = None
-                for _ in range(100):
-                    if replica.last_error:
-                        deadline_error = replica.last_error
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    if replica.snapshots_bootstrapped:
                         break
-                    import time
-
-                    time.sleep(0.05)
-                assert deadline_error is not None
-                assert "checkpoint already truncated" in deadline_error
+                    time.sleep(0.02)
+                stats = replica.stats()
+                assert stats["snapshots_bootstrapped"] == 1
+                assert stats["snapshot_bytes_received"] > 0
+                assert _rows(replica.address, "SELECT COUNT(*) FROM t") == [(30,)]
+                # And the stream keeps tailing live commits past the snapshot.
+                database.execute("INSERT INTO t VALUES (99, 99)")
+                while time.monotonic() < deadline:
+                    if _rows(replica.address, "SELECT COUNT(*) FROM t") == [(31,)]:
+                        break
+                    time.sleep(0.02)
+                assert _rows(replica.address, "SELECT COUNT(*) FROM t") == [(31,)]
             finally:
                 replica.kill()
         finally:
@@ -149,6 +166,38 @@ class TestReadOnlyContract:
             with RemoteDatabase(promoted.address).session() as session:
                 session.execute("INSERT INTO t VALUES (1)")
                 assert session.execute("SELECT COUNT(*) FROM t").rows == [(1,)]
+
+
+class TestPromotedDurability:
+    def test_promoted_replica_survives_its_own_crash(self, tmp_path) -> None:
+        """PROMOTE with a data_dir makes the new primary durable: commits
+        accepted after promotion (and the replicated prefix before it) are
+        recovered when the promoted node itself crashes and reopens."""
+        promoted_dir = str(tmp_path / "promoted")
+        with ReplicationCluster(str(tmp_path), replicas=1) as cluster:
+            with RemoteDatabase(cluster.address).session() as session:
+                session.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+                for i in range(10):
+                    session.execute(f"INSERT INTO t VALUES ({i}, {i})")
+            cluster.wait_sync()
+            cluster.kill_primary()
+            replica = cluster.replicas[0]
+            client = WireClient(*replica.address)
+            try:
+                client.promote(data_dir=promoted_dir)
+            finally:
+                client.close()
+            assert replica.role == "primary"
+            with RemoteDatabase(replica.address).session() as session:
+                for i in range(10, 20):
+                    session.execute(f"INSERT INTO t VALUES ({i}, {i})")
+            cluster.kill_replica(0)  # hard stop: no drain, no checkpoint
+        reopened = Database(data_dir=promoted_dir)
+        try:
+            rows = reopened.execute("SELECT id FROM t ORDER BY id").rows
+            assert rows == [(i,) for i in range(20)]
+        finally:
+            reopened.close()
 
 
 class TestWatermarkProtocol:

@@ -1,0 +1,178 @@
+"""Coordinator fault paths: dead shards, a crashed coordinator, stale maps.
+
+The harness runs real :class:`~repro.server.SqlServer` processes-worth of
+shard nodes (in-process threads, real sockets) behind connection pools,
+so every fault is injected at the same surface production would see it:
+a socket that stops answering, a journal left on disk, a shard map one
+version behind.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netclient.client import RemoteDatabase
+from repro.netclient.pool import ConnectionPool
+from repro.server.server import SqlServer
+from repro.sharding import DecisionJournal, ShardMap, ShardedDatabase
+from repro.sqlengine.engine import Database
+from repro.sqlengine.errors import ShardError, StaleShardMapError
+
+
+class WireCluster:
+    """Two wire shards behind pools, plus a fresh coordinator factory."""
+
+    def __init__(self, data_dir=None):
+        self.shard_map = ShardMap(
+            version=1, num_shards=2, tables={"acct": "id"}
+        )
+        self.databases = [Database(), Database()]
+        self.servers = [
+            SqlServer(database=database, max_connections=32).start()
+            for database in self.databases
+        ]
+        self.pools = []
+        self.data_dir = data_dir
+        self.coordinator = self.open_coordinator()
+        self.coordinator.execute(
+            "CREATE TABLE acct (id INT PRIMARY KEY, balance INT)"
+        )
+        for i in range(10):
+            self.coordinator.execute(
+                "INSERT INTO acct VALUES (?, ?)", (i, 100)
+            )
+
+    def open_coordinator(self, **kwargs) -> ShardedDatabase:
+        pools = [
+            ConnectionPool(server.address[0], server.address[1], max_size=4)
+            for server in self.servers
+        ]
+        self.pools.extend(pools)
+        return ShardedDatabase(
+            self.shard_map, pools, data_dir=self.data_dir, **kwargs
+        )
+
+    def stop(self) -> None:
+        for pool in self.pools:
+            try:
+                pool.close()
+            except Exception:
+                pass
+        for server in self.servers:
+            try:
+                server.kill()
+            except Exception:
+                pass
+        for database in self.databases:
+            database.close()
+
+
+@pytest.fixture()
+def wire(tmp_path):
+    cluster = WireCluster(data_dir=str(tmp_path / "coord"))
+    yield cluster
+    cluster.coordinator.close()
+    cluster.stop()
+
+
+class TestShardDeathMidFanout:
+    def test_fanout_raises_typed_error_with_no_partial_merge(self, wire) -> None:
+        wire.servers[0].kill()
+        with pytest.raises(ShardError, match="fan-out failed on shard 0"):
+            wire.coordinator.execute("SELECT SUM(balance) FROM acct")
+
+    def test_single_shard_route_to_survivor_still_works(self, wire) -> None:
+        wire.servers[0].kill()
+        # id=1 hashes to shard 1, which is alive.
+        assert wire.coordinator.execute(
+            "SELECT balance FROM acct WHERE id = 1"
+        ).rows == [(100,)]
+
+
+class TestCoordinatorCrashRecovery:
+    def _prepare_on_both_shards(self, wire, gid: str, journal_commit: bool):
+        """Drive phase 1 by hand, then vanish before phase 2 — the window a
+        coordinator crash between PREPARE and COMMIT leaves behind."""
+        sessions = []
+        for server, delta in ((wire.servers[0], -40), (wire.servers[1], +40)):
+            session = RemoteDatabase(server.address).session(autocommit=False)
+            target = 0 if delta < 0 else 1  # ids 0 and 1 live on shards 0 and 1
+            session.execute(
+                "UPDATE acct SET balance = balance + ? WHERE id = ?",
+                (delta, target),
+            )
+            session.prepare_txn(gid)
+            sessions.append(session)
+        if journal_commit:
+            journal = DecisionJournal(wire.data_dir)
+            journal.record(gid, "commit")
+            journal.close()
+        for session in sessions:
+            session.close()  # sockets drop; the prepared batches survive
+
+    def test_journaled_commit_resolved_on_restart(self, wire) -> None:
+        before = wire.coordinator.execute("SELECT SUM(balance) FROM acct").rows
+        wire.coordinator.close()
+        self._prepare_on_both_shards(wire, "crashed-commit", journal_commit=True)
+        restarted = wire.open_coordinator()
+        try:
+            # Construction replayed the journal and completed the commit on
+            # both participants.
+            assert restarted.stats()["in_doubt_committed"] == 2
+            assert (
+                restarted.execute("SELECT SUM(balance) FROM acct").rows == before
+            )
+            assert restarted.execute(
+                "SELECT balance FROM acct WHERE id = 0"
+            ).rows == [(60,)]
+            assert restarted.prepared_gids() == []
+        finally:
+            restarted.close()
+
+    def test_unjournaled_prepare_presumed_aborted(self, wire) -> None:
+        before = wire.coordinator.execute("SELECT SUM(balance) FROM acct").rows
+        wire.coordinator.close()
+        self._prepare_on_both_shards(wire, "crashed-nodecision", journal_commit=False)
+        restarted = wire.open_coordinator()
+        try:
+            assert restarted.stats()["in_doubt_aborted"] == 2
+            assert (
+                restarted.execute("SELECT SUM(balance) FROM acct").rows == before
+            )
+            assert restarted.execute(
+                "SELECT balance FROM acct WHERE id = 0"
+            ).rows == [(100,)]
+        finally:
+            restarted.close()
+
+
+class TestStaleShardMap:
+    def test_install_rejects_non_monotonic_version(self, wire) -> None:
+        with pytest.raises(StaleShardMapError):
+            wire.coordinator.install_map(wire.shard_map)  # same version
+        with pytest.raises(StaleShardMapError):
+            wire.coordinator.install_map(wire.shard_map.with_version(1))
+
+    def test_install_rejects_shard_count_change(self, wire) -> None:
+        grown = ShardMap(version=2, num_shards=3, tables={"acct": "id"})
+        with pytest.raises(ShardError, match="shard count"):
+            wire.coordinator.install_map(grown)
+
+    def test_transaction_opened_under_old_map_aborts_at_commit(self, wire) -> None:
+        session = wire.coordinator.session(autocommit=False)
+        try:
+            session.execute(
+                "UPDATE acct SET balance = balance - 1 WHERE id = 0"
+            )
+            session.execute(
+                "UPDATE acct SET balance = balance + 1 WHERE id = 1"
+            )
+            wire.coordinator.install_map(wire.shard_map.with_version(2))
+            with pytest.raises(StaleShardMapError):
+                session.commit()
+        finally:
+            session.close()
+        # Nothing from the aborted transaction leaked.
+        assert wire.coordinator.execute(
+            "SELECT balance FROM acct WHERE id = 0"
+        ).rows == [(100,)]

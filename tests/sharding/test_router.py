@@ -1,0 +1,185 @@
+"""Statement classification: the six routes and their edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sharding.router import (
+    ANY,
+    BROADCAST,
+    FANOUT,
+    GATHER,
+    Router,
+    SINGLE,
+    SPLIT,
+)
+from repro.sharding.shardmap import ShardMap
+from repro.sqlengine.errors import ShardError
+from repro.sqlengine.parser import parse_statement
+
+
+@pytest.fixture()
+def router() -> Router:
+    shard_map = ShardMap(
+        version=1, num_shards=2, tables={"item": "i_id", "customer": "c_id"}
+    )
+    schemas = {
+        "item": ("i_id", "i_title", "i_stock"),
+        "customer": ("c_id", "c_uname"),
+        "country": ("co_id", "co_name"),
+    }
+    return Router(shard_map, schemas)
+
+
+def _route(router: Router, sql: str, params=()):
+    statement = parse_statement(sql)
+    kind = type(statement).__name__
+    if kind == "SelectStatement":
+        return router.route_select(statement, params)
+    if kind == "InsertStatement":
+        return router.route_insert(statement, params)
+    if kind == "UpdateStatement":
+        return router.route_update(statement, params)
+    return router.route_delete(statement, params)
+
+
+class TestSelectRouting:
+    def test_global_tables_route_any(self, router) -> None:
+        route = _route(router, "SELECT co_name FROM country WHERE co_id = 3")
+        assert route.kind == ANY
+
+    def test_bound_key_routes_single(self, router) -> None:
+        route = _route(router, "SELECT i_title FROM item WHERE i_id = 7")
+        assert route.kind == SINGLE
+        assert route.shards == (1,)  # 7 % 2
+        assert route.key == ("item", "i_id", 7)
+        assert "key=item.i_id=7" in route.description
+
+    def test_parameter_key_binds_through_params(self, router) -> None:
+        route = _route(router, "SELECT i_title FROM item WHERE i_id = ?", (8,))
+        assert route.kind == SINGLE
+        assert route.shards == (0,)
+
+    def test_unbound_params_cannot_pin(self, router) -> None:
+        # EXPLAIN routes without bindings: the key is unknowable.
+        route = _route(router, "SELECT i_title FROM item WHERE i_id = ?", None)
+        assert route.kind == FANOUT
+
+    def test_reversed_equality_still_binds(self, router) -> None:
+        route = _route(router, "SELECT i_title FROM item WHERE 7 = i_id")
+        assert route.kind == SINGLE
+
+    def test_unbound_key_fans_out(self, router) -> None:
+        route = _route(router, "SELECT SUM(i_stock) FROM item")
+        assert route.kind == FANOUT
+        assert route.shards == (0, 1)
+
+    def test_inequality_does_not_pin(self, router) -> None:
+        assert _route(router, "SELECT * FROM item WHERE i_id > 5").kind == FANOUT
+
+    def test_or_disjunction_does_not_pin(self, router) -> None:
+        route = _route(router, "SELECT * FROM item WHERE i_id = 1 OR i_id = 2")
+        assert route.kind == FANOUT
+
+    def test_column_to_column_equality_does_not_pin(self, router) -> None:
+        route = _route(router, "SELECT * FROM item WHERE i_id = i_stock")
+        assert route.kind == FANOUT
+
+    def test_sharded_join_with_global_table_fans_out(self, router) -> None:
+        # Global tables are replicated on every shard: the join runs
+        # shard-local and the coordinator only merges.
+        route = _route(
+            router,
+            "SELECT i_title, co_name FROM item, country WHERE i_id = co_id",
+        )
+        assert route.kind == FANOUT
+
+    def test_two_sharded_tables_gather(self, router) -> None:
+        route = _route(
+            router,
+            "SELECT i_title FROM item, customer WHERE i_id = c_id",
+        )
+        assert route.kind == GATHER
+
+    def test_join_pinned_to_one_shard_routes_single(self, router) -> None:
+        route = _route(
+            router,
+            "SELECT i_title FROM item, customer "
+            "WHERE item.i_id = 2 AND customer.c_id = 4",
+        )
+        assert route.kind == SINGLE
+        assert route.shards == (0,)
+
+    def test_join_pinned_to_different_shards_gathers(self, router) -> None:
+        route = _route(
+            router,
+            "SELECT i_title FROM item, customer "
+            "WHERE item.i_id = 2 AND customer.c_id = 3",
+        )
+        assert route.kind == GATHER
+
+    def test_unqualified_key_ambiguous_in_join_scope(self, router) -> None:
+        # `i_id = 2` without a table qualifier only pins when a single
+        # table is in scope.
+        route = _route(
+            router,
+            "SELECT i_title FROM item, customer WHERE i_id = 2",
+        )
+        assert route.kind == GATHER
+
+
+class TestWriteRouting:
+    def test_single_row_insert_routes_single(self, router) -> None:
+        route = _route(router, "INSERT INTO item (i_id, i_title) VALUES (4, 'x')")
+        assert route.kind == SINGLE
+        assert route.shards == (0,)
+        assert route.insert_groups == {0: [0]}
+
+    def test_insert_without_column_list_uses_schema(self, router) -> None:
+        route = _route(router, "INSERT INTO item VALUES (5, 'y', 10)")
+        assert route.kind == SINGLE
+        assert route.shards == (1,)
+
+    def test_multi_row_insert_splits_by_owner(self, router) -> None:
+        route = _route(
+            router,
+            "INSERT INTO item (i_id, i_title) VALUES (1, 'a'), (2, 'b'), (3, 'c')",
+        )
+        assert route.kind == SPLIT
+        assert route.insert_groups == {0: [1], 1: [0, 2]}
+
+    def test_insert_missing_partition_key_rejected(self, router) -> None:
+        with pytest.raises(ShardError, match="partition key"):
+            _route(router, "INSERT INTO item (i_title) VALUES ('x')")
+
+    def test_insert_into_unknown_sharded_schema_rejected(self, router) -> None:
+        bare = Router(router.shard_map, {})
+        statement = parse_statement("INSERT INTO item VALUES (1, 'a', 2)")
+        with pytest.raises(ShardError, match="column order"):
+            bare.route_insert(statement, ())
+
+    def test_global_insert_broadcasts(self, router) -> None:
+        route = _route(router, "INSERT INTO country (co_id, co_name) VALUES (1, 'x')")
+        assert route.kind == BROADCAST
+        assert route.shards == (0, 1)
+
+    def test_keyed_update_routes_single(self, router) -> None:
+        route = _route(router, "UPDATE item SET i_stock = 0 WHERE i_id = 6")
+        assert route.kind == SINGLE
+        assert route.shards == (0,)
+
+    def test_unkeyed_update_broadcasts(self, router) -> None:
+        route = _route(router, "UPDATE item SET i_stock = 0 WHERE i_stock < 0")
+        assert route.kind == BROADCAST
+
+    def test_partition_key_assignment_rejected(self, router) -> None:
+        with pytest.raises(ShardError, match="cannot move between shards"):
+            _route(router, "UPDATE item SET i_id = 9 WHERE i_id = 6")
+
+    def test_keyed_delete_routes_single(self, router) -> None:
+        route = _route(router, "DELETE FROM item WHERE i_id = 11")
+        assert route.kind == SINGLE
+        assert route.shards == (1,)
+
+    def test_unkeyed_delete_broadcasts(self, router) -> None:
+        assert _route(router, "DELETE FROM item").kind == BROADCAST

@@ -1,0 +1,68 @@
+"""The shard catalog: hashing, placement and versioning."""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro.sharding import ShardMap, partition_hash
+from repro.sqlengine.errors import ShardError
+
+
+class TestPartitionHash:
+    def test_integers_hash_to_themselves(self) -> None:
+        assert partition_hash(0) == 0
+        assert partition_hash(41) == 41
+        assert partition_hash(-7) == -7
+
+    def test_booleans_collapse_to_int(self) -> None:
+        assert partition_hash(True) == 1
+        assert partition_hash(False) == 0
+
+    def test_strings_hash_by_crc32(self) -> None:
+        assert partition_hash("alice") == zlib.crc32(b"alice")
+
+    def test_null_and_float_keys_rejected(self) -> None:
+        with pytest.raises(ShardError):
+            partition_hash(None)
+        with pytest.raises(ShardError):
+            partition_hash(1.5)
+
+
+class TestShardMap:
+    def _map(self, num_shards: int = 2, version: int = 1) -> ShardMap:
+        return ShardMap(
+            version=version,
+            num_shards=num_shards,
+            tables={"item": "i_id", "Customer": "C_ID"},
+        )
+
+    def test_table_names_and_keys_case_folded(self) -> None:
+        shard_map = self._map()
+        assert shard_map.is_sharded("ITEM")
+        assert shard_map.key_for("customer") == "c_id"
+        assert not shard_map.is_sharded("country")
+        assert shard_map.key_for("country") is None
+
+    def test_placement_is_modulo_hash(self) -> None:
+        shard_map = self._map(num_shards=3)
+        for key in (0, 1, 2, 3, 17, "bob"):
+            assert shard_map.shard_of("item", key) == partition_hash(key) % 3
+
+    def test_single_shard_owns_everything(self) -> None:
+        shard_map = self._map(num_shards=1)
+        assert {shard_map.shard_of("item", k) for k in range(50)} == {0}
+
+    def test_validation(self) -> None:
+        with pytest.raises(ShardError):
+            ShardMap(version=1, num_shards=0, tables={})
+        with pytest.raises(ShardError):
+            ShardMap(version=0, num_shards=1, tables={})
+
+    def test_with_version_bumps_only_the_version(self) -> None:
+        shard_map = self._map(version=3)
+        bumped = shard_map.with_version(9)
+        assert bumped.version == 9
+        assert bumped.num_shards == shard_map.num_shards
+        assert bumped.shard_of("item", 7) == shard_map.shard_of("item", 7)
