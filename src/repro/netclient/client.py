@@ -29,6 +29,7 @@ from collections import OrderedDict
 from typing import Optional, Sequence
 
 from repro.errors import SqlError
+from repro.obs.trace import TraceBuffer, TraceContext, TracingOptions, new_root_context
 from repro.server import protocol
 from repro.sqlengine.engine import build_column_map
 from repro.sqlengine.errors import SqlExecutionError
@@ -131,10 +132,16 @@ class WireClient:
     # -- protocol verbs ------------------------------------------------------
 
     def execute(
-        self, sql: str, params: Sequence[object] = (), max_rows: int = 0
+        self,
+        sql: str,
+        params: Sequence[object] = (),
+        max_rows: int = 0,
+        trace: Optional[TraceContext] = None,
     ) -> protocol.ServerMessage:
         """EXECUTE one statement; returns the RESULT message."""
-        return self.request(protocol.encode_execute(sql, tuple(params), max_rows))
+        return self.request(
+            protocol.encode_execute(sql, tuple(params), max_rows, trace)
+        )
 
     #: Bound on cached prepared-statement registrations per connection.
     STATEMENT_CACHE_SIZE = 256
@@ -161,16 +168,22 @@ class WireClient:
         return stmt_id
 
     def execute_prepared(
-        self, stmt_id: int, params: Sequence[object] = (), max_rows: int = 0
+        self,
+        stmt_id: int,
+        params: Sequence[object] = (),
+        max_rows: int = 0,
+        trace: Optional[TraceContext] = None,
     ) -> protocol.ServerMessage:
         """EXECUTE_PREPARED with fresh parameters; returns the RESULT."""
         return self.request(
-            protocol.encode_execute_prepared(stmt_id, tuple(params), max_rows)
+            protocol.encode_execute_prepared(stmt_id, tuple(params), max_rows, trace)
         )
 
-    def fetch(self, cursor_id: int, max_rows: int) -> protocol.ServerMessage:
+    def fetch(
+        self, cursor_id: int, max_rows: int, trace: Optional[TraceContext] = None
+    ) -> protocol.ServerMessage:
         """FETCH the next batch of an open cursor."""
-        return self.request(protocol.encode_fetch(cursor_id, max_rows))
+        return self.request(protocol.encode_fetch(cursor_id, max_rows, trace))
 
     def close_cursor(self, cursor_id: int) -> None:
         """Drop a server-side cursor without draining it."""
@@ -184,9 +197,9 @@ class WireClient:
         """Open an explicit transaction on the server session."""
         self.request(protocol.encode_simple(protocol.BEGIN))
 
-    def commit(self) -> None:
+    def commit(self, trace: Optional[TraceContext] = None) -> None:
         """Commit the server session's open transaction."""
-        self.request(protocol.encode_simple(protocol.COMMIT))
+        self.request(protocol.encode_simple(protocol.COMMIT, trace))
 
     def rollback(self) -> None:
         """Roll back the server session's open transaction."""
@@ -232,25 +245,36 @@ class WireClient:
 
     # -- two-phase commit (the sharding coordinator's verbs) ------------------
 
-    def prepare_txn(self, gid: str) -> None:
+    def prepare_txn(self, gid: str, trace: Optional[TraceContext] = None) -> None:
         """PREPARE_TXN: make the open transaction durable under ``gid``
         without committing it (phase one of two-phase commit)."""
-        self.request(protocol.encode_prepare_txn(gid))
+        self.request(protocol.encode_prepare_txn(gid, trace))
 
-    def commit_prepared(self, gid: str) -> None:
+    def commit_prepared(self, gid: str, trace: Optional[TraceContext] = None) -> None:
         """COMMIT_PREPARED: apply a prepared transaction (idempotent)."""
-        self.request(protocol.encode_commit_prepared(gid))
+        self.request(protocol.encode_commit_prepared(gid, trace))
 
-    def abort_prepared(self, gid: str) -> None:
+    def abort_prepared(self, gid: str, trace: Optional[TraceContext] = None) -> None:
         """ABORT_PREPARED: discard a prepared transaction (presumed abort:
         unknown gids succeed silently)."""
-        self.request(protocol.encode_abort_prepared(gid))
+        self.request(protocol.encode_abort_prepared(gid, trace))
 
     def list_prepared(self) -> list[str]:
         """LIST_PREPARED: gids of every in-doubt transaction on the server."""
         return json.loads(
             self.request(protocol.encode_simple(protocol.LIST_PREPARED)).text
         )
+
+    def traces(self, trace_id: Optional[str] = None) -> dict:
+        """TRACES: the server's buffered spans — ``{"node": ..., "spans":
+        [...]}`` — optionally filtered to one trace id."""
+        return json.loads(
+            self.request(protocol.encode_traces(trace_id or "")).text
+        )
+
+    def metrics(self) -> str:
+        """METRICS: the server's registry in Prometheus text format."""
+        return self.request(protocol.encode_metrics()).text
 
     def ping(self) -> bool:
         """Round-trip liveness probe; False (never an exception) when the
@@ -302,13 +326,21 @@ class RemoteResult:
     lazily.
     """
 
-    def __init__(self, session: "RemoteSession", message: protocol.ServerMessage) -> None:
+    def __init__(
+        self,
+        session: "RemoteSession",
+        message: protocol.ServerMessage,
+        trace: Optional[TraceContext] = None,
+    ) -> None:
         self.columns = list(message.columns)
         self.rowcount = message.rowcount
         self._buffer: list[tuple[object, ...]] = list(message.rows)
         self._cursor_id = message.cursor_id
         self._exhausted = message.exhausted
         self._session = session
+        #: Context FETCHes ride under, so server-side fetch spans parent to
+        #: the span that executed the statement.
+        self._trace = trace
         self._column_map: Optional[dict[str, int]] = None
         if self._cursor_id:
             # Track the server-side cursor so an abandoned (never fully
@@ -354,7 +386,7 @@ class RemoteResult:
         return iter(self.rows)
 
     def _fetch_more(self) -> None:
-        message = self._session._fetch(self._cursor_id)
+        message = self._session._fetch(self._cursor_id, trace=self._trace)
         self._buffer.extend(message.rows)
         if message.exhausted:
             self._exhausted = True
@@ -380,11 +412,21 @@ class RemoteSession:
         autocommit: bool = True,
         pool=None,
         batch_rows: int = DEFAULT_BATCH_ROWS,
+        tracing: Optional[TracingOptions] = None,
+        trace_buffer: Optional[TraceBuffer] = None,
+        node: str = "client",
     ) -> None:
         self._client = client
         self._pool = pool
         self.batch_rows = batch_rows
         self._closed = False
+        #: Client-edge tracing: with ``tracing.enabled`` this session
+        #: starts root spans for sampled statements and propagates the
+        #: context on the wire; spans land in ``trace_buffer``.
+        self._tracing = tracing
+        self._trace_buffer = trace_buffer
+        self._node = node
+        self._trace_counter = 0
         #: Server-side cursor ids of results not yet drained; closed with
         #: the session so abandoned result sets do not pile up server-side.
         self._open_cursors: set[int] = set()
@@ -413,10 +455,51 @@ class RemoteSession:
 
     # -- SQL interface -------------------------------------------------------
 
-    def execute(self, sql: str, params: Sequence[object] = ()) -> RemoteResult:
-        """Execute one statement; large results stream in FETCH batches."""
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[object] = (),
+        *,
+        trace: Optional[TraceContext] = None,
+    ) -> RemoteResult:
+        """Execute one statement; large results stream in FETCH batches.
+
+        An explicit inbound ``trace`` (a coordinator fanning out) is
+        forwarded verbatim — the remote node records the span.  Otherwise,
+        when this session's :class:`TracingOptions` sample the statement,
+        a fresh root trace starts here: a ``client`` span wraps the round
+        trip and the propagated context makes the server's span its child.
+        """
         self._check_open()
-        return RemoteResult(self, self._client.execute(sql, params, self.batch_rows))
+        if trace is not None:
+            return RemoteResult(
+                self,
+                self._client.execute(sql, params, self.batch_rows, trace),
+                trace=trace,
+            )
+        tracing = self._tracing
+        if tracing is None or not tracing.enabled:
+            return RemoteResult(self, self._client.execute(sql, params, self.batch_rows))
+        return self._execute_traced(sql, params)
+
+    def _execute_traced(self, sql: str, params: Sequence[object]) -> RemoteResult:
+        self._trace_counter += 1
+        if not self._tracing.samples(self._trace_counter) or self._trace_buffer is None:
+            return RemoteResult(self, self._client.execute(sql, params, self.batch_rows))
+        span = self._trace_buffer.start_span(new_root_context(), "client", self._node)
+        span.tag(sql=sql)
+        t0 = time.perf_counter()
+        try:
+            message = self._client.execute(
+                sql, params, self.batch_rows, span.context
+            )
+        except Exception as error:
+            span.finish(error)
+            raise
+        span.phase("request", time.perf_counter() - t0)
+        span.tag(rows=message.rowcount)
+        span.finish()
+        return RemoteResult(self, message, trace=span.context)
 
     def prepare(self, sql: str) -> int:
         """The server-side prepared-statement id for ``sql``.
@@ -429,11 +512,19 @@ class RemoteSession:
         self._check_open()
         return self._client.prepared_statement_id(sql)
 
-    def execute_prepared(self, stmt_id: int, params: Sequence[object] = ()) -> RemoteResult:
+    def execute_prepared(
+        self,
+        stmt_id: int,
+        params: Sequence[object] = (),
+        *,
+        trace: Optional[TraceContext] = None,
+    ) -> RemoteResult:
         """Execute a server-side prepared statement."""
         self._check_open()
         return RemoteResult(
-            self, self._client.execute_prepared(stmt_id, params, self.batch_rows)
+            self,
+            self._client.execute_prepared(stmt_id, params, self.batch_rows, trace),
+            trace=trace,
         )
 
     def close_statement(self, stmt_id: int) -> None:
@@ -451,32 +542,33 @@ class RemoteSession:
         self._check_open()
         self._client.begin()
 
-    def commit(self) -> None:
-        """Commit the open transaction (no-op when none is open)."""
+    def commit(self, *, trace: Optional[TraceContext] = None) -> None:
+        """Commit the open transaction (no-op when none is open).  A
+        ``trace`` context lets the server attribute the WAL fsync."""
         self._check_open()
-        self._client.commit()
+        self._client.commit(trace)
 
     def rollback(self) -> None:
         """Roll back the open transaction (no-op when none is open)."""
         self._check_open()
         self._client.rollback()
 
-    def prepare_txn(self, gid: str) -> None:
+    def prepare_txn(self, gid: str, *, trace: Optional[TraceContext] = None) -> None:
         """Two-phase commit phase one: park the open transaction under
         ``gid``; a later :meth:`commit_prepared`/:meth:`abort_prepared`
         (from any connection) decides it."""
         self._check_open()
-        self._client.prepare_txn(gid)
+        self._client.prepare_txn(gid, trace)
 
-    def commit_prepared(self, gid: str) -> None:
+    def commit_prepared(self, gid: str, *, trace: Optional[TraceContext] = None) -> None:
         """Apply a prepared transaction (idempotent)."""
         self._check_open()
-        self._client.commit_prepared(gid)
+        self._client.commit_prepared(gid, trace)
 
-    def abort_prepared(self, gid: str) -> None:
+    def abort_prepared(self, gid: str, *, trace: Optional[TraceContext] = None) -> None:
         """Discard a prepared transaction (presumed abort)."""
         self._check_open()
-        self._client.abort_prepared(gid)
+        self._client.abort_prepared(gid, trace)
 
     def list_prepared(self) -> list[str]:
         """Gids of every in-doubt transaction on the server."""
@@ -499,6 +591,16 @@ class RemoteSession:
         """The server's SERVER_STATS document."""
         self._check_open()
         return self._client.server_stats()
+
+    def traces(self, trace_id: Optional[str] = None) -> dict:
+        """The server's buffered spans document."""
+        self._check_open()
+        return self._client.traces(trace_id)
+
+    def metrics(self) -> str:
+        """The server's metrics in Prometheus text format."""
+        self._check_open()
+        return self._client.metrics()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -548,9 +650,11 @@ class RemoteSession:
         finally:
             self.close()
 
-    def _fetch(self, cursor_id: int) -> protocol.ServerMessage:
+    def _fetch(
+        self, cursor_id: int, trace: Optional[TraceContext] = None
+    ) -> protocol.ServerMessage:
         self._check_open()
-        return self._client.fetch(cursor_id, self.batch_rows)
+        return self._client.fetch(cursor_id, self.batch_rows, trace)
 
     def _check_open(self) -> None:
         if self._closed:
@@ -578,6 +682,8 @@ class RemoteDatabase:
         batch_rows: int = DEFAULT_BATCH_ROWS,
         timeout: Optional[float] = None,
         client_name: str = "repro-netclient",
+        tracing: Optional[TracingOptions] = None,
+        node_name: str = "client",
     ) -> None:
         if port is None:
             host, port = host  # an (host, port) address tuple
@@ -587,15 +693,33 @@ class RemoteDatabase:
         self.batch_rows = batch_rows
         self.timeout = timeout
         self.client_name = client_name
+        #: Client-edge tracing: sessions start root traces when enabled,
+        #: and their ``client`` spans land in this shared buffer.
+        self.tracing = TracingOptions() if tracing is None else tracing
+        self.trace_buffer = TraceBuffer(self.tracing.buffer_size)
+        self.node_name = node_name
 
     def session(self, autocommit: bool = True) -> RemoteSession:
         """Open a remote session (pooled when a pool was configured)."""
         if self.pool is not None:
-            return self.pool.session(autocommit=autocommit, batch_rows=self.batch_rows)
+            return self.pool.session(
+                autocommit=autocommit,
+                batch_rows=self.batch_rows,
+                tracing=self.tracing,
+                trace_buffer=self.trace_buffer,
+                node=self.node_name,
+            )
         client = WireClient(
             self.host, self.port, timeout=self.timeout, client_name=self.client_name
         )
-        return RemoteSession(client, autocommit=autocommit, batch_rows=self.batch_rows)
+        return RemoteSession(
+            client,
+            autocommit=autocommit,
+            batch_rows=self.batch_rows,
+            tracing=self.tracing,
+            trace_buffer=self.trace_buffer,
+            node=self.node_name,
+        )
 
     def connect(self, auto_commit: bool = True):
         """Open a remote dbapi :class:`~repro.netclient.connection.Connection`."""
@@ -608,5 +732,24 @@ class RemoteDatabase:
         session = self.session()
         try:
             return session.server_stats()
+        finally:
+            session.close()
+
+    def traces(self, trace_id: Optional[str] = None) -> list[dict]:
+        """Client-side spans merged with the server's buffered spans —
+        the assembled trace for a single-server deployment."""
+        spans = self.trace_buffer.spans(trace_id)
+        session = self.session()
+        try:
+            spans.extend(session.traces(trace_id)["spans"])
+        finally:
+            session.close()
+        return spans
+
+    def metrics(self) -> str:
+        """One-shot METRICS request (Prometheus text)."""
+        session = self.session()
+        try:
+            return session.metrics()
         finally:
             session.close()

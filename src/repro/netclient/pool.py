@@ -34,11 +34,35 @@ from repro.netclient.client import (
     RemoteSession,
     WireClient,
 )
+from repro.obs.trace import new_root_context
 from repro.sqlengine.errors import SqlExecutionError
 
 
 class PoolTimeoutError(SqlError):
     """No pooled connection became available within the checkout timeout."""
+
+
+#: The documented :meth:`ConnectionPool.stats` schema.  Every key is an
+#: integer counter/gauge; the contract test in ``tests/obs`` pins this
+#: tuple, so additions here must update it (removals are breaking).
+POOL_STATS_KEYS = (
+    "size", "idle", "in_use", "max_size",
+    "checkouts", "created", "discarded",
+    "liveness_failures", "ping_failures", "replacements",
+    "checkout_timeouts",
+    "round_trips", "bytes_sent", "bytes_received",
+)
+
+#: The documented :meth:`ReplicatedConnectionPool.stats` schema: routing
+#: and failover counters, plus ``primary`` (one :data:`POOL_STATS_KEYS`
+#: document with an ``address``) and ``replicas`` (a list of the same).
+ROUTED_POOL_STATS_KEYS = (
+    "reads_on_replicas", "reads_on_primary", "writes_on_primary",
+    "read_your_writes_waits", "watermark_wait_timeouts", "lag_fallbacks",
+    "replicas_evicted", "replicas_detached", "failovers",
+    "generation", "last_write_lsn",
+    "primary", "replicas",
+)
 
 
 class ConnectionPool:
@@ -193,7 +217,12 @@ class ConnectionPool:
     # -- session/connection factories ---------------------------------------
 
     def session(
-        self, autocommit: bool = True, batch_rows: Optional[int] = None
+        self,
+        autocommit: bool = True,
+        batch_rows: Optional[int] = None,
+        tracing=None,
+        trace_buffer=None,
+        node: str = "client",
     ) -> RemoteSession:
         """Check out a connection wrapped as a :class:`RemoteSession`;
         closing the session returns the connection to this pool."""
@@ -204,6 +233,9 @@ class ConnectionPool:
                 autocommit=autocommit,
                 pool=self,
                 batch_rows=self.batch_rows if batch_rows is None else batch_rows,
+                tracing=tracing,
+                trace_buffer=trace_buffer,
+                node=node,
             )
         except BaseException:
             self.release(client)
@@ -254,6 +286,22 @@ class ConnectionPool:
             return self._retired_round_trips + sum(
                 client.round_trips for client in self._clients
             )
+
+    def traces(self, trace_id: Optional[str] = None) -> list[dict]:
+        """Spans buffered on the server this pool fronts."""
+        session = self.session()
+        try:
+            return session.traces(trace_id)["spans"]
+        finally:
+            session.close()
+
+    def metrics(self) -> str:
+        """The fronted server's metrics in Prometheus text format."""
+        session = self.session()
+        try:
+            return session.metrics()
+        finally:
+            session.close()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -379,12 +427,24 @@ class RoutedSession:
         autocommit: bool = True,
         batch_rows: Optional[int] = None,
         read_only: bool = False,
+        tracing=None,
+        trace_buffer=None,
+        node: str = "client",
     ) -> None:
         self._routed = pool
         self._autocommit = autocommit
         self._read_only = read_only
         self.batch_rows = pool.batch_rows if batch_rows is None else batch_rows
         self._closed = False
+        #: Client-edge tracing (see RemoteSession): enabled options start
+        #: root spans for sampled statements; ``_stmt_trace`` holds the
+        #: context of the statement currently being routed so the
+        #: read-your-writes barrier can record its wait against it.
+        self._tracing = tracing
+        self._trace_buffer = trace_buffer
+        self._node = node
+        self._trace_counter = 0
+        self._stmt_trace = None
         self._primary: Optional[RemoteSession] = None
         #: Pool generation the pinned primary session was checked out
         #: under; a mismatch means a failover happened elsewhere and the
@@ -431,15 +491,39 @@ class RoutedSession:
 
     # -- SQL interface -------------------------------------------------------
 
-    def execute(self, sql: str, params=()):
+    def execute(self, sql: str, params=(), *, trace=None):
         self._check_open()
+        span = None
+        if trace is None and self._tracing is not None and self._tracing.enabled:
+            self._trace_counter += 1
+            if self._tracing.samples(self._trace_counter) and self._trace_buffer is not None:
+                span = self._trace_buffer.start_span(
+                    new_root_context(), "client", self._node
+                )
+                span.tag(sql=sql)
+                trace = span.context
+        self._stmt_trace = trace
+        try:
+            result = self._execute_routed(sql, params, trace)
+        except Exception as error:
+            if span is not None:
+                span.finish(error)
+            raise
+        finally:
+            self._stmt_trace = None
+        if span is not None:
+            span.tag(rows=result.rowcount)
+            span.finish()
+        return result
+
+    def _execute_routed(self, sql: str, params, trace):
         pool = self._routed
         if self._read_only or self._routes_to_replica(sql):
-            return self._with_replica(lambda s: s.execute(sql, params))
+            return self._with_replica(lambda s: s.execute(sql, params, trace=trace))
         write = not _read_only_sql(sql)
         retryable = write and not self.in_transaction and pool.retry_writes_on_failover
         result = self._with_primary(
-            lambda s: s.execute(sql, params), retryable=retryable
+            lambda s: s.execute(sql, params, trace=trace), retryable=retryable
         )
         if write:
             pool._count("writes_on_primary")
@@ -478,7 +562,7 @@ class RoutedSession:
         else:
             self._with_primary(lambda s: s.begin(), retryable=True)
 
-    def commit(self) -> None:
+    def commit(self, *, trace=None) -> None:
         self._check_open()
         if self._read_only:
             if self._replica is not None:
@@ -487,7 +571,7 @@ class RoutedSession:
         if self._primary is not None:
             # A commit must never be retried on a new primary: if the old
             # one died mid-COMMIT the outcome is unknown.
-            self._with_primary(lambda s: s.commit(), retryable=False)
+            self._with_primary(lambda s: s.commit(trace=trace), retryable=False)
             self._routed._note_write(self._primary.client.last_lsn)
 
     def rollback(self) -> None:
@@ -501,24 +585,28 @@ class RoutedSession:
 
     # -- two-phase commit (the sharding coordinator's verbs) ------------------
 
-    def prepare_txn(self, gid: str) -> None:
+    def prepare_txn(self, gid: str, *, trace=None) -> None:
         """Phase one against the primary.  Never retried across a
         failover: the transaction's server state died with the old
         primary, so the coordinator must treat the failure as a veto."""
         self._check_open()
-        self._with_primary(lambda s: s.prepare_txn(gid), retryable=False)
+        self._with_primary(lambda s: s.prepare_txn(gid, trace=trace), retryable=False)
 
-    def commit_prepared(self, gid: str) -> None:
+    def commit_prepared(self, gid: str, *, trace=None) -> None:
         """Apply a prepared transaction.  Retryable: the decision is
         idempotent, and a promoted replica adopted the prepared batch."""
         self._check_open()
-        self._with_primary(lambda s: s.commit_prepared(gid), retryable=True)
+        self._with_primary(
+            lambda s: s.commit_prepared(gid, trace=trace), retryable=True
+        )
         self._routed._note_write(self._primary.client.last_lsn)
 
-    def abort_prepared(self, gid: str) -> None:
+    def abort_prepared(self, gid: str, *, trace=None) -> None:
         """Discard a prepared transaction (presumed abort; retryable)."""
         self._check_open()
-        self._with_primary(lambda s: s.abort_prepared(gid), retryable=True)
+        self._with_primary(
+            lambda s: s.abort_prepared(gid, trace=trace), retryable=True
+        )
 
     def list_prepared(self) -> list:
         """Gids in doubt on the current primary."""
@@ -731,13 +819,24 @@ class RoutedSession:
         if client.last_lsn >= target:
             return
         pool._count("read_your_writes_waits")
+        span = None
+        trace = self._stmt_trace
+        if trace is not None and trace.sampled and self._trace_buffer is not None:
+            span = self._trace_buffer.start_span(trace, "wait_lsn", self._node)
+        t0 = time.perf_counter()
         try:
             reached = client.wait_lsn(target, pool.read_your_writes_timeout)
         except SqlError as error:
+            if span is not None:
+                span.phase("wait_lsn", time.perf_counter() - t0)
+                span.finish(error)
             if client.closed:
                 raise  # transport death, not a lag timeout
             pool._count("watermark_wait_timeouts")
             raise _LagTimeout() from error
+        if span is not None:
+            span.phase("wait_lsn", time.perf_counter() - t0)
+            span.finish()
         if reached < target:
             pool._count("watermark_wait_timeouts")
             raise _LagTimeout()
@@ -851,6 +950,9 @@ class ReplicatedConnectionPool:
         autocommit: bool = True,
         batch_rows: Optional[int] = None,
         read_only: bool = False,
+        tracing=None,
+        trace_buffer=None,
+        node: str = "client",
     ) -> RoutedSession:
         """A routed session; ``read_only=True`` pins every statement —
         explicit transactions included — to one replica."""
@@ -858,7 +960,13 @@ class ReplicatedConnectionPool:
             if self._closed:
                 raise SqlExecutionError("connection pool is closed")
         return RoutedSession(
-            self, autocommit=autocommit, batch_rows=batch_rows, read_only=read_only
+            self,
+            autocommit=autocommit,
+            batch_rows=batch_rows,
+            read_only=read_only,
+            tracing=tracing,
+            trace_buffer=trace_buffer,
+            node=node,
         )
 
     def connection(self, auto_commit: bool = True, read_only: bool = False):
@@ -1031,6 +1139,36 @@ class ReplicatedConnectionPool:
         with self._lock:
             pools = [self._primary.pool] + [node.pool for node in self._replicas]
         return sum(pool.round_trips() for pool in pools)
+
+    def traces(self, trace_id: Optional[str] = None) -> list[dict]:
+        """Server-side spans gathered from the primary and every healthy
+        replica.  Unreachable nodes are skipped: traces are a diagnostic
+        surface and must not fail when the cluster is degraded."""
+        with self._lock:
+            pools = [self._primary.pool] + [
+                node.pool for node in self._replicas if node.healthy
+            ]
+        spans: list[dict] = []
+        for pool in pools:
+            try:
+                spans.extend(pool.traces(trace_id))
+            except (SqlError, OSError):
+                continue
+        return spans
+
+    def metrics(self) -> str:
+        """Prometheus text from the primary and every healthy replica,
+        concatenated with per-node comment headers."""
+        with self._lock:
+            nodes = [self._primary] + [n for n in self._replicas if n.healthy]
+        chunks: list[str] = []
+        for node in nodes:
+            try:
+                text = node.pool.metrics()
+            except (SqlError, OSError):
+                continue
+            chunks.append(f"# node {node.address[0]}:{node.address[1]}\n{text}")
+        return "\n".join(chunks)
 
     def _count(self, counter: str) -> None:
         with self._lock:

@@ -1,0 +1,349 @@
+"""The unified metrics registry: counters, gauges and latency histograms.
+
+The AOP-middleware argument in PAPERS.md is that monitoring is a
+cross-cutting concern: every subsystem needs it, none should own its own
+bespoke version.  Before this module the engine had exactly that problem —
+``MvccController`` kept ints behind a lock, ``ColumnarMetrics`` kept a
+different dict behind a different lock, the server, the pools and the
+coordinator each invented another — and "why was this query slow?" meant
+eyeballing a dozen disjoint snapshots with no percentiles anywhere.
+
+Three primitives and a registry:
+
+* :class:`Counter` — a monotonically increasing integer (``inc``).
+* :class:`Gauge` — a value that goes both ways (``set``/``inc``/``dec``).
+* :class:`Histogram` — fixed-bucket latency distribution with
+  ``observe(seconds)`` and p50/p95/p99 extraction from the buckets.  The
+  default buckets span 50µs .. ~26s in powers of two, which brackets
+  everything from a plan-cache hit to a drained 2PC commit.
+* :class:`MetricsRegistry` — names the instruments, snapshots them as one
+  document, and renders the Prometheus text exposition format.  Existing
+  subsystems that keep their own counters (for lock-locality on hot
+  paths) join through *collector callbacks*: a callable returning a
+  ``{name: value}`` mapping, pulled at snapshot/render time, so migrating
+  a subsystem costs one registration, not a hot-path rewrite.
+
+Everything is thread-safe and dependency-free; a registry costs nothing
+until snapshotted.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+#: Default histogram upper bounds in seconds: 50µs doubling up to ~26s.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(
+    50e-6 * (2**exponent) for exponent in range(20)
+)
+
+_NAME_BAD = str.maketrans({c: "_" for c in " .-/:"})
+
+
+def _prom_name(name: str) -> str:
+    """A Prometheus-legal metric name (lowercase, [a-z0-9_])."""
+    return name.lower().translate(_NAME_BAD)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "help", "_lock", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def snapshot(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (pool sizes, backlog depths)."""
+
+    __slots__ = ("name", "help", "_lock", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """A fixed-bucket latency histogram with percentile extraction.
+
+    ``observe`` takes seconds; rendering reports bucket counts plus sum
+    and count (the Prometheus contract), and :meth:`percentile`
+    interpolates within the winning bucket, which is exact enough for
+    p50/p95/p99 dashboards at the default bucket resolution.
+    """
+
+    __slots__ = ("name", "help", "buckets", "_lock", "_counts", "_sum", "_count")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(buckets))
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.buckets) + 1)  # +1 for +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, seconds: float) -> None:
+        index = self._bucket_index(seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += seconds
+            self._count += 1
+
+    def _bucket_index(self, seconds: float) -> int:
+        # Linear scan: the list is short and observe() must stay cheap;
+        # bisect would allocate a key tuple per call for no win at 20
+        # buckets.
+        for index, bound in enumerate(self.buckets):
+            if seconds <= bound:
+                return index
+        return len(self.buckets)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def percentile(self, quantile: float) -> float:
+        """The latency (seconds) at ``quantile`` in [0, 1], interpolated
+        within the winning bucket; 0.0 with no observations."""
+        with self._lock:
+            total = self._count
+            counts = list(self._counts)
+        if total == 0:
+            return 0.0
+        target = quantile * total
+        cumulative = 0
+        lower = 0.0
+        for index, bound in enumerate(self.buckets):
+            in_bucket = counts[index]
+            if cumulative + in_bucket >= target:
+                if in_bucket == 0:
+                    return bound
+                fraction = (target - cumulative) / in_bucket
+                return lower + (bound - lower) * fraction
+            cumulative += in_bucket
+            lower = bound
+        return self.buckets[-1]
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            amount = self._sum
+        summary = {
+            "count": total,
+            "sum_s": amount,
+            "avg_ms": (amount / total * 1000.0) if total else 0.0,
+        }
+        for label, quantile in (("p50_ms", 0.5), ("p95_ms", 0.95), ("p99_ms", 0.99)):
+            summary[label] = self.percentile(quantile) * 1000.0
+        summary["buckets"] = counts
+        return summary
+
+
+class MetricsRegistry:
+    """Names instruments and renders them as one coherent document.
+
+    ``counter``/``gauge``/``histogram`` get-or-create by name (so two
+    subsystems can safely ask for the same instrument), ``collect``
+    registers a callback returning ``{name: number}`` pulled lazily at
+    snapshot time, and ``render_prometheus`` emits the text exposition
+    format a Prometheus scraper (or a human with curl) reads.
+    """
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = _prom_name(namespace)
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._collectors: list[tuple[str, Callable[[], Mapping[str, object]]]] = []
+
+    # -- instrument factories -------------------------------------------------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name, help)
+            return instrument
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name, help)
+            return instrument
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name, help, buckets)
+            return instrument
+
+    def collect(
+        self, prefix: str, callback: Callable[[], Mapping[str, object]]
+    ) -> None:
+        """Bridge a subsystem's own counters: ``callback`` returns a flat
+        ``{name: number}`` mapping, re-read on every snapshot/render."""
+        with self._lock:
+            self._collectors.append((prefix, callback))
+
+    # -- export ---------------------------------------------------------------
+
+    def _collected(self) -> dict[str, object]:
+        with self._lock:
+            collectors = list(self._collectors)
+        values: dict[str, object] = {}
+        for prefix, callback in collectors:
+            try:
+                collected = callback()
+            except Exception:  # a dying subsystem must not kill the scrape
+                continue
+            for name, value in collected.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    values[f"{prefix}_{name}" if prefix else name] = value
+        return values
+
+    def snapshot(self) -> dict[str, object]:
+        """Every instrument and collected value as one JSON-able dict."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        document: dict[str, object] = {
+            "counters": {name: c.snapshot() for name, c in counters.items()},
+            "gauges": {name: g.snapshot() for name, g in gauges.items()},
+            "histograms": {name: h.snapshot() for name, h in histograms.items()},
+        }
+        document["collected"] = self._collected()
+        return document
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format, one scrape's worth."""
+        lines: list[str] = []
+        ns = self.namespace
+        with self._lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
+        for counter in counters:
+            name = f"{ns}_{_prom_name(counter.name)}"
+            if counter.help:
+                lines.append(f"# HELP {name} {counter.help}")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {counter.value}")
+        for gauge in gauges:
+            name = f"{ns}_{_prom_name(gauge.name)}"
+            if gauge.help:
+                lines.append(f"# HELP {name} {gauge.help}")
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {gauge.value}")
+        for histogram in histograms:
+            name = f"{ns}_{_prom_name(histogram.name)}"
+            if histogram.help:
+                lines.append(f"# HELP {name} {histogram.help}")
+            lines.append(f"# TYPE {name} histogram")
+            with histogram._lock:
+                counts = list(histogram._counts)
+                total = histogram._count
+                amount = histogram._sum
+            cumulative = 0
+            for bound, count in zip(histogram.buckets, counts):
+                cumulative += count
+                lines.append(f'{name}_bucket{{le="{bound:g}"}} {cumulative}')
+            lines.append(f'{name}_bucket{{le="+Inf"}} {total}')
+            lines.append(f"{name}_sum {amount:g}")
+            lines.append(f"{name}_count {total}")
+        for name, value in sorted(self._collected().items()):
+            full = f"{ns}_{_prom_name(name)}"
+            lines.append(f"# TYPE {full} gauge")
+            lines.append(f"{full} {value:g}" if isinstance(value, float) else f"{full} {value}")
+        return "\n".join(lines) + "\n"
+
+
+def start_metrics_http_server(
+    render: Callable[[], str], host: str = "127.0.0.1", port: int = 0
+):
+    """A Prometheus-style scrape endpoint over ``render`` (stdlib only).
+
+    Serves ``GET /metrics`` (any path, really) with the rendered text on a
+    daemon thread; returns the ``http.server`` instance — read
+    ``server_address`` for the bound port, call ``shutdown()`` to stop.
+    """
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    class _Handler(BaseHTTPRequestHandler):
+        def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+            try:
+                body = render().encode("utf-8")
+                status = 200
+            except Exception as error:  # pragma: no cover - render bug
+                body = f"# render failed: {error}\n".encode("utf-8")
+                status = 500
+            self.send_response(status)
+            self.send_header("Content-Type", "text/plain; version=0.0.4")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *args) -> None:  # silence per-scrape stderr
+            pass
+
+    server = ThreadingHTTPServer((host, port), _Handler)
+    thread = threading.Thread(
+        target=server.serve_forever, name="metrics-http", daemon=True
+    )
+    thread.start()
+    return server

@@ -1,0 +1,109 @@
+"""The structured slow-query log: JSON-lines records above a threshold.
+
+Every statement slower than ``threshold_ms`` becomes one structured
+record — SQL text, duration, row count, plan mode, shard route and trace
+id — kept in a bounded in-memory ring (``recent()``) and, when a ``sink``
+is given, appended to it as one JSON line per record.  The engine logs
+its statements, the sharding coordinator logs routed ones (with the
+route), so "what was slow last night?" is one ``jq`` away instead of a
+profiler session.
+
+Disabled (``threshold_ms=None``) the per-statement cost is one ``is
+None`` check.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from collections import deque
+from typing import Optional, TextIO
+
+
+class SlowQueryLog:
+    """A bounded ring of slow-statement records, optionally file-backed."""
+
+    def __init__(
+        self,
+        threshold_ms: Optional[float] = None,
+        capacity: int = 256,
+        sink: Optional[TextIO] = None,
+        node: str = "",
+    ) -> None:
+        self.threshold_ms = threshold_ms
+        self.node = node
+        self._lock = threading.Lock()
+        self._records: deque[dict] = deque(maxlen=max(1, capacity))
+        self._sink = sink
+        self._logged = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold_ms is not None
+
+    def should_log(self, duration_ms: float) -> bool:
+        return self.threshold_ms is not None and duration_ms >= self.threshold_ms
+
+    def record(
+        self,
+        sql: str,
+        duration_ms: float,
+        *,
+        rows: Optional[int] = None,
+        mode: Optional[str] = None,
+        route: Optional[str] = None,
+        trace_id: Optional[str] = None,
+        error: Optional[str] = None,
+    ) -> Optional[dict]:
+        """Log one statement if it crossed the threshold; returns the
+        record (or None when below threshold / disabled)."""
+        if not self.should_log(duration_ms):
+            return None
+        entry = {
+            "ts": time.time(),
+            "node": self.node,
+            "sql": sql,
+            "duration_ms": round(duration_ms, 3),
+            "rows": rows,
+            "mode": mode,
+            "route": route,
+            "trace_id": trace_id,
+            "error": error,
+        }
+        line = None
+        with self._lock:
+            self._records.append(entry)
+            self._logged += 1
+            sink = self._sink
+            if sink is not None:
+                line = json.dumps(entry, separators=(",", ":"))
+        if line is not None:
+            try:
+                sink.write(line + "\n")
+                sink.flush()
+            except (OSError, ValueError, io.UnsupportedOperation):
+                pass  # a broken sink must not fail the statement
+        return entry
+
+    def recent(self, limit: Optional[int] = None) -> list[dict]:
+        """The most recent records, oldest first."""
+        with self._lock:
+            records = list(self._records)
+        if limit is not None:
+            records = records[-limit:]
+        return records
+
+    def stats(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "threshold_ms": self.threshold_ms,
+                "buffered": len(self._records),
+                "logged": self._logged,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()

@@ -58,6 +58,20 @@ def _announce(address: tuple[str, int]) -> None:
     print(f"PORT {address[1]}", flush=True)
 
 
+def _maybe_metrics(args: argparse.Namespace, render):
+    """Start the Prometheus scrape endpoint when ``--metrics-port`` asks
+    for one; announce its port the same way the SQL port is announced."""
+    if args.metrics_port is None:
+        return None
+    from repro.obs.metrics import start_metrics_http_server
+
+    server = start_metrics_http_server(
+        render, host=args.host, port=args.metrics_port
+    )
+    print(f"METRICS_PORT {server.server_address[1]}", flush=True)
+    return server
+
+
 def _serve_forever() -> None:
     # All the work happens on the server's own threads; park the main
     # thread until SIGTERM/SIGINT tears the process down.
@@ -82,7 +96,10 @@ def _run_primary(args: argparse.Namespace) -> int:
         replication_chunk_bytes=args.chunk_bytes,
     ).start()
     _announce(server.address)
+    metrics = _maybe_metrics(args, database.render_metrics)
     _serve_forever()
+    if metrics is not None:
+        metrics.shutdown()
     server.kill()
     database.close()
     return 0
@@ -111,7 +128,10 @@ def _run_tpcw_primary(args: argparse.Namespace) -> int:
         replication_chunk_bytes=args.chunk_bytes,
     ).start()
     _announce(server.address)
+    metrics = _maybe_metrics(args, tpcw.database.render_metrics)
     _serve_forever()
+    if metrics is not None:
+        metrics.shutdown()
     server.kill()
     tpcw.close()
     return 0
@@ -128,7 +148,10 @@ def _run_replica(args: argparse.Namespace) -> int:
         max_connections=args.max_connections,
     ).start()
     _announce(replica.address)
+    metrics = _maybe_metrics(args, replica.database.render_metrics)
     _serve_forever()
+    if metrics is not None:
+        metrics.shutdown()
     replica.kill()
     return 0
 
@@ -176,7 +199,10 @@ def _run_coordinator(args: argparse.Namespace) -> int:
         max_connections=args.max_connections,
     ).start()
     _announce(server.address)
+    metrics = _maybe_metrics(args, coordinator.render_metrics)
     _serve_forever()
+    if metrics is not None:
+        metrics.shutdown()
     server.kill()
     coordinator.close()
     return 0
@@ -186,6 +212,14 @@ def _common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=0)
     parser.add_argument("--max-connections", type=int, default=128)
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve Prometheus metrics over HTTP (0 picks a free port, "
+        "announced as 'METRICS_PORT <n>')",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -40,6 +40,7 @@ from typing import Iterable, Optional, Sequence
 from zlib import crc32
 
 from repro.errors import SqlError
+from repro.obs.trace import TRACE_CONTEXT_WIRE_BYTES, TraceContext
 from repro.sqlengine import errors as sql_errors
 from repro.sqlengine.durability.wal import (
     WalError,
@@ -49,9 +50,16 @@ from repro.sqlengine.durability.wal import (
     encode_varint,
 )
 
-#: Bumped on any incompatible change; HELLO frames carrying a different
-#: version are rejected before any SQL is accepted.
-PROTOCOL_VERSION = 1
+#: Bumped on any incompatible change; HELLO frames carrying an unsupported
+#: version are rejected before any SQL is accepted.  Version 2 added the
+#: optional trailing trace context on request frames plus the TRACES and
+#: METRICS verbs — all additive, so servers keep accepting version-1
+#: clients (see :data:`SUPPORTED_VERSIONS`).
+PROTOCOL_VERSION = 2
+
+#: Versions a server accepts in HELLO.  Version 1 peers simply never send
+#: a trace context and never use the new verbs.
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Upper bound on one frame payload.  Large enough for any realistic row
 #: batch, small enough that a corrupt length prefix cannot make the peer
@@ -89,6 +97,10 @@ ABORT_PREPARED = 0x17
 LIST_PREPARED = 0x18
 #: Snapshot-based replica bootstrap: stream ``snapshot.db`` before tailing.
 BOOTSTRAP = 0x19
+#: Observability (protocol v2): buffered trace spans (answered with a
+#: STATS frame carrying JSON) and the Prometheus metrics text.
+TRACES = 0x1A
+METRICS = 0x1B
 
 # -- opcodes: server -> client ------------------------------------------------
 
@@ -115,7 +127,7 @@ OPCODE_NAMES = {
     WAIT_LSN: "WAIT_LSN", PROMOTE: "PROMOTE",
     PREPARE_TXN: "PREPARE_TXN", COMMIT_PREPARED: "COMMIT_PREPARED",
     ABORT_PREPARED: "ABORT_PREPARED", LIST_PREPARED: "LIST_PREPARED",
-    BOOTSTRAP: "BOOTSTRAP",
+    BOOTSTRAP: "BOOTSTRAP", TRACES: "TRACES", METRICS: "METRICS",
     HELLO_OK: "HELLO_OK", RESULT: "RESULT", ROWS: "ROWS",
     OK: "OK", PREPARED: "PREPARED", STATS: "STATS", EXPLAINED: "EXPLAINED",
     WAL_CHUNK: "WAL_CHUNK", LSN: "LSN", SNAPSHOT_CHUNK: "SNAPSHOT_CHUNK",
@@ -234,6 +246,25 @@ def _decode_rows(data: bytes, offset: int) -> tuple[list[tuple[object, ...]], in
     return rows, offset
 
 
+def _encode_trace(trace: Optional[TraceContext], out: bytearray) -> None:
+    """Append the optional trailing trace context (protocol v2).  Nothing
+    is written for untraced requests, so version-1 peers see byte-identical
+    frames."""
+    if trace is not None:
+        out.extend(trace.to_wire_bytes())
+
+
+def _decode_trailing_trace(
+    data: bytes, offset: int
+) -> tuple[Optional[TraceContext], int]:
+    """Decode the optional trailing trace context; None when the frame
+    (from an untraced or version-1 sender) ends before it."""
+    if offset + TRACE_CONTEXT_WIRE_BYTES <= len(data):
+        end = offset + TRACE_CONTEXT_WIRE_BYTES
+        return TraceContext.from_wire_bytes(data[offset:end]), end
+    return None, offset
+
+
 # -- client messages ----------------------------------------------------------
 
 
@@ -260,6 +291,11 @@ class ClientMessage:
     #: PROMOTE: where the promoted replica should start writing its own
     #: log ("" keeps the promoted server in-memory, the pre-sharding shape).
     data_dir: str = ""
+    #: Distributed tracing (protocol v2): the sender's trace context, or
+    #: None for untraced / version-1 requests.
+    trace: Optional["TraceContext"] = None
+    #: TRACES: the trace-id filter ("" = every buffered span).
+    trace_id: str = ""
 
     @property
     def op_name(self) -> str:
@@ -275,39 +311,54 @@ def encode_hello(version: int = PROTOCOL_VERSION, client_name: str = "repro-netc
     return bytes(out)
 
 
-def encode_execute(sql: str, params: Sequence[object] = (), max_rows: int = 0) -> bytes:
+def encode_execute(
+    sql: str,
+    params: Sequence[object] = (),
+    max_rows: int = 0,
+    trace: Optional[TraceContext] = None,
+) -> bytes:
     """EXECUTE: run one SQL statement.  ``max_rows`` caps the inline row
-    batch of the RESULT frame (0 = ship every row in one response)."""
+    batch of the RESULT frame (0 = ship every row in one response).  The
+    optional trailing ``trace`` context distributes the sender's trace."""
     out = bytearray([EXECUTE])
     _encode_str(sql, out)
     encode_row(params, out)
     encode_varint(max_rows, out)
+    _encode_trace(trace, out)
     return bytes(out)
 
 
-def encode_prepare(sql: str) -> bytes:
+def encode_prepare(sql: str, trace: Optional[TraceContext] = None) -> bytes:
     """PREPARE: register a server-side prepared statement."""
     out = bytearray([PREPARE])
     _encode_str(sql, out)
+    _encode_trace(trace, out)
     return bytes(out)
 
 
 def encode_execute_prepared(
-    stmt_id: int, params: Sequence[object] = (), max_rows: int = 0
+    stmt_id: int,
+    params: Sequence[object] = (),
+    max_rows: int = 0,
+    trace: Optional[TraceContext] = None,
 ) -> bytes:
     """EXECUTE_PREPARED: run a prepared statement with fresh parameters."""
     out = bytearray([EXECUTE_PREPARED])
     encode_varint(stmt_id, out)
     encode_row(params, out)
     encode_varint(max_rows, out)
+    _encode_trace(trace, out)
     return bytes(out)
 
 
-def encode_fetch(cursor_id: int, max_rows: int) -> bytes:
+def encode_fetch(
+    cursor_id: int, max_rows: int, trace: Optional[TraceContext] = None
+) -> bytes:
     """FETCH: the next batch of an open cursor."""
     out = bytearray([FETCH])
     encode_varint(cursor_id, out)
     encode_varint(max_rows, out)
+    _encode_trace(trace, out)
     return bytes(out)
 
 
@@ -337,9 +388,13 @@ def encode_explain(sql: str) -> bytes:
     return bytes(out)
 
 
-def encode_simple(op: int) -> bytes:
-    """A request with no fields (BEGIN/COMMIT/ROLLBACK/CHECKPOINT/...)."""
-    return bytes([op])
+def encode_simple(op: int, trace: Optional[TraceContext] = None) -> bytes:
+    """A request with no fields (BEGIN/COMMIT/ROLLBACK/CHECKPOINT/...).
+    The optional trailing ``trace`` lets COMMIT carry a trace context so the
+    server can attribute the WAL fsync to the caller's trace."""
+    out = bytearray([op])
+    _encode_trace(trace, out)
+    return bytes(out)
 
 
 def encode_replicate(epoch: int, offset: int, replica_name: str = "replica") -> bytes:
@@ -362,27 +417,45 @@ def encode_wait_lsn(epoch: int, offset: int, timeout_ms: int) -> bytes:
     return bytes(out)
 
 
-def encode_prepare_txn(gid: str) -> bytes:
+def encode_prepare_txn(gid: str, trace: Optional[TraceContext] = None) -> bytes:
     """PREPARE_TXN: two-phase commit phase one — make the session's open
     transaction durable under ``gid`` without committing it."""
     out = bytearray([PREPARE_TXN])
     _encode_str(gid, out)
+    _encode_trace(trace, out)
     return bytes(out)
 
 
-def encode_commit_prepared(gid: str) -> bytes:
+def encode_commit_prepared(gid: str, trace: Optional[TraceContext] = None) -> bytes:
     """COMMIT_PREPARED: apply a prepared transaction (idempotent)."""
     out = bytearray([COMMIT_PREPARED])
     _encode_str(gid, out)
+    _encode_trace(trace, out)
     return bytes(out)
 
 
-def encode_abort_prepared(gid: str) -> bytes:
+def encode_abort_prepared(gid: str, trace: Optional[TraceContext] = None) -> bytes:
     """ABORT_PREPARED: discard a prepared transaction (presumed abort:
     unknown gids succeed silently)."""
     out = bytearray([ABORT_PREPARED])
     _encode_str(gid, out)
+    _encode_trace(trace, out)
     return bytes(out)
+
+
+def encode_traces(trace_id: str = "") -> bytes:
+    """TRACES: fetch buffered spans (all traces, or one ``trace_id``) as a
+    JSON document in a STATS-shaped response."""
+    out = bytearray([TRACES])
+    if trace_id:
+        _encode_str(trace_id, out)
+    return bytes(out)
+
+
+def encode_metrics() -> bytes:
+    """METRICS: fetch the server's metrics registry rendered in Prometheus
+    text exposition format, shipped in a STATS-shaped response."""
+    return bytes([METRICS])
 
 
 def encode_promote(data_dir: str = "") -> bytes:
@@ -408,20 +481,28 @@ def decode_client_message(payload: bytes) -> ClientMessage:
     if op == EXECUTE:
         sql, offset = _decode_str(payload, offset)
         params, offset = decode_row(payload, offset)
-        max_rows, _ = decode_varint(payload, offset)
-        return ClientMessage(op=op, sql=sql, params=params, max_rows=max_rows)
+        max_rows, offset = decode_varint(payload, offset)
+        trace, _ = _decode_trailing_trace(payload, offset)
+        return ClientMessage(
+            op=op, sql=sql, params=params, max_rows=max_rows, trace=trace
+        )
     if op == PREPARE:
-        sql, _ = _decode_str(payload, offset)
-        return ClientMessage(op=op, sql=sql)
+        sql, offset = _decode_str(payload, offset)
+        trace, _ = _decode_trailing_trace(payload, offset)
+        return ClientMessage(op=op, sql=sql, trace=trace)
     if op == EXECUTE_PREPARED:
         stmt_id, offset = decode_varint(payload, offset)
         params, offset = decode_row(payload, offset)
-        max_rows, _ = decode_varint(payload, offset)
-        return ClientMessage(op=op, stmt_id=stmt_id, params=params, max_rows=max_rows)
+        max_rows, offset = decode_varint(payload, offset)
+        trace, _ = _decode_trailing_trace(payload, offset)
+        return ClientMessage(
+            op=op, stmt_id=stmt_id, params=params, max_rows=max_rows, trace=trace
+        )
     if op == FETCH:
         cursor_id, offset = decode_varint(payload, offset)
-        max_rows, _ = decode_varint(payload, offset)
-        return ClientMessage(op=op, cursor_id=cursor_id, max_rows=max_rows)
+        max_rows, offset = decode_varint(payload, offset)
+        trace, _ = _decode_trailing_trace(payload, offset)
+        return ClientMessage(op=op, cursor_id=cursor_id, max_rows=max_rows, trace=trace)
     if op == CLOSE_CURSOR:
         cursor_id, _ = decode_varint(payload, offset)
         return ClientMessage(op=op, cursor_id=cursor_id)
@@ -450,8 +531,17 @@ def decode_client_message(payload: bytes) -> ClientMessage:
             op=op, epoch=epoch, offset=log_offset, timeout_ms=timeout_ms
         )
     if op in (PREPARE_TXN, COMMIT_PREPARED, ABORT_PREPARED):
-        gid, _ = _decode_str(payload, offset)
-        return ClientMessage(op=op, gid=gid)
+        gid, offset = _decode_str(payload, offset)
+        trace, _ = _decode_trailing_trace(payload, offset)
+        return ClientMessage(op=op, gid=gid, trace=trace)
+    if op == TRACES:
+        # Fieldless = every buffered trace; the trailing trace_id is optional.
+        trace_id = ""
+        if offset < len(payload):
+            trace_id, _ = _decode_str(payload, offset)
+        return ClientMessage(op=op, trace_id=trace_id)
+    if op == METRICS:
+        return ClientMessage(op=op)
     if op == PROMOTE:
         # Fieldless in pre-sharding clients; the trailing data_dir is optional.
         data_dir = ""
@@ -462,7 +552,8 @@ def decode_client_message(payload: bytes) -> ClientMessage:
         BEGIN, COMMIT, ROLLBACK, CHECKPOINT, SERVER_STATS, PING, GOODBYE,
         WAL_POSITION, LIST_PREPARED, BOOTSTRAP,
     ):
-        return ClientMessage(op=op)
+        trace, _ = _decode_trailing_trace(payload, offset)
+        return ClientMessage(op=op, trace=trace)
     raise ProtocolError(f"unknown client opcode {op:#x}")
 
 

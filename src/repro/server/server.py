@@ -32,9 +32,11 @@ import os
 import select
 import socket
 import threading
+import time
 from typing import Optional
 
 from repro.errors import SqlError
+from repro.obs.metrics import MetricsRegistry
 from repro.server import protocol
 from repro.sqlengine.durability import DurabilityOptions
 from repro.sqlengine.durability.snapshot import SNAPSHOT_NAME, snapshot_epoch
@@ -43,42 +45,47 @@ from repro.sqlengine.errors import ReadOnlyError, SqlExecutionError
 
 
 class ServerStats:
-    """Thread-safe per-server counters, surfaced via SERVER_STATS."""
+    """Thread-safe per-server counters, surfaced via SERVER_STATS.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.connections_accepted = 0
-        self.connections_active = 0
-        self.connections_rejected = 0
-        self.statements = 0
-        self.rows_shipped = 0
-        self.bytes_in = 0
-        self.bytes_out = 0
-        self.replication_streams = 0
-        self.wal_chunks_shipped = 0
-        self.wal_bytes_shipped = 0
+    Backed by the engine's shared :class:`MetricsRegistry`, so the same
+    numbers appear in the SERVER_STATS document, ``Database.render_metrics``
+    and a Prometheus scrape.  ``connections_active`` and
+    ``replication_streams`` are gauges (they take negative deltas); the
+    rest are monotonic counters.
+    """
+
+    _SPEC = (
+        ("connections_accepted", "counter"),
+        ("connections_active", "gauge"),
+        ("connections_rejected", "counter"),
+        ("statements", "counter"),
+        ("rows_shipped", "counter"),
+        ("bytes_in", "counter"),
+        ("bytes_out", "counter"),
+        ("replication_streams", "gauge"),
+        ("wal_chunks_shipped", "counter"),
+        ("wal_bytes_shipped", "counter"),
+    )
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        if registry is None:
+            registry = MetricsRegistry()
+        self._instruments = {
+            name: (registry.counter if kind == "counter" else registry.gauge)(
+                f"server_{name}"
+            )
+            for name, kind in self._SPEC
+        }
 
     def add(self, **deltas: int) -> None:
-        """Atomically add ``deltas`` to the named counters."""
-        with self._lock:
-            for name, delta in deltas.items():
-                setattr(self, name, getattr(self, name) + delta)
+        """Add ``deltas`` to the named counters (gauges take negatives)."""
+        instruments = self._instruments
+        for name, delta in deltas.items():
+            instruments[name].inc(delta)
 
     def snapshot(self) -> dict[str, int]:
-        """A consistent copy of every counter."""
-        with self._lock:
-            return {
-                "connections_accepted": self.connections_accepted,
-                "connections_active": self.connections_active,
-                "connections_rejected": self.connections_rejected,
-                "statements": self.statements,
-                "rows_shipped": self.rows_shipped,
-                "bytes_in": self.bytes_in,
-                "bytes_out": self.bytes_out,
-                "replication_streams": self.replication_streams,
-                "wal_chunks_shipped": self.wal_chunks_shipped,
-                "wal_bytes_shipped": self.wal_bytes_shipped,
-            }
+        """A copy of every counter, in the historical flat-dict shape."""
+        return {name: int(i.value) for name, i in self._instruments.items()}
 
 
 class _Cursor:
@@ -217,18 +224,23 @@ class _ClientHandler(threading.Thread):
                 False,
             ))
             return False
-        if message.version != protocol.PROTOCOL_VERSION:
+        if message.version not in protocol.SUPPORTED_VERSIONS:
             self._try_send(protocol.encode_error(
                 "ProtocolError",
                 f"protocol version mismatch: client speaks "
-                f"{message.version}, server speaks {protocol.PROTOCOL_VERSION}",
+                f"{message.version}, server speaks "
+                f"{', '.join(str(v) for v in protocol.SUPPORTED_VERSIONS)}",
                 False,
             ))
             return False
-        self._send(protocol.encode_hello_ok(banner=self._server.banner))
+        # Echo the client's (accepted) version so a v1 client sees v1.
+        self._send(protocol.encode_hello_ok(
+            version=message.version, banner=self._server.banner
+        ))
         return True
 
     def _dispatch(self, message: protocol.ClientMessage) -> bytes:
+        t0 = time.perf_counter()
         try:
             return self._handle(message)
         except Exception as error:  # noqa: BLE001 - every engine error maps
@@ -238,6 +250,35 @@ class _ClientHandler(threading.Thread):
             return protocol.encode_error(
                 protocol.error_class_name(error), str(error), self._in_transaction
             )
+        finally:
+            self._server._request_latency.observe(time.perf_counter() - t0)
+
+    def _start_span(self, message: protocol.ClientMessage, name: str):
+        """An :class:`ActiveSpan` for a request carrying a sampled trace
+        context, or ``None`` (the common case: no per-request cost)."""
+        trace = message.trace
+        if trace is None or not trace.sampled:
+            return None
+        database = self._server.database
+        return database.trace_buffer.start_span(trace, name, node=database.node_name)
+
+    def _traced_call(self, message: protocol.ClientMessage, name: str, call):
+        """Run ``call`` under a span when the request is traced; the call's
+        wall time becomes a phase of the same name."""
+        span = self._start_span(message, name)
+        if span is None:
+            return call()
+        if message.gid:
+            span.tag(gid=message.gid)
+        t0 = time.perf_counter()
+        try:
+            result = call()
+        except Exception as error:
+            span.finish(error)
+            raise
+        span.phase(name, time.perf_counter() - t0)
+        span.finish()
+        return result
 
     def _handle(self, message: protocol.ClientMessage) -> bytes:
         op = message.op
@@ -247,7 +288,8 @@ class _ClientHandler(threading.Thread):
             self._check_writable(message.sql)
             self._server.stats.add(statements=1)
             return self._result_frame(
-                session.execute(message.sql, message.params), message.max_rows
+                session.execute(message.sql, message.params, trace=message.trace),
+                message.max_rows,
             )
         if op == protocol.EXECUTE_PREPARED:
             sql = self._statements.get(message.stmt_id)
@@ -258,7 +300,8 @@ class _ClientHandler(threading.Thread):
             self._check_writable(sql)
             self._server.stats.add(statements=1)
             return self._result_frame(
-                session.execute(sql, message.params), message.max_rows
+                session.execute(sql, message.params, trace=message.trace),
+                message.max_rows,
             )
         if op == protocol.PREPARE:
             # A server-side prepared statement is the registered SQL text:
@@ -272,7 +315,10 @@ class _ClientHandler(threading.Thread):
                 self._statements.pop(next(iter(self._statements)))
             return protocol.encode_prepared(stmt_id, self._in_transaction)
         if op == protocol.FETCH:
-            return self._fetch_frame(message.cursor_id, message.max_rows)
+            return self._traced_call(
+                message, "fetch",
+                lambda: self._fetch_frame(message.cursor_id, message.max_rows),
+            )
         if op == protocol.CLOSE_CURSOR:
             self._cursors.pop(message.cursor_id, None)
             return protocol.encode_ok(self._in_transaction)
@@ -283,7 +329,21 @@ class _ClientHandler(threading.Thread):
             session.begin()
             return protocol.encode_ok(self._in_transaction)
         if op == protocol.COMMIT:
-            session.commit()
+            span = self._start_span(message, "commit")
+            if span is None:
+                session.commit()
+            else:
+                # Publish the span to the session so the engine attributes
+                # the commit's WAL fsync to it as a ``wal_fsync`` phase.
+                session._stmt_obs = span
+                try:
+                    session.commit()
+                except Exception as error:
+                    span.finish(error)
+                    raise
+                finally:
+                    session._stmt_obs = None
+                span.finish()
             # The commit's LSN rides on the acknowledgement so clients get
             # read-your-writes tokens without an extra round trip.
             return protocol.encode_ok(
@@ -340,7 +400,10 @@ class _ClientHandler(threading.Thread):
                 raise ReadOnlyError(
                     "PREPARE_TXN rejected: this server is a read-only replica"
                 )
-            session.prepare_transaction(message.gid)
+            self._traced_call(
+                message, "2pc_prepare",
+                lambda: session.prepare_transaction(message.gid),
+            )
             return protocol.encode_ok(
                 self._in_transaction, lsn=self._server.wal_position()
             )
@@ -349,7 +412,10 @@ class _ClientHandler(threading.Thread):
                 raise ReadOnlyError(
                     "COMMIT_PREPARED rejected: this server is a read-only replica"
                 )
-            self._server.database.commit_prepared(message.gid)
+            self._traced_call(
+                message, "2pc_commit",
+                lambda: self._server.database.commit_prepared(message.gid),
+            )
             return protocol.encode_ok(
                 self._in_transaction, lsn=self._server.wal_position()
             )
@@ -358,9 +424,25 @@ class _ClientHandler(threading.Thread):
                 raise ReadOnlyError(
                     "ABORT_PREPARED rejected: this server is a read-only replica"
                 )
-            self._server.database.rollback_prepared(message.gid)
+            self._traced_call(
+                message, "2pc_abort",
+                lambda: self._server.database.rollback_prepared(message.gid),
+            )
             return protocol.encode_ok(
                 self._in_transaction, lsn=self._server.wal_position()
+            )
+        if op == protocol.TRACES:
+            database = self._server.database
+            document = {
+                "node": database.node_name,
+                "spans": database.traces(message.trace_id or None),
+            }
+            return protocol.encode_stats(
+                json.dumps(document), self._in_transaction
+            )
+        if op == protocol.METRICS:
+            return protocol.encode_stats(
+                self._server.database.render_metrics(), self._in_transaction
             )
         if op == protocol.LIST_PREPARED:
             # Works on replicas too: a coordinator resolving in-doubt
@@ -634,7 +716,19 @@ class SqlServer:
         #: Fault-injection tests shrink this to cut streams between small
         #: chunks at byte-exact offsets.
         self.replication_chunk_bytes = replication_chunk_bytes
-        self.stats = ServerStats()
+        if database.node_name == "engine":
+            # Attribute this node's spans and slow-query lines to the
+            # server's banner ("primary", "shard0", ...) instead of the
+            # engine default.
+            database.node_name = banner
+            database.slow_log.node = banner
+        #: Server counters live on the engine's registry, so SERVER_STATS,
+        #: Database.render_metrics() and a Prometheus scrape all agree.
+        self.stats = ServerStats(registry=database.metrics)
+        self._request_latency = database.metrics.histogram(
+            "server_request_latency_seconds",
+            help="Wall time handling one client request frame",
+        )
         self.stopping = False
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None

@@ -42,9 +42,19 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
+import time
 import uuid
 from typing import Callable, Optional, Sequence
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import (
+    ActiveSpan,
+    TraceBuffer,
+    TraceContext,
+    TracingOptions,
+    new_root_context,
+)
 from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.engine import Database, ResultSet, _split_script
 from repro.sqlengine.errors import (
@@ -84,23 +94,32 @@ _DDL_STATEMENTS = (
 # prepare on the session but decide on their Database.
 
 
-def _prepare(session, gid: str) -> None:
+def _prepare(session, gid: str, trace=None) -> None:
     if hasattr(session, "prepare_txn"):
-        session.prepare_txn(gid)
+        if trace is not None:
+            session.prepare_txn(gid, trace=trace)
+        else:
+            session.prepare_txn(gid)
     else:
         session.prepare_transaction(gid)
 
 
-def _commit_prepared(session, gid: str) -> None:
+def _commit_prepared(session, gid: str, trace=None) -> None:
     if hasattr(session, "commit_prepared"):
-        session.commit_prepared(gid)
+        if trace is not None:
+            session.commit_prepared(gid, trace=trace)
+        else:
+            session.commit_prepared(gid)
     else:
         session.database.commit_prepared(gid)
 
 
-def _abort_prepared(session, gid: str) -> None:
+def _abort_prepared(session, gid: str, trace=None) -> None:
     if hasattr(session, "abort_prepared"):
-        session.abort_prepared(gid)
+        if trace is not None:
+            session.abort_prepared(gid, trace=trace)
+        else:
+            session.abort_prepared(gid)
     else:
         session.database.rollback_prepared(gid)
 
@@ -302,6 +321,19 @@ class ShardedSession:
         self._active = False
         self._enlisted: dict[int, object] = {}
         self._map_version: Optional[int] = None
+        #: The span of the statement currently on the observed path (set
+        #: by :meth:`_execute_observed`); 2PC phase timings land on it.
+        self._obs: Optional[ActiveSpan] = None
+        #: A span handed in from outside for a bare ``commit()`` call —
+        #: the wire server parks its COMMIT span here, exactly as it does
+        #: on an engine session.
+        self._stmt_obs: Optional[ActiveSpan] = None
+        #: The child trace context re-propagated to every shard call made
+        #: on behalf of the current traced statement.
+        self._fanout_trace: Optional[TraceContext] = None
+        #: The routing decision of the current statement, for span tags
+        #: and slow-log records.
+        self._stmt_route: Optional[str] = None
         #: The shard answering ``any``-routed reads inside this
         #: transaction (pinned so repeated global-table reads see one
         #: snapshot and the transaction's own broadcast writes).
@@ -404,6 +436,11 @@ class ShardedSession:
         db = self._db
         if not participants:
             return
+        # The span the commit belongs to: the statement's own span when a
+        # traced COMMIT (or autocommit write) is executing, or one parked
+        # on the session by the wire server's COMMIT handler.
+        obs = self._obs if self._obs is not None else self._stmt_obs
+        trace = obs.context if obs is not None else self._fanout_trace
         if map_version is not None and db.shard_map.version != map_version:
             for _, session in participants:
                 try:
@@ -416,20 +453,27 @@ class ShardedSession:
                 "aborted to avoid committing stale row placements"
             )
         if len(participants) == 1:
-            participants[0][1].commit()
+            session = participants[0][1]
+            if trace is not None and hasattr(session, "prepare_txn"):
+                session.commit(trace=trace)
+            else:
+                session.commit()
             return
         gid = db._new_gid()
+        if obs is not None:
+            obs.tag(gid=gid)
+        t0 = time.perf_counter()
         prepared: list[tuple[int, object]] = []
         for shard, session in participants:
             try:
-                _prepare(session, gid)
+                _prepare(session, gid, trace)
                 prepared.append((shard, session))
             except Exception as error:
                 # Phase one veto: abort the already-prepared batches and
                 # roll back everyone still holding an open transaction.
                 for _, done in prepared:
                     try:
-                        _abort_prepared(done, gid)
+                        _abort_prepared(done, gid, trace)
                     except Exception:
                         pass
                 prepared_ids = {id(done) for _, done in prepared}
@@ -447,16 +491,26 @@ class ShardedSession:
                 raise ShardError(
                     f"2PC prepare failed on shard {shard}: {error}"
                 ) from error
+        if obs is not None:
+            t1 = time.perf_counter()
+            obs.phase("2pc_prepare", t1 - t0)
+            t0 = t1
         # The decision point: once this record is on disk the
         # transaction IS committed, whatever happens to the processes.
         db.journal.record(gid, "commit")
         db._count_2pc()
+        if obs is not None:
+            t1 = time.perf_counter()
+            obs.phase("2pc_decision", t1 - t0)
+            t0 = t1
         failures: list[int] = []
         for shard, session in participants:
             try:
-                _commit_prepared(session, gid)
+                _commit_prepared(session, gid, trace)
             except Exception:
                 failures.append(shard)
+        if obs is not None:
+            obs.phase("2pc_commit", time.perf_counter() - t0)
         if failures:
             raise ShardError(
                 f"transaction {gid} is committed but shard(s) "
@@ -466,7 +520,88 @@ class ShardedSession:
 
     # -- statement execution -------------------------------------------------
 
-    def execute(self, sql: str, params: Sequence[object] = ()) -> ResultSet:
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[object] = (),
+        *,
+        trace: Optional[TraceContext] = None,
+    ) -> ResultSet:
+        """Route and execute one statement.
+
+        Mirrors the engine session's hot-path contract: with no inbound
+        trace context and observability off, this adds exactly one
+        attribute check before the plain routing path.
+        """
+        database = self._db
+        if trace is None and not database._observed:
+            return self._execute_statement(sql, params)
+        return self._execute_observed(sql, params, trace)
+
+    def _execute_observed(
+        self,
+        sql: str,
+        params: Sequence[object],
+        trace: Optional[TraceContext],
+    ) -> ResultSet:
+        """The instrumented routing path: a ``coordinator`` span whose
+        context is re-propagated to every shard call, the statement
+        latency histogram, and the coordinator's slow-query log."""
+        db = self._db
+        context = trace
+        if context is None and db._tracing.samples(db._next_trace_counter()):
+            context = new_root_context()
+        span: Optional[ActiveSpan] = None
+        if context is not None and context.sampled:
+            span = db.trace_buffer.start_span(
+                context, "coordinator", db.node_name
+            )
+            span.tag(sql=sql)
+            self._fanout_trace = span.context
+        elif context is not None:
+            # Unsampled inbound context: no local span, but keep
+            # propagating the id so downstream nodes agree.
+            self._fanout_trace = context
+        self._obs = span
+        self._stmt_route = None
+        error: Optional[BaseException] = None
+        rowcount: Optional[int] = None
+        t0 = time.perf_counter()
+        try:
+            result = self._execute_statement(sql, params)
+            rowcount = result.rowcount
+            return result
+        except BaseException as exc:
+            error = exc
+            raise
+        finally:
+            self._obs = None
+            self._fanout_trace = None
+            route = self._stmt_route
+            self._stmt_route = None
+            duration_s = time.perf_counter() - t0
+            db._statement_latency.observe(duration_s)
+            if span is not None:
+                if route is not None:
+                    span.tag(route=route)
+                span.finish(error)
+            db.slow_log.record(
+                sql,
+                duration_s * 1000.0,
+                rows=rowcount,
+                mode=None,
+                route=route,
+                trace_id=context.trace_id if context is not None else None,
+                error=(
+                    f"{type(error).__name__}: {error}"
+                    if error is not None
+                    else None
+                ),
+            )
+
+    def _execute_statement(
+        self, sql: str, params: Sequence[object] = ()
+    ) -> ResultSet:
         self._check_open()
         db = self._db
         statement = db._parse(sql)
@@ -542,6 +677,16 @@ class ShardedSession:
             return self._session_for(shard), False
         return self._db._backend_session(shard, autocommit=True), True
 
+    def _shard_execute(self, session, sql: str, params: Sequence[object]):
+        """Forward one statement to a shard session, re-propagating the
+        coordinator's trace context when the statement is traced.  The
+        trace keyword is only passed when set, so duck-typed backends
+        without tracing support keep working."""
+        trace = self._fanout_trace
+        if trace is not None:
+            return session.execute(sql, params, trace=trace)
+        return session.execute(sql, params)
+
     def _pick_any(self) -> int:
         if self._active:
             if self._anchor is None:
@@ -566,7 +711,7 @@ class ShardedSession:
 
         def run(index: int, shard: int, session) -> None:
             try:
-                result = session.execute(per_shard_sql(shard), params)
+                result = self._shard_execute(session, per_shard_sql(shard), params)
                 results[index] = ResultSet(
                     columns=list(result.columns),
                     rows=list(result.rows),
@@ -618,6 +763,7 @@ class ShardedSession:
         db = self._db
         route = db._router().route_select(statement, params)
         db._count_route(route.kind)
+        self._stmt_route = route.kind
         if route.kind == SINGLE:
             return self._run_single(route.shards[0], sql, params)
         if route.kind == ANY:
@@ -627,6 +773,7 @@ class ShardedSession:
                 return self._execute_fanout(statement, params, route)
             except _Unmergeable:
                 db._count_route(GATHER)
+                self._stmt_route = GATHER
                 return self._execute_gather(statement, sql, params)
         return self._execute_gather(statement, sql, params)
 
@@ -635,7 +782,7 @@ class ShardedSession:
     ) -> ResultSet:
         session, temporary = self._checkout(shard)
         try:
-            result = session.execute(sql, params)
+            result = self._shard_execute(session, sql, params)
             return ResultSet(
                 columns=list(result.columns),
                 rows=list(result.rows),
@@ -777,7 +924,7 @@ class ShardedSession:
             return [row for result in results for row in result.rows]
         session, temporary = self._checkout(self._pick_any())
         try:
-            return list(session.execute(slice_sql, ()).rows)
+            return list(self._shard_execute(session, slice_sql, ()).rows)
         finally:
             if temporary:
                 session.close()
@@ -796,6 +943,7 @@ class ShardedSession:
         else:
             route = router.route_delete(statement, params)
         db._count_route(route.kind)
+        self._stmt_route = route.kind
         if route.kind == SINGLE:
             return self._run_single(route.shards[0], sql, params)
         if self._active:
@@ -866,7 +1014,9 @@ class ShardedSession:
 
         def run(index: int, shard: int, session, job_sql, job_params) -> None:
             try:
-                rowcounts[index] = session.execute(job_sql, job_params).rowcount
+                rowcounts[index] = self._shard_execute(
+                    session, job_sql, job_params
+                ).rowcount
             except Exception as error:  # noqa: BLE001 - reported below
                 errors.append((shard, error))
 
@@ -907,10 +1057,11 @@ class ShardedSession:
     def _execute_ddl(self, statement, sql: str, params: Sequence[object]) -> ResultSet:
         db = self._db
         db._count_route(BROADCAST)
+        self._stmt_route = BROADCAST
         for shard in range(db.num_shards):
             session, temporary = self._checkout(shard)
             try:
-                session.execute(sql, params)
+                self._shard_execute(session, sql, params)
             finally:
                 if temporary:
                     session.close()
@@ -940,6 +1091,11 @@ class ShardedDatabase:
         data_dir: Optional[str] = None,
         name: str = "coordinator",
         resolve: bool = True,
+        *,
+        tracing: Optional[TracingOptions] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        slow_query_ms: Optional[float] = None,
+        slow_query_sink=None,
     ) -> None:
         if shard_map.num_shards != len(shards):
             raise ShardError(
@@ -947,6 +1103,21 @@ class ShardedDatabase:
                 f"{len(shards)} backends were supplied"
             )
         self.name = name
+        # Observability mirrors the engine Database surface (node_name /
+        # metrics / trace_buffer / slow_log / traces()), so the unchanged
+        # wire server fronts a coordinator like any other node.
+        self.node_name = name
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._tracing = tracing if tracing is not None else TracingOptions()
+        self.trace_buffer = TraceBuffer(self._tracing.buffer_size)
+        self.slow_log = SlowQueryLog(
+            slow_query_ms, sink=slow_query_sink, node=name
+        )
+        self._observed = self._tracing.enabled or self.slow_log.enabled
+        self._trace_counter = 0
+        self._statement_latency = self.metrics.histogram(
+            "coordinator_statement_latency_seconds"
+        )
         self._shards = list(shards)
         self._map = shard_map
         self._lock = threading.Lock()
@@ -967,6 +1138,11 @@ class ShardedDatabase:
         self.in_doubt_committed = 0
         self.in_doubt_aborted = 0
         self._closed = False
+        # Bridge the coordinator's counters into the registry as pull
+        # collectors (nothing on the routing hot path changes).
+        self.metrics.collect("coordinator", self._coordinator_counters)
+        self.metrics.collect("trace_buffer", lambda: self.trace_buffer.stats())
+        self.metrics.collect("slow_query_log", self.slow_log.stats)
         if resolve:
             self.resolve_in_doubt()
 
@@ -1263,7 +1439,79 @@ class ShardedDatabase:
                 "in_doubt_committed": self.in_doubt_committed,
                 "in_doubt_aborted": self.in_doubt_aborted,
                 "tables": len(self._schemas),
+                "tracing": self.trace_buffer.stats(),
+                "slow_query_log": self.slow_log.stats(),
             }
+
+    # -- observability --------------------------------------------------------
+
+    @property
+    def tracing(self) -> TracingOptions:
+        """This coordinator's tracing options (see :meth:`set_tracing`)."""
+        return self._tracing
+
+    def set_tracing(self, options: TracingOptions) -> None:
+        """Switch tracing on or off at runtime.  Already-buffered spans are
+        kept; the buffer is resized only if the new size differs."""
+        self._tracing = options
+        if options.buffer_size != self.trace_buffer.stats()["capacity"]:
+            self.trace_buffer = TraceBuffer(options.buffer_size)
+        self._observed = options.enabled or self.slow_log.enabled
+
+    def set_slow_query_threshold(self, threshold_ms: Optional[float]) -> None:
+        """Change (or with None, disable) the slow-query threshold."""
+        self.slow_log.threshold_ms = threshold_ms
+        self._observed = self._tracing.enabled or self.slow_log.enabled
+
+    def traces(self, trace_id: Optional[str] = None) -> list[dict]:
+        """The coordinator's own spans plus every span its shard backends
+        buffered, optionally filtered by trace id.  Works across backend
+        shapes (embedded engines, connection pools, replicated pools);
+        unreachable backends are skipped — traces are a diagnostic
+        surface and must not fail while the fleet is degraded."""
+        spans = self.trace_buffer.spans(trace_id)
+        for backend in self._shards:
+            fetch = getattr(backend, "traces", None)
+            if fetch is None:
+                continue
+            try:
+                spans.extend(fetch(trace_id))
+            except Exception:
+                continue
+        return spans
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids in the coordinator's buffer, oldest first."""
+        return self.trace_buffer.trace_ids()
+
+    def slow_queries(self, limit: Optional[int] = None) -> list[dict]:
+        """The coordinator's most recent slow-query records, oldest
+        first.  Each carries the routing decision (``route``) alongside
+        the usual fields."""
+        return self.slow_log.recent(limit)
+
+    def render_metrics(self) -> str:
+        """The coordinator's registry in Prometheus text format."""
+        return self.metrics.render_prometheus()
+
+    def _coordinator_counters(self) -> dict[str, object]:
+        with self._lock:
+            counters: dict[str, object] = {
+                "statements_executed": self.statements_executed,
+                "transactions_2pc": self.transactions_2pc,
+                "in_doubt_committed": self.in_doubt_committed,
+                "in_doubt_aborted": self.in_doubt_aborted,
+                "shard_map_version": self._map.version,
+                "num_shards": len(self._shards),
+            }
+            for kind, count in self._route_counts.items():
+                counters[f"route_{kind}"] = count
+        return counters
+
+    def _next_trace_counter(self) -> int:
+        with self._lock:
+            self._trace_counter += 1
+            return self._trace_counter
 
     def close(self) -> None:
         if self._closed:

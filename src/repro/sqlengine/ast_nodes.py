@@ -215,10 +215,13 @@ class DropTableStatement:
 
 @dataclass(frozen=True)
 class ExplainStatement:
-    """``EXPLAIN SELECT ...``: plan the query and return the cost-annotated
-    operator tree as rows instead of executing it."""
+    """``EXPLAIN [ANALYZE] SELECT ...``: plan the query and return the
+    cost-annotated operator tree as rows.  With ``ANALYZE`` the query is
+    actually executed and every operator is annotated with the rows it
+    produced and the wall time it spent (inclusive of its children)."""
 
     statement: "SelectStatement"
+    analyze: bool = False
 
 
 @dataclass(frozen=True)

@@ -34,7 +34,6 @@ work unchanged above a batch plan.
 
 from __future__ import annotations
 
-import threading
 from typing import Callable, Iterator, Optional, Sequence
 
 from repro.sqlengine import ast_nodes as ast
@@ -63,27 +62,38 @@ class ColumnarMetrics:
     Surfaced as the ``columnar`` section of ``Database.stats()`` /
     SERVER_STATS; per-table column-array rebuild counters live on
     :class:`~repro.sqlengine.storage.TableData` and are merged in there.
+
+    The values live in :class:`repro.obs.metrics.Counter` instruments —
+    pass the engine's :class:`~repro.obs.metrics.MetricsRegistry` to share
+    them with the unified export (``METRICS`` verb, Prometheus render);
+    without one a private registry keeps the historical standalone
+    behaviour.  ``snapshot()`` keys are unchanged.
     """
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.batches_produced = 0
-        self.rows_filtered_by_pushdown = 0
-        self.fast_path_scans = 0
-        self.fallback_scans = 0
+    _FIELDS = (
+        "batches_produced",
+        "rows_filtered_by_pushdown",
+        "fast_path_scans",
+        "fallback_scans",
+    )
+
+    def __init__(self, registry=None) -> None:
+        if registry is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+        self._counters = {
+            name: registry.counter(
+                f"columnar_{name}", "columnar execution counter"
+            )
+            for name in self._FIELDS
+        }
 
     def count(self, field: str, amount: int = 1) -> None:
-        with self._lock:
-            setattr(self, field, getattr(self, field) + amount)
+        self._counters[field].inc(amount)
 
     def snapshot(self) -> dict[str, int]:
-        with self._lock:
-            return {
-                "batches_produced": self.batches_produced,
-                "rows_filtered_by_pushdown": self.rows_filtered_by_pushdown,
-                "fast_path_scans": self.fast_path_scans,
-                "fallback_scans": self.fallback_scans,
-            }
+        return {name: counter.value for name, counter in self._counters.items()}
 
 
 class Batch:

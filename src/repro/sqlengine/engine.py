@@ -31,6 +31,15 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import (
+    ActiveSpan,
+    TraceBuffer,
+    TraceContext,
+    TracingOptions,
+    new_root_context,
+)
 from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.catalog import Catalog, TableSchema
 from repro.sqlengine.columnar import ColumnarMetrics
@@ -145,6 +154,13 @@ class Session:
         self._database = database
         self.autocommit = autocommit
         self._transaction: Optional[Transaction] = None
+        # Observability state for the statement currently executing on this
+        # session (sessions are single-threaded, so plain attributes work):
+        # the active span — if any — so deep phases (WAL fsync inside the
+        # commit epilogue) can attribute their time, and the executed plan
+        # mode for the slow-query log.
+        self._stmt_obs: Optional[ActiveSpan] = None
+        self._stmt_mode: Optional[str] = None
 
     # -- properties ----------------------------------------------------------
 
@@ -261,10 +277,41 @@ class Session:
 
     # -- SQL interface -------------------------------------------------------
 
-    def execute(self, sql: str, params: Sequence[object] = ()) -> ResultSet:
-        """Parse (with caching), plan and execute one SQL statement."""
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[object] = (),
+        *,
+        trace: Optional[TraceContext] = None,
+    ) -> ResultSet:
+        """Parse (with caching), plan and execute one SQL statement.
+
+        ``trace`` carries an inbound distributed-trace context (decoded
+        from the wire protocol's optional trailing field); locally
+        originated statements get one when the database's tracing is
+        enabled.  With no context and observability off this adds exactly
+        one attribute check to the plain execution path.
+        """
         database = self._database
-        cached, generation = database._cached_statement(sql)
+        if trace is None and not database._observed:
+            return self._execute_statement(sql, params, None)
+        return self._execute_observed(sql, params, trace)
+
+    def _execute_statement(
+        self,
+        sql: str,
+        params: Sequence[object],
+        obs: Optional[ActiveSpan],
+    ) -> ResultSet:
+        database = self._database
+        if obs is None:
+            cached, generation, _hit = database._cached_statement(sql)
+        else:
+            t0 = time.perf_counter()
+            cached, generation, hit = database._cached_statement(sql)
+            obs.phase("parse", time.perf_counter() - t0)
+            if hit:
+                obs.event("plan_cache_hit")
         statement = cached.statement
         if isinstance(statement, ast.TransactionStatement):
             database._count_statement()
@@ -275,8 +322,63 @@ class Session:
             self._execute_checkpoint()
             return ResultSet(columns=[], rows=[])
         if isinstance(statement, (ast.SelectStatement, ast.ExplainStatement)):
-            return self._execute_select(sql, params, cached, generation)
-        return self._execute_write(cached, params)
+            return self._execute_select(sql, params, cached, generation, obs)
+        return self._execute_write(cached, params, obs)
+
+    def _execute_observed(
+        self,
+        sql: str,
+        params: Sequence[object],
+        trace: Optional[TraceContext],
+    ) -> ResultSet:
+        """The instrumented execution path: span recording with per-phase
+        timings, the statement-latency histogram and the slow-query log.
+        Entered only for statements carrying an inbound trace context or on
+        a database with tracing / slow-query logging switched on."""
+        database = self._database
+        context = trace
+        if context is None and database._tracing.samples(
+            database._next_trace_counter()
+        ):
+            context = new_root_context()
+        span: Optional[ActiveSpan] = None
+        if context is not None and context.sampled:
+            span = database.trace_buffer.start_span(
+                context, "statement", database.node_name
+            )
+            span.tag(sql=sql)
+        self._stmt_obs = span
+        self._stmt_mode = None
+        error: Optional[BaseException] = None
+        rowcount: Optional[int] = None
+        t0 = time.perf_counter()
+        try:
+            result = self._execute_statement(sql, params, span)
+            rowcount = result.rowcount
+            return result
+        except BaseException as exc:
+            error = exc
+            raise
+        finally:
+            self._stmt_obs = None
+            duration_s = time.perf_counter() - t0
+            database._statement_latency.observe(duration_s)
+            if span is not None:
+                if self._stmt_mode is not None:
+                    span.tag(mode=self._stmt_mode)
+                span.finish(error)
+            database.slow_log.record(
+                sql,
+                duration_s * 1000.0,
+                rows=rowcount,
+                mode=self._stmt_mode,
+                trace_id=context.trace_id if context is not None else None,
+                error=(
+                    f"{type(error).__name__}: {error}"
+                    if error is not None
+                    else None
+                ),
+            )
 
     def execute_many(self, sql: str, param_rows: Iterable[Sequence[object]]) -> int:
         """Execute the same DML statement for every parameter row inside one
@@ -289,7 +391,7 @@ class Session:
         """
         database = self._database
         controller = database._mvcc
-        cached, _ = database._cached_statement(sql)
+        cached, _, _ = database._cached_statement(sql)
         statement = cached.statement
         param_rows = list(param_rows)
         attempt = 0
@@ -348,6 +450,7 @@ class Session:
         params: Sequence[object],
         cached: _CachedStatement,
         generation: int,
+        obs: Optional[ActiveSpan] = None,
     ) -> ResultSet:
         database = self._database
         controller = database._mvcc
@@ -360,11 +463,23 @@ class Session:
             # a mismatch re-fetch inside the statement gate (DDL runs on
             # the exclusive side, so from here the entry is stable).
             if database._cache_generation != generation:
-                cached, _ = database._cached_statement(sql)
-            plan = database._ensure_plan(cached)
-            result = database._executor.execute(
-                cached.statement, params, plan=plan
-            )
+                cached, _, _ = database._cached_statement(sql)
+            if obs is None:
+                plan = database._ensure_plan(cached)
+                result = database._executor.execute(
+                    cached.statement, params, plan=plan
+                )
+            else:
+                t0 = time.perf_counter()
+                plan = database._ensure_plan(cached)
+                obs.phase("plan", time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                result = database._executor.execute(
+                    cached.statement, params, plan=plan
+                )
+                obs.phase("execute", time.perf_counter() - t0)
+            if plan is not None:
+                self._stmt_mode = plan.mode
             database._count_statement()
             return ResultSet(
                 columns=result.columns, rows=result.rows, rowcount=result.rowcount
@@ -373,7 +488,10 @@ class Session:
             controller.end_statement(token)
 
     def _execute_write(
-        self, cached: _CachedStatement, params: Sequence[object]
+        self,
+        cached: _CachedStatement,
+        params: Sequence[object],
+        obs: Optional[ActiveSpan] = None,
     ) -> ResultSet:
         database = self._database
         if isinstance(cached.statement, _DDL_STATEMENTS):
@@ -395,9 +513,16 @@ class Session:
                 controller.adopt_transaction(transaction)
             mark = transaction.undo.mark()
             try:
-                result = database._executor.execute(
-                    cached.statement, params, txn=transaction
-                )
+                if obs is None:
+                    result = database._executor.execute(
+                        cached.statement, params, txn=transaction
+                    )
+                else:
+                    t0 = time.perf_counter()
+                    result = database._executor.execute(
+                        cached.statement, params, txn=transaction
+                    )
+                    obs.phase("execute", time.perf_counter() - t0)
                 database._count_statement()
             except TransactionConflictError:
                 # Statement-level atomicity, then first-updater-wins: when
@@ -412,6 +537,8 @@ class Session:
                     attempt += 1
                     if attempt <= CONFLICT_RETRY_LIMIT:
                         controller.count_retry()
+                        if obs is not None:
+                            obs.event("conflict_retry")
                         _conflict_backoff(attempt)
                         continue
                 else:
@@ -512,7 +639,13 @@ class Session:
         controller.end_transaction(transaction, committed=True)
         controller.collect_garbage()
         if ticket is not None:
-            durability.sync(ticket)
+            obs = self._stmt_obs
+            if obs is None:
+                durability.sync(ticket)
+            else:
+                t0 = time.perf_counter()
+                durability.sync(ticket)
+                obs.phase("wal_fsync", time.perf_counter() - t0)
             database._maybe_checkpoint()
 
     def _execute_checkpoint(self) -> None:
@@ -568,7 +701,36 @@ class Database:
         statement_cache_size: int = 256,
         data_dir: str | None = None,
         durability: DurabilityOptions | None = None,
+        *,
+        node_name: str = "engine",
+        tracing: TracingOptions | None = None,
+        metrics: MetricsRegistry | None = None,
+        slow_query_ms: float | None = None,
+        slow_query_sink=None,
     ) -> None:
+        # Observability first: the metrics registry must exist before the
+        # subsystems that record into it (columnar metrics, durability).
+        #: Name this engine's spans and slow-log records carry; servers set
+        #: it to their node name so cross-node traces attribute correctly.
+        self.node_name = node_name
+        #: The unified metrics registry every counter of this engine lives
+        #: in (or is bridged into via collectors); shareable so a server
+        #: can merge engine and wire metrics into one scrape.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._tracing = tracing if tracing is not None else TracingOptions()
+        #: Ring buffer of finished spans recorded by this node.
+        self.trace_buffer = TraceBuffer(self._tracing.buffer_size)
+        #: Structured slow-query log (disabled unless ``slow_query_ms``).
+        self.slow_log = SlowQueryLog(
+            slow_query_ms, sink=slow_query_sink, node=node_name
+        )
+        # The single hot-path flag: statements take the instrumented path
+        # only when it is set (or they carry an inbound trace context).
+        self._observed = self._tracing.enabled or self.slow_log.enabled
+        self._trace_counter = 0
+        self._statement_latency = self.metrics.histogram(
+            "statement_latency_seconds"
+        )
         self._catalog = Catalog()
         self._tables: dict[str, TableData] = {}
         self._mvcc = MvccController()
@@ -608,8 +770,9 @@ class Database:
             )
         self._planner_options = planner_options or PlannerOptions()
         # Engine-wide columnar execution counters; shared by every Executor
-        # this database builds so stats() survives option changes.
-        self._columnar_metrics = ColumnarMetrics()
+        # this database builds so stats() survives option changes.  Backed
+        # by the unified registry so they appear in the scrape too.
+        self._columnar_metrics = ColumnarMetrics(registry=self.metrics)
         self._executor = Executor(
             self._catalog,
             self._tables,
@@ -644,6 +807,14 @@ class Database:
         # thread-safe, so the Database.execute facade must not share one
         # session's transaction/lock state across threads.
         self._default_sessions = threading.local()
+        # Bridge the engine's pre-existing counters into the registry as
+        # pull-based collectors: nothing on the hot path changes, but one
+        # scrape sees everything.
+        self.metrics.collect("engine", self._engine_counters)
+        self.metrics.collect("mvcc", self._mvcc.stats)
+        self.metrics.collect("trace_buffer", self.trace_buffer.stats)
+        self.metrics.collect("slow_query_log", self.slow_log.stats)
+        self.metrics.collect("durability", self.durability_info)
 
     # -- properties ----------------------------------------------------------
 
@@ -714,6 +885,8 @@ class Database:
             )
         finally:
             self._mvcc.end_statement(token)
+        tracing = dict(self.trace_buffer.stats())
+        tracing["enabled"] = self._tracing.enabled
         return {
             "statements_executed": self.statements_executed,
             "statement_cache": self.statement_cache_info(),
@@ -723,7 +896,63 @@ class Database:
             "durable": self.durable,
             "durability": self.durability_info(),
             "prepared_transactions": len(self.prepared_gids()),
+            "tracing": tracing,
+            "slow_query_log": self.slow_log.stats(),
         }
+
+    # -- observability --------------------------------------------------------
+
+    @property
+    def tracing(self) -> TracingOptions:
+        """This node's tracing options (see :meth:`set_tracing`)."""
+        return self._tracing
+
+    def set_tracing(self, options: TracingOptions) -> None:
+        """Switch tracing on or off at runtime.  Already-buffered spans are
+        kept; the buffer is resized only if the new size differs."""
+        self._tracing = options
+        if options.buffer_size != (self.trace_buffer.stats()["capacity"]):
+            self.trace_buffer = TraceBuffer(options.buffer_size)
+        self._observed = options.enabled or self.slow_log.enabled
+
+    def set_slow_query_threshold(self, threshold_ms: float | None) -> None:
+        """Change (or with None, disable) the slow-query threshold."""
+        self.slow_log.threshold_ms = threshold_ms
+        self._observed = self._tracing.enabled or self.slow_log.enabled
+
+    def traces(self, trace_id: str | None = None) -> list[dict]:
+        """Spans recorded by **this node** (as dicts, oldest first),
+        optionally filtered by trace id.  Distributed front ends
+        (the sharding coordinator, the replicated pool) override/extend
+        this by merging the buffers of every node they talk to."""
+        return self.trace_buffer.spans(trace_id)
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids currently buffered, oldest first."""
+        return self.trace_buffer.trace_ids()
+
+    def slow_queries(self, limit: int | None = None) -> list[dict]:
+        """The most recent slow-query records, oldest first."""
+        return self.slow_log.recent(limit)
+
+    def render_metrics(self) -> str:
+        """The unified registry in Prometheus text exposition format."""
+        return self.metrics.render_prometheus()
+
+    def _engine_counters(self) -> dict[str, object]:
+        info = self.statement_cache_info()
+        return {
+            "statements_executed": self.statements_executed,
+            "statement_cache_hits": info["hits"],
+            "statement_cache_misses": info["misses"],
+            "statement_cache_entries": info["entries"],
+            "plans_computed": info["plans_computed"],
+        }
+
+    def _next_trace_counter(self) -> int:
+        with self._counter_lock:
+            self._trace_counter += 1
+            return self._trace_counter
 
     # -- durability ----------------------------------------------------------
 
@@ -758,7 +987,7 @@ class Database:
         """Whether ``sql`` cannot modify data (SELECT/EXPLAIN, or pure
         transaction control).  Read-only replica servers gate writes on
         this; it reuses the parse cache so the check costs a dict hit."""
-        cached, _generation = self._cached_statement(sql)
+        cached, _generation, _hit = self._cached_statement(sql)
         return isinstance(
             cached.statement,
             (ast.SelectStatement, ast.ExplainStatement, ast.TransactionStatement),
@@ -1098,10 +1327,16 @@ class Database:
 
     # -- SQL interface (default-session facade) ------------------------------
 
-    def execute(self, sql: str, params: Sequence[object] = ()) -> ResultSet:
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[object] = (),
+        *,
+        trace: Optional[TraceContext] = None,
+    ) -> ResultSet:
         """Parse (with caching), plan and execute one SQL statement on the
         shared default auto-commit session."""
-        return self._default_session.execute(sql, params)
+        return self._default_session.execute(sql, params, trace=trace)
 
     def execute_many(
         self, sql: str, param_rows: Iterable[Sequence[object]]
@@ -1114,7 +1349,7 @@ class Database:
         """Return the textual plan for a SELECT statement."""
         token = self._mvcc.begin_statement()
         try:
-            cached, _ = self._cached_statement(sql)
+            cached, _, _ = self._cached_statement(sql)
             plan = self._ensure_plan(cached)
             if plan is None:
                 return type(cached.statement).__name__
@@ -1264,18 +1499,21 @@ class Database:
             self._statement_cache.clear()
             self._cache_generation += 1
 
-    def _cached_statement(self, sql: str) -> tuple[_CachedStatement, int]:
+    def _cached_statement(
+        self, sql: str
+    ) -> tuple[_CachedStatement, int, bool]:
         """Parse ``sql`` with LRU caching keyed by (SQL text, planner
-        options); returns the entry plus the cache generation it belongs
-        to.  Plans are attached lazily by :meth:`_ensure_plan` under the
-        appropriate lock."""
+        options); returns the entry, the cache generation it belongs to,
+        and whether it was a cache hit (tracing records the hit as a span
+        event).  Plans are attached lazily by :meth:`_ensure_plan` under
+        the appropriate lock."""
         with self._cache_lock:
             key = (sql, self._options_key)
             cached = self._statement_cache.get(key)
             if cached is not None:
                 self._statement_cache.move_to_end(key)
                 self.statement_cache_hits += 1
-                return cached, self._cache_generation
+                return cached, self._cache_generation, True
             self.statement_cache_misses += 1
             statement = parse_statement(sql)
             cached = _CachedStatement(statement=statement, plan=None)
@@ -1288,7 +1526,7 @@ class Database:
                 self._statement_cache[key] = cached
                 while len(self._statement_cache) > self._statement_cache_size:
                     self._statement_cache.popitem(last=False)
-            return cached, self._cache_generation
+            return cached, self._cache_generation, False
 
     def _ensure_plan(self, cached: _CachedStatement) -> Optional[SelectPlan]:
         """Plan a cached SELECT on first execution (and replan on

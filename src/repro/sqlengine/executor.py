@@ -7,12 +7,13 @@ the :class:`~repro.sqlengine.planner.Planner`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.catalog import Catalog, ColumnSchema, SqlType, TableSchema
-from repro.sqlengine.columnar import ColumnarMetrics
+from repro.sqlengine.columnar import BatchOperator, ColumnarMetrics
 from repro.sqlengine.errors import SqlCatalogError, SqlExecutionError
 from repro.sqlengine.expressions import ExpressionCompiler, is_truthy
 from repro.sqlengine.operators import materialise
@@ -28,6 +29,52 @@ class StatementResult:
     columns: list[str] = field(default_factory=list)
     rows: list[tuple[object, ...]] = field(default_factory=list)
     rowcount: int = 0
+
+
+def _instrument_plan(root) -> dict[int, dict[str, float]]:
+    """Patch every operator in a plan tree (in place, via instance
+    attributes) so executing it records per-operator actual row counts and
+    wall time, keyed by ``id(operator)``.
+
+    Time is *inclusive*: while an operator waits on ``next()`` from its
+    child, both clocks run — the same convention PostgreSQL's EXPLAIN
+    ANALYZE uses.  Row operators count yielded tuples; batch operators are
+    wrapped around ``batches()`` and count ``Batch.n``, so both execution
+    modes report true row cardinalities.  Only ever applied to a freshly
+    planned tree: the patches would otherwise leak into cached plans.
+    """
+    stats: dict[int, dict[str, float]] = {}
+
+    def patch(op) -> None:
+        record = stats[id(op)] = {"rows": 0, "time_s": 0.0, "loops": 0}
+        batch = isinstance(op, BatchOperator)
+        inner = op.batches if batch else op.execute
+
+        def wrapped(params, _inner=inner, _record=record, _batch=batch):
+            _record["loops"] += 1
+            t0 = time.perf_counter()
+            iterator = _inner(params)
+            _record["time_s"] += time.perf_counter() - t0
+            while True:
+                t0 = time.perf_counter()
+                try:
+                    item = next(iterator)
+                except StopIteration:
+                    _record["time_s"] += time.perf_counter() - t0
+                    return
+                _record["time_s"] += time.perf_counter() - t0
+                _record["rows"] += item.n if _batch else 1
+                yield item
+
+        if batch:
+            op.batches = wrapped
+        else:
+            op.execute = wrapped
+        for child in op.children():
+            patch(child)
+
+    patch(root)
+    return stats
 
 
 class Executor:
@@ -90,6 +137,8 @@ class Executor:
                 rowcount=len(rows),
             )
         if isinstance(statement, ast.ExplainStatement):
+            if statement.analyze:
+                return self._execute_explain_analyze(statement, params)
             select_plan = (
                 plan if plan is not None else self.plan_select(statement.statement)
             )
@@ -119,6 +168,39 @@ class Executor:
             # statement is accepted as a no-op here.
             return StatementResult()
         raise SqlExecutionError(f"cannot execute statement {statement!r}")
+
+    # -- EXPLAIN ANALYZE -----------------------------------------------------
+
+    def _execute_explain_analyze(
+        self, statement: ast.ExplainStatement, params: Sequence[object]
+    ) -> StatementResult:
+        """Plan afresh (instance-level instrumentation must never touch a
+        plan shared through the statement cache), execute for real, and
+        annotate every operator line with the rows it actually produced
+        and its inclusive wall time."""
+        select_plan = self.plan_select(statement.statement)
+        stats = _instrument_plan(select_plan.root)
+        started = time.perf_counter()
+        rows = materialise(select_plan.root, params)
+        total_ms = (time.perf_counter() - started) * 1000.0
+
+        def annotate(op) -> str:
+            record = stats.get(id(op))
+            if record is None:
+                return ""
+            return (
+                f"[actual rows={record['rows']} "
+                f"time={record['time_s'] * 1000.0:.3f}ms "
+                f"loops={record['loops']}]"
+            )
+
+        lines = select_plan.explain(annotate=annotate).splitlines()
+        lines.append(f"Execution: rows={len(rows)} time={total_ms:.3f}ms")
+        return StatementResult(
+            columns=["query plan"],
+            rows=[(line,) for line in lines],
+            rowcount=len(lines),
+        )
 
     # -- DML -----------------------------------------------------------------
 

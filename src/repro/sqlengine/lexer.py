@@ -40,7 +40,7 @@ KEYWORDS = frozenset(
         "COUNT", "BETWEEN", "IN", "LIKE", "EXISTS", "GROUP", "HAVING",
         "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION", "WORK",
         "SAVEPOINT", "RELEASE", "TO",
-        "EXPLAIN", "CHECKPOINT",
+        "EXPLAIN", "ANALYZE", "CHECKPOINT",
     }
 )
 

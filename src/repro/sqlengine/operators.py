@@ -43,17 +43,24 @@ class PlanOperator:
         """One-line description used by ``EXPLAIN``-style output."""
         return type(self).__name__
 
-    def explain(self, indent: int = 0) -> str:
-        """Multi-line textual plan (operator tree with cost annotations)."""
+    def explain(self, indent: int = 0, annotate=None) -> str:
+        """Multi-line textual plan (operator tree with cost annotations).
+
+        ``annotate``, when given, maps an operator to an extra suffix for
+        its line — EXPLAIN ANALYZE appends actual rows and wall time."""
         line = "  " * indent + self.describe()
         if self.estimated_rows is not None:
             line += f"  (rows={self.estimated_rows:.1f}"
             if self.estimated_cost is not None:
                 line += f", cost={self.estimated_cost:.1f}"
             line += ")"
+        if annotate is not None:
+            extra = annotate(self)
+            if extra:
+                line += "  " + extra
         lines = [line]
         for child in self.children():
-            lines.append(child.explain(indent + 1))
+            lines.append(child.explain(indent + 1, annotate))
         return "\n".join(lines)
 
 

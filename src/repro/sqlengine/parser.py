@@ -67,12 +67,16 @@ class SqlParser:
         token = self._peek()
         if token.is_keyword("EXPLAIN"):
             self._advance()
+            analyze = False
+            if self._peek().is_keyword("ANALYZE"):
+                self._advance()
+                analyze = True
             inner = self._parse_statement()
             if not isinstance(inner, ast.SelectStatement):
                 raise SqlParseError(
                     "EXPLAIN supports only SELECT statements", token.position
                 )
-            return ast.ExplainStatement(statement=inner)
+            return ast.ExplainStatement(statement=inner, analyze=analyze)
         if token.is_keyword("SELECT"):
             return self._parse_select()
         if token.is_keyword("INSERT"):

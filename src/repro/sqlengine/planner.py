@@ -145,13 +145,14 @@ class SelectPlan:
     mode: str = "row"
     batch_size: Optional[int] = None
 
-    def explain(self) -> str:
-        """Human-readable plan tree with per-node estimated rows/cost."""
+    def explain(self, annotate=None) -> str:
+        """Human-readable plan tree with per-node estimated rows/cost.
+        ``annotate`` is forwarded to the operators (EXPLAIN ANALYZE)."""
         if self.mode == "batch":
             header = f"mode=batch (batch_size={self.batch_size})"
         else:
             header = "mode=row"
-        return header + "\n" + self.root.explain()
+        return header + "\n" + self.root.explain(annotate=annotate)
 
 
 @dataclass

@@ -219,7 +219,11 @@ def build_sharded_cluster(
     nodes: list[ShardNode] = []
     try:
         for index, database in enumerate(databases):
-            server = SqlServer(database=database, max_connections=128).start()
+            server = SqlServer(
+                database=database,
+                max_connections=128,
+                banner=f"shard{index}",
+            ).start()
             node = ShardNode(index=index, database=database, server=server)
             for r in range(replicas_per_shard):
                 node.replicas.append(

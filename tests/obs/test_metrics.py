@@ -1,0 +1,110 @@
+"""The unified metrics registry: instruments, collectors, exposition."""
+
+from __future__ import annotations
+
+import urllib.request
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    start_metrics_http_server,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self) -> None:
+        counter = MetricsRegistry().counter("statements")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_gauge_moves_both_ways(self) -> None:
+        gauge = MetricsRegistry().gauge("connections")
+        gauge.inc()
+        gauge.inc()
+        gauge.dec()
+        assert gauge.value == 1
+        gauge.set(7)
+        assert gauge.value == 7
+
+    def test_histogram_counts_and_percentiles(self) -> None:
+        histogram = MetricsRegistry().histogram("latency")
+        for _ in range(90):
+            histogram.observe(0.001)
+        for _ in range(10):
+            histogram.observe(1.0)
+        assert histogram.count == 100
+        assert histogram.percentile(0.5) < 0.01
+        assert histogram.percentile(0.99) > 0.1
+        summary = histogram.snapshot()
+        assert summary["count"] == 100
+        assert summary["p50_ms"] < summary["p99_ms"]
+        assert len(summary["buckets"]) == len(DEFAULT_BUCKETS) + 1
+
+    def test_histogram_empty_percentile_is_zero(self) -> None:
+        assert MetricsRegistry().histogram("empty").percentile(0.99) == 0.0
+
+
+class TestRegistry:
+    def test_instruments_get_or_create_by_name(self) -> None:
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_collectors_pulled_at_snapshot(self) -> None:
+        registry = MetricsRegistry()
+        state = {"ticks": 0}
+        registry.collect("sub", lambda: state)
+        state["ticks"] = 3
+        assert registry.snapshot()["collected"]["sub_ticks"] == 3
+
+    def test_collector_filters_non_numbers_and_bools(self) -> None:
+        registry = MetricsRegistry()
+        registry.collect(
+            "sub", lambda: {"n": 1, "label": "x", "flag": True, "nested": {}}
+        )
+        collected = registry.snapshot()["collected"]
+        assert collected == {"sub_n": 1}
+
+    def test_dying_collector_does_not_kill_the_scrape(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("ok").inc()
+
+        def boom() -> dict:
+            raise RuntimeError("collector died")
+
+        registry.collect("bad", boom)
+        text = registry.render_prometheus()
+        assert "repro_ok 1" in text
+
+    def test_prometheus_rendering(self) -> None:
+        registry = MetricsRegistry(namespace="repro")
+        registry.counter("statements", help="Statements executed").inc(2)
+        registry.gauge("active").set(3)
+        registry.histogram("latency").observe(0.01)
+        registry.collect("engine", lambda: {"cache_hits": 9})
+        text = registry.render_prometheus()
+        assert "# HELP repro_statements Statements executed" in text
+        assert "# TYPE repro_statements counter" in text
+        assert "repro_statements 2" in text
+        assert "# TYPE repro_active gauge" in text
+        assert "repro_latency_count 1" in text
+        assert 'repro_latency_bucket{le="+Inf"} 1' in text
+        assert "repro_engine_cache_hits 9" in text
+
+
+class TestHttpEndpoint:
+    def test_scrape_over_http(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(5)
+        server = start_metrics_http_server(registry.render_prometheus, port=0)
+        try:
+            host, port = server.server_address
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/metrics", timeout=5
+            ) as response:
+                body = response.read().decode("utf-8")
+            assert "repro_requests 5" in body
+        finally:
+            server.shutdown()

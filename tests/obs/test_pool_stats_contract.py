@@ -1,0 +1,101 @@
+"""The pool-stats contract: one documented schema for both pool flavours.
+
+``ConnectionPool.stats()`` and ``ReplicatedConnectionPool.stats()`` are
+the operational surface dashboards read; this test pins their key sets to
+the module-level ``POOL_STATS_KEYS`` / ``ROUTED_POOL_STATS_KEYS`` schema
+constants so a key can only be renamed or dropped deliberately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netclient.client import RemoteDatabase
+from repro.netclient.pool import (
+    POOL_STATS_KEYS,
+    ROUTED_POOL_STATS_KEYS,
+    ConnectionPool,
+)
+from repro.server import SqlServer
+from repro.sqlengine.engine import Database
+
+from tests.replication.harness import ReplicationCluster
+
+
+class TestSchemaConstants:
+    def test_plain_pool_schema_is_pinned(self) -> None:
+        assert POOL_STATS_KEYS == (
+            "size",
+            "idle",
+            "in_use",
+            "max_size",
+            "checkouts",
+            "created",
+            "discarded",
+            "liveness_failures",
+            "ping_failures",
+            "replacements",
+            "checkout_timeouts",
+            "round_trips",
+            "bytes_sent",
+            "bytes_received",
+        )
+
+    def test_routed_pool_schema_is_pinned(self) -> None:
+        assert ROUTED_POOL_STATS_KEYS == (
+            "reads_on_replicas",
+            "reads_on_primary",
+            "writes_on_primary",
+            "read_your_writes_waits",
+            "watermark_wait_timeouts",
+            "lag_fallbacks",
+            "replicas_evicted",
+            "replicas_detached",
+            "failovers",
+            "generation",
+            "last_write_lsn",
+            "primary",
+            "replicas",
+        )
+
+
+class TestLiveStats:
+    def test_plain_pool_stats_match_schema_exactly(self) -> None:
+        server = SqlServer(database=Database()).start()
+        try:
+            host, port = server.address
+            with ConnectionPool(host, port, max_size=2) as pool:
+                with pool.session() as session:
+                    session.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+                    session.execute("SELECT COUNT(*) FROM t")
+                stats = pool.stats()
+        finally:
+            server.shutdown()
+        assert set(stats) == set(POOL_STATS_KEYS)
+        assert all(isinstance(stats[key], int) for key in POOL_STATS_KEYS)
+        assert stats["checkouts"] >= 1
+        assert stats["round_trips"] >= 1
+
+    @pytest.fixture()
+    def cluster(self, tmp_path):
+        with ReplicationCluster(str(tmp_path), replicas=1) as cluster:
+            with RemoteDatabase(cluster.address).session() as session:
+                session.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+                session.execute("INSERT INTO t VALUES (1)")
+            cluster.wait_sync()
+            yield cluster
+
+    def test_routed_pool_stats_match_schema_exactly(self, cluster) -> None:
+        with cluster.pool() as pool:
+            with pool.session() as session:
+                session.execute("INSERT INTO t VALUES (2)")
+                session.execute("SELECT COUNT(*) FROM t")
+            stats = pool.stats()
+        assert set(stats) == set(ROUTED_POOL_STATS_KEYS)
+        # Fault counters exist from the start (zero, not missing).
+        assert stats["watermark_wait_timeouts"] == 0
+        assert stats["lag_fallbacks"] == 0
+        # Per-node sections carry the plain-pool schema plus the address.
+        for node in [stats["primary"], *stats["replicas"]]:
+            assert set(node) == {"address"} | set(POOL_STATS_KEYS)
+        assert stats["writes_on_primary"] >= 1

@@ -1,0 +1,93 @@
+"""The structured slow-query log."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.obs.slowlog import SlowQueryLog
+
+
+class TestThreshold:
+    def test_disabled_by_default(self) -> None:
+        log = SlowQueryLog()
+        assert not log.enabled
+        assert log.record("SELECT 1", 10_000.0) is None
+        assert log.recent() == []
+
+    def test_below_threshold_not_logged(self) -> None:
+        log = SlowQueryLog(threshold_ms=5.0)
+        assert log.record("SELECT 1", 4.9) is None
+        assert log.record("SELECT 1", 5.0) is not None
+
+    def test_stats(self) -> None:
+        log = SlowQueryLog(threshold_ms=1.0)
+        log.record("SELECT 1", 2.0)
+        assert log.stats() == {
+            "enabled": True,
+            "threshold_ms": 1.0,
+            "buffered": 1,
+            "logged": 1,
+        }
+
+
+class TestRecords:
+    def test_record_fields(self) -> None:
+        log = SlowQueryLog(threshold_ms=0.0, node="primary")
+        entry = log.record(
+            "SELECT * FROM t",
+            12.3456,
+            rows=42,
+            mode="batch",
+            route="fanout",
+            trace_id="ab" * 16,
+            error=None,
+        )
+        assert entry is not None
+        assert entry["node"] == "primary"
+        assert entry["sql"] == "SELECT * FROM t"
+        assert entry["duration_ms"] == 12.346
+        assert entry["rows"] == 42
+        assert entry["mode"] == "batch"
+        assert entry["route"] == "fanout"
+        assert entry["trace_id"] == "ab" * 16
+        assert entry["error"] is None
+        assert entry["ts"] > 0
+
+    def test_ring_keeps_most_recent(self) -> None:
+        log = SlowQueryLog(threshold_ms=0.0, capacity=2)
+        for index in range(3):
+            log.record(f"Q{index}", 1.0)
+        assert [r["sql"] for r in log.recent()] == ["Q1", "Q2"]
+        assert [r["sql"] for r in log.recent(limit=1)] == ["Q2"]
+
+    def test_clear(self) -> None:
+        log = SlowQueryLog(threshold_ms=0.0)
+        log.record("SELECT 1", 1.0)
+        log.clear()
+        assert log.recent() == []
+
+
+class TestSink:
+    def test_sink_gets_json_lines(self) -> None:
+        sink = io.StringIO()
+        log = SlowQueryLog(threshold_ms=0.0, sink=sink, node="n1")
+        log.record("SELECT 1", 3.0, rows=1)
+        log.record("SELECT 2", 4.0, rows=2)
+        lines = sink.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["sql"] == "SELECT 1"
+        assert first["node"] == "n1"
+
+    def test_broken_sink_does_not_fail_the_statement(self) -> None:
+        class Broken:
+            def write(self, _line: str) -> None:
+                raise OSError("disk full")
+
+            def flush(self) -> None:
+                raise OSError("disk full")
+
+        log = SlowQueryLog(threshold_ms=0.0, sink=Broken())
+        assert log.record("SELECT 1", 1.0) is not None
+        assert len(log.recent()) == 1

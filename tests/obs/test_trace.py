@@ -1,0 +1,149 @@
+"""Trace contexts, spans, ring buffers and tree assembly."""
+
+from __future__ import annotations
+
+from repro.obs.trace import (
+    TRACE_CONTEXT_WIRE_BYTES,
+    TraceBuffer,
+    TraceContext,
+    TracingOptions,
+    new_root_context,
+    span_tree,
+)
+
+
+class TestTraceContext:
+    def test_wire_roundtrip(self) -> None:
+        context = TraceContext("ab" * 16, "cd" * 8, sampled=True)
+        payload = context.to_wire_bytes()
+        assert len(payload) == TRACE_CONTEXT_WIRE_BYTES
+        assert TraceContext.from_wire_bytes(payload) == context
+
+    def test_unsampled_flag_survives_the_wire(self) -> None:
+        context = TraceContext("00" * 16, "11" * 8, sampled=False)
+        assert not TraceContext.from_wire_bytes(context.to_wire_bytes()).sampled
+
+    def test_child_context_keeps_trace_id(self) -> None:
+        root = new_root_context()
+        child = root.child_context("feed" * 4)
+        assert child.trace_id == root.trace_id
+        assert child.span_id == "feed" * 4
+        assert child.sampled
+
+    def test_root_context_has_no_parent_span(self) -> None:
+        assert new_root_context().span_id == ""
+
+
+class TestSpans:
+    def test_span_under_root_context_is_a_root(self) -> None:
+        buffer = TraceBuffer()
+        span = buffer.start_span(new_root_context(), "client", "edge")
+        span.finish()
+        (recorded,) = buffer.spans()
+        assert recorded["parent_span_id"] is None
+        assert recorded["name"] == "client"
+        assert recorded["node"] == "edge"
+        assert recorded["status"] == "ok"
+
+    def test_forwarded_context_parents_the_next_span(self) -> None:
+        buffer = TraceBuffer()
+        parent = buffer.start_span(new_root_context(), "client", "edge")
+        child = buffer.start_span(parent.context, "statement", "primary")
+        child.finish()
+        parent.finish()
+        children = [s for s in buffer.spans() if s["name"] == "statement"]
+        assert children[0]["parent_span_id"] == parent.context.span_id
+        assert children[0]["trace_id"] == parent.context.trace_id
+
+    def test_phases_accumulate_and_events_count(self) -> None:
+        buffer = TraceBuffer()
+        span = buffer.start_span(new_root_context(), "statement", "n")
+        span.phase("execute", 0.010)
+        span.phase("execute", 0.005)
+        span.event("conflict_retry")
+        span.event("conflict_retry", 2)
+        span.tag(sql="SELECT 1", rows=1)
+        span.finish()
+        (recorded,) = buffer.spans()
+        assert abs(recorded["phases"]["execute"] - 15.0) < 1e-6
+        assert recorded["events"]["conflict_retry"] == 3
+        assert recorded["tags"] == {"sql": "SELECT 1", "rows": 1}
+
+    def test_finish_with_error_sets_status(self) -> None:
+        buffer = TraceBuffer()
+        span = buffer.start_span(new_root_context(), "statement", "n")
+        span.finish(ValueError("nope"))
+        (recorded,) = buffer.spans()
+        assert recorded["status"] == "error"
+        assert recorded["error"] == "ValueError: nope"
+
+    def test_finish_is_idempotent(self) -> None:
+        buffer = TraceBuffer()
+        span = buffer.start_span(new_root_context(), "s", "n")
+        span.finish()
+        span.finish()
+        assert len(buffer.spans()) == 1
+
+
+class TestTraceBuffer:
+    def test_ring_evicts_oldest_and_counts_drops(self) -> None:
+        buffer = TraceBuffer(capacity=2)
+        for name in ("a", "b", "c"):
+            buffer.start_span(new_root_context(), name, "n").finish()
+        names = [span["name"] for span in buffer.spans()]
+        assert names == ["b", "c"]
+        stats = buffer.stats()
+        assert stats == {
+            "buffered": 2,
+            "capacity": 2,
+            "recorded": 3,
+            "dropped": 1,
+        }
+
+    def test_filter_by_trace_id(self) -> None:
+        buffer = TraceBuffer()
+        keep = new_root_context()
+        buffer.start_span(keep, "mine", "n").finish()
+        buffer.start_span(new_root_context(), "other", "n").finish()
+        assert [s["name"] for s in buffer.spans(keep.trace_id)] == ["mine"]
+        assert buffer.trace_ids()[0] == keep.trace_id
+        assert len(buffer.trace_ids()) == 2
+
+
+class TestSampling:
+    def test_disabled_never_samples(self) -> None:
+        options = TracingOptions(enabled=False)
+        assert not any(options.samples(i) for i in range(1, 100))
+
+    def test_full_rate_always_samples(self) -> None:
+        options = TracingOptions(enabled=True, sample_rate=1.0)
+        assert all(options.samples(i) for i in range(1, 100))
+
+    def test_fractional_rate_is_one_in_n(self) -> None:
+        options = TracingOptions(enabled=True, sample_rate=0.1)
+        hits = sum(1 for i in range(1, 101) if options.samples(i))
+        assert hits == 10
+
+
+class TestSpanTree:
+    def _span(self, span_id: str, parent: str | None, start: float) -> dict:
+        return {
+            "span_id": span_id,
+            "parent_span_id": parent,
+            "start_ts": start,
+            "name": span_id,
+        }
+
+    def test_roots_and_children(self) -> None:
+        spans = [
+            self._span("root", None, 1.0),
+            self._span("childB", "root", 3.0),
+            self._span("childA", "root", 2.0),
+        ]
+        tree = span_tree(spans)
+        assert [s["span_id"] for s in tree[None]] == ["root"]
+        assert [s["span_id"] for s in tree["root"]] == ["childA", "childB"]
+
+    def test_orphaned_parent_is_rerooted(self) -> None:
+        tree = span_tree([self._span("lost", "never-collected", 1.0)])
+        assert [s["span_id"] for s in tree[None]] == ["lost"]
